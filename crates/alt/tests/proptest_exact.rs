@@ -1,0 +1,30 @@
+//! Property: ALT's landmark potential is admissible and its A* is exact
+//! on arbitrary connected graphs.
+
+use proptest::prelude::*;
+use spq_alt::{Alt, AltParams};
+use spq_dijkstra::Dijkstra;
+use spq_graph::arbitrary::small_connected_network;
+use spq_graph::types::NodeId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn exact_and_admissible(net in small_connected_network(), k in 1usize..8) {
+        let alt = Alt::build(&net, &AltParams { num_landmarks: k, seed: 11, ..AltParams::default() });
+        let mut q = alt.query(&net);
+        let mut d = Dijkstra::new(net.num_nodes());
+        for s in 0..net.num_nodes() as NodeId {
+            d.run(&net, s);
+            for t in 0..net.num_nodes() as NodeId {
+                let truth = d.distance(t).unwrap();
+                prop_assert!(alt.lower_bound(s, t) <= truth, "inadmissible bound");
+                prop_assert_eq!(q.distance(s, t), Some(truth));
+                let (pd, path) = q.shortest_path(s, t).unwrap();
+                prop_assert_eq!(pd, truth);
+                prop_assert_eq!(net.path_length(&path), Some(truth));
+            }
+        }
+    }
+}

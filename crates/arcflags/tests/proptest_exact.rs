@@ -1,0 +1,28 @@
+//! Property: Arc Flags prune only arcs that no shortest path needs —
+//! queries stay exact on arbitrary connected graphs and grids.
+
+use proptest::prelude::*;
+use spq_arcflags::{ArcFlags, ArcFlagsParams};
+use spq_dijkstra::Dijkstra;
+use spq_graph::arbitrary::small_connected_network;
+use spq_graph::types::NodeId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn exact_on_arbitrary_graphs(net in small_connected_network(), grid in 1u32..8) {
+        let af = ArcFlags::build(&net, &ArcFlagsParams { grid });
+        let mut q = af.query(&net);
+        let mut d = Dijkstra::new(net.num_nodes());
+        for s in 0..net.num_nodes() as NodeId {
+            d.run(&net, s);
+            for t in 0..net.num_nodes() as NodeId {
+                prop_assert_eq!(q.distance(s, t), d.distance(t));
+                let (pd, path) = q.shortest_path(s, t).unwrap();
+                prop_assert_eq!(Some(pd), d.distance(t));
+                prop_assert_eq!(net.path_length(&path), d.distance(t));
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Criterion bench: the Appendix A techniques (ALT, Arc Flags) against
+//! bidirectional Dijkstra and CH on one mid-size network.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spq_alt::{Alt, AltParams};
+use spq_arcflags::{ArcFlags, ArcFlagsParams};
+use spq_ch::{ChQuery, ContractionHierarchy};
+use spq_dijkstra::BiDijkstra;
+use spq_graph::types::NodeId;
+use spq_queries::{linf_query_sets, QueryGenParams};
+use spq_synth::SynthParams;
+
+fn bench_appendix_a(c: &mut Criterion) {
+    let net = spq_synth::generate(&SynthParams::with_target_vertices(4000, 5));
+    let sets = linf_query_sets(
+        &net,
+        &QueryGenParams {
+            per_set: 128,
+            ..QueryGenParams::default()
+        },
+    );
+    let pairs: Vec<(NodeId, NodeId)> = sets[8].pairs.clone(); // far band
+    assert!(!pairs.is_empty());
+
+    let alt = Alt::build(&net, &AltParams::default());
+    let af = ArcFlags::build(&net, &ArcFlagsParams::default());
+    let ch = ContractionHierarchy::build(&net);
+
+    let mut group = c.benchmark_group("appendix_a_distance");
+    let mut bidi = BiDijkstra::new(net.num_nodes());
+    group.bench_with_input(BenchmarkId::new("Dijkstra", "Q9"), &pairs, |b, pairs| {
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            bidi.distance(&net, s, t)
+        })
+    });
+    let mut q = alt.query(&net);
+    group.bench_with_input(BenchmarkId::new("ALT", "Q9"), &pairs, |b, pairs| {
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            q.distance(s, t)
+        })
+    });
+    let mut q = af.query(&net);
+    group.bench_with_input(BenchmarkId::new("ArcFlags", "Q9"), &pairs, |b, pairs| {
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            q.distance(s, t)
+        })
+    });
+    let mut q = ChQuery::new(&ch);
+    group.bench_with_input(BenchmarkId::new("CH", "Q9"), &pairs, |b, pairs| {
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            q.distance(s, t)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_appendix_a);
+criterion_main!(benches);

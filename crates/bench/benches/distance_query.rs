@@ -1,0 +1,49 @@
+//! Criterion bench: distance-query latency per technique on near (Q3)
+//! and far (Q9) workloads — the microbench form of Figures 8/9/16.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spq_core::{Index, Technique};
+use spq_graph::types::NodeId;
+use spq_queries::{linf_query_sets, QueryGenParams};
+use spq_synth::SynthParams;
+
+fn bench_distance(c: &mut Criterion) {
+    let net = spq_synth::generate(&SynthParams::with_target_vertices(4000, 5));
+    let sets = linf_query_sets(
+        &net,
+        &QueryGenParams {
+            per_set: 256,
+            ..QueryGenParams::default()
+        },
+    );
+    let mut group = c.benchmark_group("distance_query");
+    for (label, idx) in [("near_Q3", 2usize), ("far_Q9", 8)] {
+        let pairs: Vec<(NodeId, NodeId)> = sets[idx].pairs.clone();
+        if pairs.is_empty() {
+            continue;
+        }
+        for technique in Technique::ALL {
+            if technique == Technique::Pcpd {
+                continue; // dominated by SILC and slow to build repeatedly
+            }
+            let (index, _) = Index::build(technique, &net);
+            let mut q = index.query(&net);
+            group.bench_with_input(
+                BenchmarkId::new(technique.name(), label),
+                &pairs,
+                |b, pairs| {
+                    let mut i = 0;
+                    b.iter(|| {
+                        let (s, t) = pairs[i % pairs.len()];
+                        i += 1;
+                        q.distance(s, t)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench: shortest-path-query latency per technique — the
+//! microbench form of Figures 7/10/11/17 (includes SILC vs PCPD).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spq_core::{Index, Technique};
+use spq_graph::types::NodeId;
+use spq_queries::{linf_query_sets, QueryGenParams};
+use spq_synth::SynthParams;
+
+fn bench_path(c: &mut Criterion) {
+    let net = spq_synth::generate(&SynthParams::with_target_vertices(2500, 5));
+    let sets = linf_query_sets(
+        &net,
+        &QueryGenParams {
+            per_set: 128,
+            ..QueryGenParams::default()
+        },
+    );
+    let mut group = c.benchmark_group("path_query");
+    group.sample_size(30);
+    for (label, idx) in [("near_Q3", 2usize), ("far_Q9", 8)] {
+        let pairs: Vec<(NodeId, NodeId)> = sets[idx].pairs.clone();
+        if pairs.is_empty() {
+            continue;
+        }
+        for technique in Technique::ALL {
+            let (index, _) = Index::build(technique, &net);
+            let mut q = index.query(&net);
+            group.bench_with_input(
+                BenchmarkId::new(technique.name(), label),
+                &pairs,
+                |b, pairs| {
+                    let mut i = 0;
+                    b.iter(|| {
+                        let (s, t) = pairs[i % pairs.len()];
+                        i += 1;
+                        q.shortest_path(s, t)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_path);
+criterion_main!(benches);

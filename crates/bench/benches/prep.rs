@@ -1,0 +1,32 @@
+//! Criterion bench: preprocessing cost per technique (Figure 6(b) in
+//! microbench form). Small fixed network so `cargo bench` stays quick.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spq_synth::SynthParams;
+
+fn bench_prep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preprocessing");
+    group.sample_size(10);
+    for target in [500usize, 1500] {
+        let net = spq_synth::generate(&SynthParams::with_target_vertices(target, 5));
+        let n = net.num_nodes();
+        group.bench_with_input(BenchmarkId::new("CH", n), &net, |b, net| {
+            b.iter(|| spq_ch::ContractionHierarchy::build(net))
+        });
+        group.bench_with_input(BenchmarkId::new("TNR", n), &net, |b, net| {
+            b.iter(|| spq_tnr::Tnr::build(net, &spq_tnr::TnrParams::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("SILC", n), &net, |b, net| {
+            b.iter(|| spq_silc::Silc::build(net))
+        });
+        if target <= 500 {
+            group.bench_with_input(BenchmarkId::new("PCPD", n), &net, |b, net| {
+                b.iter(|| spq_pcpd::Pcpd::build(net))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prep);
+criterion_main!(benches);

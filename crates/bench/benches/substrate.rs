@@ -1,0 +1,127 @@
+//! Criterion bench: substrate ablations called out in DESIGN.md — the
+//! indexed heap, CH stall-on-demand on/off, witness settle limits, and
+//! SILC colour lookups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spq_ch::ordering::PriorityWeights;
+use spq_ch::{ChParams, ChQuery, ContractionHierarchy};
+use spq_graph::heap::IndexedHeap;
+use spq_synth::SynthParams;
+
+fn bench_heap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/heap");
+    group.bench_function("push_pop_4096", |b| {
+        let mut h = IndexedHeap::new(4096);
+        b.iter(|| {
+            h.clear();
+            for v in 0..4096u32 {
+                h.push_or_decrease(v, ((v as u64).wrapping_mul(2654435761)) % 100_000);
+            }
+            let mut acc = 0u64;
+            while let Some((k, _)) = h.pop_min() {
+                acc = acc.wrapping_add(k);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_ch_ablation(c: &mut Criterion) {
+    let net = spq_synth::generate(&SynthParams::with_target_vertices(4000, 5));
+    let mut group = c.benchmark_group("substrate/ch");
+    group.sample_size(10);
+
+    // Witness settle limit: build cost vs shortcut count.
+    for limit in [8usize, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("build_witness_limit", limit),
+            &limit,
+            |b, &limit| {
+                b.iter(|| {
+                    ContractionHierarchy::build_with_params(
+                        &net,
+                        &ChParams {
+                            witness_settle_limit: limit,
+                            priority: PriorityWeights::default(),
+                        },
+                    )
+                })
+            },
+        );
+    }
+
+    // Stall-on-demand on/off at query time.
+    let ch = ContractionHierarchy::build(&net);
+    let n = net.num_nodes() as u32;
+    for stall in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::new("query_stall_on_demand", stall),
+            &stall,
+            |b, &stall| {
+                let mut q = ChQuery::new(&ch);
+                q.stall_on_demand = stall;
+                let mut i = 0u32;
+                b.iter(|| {
+                    i = i.wrapping_add(1);
+                    let s = (i.wrapping_mul(2654435761)) % n;
+                    let t = (i.wrapping_mul(40503).wrapping_add(12345)) % n;
+                    q.distance(s, t)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_alt_landmarks(c: &mut Criterion) {
+    use spq_alt::{Alt, AltParams, LandmarkSelection};
+    let net = spq_synth::generate(&SynthParams::with_target_vertices(4000, 5));
+    let mut group = c.benchmark_group("substrate/alt_landmarks");
+    let n = net.num_nodes() as u32;
+    for (label, selection) in [
+        ("farthest", LandmarkSelection::Farthest),
+        ("random", LandmarkSelection::Random),
+    ] {
+        let alt = Alt::build(
+            &net,
+            &AltParams {
+                num_landmarks: 16,
+                selection,
+                seed: 5,
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("query", label), &alt, |b, alt| {
+            let mut q = alt.query(&net);
+            let mut i = 0u32;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let s = (i.wrapping_mul(2654435761)) % n;
+                let t = (i.wrapping_mul(40503).wrapping_add(12345)) % n;
+                q.distance(s, t)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_silc_lookup(c: &mut Criterion) {
+    let net = spq_synth::generate(&SynthParams::with_target_vertices(2000, 5));
+    let silc = spq_silc::Silc::build(&net);
+    let mut q = silc.query(&net);
+    let n = net.num_nodes() as u32;
+    let mut group = c.benchmark_group("substrate/silc");
+    group.bench_function("path_walk", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let s = (i.wrapping_mul(2654435761)) % n;
+            let t = (i.wrapping_mul(40503).wrapping_add(12345)) % n;
+            q.shortest_path(s, t)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_heap, bench_ch_ablation, bench_alt_landmarks, bench_silc_lookup);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench: the TNR variants of Appendix E.1 (grid × fallback ×
+//! hybrid), microbench form of Figures 13–15.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spq_graph::types::NodeId;
+use spq_queries::{linf_query_sets, QueryGenParams};
+use spq_synth::SynthParams;
+use spq_tnr::hybrid::HybridTnr;
+use spq_tnr::{Fallback, Tnr, TnrParams};
+
+fn bench_tnr_variants(c: &mut Criterion) {
+    let net = spq_synth::generate(&SynthParams::with_target_vertices(4000, 5));
+    let sets = linf_query_sets(
+        &net,
+        &QueryGenParams {
+            per_set: 128,
+            ..QueryGenParams::default()
+        },
+    );
+    let base = TnrParams::default();
+    let tnr_ch = Tnr::build(&net, &TnrParams { fallback: Fallback::Ch, ..base });
+    let tnr_dij = Tnr::build(&net, &TnrParams { fallback: Fallback::BiDijkstra, ..base });
+    let hybrid = HybridTnr::build(&net, &base);
+
+    let mut group = c.benchmark_group("tnr_variants_distance");
+    for (label, idx) in [("mid_Q6", 5usize), ("far_Q9", 8)] {
+        let pairs: Vec<(NodeId, NodeId)> = sets[idx].pairs.clone();
+        if pairs.is_empty() {
+            continue;
+        }
+        let mut q = tnr_ch.query().with_network(&net);
+        group.bench_with_input(BenchmarkId::new("grid_CH", label), &pairs, |b, pairs| {
+            let mut i = 0;
+            b.iter(|| {
+                let (s, t) = pairs[i % pairs.len()];
+                i += 1;
+                q.distance(s, t)
+            })
+        });
+        let mut q = tnr_dij.query().with_network(&net);
+        group.bench_with_input(BenchmarkId::new("grid_Dijkstra", label), &pairs, |b, pairs| {
+            let mut i = 0;
+            b.iter(|| {
+                let (s, t) = pairs[i % pairs.len()];
+                i += 1;
+                q.distance(s, t)
+            })
+        });
+        let mut q = hybrid.query(&net);
+        group.bench_with_input(BenchmarkId::new("hybrid_CH", label), &pairs, |b, pairs| {
+            let mut i = 0;
+            b.iter(|| {
+                let (s, t) = pairs[i % pairs.len()];
+                i += 1;
+                q.distance(s, t)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tnr_variants);
+criterion_main!(benches);

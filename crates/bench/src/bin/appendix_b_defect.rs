@@ -1,0 +1,119 @@
+//! Appendix B: the defect of Bast et al.'s access-node computation.
+//! Builds TNR twice (corrected vs flawed access nodes) over networks
+//! with shell-jumping "bridge" edges and counts wrong answers among
+//! table-answerable queries.
+
+use spq_bench::{Config, ResultTable};
+use spq_dijkstra::Dijkstra;
+use spq_graph::{GraphBuilder, NodeId};
+use spq_synth::SynthParams;
+use spq_tnr::{AccessNodeStrategy, Tnr, TnrParams};
+
+/// Adds `count` long "bridge" edges (tunnels/flyovers) to a network —
+/// edges spanning several TNR cells, the Figure 12(b) hazard.
+fn with_bridges(params: &SynthParams, count: usize) -> spq_graph::RoadNetwork {
+    let base = spq_synth::generate(params);
+    let mut b = GraphBuilder::with_capacity(base.num_nodes(), base.num_edges() + count);
+    for v in 0..base.num_nodes() as NodeId {
+        b.add_node(base.coord(v));
+    }
+    for v in 0..base.num_nodes() as NodeId {
+        for (u, w) in base.neighbors(v) {
+            if v < u {
+                b.add_edge(v, u, w);
+            }
+        }
+    }
+    let rect = base.bounding_rect();
+    let span = rect.width().max(rect.height());
+    let mut state = 0xb41d_6e5eu64;
+    let mut added = 0;
+    while added < count {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(23);
+        let s = ((state >> 33) % base.num_nodes() as u64) as NodeId;
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(23);
+        let t = ((state >> 33) % base.num_nodes() as u64) as NodeId;
+        let d = base.coord(s).linf(&base.coord(t)) as u64;
+        // Span 1.5..3 cells of the default 32-grid.
+        if s != t && d > span * 3 / 64 && d < span * 6 / 64 {
+            // Fast enough to be used by shortest paths.
+            b.add_edge(s, t, (d / 8).max(1) as u32);
+            added += 1;
+        }
+    }
+    b.build().expect("bridges keep the network connected")
+}
+
+fn main() {
+    let cfg = Config::from_env();
+    let mut table = ResultTable::new(
+        "appendix_b",
+        &[
+            "bridges",
+            "n",
+            "access_correct",
+            "access_flawed",
+            "checked",
+            "wrong_correct",
+            "wrong_flawed",
+        ],
+    );
+    for bridges in [0usize, 20, 60] {
+        let net = with_bridges(&SynthParams::with_target_vertices(3_000, cfg.seed), bridges);
+        let correct = Tnr::build(
+            &net,
+            &TnrParams {
+                access: AccessNodeStrategy::Correct,
+                ..TnrParams::default()
+            },
+        );
+        let flawed = Tnr::build(
+            &net,
+            &TnrParams {
+                access: AccessNodeStrategy::FlawedBast,
+                ..TnrParams::default()
+            },
+        );
+        let mut q_ok = correct.query().with_network(&net);
+        let mut q_bad = flawed.query().with_network(&net);
+        let mut reference = Dijkstra::new(net.num_nodes());
+        let n = net.num_nodes() as u64;
+        let mut state = cfg.seed;
+        let mut checked = 0u32;
+        let mut wrong_ok = 0u32;
+        let mut wrong_bad = 0u32;
+        for _ in 0..4_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(29);
+            let s = ((state >> 33) % n) as NodeId;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(29);
+            let t = ((state >> 33) % n) as NodeId;
+            if !flawed.distance_applicable(s, t) {
+                continue;
+            }
+            checked += 1;
+            reference.run_to_target(&net, s, t);
+            let truth = reference.distance(t);
+            if q_ok.distance(s, t) != truth {
+                wrong_ok += 1;
+            }
+            if q_bad.table_distance(s, t) != truth.unwrap_or(u64::MAX) {
+                wrong_bad += 1;
+            }
+        }
+        table.row(vec![
+            bridges.to_string(),
+            net.num_nodes().to_string(),
+            correct.num_access_nodes().to_string(),
+            flawed.num_access_nodes().to_string(),
+            checked.to_string(),
+            wrong_ok.to_string(),
+            wrong_bad.to_string(),
+        ]);
+    }
+    table.finish();
+    println!(
+        "\nexpected (paper App. B): the corrected method is always exact;\n\
+         the flawed method loses access nodes once shell-jumping edges exist\n\
+         and returns wrong distances."
+    );
+}

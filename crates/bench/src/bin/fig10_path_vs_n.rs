@@ -1,0 +1,26 @@
+//! Figure 10: shortest-path-query time vs n on Q1, Q4, Q7, Q10.
+
+use spq_bench::matrix::{run_query_experiment, QueryKind, TechniquePlan, Workload, CORNER_SETS};
+use spq_bench::{datasets_up_to, Config};
+
+fn main() {
+    let cfg = Config::from_env();
+    let datasets = datasets_up_to("E-US");
+    let tnr_cap = datasets.len();
+    let plans = TechniquePlan::paper_lineup(true, tnr_cap);
+    let table = run_query_experiment(
+        "fig10",
+        &cfg,
+        &datasets,
+        &CORNER_SETS,
+        Workload::Linf,
+        QueryKind::Path,
+        &plans,
+    );
+    table.finish();
+    println!(
+        "\nexpected shape (paper Fig. 10): SILC fastest on the small datasets;\n\
+         CH slower than for distance queries (shortcut unpacking); TNR never\n\
+         better than CH, and increasingly worse from Q7 to Q10."
+    );
+}

@@ -1,0 +1,69 @@
+//! Figure 13: space and preprocessing of the TNR grid variants — the
+//! scaled analogues of the paper's D128 (here g), D256 (2g) and the
+//! hybrid combination (Appendix E.1).
+
+use std::time::Instant;
+
+use spq_bench::{build_dataset, datasets_up_to, Config, ResultTable};
+use spq_graph::size::IndexSize;
+use spq_tnr::hybrid::HybridTnr;
+use spq_tnr::{Tnr, TnrParams};
+
+fn main() {
+    let cfg = Config::from_env();
+    let mut table = ResultTable::new(
+        "fig13",
+        &["dataset", "n", "variant", "space_mb", "preprocessing_sec", "access_nodes"],
+    );
+    for d in datasets_up_to("CA") {
+        let net = build_dataset(d, &cfg);
+        let base = TnrParams::default();
+
+        let t0 = Instant::now();
+        let coarse = Tnr::build(&net, &base);
+        let t_coarse = t0.elapsed();
+
+        let t0 = Instant::now();
+        let fine = Tnr::build(&net, &TnrParams { grid: base.grid * 2, ..base });
+        let t_fine = t0.elapsed();
+
+        let t0 = Instant::now();
+        let hybrid = HybridTnr::build(&net, &base);
+        let t_hybrid = t0.elapsed();
+
+        for (variant, mb, secs, access) in [
+            (
+                format!("{0}x{0}", base.grid),
+                coarse.index_size_bytes() as f64 / 1048576.0,
+                t_coarse.as_secs_f64(),
+                coarse.num_access_nodes(),
+            ),
+            (
+                format!("{0}x{0}", base.grid * 2),
+                fine.index_size_bytes() as f64 / 1048576.0,
+                t_fine.as_secs_f64(),
+                fine.num_access_nodes(),
+            ),
+            (
+                "hybrid".to_string(),
+                hybrid.index_size_bytes() as f64 / 1048576.0,
+                t_hybrid.as_secs_f64(),
+                hybrid.num_fine_access_nodes(),
+            ),
+        ] {
+            table.row(vec![
+                d.name.to_string(),
+                net.num_nodes().to_string(),
+                variant,
+                ResultTable::f(mb),
+                ResultTable::f(secs),
+                access.to_string(),
+            ]);
+        }
+    }
+    table.finish();
+    println!(
+        "\nexpected shape (paper Fig. 13): space coarse < hybrid < fine;\n\
+         preprocessing coarse < fine < hybrid (the hybrid processes both grids)."
+    );
+}

@@ -1,0 +1,89 @@
+//! Figure 15: shortest-path-query time of the TNR variants across
+//! Q1..Q10 (Appendix E.1).
+
+use spq_bench::{build_dataset, subset, Config, ResultTable};
+use spq_graph::types::NodeId;
+use spq_queries::linf_query_sets;
+use spq_synth::Dataset;
+use spq_tnr::hybrid::HybridTnr;
+use spq_tnr::{Fallback, Tnr, TnrParams};
+use std::time::Instant;
+
+fn measure(
+    mut f: impl FnMut(NodeId, NodeId) -> Option<(u64, Vec<NodeId>)>,
+    pairs: &[(NodeId, NodeId)],
+) -> f64 {
+    let t0 = Instant::now();
+    let mut acc = 0usize;
+    for &(s, t) in pairs {
+        if let Some((_, p)) = f(s, t) {
+            acc = acc.wrapping_add(p.len());
+        }
+    }
+    std::hint::black_box(acc);
+    t0.elapsed().as_secs_f64() * 1e6 / pairs.len() as f64
+}
+
+fn main() {
+    let cfg = Config::from_env();
+    let mut table = ResultTable::new(
+        "fig15",
+        &["dataset", "n", "set", "variant", "micros_per_query"],
+    );
+    for name in ["DE", "CO"] {
+        let d = Dataset::by_name(name).unwrap();
+        let net = build_dataset(d, &cfg);
+        let sets = linf_query_sets(&net, &cfg.query_params());
+        let base = TnrParams::default();
+        let variants: Vec<(String, Tnr)> = vec![
+            (
+                format!("{0}x{0} (CH)", base.grid),
+                Tnr::build(&net, &TnrParams { fallback: Fallback::Ch, ..base }),
+            ),
+            (
+                format!("{0}x{0} (Dijkstra)", base.grid),
+                Tnr::build(&net, &TnrParams { fallback: Fallback::BiDijkstra, ..base }),
+            ),
+        ];
+        let hybrids: Vec<(String, HybridTnr)> = vec![
+            (
+                "hybrid (CH)".to_string(),
+                HybridTnr::build(&net, &TnrParams { fallback: Fallback::Ch, ..base }),
+            ),
+            (
+                "hybrid (Dijkstra)".to_string(),
+                HybridTnr::build(&net, &TnrParams { fallback: Fallback::BiDijkstra, ..base }),
+            ),
+        ];
+        for set in sets.iter().filter(|s| !s.is_empty()) {
+            for (label, tnr) in &variants {
+                let limit = if label.contains("Dijkstra") { 60 } else { 400 };
+                let pairs = subset(&set.pairs, limit);
+                let mut q = tnr.query().with_network(&net);
+                let micros = measure(|s, t| q.shortest_path(s, t), pairs);
+                table.row(vec![
+                    d.name.to_string(),
+                    net.num_nodes().to_string(),
+                    set.label.clone(),
+                    label.clone(),
+                    ResultTable::f(micros),
+                ]);
+            }
+            for (label, hybrid) in &hybrids {
+                let limit = if label.contains("Dijkstra") { 60 } else { 400 };
+                let pairs = subset(&set.pairs, limit);
+                let mut q = hybrid.query(&net);
+                let micros = measure(|s, t| q.shortest_path(s, t), pairs);
+                table.row(vec![
+                    d.name.to_string(),
+                    net.num_nodes().to_string(),
+                    set.label.clone(),
+                    label.clone(),
+                    ResultTable::f(micros),
+                ]);
+            }
+        }
+    }
+    table.finish();
+    println!("\nexpected: qualitatively similar to Figure 14 (paper App. E.1).");
+}

@@ -1,0 +1,23 @@
+//! Figure 17: shortest-path-query time vs n on R1, R4, R7, R10
+//! (Appendix E.2).
+
+use spq_bench::matrix::{run_query_experiment, QueryKind, TechniquePlan, Workload, CORNER_SETS};
+use spq_bench::{datasets_up_to, Config};
+
+fn main() {
+    let cfg = Config::from_env();
+    let datasets = datasets_up_to("E-US");
+    let tnr_cap = datasets.len();
+    let plans = TechniquePlan::paper_lineup(true, tnr_cap);
+    let table = run_query_experiment(
+        "fig17",
+        &cfg,
+        &datasets,
+        &CORNER_SETS,
+        Workload::Network,
+        QueryKind::Path,
+        &plans,
+    );
+    table.finish();
+    println!("\nexpected: qualitatively identical to Figure 10 (paper App. E.2).");
+}

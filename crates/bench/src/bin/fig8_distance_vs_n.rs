@@ -1,0 +1,27 @@
+//! Figure 8: distance-query time vs n on query sets Q1, Q4, Q7, Q10 for
+//! bidirectional Dijkstra, CH, TNR and SILC.
+
+use spq_bench::matrix::{run_query_experiment, QueryKind, TechniquePlan, Workload, CORNER_SETS};
+use spq_bench::{datasets_up_to, Config};
+
+fn main() {
+    let cfg = Config::from_env();
+    let datasets = datasets_up_to("E-US");
+    let tnr_cap = datasets.len();
+    let plans = TechniquePlan::paper_lineup(true, tnr_cap);
+    let table = run_query_experiment(
+        "fig8",
+        &cfg,
+        &datasets,
+        &CORNER_SETS,
+        Workload::Linf,
+        QueryKind::Distance,
+        &plans,
+    );
+    table.finish();
+    println!(
+        "\nexpected shape (paper Fig. 8): Dijkstra orders of magnitude slower;\n\
+         SILC competitive on Q1 for the small datasets; CH/TNR/SILC similar on Q4;\n\
+         TNR ~10x faster than CH on Q7/Q10."
+    );
+}

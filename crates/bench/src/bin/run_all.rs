@@ -1,0 +1,36 @@
+//! Runs every experiment binary in sequence (the full reproduction).
+//! Individual experiments can be run directly; this wrapper is what
+//! regenerates all CSVs under `results/`.
+
+use std::process::Command;
+
+fn main() {
+    let exes = [
+        "table1_datasets",
+        "verify_all",
+        "fig6_space_preproc",
+        "fig7_silc_vs_pcpd",
+        "fig8_distance_vs_n",
+        "fig9_distance_vs_qset",
+        "fig10_path_vs_n",
+        "fig11_path_vs_qset",
+        "table2_delta",
+        "appendix_a_alt",
+        "appendix_b_defect",
+        "fig13_tnr_variants_cost",
+        "fig14_tnr_variants_distance",
+        "fig15_tnr_variants_path",
+        "fig16_distance_r",
+        "fig17_path_r",
+    ];
+    let self_path = std::env::current_exe().expect("own path");
+    let dir = self_path.parent().expect("bin dir");
+    for exe in exes {
+        println!("\n=============================== {exe} ===============================");
+        let status = Command::new(dir.join(exe))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exe}: {e}"));
+        assert!(status.success(), "{exe} failed");
+    }
+    println!("\nall experiments complete; CSVs under results/.");
+}

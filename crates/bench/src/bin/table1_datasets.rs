@@ -1,0 +1,33 @@
+//! Table 1: dataset characteristics — paper values beside the scaled
+//! synthetic stand-ins actually built at the configured `SPQ_SCALE`.
+
+use spq_bench::{build_dataset, datasets_up_to, Config, ResultTable};
+
+fn main() {
+    let cfg = Config::from_env();
+    let mut table = ResultTable::new(
+        "table1",
+        &[
+            "Name",
+            "Region",
+            "paper n",
+            "paper m",
+            "built n",
+            "built m(arcs)",
+            "avg degree",
+        ],
+    );
+    for d in datasets_up_to("US") {
+        let net = build_dataset(d, &cfg);
+        table.row(vec![
+            d.name.to_string(),
+            d.region.to_string(),
+            d.paper_vertices.to_string(),
+            d.paper_edges.to_string(),
+            net.num_nodes().to_string(),
+            net.num_arcs().to_string(),
+            format!("{:.2}", net.num_arcs() as f64 / net.num_nodes() as f64),
+        ]);
+    }
+    table.finish();
+}

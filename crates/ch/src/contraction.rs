@@ -1,0 +1,602 @@
+//! The contraction process: witness searches, shortcut insertion, and the
+//! frozen hierarchy.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use spq_graph::size::IndexSize;
+use spq_graph::types::{Dist, NodeId, Weight, INFINITY, INVALID_NODE};
+use spq_graph::RoadNetwork;
+
+use crate::ordering::{OrderingState, PriorityWeights};
+
+/// Tuning knobs of the contraction process.
+#[derive(Debug, Clone, Copy)]
+pub struct ChParams {
+    /// Priority formula coefficients.
+    pub priority: PriorityWeights,
+    /// Witness searches stop after settling this many vertices. A smaller
+    /// limit speeds preprocessing but may insert superfluous shortcuts
+    /// (never incorrect ones).
+    pub witness_settle_limit: usize,
+}
+
+impl Default for ChParams {
+    fn default() -> Self {
+        ChParams {
+            priority: PriorityWeights::default(),
+            witness_settle_limit: 64,
+        }
+    }
+}
+
+/// One edge of the remaining ("overlay") graph during contraction, or of
+/// the frozen upward graph. `middle` is the contracted vertex a shortcut
+/// replaces — the *tag* of §3.2 — or `INVALID_NODE` for original edges.
+#[derive(Debug, Clone, Copy)]
+struct OEdge {
+    to: NodeId,
+    weight: Weight,
+    middle: NodeId,
+}
+
+/// The mutable remaining graph.
+struct Overlay {
+    adj: Vec<Vec<OEdge>>,
+    contracted: Vec<bool>,
+}
+
+impl Overlay {
+    fn from_network(net: &RoadNetwork) -> Self {
+        let n = net.num_nodes();
+        let mut adj = vec![Vec::new(); n];
+        for v in 0..n as NodeId {
+            adj[v as usize] = net
+                .neighbors(v)
+                .map(|(to, weight)| OEdge {
+                    to,
+                    weight,
+                    middle: INVALID_NODE,
+                })
+                .collect();
+        }
+        Overlay {
+            adj,
+            contracted: vec![false; n],
+        }
+    }
+
+    /// Live neighbours of `v` (skipping contracted endpoints).
+    fn live_edges<'a>(&'a self, v: NodeId) -> impl Iterator<Item = OEdge> + 'a {
+        self.adj[v as usize]
+            .iter()
+            .copied()
+            .filter(|e| !self.contracted[e.to as usize])
+    }
+
+    /// Inserts or improves the undirected edge {u, w}.
+    fn upsert(&mut self, u: NodeId, w: NodeId, weight: Weight, middle: NodeId) {
+        for (a, b) in [(u, w), (w, u)] {
+            match self.adj[a as usize].iter_mut().find(|e| e.to == b) {
+                Some(e) => {
+                    if weight < e.weight {
+                        e.weight = weight;
+                        e.middle = middle;
+                    }
+                }
+                None => self.adj[a as usize].push(OEdge {
+                    to: b,
+                    weight,
+                    middle,
+                }),
+            }
+        }
+    }
+}
+
+/// A bounded Dijkstra over the overlay used to find *witness paths*:
+/// contracting `v`, a shortcut (u, w) is unnecessary iff some path from u
+/// to w avoiding v is no longer than via v.
+struct WitnessSearch {
+    dist: Vec<Dist>,
+    stamp: Vec<u32>,
+    version: u32,
+    heap: BinaryHeap<Reverse<(Dist, NodeId)>>,
+}
+
+impl WitnessSearch {
+    fn new(n: usize) -> Self {
+        WitnessSearch {
+            dist: vec![INFINITY; n],
+            stamp: vec![0; n],
+            version: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Runs from `source` over the overlay, skipping `excluded` and all
+    /// contracted vertices, up to `cutoff` distance and `settle_limit`
+    /// settles. Afterwards [`WitnessSearch::distance`] answers for any
+    /// vertex reached within those bounds.
+    fn run(
+        &mut self,
+        overlay: &Overlay,
+        source: NodeId,
+        excluded: NodeId,
+        cutoff: Dist,
+        settle_limit: usize,
+    ) {
+        self.version = self.version.wrapping_add(1);
+        if self.version == 0 {
+            self.stamp.fill(0);
+            self.version = 1;
+        }
+        self.heap.clear();
+        self.dist[source as usize] = 0;
+        self.stamp[source as usize] = self.version;
+        self.heap.push(Reverse((0, source)));
+        let mut settled = 0usize;
+        while let Some(Reverse((d, u))) = self.heap.pop() {
+            if d > self.dist_of(u) {
+                continue; // stale entry
+            }
+            settled += 1;
+            if settled > settle_limit || d > cutoff {
+                break;
+            }
+            for e in overlay.live_edges(u) {
+                if e.to == excluded {
+                    continue;
+                }
+                let nd = d + e.weight as Dist;
+                if nd <= cutoff && nd < self.dist_of(e.to) {
+                    self.dist[e.to as usize] = nd;
+                    self.stamp[e.to as usize] = self.version;
+                    self.heap.push(Reverse((nd, e.to)));
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn dist_of(&self, v: NodeId) -> Dist {
+        if self.stamp[v as usize] == self.version {
+            self.dist[v as usize]
+        } else {
+            INFINITY
+        }
+    }
+
+    /// Distance found by the last run (may be an overestimate if the
+    /// bounded search gave up — that is safe: it only adds shortcuts).
+    #[inline]
+    fn distance(&self, v: NodeId) -> Dist {
+        self.dist_of(v)
+    }
+}
+
+/// The frozen Contraction Hierarchies index.
+///
+/// Stores the total order (as ranks) and, per vertex, its *upward* edges:
+/// the overlay edges it had at the moment it was contracted, all of which
+/// lead to higher-ranked vertices. Queries search only this upward graph;
+/// shortcuts carry their middle-vertex tag for unpacking.
+#[derive(Debug, Clone)]
+pub struct ContractionHierarchy {
+    /// Position of each vertex in the total order (0 = contracted first).
+    rank: Box<[u32]>,
+    up_first: Box<[u32]>,
+    up_head: Box<[NodeId]>,
+    up_weight: Box<[Weight]>,
+    up_middle: Box<[NodeId]>,
+    num_shortcuts: usize,
+}
+
+impl ContractionHierarchy {
+    /// Builds with default parameters and the heuristic node order.
+    pub fn build(net: &RoadNetwork) -> Self {
+        Self::build_with_params(net, &ChParams::default())
+    }
+
+    /// Builds with explicit parameters.
+    pub fn build_with_params(net: &RoadNetwork, params: &ChParams) -> Self {
+        let n = net.num_nodes();
+        let mut overlay = Overlay::from_network(net);
+        let mut witness = WitnessSearch::new(n);
+        let mut state = OrderingState::new(n, params.priority);
+        let mut scratch = Vec::new();
+
+        // Initial lazy priority queue.
+        let mut queue: BinaryHeap<Reverse<(i64, NodeId)>> = BinaryHeap::with_capacity(n);
+        for v in 0..n as NodeId {
+            let (sc, inc) = simulate(
+                &overlay,
+                &mut witness,
+                v,
+                params.witness_settle_limit,
+                &mut scratch,
+            );
+            queue.push(Reverse((state.priority(v, sc.len(), inc), v)));
+        }
+
+        let mut order = Vec::with_capacity(n);
+        let mut upward: Vec<Vec<OEdge>> = vec![Vec::new(); n];
+        let mut num_shortcuts = 0usize;
+        while let Some(Reverse((prio, v))) = queue.pop() {
+            if overlay.contracted[v as usize] {
+                continue; // stale duplicate
+            }
+            // Lazy update: recompute; if no longer minimal, requeue.
+            let (shortcuts, incident) = simulate(
+                &overlay,
+                &mut witness,
+                v,
+                params.witness_settle_limit,
+                &mut scratch,
+            );
+            let fresh = state.priority(v, shortcuts.len(), incident);
+            if fresh > prio {
+                if let Some(&Reverse((top, _))) = queue.peek() {
+                    if fresh > top {
+                        queue.push(Reverse((fresh, v)));
+                        continue;
+                    }
+                }
+            }
+
+            // Contract v: freeze its upward edges, insert its shortcuts.
+            upward[v as usize] = overlay.live_edges(v).collect();
+            overlay.contracted[v as usize] = true;
+            for &(u, w, weight) in &shortcuts {
+                overlay.upsert(u, w, weight, v);
+                num_shortcuts += 1;
+            }
+            for e in upward[v as usize].clone() {
+                state.on_contract_neighbor(v, e.to);
+            }
+            order.push(v);
+        }
+        debug_assert_eq!(order.len(), n);
+
+        Self::freeze(n, &order, upward, num_shortcuts)
+    }
+
+    /// Builds using an explicit contraction order (`order[0]` contracted
+    /// first). Used by tests to replay the paper's worked example and by
+    /// ablation benches.
+    pub fn build_with_order(net: &RoadNetwork, order: &[NodeId]) -> Self {
+        let n = net.num_nodes();
+        assert_eq!(order.len(), n, "order must mention every vertex once");
+        let params = ChParams::default();
+        let mut overlay = Overlay::from_network(net);
+        let mut witness = WitnessSearch::new(n);
+        let mut scratch = Vec::new();
+        let mut upward: Vec<Vec<OEdge>> = vec![Vec::new(); n];
+        let mut num_shortcuts = 0usize;
+        for &v in order {
+            assert!(!overlay.contracted[v as usize], "duplicate in order");
+            let (shortcuts, _) = simulate(
+                &overlay,
+                &mut witness,
+                v,
+                params.witness_settle_limit,
+                &mut scratch,
+            );
+            upward[v as usize] = overlay.live_edges(v).collect();
+            overlay.contracted[v as usize] = true;
+            for &(u, w, weight) in &shortcuts {
+                overlay.upsert(u, w, weight, v);
+                num_shortcuts += 1;
+            }
+        }
+        Self::freeze(n, order, upward, num_shortcuts)
+    }
+
+    fn freeze(
+        n: usize,
+        order: &[NodeId],
+        upward: Vec<Vec<OEdge>>,
+        num_shortcuts: usize,
+    ) -> Self {
+        let mut rank = vec![0u32; n];
+        for (r, &v) in order.iter().enumerate() {
+            rank[v as usize] = r as u32;
+        }
+        let mut up_first = vec![0u32; n + 1];
+        for v in 0..n {
+            up_first[v + 1] = up_first[v] + upward[v].len() as u32;
+        }
+        let total = up_first[n] as usize;
+        let mut up_head = vec![0 as NodeId; total];
+        let mut up_weight = vec![0 as Weight; total];
+        let mut up_middle = vec![INVALID_NODE; total];
+        for v in 0..n {
+            let base = up_first[v] as usize;
+            // Sorting by target rank descending helps queries terminate
+            // earlier; sorting by anything fixed keeps builds deterministic.
+            let mut edges = upward[v].clone();
+            edges.sort_unstable_by_key(|e| (rank[e.to as usize], e.to));
+            for (i, e) in edges.iter().enumerate() {
+                debug_assert!(rank[e.to as usize] > rank[v], "upward edge must ascend");
+                up_head[base + i] = e.to;
+                up_weight[base + i] = e.weight;
+                up_middle[base + i] = e.middle;
+            }
+        }
+        ContractionHierarchy {
+            rank: rank.into_boxed_slice(),
+            up_first: up_first.into_boxed_slice(),
+            up_head: up_head.into_boxed_slice(),
+            up_weight: up_weight.into_boxed_slice(),
+            up_middle: up_middle.into_boxed_slice(),
+            num_shortcuts,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// Rank of `v` in the total order (0 = least important).
+    #[inline]
+    pub fn rank(&self, v: NodeId) -> u32 {
+        self.rank[v as usize]
+    }
+
+    /// Total number of shortcuts inserted during preprocessing.
+    #[inline]
+    pub fn num_shortcuts(&self) -> usize {
+        self.num_shortcuts
+    }
+
+    /// Number of upward edges (original + shortcut) in the search graph.
+    #[inline]
+    pub fn num_upward_edges(&self) -> usize {
+        self.up_head.len()
+    }
+
+    /// Upward edges of `v` as `(edge_index, head, weight)`.
+    #[inline]
+    pub fn upward_edges(
+        &self,
+        v: NodeId,
+    ) -> impl Iterator<Item = (u32, NodeId, Weight)> + '_ {
+        let lo = self.up_first[v as usize];
+        let hi = self.up_first[v as usize + 1];
+        (lo..hi).map(move |e| (e, self.up_head[e as usize], self.up_weight[e as usize]))
+    }
+
+    /// The middle-vertex tag of upward edge `e` (`INVALID_NODE` for an
+    /// original road edge).
+    #[inline]
+    pub fn edge_middle(&self, e: u32) -> NodeId {
+        self.up_middle[e as usize]
+    }
+
+    /// Head of upward edge `e`.
+    #[inline]
+    pub fn edge_head(&self, e: u32) -> NodeId {
+        self.up_head[e as usize]
+    }
+
+    /// Weight of upward edge `e`.
+    #[inline]
+    pub fn edge_weight(&self, e: u32) -> Weight {
+        self.up_weight[e as usize]
+    }
+
+    /// Finds the upward edge from `v` to `to`, if present (unique after
+    /// deduplication). Used by shortcut unpacking.
+    pub fn upward_edge_to(&self, v: NodeId, to: NodeId) -> Option<u32> {
+        self.upward_edges(v)
+            .find(|&(_, h, _)| h == to)
+            .map(|(e, _, _)| e)
+    }
+
+    /// Raw arrays for persistence: `(rank, up_first, up_head, up_weight,
+    /// up_middle)`.
+    pub(crate) fn raw_parts(&self) -> RawParts<'_> {
+        (
+            &self.rank,
+            &self.up_first,
+            &self.up_head,
+            &self.up_weight,
+            &self.up_middle,
+        )
+    }
+
+    /// Rebuilds a hierarchy from persisted arrays, validating structural
+    /// invariants (CSR shape, rank permutation, ascending edges).
+    pub(crate) fn from_raw_parts(
+        rank: Vec<u32>,
+        up_first: Vec<u32>,
+        up_head: Vec<NodeId>,
+        up_weight: Vec<Weight>,
+        up_middle: Vec<NodeId>,
+        num_shortcuts: usize,
+    ) -> Result<Self, String> {
+        let n = rank.len();
+        if up_first.len() != n + 1 {
+            return Err("up_first length must be n + 1".into());
+        }
+        let arcs = *up_first.last().unwrap_or(&0) as usize;
+        if up_head.len() != arcs || up_weight.len() != arcs || up_middle.len() != arcs {
+            return Err("edge section lengths disagree".into());
+        }
+        if up_first.windows(2).any(|w| w[0] > w[1]) {
+            return Err("up_first must be non-decreasing".into());
+        }
+        let mut seen = vec![false; n];
+        for &r in &rank {
+            let r = r as usize;
+            if r >= n || seen[r] {
+                return Err("rank is not a permutation".into());
+            }
+            seen[r] = true;
+        }
+        for v in 0..n {
+            for e in up_first[v] as usize..up_first[v + 1] as usize {
+                let h = up_head[e] as usize;
+                if h >= n || rank[h] <= rank[v] {
+                    return Err("upward edge does not ascend".into());
+                }
+                let m = up_middle[e];
+                if m != INVALID_NODE && m as usize >= n {
+                    return Err("shortcut tag out of range".into());
+                }
+            }
+        }
+        Ok(ContractionHierarchy {
+            rank: rank.into_boxed_slice(),
+            up_first: up_first.into_boxed_slice(),
+            up_head: up_head.into_boxed_slice(),
+            up_weight: up_weight.into_boxed_slice(),
+            up_middle: up_middle.into_boxed_slice(),
+            num_shortcuts,
+        })
+    }
+}
+
+impl IndexSize for ContractionHierarchy {
+    fn index_size_bytes(&self) -> usize {
+        self.rank.len() * 4
+            + self.up_first.len() * 4
+            + self.up_head.len() * 4
+            + self.up_weight.len() * 4
+            + self.up_middle.len() * 4
+    }
+}
+
+/// Borrowed persistence view: `(rank, up_first, up_head, up_weight, up_middle)`.
+pub(crate) type RawParts<'a> = (&'a [u32], &'a [u32], &'a [NodeId], &'a [Weight], &'a [NodeId]);
+
+/// Simulates contracting `v`: returns the shortcuts it would create (as
+/// `(u, w, weight)` with `u`, `w` live neighbours) and its live degree.
+fn simulate(
+    overlay: &Overlay,
+    witness: &mut WitnessSearch,
+    v: NodeId,
+    settle_limit: usize,
+    neighbors_scratch: &mut Vec<OEdge>,
+) -> (Vec<(NodeId, NodeId, Weight)>, usize) {
+    neighbors_scratch.clear();
+    neighbors_scratch.extend(overlay.live_edges(v));
+    let neighbors = &*neighbors_scratch;
+    let mut shortcuts = Vec::new();
+    for (i, eu) in neighbors.iter().enumerate() {
+        if i + 1 == neighbors.len() {
+            break;
+        }
+        // One witness search from u covers all pairs (u, w), w after u.
+        let cutoff = neighbors[i + 1..]
+            .iter()
+            .map(|ew| eu.weight as Dist + ew.weight as Dist)
+            .max()
+            .unwrap_or(0);
+        witness.run(overlay, eu.to, v, cutoff, settle_limit);
+        for ew in &neighbors[i + 1..] {
+            if ew.to == eu.to {
+                continue;
+            }
+            let via_v = eu.weight as Dist + ew.weight as Dist;
+            if witness.distance(ew.to) > via_v {
+                debug_assert!(via_v <= Weight::MAX as Dist, "shortcut weight overflow");
+                shortcuts.push((eu.to, ew.to, via_v as Weight));
+            }
+        }
+    }
+    (shortcuts, neighbors.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_graph::toy::figure1;
+
+    /// Replays §3.2's worked example: contracting v1..v8 in order creates
+    /// exactly c1 = (v3, v8, 2) at v1, c2 = (v7, v6, 2) at v5, and
+    /// c3 = (v7, v8, 4) at v6.
+    #[test]
+    fn figure2_shortcuts() {
+        let g = figure1();
+        let order: Vec<NodeId> = (0..8).collect();
+        let ch = ContractionHierarchy::build_with_order(&g, &order);
+        assert_eq!(ch.num_shortcuts(), 3);
+
+        // c1: when v1 (id 0) is contracted it connects v3 (2) and v8 (7).
+        // The shortcut shows up as an upward edge of whichever endpoint is
+        // contracted earlier: v3 at rank 2 < v8 at rank 7.
+        let e = ch.upward_edge_to(2, 7).expect("c1 exists");
+        assert_eq!(ch.edge_weight(e), 2);
+        assert_eq!(ch.edge_middle(e), 0);
+
+        // c2: contracting v5 (4) connects v7 (6) and v6 (5); v6 is lower.
+        let e = ch.upward_edge_to(5, 6).expect("c2 exists");
+        assert_eq!(ch.edge_weight(e), 2);
+        assert_eq!(ch.edge_middle(e), 4);
+
+        // c3: contracting v6 (5) connects v7 (6) and v8 (7); v7 is lower.
+        let e = ch.upward_edge_to(6, 7).expect("c3 exists");
+        assert_eq!(ch.edge_weight(e), 4);
+        assert_eq!(ch.edge_middle(e), 5);
+    }
+
+    #[test]
+    fn v2_contraction_creates_no_shortcut() {
+        // §3.2: after v1 is contracted, v2's neighbours v3 and v8 are
+        // already connected by c1 (weight 2) which is not longer than the
+        // path through v2 (1 + 2 = 3), so no shortcut appears.
+        let g = figure1();
+        let ch = ContractionHierarchy::build_with_order(&g, &(0..8).collect::<Vec<_>>());
+        // v2 has id 1; its upward edges are its original ones only, and no
+        // shortcut anywhere is tagged with middle v2.
+        for v in 0..8u32 {
+            for (e, _, _) in ch.upward_edges(v) {
+                assert_ne!(ch.edge_middle(e), 1, "no shortcut may be tagged v2");
+            }
+        }
+    }
+
+    #[test]
+    fn upward_edges_all_ascend() {
+        let g = figure1();
+        let ch = ContractionHierarchy::build(&g);
+        for v in 0..8u32 {
+            for (_, h, _) in ch.upward_edges(v) {
+                assert!(ch.rank(h) > ch.rank(v));
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_are_a_permutation() {
+        let g = figure1();
+        let ch = ContractionHierarchy::build(&g);
+        let mut seen = [false; 8];
+        for v in 0..8u32 {
+            let r = ch.rank(v) as usize;
+            assert!(!seen[r]);
+            seen[r] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn heuristic_order_creates_few_shortcuts_on_figure1() {
+        let g = figure1();
+        let ch = ContractionHierarchy::build(&g);
+        // The identity order needs 3; a sensible heuristic should not be
+        // dramatically worse on this tiny graph.
+        assert!(ch.num_shortcuts() <= 5, "got {}", ch.num_shortcuts());
+    }
+
+    #[test]
+    fn index_size_counts_all_arrays() {
+        let g = figure1();
+        let ch = ContractionHierarchy::build(&g);
+        let expect = 8 * 4 + 9 * 4 + ch.num_upward_edges() * 12;
+        assert_eq!(ch.index_size_bytes(), expect);
+    }
+}

@@ -1,0 +1,46 @@
+//! Contraction Hierarchies (CH), the vertex-importance-based index of
+//! Geisberger et al. evaluated as the paper's §3.2 technique.
+//!
+//! Preprocessing imposes a total order on the vertices (heuristically, by
+//! repeatedly contracting the least important remaining vertex), inserting
+//! a *shortcut* edge between two neighbours of a contracted vertex
+//! whenever the shortest path between them runs through it. Queries run a
+//! bidirectional Dijkstra that only relaxes edges leading to higher-ranked
+//! vertices; shortest-path queries additionally unpack shortcuts back into
+//! original edges using the contracted-vertex tag each shortcut carries.
+//!
+//! The crate exposes three layers:
+//!
+//! * [`ContractionHierarchy`] — the preprocessed index ([`build`] /
+//!   [`build_with_params`] / [`build_with_order`]).
+//! * [`ChQuery`] — a reusable query workspace for distance and
+//!   shortest-path queries.
+//! * [`ManyToMany`] — bucket-based distance tables between node sets,
+//!   the engine behind TNR's preprocessing (paper §4.1: "we employed CH
+//!   to accelerate the shortest path computation required in the
+//!   preprocessing steps of SILC, PCPD, and TNR").
+//!
+//! # Example
+//!
+//! ```
+//! use spq_graph::toy::figure1;
+//! use spq_ch::{ContractionHierarchy, ChQuery};
+//!
+//! let g = figure1();
+//! let ch = ContractionHierarchy::build(&g);
+//! let mut q = ChQuery::new(&ch);
+//! assert_eq!(q.distance(2, 6), Some(6)); // dist(v3, v7), paper §3.2
+//! let (d, path) = q.shortest_path(2, 6).unwrap();
+//! assert_eq!(d, 6);
+//! assert_eq!(g.path_length(&path), Some(6)); // unpacked to real edges
+//! ```
+
+pub mod contraction;
+pub mod many2many;
+pub mod ordering;
+pub mod persist;
+pub mod query;
+
+pub use contraction::{ChParams, ContractionHierarchy};
+pub use many2many::ManyToMany;
+pub use query::ChQuery;

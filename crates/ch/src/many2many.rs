@@ -1,0 +1,207 @@
+//! Bucket-based many-to-many distance tables over a hierarchy.
+//!
+//! TNR's preprocessing needs two kinds of bulk distance computations
+//! (paper §3.3): vertex → access-node distances within a cell, and the
+//! pairwise distances between all access nodes. Both reduce to
+//! many-to-many queries, which CH answers with the classic bucket
+//! technique: run an upward search from every target, deposit
+//! `(target, distance)` pairs at every settled vertex, then run an upward
+//! search from each source and combine at the shared vertices.
+
+use spq_graph::heap::IndexedHeap;
+use spq_graph::types::{Dist, NodeId, INFINITY};
+
+use crate::contraction::ContractionHierarchy;
+
+/// Many-to-many distance computation workspace.
+pub struct ManyToMany<'a> {
+    ch: &'a ContractionHierarchy,
+    dist: Vec<Dist>,
+    stamp: Vec<u32>,
+    version: u32,
+    heap: IndexedHeap,
+    /// `(vertex, dist)` pairs settled by the most recent upward search.
+    settled: Vec<(NodeId, Dist)>,
+    /// `buckets[v]` holds `(target_index, dist(v ↑ target))` entries.
+    buckets: Vec<Vec<(u32, Dist)>>,
+    touched_buckets: Vec<NodeId>,
+    /// Number of targets in the most recent [`ManyToMany::prepare_targets`].
+    prepared: usize,
+}
+
+impl<'a> ManyToMany<'a> {
+    /// Creates a workspace bound to `ch`.
+    pub fn new(ch: &'a ContractionHierarchy) -> Self {
+        let n = ch.num_nodes();
+        ManyToMany {
+            ch,
+            dist: vec![INFINITY; n],
+            stamp: vec![0; n],
+            version: 0,
+            heap: IndexedHeap::new(n),
+            settled: Vec::new(),
+            buckets: vec![Vec::new(); n],
+            touched_buckets: Vec::new(),
+            prepared: 0,
+        }
+    }
+
+    /// Exhaustive upward search from `root`, filling `self.settled`. The
+    /// upward search space is tiny (polylogarithmic in practice), so no
+    /// pruning is needed.
+    fn upward_search(&mut self, root: NodeId) {
+        self.version = self.version.wrapping_add(1);
+        if self.version == 0 {
+            self.stamp.fill(0);
+            self.version = 1;
+        }
+        let version = self.version;
+        self.heap.clear();
+        self.settled.clear();
+        self.dist[root as usize] = 0;
+        self.stamp[root as usize] = version;
+        self.heap.push_or_decrease(root, 0);
+        while let Some((d, u)) = self.heap.pop_min() {
+            self.settled.push((u, d));
+            for (_, h, w) in self.ch.upward_edges(u) {
+                let nd = d + w as Dist;
+                let hi = h as usize;
+                if self.stamp[hi] != version || nd < self.dist[hi] {
+                    self.dist[hi] = nd;
+                    self.stamp[hi] = version;
+                    self.heap.push_or_decrease(h, nd);
+                }
+            }
+        }
+    }
+
+    /// Phase 1 of the bucket algorithm: runs an upward search from every
+    /// target and deposits `(target_index, distance)` pairs at each
+    /// settled vertex. Afterwards [`ManyToMany::distances_from`] answers
+    /// one source at a time against this target set.
+    pub fn prepare_targets(&mut self, targets: &[NodeId]) {
+        for v in self.touched_buckets.drain(..) {
+            self.buckets[v as usize].clear();
+        }
+        self.prepared = targets.len();
+        for (j, &t) in targets.iter().enumerate() {
+            self.upward_search(t);
+            for i in 0..self.settled.len() {
+                let (v, d) = self.settled[i];
+                let bucket = &mut self.buckets[v as usize];
+                if bucket.is_empty() {
+                    self.touched_buckets.push(v);
+                }
+                bucket.push((j as u32, d));
+            }
+        }
+    }
+
+    /// Phase 2 for a single source: fills `row` (length = number of
+    /// prepared targets) with the distances from `source`.
+    pub fn distances_from(&mut self, source: NodeId, row: &mut [Dist]) {
+        assert_eq!(row.len(), self.prepared, "row must match prepare_targets");
+        row.fill(INFINITY);
+        self.upward_search(source);
+        for i in 0..self.settled.len() {
+            let (v, d) = self.settled[i];
+            for &(j, dt) in &self.buckets[v as usize] {
+                let total = d + dt;
+                if total < row[j as usize] {
+                    row[j as usize] = total;
+                }
+            }
+        }
+    }
+
+    /// Computes the full `sources × targets` distance table, row-major:
+    /// entry `i * targets.len() + j` is `dist(sources[i], targets[j])`
+    /// ([`INFINITY`] only if unreachable, impossible on connected
+    /// networks).
+    pub fn table(&mut self, sources: &[NodeId], targets: &[NodeId]) -> Vec<Dist> {
+        self.prepare_targets(targets);
+        let m = targets.len();
+        let mut out = vec![INFINITY; sources.len() * m];
+        for (i, &s) in sources.iter().enumerate() {
+            // Split the output to satisfy the borrow checker cheaply.
+            let (_, rest) = out.split_at_mut(i * m);
+            self.distances_from(s, &mut rest[..m]);
+        }
+        out
+    }
+
+    /// Distances from one source to many targets.
+    pub fn one_to_many(&mut self, source: NodeId, targets: &[NodeId]) -> Vec<Dist> {
+        self.table(&[source], targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contraction::ContractionHierarchy;
+    use spq_graph::toy::{figure1, grid_graph};
+    use spq_dijkstra::Dijkstra;
+
+    #[test]
+    fn table_matches_dijkstra_on_figure1() {
+        let g = figure1();
+        let ch = ContractionHierarchy::build(&g);
+        let mut m2m = ManyToMany::new(&ch);
+        let sources = [0u32, 2, 6];
+        let targets = [1u32, 3, 5, 7];
+        let table = m2m.table(&sources, &targets);
+        let mut d = Dijkstra::new(g.num_nodes());
+        for (i, &s) in sources.iter().enumerate() {
+            d.run(&g, s);
+            for (j, &t) in targets.iter().enumerate() {
+                assert_eq!(
+                    table[i * targets.len() + j],
+                    d.distance(t).unwrap(),
+                    "pair ({s},{t})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_matches_dijkstra_on_grid() {
+        let g = grid_graph(8, 8);
+        let ch = ContractionHierarchy::build(&g);
+        let mut m2m = ManyToMany::new(&ch);
+        let sources: Vec<u32> = (0..16).collect();
+        let targets: Vec<u32> = (48..64).collect();
+        let table = m2m.table(&sources, &targets);
+        let mut d = Dijkstra::new(g.num_nodes());
+        for (i, &s) in sources.iter().enumerate() {
+            d.run(&g, s);
+            for (j, &t) in targets.iter().enumerate() {
+                assert_eq!(table[i * targets.len() + j], d.distance(t).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_clears_buckets() {
+        let g = grid_graph(5, 5);
+        let ch = ContractionHierarchy::build(&g);
+        let mut m2m = ManyToMany::new(&ch);
+        let t1 = m2m.table(&[0], &[24]);
+        let t2 = m2m.table(&[0], &[24]); // stale buckets would corrupt this
+        assert_eq!(t1, t2);
+        let t3 = m2m.one_to_many(24, &[0]);
+        assert_eq!(t1, t3); // undirected symmetry
+    }
+
+    #[test]
+    fn self_distances_are_zero() {
+        let g = grid_graph(4, 4);
+        let ch = ContractionHierarchy::build(&g);
+        let mut m2m = ManyToMany::new(&ch);
+        let nodes: Vec<u32> = (0..16).collect();
+        let table = m2m.table(&nodes, &nodes);
+        for i in 0..16 {
+            assert_eq!(table[i * 16 + i], 0);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Node-ordering heuristics for the contraction process.
+//!
+//! The paper (§3.2) notes that CH's efficiency is determined by the total
+//! order and that "existing work on CH has suggested several heuristic
+//! approaches for deriving a favorable ordering". This module implements
+//! the classic linear combination used by Geisberger et al.'s reference
+//! implementation (which the paper adopted, §4.1): *edge difference* +
+//! *deleted neighbours* + *hierarchy level*, evaluated lazily.
+
+use spq_graph::types::NodeId;
+
+/// Coefficients of the priority formula. Larger priority = contracted
+/// later = more important.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PriorityWeights {
+    /// Weight of the edge difference (#shortcuts − #incident edges).
+    pub edge_difference: i64,
+    /// Weight of the number of already-contracted neighbours (spreads
+    /// contraction evenly across the network).
+    pub deleted_neighbors: i64,
+    /// Weight of the hierarchy level lower bound (keeps the hierarchy
+    /// shallow).
+    pub level: i64,
+}
+
+impl Default for PriorityWeights {
+    fn default() -> Self {
+        PriorityWeights {
+            edge_difference: 4,
+            deleted_neighbors: 2,
+            level: 1,
+        }
+    }
+}
+
+/// Per-node ordering state maintained during contraction.
+#[derive(Debug)]
+pub struct OrderingState {
+    weights: PriorityWeights,
+    /// Number of contracted neighbours of each remaining node.
+    pub deleted: Vec<u32>,
+    /// Lower bound on each node's hierarchy level.
+    pub level: Vec<u32>,
+}
+
+impl OrderingState {
+    /// Initial state for `n` nodes.
+    pub fn new(n: usize, weights: PriorityWeights) -> Self {
+        OrderingState {
+            weights,
+            deleted: vec![0; n],
+            level: vec![0; n],
+        }
+    }
+
+    /// Combines the simulation result for a node into its priority.
+    #[inline]
+    pub fn priority(&self, v: NodeId, shortcuts: usize, incident_edges: usize) -> i64 {
+        let ed = shortcuts as i64 - incident_edges as i64;
+        self.weights.edge_difference * ed
+            + self.weights.deleted_neighbors * self.deleted[v as usize] as i64
+            + self.weights.level * self.level[v as usize] as i64
+    }
+
+    /// Records that `v` was contracted and `u` is a surviving neighbour.
+    #[inline]
+    pub fn on_contract_neighbor(&mut self, contracted: NodeId, u: NodeId) {
+        self.deleted[u as usize] += 1;
+        let lv = self.level[contracted as usize] + 1;
+        if self.level[u as usize] < lv {
+            self.level[u as usize] = lv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_orders_by_edge_difference() {
+        let st = OrderingState::new(4, PriorityWeights::default());
+        // A node producing fewer shortcuts than it removes is cheap.
+        assert!(st.priority(0, 0, 3) < st.priority(1, 3, 3));
+        assert!(st.priority(1, 3, 3) < st.priority(2, 6, 2));
+    }
+
+    #[test]
+    fn deleted_neighbors_raise_priority() {
+        let mut st = OrderingState::new(2, PriorityWeights::default());
+        let before = st.priority(0, 1, 2);
+        st.on_contract_neighbor(1, 0);
+        assert!(st.priority(0, 1, 2) > before);
+        assert_eq!(st.deleted[0], 1);
+        assert_eq!(st.level[0], 1);
+    }
+
+    #[test]
+    fn levels_propagate_max() {
+        let mut st = OrderingState::new(3, PriorityWeights::default());
+        st.level[1] = 5;
+        st.on_contract_neighbor(1, 2);
+        assert_eq!(st.level[2], 6);
+        st.on_contract_neighbor(0, 2); // level 0 + 1 < 6: unchanged
+        assert_eq!(st.level[2], 6);
+        assert_eq!(st.deleted[2], 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! Binary persistence for contraction hierarchies.
+//!
+//! CH preprocessing is cheap (minutes on the paper's largest dataset)
+//! but still worth doing once: a routing service restarts with a
+//! `read_binary` in milliseconds instead of re-contracting.
+
+use std::io::{self, Read, Write};
+
+use spq_graph::binio;
+
+use crate::contraction::ContractionHierarchy;
+
+const MAGIC: &[u8; 4] = b"SPQC";
+const VERSION: u32 = 1;
+
+impl ContractionHierarchy {
+    /// Serialises the hierarchy (ranks + upward graph + shortcut tags).
+    pub fn write_binary(&self, w: &mut impl Write) -> io::Result<()> {
+        binio::write_header(w, MAGIC, VERSION)?;
+        binio::write_u64(w, self.num_shortcuts() as u64)?;
+        let (rank, up_first, up_head, up_weight, up_middle) = self.raw_parts();
+        binio::write_u32s(w, rank)?;
+        binio::write_u32s(w, up_first)?;
+        binio::write_u32s(w, up_head)?;
+        binio::write_u32s(w, up_weight)?;
+        binio::write_u32s(w, up_middle)?;
+        Ok(())
+    }
+
+    /// Deserialises a hierarchy written by
+    /// [`ContractionHierarchy::write_binary`].
+    pub fn read_binary(r: &mut impl Read) -> io::Result<ContractionHierarchy> {
+        let version = binio::read_header(r, MAGIC)?;
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported CH format version {version}"),
+            ));
+        }
+        let num_shortcuts = binio::read_u64(r)? as usize;
+        let rank = binio::read_u32s(r)?;
+        let up_first = binio::read_u32s(r)?;
+        let up_head = binio::read_u32s(r)?;
+        let up_weight = binio::read_u32s(r)?;
+        let up_middle = binio::read_u32s(r)?;
+        ContractionHierarchy::from_raw_parts(
+            rank,
+            up_first,
+            up_head,
+            up_weight,
+            up_middle,
+            num_shortcuts,
+        )
+        .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::ChQuery;
+    use spq_graph::toy::{figure1, grid_graph};
+    use spq_graph::types::NodeId;
+
+    #[test]
+    fn roundtrip_answers_identically() {
+        for g in [figure1(), grid_graph(6, 8)] {
+            let ch = ContractionHierarchy::build(&g);
+            let mut buf = Vec::new();
+            ch.write_binary(&mut buf).unwrap();
+            let ch2 = ContractionHierarchy::read_binary(&mut &buf[..]).unwrap();
+            assert_eq!(ch2.num_nodes(), ch.num_nodes());
+            assert_eq!(ch2.num_shortcuts(), ch.num_shortcuts());
+            let mut q1 = ChQuery::new(&ch);
+            let mut q2 = ChQuery::new(&ch2);
+            for s in 0..g.num_nodes() as NodeId {
+                for t in 0..g.num_nodes() as NodeId {
+                    assert_eq!(q1.distance(s, t), q2.distance(s, t));
+                    assert_eq!(
+                        q1.shortest_path(s, t).unwrap().1,
+                        q2.shortest_path(s, t).unwrap().1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_payloads() {
+        let g = figure1();
+        let ch = ContractionHierarchy::build(&g);
+        let mut buf = Vec::new();
+        ch.write_binary(&mut buf).unwrap();
+        buf[1] ^= 0xff;
+        assert!(ContractionHierarchy::read_binary(&mut &buf[..]).is_err());
+        // Structurally inconsistent: drop the trailing section.
+        let mut buf2 = Vec::new();
+        ch.write_binary(&mut buf2).unwrap();
+        buf2.truncate(buf2.len() - 9);
+        assert!(ContractionHierarchy::read_binary(&mut &buf2[..]).is_err());
+    }
+}

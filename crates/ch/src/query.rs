@@ -1,0 +1,361 @@
+//! CH distance and shortest-path queries (paper §3.2).
+
+use spq_graph::heap::IndexedHeap;
+use spq_graph::types::{Dist, NodeId, INFINITY, INVALID_NODE};
+
+use crate::contraction::ContractionHierarchy;
+
+const NO_EDGE: u32 = u32::MAX;
+
+/// One direction's workspace of the bidirectional upward search.
+#[derive(Debug, Clone)]
+struct Side {
+    dist: Vec<Dist>,
+    /// Upward-edge index that discovered each vertex (for path retrieval).
+    parent_edge: Vec<u32>,
+    parent: Vec<NodeId>,
+    stamp: Vec<u32>,
+    heap: IndexedHeap,
+}
+
+impl Side {
+    fn new(n: usize) -> Self {
+        Side {
+            dist: vec![INFINITY; n],
+            parent_edge: vec![NO_EDGE; n],
+            parent: vec![INVALID_NODE; n],
+            stamp: vec![0; n],
+            heap: IndexedHeap::new(n),
+        }
+    }
+
+    fn begin(&mut self, root: NodeId, version: u32) {
+        self.heap.clear();
+        self.dist[root as usize] = 0;
+        self.parent_edge[root as usize] = NO_EDGE;
+        self.parent[root as usize] = INVALID_NODE;
+        self.stamp[root as usize] = version;
+        self.heap.push_or_decrease(root, 0);
+    }
+
+    #[inline]
+    fn reached(&self, v: NodeId, version: u32) -> bool {
+        self.stamp[v as usize] == version
+    }
+}
+
+/// A reusable CH query workspace.
+///
+/// Distance queries run the modified bidirectional Dijkstra of §3.2: both
+/// traversals only follow edges (and shortcuts) leading to higher-ranked
+/// vertices, and — unlike plain bidirectional Dijkstra — they may not stop
+/// at the first meeting vertex ("there exist a few conditions that a
+/// traversal should fulfill before it can terminate"): each side runs
+/// until its queue minimum reaches the best connection found so far.
+///
+/// Shortest-path queries additionally unpack shortcuts: a shortcut tagged
+/// with contracted vertex `m` between `u` and `w` is recursively replaced
+/// by the hierarchy edges (u, m) and (m, w).
+#[derive(Debug, Clone)]
+pub struct ChQuery<'a> {
+    ch: &'a ContractionHierarchy,
+    fwd: Side,
+    bwd: Side,
+    version: u32,
+    /// Enables the stall-on-demand optimisation (skip expanding vertices
+    /// already proven suboptimal via a higher-ranked neighbour). On by
+    /// default; the ablation bench toggles it.
+    pub stall_on_demand: bool,
+    /// Vertices settled by the most recent query.
+    pub last_settled: usize,
+    /// Scratch stack for shortcut unpacking.
+    unpack_stack: Vec<(NodeId, NodeId, u32)>,
+}
+
+impl<'a> ChQuery<'a> {
+    /// Creates a workspace bound to `ch`.
+    pub fn new(ch: &'a ContractionHierarchy) -> Self {
+        let n = ch.num_nodes();
+        ChQuery {
+            ch,
+            fwd: Side::new(n),
+            bwd: Side::new(n),
+            version: 0,
+            stall_on_demand: true,
+            last_settled: 0,
+            unpack_stack: Vec::new(),
+        }
+    }
+
+    /// The hierarchy this workspace queries.
+    pub fn hierarchy(&self) -> &'a ContractionHierarchy {
+        self.ch
+    }
+
+    /// Distance query (§2): length of the shortest s–t path.
+    pub fn distance(&mut self, s: NodeId, t: NodeId) -> Option<Dist> {
+        self.search(s, t).map(|(d, _)| d)
+    }
+
+    /// Shortest-path query (§2): distance plus the full vertex sequence
+    /// in the original network, with all shortcuts unpacked.
+    pub fn shortest_path(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
+        let (d, meet) = self.search(s, t)?;
+        // The augmented path: s ..fwd.. meet ..bwd.. t, as hierarchy edges.
+        let mut path = vec![s];
+        // Forward half (s -> meet), collected backwards then reversed.
+        let mut fwd_edges = Vec::new();
+        let mut cur = meet;
+        while cur != s {
+            let e = self.fwd.parent_edge[cur as usize];
+            let from = self.fwd.parent[cur as usize];
+            fwd_edges.push((from, cur, e));
+            cur = from;
+        }
+        fwd_edges.reverse();
+        for (from, to, e) in fwd_edges {
+            self.append_unpacked(from, to, e, &mut path);
+        }
+        // Backward half (meet -> t): bwd parents walk toward t.
+        let mut cur = meet;
+        while cur != t {
+            let e = self.bwd.parent_edge[cur as usize];
+            let to = self.bwd.parent[cur as usize];
+            self.append_unpacked(cur, to, e, &mut path);
+            cur = to;
+        }
+        Some((d, path))
+    }
+
+    /// Appends the expansion of hierarchy edge `e` (known to connect
+    /// `from` to `to`, in that travel direction) to `path`, excluding
+    /// `from` itself. Iterative to survive very long shortcut chains.
+    fn append_unpacked(&mut self, from: NodeId, to: NodeId, e: u32, path: &mut Vec<NodeId>) {
+        debug_assert_eq!(path.last().copied(), Some(from));
+        self.unpack_stack.clear();
+        self.unpack_stack.push((from, to, e));
+        while let Some((a, b, e)) = self.unpack_stack.pop() {
+            let m = self.ch.edge_middle(e);
+            if m == INVALID_NODE {
+                path.push(b);
+            } else {
+                // Shortcut tagged m: replace with (a, m) then (m, b). The
+                // halves are upward edges *of m* (m was contracted before
+                // both endpoints). Push in reverse order: stack is LIFO.
+                let e1 = self
+                    .ch
+                    .upward_edge_to(m, a)
+                    .expect("shortcut half (m, a) must exist in the hierarchy");
+                let e2 = self
+                    .ch
+                    .upward_edge_to(m, b)
+                    .expect("shortcut half (m, b) must exist in the hierarchy");
+                self.unpack_stack.push((m, b, e2));
+                self.unpack_stack.push((a, m, e1));
+            }
+        }
+    }
+
+    /// The bidirectional upward search. Returns `(distance, meeting
+    /// vertex)`.
+    fn search(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, NodeId)> {
+        self.version = self.version.wrapping_add(1);
+        if self.version == 0 {
+            self.fwd.stamp.fill(0);
+            self.bwd.stamp.fill(0);
+            self.version = 1;
+        }
+        let version = self.version;
+        self.last_settled = 0;
+        self.fwd.begin(s, version);
+        self.bwd.begin(t, version);
+        if s == t {
+            return Some((0, s));
+        }
+
+        let mut mu = INFINITY;
+        let mut meet = INVALID_NODE;
+        loop {
+            let ftop = self.fwd.heap.peek_key().unwrap_or(INFINITY);
+            let btop = self.bwd.heap.peek_key().unwrap_or(INFINITY);
+            // Each side keeps running until its own minimum reaches mu:
+            // upward searches may improve mu after the frontiers first
+            // touch (the "few conditions" §3.2 alludes to).
+            if ftop.min(btop) >= mu {
+                break;
+            }
+            let side_is_fwd = if ftop >= mu {
+                false
+            } else if btop >= mu {
+                true
+            } else {
+                ftop <= btop
+            };
+            let (this, other) = if side_is_fwd {
+                (&mut self.fwd, &mut self.bwd)
+            } else {
+                (&mut self.bwd, &mut self.fwd)
+            };
+            let Some((d, u)) = this.heap.pop_min() else { break };
+            self.last_settled += 1;
+
+            // Meeting check: u reached by the other side.
+            if other.reached(u, version) {
+                let total = d + other.dist[u as usize];
+                if total < mu {
+                    mu = total;
+                    meet = u;
+                }
+            }
+
+            // Stall-on-demand: if a higher-ranked, already-settled
+            // neighbour offers a shorter way back down to u, u cannot be
+            // on a shortest up-down path; skip expanding it.
+            if self.stall_on_demand {
+                let mut stalled = false;
+                for (_, h, w) in self.ch.upward_edges(u) {
+                    if this.reached(h, version) && this.dist[h as usize] + (w as Dist) < d {
+                        stalled = true;
+                        break;
+                    }
+                }
+                if stalled {
+                    continue;
+                }
+            }
+
+            for (e, h, w) in self.ch.upward_edges(u) {
+                let nd = d + w as Dist;
+                let hi = h as usize;
+                if this.stamp[hi] != version || nd < this.dist[hi] {
+                    this.dist[hi] = nd;
+                    this.parent[hi] = u;
+                    this.parent_edge[hi] = e;
+                    this.stamp[hi] = version;
+                    this.heap.push_or_decrease(h, nd);
+                }
+            }
+        }
+
+        if meet == INVALID_NODE {
+            None
+        } else {
+            Some((mu, meet))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contraction::ContractionHierarchy;
+    use spq_graph::toy::{figure1, grid_graph};
+    use spq_graph::RoadNetwork;
+    use spq_dijkstra::Dijkstra;
+
+    fn check_all_pairs(g: &RoadNetwork, ch: &ContractionHierarchy) {
+        let n = g.num_nodes() as NodeId;
+        let mut q = ChQuery::new(ch);
+        let mut reference = Dijkstra::new(g.num_nodes());
+        for s in 0..n {
+            reference.run(g, s);
+            for t in 0..n {
+                let expect = reference.distance(t);
+                assert_eq!(q.distance(s, t), expect, "distance ({s},{t})");
+                let (d, path) = q.shortest_path(s, t).expect("path exists");
+                assert_eq!(Some(d), expect, "path length ({s},{t})");
+                assert_eq!(path.first().copied(), Some(s));
+                assert_eq!(path.last().copied(), Some(t));
+                assert_eq!(
+                    g.path_length(&path),
+                    expect,
+                    "path ({s},{t}) must be edge-valid and optimal: {path:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_worked_example() {
+        let g = figure1();
+        let ch = ContractionHierarchy::build_with_order(&g, &(0..8).collect::<Vec<_>>());
+        let mut q = ChQuery::new(&ch);
+        // §3.2: dist(v3, v7) = w(c1) + w(c3) = 6, met at v8.
+        assert_eq!(q.distance(2, 6), Some(6));
+        // The unpacked path must be v3 v1 v8 v6 v5 v7 (all real edges).
+        let (_, path) = q.shortest_path(2, 6).unwrap();
+        assert_eq!(path, vec![2, 0, 7, 5, 4, 6]);
+    }
+
+    #[test]
+    fn identity_order_all_pairs_exact() {
+        let g = figure1();
+        let ch = ContractionHierarchy::build_with_order(&g, &(0..8).collect::<Vec<_>>());
+        check_all_pairs(&g, &ch);
+    }
+
+    #[test]
+    fn heuristic_order_all_pairs_exact() {
+        let g = figure1();
+        let ch = ContractionHierarchy::build(&g);
+        check_all_pairs(&g, &ch);
+    }
+
+    #[test]
+    fn grid_all_pairs_exact() {
+        let g = grid_graph(7, 5);
+        let ch = ContractionHierarchy::build(&g);
+        check_all_pairs(&g, &ch);
+    }
+
+    #[test]
+    fn stalling_does_not_change_answers() {
+        let g = grid_graph(9, 9);
+        let ch = ContractionHierarchy::build(&g);
+        let mut with = ChQuery::new(&ch);
+        let mut without = ChQuery::new(&ch);
+        without.stall_on_demand = false;
+        for s in [0u32, 7, 40, 80] {
+            for t in [0u32, 8, 44, 72] {
+                assert_eq!(with.distance(s, t), without.distance(s, t));
+            }
+        }
+    }
+
+    #[test]
+    fn search_space_shrinks_relative_to_dijkstra() {
+        let g = grid_graph(30, 30);
+        let ch = ContractionHierarchy::build(&g);
+        let mut q = ChQuery::new(&ch);
+        let mut d = Dijkstra::new(g.num_nodes());
+        let (s, t) = (0u32, (g.num_nodes() - 1) as u32);
+        q.distance(s, t);
+        d.run_to_target(&g, s, t);
+        assert!(
+            q.last_settled * 3 < d.stats.settled,
+            "CH settled {} vs Dijkstra {}",
+            q.last_settled,
+            d.stats.settled
+        );
+    }
+
+    #[test]
+    fn synthetic_network_random_pairs_exact() {
+        let g = spq_synth::generate(&spq_synth::SynthParams::with_target_vertices(900, 3));
+        let ch = ContractionHierarchy::build(&g);
+        let mut q = ChQuery::new(&ch);
+        let mut d = Dijkstra::new(g.num_nodes());
+        let n = g.num_nodes() as u32;
+        let mut state = 0xdead_beefu64;
+        for _ in 0..60 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let s = ((state >> 33) % n as u64) as u32;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let t = ((state >> 33) % n as u64) as u32;
+            d.run_to_target(&g, s, t);
+            assert_eq!(q.distance(s, t), d.distance(t), "({s},{t})");
+            let (dist, path) = q.shortest_path(s, t).unwrap();
+            assert_eq!(g.path_length(&path), Some(dist), "({s},{t})");
+        }
+    }
+}

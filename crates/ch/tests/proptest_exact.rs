@@ -1,0 +1,48 @@
+//! Property: CH is exact on arbitrary connected positively-weighted
+//! graphs — distances equal Dijkstra's, paths are edge-valid and optimal.
+
+use proptest::prelude::*;
+use spq_ch::{ChQuery, ContractionHierarchy};
+use spq_dijkstra::Dijkstra;
+use spq_graph::arbitrary::small_connected_network;
+use spq_graph::types::NodeId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exact_on_arbitrary_graphs(net in small_connected_network()) {
+        let ch = ContractionHierarchy::build(&net);
+        let mut q = ChQuery::new(&ch);
+        let mut d = Dijkstra::new(net.num_nodes());
+        for s in 0..net.num_nodes() as NodeId {
+            d.run(&net, s);
+            for t in 0..net.num_nodes() as NodeId {
+                prop_assert_eq!(q.distance(s, t), d.distance(t));
+                let (pd, path) = q.shortest_path(s, t).unwrap();
+                prop_assert_eq!(Some(pd), d.distance(t));
+                prop_assert_eq!(net.path_length(&path), d.distance(t));
+            }
+        }
+    }
+
+    #[test]
+    fn upward_graph_invariants(net in small_connected_network()) {
+        let ch = ContractionHierarchy::build(&net);
+        for v in 0..net.num_nodes() as NodeId {
+            for (e, h, _) in ch.upward_edges(v) {
+                prop_assert!(ch.rank(h) > ch.rank(v));
+                let m = ch.edge_middle(e);
+                if m != spq_graph::types::INVALID_NODE {
+                    // Shortcut halves exist and their weights sum up.
+                    let e1 = ch.upward_edge_to(m, v).expect("half (m,v)");
+                    let e2 = ch.upward_edge_to(m, h).expect("half (m,h)");
+                    prop_assert_eq!(
+                        ch.edge_weight(e) as u64,
+                        ch.edge_weight(e1) as u64 + ch.edge_weight(e2) as u64
+                    );
+                }
+            }
+        }
+    }
+}

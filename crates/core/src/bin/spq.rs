@@ -1,0 +1,258 @@
+//! `spq` — command-line front end for the workspace.
+//!
+//! ```text
+//! spq registry                               list the Table-1 datasets
+//! spq generate --target N [--seed S] --out P write P.gr / P.co (DIMACS)
+//! spq info --net P                           network statistics
+//! spq prep --net P --out F.ch                build + persist a CH index
+//! spq query --net P --from S --to T          answer one query
+//!           [--technique dijkstra|ch|tnr|silc|pcpd] [--ch F.ch] [--path]
+//! spq verify --net P [--samples N]           certify all techniques
+//! ```
+//!
+//! `--net P` loads `P.gr` + `P.co` (DIMACS text).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use spq_core::{Index, Technique};
+use spq_graph::size::IndexSize;
+use spq_graph::RoadNetwork;
+use spq_synth::{SynthParams, DATASETS};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(|s| s.as_str()) {
+        Some("registry") => registry(),
+        Some("generate") => generate(&args[1..]),
+        Some("info") => info(&args[1..]),
+        Some("prep") => prep(&args[1..]),
+        Some("query") => query(&args[1..]),
+        Some("verify") => verify(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}' (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "spq — shortest path and distance queries on road networks\n\n\
+         commands:\n\
+         \x20 registry                               list the Table-1 datasets\n\
+         \x20 generate --target N [--seed S] --out P write P.gr / P.co\n\
+         \x20 info --net P                           network statistics\n\
+         \x20 prep --net P --out F.ch                build + persist a CH index\n\
+         \x20 query --net P --from S --to T [--technique T] [--ch F.ch] [--path]\n\
+         \x20 verify --net P [--samples N]           certify all techniques"
+    );
+}
+
+/// Extracts `--key value` from an argument list.
+fn opt<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
+fn required<'a>(args: &'a [String], key: &str) -> Result<&'a str, String> {
+    opt(args, key).ok_or_else(|| format!("missing required option {key}"))
+}
+
+fn load_net(base: &str) -> Result<RoadNetwork, String> {
+    let gr = File::open(format!("{base}.gr"))
+        .map_err(|e| format!("cannot open {base}.gr: {e}"))?;
+    let co = File::open(format!("{base}.co"))
+        .map_err(|e| format!("cannot open {base}.co: {e}"))?;
+    spq_graph::dimacs::read(BufReader::new(gr), BufReader::new(co))
+        .map_err(|e| format!("cannot parse {base}: {e}"))
+}
+
+fn registry() -> Result<(), String> {
+    println!("{:<6} {:<22} {:>12} {:>12}", "name", "region", "vertices", "edges");
+    for d in &DATASETS {
+        println!(
+            "{:<6} {:<22} {:>12} {:>12}",
+            d.name, d.region, d.paper_vertices, d.paper_edges
+        );
+    }
+    Ok(())
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let target: usize = required(args, "--target")?
+        .parse()
+        .map_err(|_| "--target must be an integer".to_string())?;
+    let seed: u64 = opt(args, "--seed")
+        .map(|s| s.parse().map_err(|_| "--seed must be an integer".to_string()))
+        .transpose()?
+        .unwrap_or(0x5eed_0002);
+    let out = required(args, "--out")?;
+    let net = spq_synth::generate(&SynthParams::with_target_vertices(target, seed));
+    let gr = File::create(format!("{out}.gr")).map_err(|e| e.to_string())?;
+    spq_graph::dimacs::write_gr(&net, BufWriter::new(gr)).map_err(|e| e.to_string())?;
+    let co = File::create(format!("{out}.co")).map_err(|e| e.to_string())?;
+    spq_graph::dimacs::write_co(&net, BufWriter::new(co)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}.gr / {out}.co — {} vertices, {} edges",
+        net.num_nodes(),
+        net.num_edges()
+    );
+    Ok(())
+}
+
+fn info(args: &[String]) -> Result<(), String> {
+    let net = load_net(required(args, "--net")?)?;
+    let rect = net.bounding_rect();
+    println!("vertices:    {}", net.num_nodes());
+    println!("edges:       {}", net.num_edges());
+    println!("arcs:        {}", net.num_arcs());
+    println!("max degree:  {}", net.max_degree());
+    println!(
+        "avg degree:  {:.2}",
+        net.num_arcs() as f64 / net.num_nodes() as f64
+    );
+    println!(
+        "bounding:    ({}, {}) .. ({}, {})",
+        rect.min_x, rect.min_y, rect.max_x, rect.max_y
+    );
+    println!("memory:      {:.2} MB (CSR + coordinates)", net.index_size_mb());
+    Ok(())
+}
+
+fn prep(args: &[String]) -> Result<(), String> {
+    let net = load_net(required(args, "--net")?)?;
+    let out = required(args, "--out")?;
+    let t0 = std::time::Instant::now();
+    let ch = spq_ch::ContractionHierarchy::build(&net);
+    let elapsed = t0.elapsed();
+    let f = File::create(out).map_err(|e| e.to_string())?;
+    let mut w = BufWriter::new(f);
+    ch.write_binary(&mut w).map_err(|e| e.to_string())?;
+    println!(
+        "built CH in {:.2?}: {} shortcuts, {:.2} MB -> {out}",
+        elapsed,
+        ch.num_shortcuts(),
+        ch.index_size_mb()
+    );
+    Ok(())
+}
+
+fn query(args: &[String]) -> Result<(), String> {
+    let net = load_net(required(args, "--net")?)?;
+    let s: u32 = required(args, "--from")?
+        .parse()
+        .map_err(|_| "--from must be a vertex id".to_string())?;
+    let t: u32 = required(args, "--to")?
+        .parse()
+        .map_err(|_| "--to must be a vertex id".to_string())?;
+    if s as usize >= net.num_nodes() || t as usize >= net.num_nodes() {
+        return Err(format!(
+            "vertex out of range (network has {} vertices)",
+            net.num_nodes()
+        ));
+    }
+    let want_path = flag(args, "--path");
+
+    // A persisted CH takes precedence; otherwise build per --technique.
+    if let Some(ch_path) = opt(args, "--ch") {
+        let f = File::open(ch_path).map_err(|e| format!("cannot open {ch_path}: {e}"))?;
+        let ch = spq_ch::ContractionHierarchy::read_binary(&mut BufReader::new(f))
+            .map_err(|e| format!("cannot load {ch_path}: {e}"))?;
+        if ch.num_nodes() != net.num_nodes() {
+            return Err("CH index does not match the network".into());
+        }
+        let mut q = spq_ch::ChQuery::new(&ch);
+        return answer(
+            "CH(file)",
+            q.distance(s, t),
+            want_path.then(|| q.shortest_path(s, t)).flatten(),
+            s,
+            t,
+        );
+    }
+
+    let technique = match opt(args, "--technique").unwrap_or("ch") {
+        "dijkstra" => Technique::BiDijkstra,
+        "ch" => Technique::Ch,
+        "tnr" => Technique::Tnr,
+        "silc" => Technique::Silc,
+        "pcpd" => Technique::Pcpd,
+        other => return Err(format!("unknown technique '{other}'")),
+    };
+    let (index, elapsed) = Index::build(technique, &net);
+    eprintln!("[{} preprocessing: {:.2?}]", technique.name(), elapsed);
+    let mut q = index.query(&net);
+    answer(
+        technique.name(),
+        q.distance(s, t),
+        want_path.then(|| q.shortest_path(s, t)).flatten(),
+        s,
+        t,
+    )
+}
+
+fn verify(args: &[String]) -> Result<(), String> {
+    let net = load_net(required(args, "--net")?)?;
+    let samples: usize = opt(args, "--samples")
+        .map(|s| s.parse().map_err(|_| "--samples must be an integer".to_string()))
+        .transpose()?
+        .unwrap_or(100);
+    let mut failed = false;
+    for technique in Technique::ALL {
+        if technique.needs_all_pairs() && net.num_nodes() > 24_000 {
+            println!("{:<9} skipped (all-pairs preprocessing on a large network)", technique.name());
+            continue;
+        }
+        let (index, elapsed) = Index::build(technique, &net);
+        let report = spq_core::verify_index(&net, &index, samples, 7);
+        let status = if report.is_clean() { "ok" } else { "DEFECTIVE" };
+        println!(
+            "{:<9} {:>4} queries checked, {} defects ({status}; prep {:.2?})",
+            technique.name(),
+            report.checked,
+            report.defects.len(),
+            elapsed
+        );
+        failed |= !report.is_clean();
+    }
+    if failed {
+        Err("verification found defects".into())
+    } else {
+        Ok(())
+    }
+}
+
+fn answer(
+    label: &str,
+    dist: Option<u64>,
+    path: Option<(u64, Vec<u32>)>,
+    s: u32,
+    t: u32,
+) -> Result<(), String> {
+    match dist {
+        Some(d) => println!("{label}: dist({s}, {t}) = {d}"),
+        None => println!("{label}: {t} unreachable from {s}"),
+    }
+    if let Some((d, p)) = path {
+        println!("path ({} vertices, length {d}):", p.len());
+        let rendered: Vec<String> = p.iter().map(|v| v.to_string()).collect();
+        println!("  {}", rendered.join(" -> "));
+    }
+    Ok(())
+}

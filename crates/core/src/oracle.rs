@@ -1,0 +1,236 @@
+//! One interface over the five evaluated techniques.
+//!
+//! The experiment harness iterates `Technique`s exactly like the paper
+//! iterates its five methods: build an [`Index`] (timed — Figure 6(b)),
+//! measure its [`Index::size_bytes`] (Figure 6(a)), then answer distance
+//! and shortest-path queries through an [`OracleQuery`] workspace
+//! (Figures 7–11, 14–17).
+
+use std::time::{Duration, Instant};
+
+use spq_graph::size::IndexSize;
+use spq_graph::types::{Dist, NodeId};
+use spq_graph::RoadNetwork;
+
+use spq_ch::{ChQuery, ContractionHierarchy};
+use spq_dijkstra::BiDijkstra;
+use spq_pcpd::{Pcpd, PcpdQuery};
+use spq_silc::{Silc, SilcQuery};
+use spq_tnr::{Tnr, TnrParams, TnrQuery};
+
+/// The five techniques of the paper's §3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// Bidirectional Dijkstra — the index-free baseline (§3.1).
+    BiDijkstra,
+    /// Contraction Hierarchies (§3.2).
+    Ch,
+    /// Transit Node Routing with CH fallback on the paper's preferred
+    /// 128×128 grid (§3.3, Appendix E.1).
+    Tnr,
+    /// SILC (§3.4).
+    Silc,
+    /// PCPD (§3.5).
+    Pcpd,
+}
+
+impl Technique {
+    /// All five, in the paper's presentation order.
+    pub const ALL: [Technique; 5] = [
+        Technique::BiDijkstra,
+        Technique::Ch,
+        Technique::Tnr,
+        Technique::Silc,
+        Technique::Pcpd,
+    ];
+
+    /// Display name used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Technique::BiDijkstra => "Dijkstra",
+            Technique::Ch => "CH",
+            Technique::Tnr => "TNR",
+            Technique::Silc => "SILC",
+            Technique::Pcpd => "PCPD",
+        }
+    }
+
+    /// Whether preprocessing requires all-pairs shortest paths, the cost
+    /// that confines the technique to the smallest datasets (§4.3).
+    pub fn needs_all_pairs(&self) -> bool {
+        matches!(self, Technique::Silc | Technique::Pcpd)
+    }
+}
+
+/// A preprocessed index for one technique over one network.
+pub enum Index {
+    /// The baseline has no index.
+    BiDijkstra,
+    /// A contraction hierarchy.
+    Ch(ContractionHierarchy),
+    /// A transit-node index.
+    Tnr(Box<Tnr>),
+    /// A SILC index.
+    Silc(Silc),
+    /// A PCPD index.
+    Pcpd(Pcpd),
+}
+
+impl Index {
+    /// Runs the technique's preprocessing, returning the index and the
+    /// wall-clock preprocessing time (Figure 6(b)).
+    pub fn build(technique: Technique, net: &RoadNetwork) -> (Index, Duration) {
+        let start = Instant::now();
+        let index = match technique {
+            Technique::BiDijkstra => Index::BiDijkstra,
+            Technique::Ch => Index::Ch(ContractionHierarchy::build(net)),
+            Technique::Tnr => Index::Tnr(Box::new(Tnr::build(net, &TnrParams::default()))),
+            Technique::Silc => Index::Silc(Silc::build(net)),
+            Technique::Pcpd => Index::Pcpd(Pcpd::build(net)),
+        };
+        (index, start.elapsed())
+    }
+
+    /// Builds TNR with explicit parameters (the Appendix E.1 variants).
+    pub fn build_tnr(net: &RoadNetwork, params: &TnrParams) -> (Index, Duration) {
+        let start = Instant::now();
+        let index = Index::Tnr(Box::new(Tnr::build(net, params)));
+        (index, start.elapsed())
+    }
+
+    /// The technique this index serves.
+    pub fn technique(&self) -> Technique {
+        match self {
+            Index::BiDijkstra => Technique::BiDijkstra,
+            Index::Ch(_) => Technique::Ch,
+            Index::Tnr(_) => Technique::Tnr,
+            Index::Silc(_) => Technique::Silc,
+            Index::Pcpd(_) => Technique::Pcpd,
+        }
+    }
+
+    /// Index footprint in bytes (0 for the baseline) — Figure 6(a).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Index::BiDijkstra => 0,
+            Index::Ch(ch) => ch.index_size_bytes(),
+            Index::Tnr(tnr) => tnr.index_size_bytes(),
+            Index::Silc(s) => s.index_size_bytes(),
+            Index::Pcpd(p) => p.index_size_bytes(),
+        }
+    }
+
+    /// Creates a reusable query workspace over this index and the
+    /// network it was built from.
+    pub fn query<'a>(&'a self, net: &'a RoadNetwork) -> OracleQuery<'a> {
+        match self {
+            Index::BiDijkstra => OracleQuery::BiDijkstra {
+                net,
+                search: BiDijkstra::new(net.num_nodes()),
+            },
+            Index::Ch(ch) => OracleQuery::Ch(ChQuery::new(ch)),
+            Index::Tnr(tnr) => OracleQuery::Tnr(tnr.query().with_network(net)),
+            Index::Silc(s) => OracleQuery::Silc(s.query(net)),
+            Index::Pcpd(p) => OracleQuery::Pcpd(p.query(net)),
+        }
+    }
+}
+
+/// A reusable query workspace for any technique.
+///
+/// Variants differ in size because each technique's workspace differs;
+/// one is created per measurement session, never copied in a hot path.
+#[allow(clippy::large_enum_variant)]
+pub enum OracleQuery<'a> {
+    /// Baseline workspace.
+    BiDijkstra {
+        /// The queried network.
+        net: &'a RoadNetwork,
+        /// The search state.
+        search: BiDijkstra,
+    },
+    /// CH workspace.
+    Ch(ChQuery<'a>),
+    /// TNR workspace.
+    Tnr(TnrQuery<'a>),
+    /// SILC workspace.
+    Silc(SilcQuery<'a>),
+    /// PCPD workspace.
+    Pcpd(PcpdQuery<'a>),
+}
+
+impl OracleQuery<'_> {
+    /// Distance query (paper §2).
+    pub fn distance(&mut self, s: NodeId, t: NodeId) -> Option<Dist> {
+        match self {
+            OracleQuery::BiDijkstra { net, search } => search.distance(net, s, t),
+            OracleQuery::Ch(q) => q.distance(s, t),
+            OracleQuery::Tnr(q) => q.distance(s, t),
+            OracleQuery::Silc(q) => q.distance(s, t),
+            OracleQuery::Pcpd(q) => q.distance(s, t),
+        }
+    }
+
+    /// Shortest-path query (paper §2).
+    pub fn shortest_path(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
+        match self {
+            OracleQuery::BiDijkstra { net, search } => search.shortest_path(net, s, t),
+            OracleQuery::Ch(q) => q.shortest_path(s, t),
+            OracleQuery::Tnr(q) => q.shortest_path(s, t),
+            OracleQuery::Silc(q) => q.shortest_path(s, t),
+            OracleQuery::Pcpd(q) => q.shortest_path(s, t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_graph::toy::figure1;
+
+    #[test]
+    fn all_techniques_agree_on_figure1() {
+        let g = figure1();
+        let mut reference = spq_dijkstra::Dijkstra::new(g.num_nodes());
+        let indexes: Vec<(Index, Duration)> = Technique::ALL
+            .iter()
+            .map(|&t| Index::build(t, &g))
+            .collect();
+        for s in 0..8u32 {
+            reference.run(&g, s);
+            for t in 0..8u32 {
+                let expect = reference.distance(t);
+                for (index, _) in &indexes {
+                    let mut q = index.query(&g);
+                    assert_eq!(
+                        q.distance(s, t),
+                        expect,
+                        "{} distance ({s},{t})",
+                        index.technique().name()
+                    );
+                    let (d, path) = q.shortest_path(s, t).unwrap();
+                    assert_eq!(Some(d), expect);
+                    assert_eq!(g.path_length(&path), expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn technique_metadata() {
+        assert_eq!(Technique::ALL.len(), 5);
+        assert_eq!(Technique::Ch.name(), "CH");
+        assert!(Technique::Silc.needs_all_pairs());
+        assert!(Technique::Pcpd.needs_all_pairs());
+        assert!(!Technique::Tnr.needs_all_pairs());
+    }
+
+    #[test]
+    fn baseline_has_zero_index_size() {
+        let g = figure1();
+        let (idx, _) = Index::build(Technique::BiDijkstra, &g);
+        assert_eq!(idx.size_bytes(), 0);
+        let (idx, _) = Index::build(Technique::Ch, &g);
+        assert!(idx.size_bytes() > 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Property: bidirectional Dijkstra agrees with unidirectional Dijkstra
+//! on arbitrary connected graphs, and canonical first hops are
+//! consistent with tree parents.
+
+use proptest::prelude::*;
+use spq_dijkstra::{BiDijkstra, Dijkstra};
+use spq_graph::arbitrary::small_connected_network;
+use spq_graph::types::NodeId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bidirectional_matches_unidirectional(net in small_connected_network()) {
+        let mut uni = Dijkstra::new(net.num_nodes());
+        let mut bi = BiDijkstra::new(net.num_nodes());
+        for s in 0..net.num_nodes() as NodeId {
+            uni.run(&net, s);
+            for t in 0..net.num_nodes() as NodeId {
+                prop_assert_eq!(bi.distance(&net, s, t), uni.distance(t));
+                let (d, path) = bi.shortest_path(&net, s, t).unwrap();
+                prop_assert_eq!(Some(d), uni.distance(t));
+                prop_assert_eq!(net.path_length(&path), uni.distance(t));
+            }
+        }
+    }
+
+    #[test]
+    fn first_hops_follow_tree_parents(net in small_connected_network()) {
+        let mut d = Dijkstra::new(net.num_nodes());
+        d.run(&net, 0);
+        for t in 1..net.num_nodes() as NodeId {
+            // Walking parents from t must reach the source through the
+            // recorded first hop.
+            let mut cur = t;
+            while let Some(p) = d.parent(cur) {
+                if p == 0 {
+                    prop_assert_eq!(d.first_hop(t), Some(cur));
+                }
+                cur = p;
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! A minimal framed little-endian binary format for persisting indexes.
+//!
+//! Preprocessing the paper's largest datasets takes minutes to hours; a
+//! production deployment computes an index once and ships it. This
+//! module provides the primitives (magic/version header, length-prefixed
+//! integer slices) that [`crate::persist`] and `spq-ch` build their
+//! on-disk formats from.
+
+use std::io::{self, Read, Write};
+
+/// Writes the 8-byte header: 4 magic bytes + u32 version.
+pub fn write_header(w: &mut impl Write, magic: &[u8; 4], version: u32) -> io::Result<()> {
+    w.write_all(magic)?;
+    w.write_all(&version.to_le_bytes())
+}
+
+/// Reads and validates the header, returning the version.
+pub fn read_header(r: &mut impl Read, magic: &[u8; 4]) -> io::Result<u32> {
+    let mut got = [0u8; 4];
+    r.read_exact(&mut got)?;
+    if &got != magic {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad magic: expected {magic:?}, got {got:?}"),
+        ));
+    }
+    let mut v = [0u8; 4];
+    r.read_exact(&mut v)?;
+    Ok(u32::from_le_bytes(v))
+}
+
+/// Writes one u64 value.
+pub fn write_u64(w: &mut impl Write, x: u64) -> io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+
+/// Reads one u64 value.
+pub fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Writes a length-prefixed `u32` slice.
+pub fn write_u32s(w: &mut impl Write, xs: &[u32]) -> io::Result<()> {
+    write_u64(w, xs.len() as u64)?;
+    for &x in xs {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a length-prefixed `u32` vector, rejecting absurd lengths.
+pub fn read_u32s(r: &mut impl Read) -> io::Result<Vec<u32>> {
+    let len = read_u64(r)?;
+    if len > (1 << 34) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("implausible slice length {len}"),
+        ));
+    }
+    let mut out = Vec::with_capacity(len as usize);
+    let mut b = [0u8; 4];
+    for _ in 0..len {
+        r.read_exact(&mut b)?;
+        out.push(u32::from_le_bytes(b));
+    }
+    Ok(out)
+}
+
+/// Writes a length-prefixed `i32` slice.
+pub fn write_i32s(w: &mut impl Write, xs: &[i32]) -> io::Result<()> {
+    write_u64(w, xs.len() as u64)?;
+    for &x in xs {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a length-prefixed `i32` vector.
+pub fn read_i32s(r: &mut impl Read) -> io::Result<Vec<i32>> {
+    let len = read_u64(r)?;
+    if len > (1 << 34) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("implausible slice length {len}"),
+        ));
+    }
+    let mut out = Vec::with_capacity(len as usize);
+    let mut b = [0u8; 4];
+    for _ in 0..len {
+        r.read_exact(&mut b)?;
+        out.push(i32::from_le_bytes(b));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip_and_mismatch() {
+        let mut buf = Vec::new();
+        write_header(&mut buf, b"SPQG", 3).unwrap();
+        assert_eq!(read_header(&mut &buf[..], b"SPQG").unwrap(), 3);
+        assert!(read_header(&mut &buf[..], b"XXXX").is_err());
+    }
+
+    #[test]
+    fn slice_roundtrips() {
+        let mut buf = Vec::new();
+        write_u32s(&mut buf, &[1, 2, u32::MAX]).unwrap();
+        write_i32s(&mut buf, &[-5, 0, i32::MAX]).unwrap();
+        write_u64(&mut buf, 42).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_u32s(&mut r).unwrap(), vec![1, 2, u32::MAX]);
+        assert_eq!(read_i32s(&mut r).unwrap(), vec![-5, 0, i32::MAX]);
+        assert_eq!(read_u64(&mut r).unwrap(), 42);
+    }
+
+    #[test]
+    fn truncated_input_fails_cleanly() {
+        let mut buf = Vec::new();
+        write_u32s(&mut buf, &[1, 2, 3]).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(read_u32s(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn implausible_length_rejected() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX).unwrap();
+        assert!(read_u32s(&mut &buf[..]).is_err());
+    }
+}

@@ -1,0 +1,317 @@
+//! Validated construction of [`RoadNetwork`]s from edge lists.
+
+use crate::csr::RoadNetwork;
+use crate::error::GraphError;
+use crate::geo::Point;
+use crate::types::{NodeId, Weight};
+use crate::unionfind::UnionFind;
+
+/// Builds a [`RoadNetwork`] incrementally.
+///
+/// The builder accepts an arbitrary multiset of undirected edges and, at
+/// [`GraphBuilder::build`] time, enforces the paper's problem definition
+/// (§2): the graph must be non-empty and connected, with no self-loops.
+/// Parallel edges are collapsed to the lightest one (a multigraph never
+/// changes any shortest-path answer, and all five techniques assume simple
+/// graphs).
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    coords: Vec<Point>,
+    /// Undirected edges as (min_endpoint, max_endpoint, weight).
+    edges: Vec<(NodeId, NodeId, Weight)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        GraphBuilder::default()
+    }
+
+    /// Creates a builder pre-sized for `nodes` vertices and `edges` edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        GraphBuilder {
+            coords: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Adds a vertex at `p` and returns its id.
+    pub fn add_node(&mut self, p: Point) -> NodeId {
+        let id = self.coords.len() as NodeId;
+        self.coords.push(p);
+        id
+    }
+
+    /// Adds the undirected edge {u, v} with weight `w`.
+    ///
+    /// Ids are validated at [`GraphBuilder::build`] time.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: Weight) {
+        let (a, b) = if u <= v { (u, v) } else { (v, u) };
+        self.edges.push((a, b, w));
+    }
+
+    /// Number of vertices added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Number of edge records added so far (before dedup).
+    pub fn num_edge_records(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Validates and freezes into a [`RoadNetwork`].
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::Empty`] if no vertex was added.
+    /// * [`GraphError::UnknownNode`] / [`GraphError::SelfLoop`] on malformed
+    ///   edges.
+    /// * [`GraphError::Disconnected`] if the graph has several components
+    ///   (use [`GraphBuilder::build_largest_component`] to recover).
+    pub fn build(self) -> Result<RoadNetwork, GraphError> {
+        let (net, dropped) = self.build_inner(false)?;
+        debug_assert_eq!(dropped, 0);
+        Ok(net)
+    }
+
+    /// Like [`GraphBuilder::build`], but if the graph is disconnected,
+    /// restricts it to its largest connected component, relabelling vertex
+    /// ids compactly. Returns the network and the number of *dropped*
+    /// vertices. Real DIMACS extracts occasionally contain stray islands;
+    /// the paper's datasets are connected by construction.
+    pub fn build_largest_component(self) -> Result<(RoadNetwork, usize), GraphError> {
+        self.build_inner(true)
+    }
+
+    fn build_inner(self, restrict: bool) -> Result<(RoadNetwork, usize), GraphError> {
+        let n = self.coords.len();
+        if n == 0 {
+            return Err(GraphError::Empty);
+        }
+        if n >= u32::MAX as usize / 2 || self.edges.len() >= u32::MAX as usize / 2 {
+            return Err(GraphError::TooLarge);
+        }
+        let n32 = n as NodeId;
+        for &(u, v, _) in &self.edges {
+            if u >= n32 {
+                return Err(GraphError::UnknownNode(u));
+            }
+            if v >= n32 {
+                return Err(GraphError::UnknownNode(v));
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop(u));
+            }
+        }
+
+        // Connectivity.
+        let mut uf = UnionFind::new(n);
+        for &(u, v, _) in &self.edges {
+            uf.union(u, v);
+        }
+        let (keep, dropped): (Option<Vec<NodeId>>, usize) = if uf.num_components() == 1 {
+            (None, 0)
+        } else if !restrict {
+            return Err(GraphError::Disconnected {
+                components: uf.num_components(),
+            });
+        } else {
+            // Map old id -> new id within the largest component.
+            let mut best_root = 0u32;
+            let mut best_size = 0usize;
+            for v in 0..n32 {
+                let s = uf.component_size(v);
+                if s > best_size {
+                    best_size = s;
+                    best_root = uf.find(v);
+                }
+            }
+            let mut remap = vec![u32::MAX; n];
+            let mut next = 0u32;
+            for v in 0..n32 {
+                if uf.find(v) == best_root {
+                    remap[v as usize] = next;
+                    next += 1;
+                }
+            }
+            (Some(remap), n - best_size)
+        };
+
+        // Collect (possibly remapped) simple edges, lightest weight wins.
+        let mut edges: Vec<(NodeId, NodeId, Weight)> = Vec::with_capacity(self.edges.len());
+        for &(u, v, w) in &self.edges {
+            let (u, v) = match &keep {
+                None => (u, v),
+                Some(remap) => {
+                    let (ru, rv) = (remap[u as usize], remap[v as usize]);
+                    if ru == u32::MAX || rv == u32::MAX {
+                        continue;
+                    }
+                    (ru, rv)
+                }
+            };
+            edges.push((u, v, w));
+        }
+        edges.sort_unstable();
+        edges.dedup_by(|next, prev| {
+            // `prev` is kept; keep the lighter weight for parallel edges.
+            if next.0 == prev.0 && next.1 == prev.1 {
+                prev.2 = prev.2.min(next.2);
+                true
+            } else {
+                false
+            }
+        });
+
+        let coords: Vec<Point> = match &keep {
+            None => self.coords,
+            Some(remap) => {
+                let mut c = vec![Point::default(); n - dropped];
+                for (old, &new) in remap.iter().enumerate() {
+                    if new != u32::MAX {
+                        c[new as usize] = self.coords[old];
+                    }
+                }
+                c
+            }
+        };
+        let n = coords.len();
+
+        // CSR assembly: count degrees, prefix-sum, scatter both directions.
+        let mut first_out = vec![0u32; n + 1];
+        for &(u, v, _) in &edges {
+            first_out[u as usize + 1] += 1;
+            first_out[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            first_out[i + 1] += first_out[i];
+        }
+        let arcs = *first_out.last().unwrap() as usize;
+        let mut head = vec![0 as NodeId; arcs];
+        let mut weight = vec![0 as Weight; arcs];
+        let mut cursor = first_out.clone();
+        for &(u, v, w) in &edges {
+            let cu = cursor[u as usize] as usize;
+            head[cu] = v;
+            weight[cu] = w;
+            cursor[u as usize] += 1;
+            let cv = cursor[v as usize] as usize;
+            head[cv] = u;
+            weight[cv] = w;
+            cursor[v as usize] += 1;
+        }
+
+        Ok((
+            RoadNetwork::from_parts(
+                first_out.into_boxed_slice(),
+                head.into_boxed_slice(),
+                weight.into_boxed_slice(),
+                coords.into_boxed_slice(),
+            ),
+            dropped,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: i32, y: i32) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(GraphBuilder::new().build().unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn rejects_unknown_node_and_self_loop() {
+        let mut b = GraphBuilder::new();
+        b.add_node(p(0, 0));
+        b.add_edge(0, 5, 1);
+        assert_eq!(b.build().unwrap_err(), GraphError::UnknownNode(5));
+
+        let mut b = GraphBuilder::new();
+        b.add_node(p(0, 0));
+        b.add_edge(0, 0, 1);
+        assert_eq!(b.build().unwrap_err(), GraphError::SelfLoop(0));
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_node(p(i, 0));
+        }
+        b.add_edge(0, 1, 1);
+        b.add_edge(2, 3, 1);
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::Disconnected { components: 2 }
+        );
+    }
+
+    #[test]
+    fn largest_component_extraction_relabels() {
+        let mut b = GraphBuilder::new();
+        for i in 0..5 {
+            b.add_node(p(i, 0));
+        }
+        // Component {0,1} and component {2,3,4}.
+        b.add_edge(0, 1, 9);
+        b.add_edge(2, 3, 1);
+        b.add_edge(3, 4, 2);
+        let (g, dropped) = b.build_largest_component().unwrap();
+        assert_eq!(dropped, 2);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        // Old node 2 had coordinate (2, 0) and becomes new node 0.
+        assert_eq!(g.coord(0), p(2, 0));
+        assert_eq!(g.edge_weight(0, 1), Some(1));
+        assert_eq!(g.edge_weight(1, 2), Some(2));
+    }
+
+    #[test]
+    fn parallel_edges_keep_lightest() {
+        let mut b = GraphBuilder::new();
+        b.add_node(p(0, 0));
+        b.add_node(p(1, 0));
+        b.add_edge(0, 1, 5);
+        b.add_edge(1, 0, 3);
+        b.add_edge(0, 1, 9);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(3));
+    }
+
+    #[test]
+    fn single_vertex_graph_is_valid() {
+        let mut b = GraphBuilder::new();
+        b.add_node(p(0, 0));
+        let g = b.build().unwrap();
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn csr_adjacency_is_complete_and_symmetric() {
+        let mut b = GraphBuilder::new();
+        for i in 0..6 {
+            b.add_node(p(i, i));
+        }
+        let edges = [(0u32, 1u32, 2u32), (1, 2, 3), (2, 3, 4), (3, 4, 5), (4, 5, 6), (0, 5, 7), (1, 4, 8)];
+        for (u, v, w) in edges {
+            b.add_edge(u, v, w);
+        }
+        let g = b.build().unwrap();
+        for (u, v, w) in edges {
+            assert_eq!(g.edge_weight(u, v), Some(w));
+            assert_eq!(g.edge_weight(v, u), Some(w));
+        }
+        let deg_sum: usize = (0..6).map(|v| g.degree(v)).sum();
+        assert_eq!(deg_sum, 2 * edges.len());
+    }
+}

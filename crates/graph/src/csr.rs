@@ -1,0 +1,230 @@
+//! The compressed-sparse-row road network shared by all techniques.
+
+use crate::geo::{Point, Rect};
+use crate::size::IndexSize;
+use crate::types::{Dist, EdgeId, NodeId, Weight};
+
+/// An undirected, connected, degree-bounded road network (paper §2).
+///
+/// The adjacency structure mirrors the representation the paper's
+/// implementations share (Appendix D): each undirected edge {u, v} is
+/// stored twice, once in `u`'s block and once in `v`'s, so that iterating
+/// a vertex's neighbours is a contiguous scan.
+///
+/// Construct via [`crate::GraphBuilder`], which validates connectivity and
+/// rejects self-loops, or via [`crate::dimacs`].
+#[derive(Debug, Clone)]
+pub struct RoadNetwork {
+    /// `first_out[v] .. first_out[v + 1]` indexes v's adjacency block.
+    first_out: Box<[u32]>,
+    /// Head vertex of each directed edge slot.
+    head: Box<[NodeId]>,
+    /// Weight of each directed edge slot.
+    weight: Box<[Weight]>,
+    /// Planar coordinate of each vertex.
+    coords: Box<[Point]>,
+}
+
+impl RoadNetwork {
+    pub(crate) fn from_parts(
+        first_out: Box<[u32]>,
+        head: Box<[NodeId]>,
+        weight: Box<[Weight]>,
+        coords: Box<[Point]>,
+    ) -> Self {
+        debug_assert_eq!(first_out.len(), coords.len() + 1);
+        debug_assert_eq!(head.len(), weight.len());
+        debug_assert_eq!(*first_out.last().unwrap() as usize, head.len());
+        RoadNetwork {
+            first_out,
+            head,
+            weight,
+            coords,
+        }
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Number of directed edge slots (twice the undirected edge count).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.head.len() / 2
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.first_out[v as usize + 1] - self.first_out[v as usize]) as usize
+    }
+
+    /// Maximum degree over all vertices (the paper assumes degree-bounded
+    /// graphs; road networks have small constant maxima).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes() as NodeId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterates `v`'s incident edges as `(edge_slot, head, weight)`.
+    #[inline]
+    pub fn edges(&self, v: NodeId) -> impl Iterator<Item = (EdgeId, NodeId, Weight)> + '_ {
+        let lo = self.first_out[v as usize] as usize;
+        let hi = self.first_out[v as usize + 1] as usize;
+        (lo..hi).map(move |e| (e as EdgeId, self.head[e], self.weight[e]))
+    }
+
+    /// Iterates `v`'s neighbours with the connecting weight.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+        let lo = self.first_out[v as usize] as usize;
+        let hi = self.first_out[v as usize + 1] as usize;
+        self.head[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weight[lo..hi].iter().copied())
+    }
+
+    /// Head vertex of edge slot `e`.
+    #[inline]
+    pub fn edge_head(&self, e: EdgeId) -> NodeId {
+        self.head[e as usize]
+    }
+
+    /// Weight of edge slot `e`.
+    #[inline]
+    pub fn edge_weight_of(&self, e: EdgeId) -> Weight {
+        self.weight[e as usize]
+    }
+
+    /// Weight of the lightest edge {u, v}, if one exists.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        self.neighbors(u)
+            .filter(|&(h, _)| h == v)
+            .map(|(_, w)| w)
+            .min()
+    }
+
+    /// Whether {u, v} is an edge.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_weight(u, v).is_some()
+    }
+
+    /// Coordinate of `v`.
+    #[inline]
+    pub fn coord(&self, v: NodeId) -> Point {
+        self.coords[v as usize]
+    }
+
+    /// All coordinates, indexed by vertex id.
+    #[inline]
+    pub fn coords(&self) -> &[Point] {
+        &self.coords
+    }
+
+    /// Bounding rectangle of all vertices.
+    pub fn bounding_rect(&self) -> Rect {
+        Rect::bounding(self.coords.iter().copied()).expect("graphs are non-empty by construction")
+    }
+
+    /// Checks that a vertex sequence is a path in the graph and returns its
+    /// length. Used by tests and by the distance-query implementations of
+    /// SILC/PCPD, which per the paper answer distance queries by summing a
+    /// computed path (§3.4–3.5).
+    pub fn path_length(&self, path: &[NodeId]) -> Option<Dist> {
+        if path.is_empty() {
+            return None;
+        }
+        let mut total: Dist = 0;
+        for w in path.windows(2) {
+            total += self.edge_weight(w[0], w[1])? as Dist;
+        }
+        Some(total)
+    }
+}
+
+impl IndexSize for RoadNetwork {
+    fn index_size_bytes(&self) -> usize {
+        self.first_out.len() * std::mem::size_of::<u32>()
+            + self.head.len() * std::mem::size_of::<NodeId>()
+            + self.weight.len() * std::mem::size_of::<Weight>()
+            + self.coords.len() * std::mem::size_of::<Point>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::size::IndexSize;
+    use crate::toy::figure1;
+
+    #[test]
+    fn figure1_shape() {
+        let g = figure1();
+        assert_eq!(g.num_nodes(), 8);
+        assert_eq!(g.num_edges(), 9);
+        assert_eq!(g.num_arcs(), 18);
+        assert_eq!(g.degree(7), 3); // v8: v1, v2, v6
+        assert_eq!(g.edge_weight(1, 7), Some(2));
+        assert_eq!(g.edge_weight(0, 7), Some(1));
+        assert_eq!(g.edge_weight(0, 5), None);
+        assert!(g.has_edge(4, 5));
+        assert!(!g.has_edge(0, 6));
+    }
+
+    #[test]
+    fn neighbors_match_edges() {
+        let g = figure1();
+        for v in 0..g.num_nodes() as u32 {
+            let via_edges: Vec<_> = g.edges(v).map(|(_, h, w)| (h, w)).collect();
+            let via_neigh: Vec<_> = g.neighbors(v).collect();
+            assert_eq!(via_edges, via_neigh);
+            assert_eq!(via_edges.len(), g.degree(v));
+        }
+    }
+
+    #[test]
+    fn path_length_checks_validity() {
+        let g = figure1();
+        // v3 - v1 - v8 is a real path of length 2.
+        assert_eq!(g.path_length(&[2, 0, 7]), Some(2));
+        // v3 - v7 is not an edge.
+        assert_eq!(g.path_length(&[2, 6]), None);
+        // A single vertex is a zero-length path.
+        assert_eq!(g.path_length(&[4]), Some(0));
+        assert_eq!(g.path_length(&[]), None);
+    }
+
+    #[test]
+    fn size_accounting_is_positive_and_scales() {
+        let g = figure1();
+        let sz = g.index_size_bytes();
+        // 9 first_out+1, 18 arcs * (4+4), 8 coords * 8.
+        assert_eq!(sz, 9 * 4 + 18 * 8 + 8 * 8);
+    }
+
+    #[test]
+    fn bounding_rect_covers_all() {
+        let g = figure1();
+        let r = g.bounding_rect();
+        for v in 0..g.num_nodes() as u32 {
+            assert!(r.contains(g.coord(v)));
+        }
+    }
+
+    #[test]
+    fn max_degree_is_bounded() {
+        let g = figure1();
+        assert_eq!(g.max_degree(), 3);
+    }
+}

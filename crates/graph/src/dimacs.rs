@@ -1,0 +1,236 @@
+//! Reader/writer for the 9th DIMACS Implementation Challenge format.
+//!
+//! The paper's ten datasets (Table 1) are distance/travel-time graphs from
+//! the challenge, distributed as a `.gr` arc file plus a `.co` coordinate
+//! file. This module lets the real data be used wherever the workspace's
+//! synthetic networks are; the synthetic generator also exports this
+//! format so that third-party tools can consume our workloads.
+//!
+//! Format summary (1-based vertex ids):
+//!
+//! ```text
+//! .gr:   c <comment>            .co:   c <comment>
+//!        p sp <n> <m>                  p aux sp co <n>
+//!        a <u> <v> <w>                 v <id> <x> <y>
+//! ```
+
+use std::io::{BufRead, Write};
+
+use crate::builder::GraphBuilder;
+use crate::csr::RoadNetwork;
+use crate::error::GraphError;
+use crate::geo::Point;
+use crate::types::{NodeId, Weight};
+
+fn parse_err(line: usize, message: impl Into<String>) -> GraphError {
+    GraphError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a `.gr` arc file and a `.co` coordinate file into a network.
+///
+/// DIMACS graphs list each undirected road segment as two arcs; the
+/// builder collapses them. Stray disconnected islands (present in some
+/// real extracts) are dropped by restricting to the largest component,
+/// matching the paper's connected-graph problem definition (§2).
+pub fn read(gr: impl BufRead, co: impl BufRead) -> Result<RoadNetwork, GraphError> {
+    let (n, arcs) = read_gr(gr)?;
+    let coords = read_co(co, n)?;
+    let mut b = GraphBuilder::with_capacity(n, arcs.len());
+    for p in coords {
+        b.add_node(p);
+    }
+    for (u, v, w) in arcs {
+        b.add_edge(u, v, w);
+    }
+    let (net, _dropped) = b.build_largest_component()?;
+    Ok(net)
+}
+
+/// An arc list with 0-based endpoints: `(tail, head, weight)` triples.
+pub type ArcList = Vec<(NodeId, NodeId, Weight)>;
+
+/// Parses just the arc file; returns `(n, arcs)` with 0-based endpoints.
+pub fn read_gr(gr: impl BufRead) -> Result<(usize, ArcList), GraphError> {
+    let mut n: Option<usize> = None;
+    let mut arcs: ArcList = Vec::new();
+    for (idx, line) in gr.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut tok = line.split_ascii_whitespace();
+        match tok.next() {
+            Some("p") => {
+                if tok.next() != Some("sp") {
+                    return Err(parse_err(lineno, "expected 'p sp <n> <m>'"));
+                }
+                let nn: usize = tok
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad vertex count"))?;
+                let m: usize = tok
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad arc count"))?;
+                n = Some(nn);
+                arcs.reserve(m);
+            }
+            Some("a") => {
+                let n = n.ok_or_else(|| parse_err(lineno, "arc before problem line"))?;
+                let u: usize = tok
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad arc tail"))?;
+                let v: usize = tok
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad arc head"))?;
+                let w: Weight = tok
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad arc weight"))?;
+                if u == 0 || v == 0 || u > n || v > n {
+                    return Err(parse_err(lineno, format!("arc endpoint out of range: {u} {v}")));
+                }
+                if u != v {
+                    arcs.push(((u - 1) as NodeId, (v - 1) as NodeId, w));
+                }
+            }
+            Some(other) => {
+                return Err(parse_err(lineno, format!("unknown record '{other}'")));
+            }
+            None => unreachable!("empty lines were skipped"),
+        }
+    }
+    let n = n.ok_or_else(|| parse_err(0, "missing problem line"))?;
+    Ok((n, arcs))
+}
+
+/// Parses just the coordinate file; `n` is the vertex count from the
+/// matching `.gr` file. Vertices missing a coordinate default to (0, 0).
+pub fn read_co(co: impl BufRead, n: usize) -> Result<Vec<Point>, GraphError> {
+    let mut coords = vec![Point::default(); n];
+    for (idx, line) in co.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('p') {
+            continue;
+        }
+        let mut tok = line.split_ascii_whitespace();
+        match tok.next() {
+            Some("v") => {
+                let id: usize = tok
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad vertex id"))?;
+                let x: i32 = tok
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad x coordinate"))?;
+                let y: i32 = tok
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad y coordinate"))?;
+                if id == 0 || id > n {
+                    return Err(parse_err(lineno, format!("vertex id out of range: {id}")));
+                }
+                coords[id - 1] = Point::new(x, y);
+            }
+            Some(other) => {
+                return Err(parse_err(lineno, format!("unknown record '{other}'")));
+            }
+            None => unreachable!(),
+        }
+    }
+    Ok(coords)
+}
+
+/// Writes `net` as a `.gr` arc file (both arc directions, DIMACS style).
+pub fn write_gr(net: &RoadNetwork, mut out: impl Write) -> std::io::Result<()> {
+    writeln!(out, "c generated by spq-graph")?;
+    writeln!(out, "p sp {} {}", net.num_nodes(), net.num_arcs())?;
+    for u in 0..net.num_nodes() as NodeId {
+        for (v, w) in net.neighbors(u) {
+            writeln!(out, "a {} {} {}", u + 1, v + 1, w)?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes `net`'s coordinates as a `.co` file.
+pub fn write_co(net: &RoadNetwork, mut out: impl Write) -> std::io::Result<()> {
+    writeln!(out, "c generated by spq-graph")?;
+    writeln!(out, "p aux sp co {}", net.num_nodes())?;
+    for v in 0..net.num_nodes() as NodeId {
+        let p = net.coord(v);
+        writeln!(out, "v {} {} {}", v + 1, p.x, p.y)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::figure1;
+
+    #[test]
+    fn roundtrip_figure1() {
+        let g = figure1();
+        let mut gr = Vec::new();
+        let mut co = Vec::new();
+        write_gr(&g, &mut gr).unwrap();
+        write_co(&g, &mut co).unwrap();
+        let g2 = read(&gr[..], &co[..]).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for v in 0..g.num_nodes() as NodeId {
+            assert_eq!(g2.coord(v), g.coord(v));
+            let mut a: Vec<_> = g.neighbors(v).collect();
+            let mut b: Vec<_> = g2.neighbors(v).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn parses_comments_and_whitespace() {
+        let gr = "c hello\n\np sp 2 2\na 1 2 7\na 2 1 7\n";
+        let co = "c coords\nv 1 10 20\nv 2 30 40\n";
+        let g = read(gr.as_bytes(), co.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.edge_weight(0, 1), Some(7));
+        assert_eq!(g.coord(1), Point::new(30, 40));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        let err = read_gr("a 1 2 3\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+
+        let err = read_gr("p sp 2 1\na 1 9 3\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+
+        let err = read_gr("p sp x y\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+
+        let err = read_co("v 5 1 1\n".as_bytes(), 2).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn drops_self_loops_and_islands() {
+        // Vertex 3 is an isolated island; arc 1->1 is a self-loop.
+        let gr = "p sp 3 3\na 1 1 5\na 1 2 4\na 2 1 4\n";
+        let co = "v 1 0 0\nv 2 1 0\nv 3 9 9\n";
+        let g = read(gr.as_bytes(), co.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error types for graph construction and IO.
+
+use std::fmt;
+
+use crate::types::NodeId;
+
+/// Errors raised while constructing or loading a [`crate::RoadNetwork`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a node id that was never added.
+    UnknownNode(NodeId),
+    /// A self-loop {v, v} was supplied; road networks are simple graphs.
+    SelfLoop(NodeId),
+    /// The graph is not connected; the paper's problem definition (§2)
+    /// requires a connected road network.
+    Disconnected {
+        /// Number of connected components found.
+        components: usize,
+    },
+    /// The graph has no vertices.
+    Empty,
+    /// More than `u32::MAX / 2` nodes or edges were supplied.
+    TooLarge,
+    /// A DIMACS file could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// Underlying IO failure, stringified (keeps the error `Clone + Eq`).
+    Io(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(v) => write!(f, "edge references unknown node {v}"),
+            GraphError::SelfLoop(v) => write!(f, "self-loop at node {v}"),
+            GraphError::Disconnected { components } => {
+                write!(f, "graph is disconnected ({components} components)")
+            }
+            GraphError::Empty => write!(f, "graph has no vertices"),
+            GraphError::TooLarge => write!(f, "graph exceeds 32-bit index capacity"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::Disconnected { components: 3 };
+        assert!(e.to_string().contains("3 components"));
+        let e = GraphError::Parse {
+            line: 7,
+            message: "bad arc".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

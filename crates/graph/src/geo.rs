@@ -1,0 +1,235 @@
+//! Planar geometry primitives.
+//!
+//! The paper treats vertex coordinates as points in the plane: query sets
+//! are stratified by L∞ distance over a 1024×1024 grid (§4.2), TNR imposes
+//! a uniform grid with square "shells" (§3.3), and SILC/PCPD compress
+//! shortest-path structure with quadtree squares addressed along a Z-order
+//! curve (§3.4–3.5, Appendix D). Everything those techniques need lives
+//! here.
+
+/// A point in the plane. Coordinates are arbitrary integer units
+/// (DIMACS coordinate files use micro-degrees).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: i32,
+    /// Vertical coordinate.
+    pub y: i32,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: i32, y: i32) -> Self {
+        Point { x, y }
+    }
+
+    /// L∞ (Chebyshev) distance to `other`: `max(|dx|, |dy|)`.
+    ///
+    /// This is the metric the paper's query generator stratifies by.
+    #[inline]
+    pub fn linf(&self, other: &Point) -> u32 {
+        let dx = (self.x as i64 - other.x as i64).unsigned_abs();
+        let dy = (self.y as i64 - other.y as i64).unsigned_abs();
+        dx.max(dy) as u32
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the sqrt; used by the
+    /// synthetic generator when deriving travel-time weights).
+    #[inline]
+    pub fn dist2(&self, other: &Point) -> u64 {
+        let dx = self.x as i64 - other.x as i64;
+        let dy = self.y as i64 - other.y as i64;
+        (dx * dx + dy * dy) as u64
+    }
+}
+
+/// An axis-aligned rectangle with *inclusive* bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rect {
+    /// Smallest contained x.
+    pub min_x: i32,
+    /// Smallest contained y.
+    pub min_y: i32,
+    /// Largest contained x.
+    pub max_x: i32,
+    /// Largest contained y.
+    pub max_y: i32,
+}
+
+impl Rect {
+    /// Rectangle spanning the two corner points (in any order).
+    pub fn new(a: Point, b: Point) -> Self {
+        Rect {
+            min_x: a.x.min(b.x),
+            min_y: a.y.min(b.y),
+            max_x: a.x.max(b.x),
+            max_y: a.y.max(b.y),
+        }
+    }
+
+    /// The degenerate rectangle containing exactly `p`.
+    pub fn point(p: Point) -> Self {
+        Rect::new(p, p)
+    }
+
+    /// Smallest rectangle containing every point of `pts`.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn bounding(pts: impl IntoIterator<Item = Point>) -> Option<Self> {
+        let mut it = pts.into_iter();
+        let first = it.next()?;
+        let mut r = Rect::point(first);
+        for p in it {
+            r.min_x = r.min_x.min(p.x);
+            r.min_y = r.min_y.min(p.y);
+            r.max_x = r.max_x.max(p.x);
+            r.max_y = r.max_y.max(p.y);
+        }
+        Some(r)
+    }
+
+    /// Whether `p` lies inside (inclusive).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// Whether this rectangle and `other` share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    /// Width along x (inclusive extent), as u64 to avoid overflow.
+    #[inline]
+    pub fn width(&self) -> u64 {
+        (self.max_x as i64 - self.min_x as i64) as u64 + 1
+    }
+
+    /// Height along y (inclusive extent).
+    #[inline]
+    pub fn height(&self) -> u64 {
+        (self.max_y as i64 - self.min_y as i64) as u64 + 1
+    }
+}
+
+/// Morton (Z-order) codes over 32-bit cell coordinates.
+///
+/// SILC stores each vertex's first-hop colouring as intervals of the
+/// Z-curve (Appendix D); quadtree blocks are exactly aligned Z-intervals,
+/// so a block is identified by a code prefix.
+pub mod morton {
+    /// Spreads the low 32 bits of `v` so bit i moves to bit 2i.
+    #[inline]
+    fn spread(v: u32) -> u64 {
+        let mut x = v as u64;
+        x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+        x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+        x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+        x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+        x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+        x
+    }
+
+    /// Inverse of [`spread`].
+    #[inline]
+    fn unspread(v: u64) -> u32 {
+        let mut x = v & 0x5555_5555_5555_5555;
+        x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+        x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+        x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+        x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+        x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+        x as u32
+    }
+
+    /// Interleaves `(x, y)` into a 64-bit Morton code (x in even bits).
+    #[inline]
+    pub fn encode(x: u32, y: u32) -> u64 {
+        spread(x) | (spread(y) << 1)
+    }
+
+    /// Recovers `(x, y)` from a Morton code.
+    #[inline]
+    pub fn decode(code: u64) -> (u32, u32) {
+        (unspread(code), unspread(code >> 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linf_is_chebyshev() {
+        let a = Point::new(0, 0);
+        assert_eq!(a.linf(&Point::new(3, -4)), 4);
+        assert_eq!(a.linf(&Point::new(-7, 2)), 7);
+        assert_eq!(a.linf(&a), 0);
+    }
+
+    #[test]
+    fn linf_handles_extreme_coordinates() {
+        let a = Point::new(i32::MIN, 0);
+        let b = Point::new(i32::MAX, 0);
+        assert_eq!(a.linf(&b), u32::MAX);
+    }
+
+    #[test]
+    fn rect_bounding_and_contains() {
+        let r = Rect::bounding([Point::new(0, 5), Point::new(10, -3), Point::new(4, 4)]).unwrap();
+        assert_eq!(r, Rect {
+            min_x: 0,
+            min_y: -3,
+            max_x: 10,
+            max_y: 5
+        });
+        assert!(r.contains(Point::new(0, -3)));
+        assert!(r.contains(Point::new(10, 5)));
+        assert!(!r.contains(Point::new(11, 0)));
+        assert!(Rect::bounding(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn rect_intersects_touching_edges() {
+        let a = Rect::new(Point::new(0, 0), Point::new(5, 5));
+        let b = Rect::new(Point::new(5, 5), Point::new(9, 9));
+        let c = Rect::new(Point::new(6, 6), Point::new(9, 9));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn morton_roundtrip() {
+        for &(x, y) in &[(0u32, 0u32), (1, 0), (0, 1), (123, 456), (u32::MAX, 0), (u32::MAX, u32::MAX)] {
+            let code = morton::encode(x, y);
+            assert_eq!(morton::decode(code), (x, y), "({x},{y})");
+        }
+    }
+
+    #[test]
+    fn morton_orders_quadrants() {
+        // Within a 2x2 block the Z order is (0,0) (1,0) (0,1) (1,1).
+        let codes = [
+            morton::encode(0, 0),
+            morton::encode(1, 0),
+            morton::encode(0, 1),
+            morton::encode(1, 1),
+        ];
+        assert!(codes.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn morton_prefix_property() {
+        // Points sharing their high bits share a Z-block: quadrant of
+        // (x, y) at depth 1 is given by the top interleaved bits.
+        let a = morton::encode(2, 3); // both in [2,3] quadrant of 4x4
+        let b = morton::encode(3, 2);
+        assert_eq!(a >> 2, b >> 2);
+    }
+}

@@ -1,0 +1,56 @@
+//! Road-network graph substrate shared by every shortest-path technique in
+//! the `spq` workspace.
+//!
+//! This crate deliberately contains no algorithmic policy: it provides the
+//! data structures that Wu et al. (PVLDB 2012) describe as the "common
+//! subroutines" underneath the five evaluated techniques:
+//!
+//! * [`RoadNetwork`] — an undirected, degree-bounded, connected graph in
+//!   compressed-sparse-row form with per-vertex planar coordinates
+//!   (paper §2 and Appendix D).
+//! * [`GraphBuilder`] — validated construction from edge lists.
+//! * [`geo`] — planar geometry: points, rectangles, the L∞ metric used by
+//!   the paper's query generator, and Morton (Z-order) codes used by SILC's
+//!   quadtree compression.
+//! * [`grid`] — uniform grids over the vertex set (TNR's index structure
+//!   and the query generator both impose one).
+//! * [`heap`] — an indexed binary heap with `decrease-key`, the priority
+//!   queue behind every Dijkstra variant in the workspace.
+//! * [`dimacs`] — reader/writer for the 9th DIMACS Implementation Challenge
+//!   format, so the real datasets of the paper's Table 1 can be plugged in.
+//!
+//! # Example
+//!
+//! ```
+//! use spq_graph::{GraphBuilder, geo::Point};
+//!
+//! let mut b = GraphBuilder::new();
+//! let a = b.add_node(Point::new(0, 0));
+//! let c = b.add_node(Point::new(100, 0));
+//! b.add_edge(a, c, 7);
+//! let g = b.build().unwrap();
+//! assert_eq!(g.num_nodes(), 2);
+//! assert_eq!(g.degree(a), 1);
+//! ```
+
+#[cfg(feature = "arbitrary")]
+pub mod arbitrary;
+pub mod binio;
+pub mod builder;
+pub mod csr;
+pub mod dimacs;
+pub mod error;
+pub mod geo;
+pub mod grid;
+pub mod persist;
+pub mod heap;
+pub mod size;
+pub mod toy;
+pub mod types;
+pub mod unionfind;
+
+pub use builder::GraphBuilder;
+pub use csr::RoadNetwork;
+pub use error::GraphError;
+pub use size::IndexSize;
+pub use types::{Dist, EdgeId, NodeId, Weight, INFINITY};

@@ -1,0 +1,58 @@
+//! Index-size accounting.
+//!
+//! The paper's Figures 6 and 13 plot "space consumption (MB)" per technique;
+//! its applicability rule ("report a technique on a dataset only when its
+//! index fits in 24 GB", §4.1) is also a pure function of index size. Every
+//! preprocessed structure in the workspace therefore implements
+//! [`IndexSize`], reporting the bytes its *owned containers* occupy.
+
+/// Reports the in-memory footprint of a preprocessed index structure.
+pub trait IndexSize {
+    /// Bytes occupied by the structure's owned storage (container lengths ×
+    /// element sizes; administrative struct headers are negligible and
+    /// ignored).
+    fn index_size_bytes(&self) -> usize;
+
+    /// Convenience: size in mebibytes, for report tables.
+    fn index_size_mb(&self) -> f64 {
+        self.index_size_bytes() as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// Bytes held by a slice of plain-old-data elements.
+#[inline]
+pub fn slice_bytes<T>(s: &[T]) -> usize {
+    std::mem::size_of_val(s)
+}
+
+/// Bytes held by a `Vec`, counting capacity (what the allocator charges).
+#[inline]
+pub fn vec_bytes<T>(v: &Vec<T>) -> usize {
+    v.capacity() * std::mem::size_of::<T>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(usize);
+    impl IndexSize for Fixed {
+        fn index_size_bytes(&self) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn mb_conversion() {
+        assert_eq!(Fixed(1024 * 1024).index_size_mb(), 1.0);
+        assert_eq!(Fixed(0).index_size_mb(), 0.0);
+    }
+
+    #[test]
+    fn helpers_count_bytes() {
+        let v: Vec<u32> = Vec::with_capacity(10);
+        assert_eq!(vec_bytes(&v), 40);
+        let s = [0u64; 3];
+        assert_eq!(slice_bytes(&s), 24);
+    }
+}

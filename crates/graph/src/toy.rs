@@ -1,0 +1,118 @@
+//! Tiny hand-built networks used in documentation and tests.
+
+use crate::builder::GraphBuilder;
+use crate::geo::Point;
+use crate::RoadNetwork;
+
+/// The 8-vertex road network of the paper's Figure 1.
+///
+/// Vertices are `v1..v8` mapped to ids `0..8`. The edges `(v2, v8)` and
+/// `(v6, v8)` have weight 2; every other edge has weight 1. All worked
+/// examples in the paper's §3 (CH shortcuts c1–c3, TNR access nodes,
+/// SILC's partition of `V \ {v8}`, the PCPD pair through `v8`) are stated
+/// on this graph, so it doubles as a fixture for technique-level tests.
+///
+/// The figure itself does not label the edges; this edge set is the unique
+/// reconstruction consistent with every worked example: contracting
+/// v1/v5/v6 yields exactly the shortcuts c1 (v3–v8, weight 2), c2 (v7–v6,
+/// weight 2) and c3 (v7–v8, weight 4) and nothing else; dist(v3, v7) = 6;
+/// the canonical paths from v8 to v4..v7 all start with v6; and every
+/// path from {v1, v2, v3} to {v4..v7} passes through v8 (Figure 5's
+/// path-coherent pair).
+pub fn figure1() -> RoadNetwork {
+    let mut b = GraphBuilder::new();
+    let coords = [
+        (0, 2), // v1
+        (0, 0), // v2
+        (1, 3), // v3
+        (3, 3), // v4
+        (4, 2), // v5
+        (3, 1), // v6
+        (4, 0), // v7
+        (1, 1), // v8
+    ];
+    for (x, y) in coords {
+        b.add_node(Point::new(x, y));
+    }
+    for (u, v, w) in [
+        (0u32, 2u32, 1u32), // v1-v3
+        (0, 7, 1),          // v1-v8
+        (1, 2, 1),          // v2-v3
+        (1, 7, 2),          // v2-v8
+        (3, 4, 1),          // v4-v5
+        (3, 5, 1),          // v4-v6
+        (4, 5, 1),          // v5-v6
+        (4, 6, 1),          // v5-v7
+        (5, 7, 2),          // v6-v8
+    ] {
+        b.add_edge(u, v, w);
+    }
+    b.build().expect("figure 1 network is valid")
+}
+
+/// A path graph `0 - 1 - ... - (len-1)` with unit weights, laid out on a
+/// horizontal line. Useful for exercising long-path behaviour.
+pub fn path_graph(len: u32) -> RoadNetwork {
+    assert!(len >= 1);
+    let mut b = GraphBuilder::new();
+    for i in 0..len {
+        b.add_node(Point::new(i as i32 * 10, 0));
+    }
+    for i in 0..len.saturating_sub(1) {
+        b.add_edge(i, i + 1, 1);
+    }
+    b.build().expect("path graph is valid")
+}
+
+/// A `w × h` grid graph with unit weights: node `(col, row)` has id
+/// `row * w + col` and coordinate `(10 col, 10 row)`. The canonical
+/// "spatially coherent" test network: shortest paths are monotone
+/// staircases, and search frontiers grow quadratically with distance.
+pub fn grid_graph(w: u32, h: u32) -> RoadNetwork {
+    assert!(w >= 1 && h >= 1);
+    let mut b = GraphBuilder::new();
+    for row in 0..h {
+        for col in 0..w {
+            b.add_node(Point::new(col as i32 * 10, row as i32 * 10));
+        }
+    }
+    for row in 0..h {
+        for col in 0..w {
+            let id = row * w + col;
+            if col + 1 < w {
+                b.add_edge(id, id + 1, 1);
+            }
+            if row + 1 < h {
+                b.add_edge(id, id + w, 1);
+            }
+        }
+    }
+    b.build().expect("grid graph is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_matches_paper() {
+        let g = figure1();
+        assert_eq!(g.num_nodes(), 8);
+        assert_eq!(g.num_edges(), 9);
+        assert_eq!(g.edge_weight(1, 7), Some(2));
+        assert_eq!(g.edge_weight(5, 7), Some(2));
+        assert_eq!(g.edge_weight(0, 2), Some(1));
+    }
+
+    #[test]
+    fn path_graph_shape() {
+        let g = path_graph(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        let g1 = path_graph(1);
+        assert_eq!(g1.num_nodes(), 1);
+        assert_eq!(g1.num_edges(), 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Fundamental scalar types shared across the workspace.
+//!
+//! Vertices and edges are 32-bit indices (the paper's largest dataset has
+//! 24M vertices and 58M directed edges, well within `u32`). Edge weights are
+//! 32-bit travel times as in the DIMACS datasets; accumulated path lengths
+//! use 64 bits so that no realistic path can overflow.
+
+/// Identifier of a vertex, an index into the graph's node arrays.
+pub type NodeId = u32;
+
+/// Identifier of a directed edge slot in the CSR arrays.
+///
+/// An undirected edge {u, v} occupies two slots, one in `u`'s adjacency
+/// block and one in `v`'s, exactly like the doubled representation the
+/// paper's implementations share (Appendix D).
+pub type EdgeId = u32;
+
+/// Weight of a single edge (travel time in the DIMACS datasets).
+pub type Weight = u32;
+
+/// Length of a path: a sum of [`Weight`]s.
+pub type Dist = u64;
+
+/// Sentinel for "unreached" / "no path" distances.
+///
+/// Using `u64::MAX` directly would overflow when a tentative distance is
+/// formed as `INFINITY + w`; half the range leaves headroom while remaining
+/// larger than any real path length.
+pub const INFINITY: Dist = u64::MAX / 2;
+
+/// Sentinel for "no vertex" in predecessor arrays and tags.
+pub const INVALID_NODE: NodeId = u32::MAX;
+
+/// Sentinel for "no edge".
+pub const INVALID_EDGE: EdgeId = u32::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinity_has_headroom() {
+        // A tentative distance `INFINITY + max weight` must not wrap.
+        let tentative = INFINITY + Weight::MAX as Dist;
+        assert!(tentative > INFINITY);
+        assert!(tentative < u64::MAX);
+    }
+
+    #[test]
+    fn sentinels_are_distinct_from_small_ids() {
+        assert_ne!(INVALID_NODE, 0);
+        assert_ne!(INVALID_EDGE, 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Disjoint-set forest with path halving and union by size.
+//!
+//! Used by the builder's connectivity check and by the synthetic generator
+//! when stitching a network together.
+
+/// A union-find structure over `0..len`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    /// parent[i] == i for roots; for roots, `size[i]` is the component size.
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `len` singleton components.
+    pub fn new(len: usize) -> Self {
+        assert!(len <= u32::MAX as usize);
+        UnionFind {
+            parent: (0..len as u32).collect(),
+            size: vec![1; len],
+            components: len,
+        }
+    }
+
+    /// Representative of `x`'s component (with path halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Merges the components of `a` and `b`; returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` share a component.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of components remaining.
+    #[inline]
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Size of `x`'s component.
+    pub fn component_size(&mut self, x: u32) -> usize {
+        let r = self.find(x);
+        self.size[r as usize] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unions_merge_components() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.connected(0, 2));
+        assert!(uf.union(1, 3));
+        assert!(uf.connected(0, 2));
+        assert!(!uf.union(0, 3)); // already merged
+        assert_eq!(uf.num_components(), 2);
+        assert_eq!(uf.component_size(3), 4);
+        assert_eq!(uf.component_size(4), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let uf = UnionFind::new(0);
+        assert_eq!(uf.num_components(), 0);
+        let mut uf = UnionFind::new(1);
+        assert_eq!(uf.find(0), 0);
+        assert_eq!(uf.num_components(), 1);
+    }
+
+    #[test]
+    fn chain_compresses() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.num_components(), 1);
+        for i in 0..100 {
+            assert!(uf.connected(0, i));
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use spq_graph::geo::{morton, Point, Rect};
+use spq_graph::grid::{GridFrame, VertexGrid};
+use spq_graph::heap::IndexedHeap;
+use spq_graph::{GraphBuilder, NodeId};
+
+/// Strategy: a connected graph given as (coords, extra edges). Connectivity
+/// comes from a random spanning arborescence (node i links to a random
+/// earlier node), mirroring how road extracts are always connected.
+type RawGraph = (Vec<(i32, i32)>, Vec<(u32, u32, u32)>);
+
+fn connected_graph() -> impl Strategy<Value = RawGraph> {
+    (2usize..40).prop_flat_map(|n| {
+        let coords = proptest::collection::vec((-1000i32..1000, -1000i32..1000), n);
+        let spine = proptest::collection::vec((0u32..u32::MAX, 1u32..10_000), n - 1);
+        let extra = proptest::collection::vec(
+            (0u32..n as u32, 0u32..n as u32, 1u32..10_000),
+            0..2 * n,
+        );
+        (coords, spine, extra).prop_map(move |(coords, spine, extra)| {
+            let mut edges = Vec::new();
+            for (i, (r, w)) in spine.iter().enumerate() {
+                let child = (i + 1) as u32;
+                let parent = r % child;
+                edges.push((parent, child, *w));
+            }
+            for (u, v, w) in extra {
+                if u != v {
+                    edges.push((u, v, w));
+                }
+            }
+            (coords, edges)
+        })
+    })
+}
+
+/// Builds a network from the strategy output.
+fn build(coords: &[(i32, i32)], edges: &[(u32, u32, u32)]) -> spq_graph::RoadNetwork {
+    let mut b = GraphBuilder::new();
+    for &(x, y) in coords {
+        b.add_node(Point::new(x, y));
+    }
+    for &(u, v, w) in edges {
+        b.add_edge(u, v, w);
+    }
+    b.build().expect("strategy yields connected graphs")
+}
+
+proptest! {
+    #[test]
+    fn csr_is_symmetric((coords, edges) in connected_graph()) {
+        let g = build(&coords, &edges);
+        for u in 0..g.num_nodes() as NodeId {
+            for (v, w) in g.neighbors(u) {
+                prop_assert_eq!(g.edge_weight(v, u), Some(w));
+            }
+        }
+        let deg_sum: usize = (0..g.num_nodes() as NodeId).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(deg_sum, g.num_arcs());
+        prop_assert_eq!(g.num_arcs(), 2 * g.num_edges());
+    }
+
+    #[test]
+    fn dimacs_roundtrip((coords, edges) in connected_graph()) {
+        let g = build(&coords, &edges);
+        let mut gr = Vec::new();
+        let mut co = Vec::new();
+        spq_graph::dimacs::write_gr(&g, &mut gr).unwrap();
+        spq_graph::dimacs::write_co(&g, &mut co).unwrap();
+        let g2 = spq_graph::dimacs::read(&gr[..], &co[..]).unwrap();
+        prop_assert_eq!(g2.num_nodes(), g.num_nodes());
+        prop_assert_eq!(g2.num_edges(), g.num_edges());
+        for v in 0..g.num_nodes() as NodeId {
+            prop_assert_eq!(g2.coord(v), g.coord(v));
+        }
+    }
+
+    #[test]
+    fn vertex_grid_partitions((coords, edges) in connected_graph(), g_res in 1u32..16) {
+        let net = build(&coords, &edges);
+        let grid = VertexGrid::build(&net, g_res);
+        // Every vertex is in exactly the cell its coordinate maps to.
+        let mut seen = vec![0usize; net.num_nodes()];
+        for c in 0..grid.frame().num_cells() as u32 {
+            for &v in grid.vertices_in(c) {
+                prop_assert_eq!(grid.cell_index_of(v), c);
+                seen[v as usize] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn morton_roundtrip_prop(x in any::<u32>(), y in any::<u32>()) {
+        prop_assert_eq!(morton::decode(morton::encode(x, y)), (x, y));
+    }
+
+    #[test]
+    fn morton_block_nesting(x in 0u32..1024, y in 0u32..1024, depth in 0u32..10) {
+        // All points in the same 2^k x 2^k block share a code prefix.
+        let code = morton::encode(x, y);
+        let block_x = x >> depth << depth;
+        let block_y = y >> depth << depth;
+        let base = morton::encode(block_x, block_y);
+        prop_assert_eq!(code >> (2 * depth), base >> (2 * depth));
+    }
+
+    #[test]
+    fn heap_sorts(keys in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut h = IndexedHeap::new(keys.len());
+        for (v, &k) in keys.iter().enumerate() {
+            h.push_or_decrease(v as NodeId, k);
+        }
+        let mut out = Vec::new();
+        while let Some((k, _)) = h.pop_min() {
+            out.push(k);
+        }
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn grid_frame_cell_contains_point(
+        px in -5000i32..5000, py in -5000i32..5000, g_res in 1u32..64,
+    ) {
+        let rect = Rect::new(Point::new(-5000, -5000), Point::new(5000, 5000));
+        let frame = GridFrame::new(rect, g_res);
+        let p = Point::new(px, py);
+        let cell = frame.cell_of(p);
+        // The radius-0 square around the cell contains the point.
+        let sq = frame.square_around(cell, 0);
+        prop_assert!(sq.contains(p), "{:?} not in {:?}", p, sq);
+    }
+}

@@ -1,0 +1,159 @@
+//! The δ-redundancy measurement of the paper's Appendix C / Table 2.
+//!
+//! PCPD's O(n) space bound assumes δ-redundant networks: every
+//! *core-disjoint* alternative path (sharing no interior vertex with the
+//! shortest path) is at least δ times longer. Table 2 shows that on real
+//! road networks the observed upper bound on δ is essentially 1, which
+//! makes the bound's constant factor `(2 + 2/(δ-1))²` explode — the
+//! explanation for PCPD's disappointing practical space use.
+
+use spq_graph::types::{Dist, NodeId};
+use spq_graph::RoadNetwork;
+use spq_dijkstra::{BiDijkstra, Dijkstra};
+
+/// One (s, t) observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeltaSample {
+    /// Length of the shortest path.
+    pub shortest: Dist,
+    /// Length of the shortest core-disjoint alternative, if any exists.
+    pub core_disjoint: Option<Dist>,
+}
+
+impl DeltaSample {
+    /// `length(P') / length(P)`, the per-pair upper bound on δ.
+    pub fn ratio(&self) -> Option<f64> {
+        let cd = self.core_disjoint?;
+        if self.shortest == 0 {
+            return None;
+        }
+        Some(cd as f64 / self.shortest as f64)
+    }
+}
+
+/// Measures one query pair: computes the shortest path P, removes its
+/// interior vertices, and re-searches for the shortest core-disjoint
+/// path P'.
+pub struct DeltaMeter<'a> {
+    net: &'a RoadNetwork,
+    bidi: BiDijkstra,
+    excluded_search: Dijkstra,
+    excluded: Vec<bool>,
+}
+
+impl<'a> DeltaMeter<'a> {
+    /// Creates a meter for `net`.
+    pub fn new(net: &'a RoadNetwork) -> Self {
+        DeltaMeter {
+            net,
+            bidi: BiDijkstra::new(net.num_nodes()),
+            excluded_search: Dijkstra::new(net.num_nodes()),
+            excluded: vec![false; net.num_nodes()],
+        }
+    }
+
+    /// Measures the pair `(s, t)`.
+    pub fn measure(&mut self, s: NodeId, t: NodeId) -> Option<DeltaSample> {
+        if s == t {
+            return None;
+        }
+        let (shortest, path) = self.bidi.shortest_path(self.net, s, t)?;
+        for &v in &path[1..path.len() - 1] {
+            self.excluded[v as usize] = true;
+        }
+        let core_disjoint = self
+            .excluded_search
+            .run_to_target_excluding(self.net, s, t, &self.excluded);
+        for &v in &path[1..path.len() - 1] {
+            self.excluded[v as usize] = false;
+        }
+        Some(DeltaSample {
+            shortest,
+            core_disjoint,
+        })
+    }
+
+    /// The minimum observed ratio over a set of query pairs — Table 2's
+    /// "min length(P')/length(P)" per dataset. `None` if no pair had a
+    /// core-disjoint alternative.
+    pub fn min_ratio(&mut self, pairs: &[(NodeId, NodeId)]) -> Option<f64> {
+        pairs
+            .iter()
+            .filter_map(|&(s, t)| self.measure(s, t)?.ratio())
+            .min_by(|a, b| a.partial_cmp(b).expect("ratios are finite"))
+    }
+}
+
+/// The constant factor `(2 + 2/(δ-1))²` of PCPD's space bound
+/// (Appendix C), exploding as δ → 1.
+pub fn pcpd_space_constant(delta: f64) -> f64 {
+    let base: f64 = 2.0 + 2.0 / (delta - 1.0);
+    base * base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_graph::toy::{figure1, grid_graph, path_graph};
+
+    #[test]
+    fn figure1_v3_v7_has_no_core_disjoint_path() {
+        // Every v3 -> v7 path passes v8, so removing the shortest path's
+        // interior disconnects the pair.
+        let g = figure1();
+        let mut m = DeltaMeter::new(&g);
+        let sample = m.measure(2, 6).unwrap();
+        assert_eq!(sample.shortest, 6);
+        assert_eq!(sample.core_disjoint, None);
+        assert_eq!(sample.ratio(), None);
+    }
+
+    #[test]
+    fn adjacent_vertices_can_have_disjoint_alternatives() {
+        // On a grid, (0, 1) has the direct edge (interior empty) and the
+        // detour 0-w-? ... the shortest path is the single edge, whose
+        // interior is empty, so the "core-disjoint" rerun finds the same
+        // distance... no: the rerun may reuse the edge. Per the paper,
+        // P' must share no *vertex* with P's interior; with an empty
+        // interior P' is the same path. Ratio 1 — exactly the near-1
+        // values Table 2 reports.
+        let g = grid_graph(4, 4);
+        let mut m = DeltaMeter::new(&g);
+        let sample = m.measure(0, 1).unwrap();
+        assert_eq!(sample.ratio(), Some(1.0));
+    }
+
+    #[test]
+    fn path_graph_has_no_alternatives() {
+        let g = path_graph(10);
+        let mut m = DeltaMeter::new(&g);
+        assert_eq!(m.measure(0, 9).unwrap().core_disjoint, None);
+        assert_eq!(m.min_ratio(&[(0, 9), (1, 5)]), None);
+    }
+
+    #[test]
+    fn grid_min_ratio_is_close_to_one() {
+        // Dense grids offer near-equal parallel routes: the Table 2
+        // phenomenon.
+        let g = grid_graph(8, 8);
+        let pairs: Vec<(NodeId, NodeId)> = (0..8).map(|i| (i, 63 - i)).collect();
+        let mut m = DeltaMeter::new(&g);
+        let r = m.min_ratio(&pairs).unwrap();
+        assert!(r >= 1.0);
+        assert!(r < 1.5, "grid detours are cheap, got {r}");
+    }
+
+    #[test]
+    fn space_constant_explodes_near_one() {
+        assert!(pcpd_space_constant(1.001) > 1_000_000.0);
+        assert!(pcpd_space_constant(2.0) < 17.0);
+        assert!(pcpd_space_constant(3.0) < 10.0);
+    }
+
+    #[test]
+    fn self_pair_yields_nothing() {
+        let g = figure1();
+        let mut m = DeltaMeter::new(&g);
+        assert!(m.measure(3, 3).is_none());
+    }
+}

@@ -1,0 +1,166 @@
+//! Dense all-pairs first-hop and distance matrices.
+//!
+//! PCPD's preprocessing tests, for region pairs (X, Y), whether some
+//! element ψ lies on a shortest path between every `x ∈ X` and `y ∈ Y`.
+//! Candidates are harvested by walking a few canonical paths (via the
+//! first-hop matrix); each candidate is then *verified* against all
+//! pairs with O(1) distance-additivity checks (`dist(x, ψ) + dist(ψ, y)
+//! == dist(x, y)`) — the nested-loop test of the paper's Appendix D with
+//! the path walks replaced by table lookups.
+//!
+//! The O(n²) bytes are exactly the all-pairs cost that confines PCPD
+//! (like SILC) to the paper's four smallest datasets.
+
+use spq_graph::types::{Dist, NodeId};
+use spq_graph::RoadNetwork;
+use spq_dijkstra::Dijkstra;
+
+/// Sentinel for the diagonal (no hop from a vertex to itself).
+pub const NO_HOP: u8 = u8::MAX;
+
+/// Row-major `n × n` matrices of first-hop adjacency indices and
+/// distances.
+pub struct FirstHopMatrix {
+    n: usize,
+    hops: Vec<u8>,
+    dists: Vec<u32>,
+}
+
+impl FirstHopMatrix {
+    /// Computes both matrices with one canonical Dijkstra per source.
+    pub fn build(net: &RoadNetwork) -> Self {
+        let n = net.num_nodes();
+        assert!(n <= 24_000, "the dense all-pairs matrices are O(n^2) bytes; \
+                 PCPD, like the paper, is limited to small networks");
+        let mut hops = vec![NO_HOP; n * n];
+        let mut dists = vec![0u32; n * n];
+        let mut dijkstra = Dijkstra::new(n);
+        for v in 0..n as NodeId {
+            dijkstra.run(net, v);
+            let row_h = &mut hops[v as usize * n..(v as usize + 1) * n];
+            let row_d = &mut dists[v as usize * n..(v as usize + 1) * n];
+            for u in 0..n as NodeId {
+                if let Some(h) = dijkstra.first_hop(u) {
+                    row_h[u as usize] = net
+                        .neighbors(v)
+                        .position(|(to, _)| to == h)
+                        .expect("first hop is a neighbour") as u8;
+                }
+                row_d[u as usize] =
+                    u32::try_from(dijkstra.distance(u).expect("connected network"))
+                        .expect("road-network distances fit u32");
+            }
+        }
+        FirstHopMatrix { n, hops, dists }
+    }
+
+    /// Adjacency index of the first hop from `u` toward `t`
+    /// (`NO_HOP` iff `u == t`).
+    #[inline]
+    pub fn hop_index(&self, u: NodeId, t: NodeId) -> u8 {
+        self.hops[u as usize * self.n + t as usize]
+    }
+
+    /// Exact network distance between `u` and `t`.
+    #[inline]
+    pub fn dist(&self, u: NodeId, t: NodeId) -> Dist {
+        self.dists[u as usize * self.n + t as usize] as Dist
+    }
+
+    /// The first-hop *vertex* from `u` toward `t`.
+    #[inline]
+    pub fn hop(&self, net: &RoadNetwork, u: NodeId, t: NodeId) -> Option<NodeId> {
+        let idx = self.hop_index(u, t);
+        if idx == NO_HOP {
+            return None;
+        }
+        net.neighbors(u).nth(idx as usize).map(|(v, _)| v)
+    }
+
+    /// Walks the canonical path from `s` to `t`, invoking `visit` for
+    /// every vertex in order (including both endpoints).
+    pub fn walk(
+        &self,
+        net: &RoadNetwork,
+        s: NodeId,
+        t: NodeId,
+        mut visit: impl FnMut(NodeId),
+    ) {
+        let mut cur = s;
+        visit(cur);
+        while cur != t {
+            cur = self.hop(net, cur, t).expect("connected network");
+            visit(cur);
+        }
+    }
+
+    /// The canonical path as a vector.
+    pub fn path(&self, net: &RoadNetwork, s: NodeId, t: NodeId) -> Vec<NodeId> {
+        let mut p = Vec::new();
+        self.walk(net, s, t, |v| p.push(v));
+        p
+    }
+
+    /// Matrix size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.hops.len() + self.dists.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_dijkstra::Dijkstra;
+    use spq_graph::toy::{figure1, grid_graph};
+
+    #[test]
+    fn walks_are_shortest_paths() {
+        let g = grid_graph(6, 6);
+        let m = FirstHopMatrix::build(&g);
+        let mut d = Dijkstra::new(g.num_nodes());
+        for s in 0..g.num_nodes() as NodeId {
+            d.run(&g, s);
+            for t in 0..g.num_nodes() as NodeId {
+                let p = m.path(&g, s, t);
+                assert_eq!(p.first().copied(), Some(s));
+                assert_eq!(p.last().copied(), Some(t));
+                assert_eq!(g.path_length(&p), d.distance(t));
+                assert_eq!(Some(m.dist(s, t)), d.distance(t));
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_has_no_hop() {
+        let g = figure1();
+        let m = FirstHopMatrix::build(&g);
+        for v in 0..8 {
+            assert_eq!(m.hop_index(v, v), NO_HOP);
+            assert_eq!(m.dist(v, v), 0);
+            assert_eq!(m.path(&g, v, v), vec![v]);
+        }
+    }
+
+    #[test]
+    fn canonical_suffix_property() {
+        // Walking s -> t and then continuing from an interior vertex u
+        // gives the same remaining path (each step depends only on the
+        // current vertex and t).
+        let g = grid_graph(5, 7);
+        let m = FirstHopMatrix::build(&g);
+        let p = m.path(&g, 0, 34);
+        for (i, &u) in p.iter().enumerate() {
+            assert_eq!(m.path(&g, u, 34), p[i..].to_vec());
+        }
+    }
+
+    #[test]
+    fn additivity_detects_on_path_vertices() {
+        let g = figure1();
+        let m = FirstHopMatrix::build(&g);
+        // v8 (7) is on every shortest path v3 (2) -> v7 (6).
+        assert_eq!(m.dist(2, 7) + m.dist(7, 6), m.dist(2, 6));
+        // v4 (3) is not.
+        assert!(m.dist(2, 3) + m.dist(3, 6) > m.dist(2, 6));
+    }
+}

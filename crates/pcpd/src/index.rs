@@ -1,0 +1,432 @@
+//! PCPD preprocessing: recursive block-pair decomposition (paper §3.5
+//! and Appendix D).
+
+use std::collections::HashMap;
+
+use spq_graph::geo::morton;
+use spq_graph::size::IndexSize;
+use spq_graph::types::NodeId;
+use spq_graph::RoadNetwork;
+
+use crate::firsthop::FirstHopMatrix;
+
+/// The element shared by all shortest paths of a path-coherent pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Psi {
+    /// A vertex outside both regions (guarantees query progress).
+    Vertex(NodeId),
+    /// An oriented edge `(u, v)`: every covered path traverses u then v.
+    Edge(NodeId, NodeId),
+}
+
+/// Key of a pair: quadtree depth plus the Morton prefixes of X and Y.
+type PairKey = (u8, u64, u64);
+
+/// The frozen PCPD index.
+pub struct Pcpd {
+    /// Morton code per vertex (coordinates normalised to u32).
+    node_code: Vec<u64>,
+    /// The path-coherent pairs, keyed by the region pair.
+    pairs: HashMap<PairKey, Psi>,
+    /// ψ for vertex pairs sharing one exact coordinate (cannot be
+    /// separated by the quadtree).
+    exceptions: HashMap<(NodeId, NodeId), Psi>,
+    /// Bytes of the first-hop matrix used during preprocessing — *not*
+    /// part of the shipped index, but reported for the preprocessing
+    /// footprint.
+    pub preprocessing_scratch_bytes: usize,
+}
+
+/// Morton prefix of `code` at `depth` (0 = root, 32 = full code).
+#[inline]
+fn prefix_of(code: u64, depth: u8) -> u64 {
+    if depth == 0 {
+        0
+    } else {
+        code >> (64 - 2 * depth as u32)
+    }
+}
+
+impl Pcpd {
+    /// Preprocesses `net`: computes the all-pairs first-hop matrix, then
+    /// recursively splits region pairs until every pair of squares is
+    /// path-coherent (the nested-loop test with early termination the
+    /// paper describes in Appendix D).
+    pub fn build(net: &RoadNetwork) -> Self {
+        let n = net.num_nodes();
+        let rect = net.bounding_rect();
+        let node_code: Vec<u64> = (0..n as NodeId)
+            .map(|v| {
+                let p = net.coord(v);
+                morton::encode(
+                    (p.x as i64 - rect.min_x as i64) as u32,
+                    (p.y as i64 - rect.min_y as i64) as u32,
+                )
+            })
+            .collect();
+        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+        order.sort_unstable_by_key(|&v| node_code[v as usize]);
+        let sorted_codes: Vec<u64> = order.iter().map(|&v| node_code[v as usize]).collect();
+
+        let hops = FirstHopMatrix::build(net);
+        let mut pairs = HashMap::new();
+        let mut exceptions = HashMap::new();
+
+        // Work stack of (depth, x_range, y_range) over `order`.
+        type WorkItem = (u8, (usize, usize), (usize, usize));
+        let mut stack: Vec<WorkItem> = vec![(0, (0, n), (0, n))];
+        let mut scratch = CommonScratch::default();
+        while let Some((depth, xr, yr)) = stack.pop() {
+            let (xlo, xhi) = xr;
+            let (ylo, yhi) = yr;
+            if xlo == xhi || ylo == yhi {
+                continue;
+            }
+            let same_region = xlo == ylo && xhi == yhi;
+            if same_region && xhi - xlo == 1 {
+                continue; // a single vertex: queries are trivial
+            }
+            if !same_region {
+                // Disjoint squares: run the common-element test.
+                if let Some(psi) = common_element(
+                    net,
+                    &hops,
+                    &node_code,
+                    &order[xlo..xhi],
+                    &order[ylo..yhi],
+                    depth,
+                    &mut scratch,
+                ) {
+                    let px = prefix_of(sorted_codes[xlo], depth);
+                    let py = prefix_of(sorted_codes[ylo], depth);
+                    pairs.insert((depth, px, py), psi);
+                    continue;
+                }
+            }
+            if depth == 32 {
+                // Regions are single coordinates that cannot be split
+                // further: a shared coordinate cell, or distinct cells
+                // holding several coordinate-colliding vertices whose
+                // paths share nothing. Either way, store per-pair
+                // exceptions.
+                for i in xlo..xhi {
+                    for j in ylo..yhi {
+                        let (a, b) = (order[i], order[j]);
+                        if a == b {
+                            continue;
+                        }
+                        exceptions.insert((a, b), exception_psi(net, &hops, a, b));
+                    }
+                }
+                continue;
+            }
+            // Split both regions into quadrants -> 16 ordered child pairs.
+            let xs = split4(&sorted_codes, xlo, xhi, depth);
+            let ys = split4(&sorted_codes, ylo, yhi, depth);
+            for &xc in &xs {
+                for &yc in &ys {
+                    stack.push((depth + 1, xc, yc));
+                }
+            }
+        }
+
+        Pcpd {
+            node_code,
+            pairs,
+            exceptions,
+            preprocessing_scratch_bytes: hops.size_bytes(),
+        }
+    }
+
+    /// Number of stored path-coherent pairs (the paper's |S_pcp|).
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// ψ of the unique pair covering `(s, t)`; `s != t`.
+    pub(crate) fn lookup(&self, s: NodeId, t: NodeId) -> Psi {
+        let cs = self.node_code[s as usize];
+        let ct = self.node_code[t as usize];
+        for depth in 0..=32u8 {
+            let key = (depth, prefix_of(cs, depth), prefix_of(ct, depth));
+            if let Some(&psi) = self.pairs.get(&key) {
+                return psi;
+            }
+        }
+        *self
+            .exceptions
+            .get(&(s, t))
+            .expect("every distinct vertex pair is covered")
+    }
+
+    /// Creates a query workspace.
+    pub fn query<'a>(&'a self, net: &'a RoadNetwork) -> crate::query::PcpdQuery<'a> {
+        crate::query::PcpdQuery::new(self, net)
+    }
+}
+
+/// Splits `order[lo..hi]` (already within one depth-`depth` block) into
+/// the four Morton-order children.
+fn split4(sorted_codes: &[u64], lo: usize, hi: usize, depth: u8) -> [(usize, usize); 4] {
+    let child_depth = depth + 1;
+    let mut out = [(lo, lo); 4];
+    let mut start = lo;
+    // Child q of the parent block: prefix = parent_prefix * 4 + q.
+    let parent_prefix = prefix_of(sorted_codes[lo], depth);
+    for q in 0..4u64 {
+        let child_prefix = (parent_prefix << 2) | q;
+        let end = start
+            + sorted_codes[start..hi]
+                .partition_point(|&c| prefix_of(c, child_depth) <= child_prefix);
+        out[q as usize] = (start, end);
+        start = end;
+    }
+    debug_assert_eq!(start, hi);
+    out
+}
+
+/// Scratch buffers for the pair test (reused across pairs).
+#[derive(Default)]
+struct CommonScratch {
+    candidates: Vec<Psi>,
+    on_path_v: HashMap<NodeId, ()>,
+    on_path_e: HashMap<(NodeId, NodeId), ()>,
+    path: Vec<NodeId>,
+}
+
+/// How many sample canonical paths seed the candidate set. Spatial
+/// coherence makes the intersection collapse after two or three paths;
+/// more samples only shrink the candidate list further.
+const SAMPLE_PATHS: usize = 4;
+
+/// The path-coherent-pair test. Candidate ψ elements are harvested by
+/// intersecting a handful of sampled canonical paths (the paper's
+/// nested-loop with early termination, Appendix D); each surviving
+/// candidate is then verified against *every* (x, y) pair with O(1)
+/// distance-additivity lookups: ψ qualifies iff it lies on some shortest
+/// x→y path for all pairs, which is precisely what query decomposition
+/// needs. Candidate vertices exclude members of X and Y (so a query
+/// endpoint can never equal ψ); candidate edges are kept oriented.
+fn common_element(
+    net: &RoadNetwork,
+    hops: &FirstHopMatrix,
+    node_code: &[u64],
+    xs: &[NodeId],
+    ys: &[NodeId],
+    depth: u8,
+    scratch: &mut CommonScratch,
+) -> Option<Psi> {
+    let px = prefix_of(node_code[xs[0] as usize], depth);
+    let py = prefix_of(node_code[ys[0] as usize], depth);
+    let in_regions = |v: NodeId| {
+        let p = prefix_of(node_code[v as usize], depth);
+        p == px || p == py
+    };
+    let CommonScratch {
+        candidates,
+        on_path_v,
+        on_path_e,
+        path,
+    } = scratch;
+
+    // Phase 1: seed candidates from up to SAMPLE_PATHS corner-ish pairs.
+    let sample_pairs = || {
+        let mut out: Vec<(NodeId, NodeId)> = Vec::with_capacity(SAMPLE_PATHS);
+        for (i, &x) in [xs[0], xs[xs.len() - 1]].iter().enumerate() {
+            for (j, &y) in [ys[0], ys[ys.len() - 1]].iter().enumerate() {
+                if (i == 0 || xs.len() > 1) && (j == 0 || ys.len() > 1) && x != y {
+                    out.push((x, y));
+                }
+            }
+        }
+        out.dedup();
+        out
+    };
+    candidates.clear();
+    let mut first = true;
+    for (x, y) in sample_pairs() {
+        path.clear();
+        hops.walk(net, x, y, |v| path.push(v));
+        if first {
+            first = false;
+            // Edges first: they guarantee query progress.
+            candidates.extend(path.windows(2).map(|w| Psi::Edge(w[0], w[1])));
+            candidates.extend(
+                path.iter()
+                    .copied()
+                    .filter(|&v| !in_regions(v))
+                    .map(Psi::Vertex),
+            );
+            continue;
+        }
+        on_path_v.clear();
+        on_path_e.clear();
+        for &v in path.iter() {
+            on_path_v.insert(v, ());
+        }
+        for w in path.windows(2) {
+            on_path_e.insert((w[0], w[1]), ());
+        }
+        candidates.retain(|c| match c {
+            Psi::Vertex(v) => on_path_v.contains_key(v),
+            Psi::Edge(u, v) => on_path_e.contains_key(&(*u, *v)),
+        });
+        if candidates.is_empty() {
+            return None;
+        }
+    }
+
+    // Phase 2: verify each candidate by distance additivity over all
+    // (x, y) pairs; first survivor wins (edges were queued first).
+    'cand: for &c in candidates.iter() {
+        match c {
+            Psi::Edge(u, v) => {
+                let w = net.edge_weight(u, v).expect("path edge exists") as u64;
+                for &x in xs {
+                    for &y in ys {
+                        if x == y {
+                            continue;
+                        }
+                        if hops.dist(x, u) + w + hops.dist(v, y) != hops.dist(x, y) {
+                            continue 'cand;
+                        }
+                    }
+                }
+                return Some(c);
+            }
+            Psi::Vertex(m) => {
+                for &x in xs {
+                    for &y in ys {
+                        if x == y {
+                            continue;
+                        }
+                        if hops.dist(x, m) + hops.dist(m, y) != hops.dist(x, y) {
+                            continue 'cand;
+                        }
+                    }
+                }
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+/// ψ for a same-coordinate exception pair: the middle of the canonical
+/// path (or its single edge).
+fn exception_psi(net: &RoadNetwork, hops: &FirstHopMatrix, a: NodeId, b: NodeId) -> Psi {
+    let path = hops.path(net, a, b);
+    if path.len() == 2 {
+        Psi::Edge(path[0], path[1])
+    } else {
+        Psi::Vertex(path[path.len() / 2])
+    }
+}
+
+impl IndexSize for Pcpd {
+    fn index_size_bytes(&self) -> usize {
+        // HashMap entries: key (u8, u64, u64) padded to 24 bytes, value
+        // 12 bytes, plus hashbrown's control byte and load-factor slack
+        // (~1/0.85). A deliberate estimate, matching how the paper
+        // accounts hash-table structures (Appendix D).
+        let pair_entry = (24 + 12 + 1) as f64 / 0.85;
+        let exc_entry = (8 + 12 + 1) as f64 / 0.85;
+        self.node_code.len() * 8
+            + (self.pairs.len() as f64 * pair_entry) as usize
+            + (self.exceptions.len() as f64 * exc_entry) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_graph::toy::figure1;
+
+    #[test]
+    fn figure5_pair_through_v8() {
+        // §3.5 / Figure 5: every path from {v1, v2, v3} (left) to
+        // {v4..v7} (right) passes through v8. The decomposition must
+        // discover ψ involving v8 for left-right block pairs.
+        let g = figure1();
+        let pcpd = Pcpd::build(&g);
+        assert!(pcpd.num_pairs() > 0);
+        // v3 (id 2) to v7 (id 6): the covering pair's ψ must be v8
+        // (vertex or an edge incident to it) — every left-right path
+        // shares only v8's neighbourhood.
+        let psi = pcpd.lookup(2, 6);
+        match psi {
+            Psi::Vertex(m) => assert_eq!(m, 7, "ψ must involve v8, got {psi:?}"),
+            Psi::Edge(u, v) => {
+                assert!(u == 7 || v == 7, "ψ must involve v8, got {psi:?}")
+            }
+        }
+    }
+
+    #[test]
+    fn every_pair_is_covered() {
+        let g = figure1();
+        let pcpd = Pcpd::build(&g);
+        for s in 0..8 {
+            for t in 0..8 {
+                if s != t {
+                    let _ = pcpd.lookup(s, t); // must not panic
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn psi_lies_on_a_shortest_path() {
+        use spq_dijkstra::Dijkstra;
+        let g = figure1();
+        let pcpd = Pcpd::build(&g);
+        let mut d = Dijkstra::new(8);
+        for s in 0..8u32 {
+            d.run(&g, s);
+            let dist_s: Vec<_> = (0..8).map(|t| d.distance(t).unwrap()).collect();
+            for t in 0..8u32 {
+                if s == t {
+                    continue;
+                }
+                let mut dt = Dijkstra::new(8);
+                dt.run(&g, t);
+                match pcpd.lookup(s, t) {
+                    Psi::Vertex(m) => {
+                        assert_ne!(m, s);
+                        assert_ne!(m, t);
+                        assert_eq!(
+                            dist_s[m as usize] + dt.distance(m).unwrap(),
+                            dist_s[t as usize],
+                            "vertex ψ additive for ({s},{t})"
+                        );
+                    }
+                    Psi::Edge(u, v) => {
+                        let w = g.edge_weight(u, v).expect("ψ edge exists") as u64;
+                        assert_eq!(
+                            dist_s[u as usize] + w + dt.distance(v).unwrap(),
+                            dist_s[t as usize],
+                            "edge ψ additive for ({s},{t})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_coordinates_use_exceptions() {
+        use spq_graph::geo::Point;
+        use spq_graph::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        b.add_node(Point::new(0, 0));
+        b.add_node(Point::new(5, 5));
+        b.add_node(Point::new(5, 5)); // same coordinate as node 1
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        let g = b.build().unwrap();
+        let pcpd = Pcpd::build(&g);
+        // (1, 2) share a coordinate: covered via the exception table.
+        assert_eq!(pcpd.lookup(1, 2), Psi::Edge(1, 2));
+        assert_eq!(pcpd.lookup(2, 1), Psi::Edge(2, 1));
+    }
+}

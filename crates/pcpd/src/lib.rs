@@ -1,0 +1,37 @@
+//! Path-Coherent Pairs Decomposition (PCPD), the spatial-coherence index
+//! of Sankaranarayanan et al. evaluated as the paper's §3.5 technique.
+//!
+//! PCPD pre-computes a set of *path-coherent pairs*: triplets
+//! `(X, Y, ψ)` of two disjoint square regions and an element `ψ` (a
+//! vertex or an edge) lying on the shortest path from any vertex in `X`
+//! to any vertex in `Y`. Any two vertices are covered by exactly one
+//! pair, found by a simultaneous quadtree descent. A shortest-path query
+//! recursively decomposes `(s, t)` at the covering pair's `ψ` — O(k)
+//! lookups of O(log n) each. Distance queries, as with SILC, compute the
+//! path and sum it (§3.5).
+//!
+//! The crate also houses the δ-redundancy measurement of Appendix C
+//! ([`delta`]), which explains PCPD's blown-up space constant on real
+//! road networks (Table 2).
+//!
+//! # Example
+//!
+//! ```
+//! use spq_graph::toy::figure1;
+//! use spq_pcpd::Pcpd;
+//!
+//! let g = figure1();
+//! let pcpd = Pcpd::build(&g);
+//! let mut q = pcpd.query(&g);
+//! let (d, path) = q.shortest_path(2, 6).unwrap(); // v3 -> v7
+//! assert_eq!(d, 6);
+//! assert_eq!(g.path_length(&path), Some(6));
+//! ```
+
+pub mod delta;
+pub mod firsthop;
+pub mod index;
+pub mod query;
+
+pub use index::Pcpd;
+pub use query::PcpdQuery;

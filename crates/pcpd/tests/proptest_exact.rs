@@ -1,0 +1,27 @@
+//! Property: PCPD is exact on arbitrary connected graphs — every pair is
+//! covered and every decomposition reassembles into an optimal path.
+
+use proptest::prelude::*;
+use spq_dijkstra::Dijkstra;
+use spq_graph::arbitrary::small_connected_network;
+use spq_graph::types::NodeId;
+use spq_pcpd::Pcpd;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn exact_on_arbitrary_graphs(net in small_connected_network()) {
+        let pcpd = Pcpd::build(&net);
+        let mut q = pcpd.query(&net);
+        let mut d = Dijkstra::new(net.num_nodes());
+        for s in 0..net.num_nodes() as NodeId {
+            d.run(&net, s);
+            for t in 0..net.num_nodes() as NodeId {
+                let (pd, path) = q.shortest_path(s, t).unwrap();
+                prop_assert_eq!(Some(pd), d.distance(t));
+                prop_assert_eq!(net.path_length(&path), d.distance(t));
+            }
+        }
+    }
+}

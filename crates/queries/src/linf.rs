@@ -1,0 +1,160 @@
+//! Q1..Q10: query sets stratified by L∞ distance (paper §4.2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use spq_graph::grid::{GridFrame, VertexGrid};
+use spq_graph::types::NodeId;
+use spq_graph::RoadNetwork;
+
+use crate::{QueryGenParams, QuerySet};
+
+/// Generates the ten Q-sets. A set may come back with fewer than
+/// `per_set` pairs (or none) if the network's vertex density cannot
+/// realise the band — on very small or perfectly uniform networks the
+/// nearest bands can be unfillable, which callers must tolerate.
+pub fn linf_query_sets(net: &RoadNetwork, params: &QueryGenParams) -> Vec<QuerySet> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let frame = GridFrame::new(net.bounding_rect(), params.grid);
+    let l = frame.side();
+    // A moderate bucket grid for neighbourhood enumeration.
+    let bucket_res = 64.min(params.grid);
+    let buckets = VertexGrid::build(net, bucket_res);
+    let n = net.num_nodes() as u64;
+
+    let mut sets = Vec::with_capacity(10);
+    for i in 1..=10u32 {
+        let lo = l << (i - 1);
+        let hi = l << i;
+        let mut pairs = Vec::with_capacity(params.per_set);
+        // Wide bands: rejection sampling over uniform pairs is cheap.
+        // Narrow bands: enumerate a source's spatial neighbourhood.
+        let extent = net
+            .bounding_rect()
+            .width()
+            .max(net.bounding_rect().height());
+        let wide = hi * 8 >= extent;
+        let max_attempts = params.per_set * 60;
+        let mut attempts = 0usize;
+        while pairs.len() < params.per_set && attempts < max_attempts {
+            attempts += 1;
+            let s = (rng.random::<u64>() % n) as NodeId;
+            if wide {
+                let t = (rng.random::<u64>() % n) as NodeId;
+                if s == t {
+                    continue;
+                }
+                let d = net.coord(s).linf(&net.coord(t)) as u64;
+                if d >= lo && d < hi {
+                    pairs.push((s, t));
+                }
+            } else {
+                // Enumerate cells within the annulus radius around s.
+                let cell = buckets.cell_of(s);
+                let radius =
+                    (hi / buckets.frame().side()).max(1) as u32 + 1;
+                let ps = net.coord(s);
+                let mut candidates: Vec<NodeId> = Vec::new();
+                for t in buckets.vertices_within(cell, radius) {
+                    if t == s {
+                        continue;
+                    }
+                    let d = ps.linf(&net.coord(t)) as u64;
+                    if d >= lo && d < hi {
+                        candidates.push(t);
+                    }
+                }
+                if candidates.is_empty() {
+                    continue;
+                }
+                let t = candidates[(rng.random::<u64>() % candidates.len() as u64) as usize];
+                pairs.push((s, t));
+            }
+        }
+        sets.push(QuerySet {
+            label: format!("Q{i}"),
+            pairs,
+        });
+    }
+    sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_synth::SynthParams;
+
+    #[test]
+    fn bands_are_respected() {
+        let net = spq_synth::generate(&SynthParams::with_target_vertices(3000, 81));
+        let params = QueryGenParams {
+            per_set: 200,
+            ..QueryGenParams::default()
+        };
+        let sets = linf_query_sets(&net, &params);
+        assert_eq!(sets.len(), 10);
+        let frame = GridFrame::new(net.bounding_rect(), params.grid);
+        let l = frame.side();
+        for (i, set) in sets.iter().enumerate() {
+            let lo = l << i;
+            let hi = l << (i + 1);
+            for &(s, t) in &set.pairs {
+                let d = net.coord(s).linf(&net.coord(t)) as u64;
+                assert!(
+                    d >= lo && d < hi,
+                    "{}: pair ({s},{t}) has L∞ {d} outside [{lo},{hi})",
+                    set.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn middle_and_far_bands_fill_completely() {
+        let net = spq_synth::generate(&SynthParams::with_target_vertices(3000, 82));
+        let params = QueryGenParams {
+            per_set: 100,
+            ..QueryGenParams::default()
+        };
+        let sets = linf_query_sets(&net, &params);
+        for set in &sets[4..9] {
+            assert_eq!(
+                set.pairs.len(),
+                params.per_set,
+                "{} incomplete",
+                set.label
+            );
+        }
+        // The urban cores must make at least the Q2 band non-empty.
+        assert!(!sets[1].is_empty(), "Q2 empty");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let net = spq_synth::generate(&SynthParams::with_target_vertices(1000, 83));
+        let params = QueryGenParams {
+            per_set: 50,
+            ..QueryGenParams::default()
+        };
+        let a = linf_query_sets(&net, &params);
+        let b = linf_query_sets(&net, &params);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.pairs, y.pairs);
+        }
+    }
+
+    #[test]
+    fn labels_are_q1_to_q10() {
+        let net = spq_synth::generate(&SynthParams::with_target_vertices(500, 84));
+        let sets = linf_query_sets(
+            &net,
+            &QueryGenParams {
+                per_set: 5,
+                ..QueryGenParams::default()
+            },
+        );
+        let labels: Vec<&str> = sets.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels[0], "Q1");
+        assert_eq!(labels[9], "Q10");
+    }
+}

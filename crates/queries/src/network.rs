@@ -1,0 +1,146 @@
+//! R1..R10: query sets stratified by network distance (paper App. E.2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use spq_graph::types::{Dist, NodeId};
+use spq_graph::RoadNetwork;
+use spq_dijkstra::Dijkstra;
+
+use crate::{QueryGenParams, QuerySet};
+
+/// "A rough estimation of the maximum distance ld between any two
+/// vertices" (App. E.2), via the classic double sweep: Dijkstra from an
+/// arbitrary vertex, then from the farthest vertex found.
+pub fn estimate_max_distance(net: &RoadNetwork, seed: u64) -> Dist {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = net.num_nodes() as u64;
+    let start = (rng.random::<u64>() % n) as NodeId;
+    let mut d = Dijkstra::new(net.num_nodes());
+    d.run(net, start);
+    let far = (0..net.num_nodes() as NodeId)
+        .max_by_key(|&v| d.distance(v).unwrap_or(0))
+        .expect("non-empty network");
+    d.run(net, far);
+    (0..net.num_nodes() as NodeId)
+        .filter_map(|v| d.distance(v))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Generates the ten R-sets: Ri holds pairs with network distance in
+/// `[2^(i-11)·ld, 2^(i-10)·ld)`. One full Dijkstra per sampled source
+/// fills all ten bands simultaneously.
+pub fn network_query_sets(net: &RoadNetwork, params: &QueryGenParams) -> Vec<QuerySet> {
+    let mut rng = StdRng::seed_from_u64(params.seed ^ r_seed());
+    let ld = estimate_max_distance(net, params.seed);
+    let n = net.num_nodes() as u64;
+    let mut d = Dijkstra::new(net.num_nodes());
+
+    let mut pairs: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); 10];
+    // Cap the number of source sweeps; each source contributes to every
+    // band it can reach.
+    let max_sources = 4 * params.per_set.div_ceil(50).max(8);
+    let per_source = params.per_set.div_ceil(max_sources / 4).max(1);
+    let mut scratch: Vec<Vec<NodeId>> = vec![Vec::new(); 10];
+    for _ in 0..max_sources {
+        if pairs.iter().all(|p| p.len() >= params.per_set) {
+            break;
+        }
+        let s = (rng.random::<u64>() % n) as NodeId;
+        d.run(net, s);
+        for band in &mut scratch {
+            band.clear();
+        }
+        for v in 0..net.num_nodes() as NodeId {
+            if v == s {
+                continue;
+            }
+            let Some(dist) = d.distance(v) else { continue };
+            if dist == 0 {
+                continue;
+            }
+            // dist in [2^(i-11) ld, 2^(i-10) ld) -> band index i-1.
+            for i in 0..10u32 {
+                let lo = ld >> (10 - i);
+                let hi = ld >> (9 - i);
+                if dist >= lo && dist < hi {
+                    scratch[i as usize].push(v);
+                    break;
+                }
+            }
+        }
+        for i in 0..10 {
+            if pairs[i].len() >= params.per_set || scratch[i].is_empty() {
+                continue;
+            }
+            for _ in 0..per_source.min(params.per_set - pairs[i].len()) {
+                let t = scratch[i][(rng.random::<u64>() % scratch[i].len() as u64) as usize];
+                pairs[i].push((s, t));
+            }
+        }
+    }
+
+    pairs
+        .into_iter()
+        .enumerate()
+        .map(|(i, pairs)| QuerySet {
+            label: format!("R{}", i + 1),
+            pairs,
+        })
+        .collect()
+}
+
+/// Seed-mixing constant (distinct from the Q-set stream).
+fn r_seed() -> u64 {
+    0x52_53_45_54_53_00_00_01
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_dijkstra::BiDijkstra;
+    use spq_synth::SynthParams;
+
+    #[test]
+    fn estimate_is_a_real_distance() {
+        let net = spq_synth::generate(&SynthParams::with_target_vertices(800, 91));
+        let ld = estimate_max_distance(&net, 7);
+        assert!(ld > 0);
+        // Double sweep is a lower bound on the true diameter but must be
+        // at least half of it; sanity: no distance exceeds 2*ld.
+        let mut d = Dijkstra::new(net.num_nodes());
+        d.run(&net, 0);
+        for v in 0..net.num_nodes() as NodeId {
+            assert!(d.distance(v).unwrap() <= 2 * ld);
+        }
+    }
+
+    #[test]
+    fn bands_respect_network_distance() {
+        let net = spq_synth::generate(&SynthParams::with_target_vertices(1500, 92));
+        let params = QueryGenParams {
+            per_set: 60,
+            ..QueryGenParams::default()
+        };
+        let ld = estimate_max_distance(&net, params.seed);
+        let sets = network_query_sets(&net, &params);
+        assert_eq!(sets.len(), 10);
+        let mut bidi = BiDijkstra::new(net.num_nodes());
+        for (i, set) in sets.iter().enumerate() {
+            let lo = ld >> (10 - i);
+            let hi = ld >> (9 - i);
+            for &(s, t) in set.pairs.iter().take(10) {
+                let dist = bidi.distance(&net, s, t).unwrap();
+                assert!(
+                    dist >= lo && dist < hi,
+                    "{}: dist({s},{t}) = {dist} outside [{lo},{hi})",
+                    set.label
+                );
+            }
+        }
+        // Large bands must fill on a connected network.
+        assert!(!sets[8].is_empty());
+        assert!(!sets[4].is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! Workload descriptive statistics.
+//!
+//! The experiment write-up wants to characterise each query set beyond
+//! its defining band — e.g. the paper's discussion of Figures 10/11
+//! hinges on k (the edge count of the answer path) growing with the set
+//! index. This module measures those properties.
+
+use spq_graph::types::NodeId;
+use spq_graph::RoadNetwork;
+use spq_dijkstra::BiDijkstra;
+
+use crate::QuerySet;
+
+/// Summary statistics of one query set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetStats {
+    /// The set's label.
+    pub label: String,
+    /// Number of pairs.
+    pub pairs: usize,
+    /// Mean L∞ distance between endpoints.
+    pub mean_linf: f64,
+    /// Mean network distance.
+    pub mean_dist: f64,
+    /// Mean number of edges on the shortest path (the k of the paper's
+    /// O(k log n) analyses).
+    pub mean_path_edges: f64,
+}
+
+/// Computes statistics over (up to `sample`) pairs of each set.
+pub fn describe(net: &RoadNetwork, sets: &[QuerySet], sample: usize) -> Vec<SetStats> {
+    let mut bidi = BiDijkstra::new(net.num_nodes());
+    sets.iter()
+        .map(|set| {
+            let pairs: Vec<(NodeId, NodeId)> =
+                set.pairs.iter().copied().take(sample).collect();
+            let mut linf = 0.0;
+            let mut dist = 0.0;
+            let mut edges = 0.0;
+            for &(s, t) in &pairs {
+                linf += net.coord(s).linf(&net.coord(t)) as f64;
+                if let Some((d, path)) = bidi.shortest_path(net, s, t) {
+                    dist += d as f64;
+                    edges += (path.len().saturating_sub(1)) as f64;
+                }
+            }
+            let m = pairs.len().max(1) as f64;
+            SetStats {
+                label: set.label.clone(),
+                pairs: set.pairs.len(),
+                mean_linf: linf / m,
+                mean_dist: dist / m,
+                mean_path_edges: edges / m,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{linf_query_sets, QueryGenParams};
+
+    #[test]
+    fn k_grows_with_the_set_index() {
+        let net = spq_synth::generate(&spq_synth::SynthParams::with_target_vertices(2000, 3));
+        let sets = linf_query_sets(
+            &net,
+            &QueryGenParams {
+                per_set: 60,
+                ..QueryGenParams::default()
+            },
+        );
+        let stats = describe(&net, &sets, 40);
+        // Among non-empty sets, the far bands must have longer paths
+        // than the near bands: compare the first and last populated.
+        let populated: Vec<&SetStats> = stats.iter().filter(|s| s.pairs > 0).collect();
+        assert!(populated.len() >= 4);
+        let first = populated.first().unwrap();
+        let last = populated.last().unwrap();
+        assert!(
+            last.mean_path_edges > 2.0 * first.mean_path_edges,
+            "k should grow: {} -> {}",
+            first.mean_path_edges,
+            last.mean_path_edges
+        );
+        assert!(last.mean_linf > first.mean_linf);
+        assert!(last.mean_dist > first.mean_dist);
+    }
+
+    #[test]
+    fn empty_sets_are_describable() {
+        let net = spq_graph::toy::grid_graph(4, 4);
+        let sets = vec![QuerySet {
+            label: "empty".into(),
+            pairs: vec![],
+        }];
+        let stats = describe(&net, &sets, 10);
+        assert_eq!(stats[0].pairs, 0);
+        assert_eq!(stats[0].mean_dist, 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Property: SILC is exact on arbitrary connected graphs, and its
+//! quadtree blocks exactly encode the first-hop colouring.
+
+use proptest::prelude::*;
+use spq_dijkstra::Dijkstra;
+use spq_graph::arbitrary::small_connected_network;
+use spq_graph::types::NodeId;
+use spq_silc::Silc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn exact_on_arbitrary_graphs(net in small_connected_network()) {
+        let silc = Silc::build(&net);
+        let mut q = silc.query(&net);
+        let mut d = Dijkstra::new(net.num_nodes());
+        for s in 0..net.num_nodes() as NodeId {
+            d.run(&net, s);
+            for t in 0..net.num_nodes() as NodeId {
+                prop_assert_eq!(q.distance(s, t), d.distance(t));
+                let (pd, path) = q.shortest_path(s, t).unwrap();
+                prop_assert_eq!(Some(pd), d.distance(t));
+                prop_assert_eq!(net.path_length(&path), d.distance(t));
+                prop_assert_eq!(path.first().copied(), Some(s));
+                prop_assert_eq!(path.last().copied(), Some(t));
+            }
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! The jittered-grid road-network generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use spq_graph::geo::Point;
+use spq_graph::{GraphBuilder, RoadNetwork, Weight};
+
+/// Parameters of the synthetic generator.
+///
+/// The defaults are tuned so that the produced networks match the paper's
+/// datasets in the statistics the techniques care about: average degree
+/// ≈ 2.4 (Table 1's arc/vertex ratio), bounded maximum degree, one
+/// connected component, and a two-tier speed hierarchy.
+#[derive(Debug, Clone)]
+pub struct SynthParams {
+    /// Grid columns before dropping vertices.
+    pub cols: u32,
+    /// Grid rows before dropping vertices.
+    pub rows: u32,
+    /// Probability that a lattice site has no vertex (models water,
+    /// parks, unbuilt land). Creates irregular boundaries and holes.
+    pub drop_vertex_prob: f64,
+    /// Probability that a lattice edge between two surviving neighbours
+    /// is absent. Brings the average degree down from 4 to road-network
+    /// levels and makes shortest paths wiggle.
+    pub drop_edge_prob: f64,
+    /// Probability of a diagonal shortcut within a lattice square.
+    pub diagonal_prob: f64,
+    /// Every `highway_period`-th row and column is a highway (0 disables
+    /// highways entirely).
+    pub highway_period: u32,
+    /// Travel speed on highways relative to local roads (> 1 makes
+    /// highways attractive for long-distance routing).
+    pub highway_speedup: f64,
+    /// Coordinate spacing between adjacent lattice sites.
+    pub spacing: u32,
+    /// Maximum coordinate jitter applied to each vertex, as a fraction of
+    /// `spacing` (keeps the embedding irregular but near-planar).
+    pub jitter: f64,
+    /// Number of dense "city" cores. Real road networks are far from
+    /// uniform: urban areas are orders of magnitude denser than rural
+    /// ones, which is what makes the paper's nearest query classes (Q1,
+    /// Q2 — L∞ below extent/512) non-empty. Each city overlays a refined
+    /// lattice patch and links it to the base network.
+    pub city_count: u32,
+    /// Side length of a city patch, in refined lattice sites.
+    pub city_side: u32,
+    /// Refinement factor: city lattice spacing is `spacing / city_refine`.
+    pub city_refine: u32,
+    /// RNG seed; equal parameters and seed give identical networks.
+    pub seed: u64,
+}
+
+impl Default for SynthParams {
+    fn default() -> Self {
+        SynthParams {
+            cols: 32,
+            rows: 32,
+            drop_vertex_prob: 0.06,
+            drop_edge_prob: 0.32,
+            diagonal_prob: 0.05,
+            highway_period: 8,
+            highway_speedup: 3.0,
+            spacing: 1000,
+            jitter: 0.3,
+            city_count: 3,
+            city_side: 12,
+            city_refine: 12,
+            seed: 0x5eed_0001,
+        }
+    }
+}
+
+impl SynthParams {
+    /// Parameters for a network of roughly `target_vertices` vertices,
+    /// using a 4:3 aspect ratio like a typical state extract. City count
+    /// grows with size so the urban fraction stays near 15%.
+    pub fn with_target_vertices(target_vertices: usize, seed: u64) -> Self {
+        let defaults = SynthParams::default();
+        let survive = 1.0 - defaults.drop_vertex_prob;
+        let urban_budget = target_vertices as f64 * 0.15;
+        let per_full_city = (defaults.city_side * defaults.city_side) as f64 * survive;
+        let city_count = ((urban_budget / per_full_city).round() as u32).max(1);
+        // Shrink the city patches when the budget cannot fill full-size
+        // ones (tiny smoke datasets).
+        let city_side = ((urban_budget / city_count as f64 / survive).sqrt().round() as u32)
+            .clamp(4, defaults.city_side);
+        let per_city = (city_side * city_side) as f64 * survive;
+        let base_target =
+            (target_vertices as f64 - city_count as f64 * per_city).max(per_city);
+        // Largest-component extraction plus vertex dropping removes a
+        // further few percent; 0.90 keeps the expectation centred.
+        let area = base_target / (1.0 - defaults.drop_vertex_prob) / 0.90;
+        let rows = (area * 3.0 / 4.0).sqrt().round().max(2.0) as u32;
+        let cols = (area / rows as f64).round().max(2.0) as u32;
+        SynthParams {
+            cols,
+            rows,
+            city_count,
+            city_side,
+            seed,
+            ..defaults
+        }
+    }
+}
+
+/// Generates a connected synthetic road network.
+///
+/// The construction: place a `cols × rows` point lattice with jitter, drop
+/// sites and lattice edges at the configured rates, add occasional
+/// diagonals, assign travel-time weights (Euclidean length divided by the
+/// road-class speed), and finally keep the largest connected component.
+/// Weights are at least 1, so all shortest paths are strictly positive
+/// and the canonical-path machinery in `spq-dijkstra` applies.
+pub fn generate(params: &SynthParams) -> RoadNetwork {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let cols = params.cols.max(2);
+    let rows = params.rows.max(2);
+    let spacing = params.spacing.max(2) as f64;
+    let jitter_amp = (params.jitter.clamp(0.0, 0.45) * spacing) as i32;
+
+    let mut b = GraphBuilder::with_capacity((cols * rows) as usize, (2 * cols * rows) as usize);
+    let mut site_id = vec![u32::MAX; (cols * rows) as usize];
+    let mut coord = Vec::with_capacity((cols * rows) as usize);
+    for r in 0..rows {
+        for c in 0..cols {
+            if rng.random::<f64>() < params.drop_vertex_prob {
+                continue;
+            }
+            let jx = if jitter_amp > 0 {
+                rng.random_range(-jitter_amp..=jitter_amp)
+            } else {
+                0
+            };
+            let jy = if jitter_amp > 0 {
+                rng.random_range(-jitter_amp..=jitter_amp)
+            } else {
+                0
+            };
+            let p = Point::new(
+                (c as f64 * spacing) as i32 + jx,
+                (r as f64 * spacing) as i32 + jy,
+            );
+            site_id[(r * cols + c) as usize] = b.add_node(p);
+            coord.push(p);
+        }
+    }
+
+    // Road class of a lattice line: 0 = local street, 1 = highway,
+    // 2 = freeway (every fourth highway). The two-tier hierarchy mirrors
+    // real travel-time networks, where long-distance shortest paths
+    // funnel onto a sparse fast sub-network — the property CH and TNR
+    // exploit (paper SS1).
+    let line_class = |i: u32| -> u8 {
+        if params.highway_period > 1 && i % params.highway_period == 0 {
+            if i % (4 * params.highway_period) == 0 {
+                2
+            } else {
+                1
+            }
+        } else {
+            0
+        }
+    };
+    // Travel time of a road segment between two embedded points.
+    let travel_time_class = |a: Point, bpt: Point, class: u8| -> Weight {
+        let euclid = (a.dist2(&bpt) as f64).sqrt();
+        let speed = match class {
+            0 => 1.0,
+            1 => params.highway_speedup,
+            _ => 2.0 * params.highway_speedup,
+        };
+        // Divide by spacing so weights stay in the hundreds; DIMACS
+        // travel times are similar magnitudes.
+        let t = euclid / speed * 256.0 / spacing;
+        (t.round() as Weight).max(1)
+    };
+    let travel_time = |a: Point, bpt: Point, highway: bool| -> Weight {
+        travel_time_class(a, bpt, if highway { 1 } else { 0 })
+    };
+
+    let site = |r: u32, c: u32| site_id[(r * cols + c) as usize];
+    for r in 0..rows {
+        for c in 0..cols {
+            let u = site(r, c);
+            if u == u32::MAX {
+                continue;
+            }
+            // East edge. Highways are never dropped: a broken fast road
+            // would destroy the funnelling that makes them highways.
+            if c + 1 < cols {
+                let v = site(r, c + 1);
+                let class = line_class(r);
+                if v != u32::MAX
+                    && (class > 0 || rng.random::<f64>() >= params.drop_edge_prob)
+                {
+                    b.add_edge(u, v, travel_time_class(coord[u as usize], coord[v as usize], class));
+                }
+            }
+            // South edge.
+            if r + 1 < rows {
+                let v = site(r + 1, c);
+                let class = line_class(c);
+                if v != u32::MAX
+                    && (class > 0 || rng.random::<f64>() >= params.drop_edge_prob)
+                {
+                    b.add_edge(u, v, travel_time_class(coord[u as usize], coord[v as usize], class));
+                }
+            }
+            // Occasional diagonal (local roads only).
+            if c + 1 < cols && r + 1 < rows {
+                let v = site(r + 1, c + 1);
+                if v != u32::MAX && rng.random::<f64>() < params.diagonal_prob {
+                    b.add_edge(u, v, travel_time(coord[u as usize], coord[v as usize], false));
+                }
+            }
+        }
+    }
+
+    // City cores: refined lattice patches linked into the base network.
+    if params.city_refine > 1 && params.city_side > 1 {
+        let fine_spacing = spacing / params.city_refine as f64;
+        let fine_jitter = (params.jitter.clamp(0.0, 0.45) * fine_spacing) as i32;
+        let side = params.city_side;
+        for _ in 0..params.city_count {
+            // City centre at a random base site (biased off the border).
+            let cr = rng.random_range(1..rows.saturating_sub(1).max(2));
+            let cc = rng.random_range(1..cols.saturating_sub(1).max(2));
+            let origin_x = cc as f64 * spacing - side as f64 / 2.0 * fine_spacing;
+            let origin_y = cr as f64 * spacing - side as f64 / 2.0 * fine_spacing;
+            let mut city_id = vec![u32::MAX; (side * side) as usize];
+            for fr in 0..side {
+                for fc in 0..side {
+                    if rng.random::<f64>() < params.drop_vertex_prob {
+                        continue;
+                    }
+                    let jx = if fine_jitter > 0 {
+                        rng.random_range(-fine_jitter..=fine_jitter)
+                    } else {
+                        0
+                    };
+                    let jy = if fine_jitter > 0 {
+                        rng.random_range(-fine_jitter..=fine_jitter)
+                    } else {
+                        0
+                    };
+                    let p = Point::new(
+                        (origin_x + fc as f64 * fine_spacing) as i32 + jx,
+                        (origin_y + fr as f64 * fine_spacing) as i32 + jy,
+                    );
+                    city_id[(fr * side + fc) as usize] = b.add_node(p);
+                    coord.push(p);
+                }
+            }
+            // Dense street grid inside the city.
+            for fr in 0..side {
+                for fc in 0..side {
+                    let u = city_id[(fr * side + fc) as usize];
+                    if u == u32::MAX {
+                        continue;
+                    }
+                    if fc + 1 < side {
+                        let v = city_id[(fr * side + fc + 1) as usize];
+                        if v != u32::MAX && rng.random::<f64>() >= params.drop_edge_prob {
+                            b.add_edge(u, v, travel_time(coord[u as usize], coord[v as usize], false));
+                        }
+                    }
+                    if fr + 1 < side {
+                        let v = city_id[((fr + 1) * side + fc) as usize];
+                        if v != u32::MAX && rng.random::<f64>() >= params.drop_edge_prob {
+                            b.add_edge(u, v, travel_time(coord[u as usize], coord[v as usize], false));
+                        }
+                    }
+                }
+            }
+            // Arterial links: tie the city corners and centre into the
+            // nearest surviving base-lattice vertices.
+            let anchors = [
+                (0u32, 0u32),
+                (0, side - 1),
+                (side - 1, 0),
+                (side - 1, side - 1),
+                (side / 2, side / 2),
+            ];
+            for (fr, fc) in anchors {
+                let u = city_id[(fr * side + fc) as usize];
+                if u == u32::MAX {
+                    continue;
+                }
+                let pu = coord[u as usize];
+                // Scan base sites within two lattice steps of the centre.
+                let mut best: Option<(u64, u32)> = None;
+                for dr in -2i64..=2 {
+                    for dc in -2i64..=2 {
+                        let r = cr as i64 + dr;
+                        let c = cc as i64 + dc;
+                        if r < 0 || c < 0 || r >= rows as i64 || c >= cols as i64 {
+                            continue;
+                        }
+                        let v = site_id[(r as u32 * cols + c as u32) as usize];
+                        if v == u32::MAX {
+                            continue;
+                        }
+                        let d2 = pu.dist2(&coord[v as usize]);
+                        if best.map_or(true, |(bd, _)| d2 < bd) {
+                            best = Some((d2, v));
+                        }
+                    }
+                }
+                if let Some((_, v)) = best {
+                    if v != u {
+                        b.add_edge(u, v, travel_time(pu, coord[v as usize], false));
+                    }
+                }
+            }
+        }
+    }
+
+    let (net, _dropped) = b
+        .build_largest_component()
+        .expect("lattice construction yields a non-empty graph");
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_graph::NodeId;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let p = SynthParams::default();
+        let a = generate(&p);
+        let b = generate(&p);
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_edges(), b.num_edges());
+        for v in 0..a.num_nodes() as NodeId {
+            assert_eq!(a.coord(v), b.coord(v));
+            assert!(a.neighbors(v).eq(b.neighbors(v)));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&SynthParams::default());
+        let b = generate(&SynthParams {
+            seed: 999,
+            ..SynthParams::default()
+        });
+        // Vertex counts almost surely differ; if not, edge sets will.
+        assert!(a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges());
+    }
+
+    #[test]
+    fn target_vertices_is_approximate() {
+        for target in [500usize, 2000, 8000] {
+            let p = SynthParams::with_target_vertices(target, 7);
+            let g = generate(&p);
+            let n = g.num_nodes() as f64;
+            assert!(
+                (n - target as f64).abs() / (target as f64) < 0.25,
+                "target {target}, got {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn degree_statistics_match_road_networks() {
+        let g = generate(&SynthParams::with_target_vertices(4000, 42));
+        // Bounded degree (paper §2 assumes it); lattice max is 8.
+        assert!(g.max_degree() <= 8);
+        // Table 1's arc/vertex ratio is ≈ 2.4; accept a generous band.
+        let avg_degree = g.num_arcs() as f64 / g.num_nodes() as f64;
+        assert!(
+            (1.8..=3.2).contains(&avg_degree),
+            "avg degree {avg_degree}"
+        );
+    }
+
+    #[test]
+    fn weights_are_positive() {
+        let g = generate(&SynthParams::default());
+        for v in 0..g.num_nodes() as NodeId {
+            for (_, w) in g.neighbors(v) {
+                assert!(w >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn highways_speed_up_long_trips() {
+        // With highways, the network-distance between far-apart vertices
+        // should be clearly smaller than without.
+        let base = SynthParams {
+            cols: 48,
+            rows: 48,
+            seed: 11,
+            ..SynthParams::default()
+        };
+        let with_hw = generate(&base);
+        let without_hw = generate(&SynthParams {
+            highway_period: 0,
+            ..base.clone()
+        });
+        let mut d1 = spq_dijkstra::Dijkstra::new(with_hw.num_nodes());
+        let mut d2 = spq_dijkstra::Dijkstra::new(without_hw.num_nodes());
+        d1.run(&with_hw, 0);
+        d2.run(&without_hw, 0);
+        let far1: u64 = (0..with_hw.num_nodes() as NodeId)
+            .filter_map(|v| d1.distance(v))
+            .max()
+            .unwrap();
+        let far2: u64 = (0..without_hw.num_nodes() as NodeId)
+            .filter_map(|v| d2.distance(v))
+            .max()
+            .unwrap();
+        assert!(
+            (far1 as f64) < 0.9 * (far2 as f64),
+            "eccentricity with highways {far1} vs without {far2}"
+        );
+    }
+
+    #[test]
+    fn tiny_parameters_still_build() {
+        let g = generate(&SynthParams {
+            cols: 2,
+            rows: 2,
+            drop_vertex_prob: 0.0,
+            drop_edge_prob: 0.0,
+            ..SynthParams::default()
+        });
+        assert!(g.num_nodes() >= 2);
+    }
+}

@@ -1,0 +1,27 @@
+//! Seeded synthetic road networks standing in for the paper's DIMACS data.
+//!
+//! The paper evaluates on ten extracts of the US road network from the 9th
+//! DIMACS Implementation Challenge (Table 1), with travel-time edge
+//! weights. Those files are not redistributable here, so this crate
+//! generates networks with the two structural properties every evaluated
+//! technique actually exploits:
+//!
+//! 1. **Spatial coherence / planarity** — vertices live in the plane and
+//!    edges connect near neighbours, so shortest paths between nearby
+//!    sources and destinations share structure (the SILC/PCPD/TNR
+//!    premise, paper §1).
+//! 2. **Vertex-importance skew** — a sparse "highway" sub-network carries
+//!    long-distance traffic (the CH/TNR premise: "a vertex that represents
+//!    the entrance of a highway tends to be accessed much more
+//!    frequently", §1).
+//!
+//! The [`registry`] mirrors Table 1's ten datasets at a configurable
+//! scale, so every experiment binary can iterate "the datasets" exactly
+//! like the paper does. Real DIMACS files can be substituted at any time
+//! via [`spq_graph::dimacs`].
+
+pub mod generator;
+pub mod registry;
+
+pub use generator::{generate, SynthParams};
+pub use registry::{Dataset, Scale, DATASETS};

@@ -1,0 +1,200 @@
+//! The dataset registry mirroring the paper's Table 1.
+//!
+//! Every experiment binary iterates these ten datasets exactly like the
+//! paper iterates DE..US. Sizes are scaled by [`Scale`]: the paper spans
+//! 48k–24M vertices; the default scale reproduces the same 500× spread at
+//! laptop-friendly absolute sizes (≈1.2k–600k vertices), which preserves
+//! every *relative* result (slopes in n, crossovers, applicability
+//! boundaries) while keeping full runs in minutes.
+
+use spq_graph::RoadNetwork;
+
+use crate::generator::{generate, SynthParams};
+
+/// A Table-1 dataset descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dataset {
+    /// Short name used throughout the paper ("DE", "CO", "US", ...).
+    pub name: &'static str,
+    /// Region the original extract covers.
+    pub region: &'static str,
+    /// Vertex count of the original DIMACS extract (Table 1).
+    pub paper_vertices: u64,
+    /// Arc count of the original DIMACS extract (Table 1).
+    pub paper_edges: u64,
+}
+
+/// The ten datasets of Table 1, smallest to largest.
+pub const DATASETS: [Dataset; 10] = [
+    Dataset {
+        name: "DE",
+        region: "Delaware",
+        paper_vertices: 48_812,
+        paper_edges: 120_489,
+    },
+    Dataset {
+        name: "NH",
+        region: "New Hampshire",
+        paper_vertices: 115_055,
+        paper_edges: 264_218,
+    },
+    Dataset {
+        name: "ME",
+        region: "Maine",
+        paper_vertices: 187_315,
+        paper_edges: 422_998,
+    },
+    Dataset {
+        name: "CO",
+        region: "Colorado",
+        paper_vertices: 435_666,
+        paper_edges: 1_057_066,
+    },
+    Dataset {
+        name: "FL",
+        region: "Florida",
+        paper_vertices: 1_070_376,
+        paper_edges: 2_712_798,
+    },
+    Dataset {
+        name: "CA",
+        region: "California and Nevada",
+        paper_vertices: 1_890_815,
+        paper_edges: 4_657_742,
+    },
+    Dataset {
+        name: "E-US",
+        region: "Eastern US",
+        paper_vertices: 3_598_623,
+        paper_edges: 8_778_114,
+    },
+    Dataset {
+        name: "W-US",
+        region: "Western US",
+        paper_vertices: 6_262_104,
+        paper_edges: 15_248_146,
+    },
+    Dataset {
+        name: "C-US",
+        region: "Central US",
+        paper_vertices: 14_081_816,
+        paper_edges: 34_292_496,
+    },
+    Dataset {
+        name: "US",
+        region: "United States",
+        paper_vertices: 23_947_347,
+        paper_edges: 58_333_344,
+    },
+];
+
+/// How far to shrink Table 1's sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scale {
+    /// ≈1/400 of the paper: DE ≈ 120 vertices, US ≈ 60k. For unit and
+    /// integration tests.
+    Smoke,
+    /// ≈1/40 of the paper: DE ≈ 1.2k vertices, US ≈ 600k. The default for
+    /// experiment runs.
+    Paper,
+    /// Custom divisor applied to Table 1's vertex counts.
+    Divisor(f64),
+}
+
+impl Scale {
+    /// The divisor applied to the paper's vertex counts.
+    pub fn divisor(&self) -> f64 {
+        match self {
+            Scale::Smoke => 400.0,
+            Scale::Paper => 40.0,
+            Scale::Divisor(d) => *d,
+        }
+    }
+
+    /// Reads the scale from the `SPQ_SCALE` environment variable
+    /// (`smoke`, `paper`, or a numeric divisor); defaults to `Paper`.
+    pub fn from_env() -> Scale {
+        match std::env::var("SPQ_SCALE").ok().as_deref() {
+            Some("smoke") => Scale::Smoke,
+            Some("paper") | None => Scale::Paper,
+            Some(other) => other
+                .parse::<f64>()
+                .map(Scale::Divisor)
+                .unwrap_or(Scale::Paper),
+        }
+    }
+}
+
+impl Dataset {
+    /// Target vertex count at `scale`.
+    pub fn target_vertices(&self, scale: Scale) -> usize {
+        ((self.paper_vertices as f64 / scale.divisor()).round() as usize).max(64)
+    }
+
+    /// Builds the dataset's synthetic network at `scale`, deterministic
+    /// per (dataset, scale, seed).
+    pub fn build_with_seed(&self, scale: Scale, seed: u64) -> RoadNetwork {
+        // Mix the dataset name into the seed so each dataset gets an
+        // independent network even under one global seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed;
+        for b in self.name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        let params = SynthParams::with_target_vertices(self.target_vertices(scale), h);
+        generate(&params)
+    }
+
+    /// Builds with the workspace default seed.
+    pub fn build(&self, scale: Scale) -> RoadNetwork {
+        self.build_with_seed(scale, 0x5eed_0002)
+    }
+
+    /// Looks a dataset up by name (case-insensitive).
+    pub fn by_name(name: &str) -> Option<&'static Dataset> {
+        DATASETS.iter().find(|d| d.name.eq_ignore_ascii_case(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table1() {
+        assert_eq!(DATASETS.len(), 10);
+        assert_eq!(DATASETS[0].name, "DE");
+        assert_eq!(DATASETS[9].name, "US");
+        assert_eq!(DATASETS[3].paper_vertices, 435_666);
+        // Sizes are strictly increasing, as in Table 1.
+        assert!(DATASETS.windows(2).all(|w| w[0].paper_vertices < w[1].paper_vertices));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(Dataset::by_name("co").unwrap().name, "CO");
+        assert_eq!(Dataset::by_name("E-US").unwrap().region, "Eastern US");
+        assert!(Dataset::by_name("XX").is_none());
+    }
+
+    #[test]
+    fn smoke_scale_builds_quickly_and_close_to_target() {
+        let d = Dataset::by_name("DE").unwrap();
+        let g = d.build(Scale::Smoke);
+        let target = d.target_vertices(Scale::Smoke) as f64;
+        assert!((g.num_nodes() as f64 - target).abs() / target < 0.35);
+    }
+
+    #[test]
+    fn datasets_are_distinct_under_one_seed() {
+        let a = Dataset::by_name("DE").unwrap().build(Scale::Smoke);
+        let b = Dataset::by_name("NH").unwrap().build(Scale::Smoke);
+        assert_ne!(a.num_nodes(), b.num_nodes());
+    }
+
+    #[test]
+    fn scale_divisors() {
+        assert_eq!(Scale::Smoke.divisor(), 400.0);
+        assert_eq!(Scale::Paper.divisor(), 40.0);
+        assert_eq!(Scale::Divisor(10.0).divisor(), 10.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Access-node computation (paper §3.3 "Remarks" and Appendix B).
+
+use spq_graph::geo::Rect;
+use spq_graph::grid::VertexGrid;
+use spq_graph::types::{NodeId, INVALID_NODE};
+use spq_graph::RoadNetwork;
+use spq_dijkstra::{Dijkstra, SearchScope};
+
+/// Which access-node algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AccessNodeStrategy {
+    /// The paper's corrected method (§3.3, Remarks): for every vertex `v`
+    /// in cell `C`, compute the shortest paths from `v` to *both*
+    /// endpoints of every edge crossing `C`'s outer shell; on each path,
+    /// take the inside endpoint of an inner-shell-crossing edge as an
+    /// access node. Complete by construction.
+    #[default]
+    Correct,
+    /// Bast et al.'s flawed selection (Appendix B): only paths to
+    /// boundary vertices *inside* the outer region are examined, so an
+    /// edge that jumps from within the inner shell to beyond the outer
+    /// shell never contributes its access node (the `v5`/`v6`
+    /// counterexample of Figure 12(b)). Provided only to reproduce the
+    /// paper's incorrectness demonstration.
+    FlawedBast,
+}
+
+/// The access nodes of one cell, with the search work that produced them.
+#[derive(Debug, Default, Clone)]
+pub struct CellAccess {
+    /// Deduplicated, sorted access-node vertex ids.
+    pub nodes: Vec<NodeId>,
+}
+
+/// Geometry of a cell's shells in coordinate space.
+#[derive(Debug, Clone, Copy)]
+pub struct Shells {
+    /// Coordinate rectangle of the inner 5×5 square of cells.
+    pub inner: Rect,
+    /// Coordinate rectangle of the outer 9×9 square of cells.
+    pub outer: Rect,
+}
+
+/// Computes the shell rectangles of cell index `c`.
+pub fn shells_of(grid: &VertexGrid, c: u32, inner_radius: u32, outer_radius: u32) -> Shells {
+    let cell = grid.frame().cell_at(c);
+    Shells {
+        inner: grid.frame().square_around(cell, inner_radius),
+        outer: grid.frame().square_around(cell, outer_radius),
+    }
+}
+
+/// Collects the edges crossing the outer shell of the region `outer`:
+/// edges with exactly one endpoint inside the rectangle. Returns the
+/// deduplicated endpoint set `Vout` (both endpoints, as the paper's
+/// corrected method requires) and, separately, only the inside endpoints
+/// (what the flawed method restricts itself to).
+pub fn crossing_endpoints(
+    net: &RoadNetwork,
+    grid: &VertexGrid,
+    c: u32,
+    outer: &Rect,
+    outer_radius: u32,
+) -> (Vec<NodeId>, Vec<NodeId>) {
+    let cell = grid.frame().cell_at(c);
+    let mut both = Vec::new();
+    let mut inside_only = Vec::new();
+    // Only vertices in cells within the outer square can be inside
+    // endpoints of crossing edges.
+    for u in grid.vertices_within(cell, outer_radius) {
+        if !outer.contains(net.coord(u)) {
+            continue;
+        }
+        for (v, _) in net.neighbors(u) {
+            if !outer.contains(net.coord(v)) {
+                both.push(u);
+                both.push(v);
+                inside_only.push(u);
+            }
+        }
+    }
+    both.sort_unstable();
+    both.dedup();
+    inside_only.sort_unstable();
+    inside_only.dedup();
+    (both, inside_only)
+}
+
+/// Computes the access nodes of cell `c` by running one Dijkstra per cell
+/// vertex to the target set and harvesting the inner-shell crossings of
+/// the canonical shortest-path tree.
+///
+/// `dijkstra` is a reusable workspace sized for `net`.
+pub fn access_nodes_of_cell(
+    net: &RoadNetwork,
+    grid: &VertexGrid,
+    c: u32,
+    shells: &Shells,
+    strategy: AccessNodeStrategy,
+    outer_radius: u32,
+    dijkstra: &mut Dijkstra,
+) -> CellAccess {
+    let (vout_both, vout_inside) = crossing_endpoints(net, grid, c, &shells.outer, outer_radius);
+    let targets: &[NodeId] = match strategy {
+        AccessNodeStrategy::Correct => &vout_both,
+        AccessNodeStrategy::FlawedBast => &vout_inside,
+    };
+    let mut access = Vec::new();
+    if targets.is_empty() {
+        // The outer shell swallows the whole network: no shortest path
+        // ever leaves it, so the cell needs no access nodes and every
+        // query from it uses the fallback method.
+        return CellAccess { nodes: access };
+    }
+    for &v in grid.vertices_in(c) {
+        dijkstra.run_to_targets(net, v, targets, SearchScope::Full);
+        for &u in targets {
+            if !dijkstra.is_settled(u) {
+                continue;
+            }
+            // Walk the canonical path u -> v (via parents) and find the
+            // crossing of the inner shell closest to v, i.e. the last
+            // index j (from u) with q_j outside and its parent inside.
+            let mut cur = u;
+            let mut access_node = INVALID_NODE;
+            while cur != v {
+                let parent = dijkstra
+                    .parent(cur)
+                    .expect("settled non-source vertices have parents");
+                let cur_inside = shells.inner.contains(net.coord(cur));
+                let parent_inside = shells.inner.contains(net.coord(parent));
+                if !cur_inside && parent_inside {
+                    // Crossing edge (parent, cur); inside endpoint wins.
+                    access_node = parent;
+                }
+                cur = parent;
+            }
+            if access_node != INVALID_NODE {
+                access.push(access_node);
+            }
+        }
+    }
+    access.sort_unstable();
+    access.dedup();
+    CellAccess { nodes: access }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_graph::geo::Point;
+    use spq_graph::grid::VertexGrid;
+    use spq_graph::GraphBuilder;
+
+    /// A 16x16-spread lattice so grid cells are meaningful.
+    fn lattice(n_side: i32) -> RoadNetwork {
+        let mut b = GraphBuilder::new();
+        for y in 0..n_side {
+            for x in 0..n_side {
+                b.add_node(Point::new(x * 10, y * 10));
+            }
+        }
+        for y in 0..n_side {
+            for x in 0..n_side {
+                let id = (y * n_side + x) as u32;
+                if x + 1 < n_side {
+                    b.add_edge(id, id + 1, 10);
+                }
+                if y + 1 < n_side {
+                    b.add_edge(id, id + n_side as u32, 10);
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn crossing_endpoints_found_on_lattice() {
+        let net = lattice(32);
+        let grid = VertexGrid::build(&net, 16);
+        // A central cell: its 9×9 outer square is interior, so crossing
+        // edges exist.
+        let c = grid.cell_index_of((16 * 32 + 16) as u32);
+        let shells = shells_of(&grid, c, 2, 4);
+        let (both, inside) = crossing_endpoints(&net, &grid, c, &shells.outer, 4);
+        assert!(!both.is_empty());
+        assert!(!inside.is_empty());
+        assert!(inside.len() < both.len(), "both sides must include outside endpoints");
+        // Every inside endpoint is inside; at least one endpoint of
+        // `both` lies outside.
+        assert!(inside.iter().all(|&v| shells.outer.contains(net.coord(v))));
+        assert!(both.iter().any(|&v| !shells.outer.contains(net.coord(v))));
+    }
+
+    #[test]
+    fn access_nodes_sit_in_the_inner_ring() {
+        let net = lattice(32);
+        let grid = VertexGrid::build(&net, 16);
+        let center = (16 * 32 + 16) as u32;
+        let c = grid.cell_index_of(center);
+        let shells = shells_of(&grid, c, 2, 4);
+        let mut d = Dijkstra::new(net.num_nodes());
+        let acc = access_nodes_of_cell(
+            &net,
+            &grid,
+            c,
+            &shells,
+            AccessNodeStrategy::Correct,
+            4,
+            &mut d,
+        );
+        assert!(!acc.nodes.is_empty());
+        for &a in &acc.nodes {
+            // Inside endpoints of inner-shell crossings lie within the
+            // inner square but outside... at least within the inner rect.
+            assert!(shells.inner.contains(net.coord(a)), "access node {a} inside inner shell");
+        }
+        // On a uniform lattice the access set is far smaller than the
+        // cell+ring vertex count — it concentrates on the ring.
+        assert!(acc.nodes.len() <= 64, "{} access nodes", acc.nodes.len());
+    }
+
+    #[test]
+    fn border_cell_with_no_crossings_has_no_access_nodes() {
+        // A tiny network entirely inside one outer shell.
+        let net = lattice(4);
+        let grid = VertexGrid::build(&net, 2);
+        let c = grid.cell_index_of(0);
+        let shells = shells_of(&grid, c, 2, 4);
+        let mut d = Dijkstra::new(net.num_nodes());
+        let acc = access_nodes_of_cell(
+            &net,
+            &grid,
+            c,
+            &shells,
+            AccessNodeStrategy::Correct,
+            4,
+            &mut d,
+        );
+        assert!(acc.nodes.is_empty());
+    }
+
+    #[test]
+    fn flawed_strategy_misses_shell_jumping_access_node() {
+        // Rebuild Appendix B's Figure 12(b): vertex v1 inside cell C0,
+        // v5 inside the inner shell, v6 beyond the outer shell, with the
+        // only v6 connection being the jumping edge (v5, v6). The rest of
+        // the network reaches the outside via an ordinary ladder of short
+        // edges far from v5.
+        let mut b = GraphBuilder::new();
+        // Grid geometry: cells of side 10 on a 16x16 grid (coords 0..160).
+        // C0 is the cell at (4..8, 4..8)... build explicit coordinates:
+        let v1 = b.add_node(Point::new(45, 45)); // inside C0 (cell ~4,4)
+        let v5 = b.add_node(Point::new(55, 62)); // inner shell area
+        let v6 = b.add_node(Point::new(115, 130)); // beyond outer shell
+        // An ordinary path from v1 leaving the region step by step.
+        let mut chain = vec![v1];
+        for i in 1..=10 {
+            chain.push(b.add_node(Point::new(45 + 12 * i, 45)));
+        }
+        // Far corner anchor to pad the bounding box (so the grid frame is
+        // the full 0..160 square).
+        let corner1 = b.add_node(Point::new(0, 0));
+        let corner2 = b.add_node(Point::new(160, 160));
+        for w in chain.windows(2) {
+            b.add_edge(w[0], w[1], 12);
+        }
+        b.add_edge(v1, v5, 20);
+        b.add_edge(v5, v6, 95); // the shell-jumping edge
+        b.add_edge(*chain.last().unwrap(), corner2, 40);
+        b.add_edge(corner1, v1, 64);
+        b.add_edge(corner2, v6, 55);
+        let net = b.build().unwrap();
+
+        let grid = VertexGrid::build(&net, 16);
+        let c = grid.cell_index_of(v1);
+        let shells = shells_of(&grid, c, 2, 4);
+        assert!(shells.inner.contains(net.coord(v5)), "v5 must be inside the inner shell");
+        assert!(!shells.outer.contains(net.coord(v6)), "v6 must be beyond the outer shell");
+
+        let mut d = Dijkstra::new(net.num_nodes());
+        let correct = access_nodes_of_cell(
+            &net,
+            &grid,
+            c,
+            &shells,
+            AccessNodeStrategy::Correct,
+            4,
+            &mut d,
+        );
+        let flawed = access_nodes_of_cell(
+            &net,
+            &grid,
+            c,
+            &shells,
+            AccessNodeStrategy::FlawedBast,
+            4,
+            &mut d,
+        );
+        assert!(
+            correct.nodes.contains(&v5),
+            "corrected method must keep v5: {:?}",
+            correct.nodes
+        );
+        assert!(
+            !flawed.nodes.contains(&v5),
+            "flawed method must miss v5: {:?}",
+            flawed.nodes
+        );
+    }
+}

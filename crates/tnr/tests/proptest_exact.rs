@@ -1,0 +1,37 @@
+//! Property: TNR with the corrected access-node computation is exact on
+//! arbitrary connected graphs, for both fallbacks and random grids.
+
+use proptest::prelude::*;
+use spq_dijkstra::Dijkstra;
+use spq_graph::arbitrary::small_connected_network;
+use spq_graph::types::NodeId;
+use spq_tnr::{Fallback, Tnr, TnrParams};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn exact_on_arbitrary_graphs(
+        net in small_connected_network(),
+        grid in 2u32..12,
+        fallback_ch in any::<bool>(),
+    ) {
+        let params = TnrParams {
+            grid,
+            fallback: if fallback_ch { Fallback::Ch } else { Fallback::BiDijkstra },
+            ..TnrParams::default()
+        };
+        let tnr = Tnr::build(&net, &params);
+        let mut q = tnr.query().with_network(&net);
+        let mut d = Dijkstra::new(net.num_nodes());
+        for s in 0..net.num_nodes() as NodeId {
+            d.run(&net, s);
+            for t in 0..net.num_nodes() as NodeId {
+                prop_assert_eq!(q.distance(s, t), d.distance(t));
+                let (pd, path) = q.shortest_path(s, t).unwrap();
+                prop_assert_eq!(Some(pd), d.distance(t));
+                prop_assert_eq!(net.path_length(&path), d.distance(t));
+            }
+        }
+    }
+}

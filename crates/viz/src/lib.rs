@@ -1,0 +1,307 @@
+//! SVG rendering of road networks, shortest paths, and index geometry.
+//!
+//! Diagnostic tooling for the rest of the workspace: render a network to
+//! inspect the generator's output, overlay a query path to debug a
+//! technique, or draw a TNR-style grid with its shells to sanity-check
+//! the locality filter. Output is plain SVG text, so it is cheap to test
+//! and trivially embeddable in docs.
+//!
+//! # Example
+//!
+//! ```
+//! use spq_graph::toy::figure1;
+//! use spq_viz::{render, Style};
+//!
+//! let g = figure1();
+//! let svg = render(&g, &Style::default());
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.contains("<line"));
+//! ```
+
+use std::fmt::Write as _;
+
+use spq_graph::geo::Rect;
+use spq_graph::grid::GridFrame;
+use spq_graph::types::NodeId;
+use spq_graph::RoadNetwork;
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct Style {
+    /// Output image width in pixels (height follows the aspect ratio).
+    pub width: f64,
+    /// Edge stroke colour.
+    pub edge_color: String,
+    /// Edge stroke width in pixels.
+    pub edge_width: f64,
+    /// Draw vertices as dots (off for large networks).
+    pub draw_vertices: bool,
+    /// Vertex dot radius.
+    pub vertex_radius: f64,
+    /// Margin around the drawing, in pixels.
+    pub margin: f64,
+}
+
+impl Default for Style {
+    fn default() -> Self {
+        Style {
+            width: 800.0,
+            edge_color: "#888".to_string(),
+            edge_width: 1.0,
+            draw_vertices: false,
+            vertex_radius: 2.0,
+            margin: 10.0,
+        }
+    }
+}
+
+/// Maps network coordinates into SVG pixel space.
+struct Projection {
+    rect: Rect,
+    scale: f64,
+    margin: f64,
+    height: f64,
+}
+
+impl Projection {
+    fn new(net: &RoadNetwork, style: &Style) -> Self {
+        let rect = net.bounding_rect();
+        let usable = style.width - 2.0 * style.margin;
+        let scale = usable / rect.width().max(1) as f64;
+        let height = rect.height() as f64 * scale + 2.0 * style.margin;
+        Projection {
+            rect,
+            scale,
+            margin: style.margin,
+            height,
+        }
+    }
+
+    fn x(&self, x: i32) -> f64 {
+        (x as i64 - self.rect.min_x as i64) as f64 * self.scale + self.margin
+    }
+
+    /// SVG y grows downward; flip so north stays up.
+    fn y(&self, y: i32) -> f64 {
+        self.height - ((y as i64 - self.rect.min_y as i64) as f64 * self.scale + self.margin)
+    }
+}
+
+/// Renders the bare network.
+pub fn render(net: &RoadNetwork, style: &Style) -> String {
+    let mut svg = SvgBuilder::new(net, style);
+    svg.edges();
+    if style.draw_vertices {
+        svg.vertices();
+    }
+    svg.finish()
+}
+
+/// Renders the network with one highlighted path.
+pub fn render_with_path(net: &RoadNetwork, path: &[NodeId], style: &Style) -> String {
+    let mut svg = SvgBuilder::new(net, style);
+    svg.edges();
+    svg.path(path, "#d6423c", 3.0 * style.edge_width);
+    if let (Some(&s), Some(&t)) = (path.first(), path.last()) {
+        svg.dot(s, "#1f7a33", 3.0 * style.vertex_radius);
+        svg.dot(t, "#d6423c", 3.0 * style.vertex_radius);
+    }
+    svg.finish()
+}
+
+/// Renders the network under a `g × g` grid (TNR-style), shading the
+/// inner/outer shells of one cell.
+pub fn render_with_grid(
+    net: &RoadNetwork,
+    g: u32,
+    highlight_cell: Option<(u32, u32)>,
+    inner_radius: u32,
+    outer_radius: u32,
+    style: &Style,
+) -> String {
+    let mut svg = SvgBuilder::new(net, style);
+    svg.edges();
+    let frame = GridFrame::new(net.bounding_rect(), g);
+    svg.grid(&frame);
+    if let Some((cx, cy)) = highlight_cell {
+        let cell = spq_graph::grid::Cell { cx, cy };
+        svg.rect(&frame.square_around(cell, outer_radius), "#f2c230", 0.12);
+        svg.rect(&frame.square_around(cell, inner_radius), "#d6423c", 0.18);
+        svg.rect(&frame.square_around(cell, 0), "#1f7a33", 0.30);
+    }
+    svg.finish()
+}
+
+struct SvgBuilder<'a> {
+    net: &'a RoadNetwork,
+    style: Style,
+    proj: Projection,
+    body: String,
+}
+
+impl<'a> SvgBuilder<'a> {
+    fn new(net: &'a RoadNetwork, style: &Style) -> Self {
+        SvgBuilder {
+            net,
+            style: style.clone(),
+            proj: Projection::new(net, style),
+            body: String::new(),
+        }
+    }
+
+    fn edges(&mut self) {
+        for u in 0..self.net.num_nodes() as NodeId {
+            let pu = self.net.coord(u);
+            for (v, _) in self.net.neighbors(u) {
+                if v <= u {
+                    continue; // draw each undirected edge once
+                }
+                let pv = self.net.coord(v);
+                let _ = writeln!(
+                    self.body,
+                    r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{}" stroke-width="{}"/>"#,
+                    self.proj.x(pu.x),
+                    self.proj.y(pu.y),
+                    self.proj.x(pv.x),
+                    self.proj.y(pv.y),
+                    self.style.edge_color,
+                    self.style.edge_width,
+                );
+            }
+        }
+    }
+
+    fn vertices(&mut self) {
+        for v in 0..self.net.num_nodes() as NodeId {
+            self.dot(v, "#444", self.style.vertex_radius);
+        }
+    }
+
+    fn dot(&mut self, v: NodeId, color: &str, r: f64) {
+        let p = self.net.coord(v);
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{:.1}" cy="{:.1}" r="{r}" fill="{color}"/>"#,
+            self.proj.x(p.x),
+            self.proj.y(p.y),
+        );
+    }
+
+    fn path(&mut self, path: &[NodeId], color: &str, width: f64) {
+        if path.len() < 2 {
+            return;
+        }
+        let mut points = String::new();
+        for &v in path {
+            let p = self.net.coord(v);
+            let _ = write!(points, "{:.1},{:.1} ", self.proj.x(p.x), self.proj.y(p.y));
+        }
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="{width}"/>"#,
+            points.trim_end(),
+        );
+    }
+
+    fn grid(&mut self, frame: &GridFrame) {
+        let rect = self.net.bounding_rect();
+        let g = frame.g();
+        for i in 0..=g as u64 {
+            let x = rect.min_x as i64 + (i * frame.side_x()) as i64;
+            let _ = writeln!(
+                self.body,
+                r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#bbb" stroke-width="0.5"/>"##,
+                self.proj.x(x.clamp(i32::MIN as i64, i32::MAX as i64) as i32),
+                self.proj.y(rect.min_y),
+                self.proj.x(x.clamp(i32::MIN as i64, i32::MAX as i64) as i32),
+                self.proj.y(rect.max_y),
+            );
+            let y = rect.min_y as i64 + (i * frame.side_y()) as i64;
+            let _ = writeln!(
+                self.body,
+                r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#bbb" stroke-width="0.5"/>"##,
+                self.proj.x(rect.min_x),
+                self.proj.y(y.clamp(i32::MIN as i64, i32::MAX as i64) as i32),
+                self.proj.x(rect.max_x),
+                self.proj.y(y.clamp(i32::MIN as i64, i32::MAX as i64) as i32),
+            );
+        }
+    }
+
+    fn rect(&mut self, r: &Rect, color: &str, opacity: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="{color}" fill-opacity="{opacity}"/>"#,
+            self.proj.x(r.min_x),
+            self.proj.y(r.max_y),
+            r.width() as f64 * self.proj.scale,
+            r.height() as f64 * self.proj.scale,
+        );
+    }
+
+    fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{}</svg>\n",
+            self.style.width, self.proj.height, self.style.width, self.proj.height, self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_graph::toy::{figure1, grid_graph};
+
+    #[test]
+    fn renders_each_edge_once() {
+        let g = figure1();
+        let svg = render(&g, &Style::default());
+        assert_eq!(svg.matches("<line").count(), g.num_edges());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn path_overlay_draws_polyline_and_endpoints() {
+        let g = grid_graph(5, 5);
+        let mut d = spq_dijkstra::Dijkstra::new(g.num_nodes());
+        d.run(&g, 0);
+        let path = d.path_to(24).unwrap();
+        let svg = render_with_path(&g, &path, &Style::default());
+        assert_eq!(svg.matches("<polyline").count(), 1);
+        assert_eq!(svg.matches("<circle").count(), 2);
+    }
+
+    #[test]
+    fn grid_overlay_draws_shells() {
+        let g = grid_graph(8, 8);
+        let svg = render_with_grid(&g, 4, Some((1, 1)), 0, 1, &Style::default());
+        assert_eq!(svg.matches("<rect").count(), 1 + 3); // background + shells
+        // 2 * (g + 1) grid lines plus the edges.
+        assert!(svg.matches("<line").count() >= g.num_edges() + 10);
+    }
+
+    #[test]
+    fn vertices_drawn_when_enabled() {
+        let g = figure1();
+        let svg = render(
+            &g,
+            &Style {
+                draw_vertices: true,
+                ..Style::default()
+            },
+        );
+        assert_eq!(svg.matches("<circle").count(), g.num_nodes());
+    }
+
+    #[test]
+    fn degenerate_single_point_network() {
+        use spq_graph::geo::Point;
+        use spq_graph::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        b.add_node(Point::new(5, 5));
+        let net = b.build().unwrap();
+        let svg = render(&net, &Style::default());
+        assert!(svg.starts_with("<svg")); // no division by zero
+    }
+}

@@ -1,0 +1,118 @@
+//! Demonstrates the defect of Bast et al.'s TNR access-node computation
+//! (paper Appendix B) on synthetic networks: the flawed variant misses
+//! access nodes on shell-jumping edges, and the resulting index returns
+//! *wrong distances*, while the paper's corrected method stays exact.
+//!
+//! Run with: `cargo run --release -p spq-core --example tnr_defect_demo`
+
+use spq_dijkstra::Dijkstra;
+use spq_graph::{GraphBuilder, NodeId};
+use spq_synth::SynthParams;
+use spq_tnr::{AccessNodeStrategy, Tnr, TnrParams};
+
+/// Adds long "bridge" edges spanning 1.5–3 TNR cells — the exact failure
+/// mode of Appendix B's Figure 12(b): an edge jumping from inside a
+/// cell's inner shell to beyond its outer shell.
+fn with_bridges(base: &spq_graph::RoadNetwork, count: usize) -> spq_graph::RoadNetwork {
+    let mut b = GraphBuilder::with_capacity(base.num_nodes(), base.num_edges() + count);
+    for v in 0..base.num_nodes() as NodeId {
+        b.add_node(base.coord(v));
+    }
+    for v in 0..base.num_nodes() as NodeId {
+        for (u, w) in base.neighbors(v) {
+            if v < u {
+                b.add_edge(v, u, w);
+            }
+        }
+    }
+    let rect = base.bounding_rect();
+    let span = rect.width().max(rect.height());
+    let mut state = 0xb41d_6e5eu64;
+    let mut added = 0;
+    while added < count {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(23);
+        let s = ((state >> 33) % base.num_nodes() as u64) as NodeId;
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(23);
+        let t = ((state >> 33) % base.num_nodes() as u64) as NodeId;
+        let d = base.coord(s).linf(&base.coord(t)) as u64;
+        if s != t && d > span * 3 / 64 && d < span * 6 / 64 {
+            b.add_edge(s, t, (d / 8).max(1) as u32);
+            added += 1;
+        }
+    }
+    b.build().expect("bridges keep the network connected")
+}
+
+fn main() {
+    let base = spq_synth::generate(&SynthParams::with_target_vertices(3_000, 13));
+    let net = with_bridges(&base, 40);
+    println!("network: {} vertices, {} edges", net.num_nodes(), net.num_edges());
+
+    let correct = Tnr::build(
+        &net,
+        &TnrParams {
+            access: AccessNodeStrategy::Correct,
+            ..TnrParams::default()
+        },
+    );
+    let flawed = Tnr::build(
+        &net,
+        &TnrParams {
+            access: AccessNodeStrategy::FlawedBast,
+            ..TnrParams::default()
+        },
+    );
+    println!(
+        "access nodes: corrected = {}, flawed = {} (the flawed method finds fewer)",
+        correct.num_access_nodes(),
+        flawed.num_access_nodes()
+    );
+
+    let mut q_ok = correct.query().with_network(&net);
+    let mut reference = Dijkstra::new(net.num_nodes());
+    let n = net.num_nodes() as u64;
+    let mut state = 0xabcdu64;
+    let mut checked = 0u32;
+    let mut flawed_wrong = 0u32;
+    let mut corrected_wrong = 0u32;
+    let mut worst: Option<(u32, u32, u64, u64)> = None;
+    for _ in 0..3_000 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(5);
+        let s = ((state >> 33) % n) as u32;
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(5);
+        let t = ((state >> 33) % n) as u32;
+        // Compare only where TNR actually uses its tables.
+        if !flawed.distance_applicable(s, t) {
+            continue;
+        }
+        checked += 1;
+        reference.run_to_target(&net, s, t);
+        let truth = reference.distance(t).unwrap();
+        if q_ok.distance(s, t) != Some(truth) {
+            corrected_wrong += 1;
+        }
+        // Query the flawed index through its raw tables (no fallback
+        // rescue), as Bast et al.'s implementation would.
+        let mut q_bad = flawed.query().with_network(&net);
+        let got = q_bad.table_distance(s, t);
+        if got != truth {
+            flawed_wrong += 1;
+            if worst.map_or(true, |(_, _, g, tr)| got.saturating_sub(tr) > g.saturating_sub(tr)) {
+                worst = Some((s, t, got, truth));
+            }
+        }
+    }
+
+    println!("table-answerable queries checked: {checked}");
+    println!("corrected method wrong answers:   {corrected_wrong}");
+    println!("flawed method wrong answers:      {flawed_wrong}");
+    if let Some((s, t, got, truth)) = worst {
+        println!("example: dist(v{s}, v{t}) = {truth}, flawed TNR returns {got}");
+    }
+    assert_eq!(corrected_wrong, 0, "the corrected method must be exact");
+    if flawed_wrong > 0 {
+        println!("\nthe flawed preprocessing produces incorrect results, as Appendix B predicts.");
+    } else {
+        println!("\nno corruption on this seed — add more bridges to trigger it.");
+    }
+}

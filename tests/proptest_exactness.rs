@@ -1,0 +1,80 @@
+//! Property tests: on arbitrary connected degree-bounded graphs, every
+//! technique's answers equal Dijkstra's, and every returned path is
+//! edge-valid with optimal length.
+
+use proptest::prelude::*;
+use spq_core::{Index, Technique};
+use spq_dijkstra::Dijkstra;
+use spq_graph::geo::Point;
+use spq_graph::{GraphBuilder, NodeId, RoadNetwork};
+
+/// A connected graph with random planar-ish coordinates: a random spine
+/// guarantees connectivity, extra edges add alternative routes.
+fn arb_network() -> impl Strategy<Value = RoadNetwork> {
+    (3usize..28).prop_flat_map(|n| {
+        let coords = proptest::collection::vec((-500i32..500, -500i32..500), n);
+        let spine = proptest::collection::vec((0u32..u32::MAX, 1u32..500), n - 1);
+        let extra =
+            proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 1u32..500), 0..n);
+        (coords, spine, extra).prop_map(move |(coords, spine, extra)| {
+            let mut b = GraphBuilder::new();
+            for (x, y) in &coords {
+                b.add_node(Point::new(*x, *y));
+            }
+            for (i, (r, w)) in spine.iter().enumerate() {
+                let child = (i + 1) as u32;
+                b.add_edge(r % child, child, *w);
+            }
+            for (u, v, w) in extra {
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            b.build().expect("spine guarantees connectivity")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_techniques_exact_on_arbitrary_graphs(net in arb_network()) {
+        let mut reference = Dijkstra::new(net.num_nodes());
+        let indexes: Vec<_> = Technique::ALL
+            .iter()
+            .map(|&t| Index::build(t, &net).0)
+            .collect();
+        let n = net.num_nodes() as NodeId;
+        for s in 0..n {
+            reference.run(&net, s);
+            for t in 0..n {
+                let expect = reference.distance(t);
+                for index in &indexes {
+                    let mut q = index.query(&net);
+                    prop_assert_eq!(
+                        q.distance(s, t), expect,
+                        "{} disagrees on ({},{})", index.technique().name(), s, t
+                    );
+                    let (d, path) = q.shortest_path(s, t).expect("connected");
+                    prop_assert_eq!(Some(d), expect);
+                    prop_assert_eq!(path.first().copied(), Some(s));
+                    prop_assert_eq!(path.last().copied(), Some(t));
+                    prop_assert_eq!(net.path_length(&path), expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_sizes_are_reported(net in arb_network()) {
+        for technique in Technique::ALL {
+            let (index, _) = Index::build(technique, &net);
+            if technique == Technique::BiDijkstra {
+                prop_assert_eq!(index.size_bytes(), 0);
+            } else {
+                prop_assert!(index.size_bytes() > 0);
+            }
+        }
+    }
+}
