@@ -3,10 +3,11 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use spq_dijkstra::Dijkstra;
+use spq_graph::par;
 use spq_graph::size::IndexSize;
 use spq_graph::types::{Dist, NodeId};
 use spq_graph::RoadNetwork;
-use spq_dijkstra::Dijkstra;
 
 /// How landmarks are chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,63 +55,120 @@ pub struct Alt {
 impl Alt {
     /// Selects landmarks per `params.selection` and tabulates their
     /// distances to every vertex.
+    ///
+    /// Parallelism: with [`LandmarkSelection::Random`] the landmark set
+    /// is fixed up front, so the per-landmark Dijkstra sweeps fan out
+    /// over the preprocessing worker pool ([`spq_graph::par`]). With
+    /// [`LandmarkSelection::Farthest`] each landmark is the argmax of
+    /// the distance minimum over all *previous* landmarks' sweeps — a
+    /// sequential fixed point by definition — so its sweeps run in
+    /// order, each one doubling as that landmark's table row (no work is
+    /// wasted relative to the parallel path). Either way the table holds
+    /// exact Dijkstra distances, so the built index is byte-identical
+    /// for every thread count.
     pub fn build(net: &RoadNetwork, params: &AltParams) -> Self {
         let n = net.num_nodes();
         let k = params.num_landmarks.clamp(1, n);
         let mut rng = StdRng::seed_from_u64(params.seed);
         let mut dijkstra = Dijkstra::new(n);
 
-        let mut landmarks = Vec::with_capacity(k);
-        let mut dist = Vec::with_capacity(k * n);
-        // min over chosen landmarks of dist(l, v).
-        let mut min_dist = vec![Dist::MAX; n];
-
         // Seed: run one sweep from a random vertex and take the farthest
         // vertex as the first landmark (a periphery point).
         let start = (rng.random::<u64>() % n as u64) as NodeId;
         dijkstra.run(net, start);
-        let mut next = (0..n as NodeId)
+        let first = (0..n as NodeId)
             .max_by_key(|&v| dijkstra.distance(v).unwrap_or(0))
             .expect("non-empty network");
 
-        for _ in 0..k {
-            landmarks.push(next);
-            dijkstra.run(net, next);
-            let row_start = dist.len();
-            dist.resize(row_start + n, 0);
-            for v in 0..n {
-                let d = dijkstra.distance(v as NodeId).expect("connected network");
-                dist[row_start + v] = u32::try_from(d).expect("distances fit u32");
-                if d < min_dist[v] {
-                    min_dist[v] = d;
-                }
-            }
-            next = match params.selection {
-                LandmarkSelection::Farthest => (0..n as NodeId)
-                    .max_by_key(|&v| min_dist[v as usize])
-                    .expect("non-empty network"),
-                LandmarkSelection::Random => {
-                    // Resample until unseen (k ≤ n guarantees progress).
-                    loop {
-                        let c = (rng.random::<u64>() % n as u64) as NodeId;
-                        if !landmarks.contains(&c) {
-                            break c;
+        match params.selection {
+            LandmarkSelection::Farthest => {
+                let mut landmarks = Vec::with_capacity(k);
+                let mut dist = Vec::with_capacity(k * n);
+                // min over chosen landmarks of dist(l, v).
+                let mut min_dist = vec![Dist::MAX; n];
+                let mut next = first;
+                for _ in 0..k {
+                    landmarks.push(next);
+                    dijkstra.run(net, next);
+                    let row_start = dist.len();
+                    dist.resize(row_start + n, 0);
+                    for v in 0..n {
+                        let d = dijkstra.distance(v as NodeId).expect("connected network");
+                        dist[row_start + v] = u32::try_from(d).expect("distances fit u32");
+                        if d < min_dist[v] {
+                            min_dist[v] = d;
                         }
                     }
+                    next = (0..n as NodeId)
+                        .max_by_key(|&v| min_dist[v as usize])
+                        .expect("non-empty network");
                 }
-            };
+                Alt { landmarks, dist, n }
+            }
+            LandmarkSelection::Random => {
+                let mut landmarks = Vec::with_capacity(k);
+                landmarks.push(first);
+                while landmarks.len() < k {
+                    // Resample until unseen (k ≤ n guarantees progress).
+                    let c = (rng.random::<u64>() % n as u64) as NodeId;
+                    if !landmarks.contains(&c) {
+                        landmarks.push(c);
+                    }
+                }
+                let rows = par::par_map(
+                    &landmarks,
+                    || Dijkstra::new(n),
+                    |dijkstra, &l| {
+                        dijkstra.run(net, l);
+                        (0..n as NodeId)
+                            .map(|v| {
+                                let d = dijkstra.distance(v).expect("connected network");
+                                u32::try_from(d).expect("distances fit u32")
+                            })
+                            .collect::<Vec<u32>>()
+                    },
+                );
+                let mut dist = Vec::with_capacity(k * n);
+                for row in rows {
+                    dist.extend_from_slice(&row);
+                }
+                Alt { landmarks, dist, n }
+            }
         }
+    }
 
-        Alt {
-            landmarks,
-            dist,
-            n,
+    /// Rebuilds an index from its serialised arrays, validating the
+    /// `k × n` table shape.
+    pub fn from_raw_parts(
+        landmarks: Vec<NodeId>,
+        dist: Vec<u32>,
+        n: usize,
+    ) -> Result<Self, String> {
+        if landmarks.is_empty() || n == 0 {
+            return Err("ALT index must have at least one landmark and vertex".into());
         }
+        if dist.len() != landmarks.len() * n {
+            return Err(format!(
+                "distance table has {} entries, expected {} landmarks × {} vertices",
+                dist.len(),
+                landmarks.len(),
+                n
+            ));
+        }
+        if let Some(&l) = landmarks.iter().find(|&&l| l as usize >= n) {
+            return Err(format!("landmark id {l} out of range for {n} vertices"));
+        }
+        Ok(Alt { landmarks, dist, n })
     }
 
     /// The selected landmarks.
     pub fn landmarks(&self) -> &[NodeId] {
         &self.landmarks
+    }
+
+    /// The row-major `k × n` landmark-to-vertex distance table.
+    pub fn dist_table(&self) -> &[u32] {
+        &self.dist
     }
 
     /// Distance between landmark index `l` and vertex `v`.
@@ -161,7 +219,14 @@ mod tests {
     #[test]
     fn landmarks_are_distinct_and_peripheral() {
         let g = grid_graph(10, 10);
-        let alt = Alt::build(&g, &AltParams { num_landmarks: 4, seed: 1, ..AltParams::default() });
+        let alt = Alt::build(
+            &g,
+            &AltParams {
+                num_landmarks: 4,
+                seed: 1,
+                ..AltParams::default()
+            },
+        );
         let mut ls = alt.landmarks().to_vec();
         ls.sort_unstable();
         ls.dedup();
@@ -184,7 +249,14 @@ mod tests {
     #[test]
     fn lower_bound_is_admissible_and_tight_at_landmarks() {
         let g = figure1();
-        let alt = Alt::build(&g, &AltParams { num_landmarks: 3, seed: 2, ..AltParams::default() });
+        let alt = Alt::build(
+            &g,
+            &AltParams {
+                num_landmarks: 3,
+                seed: 2,
+                ..AltParams::default()
+            },
+        );
         let mut d = spq_dijkstra::Dijkstra::new(g.num_nodes());
         for s in 0..8u32 {
             d.run(&g, s);
@@ -205,8 +277,22 @@ mod tests {
     #[test]
     fn more_landmarks_cost_more_space() {
         let g = grid_graph(8, 8);
-        let a4 = Alt::build(&g, &AltParams { num_landmarks: 4, seed: 3, ..AltParams::default() });
-        let a8 = Alt::build(&g, &AltParams { num_landmarks: 8, seed: 3, ..AltParams::default() });
+        let a4 = Alt::build(
+            &g,
+            &AltParams {
+                num_landmarks: 4,
+                seed: 3,
+                ..AltParams::default()
+            },
+        );
+        let a8 = Alt::build(
+            &g,
+            &AltParams {
+                num_landmarks: 8,
+                seed: 3,
+                ..AltParams::default()
+            },
+        );
         assert_eq!(a8.index_size_bytes(), 2 * a4.index_size_bytes());
     }
 
@@ -216,7 +302,14 @@ mod tests {
         // care how they were chosen) but spread less well: the farthest
         // heuristic's average lower bound must be at least as tight.
         let g = grid_graph(12, 12);
-        let far = Alt::build(&g, &AltParams { num_landmarks: 6, seed: 5, ..AltParams::default() });
+        let far = Alt::build(
+            &g,
+            &AltParams {
+                num_landmarks: 6,
+                seed: 5,
+                ..AltParams::default()
+            },
+        );
         let rnd = Alt::build(
             &g,
             &AltParams {
@@ -246,7 +339,14 @@ mod tests {
     #[test]
     fn landmark_count_is_clamped() {
         let g = figure1();
-        let alt = Alt::build(&g, &AltParams { num_landmarks: 100, seed: 4, ..AltParams::default() });
+        let alt = Alt::build(
+            &g,
+            &AltParams {
+                num_landmarks: 100,
+                seed: 4,
+                ..AltParams::default()
+            },
+        );
         assert_eq!(alt.landmarks().len(), 8);
     }
 }

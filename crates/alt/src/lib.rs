@@ -24,6 +24,7 @@
 //! ```
 
 pub mod landmarks;
+pub mod persist;
 pub mod query;
 
 pub use landmarks::{Alt, AltParams, LandmarkSelection};

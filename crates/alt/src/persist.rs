@@ -1,0 +1,92 @@
+//! Binary persistence for ALT indexes.
+//!
+//! The landmark table is the whole index (`k × n` u32 distances plus the
+//! landmark ids), so the format is a direct dump of those arrays. The
+//! serialised bytes double as the determinism witness for parallel
+//! builds (`tests/determinism.rs`).
+
+use std::io::{self, Read, Write};
+
+use spq_graph::binio;
+use spq_graph::types::NodeId;
+
+use crate::landmarks::Alt;
+
+const MAGIC: &[u8; 4] = b"SPQA";
+const VERSION: u32 = 1;
+
+impl Alt {
+    /// Serialises the landmark ids and the distance table.
+    pub fn write_binary(&self, w: &mut impl Write) -> io::Result<()> {
+        binio::write_header(w, MAGIC, VERSION)?;
+        binio::write_u64(w, self.num_nodes() as u64)?;
+        binio::write_u32s(w, self.landmarks())?;
+        binio::write_u32s(w, self.dist_table())?;
+        Ok(())
+    }
+
+    /// Deserialises an index written by [`Alt::write_binary`].
+    pub fn read_binary(r: &mut impl Read) -> io::Result<Alt> {
+        let version = binio::read_header(r, MAGIC)?;
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported ALT format version {version}"),
+            ));
+        }
+        let n = binio::read_u64(r)? as usize;
+        let landmarks: Vec<NodeId> = binio::read_u32s(r)?;
+        let dist = binio::read_u32s(r)?;
+        Alt::from_raw_parts(landmarks, dist, n)
+            .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::landmarks::AltParams;
+    use spq_graph::toy::grid_graph;
+    use spq_graph::types::NodeId;
+
+    #[test]
+    fn roundtrip_answers_identically() {
+        let g = grid_graph(7, 6);
+        let alt = Alt::build(
+            &g,
+            &AltParams {
+                num_landmarks: 4,
+                ..AltParams::default()
+            },
+        );
+        let mut buf = Vec::new();
+        alt.write_binary(&mut buf).unwrap();
+        let alt2 = Alt::read_binary(&mut &buf[..]).unwrap();
+        assert_eq!(alt2.landmarks(), alt.landmarks());
+        for v in 0..g.num_nodes() as NodeId {
+            for t in 0..g.num_nodes() as NodeId {
+                assert_eq!(alt2.lower_bound(v, t), alt.lower_bound(v, t));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistent_payloads() {
+        let g = grid_graph(4, 4);
+        let alt = Alt::build(
+            &g,
+            &AltParams {
+                num_landmarks: 3,
+                ..AltParams::default()
+            },
+        );
+        let mut buf = Vec::new();
+        alt.write_binary(&mut buf).unwrap();
+        buf[0] ^= 0xff;
+        assert!(Alt::read_binary(&mut &buf[..]).is_err());
+        let mut buf2 = Vec::new();
+        alt.write_binary(&mut buf2).unwrap();
+        buf2.truncate(buf2.len() - 4); // table no longer k × n
+        assert!(Alt::read_binary(&mut &buf2[..]).is_err());
+    }
+}

@@ -92,7 +92,8 @@ impl<'a> AltQuery<'a> {
                     self.dist[vi] = nd;
                     self.parent[vi] = u;
                     self.reached_stamp[vi] = version;
-                    self.heap.push_or_decrease(v, nd + self.alt.lower_bound(v, t));
+                    self.heap
+                        .push_or_decrease(v, nd + self.alt.lower_bound(v, t));
                 }
             }
         }
@@ -110,7 +111,14 @@ mod tests {
     #[test]
     fn figure1_all_pairs_exact() {
         let g = figure1();
-        let alt = Alt::build(&g, &AltParams { num_landmarks: 4, seed: 7, ..AltParams::default() });
+        let alt = Alt::build(
+            &g,
+            &AltParams {
+                num_landmarks: 4,
+                seed: 7,
+                ..AltParams::default()
+            },
+        );
         let mut q = alt.query(&g);
         let mut d = Dijkstra::new(g.num_nodes());
         for s in 0..8u32 {
@@ -145,7 +153,14 @@ mod tests {
     #[test]
     fn goal_direction_shrinks_the_search() {
         let g = grid_graph(40, 40);
-        let alt = Alt::build(&g, &AltParams { num_landmarks: 8, seed: 9, ..AltParams::default() });
+        let alt = Alt::build(
+            &g,
+            &AltParams {
+                num_landmarks: 8,
+                seed: 9,
+                ..AltParams::default()
+            },
+        );
         let mut q = alt.query(&g);
         let mut d = Dijkstra::new(g.num_nodes());
         let (s, t) = (20u32 * 40 + 5, 20u32 * 40 + 35);

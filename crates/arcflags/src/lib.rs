@@ -26,12 +26,13 @@
 //! assert!(q.distance(0, t).is_some());
 //! ```
 
+use spq_dijkstra::{Dijkstra, SearchStats};
 use spq_graph::grid::VertexGrid;
 use spq_graph::heap::IndexedHeap;
+use spq_graph::par;
 use spq_graph::size::IndexSize;
 use spq_graph::types::{Dist, NodeId, INFINITY, INVALID_NODE};
 use spq_graph::RoadNetwork;
-use spq_dijkstra::{Dijkstra, SearchStats};
 
 /// Arc Flags preprocessing parameters.
 #[derive(Debug, Clone, Copy)]
@@ -46,12 +47,14 @@ impl Default for ArcFlagsParams {
     }
 }
 
+pub mod persist;
+
 /// The Arc Flags index: one 64-bit region mask per directed arc.
 pub struct ArcFlags {
-    grid: VertexGrid,
+    pub(crate) grid: VertexGrid,
     /// `flags[arc]` bit r set ⇔ the arc lies on a shortest path into
     /// region r.
-    flags: Vec<u64>,
+    pub(crate) flags: Vec<u64>,
 }
 
 impl ArcFlags {
@@ -87,19 +90,34 @@ impl ArcFlags {
 
         // For each boundary vertex b of region R: flag every arc (u, v)
         // that is tight toward b (dist(u) == w + dist(v)) with R — such
-        // arcs lie on a shortest path to b, hence into R.
-        let mut sweep = Dijkstra::new(n);
-        for &b in &boundary {
-            let region_bit = 1u64 << grid.cell_index_of(b);
-            sweep.run(net, b);
-            for u in 0..n as NodeId {
-                let du = sweep.distance(u).expect("connected network");
-                for (e, v, w) in net.edges(u) {
-                    let dv = sweep.distance(v).expect("connected network");
-                    if du == dv + w as Dist {
-                        flags[e as usize] |= region_bit;
+        // arcs lie on a shortest path to b, hence into R. The sweeps are
+        // independent and only OR bits in, so contiguous spans of the
+        // boundary list fan out over the preprocessing worker pool
+        // ([`spq_graph::par`]), each span accumulating into its own flag
+        // word array; OR is commutative and associative, so the merged
+        // flags match a sequential build bit for bit.
+        let num_arcs = net.num_arcs();
+        let span_flags = par::par_map_spans(boundary.len(), |span| {
+            let mut sweep = Dijkstra::new(n);
+            let mut local = vec![0u64; num_arcs];
+            for &b in &boundary[span] {
+                let region_bit = 1u64 << grid.cell_index_of(b);
+                sweep.run(net, b);
+                for u in 0..n as NodeId {
+                    let du = sweep.distance(u).expect("connected network");
+                    for (e, v, w) in net.edges(u) {
+                        let dv = sweep.distance(v).expect("connected network");
+                        if du == dv + w as Dist {
+                            local[e as usize] |= region_bit;
+                        }
                     }
                 }
+            }
+            local
+        });
+        for local in span_flags {
+            for (f, l) in flags.iter_mut().zip(local) {
+                *f |= l;
             }
         }
 
@@ -293,9 +311,7 @@ mod tests {
         let rect = net.bounding_rect();
         let corner = |x: i32, y: i32| {
             (0..net.num_nodes() as NodeId)
-                .min_by_key(|&v| {
-                    net.coord(v).linf(&spq_graph::geo::Point::new(x, y))
-                })
+                .min_by_key(|&v| net.coord(v).linf(&spq_graph::geo::Point::new(x, y)))
                 .unwrap()
         };
         let s = corner(rect.min_x, rect.min_y);
@@ -313,9 +329,7 @@ mod tests {
     #[test]
     fn rejects_oversized_grids() {
         let g = figure1();
-        let result = std::panic::catch_unwind(|| {
-            ArcFlags::build(&g, &ArcFlagsParams { grid: 9 })
-        });
+        let result = std::panic::catch_unwind(|| ArcFlags::build(&g, &ArcFlagsParams { grid: 9 }));
         assert!(result.is_err(), "81 regions must not fit 64 bits");
     }
 }

@@ -1,0 +1,102 @@
+//! Binary persistence for Arc Flags indexes.
+//!
+//! Only the flag words and the grid resolution are stored; the vertex
+//! grid is rebuilt deterministically from the network at load time. The
+//! serialised bytes double as the determinism witness for parallel
+//! builds (`tests/determinism.rs`).
+
+use std::io::{self, Read, Write};
+
+use spq_graph::binio;
+use spq_graph::grid::VertexGrid;
+use spq_graph::RoadNetwork;
+
+use crate::ArcFlags;
+
+const MAGIC: &[u8; 4] = b"SPQF";
+const VERSION: u32 = 1;
+
+impl ArcFlags {
+    /// Serialises the grid resolution and the per-arc flag words.
+    pub fn write_binary(&self, w: &mut impl Write) -> io::Result<()> {
+        binio::write_header(w, MAGIC, VERSION)?;
+        binio::write_u64(w, self.grid.frame().g() as u64)?;
+        binio::write_u64s(w, &self.flags)?;
+        Ok(())
+    }
+
+    /// Deserialises an index written by [`ArcFlags::write_binary`],
+    /// rebuilding the vertex grid over `net` (the same network the index
+    /// was built on).
+    pub fn read_binary(net: &RoadNetwork, r: &mut impl Read) -> io::Result<ArcFlags> {
+        let version = binio::read_header(r, MAGIC)?;
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported Arc Flags format version {version}"),
+            ));
+        }
+        let g = binio::read_u64(r)?;
+        if g == 0 || g * g > 64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("grid resolution {g} does not fit the 64-bit flag word"),
+            ));
+        }
+        let flags = binio::read_u64s(r)?;
+        if flags.len() != net.num_arcs() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{} flag words for a network with {} arcs",
+                    flags.len(),
+                    net.num_arcs()
+                ),
+            ));
+        }
+        Ok(ArcFlags {
+            grid: VertexGrid::build(net, g as u32),
+            flags,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ArcFlagsParams;
+    use spq_graph::toy::grid_graph;
+    use spq_graph::types::NodeId;
+
+    #[test]
+    fn roundtrip_answers_identically() {
+        let net = grid_graph(7, 5);
+        let af = ArcFlags::build(&net, &ArcFlagsParams { grid: 4 });
+        let mut buf = Vec::new();
+        af.write_binary(&mut buf).unwrap();
+        let af2 = ArcFlags::read_binary(&net, &mut &buf[..]).unwrap();
+        assert_eq!(af.flags, af2.flags);
+        let mut q1 = af.query(&net);
+        let mut q2 = af2.query(&net);
+        for s in 0..net.num_nodes() as NodeId {
+            for t in 0..net.num_nodes() as NodeId {
+                assert_eq!(q1.distance(s, t), q2.distance(s, t), "({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistent_payloads() {
+        let net = grid_graph(4, 4);
+        let af = ArcFlags::build(&net, &ArcFlagsParams::default());
+        let mut buf = Vec::new();
+        af.write_binary(&mut buf).unwrap();
+        buf[3] ^= 0xff;
+        assert!(ArcFlags::read_binary(&net, &mut &buf[..]).is_err());
+        // Flag count must match the network's arc count.
+        let other = grid_graph(5, 5);
+        let mut buf2 = Vec::new();
+        af.write_binary(&mut buf2).unwrap();
+        assert!(ArcFlags::read_binary(&other, &mut &buf2[..]).is_err());
+    }
+}

@@ -123,5 +123,11 @@ fn bench_silc_lookup(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_heap, bench_ch_ablation, bench_alt_landmarks, bench_silc_lookup);
+criterion_group!(
+    benches,
+    bench_heap,
+    bench_ch_ablation,
+    bench_alt_landmarks,
+    bench_silc_lookup
+);
 criterion_main!(benches);

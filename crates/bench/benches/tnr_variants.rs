@@ -18,8 +18,20 @@ fn bench_tnr_variants(c: &mut Criterion) {
         },
     );
     let base = TnrParams::default();
-    let tnr_ch = Tnr::build(&net, &TnrParams { fallback: Fallback::Ch, ..base });
-    let tnr_dij = Tnr::build(&net, &TnrParams { fallback: Fallback::BiDijkstra, ..base });
+    let tnr_ch = Tnr::build(
+        &net,
+        &TnrParams {
+            fallback: Fallback::Ch,
+            ..base
+        },
+    );
+    let tnr_dij = Tnr::build(
+        &net,
+        &TnrParams {
+            fallback: Fallback::BiDijkstra,
+            ..base
+        },
+    );
     let hybrid = HybridTnr::build(&net, &base);
 
     let mut group = c.benchmark_group("tnr_variants_distance");
@@ -38,14 +50,18 @@ fn bench_tnr_variants(c: &mut Criterion) {
             })
         });
         let mut q = tnr_dij.query().with_network(&net);
-        group.bench_with_input(BenchmarkId::new("grid_Dijkstra", label), &pairs, |b, pairs| {
-            let mut i = 0;
-            b.iter(|| {
-                let (s, t) = pairs[i % pairs.len()];
-                i += 1;
-                q.distance(s, t)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("grid_Dijkstra", label),
+            &pairs,
+            |b, pairs| {
+                let mut i = 0;
+                b.iter(|| {
+                    let (s, t) = pairs[i % pairs.len()];
+                    i += 1;
+                    q.distance(s, t)
+                })
+            },
+        );
         let mut q = hybrid.query(&net);
         group.bench_with_input(BenchmarkId::new("hybrid_CH", label), &pairs, |b, pairs| {
             let mut i = 0;

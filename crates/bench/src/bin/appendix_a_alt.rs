@@ -18,7 +18,15 @@ fn main() {
     let cfg = Config::from_env();
     let mut table = ResultTable::new(
         "appendix_a",
-        &["dataset", "n", "technique", "space_mb", "prep_sec", "Q5_us", "Q9_us"],
+        &[
+            "dataset",
+            "n",
+            "technique",
+            "space_mb",
+            "prep_sec",
+            "Q5_us",
+            "Q9_us",
+        ],
     );
     for d in datasets_up_to("CO") {
         let net = build_dataset(d, &cfg);

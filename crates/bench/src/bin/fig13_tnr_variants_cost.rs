@@ -13,7 +13,14 @@ fn main() {
     let cfg = Config::from_env();
     let mut table = ResultTable::new(
         "fig13",
-        &["dataset", "n", "variant", "space_mb", "preprocessing_sec", "access_nodes"],
+        &[
+            "dataset",
+            "n",
+            "variant",
+            "space_mb",
+            "preprocessing_sec",
+            "access_nodes",
+        ],
     );
     for d in datasets_up_to("CA") {
         let net = build_dataset(d, &cfg);
@@ -24,7 +31,13 @@ fn main() {
         let t_coarse = t0.elapsed();
 
         let t0 = Instant::now();
-        let fine = Tnr::build(&net, &TnrParams { grid: base.grid * 2, ..base });
+        let fine = Tnr::build(
+            &net,
+            &TnrParams {
+                grid: base.grid * 2,
+                ..base
+            },
+        );
         let t_fine = t0.elapsed();
 
         let t0 = Instant::now();

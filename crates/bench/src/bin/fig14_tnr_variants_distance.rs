@@ -33,27 +33,55 @@ fn main() {
         let variants: Vec<(String, Tnr)> = vec![
             (
                 format!("{0}x{0} (CH)", base.grid),
-                Tnr::build(&net, &TnrParams { fallback: Fallback::Ch, ..base }),
+                Tnr::build(
+                    &net,
+                    &TnrParams {
+                        fallback: Fallback::Ch,
+                        ..base
+                    },
+                ),
             ),
             (
                 format!("{0}x{0} (Dijkstra)", base.grid),
-                Tnr::build(&net, &TnrParams { fallback: Fallback::BiDijkstra, ..base }),
+                Tnr::build(
+                    &net,
+                    &TnrParams {
+                        fallback: Fallback::BiDijkstra,
+                        ..base
+                    },
+                ),
             ),
         ];
         let hybrids: Vec<(String, HybridTnr)> = vec![
             (
                 "hybrid (CH)".to_string(),
-                HybridTnr::build(&net, &TnrParams { fallback: Fallback::Ch, ..base }),
+                HybridTnr::build(
+                    &net,
+                    &TnrParams {
+                        fallback: Fallback::Ch,
+                        ..base
+                    },
+                ),
             ),
             (
                 "hybrid (Dijkstra)".to_string(),
-                HybridTnr::build(&net, &TnrParams { fallback: Fallback::BiDijkstra, ..base }),
+                HybridTnr::build(
+                    &net,
+                    &TnrParams {
+                        fallback: Fallback::BiDijkstra,
+                        ..base
+                    },
+                ),
             ),
         ];
         for set in sets.iter().filter(|s| !s.is_empty()) {
             for (label, tnr) in &variants {
                 // The Dijkstra fallback is slow on near sets; cap pairs.
-                let limit = if label.contains("Dijkstra") { 100 } else { usize::MAX };
+                let limit = if label.contains("Dijkstra") {
+                    100
+                } else {
+                    usize::MAX
+                };
                 let pairs = subset(&set.pairs, limit);
                 let mut q = tnr.query().with_network(&net);
                 let micros = measure(|s, t| q.distance(s, t), pairs);
@@ -66,7 +94,11 @@ fn main() {
                 ]);
             }
             for (label, hybrid) in &hybrids {
-                let limit = if label.contains("Dijkstra") { 100 } else { usize::MAX };
+                let limit = if label.contains("Dijkstra") {
+                    100
+                } else {
+                    usize::MAX
+                };
                 let pairs = subset(&set.pairs, limit);
                 let mut q = hybrid.query(&net);
                 let micros = measure(|s, t| q.distance(s, t), pairs);

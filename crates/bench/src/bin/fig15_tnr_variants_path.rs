@@ -38,21 +38,45 @@ fn main() {
         let variants: Vec<(String, Tnr)> = vec![
             (
                 format!("{0}x{0} (CH)", base.grid),
-                Tnr::build(&net, &TnrParams { fallback: Fallback::Ch, ..base }),
+                Tnr::build(
+                    &net,
+                    &TnrParams {
+                        fallback: Fallback::Ch,
+                        ..base
+                    },
+                ),
             ),
             (
                 format!("{0}x{0} (Dijkstra)", base.grid),
-                Tnr::build(&net, &TnrParams { fallback: Fallback::BiDijkstra, ..base }),
+                Tnr::build(
+                    &net,
+                    &TnrParams {
+                        fallback: Fallback::BiDijkstra,
+                        ..base
+                    },
+                ),
             ),
         ];
         let hybrids: Vec<(String, HybridTnr)> = vec![
             (
                 "hybrid (CH)".to_string(),
-                HybridTnr::build(&net, &TnrParams { fallback: Fallback::Ch, ..base }),
+                HybridTnr::build(
+                    &net,
+                    &TnrParams {
+                        fallback: Fallback::Ch,
+                        ..base
+                    },
+                ),
             ),
             (
                 "hybrid (Dijkstra)".to_string(),
-                HybridTnr::build(&net, &TnrParams { fallback: Fallback::BiDijkstra, ..base }),
+                HybridTnr::build(
+                    &net,
+                    &TnrParams {
+                        fallback: Fallback::BiDijkstra,
+                        ..base
+                    },
+                ),
             ),
         ];
         for set in sets.iter().filter(|s| !s.is_empty()) {

@@ -12,6 +12,10 @@ use spq_core::{Index, Technique};
 
 fn main() {
     let cfg = Config::from_env();
+    eprintln!(
+        "[config] preprocessing with {} worker thread(s)",
+        cfg.threads
+    );
     let mut table = ResultTable::new(
         "fig6",
         &["dataset", "n", "technique", "space_mb", "preprocessing_sec"],

@@ -1,0 +1,90 @@
+//! Parallel-preprocessing speedup: builds each parallelised index at
+//! 1 worker thread and at the configured count (`SPQ_THREADS`, default
+//! all cores) on synthetic Table-1 proxy networks and reports the ratio.
+//!
+//! Parallel builds are byte-identical to sequential ones (see
+//! `tests/determinism.rs`), so this sweep measures pure wall-clock
+//! effect. Expect near-linear scaling for SILC and Arc Flags (per-source
+//! sweeps dominate), sub-linear for CH (only the initial ordering is
+//! parallel) and TNR (cell sizes are skewed).
+
+use std::time::Instant;
+
+use spq_arcflags::{ArcFlags, ArcFlagsParams};
+use spq_bench::{build_dataset, datasets_up_to, Config, ResultTable};
+use spq_ch::ContractionHierarchy;
+use spq_graph::par;
+use spq_graph::RoadNetwork;
+use spq_silc::Silc;
+use spq_tnr::{Tnr, TnrParams};
+
+type Build = Box<dyn Fn(&RoadNetwork)>;
+
+fn timed(threads: usize, build: impl Fn()) -> f64 {
+    let t0 = Instant::now();
+    par::with_threads(threads, &build);
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let cfg = Config::from_env();
+    let threads = cfg.threads.max(1);
+    eprintln!("[config] comparing 1 vs {threads} worker thread(s)");
+    let mut table = ResultTable::new(
+        "prep_speedup",
+        &[
+            "dataset",
+            "n",
+            "technique",
+            "sec_1thread",
+            "sec_parallel",
+            "speedup",
+        ],
+    );
+    let builds: Vec<(&str, Build)> = vec![
+        (
+            "CH",
+            Box::new(|net: &RoadNetwork| {
+                std::hint::black_box(ContractionHierarchy::build(net));
+            }),
+        ),
+        (
+            "TNR",
+            Box::new(|net: &RoadNetwork| {
+                std::hint::black_box(Tnr::build(net, &TnrParams::default()));
+            }),
+        ),
+        (
+            "SILC",
+            Box::new(|net: &RoadNetwork| {
+                std::hint::black_box(Silc::build(net));
+            }),
+        ),
+        (
+            "ArcFlags",
+            Box::new(|net: &RoadNetwork| {
+                std::hint::black_box(ArcFlags::build(net, &ArcFlagsParams::default()));
+            }),
+        ),
+    ];
+    for d in datasets_up_to("ME") {
+        let net = build_dataset(d, &cfg);
+        for (name, build) in &builds {
+            let seq = timed(1, || build(&net));
+            let par_t = timed(threads, || build(&net));
+            eprintln!(
+                "  {name} on {}: {seq:.2}s sequential, {par_t:.2}s at {threads} threads",
+                d.name
+            );
+            table.row(vec![
+                d.name.to_string(),
+                net.num_nodes().to_string(),
+                name.to_string(),
+                ResultTable::f(seq),
+                ResultTable::f(par_t),
+                ResultTable::f(seq / par_t.max(1e-9)),
+            ]);
+        }
+    }
+    table.finish();
+}

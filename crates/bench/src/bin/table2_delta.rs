@@ -11,7 +11,13 @@ fn main() {
     let cfg = Config::from_env();
     let mut table = ResultTable::new(
         "table2",
-        &["dataset", "n", "pairs_measured", "min_ratio", "space_constant"],
+        &[
+            "dataset",
+            "n",
+            "pairs_measured",
+            "min_ratio",
+            "space_constant",
+        ],
     );
     for d in datasets_up_to("E-US") {
         let net = build_dataset(d, &cfg);

@@ -8,7 +8,10 @@ use spq_core::{verify_index, Index, Technique};
 
 fn main() {
     let cfg = Config::from_env();
-    let mut table = ResultTable::new("verify", &["dataset", "n", "technique", "checked", "defects"]);
+    let mut table = ResultTable::new(
+        "verify",
+        &["dataset", "n", "technique", "checked", "defects"],
+    );
     let mut all_clean = true;
     for (pos, d) in datasets_up_to("ME").iter().enumerate() {
         let net = build_dataset(d, &cfg);

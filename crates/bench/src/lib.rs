@@ -14,6 +14,9 @@
 //!   10000).
 //! * `SPQ_MAX_DATASET` — last dataset to include (default per binary).
 //! * `SPQ_SEED` — workload seed.
+//! * `SPQ_THREADS` — preprocessing worker threads (default: all cores);
+//!   parallel builds are byte-identical to sequential ones, so this only
+//!   changes wall-clock. The `prep_speedup` binary sweeps it.
 
 pub mod matrix;
 
@@ -37,10 +40,13 @@ pub struct Config {
     pub per_set: usize,
     /// Workload seed.
     pub seed: u64,
+    /// Preprocessing worker threads (resolved from `SPQ_THREADS` /
+    /// available parallelism by [`spq_graph::par::num_threads`]).
+    pub threads: usize,
 }
 
 impl Config {
-    /// Reads `SPQ_SCALE`, `SPQ_QUERIES` and `SPQ_SEED`.
+    /// Reads `SPQ_SCALE`, `SPQ_QUERIES`, `SPQ_SEED` and `SPQ_THREADS`.
     pub fn from_env() -> Config {
         let per_set = std::env::var("SPQ_QUERIES")
             .ok()
@@ -54,6 +60,7 @@ impl Config {
             scale: Scale::from_env(),
             per_set,
             seed,
+            threads: spq_graph::par::num_threads(),
         }
     }
 
@@ -221,7 +228,10 @@ pub fn non_empty(sets: Vec<QuerySet>) -> Vec<QuerySet> {
     sets.into_iter()
         .filter(|s| {
             if s.is_empty() {
-                eprintln!("[warn] query set {} is empty at this scale; skipped", s.label);
+                eprintln!(
+                    "[warn] query set {} is empty at this scale; skipped",
+                    s.label
+                );
                 false
             } else {
                 true

@@ -4,6 +4,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use spq_graph::par;
 use spq_graph::size::IndexSize;
 use spq_graph::types::{Dist, NodeId, Weight, INFINITY, INVALID_NODE};
 use spq_graph::RoadNetwork;
@@ -202,22 +203,28 @@ impl ContractionHierarchy {
     pub fn build_with_params(net: &RoadNetwork, params: &ChParams) -> Self {
         let n = net.num_nodes();
         let mut overlay = Overlay::from_network(net);
-        let mut witness = WitnessSearch::new(n);
         let mut state = OrderingState::new(n, params.priority);
-        let mut scratch = Vec::new();
 
-        // Initial lazy priority queue.
-        let mut queue: BinaryHeap<Reverse<(i64, NodeId)>> = BinaryHeap::with_capacity(n);
-        for v in 0..n as NodeId {
-            let (sc, inc) = simulate(
-                &overlay,
-                &mut witness,
-                v,
-                params.witness_settle_limit,
-                &mut scratch,
-            );
-            queue.push(Reverse((state.priority(v, sc.len(), inc), v)));
-        }
+        // Initial lazy priority queue. One witness-search simulation per
+        // vertex over the read-only starting overlay — the dominant cost
+        // of ordering on large networks, and embarrassingly parallel:
+        // each worker gets its own search workspace, results come back
+        // in vertex order, so the heap is built from the same sequence
+        // regardless of the thread count.
+        let initial = par::par_map_index(
+            n,
+            || (WitnessSearch::new(n), Vec::new()),
+            |(witness, scratch), v| {
+                let v = v as NodeId;
+                let (sc, inc) =
+                    simulate(&overlay, witness, v, params.witness_settle_limit, scratch);
+                Reverse((state.priority(v, sc.len(), inc), v))
+            },
+        );
+        let mut queue: BinaryHeap<Reverse<(i64, NodeId)>> = BinaryHeap::from(initial);
+
+        let mut witness = WitnessSearch::new(n);
+        let mut scratch = Vec::new();
 
         let mut order = Vec::with_capacity(n);
         let mut upward: Vec<Vec<OEdge>> = vec![Vec::new(); n];
@@ -292,12 +299,7 @@ impl ContractionHierarchy {
         Self::freeze(n, order, upward, num_shortcuts)
     }
 
-    fn freeze(
-        n: usize,
-        order: &[NodeId],
-        upward: Vec<Vec<OEdge>>,
-        num_shortcuts: usize,
-    ) -> Self {
+    fn freeze(n: usize, order: &[NodeId], upward: Vec<Vec<OEdge>>, num_shortcuts: usize) -> Self {
         let mut rank = vec![0u32; n];
         for (r, &v) in order.iter().enumerate() {
             rank[v as usize] = r as u32;
@@ -359,10 +361,7 @@ impl ContractionHierarchy {
 
     /// Upward edges of `v` as `(edge_index, head, weight)`.
     #[inline]
-    pub fn upward_edges(
-        &self,
-        v: NodeId,
-    ) -> impl Iterator<Item = (u32, NodeId, Weight)> + '_ {
+    pub fn upward_edges(&self, v: NodeId) -> impl Iterator<Item = (u32, NodeId, Weight)> + '_ {
         let lo = self.up_first[v as usize];
         let hi = self.up_first[v as usize + 1];
         (lo..hi).map(move |e| (e, self.up_head[e as usize], self.up_weight[e as usize]))
@@ -470,7 +469,13 @@ impl IndexSize for ContractionHierarchy {
 }
 
 /// Borrowed persistence view: `(rank, up_first, up_head, up_weight, up_middle)`.
-pub(crate) type RawParts<'a> = (&'a [u32], &'a [u32], &'a [NodeId], &'a [Weight], &'a [NodeId]);
+pub(crate) type RawParts<'a> = (
+    &'a [u32],
+    &'a [u32],
+    &'a [NodeId],
+    &'a [Weight],
+    &'a [NodeId],
+);
 
 /// Simulates contracting `v`: returns the shortcuts it would create (as
 /// `(u, w, weight)` with `u`, `w` live neighbours) and its live degree.

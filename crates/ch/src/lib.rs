@@ -42,5 +42,5 @@ pub mod persist;
 pub mod query;
 
 pub use contraction::{ChParams, ContractionHierarchy};
-pub use many2many::ManyToMany;
+pub use many2many::{par_table, ManyToMany};
 pub use query::ChQuery;

@@ -9,47 +9,36 @@
 //! search from each source and combine at the shared vertices.
 
 use spq_graph::heap::IndexedHeap;
+use spq_graph::par;
 use spq_graph::types::{Dist, NodeId, INFINITY};
 
 use crate::contraction::ContractionHierarchy;
 
-/// Many-to-many distance computation workspace.
-pub struct ManyToMany<'a> {
-    ch: &'a ContractionHierarchy,
+/// Reusable upward-search workspace: an exhaustive Dijkstra over the
+/// upward graph of a hierarchy, recording every settled vertex. The
+/// upward search space is tiny (polylogarithmic in practice), so no
+/// pruning is needed. Each preprocessing worker thread owns one.
+struct UpwardSearch {
     dist: Vec<Dist>,
     stamp: Vec<u32>,
     version: u32,
     heap: IndexedHeap,
-    /// `(vertex, dist)` pairs settled by the most recent upward search.
+    /// `(vertex, dist)` pairs settled by the most recent search.
     settled: Vec<(NodeId, Dist)>,
-    /// `buckets[v]` holds `(target_index, dist(v ↑ target))` entries.
-    buckets: Vec<Vec<(u32, Dist)>>,
-    touched_buckets: Vec<NodeId>,
-    /// Number of targets in the most recent [`ManyToMany::prepare_targets`].
-    prepared: usize,
 }
 
-impl<'a> ManyToMany<'a> {
-    /// Creates a workspace bound to `ch`.
-    pub fn new(ch: &'a ContractionHierarchy) -> Self {
-        let n = ch.num_nodes();
-        ManyToMany {
-            ch,
+impl UpwardSearch {
+    fn new(n: usize) -> Self {
+        UpwardSearch {
             dist: vec![INFINITY; n],
             stamp: vec![0; n],
             version: 0,
             heap: IndexedHeap::new(n),
             settled: Vec::new(),
-            buckets: vec![Vec::new(); n],
-            touched_buckets: Vec::new(),
-            prepared: 0,
         }
     }
 
-    /// Exhaustive upward search from `root`, filling `self.settled`. The
-    /// upward search space is tiny (polylogarithmic in practice), so no
-    /// pruning is needed.
-    fn upward_search(&mut self, root: NodeId) {
+    fn run(&mut self, ch: &ContractionHierarchy, root: NodeId) {
         self.version = self.version.wrapping_add(1);
         if self.version == 0 {
             self.stamp.fill(0);
@@ -63,7 +52,7 @@ impl<'a> ManyToMany<'a> {
         self.heap.push_or_decrease(root, 0);
         while let Some((d, u)) = self.heap.pop_min() {
             self.settled.push((u, d));
-            for (_, h, w) in self.ch.upward_edges(u) {
+            for (_, h, w) in ch.upward_edges(u) {
                 let nd = d + w as Dist;
                 let hi = h as usize;
                 if self.stamp[hi] != version || nd < self.dist[hi] {
@@ -72,6 +61,31 @@ impl<'a> ManyToMany<'a> {
                     self.heap.push_or_decrease(h, nd);
                 }
             }
+        }
+    }
+}
+
+/// Many-to-many distance computation workspace.
+pub struct ManyToMany<'a> {
+    ch: &'a ContractionHierarchy,
+    search: UpwardSearch,
+    /// `buckets[v]` holds `(target_index, dist(v ↑ target))` entries.
+    buckets: Vec<Vec<(u32, Dist)>>,
+    touched_buckets: Vec<NodeId>,
+    /// Number of targets in the most recent [`ManyToMany::prepare_targets`].
+    prepared: usize,
+}
+
+impl<'a> ManyToMany<'a> {
+    /// Creates a workspace bound to `ch`.
+    pub fn new(ch: &'a ContractionHierarchy) -> Self {
+        let n = ch.num_nodes();
+        ManyToMany {
+            ch,
+            search: UpwardSearch::new(n),
+            buckets: vec![Vec::new(); n],
+            touched_buckets: Vec::new(),
+            prepared: 0,
         }
     }
 
@@ -85,9 +99,9 @@ impl<'a> ManyToMany<'a> {
         }
         self.prepared = targets.len();
         for (j, &t) in targets.iter().enumerate() {
-            self.upward_search(t);
-            for i in 0..self.settled.len() {
-                let (v, d) = self.settled[i];
+            self.search.run(self.ch, t);
+            for i in 0..self.search.settled.len() {
+                let (v, d) = self.search.settled[i];
                 let bucket = &mut self.buckets[v as usize];
                 if bucket.is_empty() {
                     self.touched_buckets.push(v);
@@ -102,9 +116,9 @@ impl<'a> ManyToMany<'a> {
     pub fn distances_from(&mut self, source: NodeId, row: &mut [Dist]) {
         assert_eq!(row.len(), self.prepared, "row must match prepare_targets");
         row.fill(INFINITY);
-        self.upward_search(source);
-        for i in 0..self.settled.len() {
-            let (v, d) = self.settled[i];
+        self.search.run(self.ch, source);
+        for i in 0..self.search.settled.len() {
+            let (v, d) = self.search.settled[i];
             for &(j, dt) in &self.buckets[v as usize] {
                 let total = d + dt;
                 if total < row[j as usize] {
@@ -136,12 +150,70 @@ impl<'a> ManyToMany<'a> {
     }
 }
 
+/// The full `sources × targets` distance table, row-major, computed with
+/// the preprocessing worker pool ([`spq_graph::par`]).
+///
+/// Both phases of the bucket algorithm fan out — the backward upward
+/// searches across targets and the forward searches across sources —
+/// with one [`UpwardSearch`] workspace per worker. Bucket deposits
+/// happen on one thread in target order and the row combine takes a
+/// minimum (order-insensitive), so the table is identical to
+/// [`ManyToMany::table`]'s for any thread count.
+pub fn par_table(ch: &ContractionHierarchy, sources: &[NodeId], targets: &[NodeId]) -> Vec<Dist> {
+    let n = ch.num_nodes();
+    let m = targets.len();
+
+    // Phase 1: per-target settled sets, then a sequential deposit in
+    // target order (identical bucket entry order to the sequential path).
+    let settled_per_target: Vec<Vec<(NodeId, Dist)>> = par::par_map(
+        targets,
+        || UpwardSearch::new(n),
+        |ws, &t| {
+            ws.run(ch, t);
+            ws.settled.clone()
+        },
+    );
+    let mut buckets: Vec<Vec<(u32, Dist)>> = vec![Vec::new(); n];
+    for (j, settled) in settled_per_target.iter().enumerate() {
+        for &(v, d) in settled {
+            buckets[v as usize].push((j as u32, d));
+        }
+    }
+    drop(settled_per_target);
+
+    // Phase 2: one forward search per source against the shared
+    // read-only buckets.
+    let rows: Vec<Vec<Dist>> = par::par_map(
+        sources,
+        || UpwardSearch::new(n),
+        |ws, &s| {
+            ws.run(ch, s);
+            let mut row = vec![INFINITY; m];
+            for i in 0..ws.settled.len() {
+                let (v, d) = ws.settled[i];
+                for &(j, dt) in &buckets[v as usize] {
+                    let total = d + dt;
+                    if total < row[j as usize] {
+                        row[j as usize] = total;
+                    }
+                }
+            }
+            row
+        },
+    );
+    let mut out = Vec::with_capacity(sources.len() * m);
+    for row in rows {
+        out.extend_from_slice(&row);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::contraction::ContractionHierarchy;
-    use spq_graph::toy::{figure1, grid_graph};
     use spq_dijkstra::Dijkstra;
+    use spq_graph::toy::{figure1, grid_graph};
 
     #[test]
     fn table_matches_dijkstra_on_figure1() {
@@ -191,6 +263,20 @@ mod tests {
         assert_eq!(t1, t2);
         let t3 = m2m.one_to_many(24, &[0]);
         assert_eq!(t1, t3); // undirected symmetry
+    }
+
+    #[test]
+    fn par_table_matches_sequential_table() {
+        let g = grid_graph(7, 9);
+        let ch = ContractionHierarchy::build(&g);
+        let sources: Vec<u32> = (0..20).collect();
+        let targets: Vec<u32> = (30..63).collect();
+        let sequential = ManyToMany::new(&ch).table(&sources, &targets);
+        for threads in [1, 4] {
+            let parallel =
+                spq_graph::par::with_threads(threads, || par_table(&ch, &sources, &targets));
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -196,7 +196,9 @@ impl<'a> ChQuery<'a> {
             } else {
                 (&mut self.bwd, &mut self.fwd)
             };
-            let Some((d, u)) = this.heap.pop_min() else { break };
+            let Some((d, u)) = this.heap.pop_min() else {
+                break;
+            };
             self.last_settled += 1;
 
             // Meeting check: u reached by the other side.
@@ -249,9 +251,9 @@ impl<'a> ChQuery<'a> {
 mod tests {
     use super::*;
     use crate::contraction::ContractionHierarchy;
+    use spq_dijkstra::Dijkstra;
     use spq_graph::toy::{figure1, grid_graph};
     use spq_graph::RoadNetwork;
-    use spq_dijkstra::Dijkstra;
 
     fn check_all_pairs(g: &RoadNetwork, ch: &ContractionHierarchy) {
         let n = g.num_nodes() as NodeId;

@@ -75,16 +75,17 @@ fn required<'a>(args: &'a [String], key: &str) -> Result<&'a str, String> {
 }
 
 fn load_net(base: &str) -> Result<RoadNetwork, String> {
-    let gr = File::open(format!("{base}.gr"))
-        .map_err(|e| format!("cannot open {base}.gr: {e}"))?;
-    let co = File::open(format!("{base}.co"))
-        .map_err(|e| format!("cannot open {base}.co: {e}"))?;
+    let gr = File::open(format!("{base}.gr")).map_err(|e| format!("cannot open {base}.gr: {e}"))?;
+    let co = File::open(format!("{base}.co")).map_err(|e| format!("cannot open {base}.co: {e}"))?;
     spq_graph::dimacs::read(BufReader::new(gr), BufReader::new(co))
         .map_err(|e| format!("cannot parse {base}: {e}"))
 }
 
 fn registry() -> Result<(), String> {
-    println!("{:<6} {:<22} {:>12} {:>12}", "name", "region", "vertices", "edges");
+    println!(
+        "{:<6} {:<22} {:>12} {:>12}",
+        "name", "region", "vertices", "edges"
+    );
     for d in &DATASETS {
         println!(
             "{:<6} {:<22} {:>12} {:>12}",
@@ -99,7 +100,10 @@ fn generate(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|_| "--target must be an integer".to_string())?;
     let seed: u64 = opt(args, "--seed")
-        .map(|s| s.parse().map_err(|_| "--seed must be an integer".to_string()))
+        .map(|s| {
+            s.parse()
+                .map_err(|_| "--seed must be an integer".to_string())
+        })
         .transpose()?
         .unwrap_or(0x5eed_0002);
     let out = required(args, "--out")?;
@@ -131,7 +135,10 @@ fn info(args: &[String]) -> Result<(), String> {
         "bounding:    ({}, {}) .. ({}, {})",
         rect.min_x, rect.min_y, rect.max_x, rect.max_y
     );
-    println!("memory:      {:.2} MB (CSR + coordinates)", net.index_size_mb());
+    println!(
+        "memory:      {:.2} MB (CSR + coordinates)",
+        net.index_size_mb()
+    );
     Ok(())
 }
 
@@ -210,13 +217,19 @@ fn query(args: &[String]) -> Result<(), String> {
 fn verify(args: &[String]) -> Result<(), String> {
     let net = load_net(required(args, "--net")?)?;
     let samples: usize = opt(args, "--samples")
-        .map(|s| s.parse().map_err(|_| "--samples must be an integer".to_string()))
+        .map(|s| {
+            s.parse()
+                .map_err(|_| "--samples must be an integer".to_string())
+        })
         .transpose()?
         .unwrap_or(100);
     let mut failed = false;
     for technique in Technique::ALL {
         if technique.needs_all_pairs() && net.num_nodes() > 24_000 {
-            println!("{:<9} skipped (all-pairs preprocessing on a large network)", technique.name());
+            println!(
+                "{:<9} skipped (all-pairs preprocessing on a large network)",
+                technique.name()
+            );
             continue;
         }
         let (index, elapsed) = Index::build(technique, &net);

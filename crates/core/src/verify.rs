@@ -62,12 +62,7 @@ impl VerifyReport {
 /// Checks `index` against the Dijkstra baseline on `samples` random
 /// query pairs (both distance and shortest-path queries). Stops
 /// collecting after 16 defects — one is already disqualifying.
-pub fn verify_index(
-    net: &RoadNetwork,
-    index: &Index,
-    samples: usize,
-    seed: u64,
-) -> VerifyReport {
+pub fn verify_index(net: &RoadNetwork, index: &Index, samples: usize, seed: u64) -> VerifyReport {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut reference = Dijkstra::new(net.num_nodes());
     let mut q = index.query(net);
@@ -143,7 +138,12 @@ mod tests {
         for technique in Technique::ALL {
             let (index, _) = Index::build(technique, &net);
             let report = verify_index(&net, &index, 40, 1);
-            assert!(report.is_clean(), "{}: {:?}", technique.name(), report.defects);
+            assert!(
+                report.is_clean(),
+                "{}: {:?}",
+                technique.name(),
+                report.defects
+            );
             assert_eq!(report.checked, 40);
         }
     }
@@ -211,6 +211,9 @@ mod tests {
                 break;
             }
         }
-        assert!(corrupted, "expected the flawed access nodes to corrupt an answer");
+        assert!(
+            corrupted,
+            "expected the flawed access nodes to corrupt an answer"
+        );
     }
 }

@@ -208,11 +208,7 @@ mod tests {
         for s in 0..n {
             uni.run(&g, s);
             for t in 0..n {
-                assert_eq!(
-                    bi.distance(&g, s, t),
-                    uni.distance(t),
-                    "pair ({s},{t})"
-                );
+                assert_eq!(bi.distance(&g, s, t), uni.distance(t), "pair ({s},{t})");
                 let (d, p) = bi.shortest_path(&g, s, t).unwrap();
                 assert_eq!(Some(d), g.path_length(&p), "path ({s},{t}) invalid");
             }

@@ -286,7 +286,7 @@ mod tests {
         let g = figure1();
         let mut d = Dijkstra::new(g.num_nodes());
         d.run(&g, 7); // from v8
-        // Paper §3.4: paths from v8 to v1 and v3 go via v1.
+                      // Paper §3.4: paths from v8 to v1 and v3 go via v1.
         assert_eq!(d.distance(0), Some(1)); // v1
         assert_eq!(d.distance(2), Some(2)); // v3 via v1
         assert_eq!(d.first_hop(2), Some(0));

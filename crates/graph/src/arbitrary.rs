@@ -10,8 +10,8 @@
 use proptest::prelude::*;
 
 use crate::builder::GraphBuilder;
-use crate::geo::Point;
 use crate::csr::RoadNetwork;
+use crate::geo::Point;
 
 /// Parameters of [`connected_network`].
 #[derive(Debug, Clone, Copy)]
@@ -41,9 +41,7 @@ impl Default for NetworkStrategyParams {
 }
 
 /// A connected random network with planar-ish coordinates.
-pub fn connected_network(
-    params: NetworkStrategyParams,
-) -> impl Strategy<Value = RoadNetwork> {
+pub fn connected_network(params: NetworkStrategyParams) -> impl Strategy<Value = RoadNetwork> {
     (params.min_nodes.max(2)..=params.max_nodes).prop_flat_map(move |n| {
         let coords =
             proptest::collection::vec((-params.span..=params.span, -params.span..=params.span), n);
@@ -79,7 +77,6 @@ pub fn small_connected_network() -> impl Strategy<Value = RoadNetwork> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     proptest! {
         #[test]

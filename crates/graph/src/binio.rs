@@ -68,6 +68,53 @@ pub fn read_u32s(r: &mut impl Read) -> io::Result<Vec<u32>> {
     Ok(out)
 }
 
+/// Writes a length-prefixed `u64` slice.
+pub fn write_u64s(w: &mut impl Write, xs: &[u64]) -> io::Result<()> {
+    write_u64(w, xs.len() as u64)?;
+    for &x in xs {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a length-prefixed `u64` vector, rejecting absurd lengths.
+pub fn read_u64s(r: &mut impl Read) -> io::Result<Vec<u64>> {
+    let len = read_u64(r)?;
+    if len > (1 << 34) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("implausible slice length {len}"),
+        ));
+    }
+    let mut out = Vec::with_capacity(len as usize);
+    let mut b = [0u8; 8];
+    for _ in 0..len {
+        r.read_exact(&mut b)?;
+        out.push(u64::from_le_bytes(b));
+    }
+    Ok(out)
+}
+
+/// Writes a length-prefixed byte slice.
+pub fn write_u8s(w: &mut impl Write, xs: &[u8]) -> io::Result<()> {
+    write_u64(w, xs.len() as u64)?;
+    w.write_all(xs)
+}
+
+/// Reads a length-prefixed byte vector, rejecting absurd lengths.
+pub fn read_u8s(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let len = read_u64(r)?;
+    if len > (1 << 36) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("implausible slice length {len}"),
+        ));
+    }
+    let mut out = vec![0u8; len as usize];
+    r.read_exact(&mut out)?;
+    Ok(out)
+}
+
 /// Writes a length-prefixed `i32` slice.
 pub fn write_i32s(w: &mut impl Write, xs: &[i32]) -> io::Result<()> {
     write_u64(w, xs.len() as u64)?;
@@ -113,10 +160,14 @@ mod tests {
         write_u32s(&mut buf, &[1, 2, u32::MAX]).unwrap();
         write_i32s(&mut buf, &[-5, 0, i32::MAX]).unwrap();
         write_u64(&mut buf, 42).unwrap();
+        write_u64s(&mut buf, &[7, u64::MAX]).unwrap();
+        write_u8s(&mut buf, &[0, 9, 255]).unwrap();
         let mut r = &buf[..];
         assert_eq!(read_u32s(&mut r).unwrap(), vec![1, 2, u32::MAX]);
         assert_eq!(read_i32s(&mut r).unwrap(), vec![-5, 0, i32::MAX]);
         assert_eq!(read_u64(&mut r).unwrap(), 42);
+        assert_eq!(read_u64s(&mut r).unwrap(), vec![7, u64::MAX]);
+        assert_eq!(read_u8s(&mut r).unwrap(), vec![0, 9, 255]);
     }
 
     #[test]

@@ -302,7 +302,15 @@ mod tests {
         for i in 0..6 {
             b.add_node(p(i, i));
         }
-        let edges = [(0u32, 1u32, 2u32), (1, 2, 3), (2, 3, 4), (3, 4, 5), (4, 5, 6), (0, 5, 7), (1, 4, 8)];
+        let edges = [
+            (0u32, 1u32, 2u32),
+            (1, 2, 3),
+            (2, 3, 4),
+            (3, 4, 5),
+            (4, 5, 6),
+            (0, 5, 7),
+            (1, 4, 8),
+        ];
         for (u, v, w) in edges {
             b.add_edge(u, v, w);
         }

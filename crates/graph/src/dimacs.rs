@@ -95,7 +95,10 @@ pub fn read_gr(gr: impl BufRead) -> Result<(usize, ArcList), GraphError> {
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| parse_err(lineno, "bad arc weight"))?;
                 if u == 0 || v == 0 || u > n || v > n {
-                    return Err(parse_err(lineno, format!("arc endpoint out of range: {u} {v}")));
+                    return Err(parse_err(
+                        lineno,
+                        format!("arc endpoint out of range: {u} {v}"),
+                    ));
                 }
                 if u != v {
                     arcs.push(((u - 1) as NodeId, (v - 1) as NodeId, w));

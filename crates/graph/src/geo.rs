@@ -182,12 +182,15 @@ mod tests {
     #[test]
     fn rect_bounding_and_contains() {
         let r = Rect::bounding([Point::new(0, 5), Point::new(10, -3), Point::new(4, 4)]).unwrap();
-        assert_eq!(r, Rect {
-            min_x: 0,
-            min_y: -3,
-            max_x: 10,
-            max_y: 5
-        });
+        assert_eq!(
+            r,
+            Rect {
+                min_x: 0,
+                min_y: -3,
+                max_x: 10,
+                max_y: 5
+            }
+        );
         assert!(r.contains(Point::new(0, -3)));
         assert!(r.contains(Point::new(10, 5)));
         assert!(!r.contains(Point::new(11, 0)));
@@ -206,7 +209,14 @@ mod tests {
 
     #[test]
     fn morton_roundtrip() {
-        for &(x, y) in &[(0u32, 0u32), (1, 0), (0, 1), (123, 456), (u32::MAX, 0), (u32::MAX, u32::MAX)] {
+        for &(x, y) in &[
+            (0u32, 0u32),
+            (1, 0),
+            (0, 1),
+            (123, 456),
+            (u32::MAX, 0),
+            (u32::MAX, u32::MAX),
+        ] {
             let code = morton::encode(x, y);
             assert_eq!(morton::decode(code), (x, y), "({x},{y})");
         }

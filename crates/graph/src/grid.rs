@@ -228,7 +228,9 @@ impl VertexGrid {
         let hi_cy = (center.cy + radius).min(g - 1);
         (lo_cy..=hi_cy).flat_map(move |cy| {
             (lo_cx..=hi_cx).flat_map(move |cx| {
-                self.vertices_in(self.frame.cell_index(Cell { cx, cy })).iter().copied()
+                self.vertices_in(self.frame.cell_index(Cell { cx, cy }))
+                    .iter()
+                    .copied()
             })
         })
     }
@@ -312,9 +314,7 @@ mod tests {
         let g = figure1();
         let grid = VertexGrid::build(&g, 4);
         // Radius covering the whole frame returns every vertex.
-        let all: Vec<_> = grid
-            .vertices_within(Cell { cx: 2, cy: 2 }, 4)
-            .collect();
+        let all: Vec<_> = grid.vertices_within(Cell { cx: 2, cy: 2 }, 4).collect();
         assert_eq!(all.len(), g.num_nodes());
     }
 

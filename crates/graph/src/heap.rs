@@ -229,7 +229,9 @@ mod tests {
         // Deterministic LCG so the test needs no external crate.
         let mut state = 0x1234_5678_u64;
         let mut rand = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         let n = 64;

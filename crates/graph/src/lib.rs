@@ -16,6 +16,9 @@
 //!   and the query generator both impose one).
 //! * [`heap`] — an indexed binary heap with `decrease-key`, the priority
 //!   queue behind every Dijkstra variant in the workspace.
+//! * [`par`] — chunked, deterministic work-parallelism for the
+//!   per-vertex preprocessing loops of every index crate
+//!   (`SPQ_THREADS` / [`par::with_threads`] control the worker count).
 //! * [`dimacs`] — reader/writer for the 9th DIMACS Implementation Challenge
 //!   format, so the real datasets of the paper's Table 1 can be plugged in.
 //!
@@ -42,8 +45,9 @@ pub mod dimacs;
 pub mod error;
 pub mod geo;
 pub mod grid;
-pub mod persist;
 pub mod heap;
+pub mod par;
+pub mod persist;
 pub mod size;
 pub mod toy;
 pub mod types;

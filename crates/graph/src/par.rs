@@ -1,0 +1,240 @@
+//! Work-parallel execution for preprocessing loops.
+//!
+//! Every index in this workspace spends its preprocessing time in loops
+//! that are embarrassingly parallel at the per-vertex / per-source /
+//! per-cell level (one shortest-path tree or witness search per item,
+//! over a read-only graph). This module provides the one shared
+//! primitive they need — a chunked, deterministic [`par_map`] — built on
+//! [`std::thread::scope`] so it adds no dependencies.
+//!
+//! # Determinism
+//!
+//! `par_map` returns results in *item order* no matter how chunks are
+//! scheduled across threads, and gives each worker its own workspace, so
+//! a parallel build is byte-identical to a sequential one as long as the
+//! per-item closure itself is a pure function of `(workspace, index,
+//! item)`. All users in this workspace uphold that contract, and
+//! `tests/determinism.rs` verifies the resulting indexes byte-for-byte.
+//!
+//! # Thread-count selection
+//!
+//! [`num_threads`] resolves, in order: the calling thread's
+//! [`with_threads`] override, the `SPQ_THREADS` environment variable,
+//! and finally [`std::thread::available_parallelism`]. A resolved count
+//! of 1 runs inline with zero thread overhead.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Per-thread override installed by [`with_threads`] (0 = none).
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Runs `f` with the thread count fixed to `n` for every `par_map`
+/// reached from the current thread. Used by tests and benches to compare
+/// sequential and parallel builds inside one process.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let n = n.max(1);
+    let prev = THREAD_OVERRIDE.with(|t| t.replace(n));
+    let result = f();
+    THREAD_OVERRIDE.with(|t| t.set(prev));
+    result
+}
+
+/// The number of worker threads preprocessing will use.
+pub fn num_threads() -> usize {
+    let overridden = THREAD_OVERRIDE.with(|t| t.get());
+    if overridden > 0 {
+        return overridden;
+    }
+    if let Ok(v) = std::env::var("SPQ_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every index in `0..n`, in parallel, returning results
+/// in index order. `make_ws` builds one scratch workspace per worker
+/// thread (a Dijkstra instance, a witness search, …), so workspaces are
+/// reused across the items a worker processes but never shared.
+///
+/// Items are claimed in contiguous chunks off an atomic counter, which
+/// load-balances uneven items (witness searches, cell sizes) without
+/// giving up the deterministic output order.
+pub fn par_map_index<R, W, FW, F>(n: usize, make_ws: FW, f: F) -> Vec<R>
+where
+    R: Send,
+    FW: Fn() -> W + Sync,
+    F: Fn(&mut W, usize) -> R + Sync,
+{
+    let threads = num_threads().min(n.max(1));
+    if threads <= 1 {
+        let mut ws = make_ws();
+        return (0..n).map(|i| f(&mut ws, i)).collect();
+    }
+
+    // Small chunks (several per thread) balance load; the floor keeps
+    // per-chunk bookkeeping negligible for cheap items.
+    let chunk = (n / (threads * 8)).max(16).min(n);
+    let next = AtomicUsize::new(0);
+    let mut pieces: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut ws = make_ws();
+                    let mut mine: Vec<(usize, Vec<R>)> = Vec::new();
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        mine.push((start, (start..end).map(|i| f(&mut ws, i)).collect()));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("preprocessing worker panicked"))
+            .collect()
+    });
+
+    // Reassemble in item order: chunk starts are unique, so sorting by
+    // start restores the sequential order exactly.
+    pieces.sort_unstable_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(n);
+    for (_, mut piece) in pieces {
+        out.append(&mut piece);
+    }
+    debug_assert_eq!(out.len(), n);
+    out
+}
+
+/// [`par_map_index`] over a slice: applies `f` to every item of `items`,
+/// returning results in item order.
+pub fn par_map<T, R, W, FW, F>(items: &[T], make_ws: FW, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    FW: Fn() -> W + Sync,
+    F: Fn(&mut W, &T) -> R + Sync,
+{
+    par_map_index(items.len(), make_ws, |ws, i| f(ws, &items[i]))
+}
+
+/// Splits `0..n` into one contiguous span per worker thread and maps
+/// each span through `f` (receiving the span's range), returning the
+/// per-span results in span order. Used when the natural parallel unit
+/// produces a large accumulator (e.g. one flag array per worker) that
+/// the caller then merges with an order-insensitive reduction.
+pub fn par_map_spans<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    let threads = num_threads().min(n.max(1));
+    if threads <= 1 {
+        return vec![f(0..n)];
+    }
+    let per = n.div_ceil(threads);
+    let spans: Vec<std::ops::Range<usize>> = (0..threads)
+        .map(|t| (t * per).min(n)..((t + 1) * per).min(n))
+        .filter(|r| !r.is_empty())
+        .collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = spans
+            .into_iter()
+            .map(|span| scope.spawn(|| f(span)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("preprocessing worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        for threads in [1, 2, 4, 7] {
+            let got = with_threads(threads, || par_map(&items, || (), |(), &x| x * x));
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn index_variant_preserves_order() {
+        let got = with_threads(4, || par_map_index(517, || (), |(), i| i));
+        assert_eq!(got, (0..517).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn workspaces_are_per_thread() {
+        // Each worker's workspace counts the items it handled; the total
+        // must equal n regardless of how work was distributed.
+        use std::sync::Mutex;
+        let totals = Mutex::new(Vec::new());
+        with_threads(3, || {
+            par_map_index(
+                200,
+                || 0usize,
+                |count, _| {
+                    *count += 1;
+                    *count
+                },
+            )
+        })
+        .iter()
+        .for_each(|&c| totals.lock().unwrap().push(c));
+        // Per-item results are each workspace's running count; the number
+        // of items seeing count == 1 equals the number of workspaces
+        // created, which is at most the thread count.
+        let firsts = totals.lock().unwrap().iter().filter(|&&c| c == 1).count();
+        assert!((1..=3).contains(&firsts), "{firsts} workspaces");
+    }
+
+    #[test]
+    fn with_threads_nests_and_restores() {
+        with_threads(2, || {
+            assert_eq!(num_threads(), 2);
+            with_threads(5, || assert_eq!(num_threads(), 5));
+            assert_eq!(num_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(with_threads(4, || par_map_index(0, || (), |(), i| i)).is_empty());
+        assert_eq!(
+            with_threads(4, || par_map_index(1, || (), |(), i| i)),
+            vec![0]
+        );
+    }
+
+    #[test]
+    fn spans_cover_everything_once() {
+        for threads in [1, 3, 8] {
+            let spans = with_threads(threads, || par_map_spans(100, |r| r));
+            let mut seen = [false; 100];
+            for r in &spans {
+                for i in r.clone() {
+                    assert!(!seen[i]);
+                    seen[i] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "threads = {threads}");
+        }
+    }
+}

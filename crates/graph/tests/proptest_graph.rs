@@ -15,10 +15,8 @@ fn connected_graph() -> impl Strategy<Value = RawGraph> {
     (2usize..40).prop_flat_map(|n| {
         let coords = proptest::collection::vec((-1000i32..1000, -1000i32..1000), n);
         let spine = proptest::collection::vec((0u32..u32::MAX, 1u32..10_000), n - 1);
-        let extra = proptest::collection::vec(
-            (0u32..n as u32, 0u32..n as u32, 1u32..10_000),
-            0..2 * n,
-        );
+        let extra =
+            proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 1u32..10_000), 0..2 * n);
         (coords, spine, extra).prop_map(move |(coords, spine, extra)| {
             let mut edges = Vec::new();
             for (i, (r, w)) in spine.iter().enumerate() {

@@ -7,9 +7,9 @@
 //! makes the bound's constant factor `(2 + 2/(δ-1))²` explode — the
 //! explanation for PCPD's disappointing practical space use.
 
+use spq_dijkstra::{BiDijkstra, Dijkstra};
 use spq_graph::types::{Dist, NodeId};
 use spq_graph::RoadNetwork;
-use spq_dijkstra::{BiDijkstra, Dijkstra};
 
 /// One (s, t) observation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,9 +61,9 @@ impl<'a> DeltaMeter<'a> {
         for &v in &path[1..path.len() - 1] {
             self.excluded[v as usize] = true;
         }
-        let core_disjoint = self
-            .excluded_search
-            .run_to_target_excluding(self.net, s, t, &self.excluded);
+        let core_disjoint =
+            self.excluded_search
+                .run_to_target_excluding(self.net, s, t, &self.excluded);
         for &v in &path[1..path.len() - 1] {
             self.excluded[v as usize] = false;
         }

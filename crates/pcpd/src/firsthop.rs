@@ -11,9 +11,9 @@
 //! The O(n²) bytes are exactly the all-pairs cost that confines PCPD
 //! (like SILC) to the paper's four smallest datasets.
 
+use spq_dijkstra::Dijkstra;
 use spq_graph::types::{Dist, NodeId};
 use spq_graph::RoadNetwork;
-use spq_dijkstra::Dijkstra;
 
 /// Sentinel for the diagonal (no hop from a vertex to itself).
 pub const NO_HOP: u8 = u8::MAX;
@@ -30,8 +30,11 @@ impl FirstHopMatrix {
     /// Computes both matrices with one canonical Dijkstra per source.
     pub fn build(net: &RoadNetwork) -> Self {
         let n = net.num_nodes();
-        assert!(n <= 24_000, "the dense all-pairs matrices are O(n^2) bytes; \
-                 PCPD, like the paper, is limited to small networks");
+        assert!(
+            n <= 24_000,
+            "the dense all-pairs matrices are O(n^2) bytes; \
+                 PCPD, like the paper, is limited to small networks"
+        );
         let mut hops = vec![NO_HOP; n * n];
         let mut dists = vec![0u32; n * n];
         let mut dijkstra = Dijkstra::new(n);
@@ -41,14 +44,13 @@ impl FirstHopMatrix {
             let row_d = &mut dists[v as usize * n..(v as usize + 1) * n];
             for u in 0..n as NodeId {
                 if let Some(h) = dijkstra.first_hop(u) {
-                    row_h[u as usize] = net
-                        .neighbors(v)
-                        .position(|(to, _)| to == h)
-                        .expect("first hop is a neighbour") as u8;
+                    row_h[u as usize] =
+                        net.neighbors(v)
+                            .position(|(to, _)| to == h)
+                            .expect("first hop is a neighbour") as u8;
                 }
-                row_d[u as usize] =
-                    u32::try_from(dijkstra.distance(u).expect("connected network"))
-                        .expect("road-network distances fit u32");
+                row_d[u as usize] = u32::try_from(dijkstra.distance(u).expect("connected network"))
+                    .expect("road-network distances fit u32");
             }
         }
         FirstHopMatrix { n, hops, dists }
@@ -79,13 +81,7 @@ impl FirstHopMatrix {
 
     /// Walks the canonical path from `s` to `t`, invoking `visit` for
     /// every vertex in order (including both endpoints).
-    pub fn walk(
-        &self,
-        net: &RoadNetwork,
-        s: NodeId,
-        t: NodeId,
-        mut visit: impl FnMut(NodeId),
-    ) {
+    pub fn walk(&self, net: &RoadNetwork, s: NodeId, t: NodeId, mut visit: impl FnMut(NodeId)) {
         let mut cur = s;
         visit(cur);
         while cur != t {

@@ -141,7 +141,12 @@ mod tests {
         let mut q = pcpd.query(&net);
         let (_, path) = q.shortest_path(0, 63).unwrap();
         // O(k): each edge costs at most a couple of lookups.
-        assert!(q.last_lookups <= 3 * path.len(), "{} lookups for {} vertices", q.last_lookups, path.len());
+        assert!(
+            q.last_lookups <= 3 * path.len(),
+            "{} lookups for {} vertices",
+            q.last_lookups,
+            path.len()
+        );
         q.shortest_path(3, 3).unwrap();
         assert_eq!(q.last_lookups, 0);
     }

@@ -51,8 +51,7 @@ pub fn linf_query_sets(net: &RoadNetwork, params: &QueryGenParams) -> Vec<QueryS
             } else {
                 // Enumerate cells within the annulus radius around s.
                 let cell = buckets.cell_of(s);
-                let radius =
-                    (hi / buckets.frame().side()).max(1) as u32 + 1;
+                let radius = (hi / buckets.frame().side()).max(1) as u32 + 1;
                 let ps = net.coord(s);
                 let mut candidates: Vec<NodeId> = Vec::new();
                 for t in buckets.vertices_within(cell, radius) {
@@ -118,12 +117,7 @@ mod tests {
         };
         let sets = linf_query_sets(&net, &params);
         for set in &sets[4..9] {
-            assert_eq!(
-                set.pairs.len(),
-                params.per_set,
-                "{} incomplete",
-                set.label
-            );
+            assert_eq!(set.pairs.len(), params.per_set, "{} incomplete", set.label);
         }
         // The urban cores must make at least the Q2 band non-empty.
         assert!(!sets[1].is_empty(), "Q2 empty");

@@ -3,9 +3,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use spq_dijkstra::Dijkstra;
 use spq_graph::types::{Dist, NodeId};
 use spq_graph::RoadNetwork;
-use spq_dijkstra::Dijkstra;
 
 use crate::{QueryGenParams, QuerySet};
 

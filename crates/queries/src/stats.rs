@@ -5,9 +5,9 @@
 //! hinges on k (the edge count of the answer path) growing with the set
 //! index. This module measures those properties.
 
+use spq_dijkstra::BiDijkstra;
 use spq_graph::types::NodeId;
 use spq_graph::RoadNetwork;
-use spq_dijkstra::BiDijkstra;
 
 use crate::QuerySet;
 
@@ -32,8 +32,7 @@ pub fn describe(net: &RoadNetwork, sets: &[QuerySet], sample: usize) -> Vec<SetS
     let mut bidi = BiDijkstra::new(net.num_nodes());
     sets.iter()
         .map(|set| {
-            let pairs: Vec<(NodeId, NodeId)> =
-                set.pairs.iter().copied().take(sample).collect();
+            let pairs: Vec<(NodeId, NodeId)> = set.pairs.iter().copied().take(sample).collect();
             let mut linf = 0.0;
             let mut dist = 0.0;
             let mut edges = 0.0;

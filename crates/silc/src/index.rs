@@ -1,10 +1,11 @@
 //! SILC preprocessing: colouring + quadtree compression.
 
+use spq_dijkstra::Dijkstra;
 use spq_graph::geo::morton;
+use spq_graph::par;
 use spq_graph::size::IndexSize;
 use spq_graph::types::NodeId;
 use spq_graph::RoadNetwork;
-use spq_dijkstra::Dijkstra;
 
 /// Colour values are indices into a vertex's adjacency block; road
 /// networks are degree-bounded (paper §2) far below 255.
@@ -31,7 +32,12 @@ pub struct Silc {
 impl Silc {
     /// Preprocesses `net`: n Dijkstra traversals, one per source, each
     /// followed by quadtree compression of the resulting colouring. This
-    /// is the all-pairs cost the paper highlights in Figure 6(b).
+    /// is the all-pairs cost the paper highlights in Figure 6(b); the
+    /// per-source trees are independent, so sources fan out over the
+    /// preprocessing worker pool ([`spq_graph::par`]) with one Dijkstra
+    /// and colour buffer per worker, and the per-source results are
+    /// concatenated in source order — byte-identical to a sequential
+    /// build.
     pub fn build(net: &RoadNetwork) -> Self {
         let n = net.num_nodes();
         let rect = net.bounding_rect();
@@ -49,41 +55,56 @@ impl Silc {
         order.sort_unstable_by_key(|&v| node_code[v as usize]);
         let sorted_codes: Vec<u64> = order.iter().map(|&v| node_code[v as usize]).collect();
 
-        let mut dijkstra = Dijkstra::new(n);
-        let mut colors = vec![NO_COLOR; n];
+        // One compressed colouring per source, in parallel.
+        let per_source = par::par_map_index(
+            n,
+            || (Dijkstra::new(n), vec![NO_COLOR; n]),
+            |(dijkstra, colors), v| {
+                let v = v as NodeId;
+                dijkstra.run(net, v);
+                // Colour every vertex by the adjacency index of its
+                // first hop.
+                for u in 0..n as NodeId {
+                    colors[u as usize] = match dijkstra.first_hop(u) {
+                        Some(h) => neighbor_index(net, v, h),
+                        None => NO_COLOR, // u == v
+                    };
+                }
+                let mut block_code = Vec::new();
+                let mut block_color = Vec::new();
+                let mut exc_node = Vec::new();
+                let mut exc_color = Vec::new();
+                compress(
+                    &order,
+                    &sorted_codes,
+                    colors,
+                    &mut block_code,
+                    &mut block_color,
+                    &mut exc_node,
+                    &mut exc_color,
+                );
+                // The DFS emits blocks out of order; each source's slice
+                // must be sorted by start code for the predecessor search.
+                sort_parallel(&mut block_code, &mut block_color);
+                sort_parallel(&mut exc_node, &mut exc_color);
+                (block_code, block_color, exc_node, exc_color)
+            },
+        );
+
+        // Concatenate in source order.
         let mut block_first = vec![0u32; n + 1];
         let mut block_code = Vec::new();
         let mut block_color = Vec::new();
         let mut exc_first = vec![0u32; n + 1];
         let mut exc_node = Vec::new();
         let mut exc_color = Vec::new();
-
-        for v in 0..n as NodeId {
-            dijkstra.run(net, v);
-            // Colour every vertex by the adjacency index of its first hop.
-            for u in 0..n as NodeId {
-                colors[u as usize] = match dijkstra.first_hop(u) {
-                    Some(h) => neighbor_index(net, v, h),
-                    None => NO_COLOR, // u == v
-                };
-            }
-            let blocks_start = block_code.len();
-            let exc_start = exc_node.len();
-            compress(
-                &order,
-                &sorted_codes,
-                &colors,
-                &mut block_code,
-                &mut block_color,
-                &mut exc_node,
-                &mut exc_color,
-            );
-            // The DFS emits blocks out of order; each source's slice must
-            // be sorted by start code for the predecessor search.
-            sort_parallel(&mut block_code[blocks_start..], &mut block_color[blocks_start..]);
-            sort_parallel(&mut exc_node[exc_start..], &mut exc_color[exc_start..]);
-            block_first[v as usize + 1] = block_code.len() as u32;
-            exc_first[v as usize + 1] = exc_node.len() as u32;
+        for (v, (codes, colors_v, excn, excc)) in per_source.into_iter().enumerate() {
+            block_code.extend_from_slice(&codes);
+            block_color.extend_from_slice(&colors_v);
+            exc_node.extend_from_slice(&excn);
+            exc_color.extend_from_slice(&excc);
+            block_first[v + 1] = block_code.len() as u32;
+            exc_first[v + 1] = exc_node.len() as u32;
         }
 
         Silc {
@@ -237,8 +258,7 @@ fn compress(
                 child_prefix + ((1u64 << child_span) - 1)
             };
             // Advance to the end of this child's range.
-            let end = start
-                + sorted_codes[start..hi].partition_point(|&c| c <= child_end_code);
+            let end = start + sorted_codes[start..hi].partition_point(|&c| c <= child_end_code);
             if end > start {
                 stack.push((start, end, child_prefix, level - 1));
             }
@@ -303,11 +323,7 @@ mod tests {
         let silc = Silc::build(&g);
         // 400 sources x 399 targets explicit = 159,600 entries; the
         // compressed form must be far below that.
-        assert!(
-            silc.num_blocks() < 40_000,
-            "blocks = {}",
-            silc.num_blocks()
-        );
+        assert!(silc.num_blocks() < 40_000, "blocks = {}", silc.num_blocks());
         assert!(silc.avg_blocks_per_source() < 100.0);
     }
 

@@ -30,6 +30,7 @@
 //! ```
 
 pub mod index;
+pub mod persist;
 pub mod query;
 
 pub use index::Silc;

@@ -1,0 +1,108 @@
+//! Binary persistence for SILC indexes.
+//!
+//! SILC preprocessing is the most expensive in the suite (all-pairs
+//! shortest paths, Figure 6(b)), so shipping the compressed colour maps
+//! instead of recomputing them matters most here. The format dumps the
+//! per-source CSR arrays directly; the serialised bytes double as the
+//! determinism witness for parallel builds (`tests/determinism.rs`).
+
+use std::io::{self, Read, Write};
+
+use spq_graph::binio;
+
+use crate::index::Silc;
+
+const MAGIC: &[u8; 4] = b"SPQS";
+const VERSION: u32 = 1;
+
+impl Silc {
+    /// Serialises the Morton codes and the per-source block/exception
+    /// CSR arrays.
+    pub fn write_binary(&self, w: &mut impl Write) -> io::Result<()> {
+        binio::write_header(w, MAGIC, VERSION)?;
+        binio::write_u64s(w, &self.node_code)?;
+        binio::write_u32s(w, &self.block_first)?;
+        binio::write_u64s(w, &self.block_code)?;
+        binio::write_u8s(w, &self.block_color)?;
+        binio::write_u32s(w, &self.exc_first)?;
+        binio::write_u32s(w, &self.exc_node)?;
+        binio::write_u8s(w, &self.exc_color)?;
+        Ok(())
+    }
+
+    /// Deserialises an index written by [`Silc::write_binary`].
+    pub fn read_binary(r: &mut impl Read) -> io::Result<Silc> {
+        let version = binio::read_header(r, MAGIC)?;
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported SILC format version {version}"),
+            ));
+        }
+        let node_code = binio::read_u64s(r)?;
+        let block_first = binio::read_u32s(r)?;
+        let block_code = binio::read_u64s(r)?;
+        let block_color = binio::read_u8s(r)?;
+        let exc_first = binio::read_u32s(r)?;
+        let exc_node = binio::read_u32s(r)?;
+        let exc_color = binio::read_u8s(r)?;
+        let bad = |msg: &str| Err(io::Error::new(io::ErrorKind::InvalidData, msg.to_string()));
+        let n = node_code.len();
+        if block_first.len() != n + 1 || exc_first.len() != n + 1 {
+            return bad("CSR offsets do not match the vertex count");
+        }
+        if block_first[n] as usize != block_code.len()
+            || block_code.len() != block_color.len()
+            || exc_first[n] as usize != exc_node.len()
+            || exc_node.len() != exc_color.len()
+        {
+            return bad("CSR payload lengths do not match their offsets");
+        }
+        Ok(Silc {
+            node_code,
+            block_first,
+            block_code,
+            block_color,
+            exc_first,
+            exc_node,
+            exc_color,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_graph::toy::grid_graph;
+    use spq_graph::types::NodeId;
+
+    #[test]
+    fn roundtrip_answers_identically() {
+        let g = grid_graph(6, 5);
+        let silc = Silc::build(&g);
+        let mut buf = Vec::new();
+        silc.write_binary(&mut buf).unwrap();
+        let silc2 = Silc::read_binary(&mut &buf[..]).unwrap();
+        let mut q1 = silc.query(&g);
+        let mut q2 = silc2.query(&g);
+        for s in 0..g.num_nodes() as NodeId {
+            for t in 0..g.num_nodes() as NodeId {
+                assert_eq!(q1.shortest_path(s, t), q2.shortest_path(s, t), "({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistent_payloads() {
+        let g = grid_graph(4, 4);
+        let silc = Silc::build(&g);
+        let mut buf = Vec::new();
+        silc.write_binary(&mut buf).unwrap();
+        buf[2] ^= 0xff;
+        assert!(Silc::read_binary(&mut &buf[..]).is_err());
+        let mut buf2 = Vec::new();
+        silc.write_binary(&mut buf2).unwrap();
+        buf2.truncate(buf2.len() - 1); // drop one exception colour
+        assert!(Silc::read_binary(&mut &buf2[..]).is_err());
+    }
+}

@@ -87,8 +87,7 @@ impl SynthParams {
         let city_side = ((urban_budget / city_count as f64 / survive).sqrt().round() as u32)
             .clamp(4, defaults.city_side);
         let per_city = (city_side * city_side) as f64 * survive;
-        let base_target =
-            (target_vertices as f64 - city_count as f64 * per_city).max(per_city);
+        let base_target = (target_vertices as f64 - city_count as f64 * per_city).max(per_city);
         // Largest-component extraction plus vertex dropping removes a
         // further few percent; 0.90 keeps the expectation centred.
         let area = base_target / (1.0 - defaults.drop_vertex_prob) / 0.90;
@@ -192,27 +191,35 @@ pub fn generate(params: &SynthParams) -> RoadNetwork {
             if c + 1 < cols {
                 let v = site(r, c + 1);
                 let class = line_class(r);
-                if v != u32::MAX
-                    && (class > 0 || rng.random::<f64>() >= params.drop_edge_prob)
-                {
-                    b.add_edge(u, v, travel_time_class(coord[u as usize], coord[v as usize], class));
+                if v != u32::MAX && (class > 0 || rng.random::<f64>() >= params.drop_edge_prob) {
+                    b.add_edge(
+                        u,
+                        v,
+                        travel_time_class(coord[u as usize], coord[v as usize], class),
+                    );
                 }
             }
             // South edge.
             if r + 1 < rows {
                 let v = site(r + 1, c);
                 let class = line_class(c);
-                if v != u32::MAX
-                    && (class > 0 || rng.random::<f64>() >= params.drop_edge_prob)
-                {
-                    b.add_edge(u, v, travel_time_class(coord[u as usize], coord[v as usize], class));
+                if v != u32::MAX && (class > 0 || rng.random::<f64>() >= params.drop_edge_prob) {
+                    b.add_edge(
+                        u,
+                        v,
+                        travel_time_class(coord[u as usize], coord[v as usize], class),
+                    );
                 }
             }
             // Occasional diagonal (local roads only).
             if c + 1 < cols && r + 1 < rows {
                 let v = site(r + 1, c + 1);
                 if v != u32::MAX && rng.random::<f64>() < params.diagonal_prob {
-                    b.add_edge(u, v, travel_time(coord[u as usize], coord[v as usize], false));
+                    b.add_edge(
+                        u,
+                        v,
+                        travel_time(coord[u as usize], coord[v as usize], false),
+                    );
                 }
             }
         }
@@ -263,13 +270,21 @@ pub fn generate(params: &SynthParams) -> RoadNetwork {
                     if fc + 1 < side {
                         let v = city_id[(fr * side + fc + 1) as usize];
                         if v != u32::MAX && rng.random::<f64>() >= params.drop_edge_prob {
-                            b.add_edge(u, v, travel_time(coord[u as usize], coord[v as usize], false));
+                            b.add_edge(
+                                u,
+                                v,
+                                travel_time(coord[u as usize], coord[v as usize], false),
+                            );
                         }
                     }
                     if fr + 1 < side {
                         let v = city_id[((fr + 1) * side + fc) as usize];
                         if v != u32::MAX && rng.random::<f64>() >= params.drop_edge_prob {
-                            b.add_edge(u, v, travel_time(coord[u as usize], coord[v as usize], false));
+                            b.add_edge(
+                                u,
+                                v,
+                                travel_time(coord[u as usize], coord[v as usize], false),
+                            );
                         }
                     }
                 }
@@ -372,10 +387,7 @@ mod tests {
         assert!(g.max_degree() <= 8);
         // Table 1's arc/vertex ratio is ≈ 2.4; accept a generous band.
         let avg_degree = g.num_arcs() as f64 / g.num_nodes() as f64;
-        assert!(
-            (1.8..=3.2).contains(&avg_degree),
-            "avg degree {avg_degree}"
-        );
+        assert!((1.8..=3.2).contains(&avg_degree), "avg degree {avg_degree}");
     }
 
     #[test]

@@ -25,3 +25,19 @@ pub mod registry;
 
 pub use generator::{generate, SynthParams};
 pub use registry::{Dataset, Scale, DATASETS};
+
+/// Shrinks a test's synthetic-network vertex target when
+/// `SPQ_TEST_FAST=1` (the CI knob, also honoured by the proptest case
+/// counts): divides by 4 with a floor of 64 vertices, which keeps every
+/// structural property the tests rely on while cutting the quadratic
+/// preprocessing costs (SILC, arc flags) by an order of magnitude.
+pub fn test_vertices(n: usize) -> usize {
+    if std::env::var("SPQ_TEST_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        (n / 4).max(64)
+    } else {
+        n
+    }
+}

@@ -166,7 +166,9 @@ mod tests {
         assert_eq!(DATASETS[9].name, "US");
         assert_eq!(DATASETS[3].paper_vertices, 435_666);
         // Sizes are strictly increasing, as in Table 1.
-        assert!(DATASETS.windows(2).all(|w| w[0].paper_vertices < w[1].paper_vertices));
+        assert!(DATASETS
+            .windows(2)
+            .all(|w| w[0].paper_vertices < w[1].paper_vertices));
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! Access-node computation (paper §3.3 "Remarks" and Appendix B).
 
+use spq_dijkstra::{Dijkstra, SearchScope};
 use spq_graph::geo::Rect;
 use spq_graph::grid::VertexGrid;
 use spq_graph::types::{NodeId, INVALID_NODE};
 use spq_graph::RoadNetwork;
-use spq_dijkstra::{Dijkstra, SearchScope};
 
 /// Which access-node algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -185,7 +185,10 @@ mod tests {
         let (both, inside) = crossing_endpoints(&net, &grid, c, &shells.outer, 4);
         assert!(!both.is_empty());
         assert!(!inside.is_empty());
-        assert!(inside.len() < both.len(), "both sides must include outside endpoints");
+        assert!(
+            inside.len() < both.len(),
+            "both sides must include outside endpoints"
+        );
         // Every inside endpoint is inside; at least one endpoint of
         // `both` lies outside.
         assert!(inside.iter().all(|&v| shells.outer.contains(net.coord(v))));
@@ -213,7 +216,10 @@ mod tests {
         for &a in &acc.nodes {
             // Inside endpoints of inner-shell crossings lie within the
             // inner square but outside... at least within the inner rect.
-            assert!(shells.inner.contains(net.coord(a)), "access node {a} inside inner shell");
+            assert!(
+                shells.inner.contains(net.coord(a)),
+                "access node {a} inside inner shell"
+            );
         }
         // On a uniform lattice the access set is far smaller than the
         // cell+ring vertex count — it concentrates on the ring.
@@ -253,7 +259,7 @@ mod tests {
         let v1 = b.add_node(Point::new(45, 45)); // inside C0 (cell ~4,4)
         let v5 = b.add_node(Point::new(55, 62)); // inner shell area
         let v6 = b.add_node(Point::new(115, 130)); // beyond outer shell
-        // An ordinary path from v1 leaving the region step by step.
+                                                   // An ordinary path from v1 leaving the region step by step.
         let mut chain = vec![v1];
         for i in 1..=10 {
             chain.push(b.add_node(Point::new(45 + 12 * i, 45)));
@@ -275,8 +281,14 @@ mod tests {
         let grid = VertexGrid::build(&net, 16);
         let c = grid.cell_index_of(v1);
         let shells = shells_of(&grid, c, 2, 4);
-        assert!(shells.inner.contains(net.coord(v5)), "v5 must be inside the inner shell");
-        assert!(!shells.outer.contains(net.coord(v6)), "v6 must be beyond the outer shell");
+        assert!(
+            shells.inner.contains(net.coord(v5)),
+            "v5 must be inside the inner shell"
+        );
+        assert!(
+            !shells.outer.contains(net.coord(v6)),
+            "v6 must be beyond the outer shell"
+        );
 
         let mut d = Dijkstra::new(net.num_nodes());
         let correct = access_nodes_of_cell(

@@ -12,11 +12,11 @@
 //! Chebyshev of such pairs can still be 4). We widen the stored band to
 //! Chebyshev ≤ 10 so coverage is continuous.
 
+use spq_ch::ManyToMany;
+use spq_graph::grid::VertexGrid;
 use spq_graph::size::IndexSize;
 use spq_graph::types::{Dist, NodeId, INFINITY};
-use spq_graph::grid::VertexGrid;
 use spq_graph::RoadNetwork;
-use spq_ch::ManyToMany;
 
 use crate::access::AccessNodeStrategy;
 use crate::index::{pack, unpack, AccessIndex, Tnr, TnrParams};
@@ -268,13 +268,14 @@ impl<'a> HybridQuery<'a> {
         let mut path = vec![s];
         let mut cur = s;
         let mut total: Dist = 0;
-        while self.hybrid.coarse.distance_applicable(cur, t)
-            || self.hybrid.fine_applicable(cur, t)
+        while self.hybrid.coarse.distance_applicable(cur, t) || self.hybrid.fine_applicable(cur, t)
         {
             let mut best: Option<(Dist, NodeId, Dist)> = None;
             let neighbors: Vec<(NodeId, spq_graph::Weight)> = self.net.neighbors(cur).collect();
             for (v, w) in neighbors {
-                let Some(dv) = self.distance(v, t) else { continue };
+                let Some(dv) = self.distance(v, t) else {
+                    continue;
+                };
                 let cand = (w as Dist + dv, v, w as Dist);
                 if best.map_or(true, |(bd, bv, _)| cand.0 < bd || (cand.0 == bd && v < bv)) {
                     best = Some(cand);
@@ -303,7 +304,13 @@ mod tests {
     #[test]
     fn hybrid_is_exact_and_uses_all_levels() {
         let net = spq_synth::generate(&SynthParams::with_target_vertices(900, 51));
-        let hybrid = HybridTnr::build(&net, &TnrParams { grid: 8, ..TnrParams::default() });
+        let hybrid = HybridTnr::build(
+            &net,
+            &TnrParams {
+                grid: 8,
+                ..TnrParams::default()
+            },
+        );
         let mut q = hybrid.query(&net);
         let mut d = Dijkstra::new(net.num_nodes());
         let n = net.num_nodes() as u64;
@@ -338,8 +345,14 @@ mod tests {
     #[test]
     fn hybrid_space_sits_between_grids() {
         let net = spq_synth::generate(&SynthParams::with_target_vertices(2000, 52));
-        let params_c = TnrParams { grid: 16, ..TnrParams::default() };
-        let params_f = TnrParams { grid: 32, ..TnrParams::default() };
+        let params_c = TnrParams {
+            grid: 16,
+            ..TnrParams::default()
+        };
+        let params_f = TnrParams {
+            grid: 32,
+            ..TnrParams::default()
+        };
         let coarse = Tnr::build(&net, &params_c);
         let fine = Tnr::build(&net, &params_f);
         let hybrid = HybridTnr::build(&net, &params_c);
@@ -347,8 +360,7 @@ mod tests {
         // The hybrid's fine level stores only nearby pairs, so it should
         // undercut a full fine-grid table plus the coarse table.
         assert!(
-            hybrid.index_size_bytes()
-                < coarse.index_size_bytes() + fine.index_size_bytes(),
+            hybrid.index_size_bytes() < coarse.index_size_bytes() + fine.index_size_bytes(),
             "hybrid {} vs coarse {} + fine {}",
             hybrid.index_size_bytes(),
             coarse.index_size_bytes(),

@@ -1,11 +1,12 @@
 //! The TNR index: grid, access-node sets, and the two distance tables.
 
+use spq_ch::{ContractionHierarchy, ManyToMany};
+use spq_dijkstra::Dijkstra;
 use spq_graph::grid::VertexGrid;
+use spq_graph::par;
 use spq_graph::size::IndexSize;
 use spq_graph::types::{Dist, NodeId, INFINITY};
 use spq_graph::RoadNetwork;
-use spq_ch::{ContractionHierarchy, ManyToMany};
-use spq_dijkstra::Dijkstra;
 
 use crate::access::{access_nodes_of_cell, shells_of, AccessNodeStrategy};
 use crate::query::TnrQuery;
@@ -86,16 +87,22 @@ impl AccessIndex {
         strategy: AccessNodeStrategy,
     ) -> Self {
         let num_cells = grid.frame().num_cells();
-        let mut dijkstra = Dijkstra::new(net.num_nodes());
 
-        // Phase 1: access nodes per cell.
+        // Phase 1: access nodes per cell — one shortest-path tree per
+        // cell vertex, independent across cells, so cells fan out over
+        // the worker pool with one Dijkstra workspace each.
         let mut per_cell: Vec<Vec<NodeId>> = vec![Vec::new(); num_cells];
         let nonempty: Vec<u32> = grid.nonempty_cells().collect();
-        for &c in &nonempty {
-            let shells = shells_of(&grid, c, inner_radius, outer_radius);
-            per_cell[c as usize] =
-                access_nodes_of_cell(net, &grid, c, &shells, strategy, outer_radius, &mut dijkstra)
-                    .nodes;
+        let computed = par::par_map(
+            &nonempty,
+            || Dijkstra::new(net.num_nodes()),
+            |dijkstra, &c| {
+                let shells = shells_of(&grid, c, inner_radius, outer_radius);
+                access_nodes_of_cell(net, &grid, c, &shells, strategy, outer_radius, dijkstra).nodes
+            },
+        );
+        for (&c, nodes) in nonempty.iter().zip(computed) {
+            per_cell[c as usize] = nodes;
         }
 
         // Phase 2: global deduplication.
@@ -109,7 +116,9 @@ impl AccessIndex {
         let mut cell_access = Vec::with_capacity(cell_first[num_cells] as usize);
         for nodes in &per_cell {
             cell_access.extend(nodes.iter().map(|&v| {
-                access_list.binary_search(&v).expect("access node is listed") as u32
+                access_list
+                    .binary_search(&v)
+                    .expect("access node is listed") as u32
             }));
         }
 
@@ -121,14 +130,23 @@ impl AccessIndex {
             vertex_first[v + 1] = vertex_first[v] + per_cell[c].len() as u32;
         }
         let mut vertex_access_dist = vec![TABLE_INF; vertex_first[n] as usize];
-        let mut m2m = ManyToMany::new(ch);
-        for &c in &nonempty {
+        let tables = par::par_map(
+            &nonempty,
+            || ManyToMany::new(ch),
+            |m2m, &c| {
+                let targets = &per_cell[c as usize];
+                if targets.is_empty() {
+                    return Vec::new();
+                }
+                m2m.table(grid.vertices_in(c), targets)
+            },
+        );
+        for (&c, t) in nonempty.iter().zip(tables) {
             let targets = &per_cell[c as usize];
             if targets.is_empty() {
                 continue;
             }
             let sources = grid.vertices_in(c);
-            let t = m2m.table(sources, targets);
             for (i, &v) in sources.iter().enumerate() {
                 let base = vertex_first[v as usize] as usize;
                 for j in 0..targets.len() {
@@ -217,12 +235,13 @@ impl Tnr {
             params.access,
         );
 
-        // I1 — pairwise distances between all access nodes.
+        // I1 — pairwise distances between all access nodes. Both bucket
+        // phases fan out across the worker pool (access-node counts run
+        // into the thousands on paper-scale networks).
         let table = if access.access_list.is_empty() {
             Vec::new()
         } else {
-            let mut m2m = ManyToMany::new(&ch);
-            m2m.table(&access.access_list, &access.access_list)
+            spq_ch::par_table(&ch, &access.access_list, &access.access_list)
                 .into_iter()
                 .map(pack)
                 .collect()
@@ -341,7 +360,13 @@ mod tests {
     #[test]
     fn build_produces_access_structure() {
         let net = small_net();
-        let tnr = Tnr::build(&net, &TnrParams { grid: 16, ..TnrParams::default() });
+        let tnr = Tnr::build(
+            &net,
+            &TnrParams {
+                grid: 16,
+                ..TnrParams::default()
+            },
+        );
         assert!(tnr.num_access_nodes() > 0);
         assert!(tnr.avg_access_per_cell() < 64.0);
         for v in 0..net.num_nodes() as NodeId {
@@ -356,7 +381,13 @@ mod tests {
     #[test]
     fn i2_distances_are_exact() {
         let net = small_net();
-        let tnr = Tnr::build(&net, &TnrParams { grid: 16, ..TnrParams::default() });
+        let tnr = Tnr::build(
+            &net,
+            &TnrParams {
+                grid: 16,
+                ..TnrParams::default()
+            },
+        );
         let mut d = Dijkstra::new(net.num_nodes());
         for v in (0..net.num_nodes() as NodeId).step_by(97) {
             d.run(&net, v);
@@ -375,7 +406,13 @@ mod tests {
     #[test]
     fn i1_distances_are_exact() {
         let net = small_net();
-        let tnr = Tnr::build(&net, &TnrParams { grid: 16, ..TnrParams::default() });
+        let tnr = Tnr::build(
+            &net,
+            &TnrParams {
+                grid: 16,
+                ..TnrParams::default()
+            },
+        );
         let mut d = Dijkstra::new(net.num_nodes());
         let a = tnr.num_access_nodes();
         for i in (0..a).step_by(11.max(a / 8)) {
@@ -402,7 +439,11 @@ mod tests {
         let tnr = Tnr::build(&net, &params);
         for s in (0..net.num_nodes() as NodeId).step_by(53) {
             for t in (0..net.num_nodes() as NodeId).step_by(71) {
-                let cheb = tnr.access.grid.cell_of(s).chebyshev(&tnr.access.grid.cell_of(t));
+                let cheb = tnr
+                    .access
+                    .grid
+                    .cell_of(s)
+                    .chebyshev(&tnr.access.grid.cell_of(t));
                 assert_eq!(tnr.distance_applicable(s, t), cheb > params.outer_radius);
                 assert_eq!(tnr.path_applicable(s, t), cheb > 2 * params.outer_radius);
             }
@@ -412,8 +453,20 @@ mod tests {
     #[test]
     fn finer_grid_costs_more_space() {
         let net = small_net();
-        let coarse = Tnr::build(&net, &TnrParams { grid: 8, ..TnrParams::default() });
-        let fine = Tnr::build(&net, &TnrParams { grid: 16, ..TnrParams::default() });
+        let coarse = Tnr::build(
+            &net,
+            &TnrParams {
+                grid: 8,
+                ..TnrParams::default()
+            },
+        );
+        let fine = Tnr::build(
+            &net,
+            &TnrParams {
+                grid: 16,
+                ..TnrParams::default()
+            },
+        );
         assert!(
             fine.index_size_bytes() > coarse.index_size_bytes(),
             "fine {} vs coarse {}",

@@ -41,6 +41,7 @@
 pub mod access;
 pub mod hybrid;
 pub mod index;
+pub mod persist;
 pub mod query;
 
 pub use access::AccessNodeStrategy;

@@ -1,9 +1,9 @@
 //! TNR query processing (paper §3.3).
 
-use spq_graph::types::{Dist, NodeId, INFINITY};
-use spq_graph::RoadNetwork;
 use spq_ch::ChQuery;
 use spq_dijkstra::BiDijkstra;
+use spq_graph::types::{Dist, NodeId, INFINITY};
+use spq_graph::RoadNetwork;
 
 use crate::index::{unpack, Fallback, Tnr};
 
@@ -232,13 +232,22 @@ mod tests {
         }
         // On a 16-grid most random pairs are non-local: the tables must
         // actually be exercised, not just the fallback.
-        assert!(used_tables * 3 > pairs, "only {used_tables}/{pairs} used tables");
+        assert!(
+            used_tables * 3 > pairs,
+            "only {used_tables}/{pairs} used tables"
+        );
     }
 
     #[test]
     fn exact_with_ch_fallback() {
         let net = spq_synth::generate(&SynthParams::with_target_vertices(800, 31));
-        let tnr = Tnr::build(&net, &TnrParams { grid: 16, ..TnrParams::default() });
+        let tnr = Tnr::build(
+            &net,
+            &TnrParams {
+                grid: 16,
+                ..TnrParams::default()
+            },
+        );
         check_exact(&net, &tnr, 60);
     }
 
@@ -259,7 +268,13 @@ mod tests {
     #[test]
     fn local_queries_fall_back() {
         let net = spq_synth::generate(&SynthParams::with_target_vertices(800, 33));
-        let tnr = Tnr::build(&net, &TnrParams { grid: 16, ..TnrParams::default() });
+        let tnr = Tnr::build(
+            &net,
+            &TnrParams {
+                grid: 16,
+                ..TnrParams::default()
+            },
+        );
         let mut q = tnr.query().with_network(&net);
         // A vertex and its neighbour are always in overlapping shells.
         let s = 0u32;
@@ -272,7 +287,13 @@ mod tests {
     #[test]
     fn trivial_and_identical_queries() {
         let net = spq_synth::generate(&SynthParams::with_target_vertices(400, 34));
-        let tnr = Tnr::build(&net, &TnrParams { grid: 8, ..TnrParams::default() });
+        let tnr = Tnr::build(
+            &net,
+            &TnrParams {
+                grid: 8,
+                ..TnrParams::default()
+            },
+        );
         let mut q = tnr.query().with_network(&net);
         assert_eq!(q.distance(5, 5), Some(0));
         let (d, p) = q.shortest_path(5, 5).unwrap();

@@ -211,9 +211,11 @@ impl<'a> SvgBuilder<'a> {
             let _ = writeln!(
                 self.body,
                 r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#bbb" stroke-width="0.5"/>"##,
-                self.proj.x(x.clamp(i32::MIN as i64, i32::MAX as i64) as i32),
+                self.proj
+                    .x(x.clamp(i32::MIN as i64, i32::MAX as i64) as i32),
                 self.proj.y(rect.min_y),
-                self.proj.x(x.clamp(i32::MIN as i64, i32::MAX as i64) as i32),
+                self.proj
+                    .x(x.clamp(i32::MIN as i64, i32::MAX as i64) as i32),
                 self.proj.y(rect.max_y),
             );
             let y = rect.min_y as i64 + (i * frame.side_y()) as i64;
@@ -221,9 +223,11 @@ impl<'a> SvgBuilder<'a> {
                 self.body,
                 r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#bbb" stroke-width="0.5"/>"##,
                 self.proj.x(rect.min_x),
-                self.proj.y(y.clamp(i32::MIN as i64, i32::MAX as i64) as i32),
+                self.proj
+                    .y(y.clamp(i32::MIN as i64, i32::MAX as i64) as i32),
                 self.proj.x(rect.max_x),
-                self.proj.y(y.clamp(i32::MIN as i64, i32::MAX as i64) as i32),
+                self.proj
+                    .y(y.clamp(i32::MIN as i64, i32::MAX as i64) as i32),
             );
         }
     }
@@ -277,7 +281,7 @@ mod tests {
         let g = grid_graph(8, 8);
         let svg = render_with_grid(&g, 4, Some((1, 1)), 0, 1, &Style::default());
         assert_eq!(svg.matches("<rect").count(), 1 + 3); // background + shells
-        // 2 * (g + 1) grid lines plus the edges.
+                                                         // 2 * (g + 1) grid lines plus the edges.
         assert!(svg.matches("<line").count() >= g.num_edges() + 10);
     }
 

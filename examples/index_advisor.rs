@@ -75,7 +75,10 @@ fn main() {
     let tnr = rows.iter().find(|r| r.0 == Technique::Tnr).unwrap();
     let ch = rows.iter().find(|r| r.0 == Technique::Ch).unwrap();
     if tnr.2 < ch.2 {
-        println!("  distance-query heavy, far pairs .... TNR (measured {:.2}µs vs CH {:.2}µs)", tnr.2, ch.2);
+        println!(
+            "  distance-query heavy, far pairs .... TNR (measured {:.2}µs vs CH {:.2}µs)",
+            tnr.2, ch.2
+        );
     } else {
         println!("  distance-query heavy ............... CH (TNR gains need farther pairs)");
     }

@@ -46,7 +46,11 @@ fn with_bridges(base: &spq_graph::RoadNetwork, count: usize) -> spq_graph::RoadN
 fn main() {
     let base = spq_synth::generate(&SynthParams::with_target_vertices(3_000, 13));
     let net = with_bridges(&base, 40);
-    println!("network: {} vertices, {} edges", net.num_nodes(), net.num_edges());
+    println!(
+        "network: {} vertices, {} edges",
+        net.num_nodes(),
+        net.num_edges()
+    );
 
     let correct = Tnr::build(
         &net,
@@ -97,7 +101,9 @@ fn main() {
         let got = q_bad.table_distance(s, t);
         if got != truth {
             flawed_wrong += 1;
-            if worst.map_or(true, |(_, _, g, tr)| got.saturating_sub(tr) > g.saturating_sub(tr)) {
+            if worst.map_or(true, |(_, _, g, tr)| {
+                got.saturating_sub(tr) > g.saturating_sub(tr)
+            }) {
                 worst = Some((s, t, got, truth));
             }
         }

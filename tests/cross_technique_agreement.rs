@@ -50,7 +50,10 @@ fn check(net: &RoadNetwork, pairs: &[(NodeId, NodeId)]) {
 
 #[test]
 fn agreement_on_default_synthetic_network() {
-    let net = spq_synth::generate(&SynthParams::with_target_vertices(900, 101));
+    let net = spq_synth::generate(&SynthParams::with_target_vertices(
+        spq_synth::test_vertices(900),
+        101,
+    ));
     let pairs = random_pairs(net.num_nodes(), 50, 1);
     check(&net, &pairs);
 }
@@ -61,7 +64,7 @@ fn agreement_without_highways() {
     // exact.
     let net = spq_synth::generate(&SynthParams {
         highway_period: 0,
-        ..SynthParams::with_target_vertices(700, 102)
+        ..SynthParams::with_target_vertices(spq_synth::test_vertices(700), 102)
     });
     let pairs = random_pairs(net.num_nodes(), 40, 2);
     check(&net, &pairs);
@@ -74,7 +77,7 @@ fn agreement_on_dense_diagonal_network() {
     let net = spq_synth::generate(&SynthParams {
         diagonal_prob: 0.25,
         drop_edge_prob: 0.15,
-        ..SynthParams::with_target_vertices(700, 103)
+        ..SynthParams::with_target_vertices(spq_synth::test_vertices(700), 103)
     });
     let pairs = random_pairs(net.num_nodes(), 40, 3);
     check(&net, &pairs);

@@ -1,0 +1,108 @@
+//! Parallel preprocessing must be bit-for-bit deterministic.
+//!
+//! Every index whose build loops fan out over the worker pool
+//! (`spq_graph::par`) promises that a parallel build is byte-identical
+//! to a sequential one. This test holds each of them to that promise on
+//! a synthetic Table-1 proxy network: build with 1 thread and with 4
+//! threads, serialise both, and compare the bytes.
+
+use spq_alt::{Alt, AltParams, LandmarkSelection};
+use spq_arcflags::{ArcFlags, ArcFlagsParams};
+use spq_ch::ContractionHierarchy;
+use spq_graph::par;
+use spq_graph::RoadNetwork;
+use spq_silc::Silc;
+use spq_synth::SynthParams;
+use spq_tnr::{Tnr, TnrParams};
+
+fn network() -> RoadNetwork {
+    spq_synth::generate(&SynthParams::with_target_vertices(
+        spq_synth::test_vertices(600),
+        0xdead_beef,
+    ))
+}
+
+/// Builds + serialises at the given thread count.
+fn bytes_at<F: Fn() -> Vec<u8>>(threads: usize, build: F) -> Vec<u8> {
+    par::with_threads(threads, build)
+}
+
+fn assert_thread_invariant(name: &str, build: impl Fn() -> Vec<u8>) {
+    let sequential = bytes_at(1, &build);
+    assert!(!sequential.is_empty(), "{name}: empty serialisation");
+    for threads in [2, 4] {
+        let parallel = bytes_at(threads, &build);
+        assert_eq!(
+            parallel, sequential,
+            "{name}: {threads}-thread build differs from sequential"
+        );
+    }
+}
+
+#[test]
+fn ch_build_is_thread_invariant() {
+    let net = network();
+    assert_thread_invariant("CH", || {
+        let mut buf = Vec::new();
+        ContractionHierarchy::build(&net)
+            .write_binary(&mut buf)
+            .unwrap();
+        buf
+    });
+}
+
+#[test]
+fn tnr_build_is_thread_invariant() {
+    let net = network();
+    assert_thread_invariant("TNR", || {
+        let mut buf = Vec::new();
+        let tnr = Tnr::build(
+            &net,
+            &TnrParams {
+                grid: 8,
+                ..TnrParams::default()
+            },
+        );
+        tnr.write_binary(&mut buf).unwrap();
+        buf
+    });
+}
+
+#[test]
+fn alt_build_is_thread_invariant() {
+    let net = network();
+    for selection in [LandmarkSelection::Farthest, LandmarkSelection::Random] {
+        let params = AltParams {
+            num_landmarks: 6,
+            selection,
+            ..AltParams::default()
+        };
+        assert_thread_invariant("ALT", || {
+            let mut buf = Vec::new();
+            Alt::build(&net, &params).write_binary(&mut buf).unwrap();
+            buf
+        });
+    }
+}
+
+#[test]
+fn silc_build_is_thread_invariant() {
+    let net = network();
+    assert_thread_invariant("SILC", || {
+        let mut buf = Vec::new();
+        Silc::build(&net).write_binary(&mut buf).unwrap();
+        buf
+    });
+}
+
+#[test]
+fn arcflags_build_is_thread_invariant() {
+    let net = network();
+    assert_thread_invariant("ArcFlags", || {
+        let mut buf = Vec::new();
+        ArcFlags::build(&net, &ArcFlagsParams::default())
+            .write_binary(&mut buf)
+            .unwrap();
+        buf
+    });
+}

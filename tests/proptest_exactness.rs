@@ -14,8 +14,7 @@ fn arb_network() -> impl Strategy<Value = RoadNetwork> {
     (3usize..28).prop_flat_map(|n| {
         let coords = proptest::collection::vec((-500i32..500, -500i32..500), n);
         let spine = proptest::collection::vec((0u32..u32::MAX, 1u32..500), n - 1);
-        let extra =
-            proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 1u32..500), 0..n);
+        let extra = proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 1u32..500), 0..n);
         (coords, spine, extra).prop_map(move |(coords, spine, extra)| {
             let mut b = GraphBuilder::new();
             for (x, y) in &coords {

@@ -1,0 +1,168 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment for this workspace has no access to a crates.io
+//! registry, so the external dependencies are vendored as minimal local
+//! implementations. This one provides the subset of proptest the
+//! workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * [`strategy::Strategy`] with `prop_map` and `prop_flat_map`,
+//! * integer range strategies, tuple strategies, [`collection::vec`],
+//!   and [`any`] for `bool`/`u32`/`u64`,
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Differences from the real crate: inputs are generated from a fixed
+//! deterministic seed per test case, and there is **no shrinking** — a
+//! failing case panics with the case number so it can be replayed (the
+//! generated value is a pure function of the case number). Case counts
+//! honour two environment knobs:
+//!
+//! * `PROPTEST_CASES` — explicit global case count override,
+//! * `SPQ_TEST_FAST=1` — the workspace's fast CI tier; divides each
+//!   test's configured case count by 8 (minimum 4 cases).
+
+pub mod strategy;
+
+pub mod collection {
+    pub use crate::strategy::{vec, SizeRange};
+}
+
+pub use strategy::{any, Just, Strategy, TestRng};
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` and
+    /// `SPQ_TEST_FAST` environment knobs.
+    pub fn effective_cases(&self) -> u32 {
+        if let Ok(v) = std::env::var("PROPTEST_CASES") {
+            if let Ok(n) = v.parse::<u32>() {
+                return n.max(1);
+            }
+        }
+        if std::env::var("SPQ_TEST_FAST").as_deref() == Ok("1") {
+            return (self.cases / 8).max(4);
+        }
+        self.cases
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+    /// Re-export so `proptest::prelude::prop::collection::vec(..)` works.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Defines property tests: each `#[test] fn name(binder in strategy, ..)`
+/// becomes a `#[test]` that draws `cases` random inputs and runs the body
+/// on each.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let cases = config.effective_cases();
+            // A fixed per-test seed keeps runs reproducible; the case
+            // number is folded in so each case sees a fresh stream.
+            let test_seed = $crate::strategy::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..cases as u64 {
+                let mut rng = $crate::TestRng::new(test_seed ^ (case.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+                $(let $pat = $crate::Strategy::generate(&$strat, &mut rng);)+
+                let run = || -> () { $body };
+                run();
+            }
+        }
+    )*};
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, 5i32..=9), n in 1usize..4) {
+            prop_assert!(a < 10);
+            prop_assert!((5..=9).contains(&b));
+            prop_assert!((1..4).contains(&n));
+        }
+
+        #[test]
+        fn vec_and_flat_map(xs in (1usize..8).prop_flat_map(|n| collection::vec(0u32..100, n))) {
+            prop_assert!(!xs.is_empty() && xs.len() < 8);
+            prop_assert!(xs.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn mapped_values(x in (0u32..50).prop_map(|v| v * 2)) {
+            prop_assert_eq!(x % 2, 0);
+            prop_assert!(x < 100);
+        }
+
+        #[test]
+        fn any_bool_and_u32(b in any::<bool>(), x in any::<u32>()) {
+            let _ = (b, x); // generation itself is the property under test
+        }
+    }
+
+    #[test]
+    fn effective_cases_defaults_to_configured() {
+        // (Environment knobs are exercised by the workspace CI tier.)
+        if std::env::var("PROPTEST_CASES").is_err() && std::env::var("SPQ_TEST_FAST").is_err() {
+            assert_eq!(crate::ProptestConfig::with_cases(40).effective_cases(), 40);
+        }
+    }
+}
