@@ -101,6 +101,29 @@ impl<'a> AltQuery<'a> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// spq-serve integration: ALT behind the unified backend interface.
+
+impl spq_graph::backend::Backend for Alt {
+    fn backend_name(&self) -> &'static str {
+        "ALT"
+    }
+
+    fn session<'a>(&'a self, net: &'a RoadNetwork) -> Box<dyn spq_graph::backend::Session + 'a> {
+        Box::new(self.query(net))
+    }
+}
+
+impl spq_graph::backend::Session for AltQuery<'_> {
+    fn distance(&mut self, s: NodeId, t: NodeId) -> Option<Dist> {
+        AltQuery::distance(self, s, t)
+    }
+
+    fn shortest_path(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
+        AltQuery::shortest_path(self, s, t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

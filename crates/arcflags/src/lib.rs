@@ -252,6 +252,29 @@ impl<'a> ArcFlagsQuery<'a> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// spq-serve integration: arc flags behind the unified backend interface.
+
+impl spq_graph::backend::Backend for ArcFlags {
+    fn backend_name(&self) -> &'static str {
+        "ArcFlags"
+    }
+
+    fn session<'a>(&'a self, net: &'a RoadNetwork) -> Box<dyn spq_graph::backend::Session + 'a> {
+        Box::new(self.query(net))
+    }
+}
+
+impl spq_graph::backend::Session for ArcFlagsQuery<'_> {
+    fn distance(&mut self, s: NodeId, t: NodeId) -> Option<Dist> {
+        ArcFlagsQuery::distance(self, s, t)
+    }
+
+    fn shortest_path(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
+        ArcFlagsQuery::shortest_path(self, s, t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

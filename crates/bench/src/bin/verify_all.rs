@@ -3,10 +3,12 @@
 //! reproduction of the paper's own methodological point that a faulty
 //! implementation invalidates published numbers (§1).
 
+use std::process::ExitCode;
+
 use spq_bench::{build_dataset, datasets_up_to, Config, ResultTable};
 use spq_core::{verify_index, Index, Technique};
 
-fn main() {
+fn main() -> ExitCode {
     let cfg = Config::from_env();
     let mut table = ResultTable::new(
         "verify",
@@ -37,6 +39,12 @@ fn main() {
         }
     }
     table.finish();
-    assert!(all_clean, "differential verification found defects");
+    if !all_clean {
+        // An explicit non-zero exit (not a panic) so CI and scripts can
+        // gate on it even with panic=abort or --release quirks.
+        eprintln!("differential verification found defects");
+        return ExitCode::FAILURE;
+    }
     println!("\nall techniques certified against the baseline.");
+    ExitCode::SUCCESS
 }

@@ -1,0 +1,102 @@
+//! [`Backend`] implementation for Contraction Hierarchies.
+//!
+//! Point-to-point queries go through the regular [`ChQuery`] workspace.
+//! Batched distance queries are routed to the bucket-based many-to-many
+//! algorithm ([`ManyToMany`]) whenever the batch is *dense* — both sides
+//! have at least two vertices — because the bucket technique amortises
+//! the backward searches across the whole target set, which a loop of
+//! point-to-point queries cannot. Degenerate (1×k or k×1) batches fall
+//! back to the default per-pair loop, which is cheaper than paying the
+//! bucket setup for a single row.
+
+use spq_graph::backend::{Backend, Session};
+use spq_graph::types::{Dist, NodeId, INFINITY};
+use spq_graph::RoadNetwork;
+
+use crate::contraction::ContractionHierarchy;
+use crate::many2many::ManyToMany;
+use crate::query::ChQuery;
+
+/// Per-thread CH workspace: the point-to-point query state plus a
+/// lazily created many-to-many workspace (its buckets are `O(n)`, so
+/// workers that never see a batch never pay for them).
+pub struct ChSession<'a> {
+    ch: &'a ContractionHierarchy,
+    query: ChQuery<'a>,
+    many: Option<ManyToMany<'a>>,
+}
+
+impl Backend for ContractionHierarchy {
+    fn backend_name(&self) -> &'static str {
+        "CH"
+    }
+
+    fn session<'a>(&'a self, _net: &'a RoadNetwork) -> Box<dyn Session + 'a> {
+        Box::new(ChSession {
+            ch: self,
+            query: ChQuery::new(self),
+            many: None,
+        })
+    }
+}
+
+impl Session for ChSession<'_> {
+    fn distance(&mut self, s: NodeId, t: NodeId) -> Option<Dist> {
+        self.query.distance(s, t)
+    }
+
+    fn shortest_path(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
+        self.query.shortest_path(s, t)
+    }
+
+    fn distances(&mut self, sources: &[NodeId], targets: &[NodeId], out: &mut Vec<Option<Dist>>) {
+        if sources.len() < 2 || targets.len() < 2 {
+            out.clear();
+            out.extend(
+                sources
+                    .iter()
+                    .flat_map(|&s| targets.iter().map(move |&t| (s, t)))
+                    .map(|(s, t)| self.query.distance(s, t)),
+            );
+            return;
+        }
+        let many = self.many.get_or_insert_with(|| ManyToMany::new(self.ch));
+        let table = many.table(sources, targets);
+        out.clear();
+        out.extend(
+            table
+                .into_iter()
+                .map(|d| if d >= INFINITY { None } else { Some(d) }),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_graph::toy::figure1;
+
+    #[test]
+    fn dense_batch_matches_point_to_point() {
+        let g = figure1();
+        let ch = ContractionHierarchy::build(&g);
+        let mut session = ch.session(&g);
+        let sources: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
+        let targets = sources.clone();
+        let mut out = Vec::new();
+        session.distances(&sources, &targets, &mut out);
+        for (i, &s) in sources.iter().enumerate() {
+            for (j, &t) in targets.iter().enumerate() {
+                assert_eq!(
+                    out[i * targets.len() + j],
+                    session.distance(s, t),
+                    "batch ({s},{t})"
+                );
+            }
+        }
+        // Degenerate one-row batch takes the loop path; same answers.
+        let mut row = Vec::new();
+        session.distances(&sources[..1], &targets, &mut row);
+        assert_eq!(row, out[..targets.len()].to_vec());
+    }
+}

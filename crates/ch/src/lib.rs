@@ -35,6 +35,7 @@
 //! assert_eq!(g.path_length(&path), Some(6)); // unpacked to real edges
 //! ```
 
+pub mod backend;
 pub mod contraction;
 pub mod many2many;
 pub mod ordering;

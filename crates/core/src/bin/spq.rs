@@ -8,17 +8,25 @@
 //! spq query --net P --from S --to T          answer one query
 //!           [--technique dijkstra|ch|tnr|silc|pcpd] [--ch F.ch] [--path]
 //! spq verify --net P [--samples N]           certify all techniques
+//! spq serve --net P [--addr A] [--backends L] run the query server
+//! spq loadgen --net P [--concurrency L]      measure serving throughput
 //! ```
 //!
-//! `--net P` loads `P.gr` + `P.co` (DIMACS text).
+//! `--net P` loads `P.gr` + `P.co` (DIMACS text); `serve` and `loadgen`
+//! also accept `--target N` to synthesise a network instead.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 use spq_core::{Index, Technique};
 use spq_graph::size::IndexSize;
 use spq_graph::RoadNetwork;
+use spq_serve::loadgen::{run_in_process, write_csv, LoadgenOptions, ThroughputRow};
+use spq_serve::server::{install_signal_handlers, Server, ServerConfig};
+use spq_serve::{BackendKind, Engine};
 use spq_synth::{SynthParams, DATASETS};
 
 fn main() -> ExitCode {
@@ -30,6 +38,8 @@ fn main() -> ExitCode {
         Some("prep") => prep(&args[1..]),
         Some("query") => query(&args[1..]),
         Some("verify") => verify(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("loadgen") => loadgen(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -54,7 +64,13 @@ fn print_usage() {
          \x20 info --net P                           network statistics\n\
          \x20 prep --net P --out F.ch                build + persist a CH index\n\
          \x20 query --net P --from S --to T [--technique T] [--ch F.ch] [--path]\n\
-         \x20 verify --net P [--samples N]           certify all techniques"
+         \x20 verify --net P [--samples N]           certify all techniques\n\
+         \x20 serve (--net P | --target N) [--addr A] [--backends L] [--workers N]\n\
+         \x20       [--cache N]                      run the TCP query server\n\
+         \x20 loadgen (--net P | --target N) [--backends L] [--concurrency L]\n\
+         \x20         [--duration S] [--out F]       measure serving throughput\n\n\
+         serve/loadgen backends: dijkstra,ch,tnr,silc,pcpd,alt,arcflags (or 'all');\n\
+         see README.md for the wire protocol."
     );
 }
 
@@ -249,6 +265,132 @@ fn verify(args: &[String]) -> Result<(), String> {
     } else {
         Ok(())
     }
+}
+
+/// Shared by `serve` and `loadgen`: `--net P` loads DIMACS, otherwise
+/// `--target N` (default 2000) synthesises a network.
+fn serve_network(args: &[String]) -> Result<RoadNetwork, String> {
+    if let Some(base) = opt(args, "--net") {
+        return load_net(base);
+    }
+    let target: usize = opt(args, "--target")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| "--target must be an integer".to_string())
+        })
+        .transpose()?
+        .unwrap_or(2000);
+    let seed: u64 = opt(args, "--seed")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| "--seed must be an integer".to_string())
+        })
+        .transpose()?
+        .unwrap_or(42);
+    Ok(spq_synth::generate(&SynthParams::with_target_vertices(
+        target, seed,
+    )))
+}
+
+fn serve_backends(args: &[String]) -> Result<Vec<BackendKind>, String> {
+    match opt(args, "--backends") {
+        Some(list) => BackendKind::parse_list(list),
+        None => Ok(BackendKind::DEFAULT.to_vec()),
+    }
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let net = serve_network(args)?;
+    eprintln!(
+        "serving network: {} vertices, {} edges",
+        net.num_nodes(),
+        net.num_edges()
+    );
+    let engine = Engine::build(net, &serve_backends(args)?);
+    // The startup gate: refuse to serve from an index that disagrees
+    // with the Dijkstra oracle (returning Err exits non-zero).
+    engine
+        .self_check(32, 7)
+        .map_err(|e| format!("refusing to serve: {e}"))?;
+    eprintln!(
+        "self-check passed for {} backend(s)",
+        engine.backends().len()
+    );
+
+    let mut cfg = ServerConfig::default();
+    if let Some(addr) = opt(args, "--addr") {
+        cfg.addr = addr.to_string();
+    }
+    if let Some(w) = opt(args, "--workers") {
+        cfg.workers = w
+            .parse()
+            .map_err(|_| "--workers must be an integer".to_string())?;
+    }
+    if let Some(c) = opt(args, "--cache") {
+        cfg.cache_capacity = c
+            .parse()
+            .map_err(|_| "--cache must be an integer".to_string())?;
+    }
+    install_signal_handlers();
+    let server = Server::start(Arc::new(engine), &cfg).map_err(|e| format!("bind: {e}"))?;
+    println!("listening on {}", server.local_addr());
+    while !server.shutting_down() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    server.request_shutdown(); // propagate a signal-initiated stop
+    eprintln!("shutting down\n--- final stats ---\n{}", server.join());
+    Ok(())
+}
+
+fn loadgen(args: &[String]) -> Result<(), String> {
+    let net = serve_network(args)?;
+    let mut opts = LoadgenOptions {
+        backends: serve_backends(args)?,
+        ..LoadgenOptions::default()
+    };
+    if let Some(list) = opt(args, "--concurrency") {
+        opts.concurrency = list
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(|p| {
+                p.parse::<usize>()
+                    .map_err(|_| format!("--concurrency: cannot parse '{p}'"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if opts.concurrency.is_empty() || opts.concurrency.contains(&0) {
+            return Err("--concurrency needs positive thread counts".into());
+        }
+    }
+    if let Some(s) = opt(args, "--duration") {
+        opts.duration = Duration::from_secs_f64(
+            s.parse()
+                .map_err(|_| "--duration must be a number of seconds".to_string())?,
+        );
+    }
+    if let Some(s) = opt(args, "--seed") {
+        opts.seed = s
+            .parse()
+            .map_err(|_| "--seed must be an integer".to_string())?;
+    }
+    let (rows, stats) = run_in_process(net, &opts)?;
+    eprintln!("--- final server stats ---\n{stats}");
+
+    let out = opt(args, "--out").unwrap_or("results/serve_throughput.csv");
+    write_csv(&rows, std::path::Path::new(out)).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("{}", ThroughputRow::CSV_HEADER);
+    for row in &rows {
+        println!("{}", row.to_csv());
+    }
+    let mismatches: usize = rows.iter().map(|r| r.mismatches).sum();
+    if mismatches > 0 {
+        return Err(format!("{mismatches} answer(s) disagreed with the oracle"));
+    }
+    if rows.iter().any(|r| r.requests == 0) {
+        return Err("a run completed zero requests".into());
+    }
+    println!("wrote {out}");
+    Ok(())
 }
 
 fn answer(

@@ -1,0 +1,65 @@
+//! [`Backend`] implementation for the index-free baseline.
+//!
+//! Bidirectional Dijkstra needs no preprocessing, so the backend is a
+//! unit struct; each session owns one [`BiDijkstra`] workspace sized for
+//! the network, reused across every query the worker serves.
+
+use spq_graph::backend::{Backend, Session};
+use spq_graph::types::{Dist, NodeId};
+use spq_graph::RoadNetwork;
+
+use crate::bidirectional::BiDijkstra;
+
+/// The index-free bidirectional-Dijkstra backend (§3.1).
+pub struct Baseline;
+
+/// Per-thread baseline workspace: the search state plus the network.
+pub struct BaselineSession<'a> {
+    net: &'a RoadNetwork,
+    search: BiDijkstra,
+}
+
+impl Backend for Baseline {
+    fn backend_name(&self) -> &'static str {
+        "Dijkstra"
+    }
+
+    fn session<'a>(&'a self, net: &'a RoadNetwork) -> Box<dyn Session + 'a> {
+        Box::new(BaselineSession {
+            net,
+            search: BiDijkstra::new(net.num_nodes()),
+        })
+    }
+}
+
+impl Session for BaselineSession<'_> {
+    fn distance(&mut self, s: NodeId, t: NodeId) -> Option<Dist> {
+        self.search.distance(self.net, s, t)
+    }
+
+    fn shortest_path(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
+        self.search.shortest_path(self.net, s, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_graph::toy::figure1;
+
+    #[test]
+    fn baseline_session_answers_like_the_workspace() {
+        let g = figure1();
+        let backend = Baseline;
+        let mut session = backend.session(&g);
+        let mut reference = BiDijkstra::new(g.num_nodes());
+        for s in 0..g.num_nodes() as NodeId {
+            for t in 0..g.num_nodes() as NodeId {
+                assert_eq!(session.distance(s, t), reference.distance(&g, s, t));
+            }
+        }
+        let (d, path) = session.shortest_path(2, 6).unwrap();
+        assert_eq!(d, 6);
+        assert_eq!(g.path_length(&path), Some(6));
+    }
+}

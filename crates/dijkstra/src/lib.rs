@@ -21,9 +21,11 @@
 //! assert_eq!(g.path_length(&path), Some(6));
 //! ```
 
+pub mod backend;
 pub mod bidirectional;
 pub mod onetoall;
 
+pub use backend::Baseline;
 pub use bidirectional::BiDijkstra;
 pub use onetoall::{Dijkstra, SearchScope};
 

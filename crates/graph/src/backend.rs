@@ -1,0 +1,124 @@
+//! The unified query-backend abstraction behind `spq-serve`.
+//!
+//! Every index crate answers the same two query kinds (paper §2) through
+//! its own workspace type; this module is the object-safe common
+//! denominator that lets a server hold *any* mix of indexes behind one
+//! `Box<dyn Backend>` and give each worker thread its own reusable
+//! [`Session`] so the per-query hot path stays allocation-free.
+//!
+//! The split mirrors the index/workspace split every technique crate
+//! already has:
+//!
+//! * [`Backend`] — the immutable, shareable index (`Send + Sync`; one
+//!   per process, referenced by every worker).
+//! * [`Session`] — the mutable per-thread search state (heaps, stamp
+//!   arrays, bucket scratch). Never shared, never re-created per query.
+//!
+//! Batched distance queries get a default implementation (a plain loop)
+//! that indexes with a native many-to-many algorithm override — CH
+//! routes dense batches to its bucket-based table computation.
+
+use crate::csr::RoadNetwork;
+use crate::types::{Dist, NodeId};
+
+/// A preprocessed index that can answer queries over one road network.
+///
+/// Implementations live in the technique crates (the trait is defined
+/// here so they can implement it for their local index types without
+/// orphan-rule friction).
+pub trait Backend: Send + Sync {
+    /// Display name, matching the paper's figures ("CH", "TNR", ...).
+    fn backend_name(&self) -> &'static str;
+
+    /// Creates a per-thread query workspace over this index and the
+    /// network it was built from. The session borrows both; workers keep
+    /// one session per backend for their whole lifetime.
+    fn session<'a>(&'a self, net: &'a RoadNetwork) -> Box<dyn Session + 'a>;
+}
+
+/// A reusable, single-threaded query workspace.
+pub trait Session {
+    /// The paper's *distance query*: length of the shortest s–t path,
+    /// `None` when `t` is unreachable from `s`.
+    fn distance(&mut self, s: NodeId, t: NodeId) -> Option<Dist>;
+
+    /// The paper's *shortest path query*: the distance plus the vertex
+    /// sequence of one shortest path.
+    fn shortest_path(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)>;
+
+    /// Batched distances: fills `out` with the row-major
+    /// `sources × targets` table (entry `i * targets.len() + j` is
+    /// `distance(sources[i], targets[j])`).
+    ///
+    /// The default runs the point-to-point query per pair; indexes with
+    /// a native many-to-many algorithm (CH's bucket technique) override
+    /// this, which is what makes dense batches cheaper than their
+    /// point-to-point decomposition.
+    fn distances(&mut self, sources: &[NodeId], targets: &[NodeId], out: &mut Vec<Option<Dist>>) {
+        out.clear();
+        out.reserve(sources.len() * targets.len());
+        for &s in sources {
+            for &t in targets {
+                out.push(self.distance(s, t));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::figure1;
+
+    /// A trivial backend over the raw network (BFS-free: only immediate
+    /// neighbours and self-loops) — just enough to exercise the default
+    /// `distances` implementation and object safety.
+    struct OneHop;
+
+    struct OneHopSession<'a> {
+        net: &'a RoadNetwork,
+    }
+
+    impl Backend for OneHop {
+        fn backend_name(&self) -> &'static str {
+            "OneHop"
+        }
+        fn session<'a>(&'a self, net: &'a RoadNetwork) -> Box<dyn Session + 'a> {
+            Box::new(OneHopSession { net })
+        }
+    }
+
+    impl Session for OneHopSession<'_> {
+        fn distance(&mut self, s: NodeId, t: NodeId) -> Option<Dist> {
+            if s == t {
+                return Some(0);
+            }
+            self.net
+                .neighbors(s)
+                .filter(|&(u, _)| u == t)
+                .map(|(_, w)| w as Dist)
+                .min()
+        }
+        fn shortest_path(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
+            let d = self.distance(s, t)?;
+            Some((d, if s == t { vec![s] } else { vec![s, t] }))
+        }
+    }
+
+    #[test]
+    fn default_batch_matches_singles() {
+        let g = figure1();
+        let backend: Box<dyn Backend> = Box::new(OneHop);
+        let mut session = backend.session(&g);
+        let sources = [0u32, 1, 2];
+        let targets = [0u32, 3, 5, 7];
+        let mut out = Vec::new();
+        session.distances(&sources, &targets, &mut out);
+        assert_eq!(out.len(), sources.len() * targets.len());
+        for (i, &s) in sources.iter().enumerate() {
+            for (j, &t) in targets.iter().enumerate() {
+                assert_eq!(out[i * targets.len() + j], session.distance(s, t));
+            }
+        }
+    }
+}

@@ -21,6 +21,9 @@
 //!   (`SPQ_THREADS` / [`par::with_threads`] control the worker count).
 //! * [`dimacs`] — reader/writer for the 9th DIMACS Implementation Challenge
 //!   format, so the real datasets of the paper's Table 1 can be plugged in.
+//! * [`backend`] — the object-safe [`Backend`]/[`Session`] traits that let
+//!   the query-serving subsystem (`spq-serve`) hold any mix of indexes
+//!   behind one interface with per-thread reusable workspaces.
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@
 
 #[cfg(feature = "arbitrary")]
 pub mod arbitrary;
+pub mod backend;
 pub mod binio;
 pub mod builder;
 pub mod csr;
@@ -53,6 +57,7 @@ pub mod toy;
 pub mod types;
 pub mod unionfind;
 
+pub use backend::{Backend, Session};
 pub use builder::GraphBuilder;
 pub use csr::RoadNetwork;
 pub use error::GraphError;

@@ -83,6 +83,29 @@ impl<'a> PcpdQuery<'a> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// spq-serve integration: PCPD behind the unified backend interface.
+
+impl spq_graph::backend::Backend for Pcpd {
+    fn backend_name(&self) -> &'static str {
+        "PCPD"
+    }
+
+    fn session<'a>(&'a self, net: &'a RoadNetwork) -> Box<dyn spq_graph::backend::Session + 'a> {
+        Box::new(self.query(net))
+    }
+}
+
+impl spq_graph::backend::Session for PcpdQuery<'_> {
+    fn distance(&mut self, s: NodeId, t: NodeId) -> Option<Dist> {
+        PcpdQuery::distance(self, s, t)
+    }
+
+    fn shortest_path(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
+        PcpdQuery::shortest_path(self, s, t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,155 @@
+//! Standalone load-generator binary: spins up an in-process server over
+//! a synthetic or DIMACS network, sweeps every requested backend across
+//! the requested concurrency levels, and writes
+//! `results/serve_throughput.csv`.
+//!
+//! Exits non-zero when the startup self-check fails, when any verified
+//! answer disagrees with the Dijkstra oracle, or when a run completes
+//! zero requests.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use spq_graph::RoadNetwork;
+use spq_serve::loadgen::{run_in_process, write_csv, LoadgenOptions, ThroughputRow};
+use spq_serve::BackendKind;
+use spq_synth::SynthParams;
+
+const USAGE: &str = "\
+spq_loadgen — throughput load generator for the spq-serve subsystem
+
+USAGE:
+    spq_loadgen [OPTIONS]
+
+OPTIONS:
+    --net <base>           DIMACS base path (reads <base>.gr and <base>.co);
+                           mutually exclusive with --target
+    --target <n>           synthesise a network with ~n vertices (default 2000)
+    --seed <u64>           workload + synthesis seed (default 42)
+    --backends <list>      comma-separated backends, or 'all'
+                           (dijkstra,ch,tnr,silc,pcpd,alt,arcflags; default 'all')
+    --concurrency <list>   comma-separated client-thread counts (default '1,4')
+    --duration <secs>      seconds per timed run, fractions allowed (default 3)
+    --per-set <n>          query pairs drawn per Q-set (default 200)
+    --out <path>           CSV output path (default results/serve_throughput.csv)
+    --help                 print this help
+";
+
+fn opt(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: cannot parse '{s}'"))
+}
+
+fn build_network(args: &[String]) -> Result<RoadNetwork, String> {
+    let seed: u64 = match opt(args, "--seed") {
+        Some(s) => parse(&s, "--seed")?,
+        None => 42,
+    };
+    if let Some(base) = opt(args, "--net") {
+        if opt(args, "--target").is_some() {
+            return Err("--net and --target are mutually exclusive".into());
+        }
+        let gr =
+            File::open(format!("{base}.gr")).map_err(|e| format!("cannot open {base}.gr: {e}"))?;
+        let co =
+            File::open(format!("{base}.co")).map_err(|e| format!("cannot open {base}.co: {e}"))?;
+        return spq_graph::dimacs::read(BufReader::new(gr), BufReader::new(co))
+            .map_err(|e| format!("cannot parse {base}: {e}"));
+    }
+    let target: usize = match opt(args, "--target") {
+        Some(s) => parse(&s, "--target")?,
+        None => 2000,
+    };
+    Ok(spq_synth::generate(&SynthParams::with_target_vertices(
+        spq_synth::test_vertices(target),
+        seed,
+    )))
+}
+
+fn options(args: &[String]) -> Result<LoadgenOptions, String> {
+    let mut opts = LoadgenOptions::default();
+    if let Some(list) = opt(args, "--backends") {
+        opts.backends = BackendKind::parse_list(&list)?;
+    }
+    if let Some(list) = opt(args, "--concurrency") {
+        opts.concurrency = list
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(|p| parse::<usize>(p, "--concurrency"))
+            .collect::<Result<Vec<_>, _>>()?;
+        if opts.concurrency.is_empty() || opts.concurrency.contains(&0) {
+            return Err("--concurrency needs positive thread counts".into());
+        }
+    }
+    if let Some(s) = opt(args, "--duration") {
+        opts.duration = Duration::from_secs_f64(parse(&s, "--duration")?);
+    }
+    if let Some(s) = opt(args, "--per-set") {
+        opts.per_set = parse(&s, "--per-set")?;
+    }
+    if let Some(s) = opt(args, "--seed") {
+        opts.seed = parse(&s, "--seed")?;
+    }
+    Ok(opts)
+}
+
+fn run(args: &[String]) -> Result<Vec<ThroughputRow>, String> {
+    let net = build_network(args)?;
+    eprintln!(
+        "[loadgen] network: {} vertices, {} edges",
+        net.num_nodes(),
+        net.num_edges()
+    );
+    let opts = options(args)?;
+    let (rows, stats) = run_in_process(net, &opts)?;
+    eprintln!("--- final server stats ---\n{stats}");
+
+    let out = opt(args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results/serve_throughput.csv"));
+    write_csv(&rows, &out).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    eprintln!("[loadgen] wrote {}", out.display());
+
+    println!("{}", ThroughputRow::CSV_HEADER);
+    for row in &rows {
+        println!("{}", row.to_csv());
+    }
+    Ok(rows)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(rows) => {
+            let mismatches: usize = rows.iter().map(|r| r.mismatches).sum();
+            let stalled = rows.iter().filter(|r| r.requests == 0).count();
+            if mismatches > 0 {
+                eprintln!("[loadgen] FAILED: {mismatches} answer(s) disagreed with the oracle");
+                ExitCode::FAILURE
+            } else if stalled > 0 {
+                eprintln!("[loadgen] FAILED: {stalled} run(s) completed zero requests");
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("[loadgen] error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! A sharded LRU cache for distance answers.
+//!
+//! Keyed by `(backend, s, t)`; the value is the wire encoding of the
+//! answer ([`UNREACHABLE`] for "no path"), so negative results are
+//! cached too. Distances over a static network never go stale, which
+//! makes the cache trivially coherent: a key's value is immutable, and
+//! the only mutation is eviction.
+//!
+//! Sharding bounds contention: a key hashes to one of `shards` (a power
+//! of two) independent mutex-protected LRU lists, so concurrent workers
+//! only collide when they touch the same shard. Hit/miss/eviction
+//! accounting is kept in shard-external atomics — reading the counters
+//! never takes a lock.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use spq_graph::types::Dist;
+
+use crate::protocol::UNREACHABLE;
+
+/// Cache counters snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: usize,
+    /// Total capacity across shards (0 = disabled).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+struct Entry {
+    key: u128,
+    value: u64,
+    prev: u32,
+    next: u32,
+}
+
+/// One independent LRU list + index.
+struct Shard {
+    map: HashMap<u128, u32>,
+    entries: Vec<Entry>,
+    /// Most recently used entry.
+    head: u32,
+    /// Least recently used entry (the eviction victim).
+    tail: u32,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            map: HashMap::with_capacity(capacity.min(1024)),
+            entries: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn detach(&mut self, i: u32) {
+        let (prev, next) = {
+            let e = &self.entries[i as usize];
+            (e.prev, e.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.entries[p as usize].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.entries[n as usize].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: u32) {
+        let old_head = self.head;
+        {
+            let e = &mut self.entries[i as usize];
+            e.prev = NIL;
+            e.next = old_head;
+        }
+        if old_head != NIL {
+            self.entries[old_head as usize].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn get(&mut self, key: u128) -> Option<u64> {
+        let i = *self.map.get(&key)?;
+        if self.head != i {
+            self.detach(i);
+            self.push_front(i);
+        }
+        Some(self.entries[i as usize].value)
+    }
+
+    /// Inserts (or refreshes) a key; returns whether an entry was evicted.
+    fn insert(&mut self, key: u128, value: u64) -> bool {
+        if let Some(&i) = self.map.get(&key) {
+            self.entries[i as usize].value = value;
+            if self.head != i {
+                self.detach(i);
+                self.push_front(i);
+            }
+            return false;
+        }
+        if self.entries.len() < self.capacity {
+            let i = self.entries.len() as u32;
+            self.entries.push(Entry {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.map.insert(key, i);
+            self.push_front(i);
+            return false;
+        }
+        // Full: recycle the least-recently-used slot.
+        let victim = self.tail;
+        self.detach(victim);
+        let old_key = self.entries[victim as usize].key;
+        self.map.remove(&old_key);
+        {
+            let e = &mut self.entries[victim as usize];
+            e.key = key;
+            e.value = value;
+        }
+        self.map.insert(key, victim);
+        self.push_front(victim);
+        true
+    }
+}
+
+/// The sharded cache. Capacity 0 disables it (every lookup misses,
+/// inserts are dropped) — counters still run so the STATS surface stays
+/// uniform.
+pub struct DistanceCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_mask: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl DistanceCache {
+    /// Creates a cache of `capacity` total entries spread over `shards`
+    /// (rounded up to a power of two, at least 1).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(shards).max(1)
+        };
+        DistanceCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
+            shard_mask: shards as u64 - 1,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn key(backend: u8, s: u32, t: u32) -> u128 {
+        ((backend as u128) << 64) | ((s as u128) << 32) | t as u128
+    }
+
+    fn shard_of(&self, key: u128) -> &Mutex<Shard> {
+        // SplitMix64-style finaliser over the folded key: cheap, and
+        // spreads sequential vertex ids across shards.
+        let mut x = (key as u64) ^ ((key >> 64) as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        &self.shards[(x & self.shard_mask) as usize]
+    }
+
+    /// Looks up a cached answer. `Some(None)` means "cached as
+    /// unreachable".
+    #[allow(clippy::option_option)]
+    pub fn get(&self, backend: u8, s: u32, t: u32) -> Option<Option<Dist>> {
+        let key = Self::key(backend, s, t);
+        let cached = self.shard_of(key).lock().unwrap().get(key);
+        match cached {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(if v == UNREACHABLE { None } else { Some(v) })
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Caches an answer (including "unreachable").
+    pub fn insert(&self, backend: u8, s: u32, t: u32, d: Option<Dist>) {
+        let key = Self::key(backend, s, t);
+        let shard = self.shard_of(key);
+        let mut guard = shard.lock().unwrap();
+        if guard.capacity == 0 {
+            return;
+        }
+        let evicted = guard.insert(key, d.unwrap_or(UNREACHABLE));
+        drop(guard);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counter snapshot (entry count takes each shard lock briefly).
+    pub fn stats(&self) -> CacheStats {
+        let mut len = 0;
+        let mut capacity = 0;
+        for shard in &self.shards {
+            let s = shard.lock().unwrap();
+            len += s.map.len();
+            capacity += s.capacity;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len,
+            capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_negative_caching() {
+        let cache = DistanceCache::new(64, 4);
+        assert_eq!(cache.get(1, 2, 3), None);
+        cache.insert(1, 2, 3, Some(42));
+        cache.insert(1, 3, 2, None);
+        assert_eq!(cache.get(1, 2, 3), Some(Some(42)));
+        assert_eq!(cache.get(1, 3, 2), Some(None), "negative result cached");
+        assert_eq!(cache.get(2, 2, 3), None, "backend is part of the key");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (2, 2, 2));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // One shard of capacity 2 makes the policy observable.
+        let cache = DistanceCache::new(2, 1);
+        cache.insert(0, 1, 1, Some(1));
+        cache.insert(0, 2, 2, Some(2));
+        assert_eq!(cache.get(0, 1, 1), Some(Some(1))); // refresh key 1
+        cache.insert(0, 3, 3, Some(3)); // evicts key 2
+        assert_eq!(cache.get(0, 2, 2), None, "LRU entry evicted");
+        assert_eq!(cache.get(0, 1, 1), Some(Some(1)));
+        assert_eq!(cache.get(0, 3, 3), Some(Some(3)));
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().len, 2);
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let cache = DistanceCache::new(2, 1);
+        cache.insert(0, 1, 1, Some(1));
+        cache.insert(0, 1, 1, Some(9));
+        assert_eq!(cache.get(0, 1, 1), Some(Some(9)));
+        assert_eq!(cache.stats().len, 1);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let cache = DistanceCache::new(0, 4);
+        cache.insert(0, 1, 1, Some(1));
+        assert_eq!(cache.get(0, 1, 1), None);
+        assert_eq!(cache.stats().len, 0);
+        assert_eq!(cache.stats().capacity, 0);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_stay_consistent() {
+        // Values are derived from the key, so any torn or misfiled entry
+        // is detectable by every thread.
+        let cache = DistanceCache::new(256, 8);
+        std::thread::scope(|scope| {
+            for worker in 0..4u32 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for round in 0..2_000u32 {
+                        let k = (worker * 31 + round) % 97;
+                        match cache.get(0, k, k + 1) {
+                            Some(v) => assert_eq!(v, Some(k as Dist * 3)),
+                            None => cache.insert(0, k, k + 1, Some(k as Dist * 3)),
+                        }
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert!(s.hits > 0);
+        assert_eq!(s.hits + s.misses, 8_000);
+    }
+}

@@ -1,0 +1,167 @@
+//! A blocking wire client for the [`protocol`](crate::protocol).
+//!
+//! One client owns one connection; it is deliberately not thread-safe
+//! (the protocol is strictly request/response per connection) — spawn
+//! one client per load-generator thread instead.
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use spq_graph::types::{Dist, NodeId};
+
+use crate::protocol::{read_frame, write_frame, Cursor, Request, STATUS_OK, UNREACHABLE};
+use crate::BackendKind;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server answered with an error status (request-level).
+    Remote(String),
+    /// The response payload did not parse.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Remote(msg) => write!(f, "server error: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "malformed response: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected protocol client.
+pub struct ServeClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl ServeClient {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ServeClient {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends a raw frame payload and returns the raw response payload
+    /// (status byte included). Exists for protocol-robustness tests.
+    pub fn roundtrip_raw(&mut self, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
+        write_frame(&mut self.stream, payload)?;
+        if !read_frame(&mut self.stream, &mut self.buf)? {
+            return Err(ClientError::Io(io::ErrorKind::UnexpectedEof.into()));
+        }
+        Ok(self.buf.clone())
+    }
+
+    /// Sends a request and returns the OK body (status byte stripped),
+    /// or the remote error.
+    fn roundtrip(&mut self, request: &Request) -> Result<&[u8], ClientError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        if !read_frame(&mut self.stream, &mut self.buf)? {
+            return Err(ClientError::Io(io::ErrorKind::UnexpectedEof.into()));
+        }
+        match self.buf.split_first() {
+            Some((&STATUS_OK, body)) => Ok(body),
+            Some((_, body)) => Err(ClientError::Remote(
+                String::from_utf8_lossy(body).into_owned(),
+            )),
+            None => Err(ClientError::Protocol("empty response".into())),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.roundtrip(&Request::Ping).map(|_| ())
+    }
+
+    /// Distance query.
+    pub fn distance(
+        &mut self,
+        backend: BackendKind,
+        s: NodeId,
+        t: NodeId,
+    ) -> Result<Option<Dist>, ClientError> {
+        let body = self.roundtrip(&Request::Distance {
+            backend: backend.wire_id(),
+            s,
+            t,
+        })?;
+        let mut c = Cursor::new(body);
+        let d = c.u64().map_err(ClientError::Protocol)?;
+        Ok(if d == UNREACHABLE { None } else { Some(d) })
+    }
+
+    /// Shortest-path query.
+    pub fn shortest_path(
+        &mut self,
+        backend: BackendKind,
+        s: NodeId,
+        t: NodeId,
+    ) -> Result<Option<(Dist, Vec<NodeId>)>, ClientError> {
+        let body = self.roundtrip(&Request::Path {
+            backend: backend.wire_id(),
+            s,
+            t,
+        })?;
+        let mut c = Cursor::new(body);
+        let d = c.u64().map_err(ClientError::Protocol)?;
+        let len = c.u32().map_err(ClientError::Protocol)? as usize;
+        if d == UNREACHABLE {
+            return Ok(None);
+        }
+        let mut path = Vec::with_capacity(len);
+        for _ in 0..len {
+            path.push(c.u32().map_err(ClientError::Protocol)?);
+        }
+        Ok(Some((d, path)))
+    }
+
+    /// Batched sources × targets distances (row-major).
+    pub fn distances(
+        &mut self,
+        backend: BackendKind,
+        sources: &[NodeId],
+        targets: &[NodeId],
+    ) -> Result<Vec<Option<Dist>>, ClientError> {
+        let expect = sources.len() * targets.len();
+        let body = self.roundtrip(&Request::Distances {
+            backend: backend.wire_id(),
+            sources: sources.to_vec(),
+            targets: targets.to_vec(),
+        })?;
+        let mut c = Cursor::new(body);
+        let mut out = Vec::with_capacity(expect);
+        for _ in 0..expect {
+            let d = c.u64().map_err(ClientError::Protocol)?;
+            out.push(if d == UNREACHABLE { None } else { Some(d) });
+        }
+        Ok(out)
+    }
+
+    /// Fetches the server's observability snapshot.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        let body = self.roundtrip(&Request::Stats)?;
+        Ok(String::from_utf8_lossy(body).into_owned())
+    }
+
+    /// Requests a graceful server shutdown.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.roundtrip(&Request::Shutdown).map(|_| ())
+    }
+}

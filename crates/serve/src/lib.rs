@@ -1,0 +1,387 @@
+//! `spq-serve` — the concurrent query-serving subsystem.
+//!
+//! The paper (§4) measures its five techniques with single-threaded
+//! latency loops; this crate turns the same indexes into a service that
+//! answers many clients at once, the first step toward the ROADMAP's
+//! "heavy traffic" north star:
+//!
+//! * [`Engine`] — the five paper indexes (plus ALT and optionally arc
+//!   flags) built over one road network, each behind the unified
+//!   [`spq_graph::backend::Backend`] trait, with a differential
+//!   self-check against the Dijkstra baseline gating startup.
+//! * [`server`] — a TCP service speaking the [`protocol`] wire format:
+//!   a fixed worker pool where every worker owns one reusable query
+//!   workspace per backend (hot paths stay allocation-free), request
+//!   batching that routes dense distance batches to CH's bucket-based
+//!   many-to-many, and graceful shutdown on SIGTERM or a protocol
+//!   command.
+//! * [`cache`] — a sharded LRU distance cache keyed by
+//!   `(backend, s, t)` with hit/miss accounting.
+//! * [`stats`] — atomic counters and log2 latency histograms per
+//!   backend and per op, served by the `STATS` command and dumped at
+//!   shutdown.
+//! * [`loadgen`] — replays the paper's Q1–Q10 query sets at
+//!   configurable concurrency, producing `results/serve_throughput.csv`
+//!   (QPS, p50/p99 per backend) and verifying sampled answers against
+//!   the Dijkstra oracle.
+//!
+//! Everything is `std`-only: `std::net` sockets, `std::thread` workers,
+//! no external dependencies.
+
+pub mod cache;
+pub mod client;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+use std::time::{Duration, Instant};
+
+use spq_alt::{Alt, AltParams};
+use spq_arcflags::{ArcFlags, ArcFlagsParams};
+use spq_ch::ContractionHierarchy;
+use spq_dijkstra::{Baseline, Dijkstra};
+use spq_graph::backend::Backend;
+use spq_graph::types::NodeId;
+use spq_graph::RoadNetwork;
+use spq_pcpd::Pcpd;
+use spq_silc::Silc;
+use spq_tnr::{Tnr, TnrParams};
+
+pub use cache::{CacheStats, DistanceCache};
+pub use client::{ClientError, ServeClient};
+pub use loadgen::{LoadgenOptions, ThroughputRow};
+pub use server::{Server, ServerConfig};
+pub use stats::ServerStats;
+
+/// The servable index techniques and their wire ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Bidirectional Dijkstra — index-free baseline (wire id 0).
+    Dijkstra,
+    /// Contraction Hierarchies (wire id 1).
+    Ch,
+    /// Transit Node Routing (wire id 2).
+    Tnr,
+    /// SILC (wire id 3).
+    Silc,
+    /// PCPD (wire id 4).
+    Pcpd,
+    /// ALT / landmark A* (wire id 5).
+    Alt,
+    /// Arc flags (wire id 6).
+    ArcFlags,
+}
+
+impl BackendKind {
+    /// Every servable backend.
+    pub const ALL: [BackendKind; 7] = [
+        BackendKind::Dijkstra,
+        BackendKind::Ch,
+        BackendKind::Tnr,
+        BackendKind::Silc,
+        BackendKind::Pcpd,
+        BackendKind::Alt,
+        BackendKind::ArcFlags,
+    ];
+
+    /// The default serving set: the paper's five techniques plus ALT.
+    pub const DEFAULT: [BackendKind; 6] = [
+        BackendKind::Dijkstra,
+        BackendKind::Ch,
+        BackendKind::Tnr,
+        BackendKind::Silc,
+        BackendKind::Pcpd,
+        BackendKind::Alt,
+    ];
+
+    /// Stable protocol id.
+    pub fn wire_id(self) -> u8 {
+        match self {
+            BackendKind::Dijkstra => 0,
+            BackendKind::Ch => 1,
+            BackendKind::Tnr => 2,
+            BackendKind::Silc => 3,
+            BackendKind::Pcpd => 4,
+            BackendKind::Alt => 5,
+            BackendKind::ArcFlags => 6,
+        }
+    }
+
+    /// Inverse of [`BackendKind::wire_id`].
+    pub fn from_wire(id: u8) -> Option<BackendKind> {
+        BackendKind::ALL.into_iter().find(|k| k.wire_id() == id)
+    }
+
+    /// CLI name (lowercase).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Dijkstra => "dijkstra",
+            BackendKind::Ch => "ch",
+            BackendKind::Tnr => "tnr",
+            BackendKind::Silc => "silc",
+            BackendKind::Pcpd => "pcpd",
+            BackendKind::Alt => "alt",
+            BackendKind::ArcFlags => "arcflags",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        BackendKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(s))
+    }
+
+    /// Parses a comma-separated backend list ("ch,tnr,alt"); "all"
+    /// yields the default set.
+    pub fn parse_list(csv: &str) -> Result<Vec<BackendKind>, String> {
+        if csv.eq_ignore_ascii_case("all") {
+            return Ok(BackendKind::DEFAULT.to_vec());
+        }
+        let mut out = Vec::new();
+        for part in csv.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let kind =
+                BackendKind::parse(part).ok_or_else(|| format!("unknown backend '{part}'"))?;
+            if !out.contains(&kind) {
+                out.push(kind);
+            }
+        }
+        if out.is_empty() {
+            return Err("empty backend list".into());
+        }
+        Ok(out)
+    }
+
+    /// Whether preprocessing needs all-pairs shortest paths (confines
+    /// the technique to small networks, §4.3).
+    pub fn needs_all_pairs(self) -> bool {
+        matches!(self, BackendKind::Silc | BackendKind::Pcpd)
+    }
+}
+
+/// One built backend inside an [`Engine`].
+pub struct EngineBackend {
+    /// Which technique this is.
+    pub kind: BackendKind,
+    /// The index behind the unified trait.
+    pub backend: Box<dyn Backend>,
+    /// Wall-clock preprocessing time.
+    pub build_time: Duration,
+}
+
+/// The set of indexes a server instance answers from: one road network
+/// plus any mix of built backends.
+pub struct Engine {
+    net: RoadNetwork,
+    backends: Vec<EngineBackend>,
+}
+
+impl Engine {
+    /// Builds the requested indexes over `net` (announcing each build on
+    /// stderr, since the all-pairs techniques can take a while).
+    pub fn build(net: RoadNetwork, kinds: &[BackendKind]) -> Engine {
+        let mut engine = Engine {
+            net,
+            backends: Vec::new(),
+        };
+        for &kind in kinds {
+            let start = Instant::now();
+            let backend: Box<dyn Backend> = match kind {
+                BackendKind::Dijkstra => Box::new(Baseline),
+                BackendKind::Ch => Box::new(ContractionHierarchy::build(&engine.net)),
+                BackendKind::Tnr => Box::new(Tnr::build(&engine.net, &TnrParams::default())),
+                BackendKind::Silc => Box::new(Silc::build(&engine.net)),
+                BackendKind::Pcpd => Box::new(Pcpd::build(&engine.net)),
+                BackendKind::Alt => Box::new(Alt::build(
+                    &engine.net,
+                    &AltParams {
+                        num_landmarks: 16.min(engine.net.num_nodes()),
+                        ..AltParams::default()
+                    },
+                )),
+                BackendKind::ArcFlags => {
+                    Box::new(ArcFlags::build(&engine.net, &ArcFlagsParams::default()))
+                }
+            };
+            let build_time = start.elapsed();
+            eprintln!("[engine] built {} in {build_time:.2?}", kind.name());
+            engine.backends.push(EngineBackend {
+                kind,
+                backend,
+                build_time,
+            });
+        }
+        engine
+    }
+
+    /// Adds a pre-built (possibly custom) backend; used by tests to
+    /// inject deliberately wrong implementations against the self-check.
+    pub fn with_backend(mut self, kind: BackendKind, backend: Box<dyn Backend>) -> Engine {
+        self.backends.push(EngineBackend {
+            kind,
+            backend,
+            build_time: Duration::ZERO,
+        });
+        self
+    }
+
+    /// The network every backend answers over.
+    pub fn net(&self) -> &RoadNetwork {
+        &self.net
+    }
+
+    /// The built backends, in serving order.
+    pub fn backends(&self) -> &[EngineBackend] {
+        &self.backends
+    }
+
+    /// Engine position of the backend with the given wire id.
+    pub fn position_of_wire(&self, wire_id: u8) -> Option<usize> {
+        self.backends
+            .iter()
+            .position(|b| b.kind.wire_id() == wire_id)
+    }
+
+    /// Display names in serving order (for stats rendering).
+    pub fn backend_names(&self) -> Vec<&str> {
+        self.backends
+            .iter()
+            .map(|b| b.backend.backend_name())
+            .collect()
+    }
+
+    /// The startup self-check: every backend must agree with the
+    /// Dijkstra oracle on `samples` random distance and path queries.
+    ///
+    /// Serving wrong answers fast is worse than not serving — the paper
+    /// itself hinges on this point (a faulty TNR implementation
+    /// invalidated previously published results, §1) — so callers treat
+    /// any `Err` as fatal and exit non-zero before accepting traffic.
+    pub fn self_check(&self, samples: usize, seed: u64) -> Result<(), String> {
+        let n = self.net.num_nodes() as u64;
+        let mut reference = Dijkstra::new(self.net.num_nodes());
+        let mut defects = Vec::new();
+        for eb in &self.backends {
+            let mut session = eb.backend.session(&self.net);
+            let mut state = seed ^ 0x5eed_5e1f_c4ec_ba5e;
+            for _ in 0..samples {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let s = ((state >> 33) % n) as NodeId;
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let t = ((state >> 33) % n) as NodeId;
+                reference.run_to_target(&self.net, s, t);
+                let expected = reference.distance(t);
+                let got = session.distance(s, t);
+                if got != expected {
+                    defects.push(format!(
+                        "{}: distance({s}, {t}) = {got:?}, oracle says {expected:?}",
+                        eb.backend.backend_name()
+                    ));
+                } else if let Some((d, path)) = session.shortest_path(s, t) {
+                    if Some(d) != expected || self.net.path_length(&path) != expected {
+                        defects.push(format!(
+                            "{}: path({s}, {t}) invalid (claimed {d}, oracle {expected:?})",
+                            eb.backend.backend_name()
+                        ));
+                    }
+                } else if expected.is_some() {
+                    defects.push(format!(
+                        "{}: no path returned for connected pair ({s}, {t})",
+                        eb.backend.backend_name()
+                    ));
+                }
+                if defects.len() >= 8 {
+                    break;
+                }
+            }
+        }
+        if defects.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "self-check found {} defect(s):\n  {}",
+                defects.len(),
+                defects.join("\n  ")
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_graph::backend::Session;
+    use spq_graph::types::Dist;
+    use spq_synth::SynthParams;
+
+    #[test]
+    fn wire_ids_roundtrip_and_parse() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::from_wire(kind.wire_id()), Some(kind));
+            assert_eq!(BackendKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(BackendKind::from_wire(200), None);
+        assert_eq!(
+            BackendKind::parse_list("ch, tnr,ch").unwrap(),
+            vec![BackendKind::Ch, BackendKind::Tnr]
+        );
+        assert_eq!(
+            BackendKind::parse_list("all").unwrap(),
+            BackendKind::DEFAULT.to_vec()
+        );
+        assert!(BackendKind::parse_list("bogus").is_err());
+        assert!(BackendKind::parse_list("").is_err());
+    }
+
+    #[test]
+    fn clean_engine_passes_self_check() {
+        let net = spq_synth::generate(&SynthParams::with_target_vertices(
+            spq_synth::test_vertices(300),
+            11,
+        ));
+        let engine = Engine::build(net, &BackendKind::DEFAULT);
+        engine.self_check(20, 7).expect("clean engine");
+        assert_eq!(engine.backends().len(), BackendKind::DEFAULT.len());
+        for eb in engine.backends() {
+            assert!(engine.position_of_wire(eb.kind.wire_id()).is_some());
+        }
+    }
+
+    /// A backend that claims every distance is 1 — the self-check must
+    /// reject it, which is what guarantees a corrupt index can never
+    /// reach serving.
+    struct Lying;
+    struct LyingSession;
+
+    impl Backend for Lying {
+        fn backend_name(&self) -> &'static str {
+            "Lying"
+        }
+        fn session<'a>(&'a self, _net: &'a RoadNetwork) -> Box<dyn Session + 'a> {
+            Box::new(LyingSession)
+        }
+    }
+
+    impl Session for LyingSession {
+        fn distance(&mut self, _s: NodeId, _t: NodeId) -> Option<Dist> {
+            Some(1)
+        }
+        fn shortest_path(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
+            Some((1, vec![s, t]))
+        }
+    }
+
+    #[test]
+    fn self_check_rejects_a_lying_backend() {
+        let net = spq_synth::generate(&SynthParams::with_target_vertices(64, 12));
+        let engine = Engine::build(net, &[BackendKind::Dijkstra])
+            .with_backend(BackendKind::Ch, Box::new(Lying));
+        let err = engine.self_check(40, 3).unwrap_err();
+        assert!(err.contains("Lying"), "{err}");
+    }
+}

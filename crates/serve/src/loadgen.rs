@@ -1,0 +1,342 @@
+//! The load generator: replays the paper's Q1–Q10 query sets against a
+//! running server at configurable concurrency and reports throughput.
+//!
+//! Each client thread owns one connection and one latency histogram;
+//! threads start at staggered offsets into the (shuffled-by-generation)
+//! pair pool so concurrent clients do not lock-step over identical
+//! keys. After every timed run the generator re-samples a slice of the
+//! workload through a fresh connection and checks the answers against a
+//! locally computed Dijkstra oracle — a throughput number from a server
+//! that answers incorrectly is worthless (the paper makes the same
+//! point about a faulty TNR implementation, §1).
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use spq_dijkstra::Dijkstra;
+use spq_graph::types::{Dist, NodeId};
+use spq_graph::RoadNetwork;
+use spq_queries::{linf_query_sets, QueryGenParams};
+
+use crate::client::ServeClient;
+use crate::stats::{bucket_of, percentile_ns, BUCKETS};
+use crate::BackendKind;
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Backends to drive (each gets its own runs).
+    pub backends: Vec<BackendKind>,
+    /// Concurrency levels to sweep (client threads per run).
+    pub concurrency: Vec<usize>,
+    /// Wall-clock duration of each timed run.
+    pub duration: Duration,
+    /// Query pairs per Q-set fed into the pool.
+    pub per_set: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Post-run answers checked against the Dijkstra oracle (per
+    /// backend).
+    pub verify_samples: usize,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        LoadgenOptions {
+            backends: BackendKind::DEFAULT.to_vec(),
+            concurrency: vec![1, 4],
+            duration: Duration::from_secs(3),
+            per_set: 200,
+            seed: 0x9e37_79b9,
+            verify_samples: 32,
+        }
+    }
+}
+
+/// One line of `results/serve_throughput.csv`.
+#[derive(Debug, Clone)]
+pub struct ThroughputRow {
+    /// Backend display name.
+    pub backend: String,
+    /// Client threads in this run.
+    pub concurrency: usize,
+    /// Measured wall-clock seconds.
+    pub seconds: f64,
+    /// Requests completed.
+    pub requests: u64,
+    /// Requests per second.
+    pub qps: f64,
+    /// Median client-observed latency (µs).
+    pub p50_us: f64,
+    /// 99th-percentile client-observed latency (µs).
+    pub p99_us: f64,
+    /// Answers checked against the oracle after the run.
+    pub verified: usize,
+    /// Checked answers that disagreed (any non-zero is a failure).
+    pub mismatches: usize,
+}
+
+impl ThroughputRow {
+    /// CSV header matching [`ThroughputRow::to_csv`].
+    pub const CSV_HEADER: &'static str =
+        "backend,concurrency,seconds,requests,qps,p50_us,p99_us,verified,mismatches";
+
+    /// One CSV line.
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{},{:.2},{},{:.1},{:.2},{:.2},{},{}",
+            self.backend,
+            self.concurrency,
+            self.seconds,
+            self.requests,
+            self.qps,
+            self.p50_us,
+            self.p99_us,
+            self.verified,
+            self.mismatches
+        )
+    }
+}
+
+/// Builds the query-pair pool: the union of the paper's Q1–Q10 L∞
+/// query sets, falling back to uniform random pairs when the network is
+/// too small to populate the stratified sets.
+pub fn workload_pairs(net: &RoadNetwork, per_set: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let params = QueryGenParams {
+        per_set,
+        grid: 1024,
+        seed,
+    };
+    let mut pairs: Vec<(NodeId, NodeId)> = linf_query_sets(net, &params)
+        .into_iter()
+        .flat_map(|set| set.pairs)
+        .collect();
+    if pairs.len() < 64 {
+        let n = net.num_nodes() as u64;
+        let mut state = seed | 1;
+        while pairs.len() < 256 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let s = ((state >> 33) % n) as NodeId;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let t = ((state >> 33) % n) as NodeId;
+            pairs.push((s, t));
+        }
+    }
+    pairs
+}
+
+/// Result of one client thread's timed loop.
+struct ClientRun {
+    requests: u64,
+    hist: [u64; BUCKETS],
+}
+
+/// Drives one backend at one concurrency level.
+fn run_one(
+    addr: SocketAddr,
+    backend: BackendKind,
+    concurrency: usize,
+    duration: Duration,
+    pairs: &[(NodeId, NodeId)],
+) -> Result<(f64, ClientRun), String> {
+    let started = Instant::now();
+    let deadline = started + duration;
+    let runs: Vec<Result<ClientRun, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|worker| {
+                scope.spawn(move || -> Result<ClientRun, String> {
+                    let mut client =
+                        ServeClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+                    let mut hist = [0u64; BUCKETS];
+                    let mut requests = 0u64;
+                    let mut i = worker * pairs.len() / concurrency.max(1);
+                    while Instant::now() < deadline {
+                        let (s, t) = pairs[i % pairs.len()];
+                        i += 1;
+                        let t0 = Instant::now();
+                        client
+                            .distance(backend, s, t)
+                            .map_err(|e| format!("{}: {e}", backend.name()))?;
+                        hist[bucket_of(t0.elapsed().as_nanos() as u64)] += 1;
+                        requests += 1;
+                    }
+                    Ok(ClientRun { requests, hist })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("client thread panicked".into()))
+            })
+            .collect()
+    });
+    let seconds = started.elapsed().as_secs_f64();
+    let mut total = ClientRun {
+        requests: 0,
+        hist: [0; BUCKETS],
+    };
+    for run in runs {
+        let run = run?;
+        total.requests += run.requests;
+        for (acc, b) in total.hist.iter_mut().zip(run.hist.iter()) {
+            *acc += b;
+        }
+    }
+    Ok((seconds, total))
+}
+
+/// Checks `samples` workload answers against a locally computed
+/// Dijkstra oracle. Returns `(checked, mismatches)`.
+fn verify_backend(
+    addr: SocketAddr,
+    backend: BackendKind,
+    net: &RoadNetwork,
+    pairs: &[(NodeId, NodeId)],
+    samples: usize,
+) -> Result<(usize, usize), String> {
+    let mut client = ServeClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut oracle = Dijkstra::new(net.num_nodes());
+    let mut mismatches = 0;
+    let step = (pairs.len() / samples.max(1)).max(1);
+    let mut checked = 0;
+    for &(s, t) in pairs.iter().step_by(step).take(samples) {
+        let got: Option<Dist> = client
+            .distance(backend, s, t)
+            .map_err(|e| format!("{}: {e}", backend.name()))?;
+        oracle.run_to_target(net, s, t);
+        let expected = oracle.distance(t);
+        if got != expected {
+            mismatches += 1;
+            eprintln!(
+                "[loadgen] {} MISMATCH: distance({s}, {t}) = {got:?}, oracle {expected:?}",
+                backend.name()
+            );
+        }
+        checked += 1;
+    }
+    Ok((checked, mismatches))
+}
+
+/// Runs the full sweep (every backend × every concurrency level)
+/// against an already-running server.
+pub fn run(
+    addr: SocketAddr,
+    net: &RoadNetwork,
+    opts: &LoadgenOptions,
+) -> Result<Vec<ThroughputRow>, String> {
+    let pairs = workload_pairs(net, opts.per_set, opts.seed);
+    let mut rows = Vec::new();
+    for &backend in &opts.backends {
+        let (verified, mismatches) =
+            verify_backend(addr, backend, net, &pairs, opts.verify_samples)?;
+        for &concurrency in &opts.concurrency {
+            let (seconds, total) = run_one(addr, backend, concurrency, opts.duration, &pairs)?;
+            let row = ThroughputRow {
+                backend: backend.name().to_string(),
+                concurrency,
+                seconds,
+                requests: total.requests,
+                qps: total.requests as f64 / seconds.max(1e-9),
+                p50_us: percentile_ns(&total.hist, 0.50) / 1_000.0,
+                p99_us: percentile_ns(&total.hist, 0.99) / 1_000.0,
+                verified,
+                mismatches,
+            };
+            eprintln!(
+                "[loadgen] {:<9} c={:<2} {:>9.0} qps  p50 {:>8.2} µs  p99 {:>8.2} µs  ({} reqs in {:.1}s)",
+                row.backend, row.concurrency, row.qps, row.p50_us, row.p99_us, row.requests, row.seconds
+            );
+            rows.push(row);
+        }
+    }
+    Ok(rows)
+}
+
+/// Builds the engine, self-checks it, starts an in-process server, runs
+/// the sweep, shuts the server down, and returns the rows plus the
+/// server's final stats dump. The self-check failing is fatal by
+/// design: an `Err` here must translate into a non-zero process exit.
+pub fn run_in_process(
+    net: RoadNetwork,
+    opts: &LoadgenOptions,
+) -> Result<(Vec<ThroughputRow>, String), String> {
+    use crate::server::{Server, ServerConfig};
+    use crate::Engine;
+    use std::sync::Arc;
+
+    let engine = Arc::new(Engine::build(net, &opts.backends));
+    engine
+        .self_check(32, opts.seed)
+        .map_err(|e| format!("refusing to serve: {e}"))?;
+    let max_concurrency = opts.concurrency.iter().copied().max().unwrap_or(1);
+    let cfg = ServerConfig {
+        workers: max_concurrency + 1,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(Arc::clone(&engine), &cfg).map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr();
+    eprintln!("[loadgen] serving on {addr}");
+    let result = run(addr, engine.net(), opts);
+    // Shut down regardless of the sweep's outcome so threads never leak.
+    if let Ok(mut client) = ServeClient::connect(addr) {
+        let _ = client.shutdown_server();
+    }
+    let stats = server.join();
+    Ok((result?, stats))
+}
+
+/// Writes the CSV (creating parent directories).
+pub fn write_csv(rows: &[ThroughputRow], path: &std::path::Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut out = String::from(ThroughputRow::CSV_HEADER);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.to_csv());
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_synth::SynthParams;
+
+    #[test]
+    fn workload_pool_is_nonempty_even_on_tiny_networks() {
+        let net = spq_synth::generate(&SynthParams::with_target_vertices(64, 5));
+        let pairs = workload_pairs(&net, 10, 1);
+        assert!(pairs.len() >= 64);
+        let n = net.num_nodes() as NodeId;
+        assert!(pairs.iter().all(|&(s, t)| s < n && t < n));
+    }
+
+    #[test]
+    fn csv_rows_are_well_formed() {
+        let row = ThroughputRow {
+            backend: "ch".into(),
+            concurrency: 4,
+            seconds: 2.0,
+            requests: 1000,
+            qps: 500.0,
+            p50_us: 10.0,
+            p99_us: 90.5,
+            verified: 32,
+            mismatches: 0,
+        };
+        let line = row.to_csv();
+        assert_eq!(
+            line.split(',').count(),
+            ThroughputRow::CSV_HEADER.split(',').count()
+        );
+        assert!(line.starts_with("ch,4,"));
+    }
+}

@@ -1,0 +1,403 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every message — request or response — is one *frame*:
+//!
+//! ```text
+//! u32 LE payload length | payload (≤ 16 MiB)
+//! ```
+//!
+//! Request payloads start with an opcode byte; backend-bearing opcodes
+//! (DISTANCE, PATH, DISTANCES) follow it with a backend byte, the rest
+//! have no further operands:
+//!
+//! | opcode | name      | operands                                     |
+//! |--------|-----------|----------------------------------------------|
+//! | 0      | PING      | —                                            |
+//! | 1      | DISTANCE  | `s: u32, t: u32`                             |
+//! | 2      | PATH      | `s: u32, t: u32`                             |
+//! | 3      | DISTANCES | `ns: u32, nt: u32, ns × u32, nt × u32`       |
+//! | 4      | STATS     | —                                            |
+//! | 5      | SHUTDOWN  | —                                            |
+//!
+//! Response payloads start with a status byte (0 = OK, 1 = error). An
+//! error is followed by a UTF-8 message; an OK by the opcode-specific
+//! body. Distances are `u64` LE with [`UNREACHABLE`] (`u64::MAX`) as the
+//! "no path" sentinel — real distances never collide with it because
+//! the workspace caps them below [`spq_graph::types::INFINITY`]
+//! (`u64::MAX / 2`). A PATH body is `dist: u64, len: u32, len × u32`
+//! (`len = 0` and `dist = UNREACHABLE` when unreachable); a DISTANCES
+//! body is the row-major `ns × nt` table of `u64`s; STATS and PING
+//! bodies are UTF-8 text.
+
+use std::io::{self, Read, Write};
+
+use spq_graph::types::{Dist, NodeId};
+
+/// Hard cap on one frame's payload, guarding the server against
+/// malicious or corrupt length prefixes.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Hard cap on `ns × nt` of one DISTANCES request.
+pub const MAX_BATCH_PAIRS: usize = 1 << 20;
+
+/// Wire sentinel for "unreachable" (distinct from every real distance).
+pub const UNREACHABLE: u64 = u64::MAX;
+
+/// Response status byte: success.
+pub const STATUS_OK: u8 = 0;
+/// Response status byte: request-level failure (body = UTF-8 message).
+pub const STATUS_ERROR: u8 = 1;
+
+/// Opcode bytes.
+pub mod op {
+    /// Liveness probe.
+    pub const PING: u8 = 0;
+    /// Point-to-point distance query.
+    pub const DISTANCE: u8 = 1;
+    /// Point-to-point shortest-path query.
+    pub const PATH: u8 = 2;
+    /// Batched (many-to-many) distance query.
+    pub const DISTANCES: u8 = 3;
+    /// Observability snapshot.
+    pub const STATS: u8 = 4;
+    /// Graceful server shutdown.
+    pub const SHUTDOWN: u8 = 5;
+}
+
+/// A decoded request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; answered with an OK text body.
+    Ping,
+    /// Distance query against one backend.
+    Distance {
+        /// Backend wire id.
+        backend: u8,
+        /// Source vertex.
+        s: NodeId,
+        /// Target vertex.
+        t: NodeId,
+    },
+    /// Shortest-path query against one backend.
+    Path {
+        /// Backend wire id.
+        backend: u8,
+        /// Source vertex.
+        s: NodeId,
+        /// Target vertex.
+        t: NodeId,
+    },
+    /// Batched sources × targets distance table.
+    Distances {
+        /// Backend wire id.
+        backend: u8,
+        /// Batch sources.
+        sources: Vec<NodeId>,
+        /// Batch targets.
+        targets: Vec<NodeId>,
+    },
+    /// Observability snapshot.
+    Stats,
+    /// Graceful shutdown request.
+    Shutdown,
+}
+
+impl Request {
+    /// Serialises the request into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Ping => out.push(op::PING),
+            Request::Distance { backend, s, t } => {
+                out.extend_from_slice(&[op::DISTANCE, *backend]);
+                out.extend_from_slice(&s.to_le_bytes());
+                out.extend_from_slice(&t.to_le_bytes());
+            }
+            Request::Path { backend, s, t } => {
+                out.extend_from_slice(&[op::PATH, *backend]);
+                out.extend_from_slice(&s.to_le_bytes());
+                out.extend_from_slice(&t.to_le_bytes());
+            }
+            Request::Distances {
+                backend,
+                sources,
+                targets,
+            } => {
+                out.extend_from_slice(&[op::DISTANCES, *backend]);
+                out.extend_from_slice(&(sources.len() as u32).to_le_bytes());
+                out.extend_from_slice(&(targets.len() as u32).to_le_bytes());
+                for v in sources.iter().chain(targets.iter()) {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Request::Stats => out.push(op::STATS),
+            Request::Shutdown => out.push(op::SHUTDOWN),
+        }
+        out
+    }
+
+    /// Parses a frame payload. Errors describe the defect for the
+    /// error-response body.
+    pub fn decode(payload: &[u8]) -> Result<Request, String> {
+        let mut c = Cursor::new(payload);
+        let opcode = c.u8()?;
+        let req = match opcode {
+            op::PING => Request::Ping,
+            op::DISTANCE | op::PATH => {
+                let backend = c.u8()?;
+                let s = c.u32()?;
+                let t = c.u32()?;
+                if opcode == op::DISTANCE {
+                    Request::Distance { backend, s, t }
+                } else {
+                    Request::Path { backend, s, t }
+                }
+            }
+            op::DISTANCES => {
+                let backend = c.u8()?;
+                let ns = c.u32()? as usize;
+                let nt = c.u32()? as usize;
+                if ns == 0 || nt == 0 {
+                    return Err("empty batch".into());
+                }
+                if ns.saturating_mul(nt) > MAX_BATCH_PAIRS {
+                    return Err(format!("batch of {ns}x{nt} pairs exceeds the limit"));
+                }
+                let mut sources = Vec::with_capacity(ns);
+                for _ in 0..ns {
+                    sources.push(c.u32()?);
+                }
+                let mut targets = Vec::with_capacity(nt);
+                for _ in 0..nt {
+                    targets.push(c.u32()?);
+                }
+                Request::Distances {
+                    backend,
+                    sources,
+                    targets,
+                }
+            }
+            op::STATS => Request::Stats,
+            op::SHUTDOWN => Request::Shutdown,
+            other => return Err(format!("unknown opcode {other}")),
+        };
+        if !c.at_end() {
+            return Err("trailing bytes after request".into());
+        }
+        Ok(req)
+    }
+}
+
+/// Writes one frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    assert!(payload.len() <= MAX_FRAME, "oversized outgoing frame");
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame into `buf`. Returns `false` on clean EOF (no bytes
+/// of a next frame read yet).
+pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<bool> {
+    let mut header = [0u8; 4];
+    match r.read(&mut header) {
+        Ok(0) => return Ok(false),
+        Ok(n) => r.read_exact(&mut header[n..])?,
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"),
+        ));
+    }
+    buf.resize(len, 0);
+    r.read_exact(buf)?;
+    Ok(true)
+}
+
+/// OK response carrying a UTF-8 body (PING, STATS).
+pub fn encode_text_response(text: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + text.len());
+    out.push(STATUS_OK);
+    out.extend_from_slice(text.as_bytes());
+    out
+}
+
+/// OK response with no body (SHUTDOWN).
+pub fn encode_empty_response() -> Vec<u8> {
+    vec![STATUS_OK]
+}
+
+/// Error response.
+pub fn encode_error(msg: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + msg.len());
+    out.push(STATUS_ERROR);
+    out.extend_from_slice(msg.as_bytes());
+    out
+}
+
+/// Encodes one distance (DISTANCE response body).
+pub fn encode_distance_response(d: Option<Dist>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9);
+    out.push(STATUS_OK);
+    out.extend_from_slice(&d.unwrap_or(UNREACHABLE).to_le_bytes());
+    out
+}
+
+/// Encodes a shortest path (PATH response body).
+pub fn encode_path_response(p: Option<(Dist, Vec<NodeId>)>) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.push(STATUS_OK);
+    match p {
+        None => {
+            out.extend_from_slice(&UNREACHABLE.to_le_bytes());
+            out.extend_from_slice(&0u32.to_le_bytes());
+        }
+        Some((d, path)) => {
+            out.extend_from_slice(&d.to_le_bytes());
+            out.extend_from_slice(&(path.len() as u32).to_le_bytes());
+            for v in &path {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Encodes a row-major distance table (DISTANCES response body).
+pub fn encode_distances_response(table: &[Option<Dist>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + 8 * table.len());
+    out.push(STATUS_OK);
+    for d in table {
+        out.extend_from_slice(&d.unwrap_or(UNREACHABLE).to_le_bytes());
+    }
+    out
+}
+
+/// A bounds-checked little-endian reader over a payload.
+pub struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Wraps a payload.
+    pub fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos == self.data.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.data.len() {
+            return Err("truncated message".into());
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads the remaining bytes.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let s = &self.data[self.pos..];
+        self.pos = self.data.len();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        let cases = [
+            Request::Ping,
+            Request::Distance {
+                backend: 1,
+                s: 7,
+                t: 9,
+            },
+            Request::Path {
+                backend: 3,
+                s: 0,
+                t: u32::MAX - 1,
+            },
+            Request::Distances {
+                backend: 0,
+                sources: vec![1, 2, 3],
+                targets: vec![4, 5],
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in cases {
+            let bytes = req.encode();
+            assert_eq!(Request::decode(&bytes).as_ref(), Ok(&req), "{req:?}");
+        }
+        // Backend-less requests are exactly one opcode byte on the wire,
+        // as the protocol table documents — foreign clients rely on it.
+        assert_eq!(Request::Ping.encode(), vec![op::PING]);
+        assert_eq!(Request::Stats.encode(), vec![op::STATS]);
+        assert_eq!(Request::Shutdown.encode(), vec![op::SHUTDOWN]);
+        assert_eq!(Request::decode(&[op::PING]), Ok(Request::Ping));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[99, 0]).is_err(), "unknown opcode");
+        assert!(Request::decode(&[op::DISTANCE, 0, 1, 2]).is_err(), "short");
+        let mut trailing = Request::Ping.encode();
+        trailing.push(0);
+        assert!(Request::decode(&trailing).is_err(), "trailing bytes");
+        // Oversized batch header.
+        let mut huge = vec![op::DISTANCES, 0];
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Request::decode(&huge).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = &wire[..];
+        let mut buf = Vec::new();
+        assert!(read_frame(&mut r, &mut buf).unwrap());
+        assert_eq!(buf, b"hello");
+        assert!(read_frame(&mut r, &mut buf).unwrap());
+        assert_eq!(buf, b"");
+        assert!(!read_frame(&mut r, &mut buf).unwrap(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        let mut r = &wire[..];
+        let mut buf = Vec::new();
+        assert!(read_frame(&mut r, &mut buf).is_err());
+    }
+}

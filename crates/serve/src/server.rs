@@ -1,0 +1,461 @@
+//! The TCP query server: a fixed worker pool over the engine.
+//!
+//! Architecture (std-only, no async runtime):
+//!
+//! * An **acceptor** thread owns the (non-blocking) listener and hands
+//!   accepted connections to the pool through an mpsc channel.
+//! * `workers` **worker** threads each own one reusable query session
+//!   per backend — created once, reused for every request the worker
+//!   ever serves, so the per-query hot path performs no allocation
+//!   beyond what the technique itself needs. A worker serves one
+//!   connection at a time, frame by frame; idle workers block on the
+//!   channel. With more concurrent connections than workers, the excess
+//!   queues in the channel (bounded fairness is the client's problem —
+//!   this mirrors a fixed-size thread-per-connection deployment).
+//! * **Shutdown** is cooperative: a `SHUTDOWN` frame or a delivered
+//!   SIGTERM/SIGINT flips a flag that the acceptor polls between
+//!   accepts and the workers poll between frames (reads use a short
+//!   timeout so a quiet connection cannot pin a worker). In-flight
+//!   requests finish and get their response before the connection
+//!   closes.
+//!
+//! Per-request flow: decode → resolve backend → consult the sharded
+//! distance cache (DISTANCE only) → run the session → cache + record
+//! latency → respond. Dense DISTANCES batches reach CH's bucket-based
+//! many-to-many through the `Session::distances` override.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use spq_graph::backend::Session;
+
+use crate::cache::DistanceCache;
+use crate::protocol::{self, Request};
+use crate::stats::{Op, ServerStats};
+use crate::Engine;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (also the maximum number of concurrently served
+    /// connections).
+    pub workers: usize,
+    /// Total distance-cache entries (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Cache shards (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// Socket read timeout; bounds how long a quiet connection delays
+    /// shutdown.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+                .max(2),
+            cache_capacity: 1 << 16,
+            cache_shards: 16,
+            read_timeout: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Process-wide flag flipped by SIGTERM/SIGINT (see
+/// [`install_signal_handlers`]); polled alongside each server's own
+/// shutdown flag.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    // Only async-signal-safe work here: one atomic store.
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGTERM and SIGINT handlers that request a graceful
+/// shutdown of every server in the process. No-op off Unix.
+pub fn install_signal_handlers() {
+    #[cfg(unix)]
+    {
+        // libc is always linked on Unix; declaring `signal` directly
+        // avoids a dependency for two syscalls.
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+/// Whether a delivered signal has requested shutdown.
+pub fn signalled() -> bool {
+    SIGNALLED.load(Ordering::SeqCst)
+}
+
+/// A running server. Dropping it without [`Server::join`] detaches the
+/// threads; the intended lifecycle is `start` → (traffic) →
+/// `request_shutdown` (or SIGTERM / a SHUTDOWN frame) → `join`.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    engine: Arc<Engine>,
+    stats: Arc<ServerStats>,
+    cache: Arc<DistanceCache>,
+}
+
+impl Server {
+    /// Binds and starts accepting. The engine should already be
+    /// self-checked (see [`Engine::self_check`]).
+    pub fn start(engine: Arc<Engine>, cfg: &ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::new(engine.backends().len()));
+        let cache = Arc::new(DistanceCache::new(cfg.cache_capacity, cfg.cache_shards));
+
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for _ in 0..cfg.workers.max(1) {
+            let engine = Arc::clone(&engine);
+            let rx = Arc::clone(&rx);
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            let cache = Arc::clone(&cache);
+            let read_timeout = cfg.read_timeout;
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&engine, &rx, &shutdown, &stats, &cache, read_timeout)
+            }));
+        }
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || accept_loop(listener, tx, &shutdown, &stats))
+        };
+
+        Ok(Server {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers,
+            engine,
+            stats,
+            cache,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful shutdown (idempotent).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested (by any path).
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || signalled()
+    }
+
+    /// Renders the current observability snapshot.
+    pub fn stats_text(&self) -> String {
+        self.stats
+            .render(&self.engine.backend_names(), &self.cache.stats())
+    }
+
+    /// Waits for every thread to finish (requires shutdown to have been
+    /// requested via flag, frame, or signal) and returns the final
+    /// stats dump.
+    pub fn join(mut self) -> String {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.stats_text()
+    }
+}
+
+fn stopping(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::SeqCst) || signalled()
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    tx: Sender<TcpStream>,
+    shutdown: &AtomicBool,
+    stats: &ServerStats,
+) {
+    while !stopping(shutdown) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_nodelay(true);
+                if tx.send(stream).is_err() {
+                    break; // every worker is gone
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    // Dropping `tx` here lets idle workers observe the disconnect.
+}
+
+fn worker_loop(
+    engine: &Engine,
+    rx: &Mutex<Receiver<TcpStream>>,
+    shutdown: &AtomicBool,
+    stats: &ServerStats,
+    cache: &DistanceCache,
+    read_timeout: Duration,
+) {
+    // One reusable session per backend for this worker's whole life —
+    // this is what keeps the per-request path allocation-free.
+    let mut sessions: Vec<Box<dyn Session + '_>> = engine
+        .backends()
+        .iter()
+        .map(|b| b.backend.session(engine.net()))
+        .collect();
+    let mut scratch = Scratch::default();
+    loop {
+        let stream = {
+            let guard = rx.lock().unwrap();
+            match guard.recv_timeout(Duration::from_millis(50)) {
+                Ok(stream) => stream,
+                Err(RecvTimeoutError::Timeout) => {
+                    if stopping(shutdown) {
+                        return;
+                    }
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        };
+        let _ = serve_connection(
+            stream,
+            engine,
+            &mut sessions,
+            &mut scratch,
+            shutdown,
+            stats,
+            cache,
+            read_timeout,
+        );
+        if stopping(shutdown) {
+            return;
+        }
+    }
+}
+
+/// Reusable per-worker buffers.
+#[derive(Default)]
+struct Scratch {
+    frame: Vec<u8>,
+    batch: Vec<Option<spq_graph::types::Dist>>,
+}
+
+/// Outcome of an interruptible exact read.
+enum ReadOutcome {
+    /// The buffer was filled.
+    Filled,
+    /// Clean EOF before the first byte.
+    Eof,
+    /// Shutdown was requested while idle (no partial frame pending).
+    Stopped,
+}
+
+/// `read_exact` that tolerates the read timeout: timeouts poll the
+/// shutdown flag and retry, preserving stream framing across retries.
+/// A timeout mid-frame keeps waiting (the frame's sender is mid-write);
+/// only an idle boundary reacts to shutdown.
+fn read_exact_interruptible(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+    at_frame_boundary: bool,
+) -> io::Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && at_frame_boundary {
+                    Ok(ReadOutcome::Eof)
+                } else {
+                    Err(io::ErrorKind::UnexpectedEof.into())
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if filled == 0 && at_frame_boundary && stopping(shutdown) {
+                    return Ok(ReadOutcome::Stopped);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Filled)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn serve_connection(
+    mut stream: TcpStream,
+    engine: &Engine,
+    sessions: &mut [Box<dyn Session + '_>],
+    scratch: &mut Scratch,
+    shutdown: &AtomicBool,
+    stats: &ServerStats,
+    cache: &DistanceCache,
+    read_timeout: Duration,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(read_timeout))?;
+    loop {
+        let mut header = [0u8; 4];
+        match read_exact_interruptible(&mut stream, &mut header, shutdown, true)? {
+            ReadOutcome::Eof | ReadOutcome::Stopped => return Ok(()),
+            ReadOutcome::Filled => {}
+        }
+        let len = u32::from_le_bytes(header) as usize;
+        if len > protocol::MAX_FRAME {
+            // Unrecoverable: framing is lost. Answer and drop the link.
+            let resp = protocol::encode_error("frame exceeds the size limit");
+            protocol::write_frame(&mut stream, &resp)?;
+            return Ok(());
+        }
+        // A frame header was read, so its payload must follow; shutdown
+        // waits for it. The buffer is taken out of the scratch so the
+        // payload can be read by `handle_request` while the scratch's
+        // batch buffer stays writable.
+        let mut payload = std::mem::take(&mut scratch.frame);
+        payload.resize(len, 0);
+        match read_exact_interruptible(&mut stream, &mut payload, shutdown, false)? {
+            ReadOutcome::Filled => {}
+            ReadOutcome::Eof | ReadOutcome::Stopped => return Ok(()),
+        }
+
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        let response = handle_request(&payload, engine, sessions, scratch, shutdown, stats, cache);
+        scratch.frame = payload;
+        protocol::write_frame(&mut stream, &response)?;
+        if stopping(shutdown) {
+            return Ok(()); // graceful: last response delivered, then close
+        }
+    }
+}
+
+fn handle_request(
+    payload: &[u8],
+    engine: &Engine,
+    sessions: &mut [Box<dyn Session + '_>],
+    scratch: &mut Scratch,
+    shutdown: &AtomicBool,
+    stats: &ServerStats,
+    cache: &DistanceCache,
+) -> Vec<u8> {
+    let request = match Request::decode(payload) {
+        Ok(r) => r,
+        Err(msg) => {
+            stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            return protocol::encode_error(&msg);
+        }
+    };
+    let n = engine.net().num_nodes() as u32;
+    match request {
+        Request::Ping => protocol::encode_text_response("pong"),
+        Request::Stats => {
+            protocol::encode_text_response(&stats.render(&engine.backend_names(), &cache.stats()))
+        }
+        Request::Shutdown => {
+            shutdown.store(true, Ordering::SeqCst);
+            protocol::encode_empty_response()
+        }
+        Request::Distance { backend, s, t } => {
+            let Some(pos) = engine.position_of_wire(backend) else {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return protocol::encode_error(&format!("backend {backend} not served"));
+            };
+            if s >= n || t >= n {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return protocol::encode_error(&format!(
+                    "vertex out of range (network has {n} vertices)"
+                ));
+            }
+            let t0 = Instant::now();
+            let d = match cache.get(backend, s, t) {
+                Some(cached) => cached,
+                None => {
+                    let d = sessions[pos].distance(s, t);
+                    cache.insert(backend, s, t, d);
+                    d
+                }
+            };
+            stats.record(pos, Op::Distance, t0.elapsed().as_nanos() as u64, 1);
+            protocol::encode_distance_response(d)
+        }
+        Request::Path { backend, s, t } => {
+            let Some(pos) = engine.position_of_wire(backend) else {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return protocol::encode_error(&format!("backend {backend} not served"));
+            };
+            if s >= n || t >= n {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return protocol::encode_error(&format!(
+                    "vertex out of range (network has {n} vertices)"
+                ));
+            }
+            let t0 = Instant::now();
+            let p = sessions[pos].shortest_path(s, t);
+            stats.record(pos, Op::Path, t0.elapsed().as_nanos() as u64, 1);
+            protocol::encode_path_response(p)
+        }
+        Request::Distances {
+            backend,
+            sources,
+            targets,
+        } => {
+            let Some(pos) = engine.position_of_wire(backend) else {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return protocol::encode_error(&format!("backend {backend} not served"));
+            };
+            if sources.iter().chain(targets.iter()).any(|&v| v >= n) {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return protocol::encode_error(&format!(
+                    "vertex out of range (network has {n} vertices)"
+                ));
+            }
+            let t0 = Instant::now();
+            sessions[pos].distances(&sources, &targets, &mut scratch.batch);
+            let pairs = (sources.len() * targets.len()) as u64;
+            stats.record(pos, Op::Batch, t0.elapsed().as_nanos() as u64, pairs);
+            protocol::encode_distances_response(&scratch.batch)
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Server observability: atomic counters and log2-bucketed latency
+//! histograms per backend and per operation.
+//!
+//! Recording is lock-free (one relaxed `fetch_add` per sample into the
+//! matching power-of-two nanosecond bucket), so the hot path cost is
+//! constant regardless of how many samples have accumulated. Quantiles
+//! are estimated from the bucket counts with the geometric midpoint of
+//! the containing bucket — at most a ~√2 relative error, plenty for a
+//! throughput report spanning nanoseconds to seconds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::cache::CacheStats;
+
+/// Number of log2 nanosecond buckets: bucket 0 is `[0, 1)` ns, bucket
+/// `i ≥ 1` is `[2^(i-1), 2^i)` ns; the last bucket (≈ 9 minutes and up)
+/// absorbs everything slower.
+pub const BUCKETS: usize = 40;
+
+/// The operations the server distinguishes in its per-backend stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Point-to-point distance queries.
+    Distance = 0,
+    /// Point-to-point shortest-path queries.
+    Path = 1,
+    /// Batched (many-to-many) distance queries.
+    Batch = 2,
+}
+
+/// Number of [`Op`] variants.
+pub const NUM_OPS: usize = 3;
+
+impl Op {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Distance => "distance",
+            Op::Path => "path",
+            Op::Batch => "batch",
+        }
+    }
+
+    /// All operations, in display order.
+    pub const ALL: [Op; NUM_OPS] = [Op::Distance, Op::Path, Op::Batch];
+}
+
+/// Maps a nanosecond latency to its bucket.
+pub fn bucket_of(nanos: u64) -> usize {
+    ((64 - nanos.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Representative latency of a bucket in nanoseconds (geometric
+/// midpoint of its range).
+pub fn bucket_value_ns(bucket: usize) -> f64 {
+    if bucket == 0 {
+        0.5
+    } else {
+        // Bucket covers [2^(b-1), 2^b): midpoint 2^(b-1) · √2.
+        2f64.powi(bucket as i32 - 1) * std::f64::consts::SQRT_2
+    }
+}
+
+/// Estimates the `q`-quantile (`q` in `[0, 1]`) of a bucket-count
+/// vector, in nanoseconds. Returns 0 with no samples.
+pub fn percentile_ns(buckets: &[u64], q: f64) -> f64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (b, &count) in buckets.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return bucket_value_ns(b);
+        }
+    }
+    bucket_value_ns(buckets.len() - 1)
+}
+
+/// A lock-free log2 latency histogram.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, nanos: u64) {
+        self.buckets[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the bucket counts out.
+    pub fn snapshot(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// Counters and latency histogram for one (backend, op) pair.
+#[derive(Default)]
+pub struct OpStats {
+    /// Requests served (a batch counts once).
+    pub count: AtomicU64,
+    /// Individual (s, t) answers produced (≥ `count`; differs for
+    /// batches).
+    pub items: AtomicU64,
+    /// Per-request service latency.
+    pub hist: Histogram,
+}
+
+/// All server counters. One instance per server, shared by reference
+/// with every worker.
+pub struct ServerStats {
+    /// `per_backend[i][op]` for the engine's i-th backend.
+    per_backend: Vec<[OpStats; NUM_OPS]>,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Frames handled (any opcode, including failed ones).
+    pub requests: AtomicU64,
+    /// Requests rejected at the protocol layer.
+    pub protocol_errors: AtomicU64,
+    /// Server start time (for the uptime line).
+    started: Instant,
+}
+
+impl ServerStats {
+    /// Creates zeroed counters for `num_backends` backends.
+    pub fn new(num_backends: usize) -> Self {
+        ServerStats {
+            per_backend: (0..num_backends).map(|_| Default::default()).collect(),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records one served request: `items` individual answers produced
+    /// in `nanos` of service time.
+    pub fn record(&self, backend: usize, op: Op, nanos: u64, items: u64) {
+        let s = &self.per_backend[backend][op as usize];
+        s.count.fetch_add(1, Ordering::Relaxed);
+        s.items.fetch_add(items, Ordering::Relaxed);
+        s.hist.record(nanos);
+    }
+
+    /// Raw access for rendering.
+    pub fn op_stats(&self, backend: usize, op: Op) -> &OpStats {
+        &self.per_backend[backend][op as usize]
+    }
+
+    /// Renders the observability snapshot served by the STATS command
+    /// and dumped at shutdown. `backend_names` must match the engine's
+    /// backend order.
+    pub fn render(&self, backend_names: &[&str], cache: &CacheStats) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let uptime_s = self.started.elapsed().as_secs_f64();
+        let _ = writeln!(
+            out,
+            "uptime_s={uptime_s:.1} connections={} requests={} protocol_errors={}",
+            self.connections.load(Ordering::Relaxed),
+            self.requests.load(Ordering::Relaxed),
+            self.protocol_errors.load(Ordering::Relaxed),
+        );
+        let _ = writeln!(
+            out,
+            "cache: hits={} misses={} hit_rate={:.1}% insertions={} evictions={} len={} capacity={}",
+            cache.hits,
+            cache.misses,
+            cache.hit_rate() * 100.0,
+            cache.insertions,
+            cache.evictions,
+            cache.len,
+            cache.capacity,
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:<9} {:>10} {:>12} {:>10} {:>10}",
+            "backend", "op", "count", "items", "p50_us", "p99_us"
+        );
+        for (i, name) in backend_names.iter().enumerate() {
+            for op in Op::ALL {
+                let s = self.op_stats(i, op);
+                let count = s.count.load(Ordering::Relaxed);
+                if count == 0 {
+                    continue;
+                }
+                let snap = s.hist.snapshot();
+                let _ = writeln!(
+                    out,
+                    "{:<10} {:<9} {:>10} {:>12} {:>10.2} {:>10.2}",
+                    name,
+                    op.name(),
+                    count,
+                    s.items.load(Ordering::Relaxed),
+                    percentile_ns(&snap, 0.50) / 1_000.0,
+                    percentile_ns(&snap, 0.99) / 1_000.0,
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_latency_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        for nanos in [5u64, 1_000, 1_000_000, 10_000_000_000] {
+            let b = bucket_of(nanos);
+            assert!(b < BUCKETS);
+            if b < BUCKETS - 1 {
+                // The representative value is within ~√2 of the sample.
+                let rep = bucket_value_ns(b);
+                assert!(rep / nanos as f64 <= std::f64::consts::SQRT_2 + 1e-9);
+                assert!(nanos as f64 / rep <= std::f64::consts::SQRT_2 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_track_the_distribution() {
+        let hist = Histogram::default();
+        for _ in 0..99 {
+            hist.record(1_000); // ~1 µs
+        }
+        hist.record(1_000_000); // one 1 ms outlier
+        let snap = hist.snapshot();
+        let p50 = percentile_ns(&snap, 0.50);
+        let p99 = percentile_ns(&snap, 0.99);
+        let p100 = percentile_ns(&snap, 1.0);
+        assert!((500.0..2_000.0).contains(&p50), "p50 = {p50}");
+        assert!(p99 <= p100);
+        assert!(p100 > 500_000.0, "p100 sees the outlier: {p100}");
+        assert_eq!(percentile_ns(&[0; BUCKETS], 0.5), 0.0);
+    }
+
+    #[test]
+    fn render_reports_active_ops_only() {
+        let stats = ServerStats::new(2);
+        stats.record(0, Op::Distance, 1_500, 1);
+        stats.record(0, Op::Distance, 1_500, 1);
+        stats.record(1, Op::Batch, 80_000, 25);
+        let cache = CacheStats {
+            hits: 3,
+            misses: 1,
+            insertions: 1,
+            evictions: 0,
+            len: 1,
+            capacity: 64,
+        };
+        let text = stats.render(&["CH", "TNR"], &cache);
+        assert!(text.contains("hits=3"));
+        assert!(text.contains("hit_rate=75.0%"));
+        assert!(text.contains("CH"));
+        assert!(text.contains("batch"));
+        assert!(!text.contains("path"), "unused ops are omitted:\n{text}");
+    }
+}

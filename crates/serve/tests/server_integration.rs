@@ -1,0 +1,268 @@
+//! End-to-end tests of the serving subsystem over real TCP sockets:
+//! every backend is exercised through the wire protocol and checked
+//! against a locally computed Dijkstra oracle, concurrent clients hit
+//! the shared cache without ever observing a stale or torn result, and
+//! malformed traffic is rejected without taking the server down.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use spq_dijkstra::Dijkstra;
+use spq_graph::types::{Dist, NodeId};
+use spq_graph::RoadNetwork;
+use spq_serve::protocol::{self, STATUS_ERROR, STATUS_OK};
+use spq_serve::server::{Server, ServerConfig};
+use spq_serve::{BackendKind, Engine, ServeClient};
+use spq_synth::SynthParams;
+
+fn test_net(target: usize, seed: u64) -> RoadNetwork {
+    spq_synth::generate(&SynthParams::with_target_vertices(
+        spq_synth::test_vertices(target),
+        seed,
+    ))
+}
+
+/// Starts a self-checked server over a fresh synthetic network.
+fn start_server(target: usize, kinds: &[BackendKind], workers: usize) -> (Server, SocketAddr) {
+    let engine = Arc::new(Engine::build(test_net(target, 0xa11ce), kinds));
+    engine.self_check(16, 3).expect("engine must be clean");
+    let cfg = ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(engine, &cfg).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+fn shutdown(server: Server, addr: SocketAddr) -> String {
+    let mut client = ServeClient::connect(addr).expect("connect for shutdown");
+    client.shutdown_server().expect("shutdown frame");
+    server.join()
+}
+
+/// Deterministic sample pairs spread over the vertex range.
+fn sample_pairs(n: usize, count: usize) -> Vec<(NodeId, NodeId)> {
+    let n = n as u64;
+    let mut state = 0x1234_5678_9abc_def0u64;
+    (0..count)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let s = ((state >> 33) % n) as NodeId;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let t = ((state >> 33) % n) as NodeId;
+            (s, t)
+        })
+        .collect()
+}
+
+#[test]
+fn every_backend_agrees_with_the_oracle_over_sockets() {
+    let kinds = BackendKind::ALL; // including arc flags
+    let (server, addr) = start_server(400, &kinds, 2);
+    let net = test_net(400, 0xa11ce); // same seed → same network as the server's
+    let mut oracle = Dijkstra::new(net.num_nodes());
+    let mut client = ServeClient::connect(addr).expect("connect");
+    client.ping().expect("ping");
+
+    for (s, t) in sample_pairs(net.num_nodes(), 25) {
+        oracle.run_to_target(&net, s, t);
+        let expected = oracle.distance(t);
+        for kind in kinds {
+            let got = client.distance(kind, s, t).expect("distance");
+            assert_eq!(got, expected, "{} disagrees on ({s}, {t})", kind.name());
+            let path = client.shortest_path(kind, s, t).expect("path");
+            match (expected, path) {
+                (None, None) => {}
+                (Some(d), Some((pd, p))) => {
+                    assert_eq!(pd, d, "{}: wrong path length", kind.name());
+                    assert_eq!(p.first().copied(), Some(s));
+                    assert_eq!(p.last().copied(), Some(t));
+                    assert_eq!(
+                        net.path_length(&p),
+                        Some(d),
+                        "{}: invalid path",
+                        kind.name()
+                    );
+                }
+                (e, p) => panic!("{}: oracle {e:?} but server path {p:?}", kind.name()),
+            }
+        }
+    }
+    let stats = shutdown(server, addr);
+    assert!(stats.contains("protocol_errors=0"), "{stats}");
+}
+
+#[test]
+fn dense_batches_match_pointwise_answers() {
+    let (server, addr) = start_server(300, &[BackendKind::Dijkstra, BackendKind::Ch], 2);
+    let net = test_net(300, 0xa11ce);
+    let n = net.num_nodes() as NodeId;
+    let sources: Vec<NodeId> = (0..8).map(|i| i * (n / 8).max(1) % n).collect();
+    let targets: Vec<NodeId> = (0..7).map(|i| (i * 37 + 5) % n).collect();
+
+    let mut client = ServeClient::connect(addr).expect("connect");
+    for kind in [BackendKind::Dijkstra, BackendKind::Ch] {
+        let table = client
+            .distances(kind, &sources, &targets)
+            .expect("batched distances");
+        assert_eq!(table.len(), sources.len() * targets.len());
+        for (i, &s) in sources.iter().enumerate() {
+            for (j, &t) in targets.iter().enumerate() {
+                let single = client.distance(kind, s, t).expect("single distance");
+                assert_eq!(
+                    table[i * targets.len() + j],
+                    single,
+                    "{}: batch disagrees with single on ({s}, {t})",
+                    kind.name()
+                );
+            }
+        }
+    }
+    shutdown(server, addr);
+}
+
+/// N concurrent clients replay overlapping workloads (mixed cache hits
+/// and misses by construction); every answer must equal the
+/// precomputed oracle value — a stale or torn cache read would surface
+/// as a mismatch here.
+#[test]
+fn concurrent_clients_never_observe_stale_or_torn_results() {
+    let (server, addr) = start_server(300, &[BackendKind::Dijkstra, BackendKind::Ch], 8);
+    let net = test_net(300, 0xa11ce);
+
+    let pairs = sample_pairs(net.num_nodes(), 40);
+    let mut oracle = Dijkstra::new(net.num_nodes());
+    let expected: Vec<Option<Dist>> = pairs
+        .iter()
+        .map(|&(s, t)| {
+            oracle.run_to_target(&net, s, t);
+            oracle.distance(t)
+        })
+        .collect();
+
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 30;
+    std::thread::scope(|scope| {
+        for worker in 0..CLIENTS {
+            let pairs = &pairs;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                // Different starting offsets → different hit/miss mixes.
+                for round in 0..ROUNDS {
+                    let i = (worker * 7 + round * 3) % pairs.len();
+                    let (s, t) = pairs[i];
+                    let kind = if (worker + round) % 2 == 0 {
+                        BackendKind::Dijkstra
+                    } else {
+                        BackendKind::Ch
+                    };
+                    let got = client.distance(kind, s, t).expect("distance");
+                    assert_eq!(
+                        got, expected[i],
+                        "client {worker} got a wrong answer for ({s}, {t})"
+                    );
+                }
+            });
+        }
+    });
+
+    // The overlapping replay must have produced both hits and misses,
+    // and the accounting must add up to the total distance queries.
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    let field = |name: &str| -> u64 {
+        stats
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix(&format!("{name}=")))
+            .and_then(|v| v.trim_end_matches('%').parse().ok())
+            .unwrap_or_else(|| panic!("stats missing {name}:\n{stats}"))
+    };
+    let hits = field("hits");
+    let misses = field("misses");
+    assert!(
+        hits > 0,
+        "overlapping workload produced no cache hits:\n{stats}"
+    );
+    assert!(misses > 0, "first touches must miss:\n{stats}");
+    assert_eq!(
+        hits + misses,
+        (CLIENTS * ROUNDS) as u64,
+        "cache accounting out of balance:\n{stats}"
+    );
+    shutdown(server, addr);
+}
+
+#[test]
+fn malformed_and_out_of_range_requests_get_errors_not_crashes() {
+    let (server, addr) = start_server(200, &[BackendKind::Ch], 2);
+    let net = test_net(200, 0xa11ce);
+    let n = net.num_nodes() as NodeId;
+    let mut client = ServeClient::connect(addr).expect("connect");
+
+    // Unknown opcode.
+    let resp = client.roundtrip_raw(&[0xEE]).expect("server answers");
+    assert_eq!(resp.first(), Some(&STATUS_ERROR));
+    // Empty payload.
+    let resp = client.roundtrip_raw(&[]).expect("server answers");
+    assert_eq!(resp.first(), Some(&STATUS_ERROR));
+    // Truncated DISTANCE request.
+    let resp = client
+        .roundtrip_raw(&[protocol::op::DISTANCE, 1, 0, 0])
+        .expect("server answers");
+    assert_eq!(resp.first(), Some(&STATUS_ERROR));
+
+    // Vertex out of range.
+    match client.distance(BackendKind::Ch, n, 0) {
+        Err(spq_serve::ClientError::Remote(msg)) => {
+            assert!(msg.contains("out of range"), "{msg}")
+        }
+        other => panic!("expected a remote error, got {other:?}"),
+    }
+    // Backend not served (TNR was not built into this engine).
+    match client.distance(BackendKind::Tnr, 0, 1) {
+        Err(spq_serve::ClientError::Remote(msg)) => {
+            assert!(msg.contains("not served"), "{msg}")
+        }
+        other => panic!("expected a remote error, got {other:?}"),
+    }
+
+    // The connection (and server) still works after all of that.
+    let d = client
+        .distance(BackendKind::Ch, 0, 1.min(n - 1))
+        .expect("live");
+    let mut oracle = Dijkstra::new(net.num_nodes());
+    oracle.run_to_target(&net, 0, 1.min(n - 1));
+    assert_eq!(d, oracle.distance(1.min(n - 1)));
+
+    let stats = shutdown(server, addr);
+    assert!(
+        !stats.contains("protocol_errors=0"),
+        "errors were counted: {stats}"
+    );
+}
+
+#[test]
+fn protocol_shutdown_stops_all_threads_and_dumps_stats() {
+    let (server, addr) = start_server(200, &[BackendKind::Dijkstra], 3);
+    let mut client = ServeClient::connect(addr).expect("connect");
+    client.ping().expect("ping");
+    let resp = client
+        .roundtrip_raw(&protocol::Request::Shutdown.encode())
+        .expect("shutdown ack");
+    assert_eq!(resp.first(), Some(&STATUS_OK));
+    // join() blocks until the acceptor and every worker exit; a hang
+    // here (test timeout) is the failure mode this guards against.
+    let stats = server.join();
+    assert!(stats.contains("requests="), "{stats}");
+    // New connections are refused once the listener is gone.
+    assert!(
+        ServeClient::connect(addr).is_err(),
+        "listener survived shutdown"
+    );
+}

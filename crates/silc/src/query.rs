@@ -72,6 +72,29 @@ impl<'a> SilcQuery<'a> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// spq-serve integration: SILC behind the unified backend interface.
+
+impl spq_graph::backend::Backend for Silc {
+    fn backend_name(&self) -> &'static str {
+        "SILC"
+    }
+
+    fn session<'a>(&'a self, net: &'a RoadNetwork) -> Box<dyn spq_graph::backend::Session + 'a> {
+        Box::new(self.query(net))
+    }
+}
+
+impl spq_graph::backend::Session for SilcQuery<'_> {
+    fn distance(&mut self, s: NodeId, t: NodeId) -> Option<Dist> {
+        SilcQuery::distance(self, s, t)
+    }
+
+    fn shortest_path(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
+        SilcQuery::shortest_path(self, s, t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

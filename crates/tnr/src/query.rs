@@ -200,6 +200,29 @@ impl<'a> TnrQuery<'a> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// spq-serve integration: TNR behind the unified backend interface.
+
+impl spq_graph::backend::Backend for Tnr {
+    fn backend_name(&self) -> &'static str {
+        "TNR"
+    }
+
+    fn session<'a>(&'a self, net: &'a RoadNetwork) -> Box<dyn spq_graph::backend::Session + 'a> {
+        Box::new(self.query().with_network(net))
+    }
+}
+
+impl spq_graph::backend::Session for TnrQuery<'_> {
+    fn distance(&mut self, s: NodeId, t: NodeId) -> Option<Dist> {
+        TnrQuery::distance(self, s, t)
+    }
+
+    fn shortest_path(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
+        TnrQuery::shortest_path(self, s, t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,136 @@
+//! Persistence round-trip property tests covering every
+//! `write_binary`/`read_binary` pair in the workspace: CH, TNR, SILC,
+//! ALT, and arc flags.
+//!
+//! Two properties per format, on arbitrary connected networks:
+//!
+//! 1. **Stability** — write → read → write reproduces the original
+//!    bytes exactly (no drift, no nondeterminism in serialisation).
+//! 2. **Fidelity** — the reloaded index answers every (s, t) distance
+//!    query identically to the index it was written from.
+
+use proptest::prelude::*;
+use spq_alt::{Alt, AltParams};
+use spq_arcflags::{ArcFlags, ArcFlagsParams};
+use spq_ch::ContractionHierarchy;
+use spq_graph::arbitrary::{connected_network, NetworkStrategyParams};
+use spq_graph::{NodeId, RoadNetwork};
+use spq_silc::Silc;
+use spq_tnr::{Tnr, TnrParams};
+
+fn small_network() -> impl Strategy<Value = RoadNetwork> {
+    connected_network(NetworkStrategyParams {
+        min_nodes: 2,
+        max_nodes: 24,
+        ..NetworkStrategyParams::default()
+    })
+}
+
+/// All (s, t) distances from an index's query object, as one flat
+/// vector (small networks make exhaustive comparison affordable).
+fn all_distances<Q>(net: &RoadNetwork, mut distance: Q) -> Vec<Option<u64>>
+where
+    Q: FnMut(NodeId, NodeId) -> Option<u64>,
+{
+    let n = net.num_nodes() as NodeId;
+    let mut out = Vec::with_capacity((n as usize) * (n as usize));
+    for s in 0..n {
+        for t in 0..n {
+            out.push(distance(s, t));
+        }
+    }
+    out
+}
+
+fn write_to_vec(write: impl FnOnce(&mut Vec<u8>) -> std::io::Result<()>) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write(&mut buf).expect("in-memory write cannot fail");
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn ch_roundtrip(net in small_network()) {
+        let ch = ContractionHierarchy::build(&net);
+        let bytes = write_to_vec(|b| ch.write_binary(b));
+        let reloaded = ContractionHierarchy::read_binary(&mut &bytes[..]).expect("read back");
+        let rewritten = write_to_vec(|b| reloaded.write_binary(b));
+        prop_assert_eq!(&bytes, &rewritten, "CH bytes drift across a round-trip");
+
+        let mut q1 = spq_ch::ChQuery::new(&ch);
+        let mut q2 = spq_ch::ChQuery::new(&reloaded);
+        prop_assert_eq!(
+            all_distances(&net, |s, t| q1.distance(s, t)),
+            all_distances(&net, |s, t| q2.distance(s, t))
+        );
+    }
+
+    #[test]
+    fn tnr_roundtrip(net in small_network()) {
+        let tnr = Tnr::build(&net, &TnrParams::default());
+        let bytes = write_to_vec(|b| tnr.write_binary(b));
+        let reloaded = Tnr::read_binary(&net, &mut &bytes[..]).expect("read back");
+        let rewritten = write_to_vec(|b| reloaded.write_binary(b));
+        prop_assert_eq!(&bytes, &rewritten, "TNR bytes drift across a round-trip");
+
+        let mut q1 = tnr.query().with_network(&net);
+        let mut q2 = reloaded.query().with_network(&net);
+        prop_assert_eq!(
+            all_distances(&net, |s, t| q1.distance(s, t)),
+            all_distances(&net, |s, t| q2.distance(s, t))
+        );
+    }
+
+    #[test]
+    fn silc_roundtrip(net in small_network()) {
+        let silc = Silc::build(&net);
+        let bytes = write_to_vec(|b| silc.write_binary(b));
+        let reloaded = Silc::read_binary(&mut &bytes[..]).expect("read back");
+        let rewritten = write_to_vec(|b| reloaded.write_binary(b));
+        prop_assert_eq!(&bytes, &rewritten, "SILC bytes drift across a round-trip");
+
+        let mut q1 = silc.query(&net);
+        let mut q2 = reloaded.query(&net);
+        prop_assert_eq!(
+            all_distances(&net, |s, t| q1.distance(s, t)),
+            all_distances(&net, |s, t| q2.distance(s, t))
+        );
+    }
+
+    #[test]
+    fn alt_roundtrip(net in small_network()) {
+        let alt = Alt::build(&net, &AltParams {
+            num_landmarks: 4.min(net.num_nodes()),
+            ..AltParams::default()
+        });
+        let bytes = write_to_vec(|b| alt.write_binary(b));
+        let reloaded = Alt::read_binary(&mut &bytes[..]).expect("read back");
+        let rewritten = write_to_vec(|b| reloaded.write_binary(b));
+        prop_assert_eq!(&bytes, &rewritten, "ALT bytes drift across a round-trip");
+
+        let mut q1 = alt.query(&net);
+        let mut q2 = reloaded.query(&net);
+        prop_assert_eq!(
+            all_distances(&net, |s, t| q1.distance(s, t)),
+            all_distances(&net, |s, t| q2.distance(s, t))
+        );
+    }
+
+    #[test]
+    fn arcflags_roundtrip(net in small_network()) {
+        let af = ArcFlags::build(&net, &ArcFlagsParams::default());
+        let bytes = write_to_vec(|b| af.write_binary(b));
+        let reloaded = ArcFlags::read_binary(&net, &mut &bytes[..]).expect("read back");
+        let rewritten = write_to_vec(|b| reloaded.write_binary(b));
+        prop_assert_eq!(&bytes, &rewritten, "arc-flag bytes drift across a round-trip");
+
+        let mut q1 = af.query(&net);
+        let mut q2 = reloaded.query(&net);
+        prop_assert_eq!(
+            all_distances(&net, |s, t| q1.distance(s, t)),
+            all_distances(&net, |s, t| q2.distance(s, t))
+        );
+    }
+}
