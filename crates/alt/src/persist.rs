@@ -7,38 +7,36 @@
 
 use std::io::{self, Read, Write};
 
-use spq_graph::binio;
+use spq_graph::binio::{self, IndexLoadError};
 use spq_graph::types::NodeId;
 
 use crate::landmarks::Alt;
 
 const MAGIC: &[u8; 4] = b"SPQA";
-const VERSION: u32 = 1;
+/// Version 2 wraps the payload in the checksummed container; version-1
+/// files predate it and are refused at load (rebuild to migrate).
+const VERSION: u32 = 2;
 
 impl Alt {
-    /// Serialises the landmark ids and the distance table.
+    /// Serialises the landmark ids and the distance table inside a
+    /// checksummed container.
     pub fn write_binary(&self, w: &mut impl Write) -> io::Result<()> {
-        binio::write_header(w, MAGIC, VERSION)?;
-        binio::write_u64(w, self.num_nodes() as u64)?;
-        binio::write_u32s(w, self.landmarks())?;
-        binio::write_u32s(w, self.dist_table())?;
-        Ok(())
+        let mut body = Vec::new();
+        binio::write_u64(&mut body, self.num_nodes() as u64)?;
+        binio::write_u32s(&mut body, self.landmarks())?;
+        binio::write_u32s(&mut body, self.dist_table())?;
+        binio::write_checksummed(w, MAGIC, VERSION, &body)
     }
 
-    /// Deserialises an index written by [`Alt::write_binary`].
-    pub fn read_binary(r: &mut impl Read) -> io::Result<Alt> {
-        let version = binio::read_header(r, MAGIC)?;
-        if version != VERSION {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unsupported ALT format version {version}"),
-            ));
-        }
+    /// Deserialises an index written by [`Alt::write_binary`], verifying
+    /// the checksum and structural invariants before returning it.
+    pub fn read_binary(r: &mut impl Read) -> Result<Alt, IndexLoadError> {
+        let body = binio::read_checksummed(r, MAGIC, VERSION)?;
+        let r = &mut &body[..];
         let n = binio::read_u64(r)? as usize;
         let landmarks: Vec<NodeId> = binio::read_u32s(r)?;
         let dist = binio::read_u32s(r)?;
-        Alt::from_raw_parts(landmarks, dist, n)
-            .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))
+        Alt::from_raw_parts(landmarks, dist, n).map_err(IndexLoadError::Corrupt)
     }
 }
 
@@ -83,10 +81,25 @@ mod tests {
         let mut buf = Vec::new();
         alt.write_binary(&mut buf).unwrap();
         buf[0] ^= 0xff;
-        assert!(Alt::read_binary(&mut &buf[..]).is_err());
+        assert!(matches!(
+            Alt::read_binary(&mut &buf[..]),
+            Err(IndexLoadError::BadMagic { .. })
+        ));
         let mut buf2 = Vec::new();
         alt.write_binary(&mut buf2).unwrap();
         buf2.truncate(buf2.len() - 4); // table no longer k × n
-        assert!(Alt::read_binary(&mut &buf2[..]).is_err());
+        assert!(matches!(
+            Alt::read_binary(&mut &buf2[..]),
+            Err(IndexLoadError::Truncated { .. })
+        ));
+        // A flipped byte inside the table trips the checksum.
+        let mut buf3 = Vec::new();
+        alt.write_binary(&mut buf3).unwrap();
+        let mid = buf3.len() / 2;
+        buf3[mid] ^= 0x80;
+        assert!(matches!(
+            Alt::read_binary(&mut &buf3[..]),
+            Err(IndexLoadError::ChecksumMismatch { .. })
+        ));
     }
 }

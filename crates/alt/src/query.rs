@@ -1,5 +1,6 @@
 //! A* query processing with the landmark potential.
 
+use spq_graph::backend::QueryBudget;
 use spq_graph::heap::IndexedHeap;
 use spq_graph::types::{Dist, NodeId, INFINITY, INVALID_NODE};
 use spq_graph::RoadNetwork;
@@ -18,6 +19,7 @@ pub struct AltQuery<'a> {
     settled_stamp: Vec<u32>,
     version: u32,
     heap: IndexedHeap,
+    budget: QueryBudget,
     /// Statistics of the most recent query.
     pub stats: SearchStats,
 }
@@ -36,8 +38,21 @@ impl<'a> AltQuery<'a> {
             settled_stamp: vec![0; n],
             version: 0,
             heap: IndexedHeap::new(n),
+            budget: QueryBudget::unlimited(),
             stats: SearchStats::default(),
         }
+    }
+
+    /// Installs the cancellation budget subsequent queries run under
+    /// (one charge per settled vertex). The default is unlimited.
+    pub fn set_budget(&mut self, budget: QueryBudget) {
+        self.budget = budget;
+    }
+
+    /// Whether a query since the last [`AltQuery::set_budget`] was cut
+    /// short by the budget (its `None` is an abort, not "unreachable").
+    pub fn budget_exhausted(&self) -> bool {
+        self.budget.exhausted()
     }
 
     /// Distance query: goal-directed A*, exact because the potential is
@@ -77,6 +92,9 @@ impl<'a> AltQuery<'a> {
         while let Some((_, u)) = self.heap.pop_min() {
             if self.settled_stamp[u as usize] == version {
                 continue;
+            }
+            if !self.budget.charge() {
+                return None;
             }
             self.settled_stamp[u as usize] = version;
             self.stats.settled += 1;
@@ -121,6 +139,14 @@ impl spq_graph::backend::Session for AltQuery<'_> {
 
     fn shortest_path(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
         AltQuery::shortest_path(self, s, t)
+    }
+
+    fn set_budget(&mut self, budget: QueryBudget) {
+        AltQuery::set_budget(self, budget);
+    }
+
+    fn interrupted(&self) -> bool {
+        self.budget_exhausted()
     }
 }
 

@@ -173,6 +173,7 @@ pub struct ArcFlagsQuery<'a> {
     settled_stamp: Vec<u32>,
     version: u32,
     heap: IndexedHeap,
+    budget: spq_graph::backend::QueryBudget,
     /// Statistics of the most recent query.
     pub stats: SearchStats,
 }
@@ -190,8 +191,22 @@ impl<'a> ArcFlagsQuery<'a> {
             settled_stamp: vec![0; n],
             version: 0,
             heap: IndexedHeap::new(n),
+            budget: spq_graph::backend::QueryBudget::unlimited(),
             stats: SearchStats::default(),
         }
+    }
+
+    /// Installs the cancellation budget subsequent queries run under
+    /// (one charge per settled vertex). The default is unlimited.
+    pub fn set_budget(&mut self, budget: spq_graph::backend::QueryBudget) {
+        self.budget = budget;
+    }
+
+    /// Whether a query since the last [`ArcFlagsQuery::set_budget`] was
+    /// cut short by the budget (its `None` is an abort, not
+    /// "unreachable").
+    pub fn budget_exhausted(&self) -> bool {
+        self.budget.exhausted()
     }
 
     /// Distance query.
@@ -228,6 +243,9 @@ impl<'a> ArcFlagsQuery<'a> {
         self.reached_stamp[s as usize] = version;
         self.heap.push_or_decrease(s, 0);
         while let Some((d, u)) = self.heap.pop_min() {
+            if !self.budget.charge() {
+                return None;
+            }
             self.settled_stamp[u as usize] = version;
             self.stats.settled += 1;
             if u == t {
@@ -272,6 +290,14 @@ impl spq_graph::backend::Session for ArcFlagsQuery<'_> {
 
     fn shortest_path(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
         ArcFlagsQuery::shortest_path(self, s, t)
+    }
+
+    fn set_budget(&mut self, budget: spq_graph::backend::QueryBudget) {
+        ArcFlagsQuery::set_budget(self, budget);
+    }
+
+    fn interrupted(&self) -> bool {
+        self.budget_exhausted()
     }
 }
 

@@ -7,52 +7,47 @@
 
 use std::io::{self, Read, Write};
 
-use spq_graph::binio;
+use spq_graph::binio::{self, IndexLoadError};
 use spq_graph::grid::VertexGrid;
 use spq_graph::RoadNetwork;
 
 use crate::ArcFlags;
 
 const MAGIC: &[u8; 4] = b"SPQF";
-const VERSION: u32 = 1;
+/// Version 2 wraps the payload in the checksummed container; version-1
+/// files predate it and are refused at load (rebuild to migrate).
+const VERSION: u32 = 2;
 
 impl ArcFlags {
-    /// Serialises the grid resolution and the per-arc flag words.
+    /// Serialises the grid resolution and the per-arc flag words inside
+    /// a checksummed container.
     pub fn write_binary(&self, w: &mut impl Write) -> io::Result<()> {
-        binio::write_header(w, MAGIC, VERSION)?;
-        binio::write_u64(w, self.grid.frame().g() as u64)?;
-        binio::write_u64s(w, &self.flags)?;
-        Ok(())
+        let mut body = Vec::new();
+        binio::write_u64(&mut body, self.grid.frame().g() as u64)?;
+        binio::write_u64s(&mut body, &self.flags)?;
+        binio::write_checksummed(w, MAGIC, VERSION, &body)
     }
 
     /// Deserialises an index written by [`ArcFlags::write_binary`],
     /// rebuilding the vertex grid over `net` (the same network the index
-    /// was built on).
-    pub fn read_binary(net: &RoadNetwork, r: &mut impl Read) -> io::Result<ArcFlags> {
-        let version = binio::read_header(r, MAGIC)?;
-        if version != VERSION {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unsupported Arc Flags format version {version}"),
-            ));
-        }
+    /// was built on). The checksum and shape invariants are verified
+    /// before the index is returned.
+    pub fn read_binary(net: &RoadNetwork, r: &mut impl Read) -> Result<ArcFlags, IndexLoadError> {
+        let body = binio::read_checksummed(r, MAGIC, VERSION)?;
+        let r = &mut &body[..];
         let g = binio::read_u64(r)?;
         if g == 0 || g * g > 64 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("grid resolution {g} does not fit the 64-bit flag word"),
-            ));
+            return Err(IndexLoadError::Corrupt(format!(
+                "grid resolution {g} does not fit the 64-bit flag word"
+            )));
         }
         let flags = binio::read_u64s(r)?;
         if flags.len() != net.num_arcs() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "{} flag words for a network with {} arcs",
-                    flags.len(),
-                    net.num_arcs()
-                ),
-            ));
+            return Err(IndexLoadError::Corrupt(format!(
+                "{} flag words for a network with {} arcs",
+                flags.len(),
+                net.num_arcs()
+            )));
         }
         Ok(ArcFlags {
             grid: VertexGrid::build(net, g as u32),

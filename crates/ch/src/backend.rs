@@ -9,7 +9,7 @@
 //! back to the default per-pair loop, which is cheaper than paying the
 //! bucket setup for a single row.
 
-use spq_graph::backend::{Backend, Session};
+use spq_graph::backend::{Backend, QueryBudget, Session};
 use spq_graph::types::{Dist, NodeId, INFINITY};
 use spq_graph::RoadNetwork;
 
@@ -68,6 +68,17 @@ impl Session for ChSession<'_> {
                 .into_iter()
                 .map(|d| if d >= INFINITY { None } else { Some(d) }),
         );
+    }
+
+    fn set_budget(&mut self, budget: QueryBudget) {
+        // The bucket-based many-to-many path is not cancellable (its
+        // work is bounded by the batch-size cap the server enforces);
+        // point-to-point queries poll the budget per settled vertex.
+        self.query.set_budget(budget);
+    }
+
+    fn interrupted(&self) -> bool {
+        self.query.budget_exhausted()
     }
 }
 

@@ -6,37 +6,37 @@
 
 use std::io::{self, Read, Write};
 
-use spq_graph::binio;
+use spq_graph::binio::{self, IndexLoadError};
 
 use crate::contraction::ContractionHierarchy;
 
 const MAGIC: &[u8; 4] = b"SPQC";
-const VERSION: u32 = 1;
+/// Version 2 wraps the payload in the checksummed container
+/// ([`binio::write_checksummed`]); version-1 files predate it and are
+/// refused at load (rebuild to migrate).
+const VERSION: u32 = 2;
 
 impl ContractionHierarchy {
-    /// Serialises the hierarchy (ranks + upward graph + shortcut tags).
+    /// Serialises the hierarchy (ranks + upward graph + shortcut tags)
+    /// inside a checksummed container.
     pub fn write_binary(&self, w: &mut impl Write) -> io::Result<()> {
-        binio::write_header(w, MAGIC, VERSION)?;
-        binio::write_u64(w, self.num_shortcuts() as u64)?;
+        let mut body = Vec::new();
+        binio::write_u64(&mut body, self.num_shortcuts() as u64)?;
         let (rank, up_first, up_head, up_weight, up_middle) = self.raw_parts();
-        binio::write_u32s(w, rank)?;
-        binio::write_u32s(w, up_first)?;
-        binio::write_u32s(w, up_head)?;
-        binio::write_u32s(w, up_weight)?;
-        binio::write_u32s(w, up_middle)?;
-        Ok(())
+        binio::write_u32s(&mut body, rank)?;
+        binio::write_u32s(&mut body, up_first)?;
+        binio::write_u32s(&mut body, up_head)?;
+        binio::write_u32s(&mut body, up_weight)?;
+        binio::write_u32s(&mut body, up_middle)?;
+        binio::write_checksummed(w, MAGIC, VERSION, &body)
     }
 
     /// Deserialises a hierarchy written by
-    /// [`ContractionHierarchy::write_binary`].
-    pub fn read_binary(r: &mut impl Read) -> io::Result<ContractionHierarchy> {
-        let version = binio::read_header(r, MAGIC)?;
-        if version != VERSION {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unsupported CH format version {version}"),
-            ));
-        }
+    /// [`ContractionHierarchy::write_binary`], verifying the checksum
+    /// and structural invariants before returning it.
+    pub fn read_binary(r: &mut impl Read) -> Result<ContractionHierarchy, IndexLoadError> {
+        let body = binio::read_checksummed(r, MAGIC, VERSION)?;
+        let r = &mut &body[..];
         let num_shortcuts = binio::read_u64(r)? as usize;
         let rank = binio::read_u32s(r)?;
         let up_first = binio::read_u32s(r)?;
@@ -51,7 +51,7 @@ impl ContractionHierarchy {
             up_middle,
             num_shortcuts,
         )
-        .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))
+        .map_err(IndexLoadError::Corrupt)
     }
 }
 
@@ -92,11 +92,41 @@ mod tests {
         let mut buf = Vec::new();
         ch.write_binary(&mut buf).unwrap();
         buf[1] ^= 0xff;
-        assert!(ContractionHierarchy::read_binary(&mut &buf[..]).is_err());
-        // Structurally inconsistent: drop the trailing section.
+        assert!(matches!(
+            ContractionHierarchy::read_binary(&mut &buf[..]),
+            Err(IndexLoadError::BadMagic { .. })
+        ));
+        // Truncation: drop the trailing section.
         let mut buf2 = Vec::new();
         ch.write_binary(&mut buf2).unwrap();
         buf2.truncate(buf2.len() - 9);
-        assert!(ContractionHierarchy::read_binary(&mut &buf2[..]).is_err());
+        assert!(matches!(
+            ContractionHierarchy::read_binary(&mut &buf2[..]),
+            Err(IndexLoadError::Truncated { .. })
+        ));
+        // A bit flip anywhere in the body trips the checksum.
+        let mut buf3 = Vec::new();
+        ch.write_binary(&mut buf3).unwrap();
+        let mid = buf3.len() / 2;
+        buf3[mid] ^= 0x04;
+        assert!(matches!(
+            ContractionHierarchy::read_binary(&mut &buf3[..]),
+            Err(IndexLoadError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_legacy_version_with_clear_message() {
+        // A pre-checksum (version 1) file: header + raw payload. It must
+        // be refused outright, never half-parsed.
+        let mut legacy = Vec::new();
+        spq_graph::binio::write_header(&mut legacy, b"SPQC", 1).unwrap();
+        spq_graph::binio::write_u64(&mut legacy, 0).unwrap();
+        let err = ContractionHierarchy::read_binary(&mut &legacy[..]).unwrap_err();
+        assert!(matches!(
+            err,
+            IndexLoadError::LegacyVersion { found: 1, .. }
+        ));
+        assert!(err.to_string().contains("rebuild"), "message: {err}");
     }
 }

@@ -1,5 +1,6 @@
 //! CH distance and shortest-path queries (paper §3.2).
 
+use spq_graph::backend::QueryBudget;
 use spq_graph::heap::IndexedHeap;
 use spq_graph::types::{Dist, NodeId, INFINITY, INVALID_NODE};
 
@@ -70,6 +71,7 @@ pub struct ChQuery<'a> {
     pub last_settled: usize,
     /// Scratch stack for shortcut unpacking.
     unpack_stack: Vec<(NodeId, NodeId, u32)>,
+    budget: QueryBudget,
 }
 
 impl<'a> ChQuery<'a> {
@@ -84,12 +86,25 @@ impl<'a> ChQuery<'a> {
             stall_on_demand: true,
             last_settled: 0,
             unpack_stack: Vec::new(),
+            budget: QueryBudget::unlimited(),
         }
     }
 
     /// The hierarchy this workspace queries.
     pub fn hierarchy(&self) -> &'a ContractionHierarchy {
         self.ch
+    }
+
+    /// Installs the cancellation budget subsequent queries run under
+    /// (one charge per settled vertex). The default is unlimited.
+    pub fn set_budget(&mut self, budget: QueryBudget) {
+        self.budget = budget;
+    }
+
+    /// Whether a query since the last [`ChQuery::set_budget`] was cut
+    /// short by the budget (its `None` is an abort, not "unreachable").
+    pub fn budget_exhausted(&self) -> bool {
+        self.budget.exhausted()
     }
 
     /// Distance query (§2): length of the shortest s–t path.
@@ -196,6 +211,9 @@ impl<'a> ChQuery<'a> {
             } else {
                 (&mut self.bwd, &mut self.fwd)
             };
+            if !self.budget.charge() {
+                return None;
+            }
             let Some((d, u)) = this.heap.pop_min() else {
                 break;
             };

@@ -26,7 +26,7 @@ use spq_graph::size::IndexSize;
 use spq_graph::RoadNetwork;
 use spq_serve::loadgen::{run_in_process, write_csv, LoadgenOptions, ThroughputRow};
 use spq_serve::server::{install_signal_handlers, Server, ServerConfig};
-use spq_serve::{BackendKind, Engine};
+use spq_serve::{BackendKind, BackendSpec, Engine};
 use spq_synth::{SynthParams, DATASETS};
 
 fn main() -> ExitCode {
@@ -66,7 +66,8 @@ fn print_usage() {
          \x20 query --net P --from S --to T [--technique T] [--ch F.ch] [--path]\n\
          \x20 verify --net P [--samples N]           certify all techniques\n\
          \x20 serve (--net P | --target N) [--addr A] [--backends L] [--workers N]\n\
-         \x20       [--cache N]                      run the TCP query server\n\
+         \x20       [--cache N] [--index kind=path]* [--no-degrade] [--grace-ms N]\n\
+         \x20       [--max-pending N]                run the TCP query server\n\
          \x20 loadgen (--net P | --target N) [--backends L] [--concurrency L]\n\
          \x20         [--duration S] [--out F]       measure serving throughput\n\n\
          serve/loadgen backends: dijkstra,ch,tnr,silc,pcpd,alt,arcflags (or 'all');\n\
@@ -84,6 +85,16 @@ fn opt<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
 
 fn flag(args: &[String], key: &str) -> bool {
     args.iter().any(|a| a == key)
+}
+
+/// Extracts every `--key value` occurrence (for repeatable flags).
+fn opt_all<'a>(args: &'a [String], key: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == key)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(|s| s.as_str())
+        .collect()
 }
 
 fn required<'a>(args: &'a [String], key: &str) -> Result<&'a str, String> {
@@ -306,7 +317,31 @@ fn serve(args: &[String]) -> Result<(), String> {
         net.num_nodes(),
         net.num_edges()
     );
-    let engine = Engine::build(net, &serve_backends(args)?);
+
+    // Backend specs: --backends names the set, each repeatable
+    // `--index kind=path` loads that backend from a persisted index
+    // instead of building it (and adds the kind if it was not listed).
+    let mut specs: Vec<BackendSpec> = serve_backends(args)?
+        .into_iter()
+        .map(BackendSpec::built)
+        .collect();
+    for raw in opt_all(args, "--index") {
+        let spec = BackendSpec::parse(raw)?;
+        match specs.iter_mut().find(|s| s.kind == spec.kind) {
+            Some(existing) => *existing = spec,
+            None => specs.push(spec),
+        }
+    }
+    let degrade = !flag(args, "--no-degrade");
+    let engine = Engine::build_with_indexes(net, &specs, degrade)?;
+    for d in engine.degradations() {
+        eprintln!(
+            "WARNING: serving {} via {} ({})",
+            d.requested.name(),
+            d.served_by.name(),
+            d.reason
+        );
+    }
     // The startup gate: refuse to serve from an index that disagrees
     // with the Dijkstra oracle (returning Err exits non-zero).
     engine
@@ -330,6 +365,17 @@ fn serve(args: &[String]) -> Result<(), String> {
         cfg.cache_capacity = c
             .parse()
             .map_err(|_| "--cache must be an integer".to_string())?;
+    }
+    if let Some(g) = opt(args, "--grace-ms") {
+        cfg.grace = Duration::from_millis(
+            g.parse()
+                .map_err(|_| "--grace-ms must be an integer".to_string())?,
+        );
+    }
+    if let Some(p) = opt(args, "--max-pending") {
+        cfg.max_pending = p
+            .parse()
+            .map_err(|_| "--max-pending must be an integer".to_string())?;
     }
     install_signal_handlers();
     let server = Server::start(Arc::new(engine), &cfg).map_err(|e| format!("bind: {e}"))?;
@@ -373,20 +419,27 @@ fn loadgen(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|_| "--seed must be an integer".to_string())?;
     }
-    let (rows, stats) = run_in_process(net, &opts)?;
+    let (report, stats) = run_in_process(net, &opts)?;
     eprintln!("--- final server stats ---\n{stats}");
 
     let out = opt(args, "--out").unwrap_or("results/serve_throughput.csv");
-    write_csv(&rows, std::path::Path::new(out)).map_err(|e| format!("cannot write {out}: {e}"))?;
+    write_csv(&report.rows, std::path::Path::new(out))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("{}", ThroughputRow::CSV_HEADER);
-    for row in &rows {
+    for row in &report.rows {
         println!("{}", row.to_csv());
     }
-    let mismatches: usize = rows.iter().map(|r| r.mismatches).sum();
+    if let Some(e) = &report.error {
+        return Err(format!(
+            "sweep died mid-run ({} partial row(s) written): {e}",
+            report.rows.len()
+        ));
+    }
+    let mismatches = report.mismatches();
     if mismatches > 0 {
         return Err(format!("{mismatches} answer(s) disagreed with the oracle"));
     }
-    if rows.iter().any(|r| r.requests == 0) {
+    if report.rows.iter().any(|r| r.requests == 0) {
         return Err("a run completed zero requests".into());
     }
     println!("wrote {out}");

@@ -4,7 +4,7 @@
 //! unit struct; each session owns one [`BiDijkstra`] workspace sized for
 //! the network, reused across every query the worker serves.
 
-use spq_graph::backend::{Backend, Session};
+use spq_graph::backend::{Backend, QueryBudget, Session};
 use spq_graph::types::{Dist, NodeId};
 use spq_graph::RoadNetwork;
 
@@ -39,6 +39,14 @@ impl Session for BaselineSession<'_> {
 
     fn shortest_path(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
         self.search.shortest_path(self.net, s, t)
+    }
+
+    fn set_budget(&mut self, budget: QueryBudget) {
+        self.search.set_budget(budget);
+    }
+
+    fn interrupted(&self) -> bool {
+        self.search.budget_exhausted()
     }
 }
 

@@ -1,5 +1,6 @@
 //! The bidirectional Dijkstra baseline (paper §3.1).
 
+use spq_graph::backend::QueryBudget;
 use spq_graph::heap::IndexedHeap;
 use spq_graph::types::{Dist, NodeId, INFINITY, INVALID_NODE};
 use spq_graph::RoadNetwork;
@@ -52,6 +53,7 @@ pub struct BiDijkstra {
     fwd: Side,
     bwd: Side,
     version: u32,
+    budget: QueryBudget,
     /// Statistics of the most recent query (both directions combined).
     pub stats: SearchStats,
 }
@@ -63,8 +65,21 @@ impl BiDijkstra {
             fwd: Side::new(n),
             bwd: Side::new(n),
             version: 0,
+            budget: QueryBudget::unlimited(),
             stats: SearchStats::default(),
         }
+    }
+
+    /// Installs the cancellation budget subsequent queries run under
+    /// (one charge per settled vertex). The default is unlimited.
+    pub fn set_budget(&mut self, budget: QueryBudget) {
+        self.budget = budget;
+    }
+
+    /// Whether a query since the last [`BiDijkstra::set_budget`] was cut
+    /// short by the budget (its `None` is an abort, not "unreachable").
+    pub fn budget_exhausted(&self) -> bool {
+        self.budget.exhausted()
     }
 
     /// Length of the shortest s–t path, or `None` when unreachable
@@ -148,6 +163,9 @@ impl BiDijkstra {
             } else {
                 (&mut self.bwd, &mut self.fwd)
             };
+            if !self.budget.charge() {
+                return None;
+            }
             let (d, u) = this.heap.pop_min().expect("side chosen non-empty");
             this.settled_stamp[u as usize] = version;
             self.stats.settled += 1;

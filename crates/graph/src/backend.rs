@@ -18,8 +18,124 @@
 //! that indexes with a native many-to-many algorithm override — CH
 //! routes dense batches to its bucket-based table computation.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
 use crate::csr::RoadNetwork;
 use crate::types::{Dist, NodeId};
+
+/// How often (in charge units) the budget re-checks its wall-clock
+/// deadline and kill flag. Checking `Instant::now()` per settled node
+/// would dominate small queries; every 1024 nodes is ≪ 1 ms of search
+/// work on any technique in the workspace.
+const POLL_MASK: u64 = 0x3ff;
+
+/// A cooperative cancellation budget for one query.
+///
+/// Search loops call [`QueryBudget::charge`] once per unit of work
+/// (conventionally: per settled/expanded node) and abandon the query
+/// when it returns `false`. Three independent limits can trip it:
+///
+/// * a **node cap** — hard upper bound on charge units, so a query on a
+///   corrupted or adversarial index terminates even if the clock never
+///   advances;
+/// * a **deadline** — wall-clock instant, polled every [`POLL_MASK`]+1
+///   charges to keep the hot path free of syscalls;
+/// * a **kill flag** — a shared [`AtomicBool`] a server can set to
+///   abort all in-flight queries at once (forced shutdown).
+///
+/// The default budget is [`QueryBudget::unlimited`], whose `charge` is
+/// an increment and one predictable branch — workspaces embed a budget
+/// unconditionally and non-serving callers never notice it.
+#[derive(Clone, Debug, Default)]
+pub struct QueryBudget {
+    node_cap: Option<u64>,
+    deadline: Option<Instant>,
+    kill: Option<Arc<AtomicBool>>,
+    spent: u64,
+    tripped: bool,
+}
+
+impl QueryBudget {
+    /// A budget that never trips.
+    pub fn unlimited() -> Self {
+        QueryBudget::default()
+    }
+
+    /// Caps the number of charge units (settled nodes).
+    pub fn with_node_cap(mut self, cap: u64) -> Self {
+        self.node_cap = Some(cap);
+        self
+    }
+
+    /// Sets a wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a shared kill flag; when another thread sets it, the
+    /// next poll aborts the query.
+    pub fn with_kill_flag(mut self, kill: Arc<AtomicBool>) -> Self {
+        self.kill = Some(kill);
+        self
+    }
+
+    /// Restarts the budget for a fresh query, keeping its limits.
+    pub fn reset(&mut self) {
+        self.spent = 0;
+        self.tripped = false;
+    }
+
+    /// Records one unit of work. Returns `false` once the budget is
+    /// exhausted; the caller must then abandon the query.
+    #[inline]
+    pub fn charge(&mut self) -> bool {
+        if self.tripped {
+            return false;
+        }
+        self.spent += 1;
+        if let Some(cap) = self.node_cap {
+            if self.spent > cap {
+                self.tripped = true;
+                return false;
+            }
+        }
+        if self.spent & POLL_MASK == 0 {
+            return self.poll();
+        }
+        true
+    }
+
+    /// The slow-path check: deadline and kill flag.
+    #[cold]
+    fn poll(&mut self) -> bool {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.tripped = true;
+                return false;
+            }
+        }
+        if let Some(kill) = &self.kill {
+            if kill.load(Ordering::Relaxed) {
+                self.tripped = true;
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether the budget has tripped (the last query was cut short).
+    pub fn exhausted(&self) -> bool {
+        self.tripped
+    }
+
+    /// Charge units consumed since the last [`QueryBudget::reset`].
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+}
 
 /// A preprocessed index that can answer queries over one road network.
 ///
@@ -63,6 +179,20 @@ pub trait Session {
             }
         }
     }
+
+    /// Installs the budget the next queries run under. The default does
+    /// nothing — a workspace that ignores budgets simply cannot be
+    /// cancelled (and [`Session::interrupted`] stays `false`, so its
+    /// `None` answers keep meaning "unreachable").
+    fn set_budget(&mut self, _budget: QueryBudget) {}
+
+    /// Whether the most recent query was cut short by its budget rather
+    /// than answered. Servers use this to distinguish a genuine
+    /// "unreachable" from a deadline abort — an interrupted `None` must
+    /// never be cached or reported as a distance.
+    fn interrupted(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]
@@ -103,6 +233,64 @@ mod tests {
             let d = self.distance(s, t)?;
             Some((d, if s == t { vec![s] } else { vec![s, t] }))
         }
+    }
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let mut b = QueryBudget::unlimited();
+        for _ in 0..10_000 {
+            assert!(b.charge());
+        }
+        assert!(!b.exhausted());
+        assert_eq!(b.spent(), 10_000);
+    }
+
+    #[test]
+    fn node_cap_trips_exactly_and_resets() {
+        let mut b = QueryBudget::unlimited().with_node_cap(5);
+        for _ in 0..5 {
+            assert!(b.charge());
+        }
+        assert!(!b.charge(), "sixth unit must trip the cap");
+        assert!(b.exhausted());
+        assert!(!b.charge(), "a tripped budget stays tripped");
+        b.reset();
+        assert!(!b.exhausted());
+        assert!(b.charge());
+    }
+
+    #[test]
+    fn past_deadline_trips_at_next_poll() {
+        let mut b = QueryBudget::unlimited().with_deadline(Instant::now());
+        // The deadline is polled every POLL_MASK + 1 charges; an
+        // already-expired deadline must trip within one poll window.
+        let mut tripped = false;
+        for _ in 0..=POLL_MASK {
+            if !b.charge() {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped);
+        assert!(b.exhausted());
+    }
+
+    #[test]
+    fn kill_flag_aborts_from_another_thread() {
+        let kill = Arc::new(AtomicBool::new(false));
+        let mut b = QueryBudget::unlimited().with_kill_flag(kill.clone());
+        for _ in 0..2048 {
+            assert!(b.charge());
+        }
+        kill.store(true, Ordering::Relaxed);
+        let mut tripped = false;
+        for _ in 0..=POLL_MASK {
+            if !b.charge() {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped);
     }
 
     #[test]

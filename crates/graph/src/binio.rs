@@ -6,7 +6,265 @@
 //! integer slices) that [`crate::persist`] and `spq-ch` build their
 //! on-disk formats from.
 
+use std::error::Error;
+use std::fmt;
 use std::io::{self, Read, Write};
+
+// ---------------------------------------------------------------------------
+// XXH64 — hand-rolled (the workspace vendors no hashing crate). This is
+// the reference 64-bit xxHash algorithm; it exists so index files carry
+// a fast integrity checksum, not for cryptographic purposes.
+
+const PRIME64_1: u64 = 0x9E37_79B1_85EB_CA87;
+const PRIME64_2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const PRIME64_3: u64 = 0x1656_67B1_9E37_79F9;
+const PRIME64_4: u64 = 0x85EB_CA77_C2B2_AE63;
+const PRIME64_5: u64 = 0x27D4_EB2F_1656_67C5;
+
+#[inline]
+fn xx_round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(PRIME64_2))
+        .rotate_left(31)
+        .wrapping_mul(PRIME64_1)
+}
+
+#[inline]
+fn xx_merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ xx_round(0, val))
+        .wrapping_mul(PRIME64_1)
+        .wrapping_add(PRIME64_4)
+}
+
+#[inline]
+fn read_le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().unwrap())
+}
+
+/// One-shot XXH64 of `data` with the given seed.
+pub fn xxhash64(data: &[u8], seed: u64) -> u64 {
+    let len = data.len() as u64;
+    let mut rest = data;
+    let mut h: u64;
+    if rest.len() >= 32 {
+        let mut v1 = seed.wrapping_add(PRIME64_1).wrapping_add(PRIME64_2);
+        let mut v2 = seed.wrapping_add(PRIME64_2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(PRIME64_1);
+        while rest.len() >= 32 {
+            v1 = xx_round(v1, read_le_u64(&rest[0..]));
+            v2 = xx_round(v2, read_le_u64(&rest[8..]));
+            v3 = xx_round(v3, read_le_u64(&rest[16..]));
+            v4 = xx_round(v4, read_le_u64(&rest[24..]));
+            rest = &rest[32..];
+        }
+        h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = xx_merge_round(h, v1);
+        h = xx_merge_round(h, v2);
+        h = xx_merge_round(h, v3);
+        h = xx_merge_round(h, v4);
+    } else {
+        h = seed.wrapping_add(PRIME64_5);
+    }
+    h = h.wrapping_add(len);
+    while rest.len() >= 8 {
+        h ^= xx_round(0, read_le_u64(rest));
+        h = h
+            .rotate_left(27)
+            .wrapping_mul(PRIME64_1)
+            .wrapping_add(PRIME64_4);
+        rest = &rest[8..];
+    }
+    if rest.len() >= 4 {
+        let w = u32::from_le_bytes(rest[..4].try_into().unwrap()) as u64;
+        h ^= w.wrapping_mul(PRIME64_1);
+        h = h
+            .rotate_left(23)
+            .wrapping_mul(PRIME64_2)
+            .wrapping_add(PRIME64_3);
+        rest = &rest[4..];
+    }
+    for &b in rest {
+        h ^= (b as u64).wrapping_mul(PRIME64_5);
+        h = h.rotate_left(11).wrapping_mul(PRIME64_1);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(PRIME64_2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(PRIME64_3);
+    h ^= h >> 32;
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Typed load errors + the checksummed container.
+
+/// Why loading a persisted index failed. Callers that fall back to
+/// rebuilding (the serving engine's degradation chain) match on this to
+/// distinguish "wrong file" from "damaged file" from "old file".
+#[derive(Debug)]
+pub enum IndexLoadError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// The file does not start with this format's magic bytes.
+    BadMagic { expected: [u8; 4], got: [u8; 4] },
+    /// The file predates the checksummed container (format version 1).
+    /// Such files carry no integrity information and are refused rather
+    /// than risk misreading them; rebuild the index to migrate.
+    LegacyVersion { found: u32, supported: u32 },
+    /// The file claims a format version newer than this build supports.
+    UnsupportedVersion { found: u32, supported: u32 },
+    /// The file ends before the declared body length.
+    Truncated { expected: u64, got: u64 },
+    /// The body bytes do not hash to the stored checksum.
+    ChecksumMismatch { expected: u64, got: u64 },
+    /// The checksum matched but the decoded structure is inconsistent
+    /// (impossible with an honest writer; indicates a forged or buggy
+    /// producer).
+    Corrupt(String),
+}
+
+impl fmt::Display for IndexLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexLoadError::Io(e) => write!(f, "i/o error: {e}"),
+            IndexLoadError::BadMagic { expected, got } => write!(
+                f,
+                "bad magic: expected {:?}, got {:?} — not a {} index file",
+                expected,
+                got,
+                String::from_utf8_lossy(expected)
+            ),
+            IndexLoadError::LegacyVersion { found, supported } => write!(
+                f,
+                "legacy format version {found} (this build reads version {supported}): \
+                 pre-checksum files carry no integrity data and are refused — \
+                 rebuild the index to migrate"
+            ),
+            IndexLoadError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported format version {found} (this build reads version {supported})"
+            ),
+            IndexLoadError::Truncated { expected, got } => {
+                write!(
+                    f,
+                    "truncated: body declares {expected} bytes, only {got} present"
+                )
+            }
+            IndexLoadError::ChecksumMismatch { expected, got } => write!(
+                f,
+                "checksum mismatch: stored {expected:#018x}, computed {got:#018x} — \
+                 the file is corrupted"
+            ),
+            IndexLoadError::Corrupt(msg) => write!(f, "corrupt index: {msg}"),
+        }
+    }
+}
+
+impl Error for IndexLoadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IndexLoadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for IndexLoadError {
+    fn from(e: io::Error) -> Self {
+        IndexLoadError::Io(e)
+    }
+}
+
+/// Hard cap on a container body: no index in this workspace comes close
+/// to 128 GiB, so a larger declared length is a corrupt header, not a
+/// big file.
+const MAX_BODY_LEN: u64 = 1 << 37;
+
+/// Writes a checksummed container:
+/// `magic(4) · version(4, LE) · body_len(8, LE) · xxh64(body)(8, LE) · body`.
+///
+/// The body is serialised up front by the caller so the checksum covers
+/// every byte that will be parsed at load time.
+pub fn write_checksummed(
+    w: &mut impl Write,
+    magic: &[u8; 4],
+    version: u32,
+    body: &[u8],
+) -> io::Result<()> {
+    write_header(w, magic, version)?;
+    write_u64(w, body.len() as u64)?;
+    write_u64(w, xxhash64(body, version as u64))?;
+    w.write_all(body)
+}
+
+/// Reads and fully validates a checksummed container, returning the
+/// verified body. Rejects wrong magic, legacy (version 1) files, future
+/// versions, truncation, and checksum mismatches — each as its own
+/// [`IndexLoadError`] variant so callers can log a precise reason
+/// before degrading.
+pub fn read_checksummed(
+    r: &mut impl Read,
+    magic: &[u8; 4],
+    version: u32,
+) -> Result<Vec<u8>, IndexLoadError> {
+    let mut got_magic = [0u8; 4];
+    r.read_exact(&mut got_magic)?;
+    if &got_magic != magic {
+        return Err(IndexLoadError::BadMagic {
+            expected: *magic,
+            got: got_magic,
+        });
+    }
+    let mut v = [0u8; 4];
+    r.read_exact(&mut v)?;
+    let found = u32::from_le_bytes(v);
+    if found < version {
+        return Err(IndexLoadError::LegacyVersion {
+            found,
+            supported: version,
+        });
+    }
+    if found > version {
+        return Err(IndexLoadError::UnsupportedVersion {
+            found,
+            supported: version,
+        });
+    }
+    let body_len = read_u64(r)?;
+    if body_len > MAX_BODY_LEN {
+        return Err(IndexLoadError::Corrupt(format!(
+            "implausible body length {body_len}"
+        )));
+    }
+    let stored = read_u64(r)?;
+    let mut body = vec![0u8; body_len as usize];
+    let mut filled = 0usize;
+    while filled < body.len() {
+        match r.read(&mut body[filled..]) {
+            Ok(0) => {
+                return Err(IndexLoadError::Truncated {
+                    expected: body_len,
+                    got: filled as u64,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(IndexLoadError::Io(e)),
+        }
+    }
+    let computed = xxhash64(&body, version as u64);
+    if computed != stored {
+        return Err(IndexLoadError::ChecksumMismatch {
+            expected: stored,
+            got: computed,
+        });
+    }
+    Ok(body)
+}
 
 /// Writes the 8-byte header: 4 magic bytes + u32 version.
 pub fn write_header(w: &mut impl Write, magic: &[u8; 4], version: u32) -> io::Result<()> {
@@ -145,6 +403,98 @@ pub fn read_i32s(r: &mut impl Read) -> io::Result<Vec<i32>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn xxhash64_matches_reference_vectors() {
+        // Published XXH64 digests (xxHash reference implementation).
+        assert_eq!(xxhash64(b"", 0), 0xEF46_DB37_51D8_E999);
+        assert_eq!(xxhash64(b"a", 0), 0xD24E_C4F1_A98C_6E5B);
+        assert_eq!(xxhash64(b"abc", 0), 0x44BC_2CF5_AD77_0999);
+        // 39 bytes: exercises the 32-byte stripe loop + tail.
+        assert_eq!(
+            xxhash64(b"Nobody inspects the spammish repetition", 0),
+            0xFBCE_A83C_8A37_8BF1
+        );
+    }
+
+    #[test]
+    fn xxhash64_is_seed_and_content_sensitive() {
+        let data: Vec<u8> = (0u32..1000).flat_map(|x| x.to_le_bytes()).collect();
+        let h = xxhash64(&data, 0);
+        assert_ne!(h, xxhash64(&data, 1), "seed must matter");
+        let mut flipped = data.clone();
+        flipped[1234] ^= 0x40;
+        assert_ne!(h, xxhash64(&flipped, 0), "single bit flip must matter");
+        assert_eq!(h, xxhash64(&data, 0), "hash must be deterministic");
+    }
+
+    #[test]
+    fn checksummed_container_roundtrip() {
+        let body: Vec<u8> = (0u8..=255).cycle().take(5000).collect();
+        let mut buf = Vec::new();
+        write_checksummed(&mut buf, b"SPQX", 2, &body).unwrap();
+        let back = read_checksummed(&mut &buf[..], b"SPQX", 2).unwrap();
+        assert_eq!(back, body);
+    }
+
+    #[test]
+    fn checksummed_container_rejects_every_tamper_mode() {
+        let body = b"forty-two bytes of thoroughly honest body data".to_vec();
+        let mut buf = Vec::new();
+        write_checksummed(&mut buf, b"SPQX", 2, &body).unwrap();
+
+        // Wrong magic.
+        assert!(matches!(
+            read_checksummed(&mut &buf[..], b"OTHR", 2),
+            Err(IndexLoadError::BadMagic { .. })
+        ));
+
+        // Legacy version (files written before the container existed).
+        let mut legacy = Vec::new();
+        write_header(&mut legacy, b"SPQX", 1).unwrap();
+        legacy.extend_from_slice(&body);
+        assert!(matches!(
+            read_checksummed(&mut &legacy[..], b"SPQX", 2),
+            Err(IndexLoadError::LegacyVersion { found: 1, .. })
+        ));
+
+        // Future version.
+        let mut future = buf.clone();
+        future[4..8].copy_from_slice(&3u32.to_le_bytes());
+        assert!(matches!(
+            read_checksummed(&mut &future[..], b"SPQX", 2),
+            Err(IndexLoadError::UnsupportedVersion { found: 3, .. })
+        ));
+
+        // Truncation anywhere in the body.
+        let mut short = buf.clone();
+        short.truncate(buf.len() - 7);
+        assert!(matches!(
+            read_checksummed(&mut &short[..], b"SPQX", 2),
+            Err(IndexLoadError::Truncated { .. })
+        ));
+
+        // Any single bit flip in the body.
+        for byte in [24usize, buf.len() - 1] {
+            let mut flipped = buf.clone();
+            flipped[byte] ^= 0x01;
+            assert!(matches!(
+                read_checksummed(&mut &flipped[..], b"SPQX", 2),
+                Err(IndexLoadError::ChecksumMismatch { .. })
+            ));
+        }
+
+        // Implausible declared body length.
+        let mut huge = buf.clone();
+        huge[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            read_checksummed(&mut &huge[..], b"SPQX", 2),
+            Err(IndexLoadError::Corrupt(_))
+        ));
+
+        // And the untampered original still reads fine.
+        assert_eq!(read_checksummed(&mut &buf[..], b"SPQX", 2).unwrap(), body);
+    }
 
     #[test]
     fn header_roundtrip_and_mismatch() {

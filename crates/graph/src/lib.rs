@@ -57,7 +57,7 @@ pub mod toy;
 pub mod types;
 pub mod unionfind;
 
-pub use backend::{Backend, Session};
+pub use backend::{Backend, QueryBudget, Session};
 pub use builder::GraphBuilder;
 pub use csr::RoadNetwork;
 pub use error::GraphError;

@@ -1,5 +1,6 @@
 //! PCPD query processing: recursive decomposition at ψ (paper §3.5).
 
+use spq_graph::backend::QueryBudget;
 use spq_graph::types::{Dist, NodeId};
 use spq_graph::RoadNetwork;
 
@@ -18,6 +19,10 @@ pub struct PcpdQuery<'a> {
     pcpd: &'a Pcpd,
     net: &'a RoadNetwork,
     stack: Vec<Item>,
+    /// Budget charged once per ψ lookup. Besides deadlines, this bounds
+    /// the decomposition on a defective index (whose recursion would
+    /// otherwise never bottom out).
+    budget: QueryBudget,
     /// Pair lookups performed by the most recent query (the paper's
     /// O(k) bound).
     pub last_lookups: usize,
@@ -30,8 +35,21 @@ impl<'a> PcpdQuery<'a> {
             pcpd,
             net,
             stack: Vec::new(),
+            budget: QueryBudget::unlimited(),
             last_lookups: 0,
         }
+    }
+
+    /// Installs the cancellation budget subsequent queries run under
+    /// (one charge per ψ lookup). The default is unlimited.
+    pub fn set_budget(&mut self, budget: QueryBudget) {
+        self.budget = budget;
+    }
+
+    /// Whether a query since the last [`PcpdQuery::set_budget`] was cut
+    /// short by the budget (its `None` is an abort, not "unreachable").
+    pub fn budget_exhausted(&self) -> bool {
+        self.budget.exhausted()
     }
 
     /// Shortest-path query (§2): O(k) pair lookups.
@@ -50,6 +68,9 @@ impl<'a> PcpdQuery<'a> {
                 Item::Seg(a, b) => {
                     if a == b {
                         continue;
+                    }
+                    if !self.budget.charge() {
+                        return None;
                     }
                     self.last_lookups += 1;
                     match self.pcpd.lookup(a, b) {
@@ -103,6 +124,14 @@ impl spq_graph::backend::Session for PcpdQuery<'_> {
 
     fn shortest_path(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
         PcpdQuery::shortest_path(self, s, t)
+    }
+
+    fn set_budget(&mut self, budget: QueryBudget) {
+        PcpdQuery::set_budget(self, budget);
+    }
+
+    fn interrupted(&self) -> bool {
+        self.budget_exhausted()
     }
 }
 

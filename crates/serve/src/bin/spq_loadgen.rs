@@ -4,8 +4,10 @@
 //! `results/serve_throughput.csv`.
 //!
 //! Exits non-zero when the startup self-check fails, when any verified
-//! answer disagrees with the Dijkstra oracle, or when a run completes
-//! zero requests.
+//! answer disagrees with the Dijkstra oracle, when a run completes zero
+//! requests, or when the server dies mid-run — in which case the
+//! partial rows collected so far are still written and printed, clearly
+//! marked as incomplete.
 
 use std::fs::File;
 use std::io::BufReader;
@@ -14,7 +16,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use spq_graph::RoadNetwork;
-use spq_serve::loadgen::{run_in_process, write_csv, LoadgenOptions, ThroughputRow};
+use spq_serve::loadgen::{run_in_process, write_csv, LoadgenOptions, LoadgenReport, ThroughputRow};
 use spq_serve::BackendKind;
 use spq_synth::SynthParams;
 
@@ -34,6 +36,8 @@ OPTIONS:
     --concurrency <list>   comma-separated client-thread counts (default '1,4')
     --duration <secs>      seconds per timed run, fractions allowed (default 3)
     --per-set <n>          query pairs drawn per Q-set (default 200)
+    --deadline-ms <n>      per-request deadline in milliseconds (default 0: none)
+    --retries <n>          client retries for BUSY/connection loss (default 3)
     --out <path>           CSV output path (default results/serve_throughput.csv)
     --help                 print this help
 ";
@@ -100,10 +104,16 @@ fn options(args: &[String]) -> Result<LoadgenOptions, String> {
     if let Some(s) = opt(args, "--seed") {
         opts.seed = parse(&s, "--seed")?;
     }
+    if let Some(s) = opt(args, "--deadline-ms") {
+        opts.deadline_ms = parse(&s, "--deadline-ms")?;
+    }
+    if let Some(s) = opt(args, "--retries") {
+        opts.retry.max_retries = parse(&s, "--retries")?;
+    }
     Ok(opts)
 }
 
-fn run(args: &[String]) -> Result<Vec<ThroughputRow>, String> {
+fn run(args: &[String]) -> Result<LoadgenReport, String> {
     let net = build_network(args)?;
     eprintln!(
         "[loadgen] network: {} vertices, {} edges",
@@ -111,20 +121,20 @@ fn run(args: &[String]) -> Result<Vec<ThroughputRow>, String> {
         net.num_edges()
     );
     let opts = options(args)?;
-    let (rows, stats) = run_in_process(net, &opts)?;
+    let (report, stats) = run_in_process(net, &opts)?;
     eprintln!("--- final server stats ---\n{stats}");
 
     let out = opt(args, "--out")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results/serve_throughput.csv"));
-    write_csv(&rows, &out).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    write_csv(&report.rows, &out).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
     eprintln!("[loadgen] wrote {}", out.display());
 
     println!("{}", ThroughputRow::CSV_HEADER);
-    for row in &rows {
+    for row in &report.rows {
         println!("{}", row.to_csv());
     }
-    Ok(rows)
+    Ok(report)
 }
 
 fn main() -> ExitCode {
@@ -134,10 +144,16 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     match run(&args) {
-        Ok(rows) => {
-            let mismatches: usize = rows.iter().map(|r| r.mismatches).sum();
-            let stalled = rows.iter().filter(|r| r.requests == 0).count();
-            if mismatches > 0 {
+        Ok(report) => {
+            let mismatches = report.mismatches();
+            let stalled = report.rows.iter().filter(|r| r.requests == 0).count();
+            if let Some(e) = &report.error {
+                eprintln!(
+                    "[loadgen] FAILED (partial report, {} row(s)): {e}",
+                    report.rows.len()
+                );
+                ExitCode::FAILURE
+            } else if mismatches > 0 {
                 eprintln!("[loadgen] FAILED: {mismatches} answer(s) disagreed with the oracle");
                 ExitCode::FAILURE
             } else if stalled > 0 {

@@ -313,6 +313,62 @@ mod tests {
     }
 
     #[test]
+    fn capacity_below_shard_count_still_caches() {
+        // 2 requested entries over 8 shards: every shard must get at
+        // least one slot (a zero-capacity shard would silently drop
+        // whatever hashes into it), so the effective capacity rounds up.
+        let cache = DistanceCache::new(2, 8);
+        assert_eq!(cache.stats().capacity, 8);
+        for k in 0..32u32 {
+            cache.insert(0, k, k, Some(k as Dist));
+        }
+        let s = cache.stats();
+        assert_eq!(s.insertions, 32);
+        assert!(s.len >= 1, "something must be resident");
+        assert!(
+            s.len <= s.capacity,
+            "len {} > capacity {}",
+            s.len,
+            s.capacity
+        );
+        // Residency + evictions accounts for every insertion exactly.
+        assert_eq!(s.evictions + s.len as u64, s.insertions);
+    }
+
+    #[test]
+    fn concurrent_evictions_account_exactly() {
+        // Tiny shards under concurrent write pressure: whatever
+        // interleaving happens, every insertion either remains resident
+        // or was evicted — the counters must balance to the entry.
+        let cache = DistanceCache::new(8, 4);
+        std::thread::scope(|scope| {
+            for worker in 0..4u32 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for round in 0..1_000u32 {
+                        let k = worker * 1_000 + round;
+                        cache.insert(0, k, k, Some(k as Dist));
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.insertions, 4_000);
+        assert!(s.len <= s.capacity);
+        assert_eq!(
+            s.evictions + s.len as u64,
+            s.insertions,
+            "evictions {} + len {} != insertions {}",
+            s.evictions,
+            s.len,
+            s.insertions
+        );
+        // Distinct keys only, so nothing was an in-place refresh and
+        // the cache must be full after 4000 inserts into 8 slots.
+        assert_eq!(s.len, s.capacity);
+    }
+
+    #[test]
     fn concurrent_readers_and_writers_stay_consistent() {
         // Values are derived from the key, so any torn or misfiled entry
         // is detectable by every thread.

@@ -3,14 +3,27 @@
 //! One client owns one connection; it is deliberately not thread-safe
 //! (the protocol is strictly request/response per connection) — spawn
 //! one client per load-generator thread instead.
+//!
+//! Server push-back is surfaced as typed errors: [`ClientError::Busy`]
+//! (shed at the accept queue), [`ClientError::DeadlineExceeded`] (the
+//! request's own deadline tripped), [`ClientError::IndexInvalid`]. Busy
+//! and transport errors are transient by construction, which is what
+//! [`RetryingClient`] automates: capped exponential backoff with full
+//! jitter from a seeded PRNG, reconnecting on connection loss, with an
+//! exact count of the retries it spent.
 
 use std::fmt;
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use spq_graph::types::{Dist, NodeId};
 
-use crate::protocol::{read_frame, write_frame, Cursor, Request, STATUS_OK, UNREACHABLE};
+use crate::protocol::{
+    read_frame, write_frame, Cursor, Request, STATUS_BUSY, STATUS_DEADLINE_EXCEEDED,
+    STATUS_INDEX_INVALID, STATUS_OK, UNREACHABLE,
+};
 use crate::BackendKind;
 
 /// Client-side failure.
@@ -18,10 +31,25 @@ use crate::BackendKind;
 pub enum ClientError {
     /// Transport failure.
     Io(io::Error),
-    /// The server answered with an error status (request-level).
+    /// The server answered with a generic error status (request-level).
     Remote(String),
+    /// The server shed this connection at the overload high-water mark.
+    Busy(String),
+    /// The request's deadline tripped before the query finished.
+    DeadlineExceeded(String),
+    /// The server reported an invalid/unusable index for this backend.
+    IndexInvalid(String),
     /// The response payload did not parse.
     Protocol(String),
+}
+
+impl ClientError {
+    /// Whether retrying (with backoff) can plausibly succeed: overload
+    /// shedding and transport loss are transient, everything else is a
+    /// real answer.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ClientError::Io(_) | ClientError::Busy(_))
+    }
 }
 
 impl fmt::Display for ClientError {
@@ -29,6 +57,9 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
             ClientError::Remote(msg) => write!(f, "server error: {msg}"),
+            ClientError::Busy(msg) => write!(f, "server busy: {msg}"),
+            ClientError::DeadlineExceeded(msg) => write!(f, "deadline exceeded: {msg}"),
+            ClientError::IndexInvalid(msg) => write!(f, "index invalid: {msg}"),
             ClientError::Protocol(msg) => write!(f, "malformed response: {msg}"),
         }
     }
@@ -46,6 +77,9 @@ impl From<io::Error> for ClientError {
 pub struct ServeClient {
     stream: TcpStream,
     buf: Vec<u8>,
+    /// Deadline attached to subsequent DISTANCE/PATH/DISTANCES requests
+    /// (0: none).
+    deadline_ms: u32,
 }
 
 impl ServeClient {
@@ -56,7 +90,14 @@ impl ServeClient {
         Ok(ServeClient {
             stream,
             buf: Vec::new(),
+            deadline_ms: 0,
         })
+    }
+
+    /// Sets the per-request deadline (milliseconds) attached to every
+    /// subsequent query; 0 removes it.
+    pub fn set_deadline_ms(&mut self, deadline_ms: u32) {
+        self.deadline_ms = deadline_ms;
     }
 
     /// Sends a raw frame payload and returns the raw response payload
@@ -70,7 +111,7 @@ impl ServeClient {
     }
 
     /// Sends a request and returns the OK body (status byte stripped),
-    /// or the remote error.
+    /// or the typed remote error.
     fn roundtrip(&mut self, request: &Request) -> Result<&[u8], ClientError> {
         write_frame(&mut self.stream, &request.encode())?;
         if !read_frame(&mut self.stream, &mut self.buf)? {
@@ -78,9 +119,15 @@ impl ServeClient {
         }
         match self.buf.split_first() {
             Some((&STATUS_OK, body)) => Ok(body),
-            Some((_, body)) => Err(ClientError::Remote(
-                String::from_utf8_lossy(body).into_owned(),
-            )),
+            Some((&status, body)) => {
+                let msg = String::from_utf8_lossy(body).into_owned();
+                Err(match status {
+                    STATUS_BUSY => ClientError::Busy(msg),
+                    STATUS_DEADLINE_EXCEEDED => ClientError::DeadlineExceeded(msg),
+                    STATUS_INDEX_INVALID => ClientError::IndexInvalid(msg),
+                    _ => ClientError::Remote(msg),
+                })
+            }
             None => Err(ClientError::Protocol("empty response".into())),
         }
     }
@@ -97,10 +144,12 @@ impl ServeClient {
         s: NodeId,
         t: NodeId,
     ) -> Result<Option<Dist>, ClientError> {
+        let deadline_ms = self.deadline_ms;
         let body = self.roundtrip(&Request::Distance {
             backend: backend.wire_id(),
             s,
             t,
+            deadline_ms,
         })?;
         let mut c = Cursor::new(body);
         let d = c.u64().map_err(ClientError::Protocol)?;
@@ -114,10 +163,12 @@ impl ServeClient {
         s: NodeId,
         t: NodeId,
     ) -> Result<Option<(Dist, Vec<NodeId>)>, ClientError> {
+        let deadline_ms = self.deadline_ms;
         let body = self.roundtrip(&Request::Path {
             backend: backend.wire_id(),
             s,
             t,
+            deadline_ms,
         })?;
         let mut c = Cursor::new(body);
         let d = c.u64().map_err(ClientError::Protocol)?;
@@ -140,10 +191,12 @@ impl ServeClient {
         targets: &[NodeId],
     ) -> Result<Vec<Option<Dist>>, ClientError> {
         let expect = sources.len() * targets.len();
+        let deadline_ms = self.deadline_ms;
         let body = self.roundtrip(&Request::Distances {
             backend: backend.wire_id(),
             sources: sources.to_vec(),
             targets: targets.to_vec(),
+            deadline_ms,
         })?;
         let mut c = Cursor::new(body);
         let mut out = Vec::with_capacity(expect);
@@ -163,5 +216,182 @@ impl ServeClient {
     /// Requests a graceful server shutdown.
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
         self.roundtrip(&Request::Shutdown).map(|_| ())
+    }
+}
+
+/// Capped exponential backoff with full jitter.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before retry `k` is drawn uniformly from
+    /// `[0, min(cap, base · 2^k)]`.
+    pub base: Duration,
+    /// Upper bound on any single backoff.
+    pub cap: Duration,
+    /// Seed for the jitter PRNG (a fixed seed makes retry timing
+    /// deterministic in tests).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(200),
+            seed: 0xB0FF,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered backoff before retry `attempt` (0-based).
+    pub fn backoff(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.min(20))
+            .min(self.cap);
+        let nanos = exp.as_nanos() as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(rng.random_range(0..=nanos))
+    }
+}
+
+/// A self-healing client: retries `Busy` responses and transport errors
+/// per its [`RetryPolicy`], reconnecting as needed, and counts every
+/// retry it spends. Non-retryable errors (wrong answers would be worse)
+/// pass straight through.
+pub struct RetryingClient {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    rng: StdRng,
+    client: Option<ServeClient>,
+    deadline_ms: u32,
+    /// Retries performed over this client's lifetime.
+    pub retries: u64,
+}
+
+impl RetryingClient {
+    /// Creates a lazy-connecting retrying client.
+    pub fn new(addr: SocketAddr, policy: RetryPolicy) -> RetryingClient {
+        let rng = StdRng::seed_from_u64(policy.seed);
+        RetryingClient {
+            addr,
+            policy,
+            rng,
+            client: None,
+            deadline_ms: 0,
+            retries: 0,
+        }
+    }
+
+    /// Sets the per-request deadline (milliseconds) attached to every
+    /// subsequent query; 0 removes it.
+    pub fn set_deadline_ms(&mut self, deadline_ms: u32) {
+        self.deadline_ms = deadline_ms;
+        if let Some(c) = &mut self.client {
+            c.set_deadline_ms(deadline_ms);
+        }
+    }
+
+    /// Runs `op` with retry/reconnect; the workhorse behind the typed
+    /// query methods.
+    fn with_retries<T>(
+        &mut self,
+        mut op: impl FnMut(&mut ServeClient) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let result = match &mut self.client {
+                Some(c) => op(c),
+                None => match ServeClient::connect(self.addr) {
+                    Ok(mut c) => {
+                        c.set_deadline_ms(self.deadline_ms);
+                        let r = op(&mut c);
+                        self.client = Some(c);
+                        r
+                    }
+                    Err(e) => Err(ClientError::Io(e)),
+                },
+            };
+            match result {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retryable() && attempt < self.policy.max_retries => {
+                    // Busy answers arrive on a connection the server has
+                    // already closed; transport errors leave it in an
+                    // unknown state. Reconnect either way.
+                    self.client = None;
+                    self.retries += 1;
+                    std::thread::sleep(self.policy.backoff(attempt, &mut self.rng));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Distance query with retry.
+    pub fn distance(
+        &mut self,
+        backend: BackendKind,
+        s: NodeId,
+        t: NodeId,
+    ) -> Result<Option<Dist>, ClientError> {
+        self.with_retries(|c| c.distance(backend, s, t))
+    }
+
+    /// Shortest-path query with retry.
+    pub fn shortest_path(
+        &mut self,
+        backend: BackendKind,
+        s: NodeId,
+        t: NodeId,
+    ) -> Result<Option<(Dist, Vec<NodeId>)>, ClientError> {
+        self.with_retries(|c| c.shortest_path(backend, s, t))
+    }
+
+    /// Liveness probe with retry.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.with_retries(|c| c.ping())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_is_typed() {
+        assert!(ClientError::Io(io::ErrorKind::ConnectionReset.into()).is_retryable());
+        assert!(ClientError::Busy("shed".into()).is_retryable());
+        assert!(!ClientError::Remote("bad vertex".into()).is_retryable());
+        assert!(!ClientError::DeadlineExceeded("late".into()).is_retryable());
+        assert!(!ClientError::IndexInvalid("checksum".into()).is_retryable());
+        assert!(!ClientError::Protocol("truncated".into()).is_retryable());
+    }
+
+    #[test]
+    fn backoff_is_jittered_capped_and_deterministic() {
+        let policy = RetryPolicy {
+            max_retries: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(80),
+            seed: 1,
+        };
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for attempt in 0..8 {
+            let x = policy.backoff(attempt, &mut a);
+            let y = policy.backoff(attempt, &mut b);
+            assert_eq!(x, y, "same seed, same jitter");
+            let exp = (policy.base * 2u32.pow(attempt)).min(policy.cap);
+            assert!(x <= exp, "attempt {attempt}: {x:?} > {exp:?}");
+        }
+        // Far attempts are capped, never overflow.
+        let far = policy.backoff(31, &mut a);
+        assert!(far <= policy.cap);
     }
 }

@@ -1,0 +1,203 @@
+//! Deterministic fault injection for chaos testing the server.
+//!
+//! A [`FaultInjector`] is handed to [`ServerConfig`](crate::ServerConfig)
+//! by tests; the worker consults it once per decoded request and acts on
+//! the resulting [`FaultAction`]: sleep (artificial backend latency),
+//! drop the connection without responding (a mid-request crash as seen
+//! by the client), or both. All randomness flows from one seeded
+//! [`StdRng`], so a chaos run replays identically for a fixed seed —
+//! a failure is a test case, not a flake.
+//!
+//! The injector also offers pure helpers ([`FaultInjector::corrupt`],
+//! [`FaultInjector::truncate`]) that tests use to mangle request frames
+//! and index files deterministically. Those faults are injected at the
+//! *input* boundary on purpose: the server must reject garbage, never
+//! absorb it — an OK response always carries a genuinely computed
+//! answer, which is what lets the chaos suite oracle-check every
+//! success.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Probabilities and magnitudes of the injected faults.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed for the injector's private PRNG.
+    pub seed: u64,
+    /// Probability that a request is served only after [`FaultPlan::latency`].
+    pub latency_prob: f64,
+    /// The artificial service latency.
+    pub latency: Duration,
+    /// Probability that the connection is dropped instead of answered.
+    pub drop_prob: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0xC4A05,
+            latency_prob: 0.0,
+            latency: Duration::from_millis(10),
+            drop_prob: 0.0,
+        }
+    }
+}
+
+/// What the worker should do to the current request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultAction {
+    /// Sleep this long before serving (None: no injected latency).
+    pub delay: Option<Duration>,
+    /// Close the connection without writing a response.
+    pub drop_connection: bool,
+}
+
+impl FaultAction {
+    /// The no-fault action.
+    pub const NONE: FaultAction = FaultAction {
+        delay: None,
+        drop_connection: false,
+    };
+}
+
+/// A shared, seeded fault source. One per server; workers call
+/// [`FaultInjector::on_request`] under an internal lock (the chaos
+/// path is not the hot path, so a mutex is fine).
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: Mutex<StdRng>,
+    delays: AtomicU64,
+    drops: AtomicU64,
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("plan", &self.plan)
+            .field("delays", &self.delays.load(Ordering::Relaxed))
+            .field("drops", &self.drops.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl FaultInjector {
+    /// Creates an injector following `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        FaultInjector {
+            plan,
+            rng: Mutex::new(rng),
+            delays: AtomicU64::new(0),
+            drops: AtomicU64::new(0),
+        }
+    }
+
+    /// Draws the fault action for one request.
+    pub fn on_request(&self) -> FaultAction {
+        let mut rng = self.rng.lock().unwrap();
+        let delay = if rng.random::<f64>() < self.plan.latency_prob {
+            self.delays.fetch_add(1, Ordering::Relaxed);
+            Some(self.plan.latency)
+        } else {
+            None
+        };
+        let drop_connection = rng.random::<f64>() < self.plan.drop_prob;
+        if drop_connection {
+            self.drops.fetch_add(1, Ordering::Relaxed);
+        }
+        FaultAction {
+            delay,
+            drop_connection,
+        }
+    }
+
+    /// Injected latency events so far.
+    pub fn delays(&self) -> u64 {
+        self.delays.load(Ordering::Relaxed)
+    }
+
+    /// Injected connection drops so far.
+    pub fn drops(&self) -> u64 {
+        self.drops.load(Ordering::Relaxed)
+    }
+
+    /// Deterministically flips one bit of `data` (chosen by `seed`).
+    /// Empty inputs are returned unchanged.
+    pub fn corrupt(data: &[u8], seed: u64) -> Vec<u8> {
+        let mut out = data.to_vec();
+        if !out.is_empty() {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let byte = rng.random_range(0..out.len());
+            let bit = rng.random_range(0u32..8);
+            out[byte] ^= 1 << bit;
+        }
+        out
+    }
+
+    /// Deterministically truncates `data` to a strict prefix (chosen by
+    /// `seed`; empty inputs stay empty).
+    pub fn truncate(data: &[u8], seed: u64) -> Vec<u8> {
+        if data.is_empty() {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keep = rng.random_range(0..data.len());
+        data[..keep].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let plan = FaultPlan {
+            seed: 77,
+            latency_prob: 0.3,
+            latency: Duration::from_millis(1),
+            drop_prob: 0.2,
+        };
+        let a = FaultInjector::new(plan.clone());
+        let b = FaultInjector::new(plan);
+        let seq_a: Vec<FaultAction> = (0..200).map(|_| a.on_request()).collect();
+        let seq_b: Vec<FaultAction> = (0..200).map(|_| b.on_request()).collect();
+        assert_eq!(seq_a, seq_b);
+        assert_eq!(a.delays(), b.delays());
+        assert_eq!(a.drops(), b.drops());
+        assert!(a.delays() > 0, "0.3 over 200 draws must fire");
+        assert!(a.drops() > 0, "0.2 over 200 draws must fire");
+    }
+
+    #[test]
+    fn zero_probabilities_never_fault() {
+        let injector = FaultInjector::new(FaultPlan::default());
+        for _ in 0..100 {
+            assert_eq!(injector.on_request(), FaultAction::NONE);
+        }
+        assert_eq!((injector.delays(), injector.drops()), (0, 0));
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_one_bit_deterministically() {
+        let data = vec![0u8; 64];
+        let a = FaultInjector::corrupt(&data, 9);
+        let b = FaultInjector::corrupt(&data, 9);
+        assert_eq!(a, b);
+        let flipped: u32 = data.iter().zip(&a).map(|(x, y)| (x ^ y).count_ones()).sum();
+        assert_eq!(flipped, 1);
+        assert!(FaultInjector::corrupt(&[], 9).is_empty());
+    }
+
+    #[test]
+    fn truncate_returns_a_strict_prefix() {
+        let data: Vec<u8> = (0..=255).collect();
+        let t = FaultInjector::truncate(&data, 4);
+        assert!(t.len() < data.len());
+        assert_eq!(&data[..t.len()], &t[..]);
+        assert_eq!(t, FaultInjector::truncate(&data, 4));
+    }
+}

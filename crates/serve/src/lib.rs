@@ -30,11 +30,15 @@
 
 pub mod cache;
 pub mod client;
+pub mod fault;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
 pub mod stats;
 
+use std::fs::File;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use spq_alt::{Alt, AltParams};
@@ -49,8 +53,9 @@ use spq_silc::Silc;
 use spq_tnr::{Tnr, TnrParams};
 
 pub use cache::{CacheStats, DistanceCache};
-pub use client::{ClientError, ServeClient};
-pub use loadgen::{LoadgenOptions, ThroughputRow};
+pub use client::{ClientError, RetryPolicy, RetryingClient, ServeClient};
+pub use fault::{FaultAction, FaultInjector, FaultPlan};
+pub use loadgen::{LoadgenOptions, LoadgenReport, ThroughputRow};
 pub use server::{Server, ServerConfig};
 pub use stats::ServerStats;
 
@@ -168,6 +173,59 @@ pub struct EngineBackend {
     pub backend: Box<dyn Backend>,
     /// Wall-clock preprocessing time.
     pub build_time: Duration,
+    /// Extra wire ids this backend answers for (degraded techniques
+    /// whose own index failed validation).
+    pub aliases: Vec<u8>,
+}
+
+/// One serving slot requested from [`Engine::build_with_indexes`]:
+/// either build the index in memory or load a persisted one.
+#[derive(Debug, Clone)]
+pub struct BackendSpec {
+    /// Which technique to serve.
+    pub kind: BackendKind,
+    /// Persisted index to load instead of building (`None`: build).
+    pub index: Option<PathBuf>,
+}
+
+impl BackendSpec {
+    /// A slot built in memory.
+    pub fn built(kind: BackendKind) -> BackendSpec {
+        BackendSpec { kind, index: None }
+    }
+
+    /// A slot loaded from a persisted index file.
+    pub fn from_file(kind: BackendKind, path: impl Into<PathBuf>) -> BackendSpec {
+        BackendSpec {
+            kind,
+            index: Some(path.into()),
+        }
+    }
+
+    /// Parses the CLI form `kind=path` (e.g. `tnr=idx/usa.tnr`).
+    pub fn parse(s: &str) -> Result<BackendSpec, String> {
+        let (name, path) = s
+            .split_once('=')
+            .ok_or_else(|| format!("--index wants kind=path, got '{s}'"))?;
+        let kind = BackendKind::parse(name.trim())
+            .ok_or_else(|| format!("unknown backend '{}' in --index", name.trim()))?;
+        if path.trim().is_empty() {
+            return Err(format!("--index {name}= has an empty path"));
+        }
+        Ok(BackendSpec::from_file(kind, path.trim()))
+    }
+}
+
+/// A recorded startup downgrade: `requested` failed index validation
+/// and its wire id is being answered by `served_by` instead.
+#[derive(Debug, Clone)]
+pub struct Degradation {
+    /// The technique whose index failed to load.
+    pub requested: BackendKind,
+    /// The technique now answering its wire id.
+    pub served_by: BackendKind,
+    /// The (typed, rendered) load error that caused the downgrade.
+    pub reason: String,
 }
 
 /// The set of indexes a server instance answers from: one road network
@@ -175,44 +233,190 @@ pub struct EngineBackend {
 pub struct Engine {
     net: RoadNetwork,
     backends: Vec<EngineBackend>,
+    degradations: Vec<Degradation>,
 }
 
 impl Engine {
     /// Builds the requested indexes over `net` (announcing each build on
     /// stderr, since the all-pairs techniques can take a while).
     pub fn build(net: RoadNetwork, kinds: &[BackendKind]) -> Engine {
+        let specs: Vec<BackendSpec> = kinds.iter().map(|&k| BackendSpec::built(k)).collect();
+        Engine::build_with_indexes(net, &specs, true).expect("in-memory builds cannot fail")
+    }
+
+    /// Builds one backend in memory.
+    fn build_one(net: &RoadNetwork, kind: BackendKind) -> Box<dyn Backend> {
+        match kind {
+            BackendKind::Dijkstra => Box::new(Baseline),
+            BackendKind::Ch => Box::new(ContractionHierarchy::build(net)),
+            BackendKind::Tnr => Box::new(Tnr::build(net, &TnrParams::default())),
+            BackendKind::Silc => Box::new(Silc::build(net)),
+            BackendKind::Pcpd => Box::new(Pcpd::build(net)),
+            BackendKind::Alt => Box::new(Alt::build(
+                net,
+                &AltParams {
+                    num_landmarks: 16.min(net.num_nodes()),
+                    ..AltParams::default()
+                },
+            )),
+            BackendKind::ArcFlags => Box::new(ArcFlags::build(net, &ArcFlagsParams::default())),
+        }
+    }
+
+    /// Loads a persisted index. The error is the rendered
+    /// [`spq_graph::binio::IndexLoadError`] (magic / version / checksum /
+    /// truncation all produce distinct, typed failures at the persist
+    /// layer) or a node-count mismatch against `net`.
+    pub fn load_backend(
+        kind: BackendKind,
+        path: &Path,
+        net: &RoadNetwork,
+    ) -> Result<Box<dyn Backend>, String> {
+        let shown = path.display();
+        let check_nodes = |index_nodes: usize| -> Result<(), String> {
+            if index_nodes == net.num_nodes() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{shown}: index covers {index_nodes} vertices but the network has {}",
+                    net.num_nodes()
+                ))
+            }
+        };
+        let f = File::open(path).map_err(|e| format!("{shown}: {e}"))?;
+        let mut r = BufReader::new(f);
+        match kind {
+            BackendKind::Dijkstra => Err("dijkstra is index-free; nothing to load".into()),
+            BackendKind::Pcpd => Err("PCPD has no on-disk index format".into()),
+            BackendKind::Ch => {
+                let ch = ContractionHierarchy::read_binary(&mut r)
+                    .map_err(|e| format!("{shown}: {e}"))?;
+                check_nodes(ch.num_nodes())?;
+                Ok(Box::new(ch))
+            }
+            BackendKind::Alt => {
+                let alt = Alt::read_binary(&mut r).map_err(|e| format!("{shown}: {e}"))?;
+                check_nodes(alt.num_nodes())?;
+                Ok(Box::new(alt))
+            }
+            BackendKind::Silc => {
+                let silc = Silc::read_binary(&mut r).map_err(|e| format!("{shown}: {e}"))?;
+                check_nodes(silc.num_nodes())?;
+                Ok(Box::new(silc))
+            }
+            BackendKind::Tnr => {
+                let tnr = Tnr::read_binary(net, &mut r).map_err(|e| format!("{shown}: {e}"))?;
+                Ok(Box::new(tnr))
+            }
+            BackendKind::ArcFlags => {
+                let af = ArcFlags::read_binary(net, &mut r).map_err(|e| format!("{shown}: {e}"))?;
+                Ok(Box::new(af))
+            }
+        }
+    }
+
+    /// Builds or loads the requested serving slots, degrading failed
+    /// index loads down the chain (anything → CH → Dijkstra) when
+    /// `degrade` is true. With `degrade` false the first load failure is
+    /// fatal — the operator asked for exactly these indexes.
+    ///
+    /// A degraded wire id keeps answering (correctly, via the fallback
+    /// backend); the downgrade is logged, recorded in
+    /// [`Engine::degradations`], and surfaced in the server's STATS
+    /// text. In-memory builds cannot fail, so a spec without an index
+    /// path never degrades.
+    pub fn build_with_indexes(
+        net: RoadNetwork,
+        specs: &[BackendSpec],
+        degrade: bool,
+    ) -> Result<Engine, String> {
         let mut engine = Engine {
             net,
             backends: Vec::new(),
+            degradations: Vec::new(),
         };
-        for &kind in kinds {
+        let mut failed: Vec<(BackendKind, String)> = Vec::new();
+        for spec in specs {
             let start = Instant::now();
-            let backend: Box<dyn Backend> = match kind {
-                BackendKind::Dijkstra => Box::new(Baseline),
-                BackendKind::Ch => Box::new(ContractionHierarchy::build(&engine.net)),
-                BackendKind::Tnr => Box::new(Tnr::build(&engine.net, &TnrParams::default())),
-                BackendKind::Silc => Box::new(Silc::build(&engine.net)),
-                BackendKind::Pcpd => Box::new(Pcpd::build(&engine.net)),
-                BackendKind::Alt => Box::new(Alt::build(
-                    &engine.net,
-                    &AltParams {
-                        num_landmarks: 16.min(engine.net.num_nodes()),
-                        ..AltParams::default()
-                    },
-                )),
-                BackendKind::ArcFlags => {
-                    Box::new(ArcFlags::build(&engine.net, &ArcFlagsParams::default()))
-                }
+            let backend: Box<dyn Backend> = match &spec.index {
+                None => Self::build_one(&engine.net, spec.kind),
+                Some(path) => match Self::load_backend(spec.kind, path, &engine.net) {
+                    Ok(b) => b,
+                    Err(reason) => {
+                        if !degrade {
+                            return Err(format!(
+                                "cannot load {} index: {reason}",
+                                spec.kind.name()
+                            ));
+                        }
+                        failed.push((spec.kind, reason));
+                        continue;
+                    }
+                },
             };
             let build_time = start.elapsed();
-            eprintln!("[engine] built {} in {build_time:.2?}", kind.name());
+            eprintln!(
+                "[engine] {} {} in {build_time:.2?}",
+                if spec.index.is_some() {
+                    "loaded"
+                } else {
+                    "built"
+                },
+                spec.kind.name()
+            );
             engine.backends.push(EngineBackend {
-                kind,
+                kind: spec.kind,
                 backend,
                 build_time,
+                aliases: Vec::new(),
             });
         }
-        engine
+        for (kind, reason) in failed {
+            // The chain: a failed index is answered by CH when CH is
+            // being served (and itself loaded cleanly), else by the
+            // index-free Dijkstra baseline — appended on demand so the
+            // wire id never goes dark.
+            let fallback = if kind != BackendKind::Ch {
+                engine.position_of_wire(BackendKind::Ch.wire_id())
+            } else {
+                None
+            };
+            let (pos, served_by) = match fallback {
+                Some(pos) => (pos, BackendKind::Ch),
+                None => {
+                    let pos = match engine.position_of_wire(BackendKind::Dijkstra.wire_id()) {
+                        Some(pos) => pos,
+                        None => {
+                            engine.backends.push(EngineBackend {
+                                kind: BackendKind::Dijkstra,
+                                backend: Box::new(Baseline),
+                                build_time: Duration::ZERO,
+                                aliases: Vec::new(),
+                            });
+                            engine.backends.len() - 1
+                        }
+                    };
+                    (pos, BackendKind::Dijkstra)
+                }
+            };
+            engine.backends[pos].aliases.push(kind.wire_id());
+            eprintln!(
+                "[engine] DEGRADED {} -> {}: {reason}",
+                kind.name(),
+                served_by.name()
+            );
+            engine.degradations.push(Degradation {
+                requested: kind,
+                served_by,
+                reason,
+            });
+        }
+        Ok(engine)
+    }
+
+    /// Startup downgrades recorded by [`Engine::build_with_indexes`].
+    pub fn degradations(&self) -> &[Degradation] {
+        &self.degradations
     }
 
     /// Adds a pre-built (possibly custom) backend; used by tests to
@@ -222,6 +426,7 @@ impl Engine {
             kind,
             backend,
             build_time: Duration::ZERO,
+            aliases: Vec::new(),
         });
         self
     }
@@ -236,11 +441,17 @@ impl Engine {
         &self.backends
     }
 
-    /// Engine position of the backend with the given wire id.
+    /// Engine position of the backend answering the given wire id —
+    /// its own, or one it inherited through a startup degradation.
     pub fn position_of_wire(&self, wire_id: u8) -> Option<usize> {
         self.backends
             .iter()
             .position(|b| b.kind.wire_id() == wire_id)
+            .or_else(|| {
+                self.backends
+                    .iter()
+                    .position(|b| b.aliases.contains(&wire_id))
+            })
     }
 
     /// Display names in serving order (for stats rendering).
@@ -374,6 +585,62 @@ mod tests {
         fn shortest_path(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
             Some((1, vec![s, t]))
         }
+    }
+
+    #[test]
+    fn backend_specs_parse_the_cli_form() {
+        let spec = BackendSpec::parse("tnr=idx/usa.tnr").unwrap();
+        assert_eq!(spec.kind, BackendKind::Tnr);
+        assert_eq!(
+            spec.index.as_deref(),
+            Some(std::path::Path::new("idx/usa.tnr"))
+        );
+        assert!(BackendSpec::parse("tnr").is_err());
+        assert!(BackendSpec::parse("bogus=x").is_err());
+        assert!(BackendSpec::parse("ch=").is_err());
+    }
+
+    #[test]
+    fn failed_index_loads_degrade_down_the_chain() {
+        let net = spq_synth::generate(&SynthParams::with_target_vertices(64, 13));
+        // TNR's file is missing → served by CH; CH is clean (built).
+        let specs = [
+            BackendSpec::built(BackendKind::Ch),
+            BackendSpec::from_file(BackendKind::Tnr, "/nonexistent/usa.tnr"),
+        ];
+        let engine = Engine::build_with_indexes(net.clone(), &specs, true).unwrap();
+        let pos = engine
+            .position_of_wire(BackendKind::Tnr.wire_id())
+            .expect("degraded wire id keeps answering");
+        assert_eq!(engine.backends()[pos].kind, BackendKind::Ch);
+        assert_eq!(engine.degradations().len(), 1);
+        assert_eq!(engine.degradations()[0].requested, BackendKind::Tnr);
+        assert_eq!(engine.degradations()[0].served_by, BackendKind::Ch);
+
+        // CH itself failing, with no Dijkstra requested, appends the
+        // index-free baseline as the end of the chain.
+        let specs = [BackendSpec::from_file(
+            BackendKind::Ch,
+            "/nonexistent/usa.ch",
+        )];
+        let engine = Engine::build_with_indexes(net.clone(), &specs, true).unwrap();
+        let pos = engine
+            .position_of_wire(BackendKind::Ch.wire_id())
+            .expect("CH wire id degrades to dijkstra");
+        assert_eq!(engine.backends()[pos].kind, BackendKind::Dijkstra);
+
+        // --no-degrade semantics: the load failure is fatal.
+        let err = Engine::build_with_indexes(
+            net,
+            &[BackendSpec::from_file(
+                BackendKind::Ch,
+                "/nonexistent/usa.ch",
+            )],
+            false,
+        )
+        .err()
+        .expect("strict mode fails the build");
+        assert!(err.contains("cannot load ch index"), "{err}");
     }
 
     #[test]

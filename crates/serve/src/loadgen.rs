@@ -1,14 +1,23 @@
 //! The load generator: replays the paper's Q1–Q10 query sets against a
 //! running server at configurable concurrency and reports throughput.
 //!
-//! Each client thread owns one connection and one latency histogram;
-//! threads start at staggered offsets into the (shuffled-by-generation)
-//! pair pool so concurrent clients do not lock-step over identical
-//! keys. After every timed run the generator re-samples a slice of the
-//! workload through a fresh connection and checks the answers against a
-//! locally computed Dijkstra oracle — a throughput number from a server
-//! that answers incorrectly is worthless (the paper makes the same
-//! point about a faulty TNR implementation, §1).
+//! Each client thread owns one retrying connection and one latency
+//! histogram; threads start at staggered offsets into the
+//! (shuffled-by-generation) pair pool so concurrent clients do not
+//! lock-step over identical keys. After every timed run the generator
+//! re-samples a slice of the workload through a fresh connection and
+//! checks the answers against a locally computed Dijkstra oracle — a
+//! throughput number from a server that answers incorrectly is
+//! worthless (the paper makes the same point about a faulty TNR
+//! implementation, §1).
+//!
+//! Transient push-back (BUSY shedding, dropped connections) is absorbed
+//! by each client's [`RetryPolicy`] and surfaced as a `retries` column.
+//! A sweep that dies mid-run — server crash, retries exhausted — still
+//! yields every completed row plus the partial totals of the run that
+//! failed, with the error recorded on the [`LoadgenReport`]; callers
+//! must treat that error as a non-zero exit, not silently publish the
+//! partial CSV as a clean result.
 
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -18,7 +27,7 @@ use spq_graph::types::{Dist, NodeId};
 use spq_graph::RoadNetwork;
 use spq_queries::{linf_query_sets, QueryGenParams};
 
-use crate::client::ServeClient;
+use crate::client::{RetryPolicy, RetryingClient, ServeClient};
 use crate::stats::{bucket_of, percentile_ns, BUCKETS};
 use crate::BackendKind;
 
@@ -38,6 +47,11 @@ pub struct LoadgenOptions {
     /// Post-run answers checked against the Dijkstra oracle (per
     /// backend).
     pub verify_samples: usize,
+    /// Retry behaviour for BUSY shedding and dropped connections (each
+    /// client thread derives its own jitter seed from this policy's).
+    pub retry: RetryPolicy,
+    /// Per-request deadline attached to every query (0: none).
+    pub deadline_ms: u32,
 }
 
 impl Default for LoadgenOptions {
@@ -49,6 +63,8 @@ impl Default for LoadgenOptions {
             per_set: 200,
             seed: 0x9e37_79b9,
             verify_samples: 32,
+            retry: RetryPolicy::default(),
+            deadline_ms: 0,
         }
     }
 }
@@ -74,17 +90,19 @@ pub struct ThroughputRow {
     pub verified: usize,
     /// Checked answers that disagreed (any non-zero is a failure).
     pub mismatches: usize,
+    /// Client-side retries spent (BUSY shedding + reconnects).
+    pub retries: u64,
 }
 
 impl ThroughputRow {
     /// CSV header matching [`ThroughputRow::to_csv`].
     pub const CSV_HEADER: &'static str =
-        "backend,concurrency,seconds,requests,qps,p50_us,p99_us,verified,mismatches";
+        "backend,concurrency,seconds,requests,qps,p50_us,p99_us,verified,mismatches,retries";
 
     /// One CSV line.
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{:.2},{},{:.1},{:.2},{:.2},{},{}",
+            "{},{},{:.2},{},{:.1},{:.2},{:.2},{},{},{}",
             self.backend,
             self.concurrency,
             self.seconds,
@@ -93,8 +111,27 @@ impl ThroughputRow {
             self.p50_us,
             self.p99_us,
             self.verified,
-            self.mismatches
+            self.mismatches,
+            self.retries
         )
+    }
+}
+
+/// The sweep's outcome: every row that completed (including the partial
+/// totals of a run that died mid-flight) plus the first fatal error, if
+/// any.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Completed (and, on failure, partial) throughput rows.
+    pub rows: Vec<ThroughputRow>,
+    /// The error that stopped the sweep early, if it did not finish.
+    pub error: Option<String>,
+}
+
+impl LoadgenReport {
+    /// Total oracle mismatches across all rows.
+    pub fn mismatches(&self) -> usize {
+        self.rows.iter().map(|r| r.mismatches).sum()
     }
 }
 
@@ -129,66 +166,92 @@ pub fn workload_pairs(net: &RoadNetwork, per_set: usize, seed: u64) -> Vec<(Node
     pairs
 }
 
-/// Result of one client thread's timed loop.
+/// Result of one client thread's timed loop. Carries whatever completed
+/// before `error` struck, so a dying run still reports its partials.
 struct ClientRun {
     requests: u64,
+    retries: u64,
     hist: [u64; BUCKETS],
+    error: Option<String>,
 }
 
-/// Drives one backend at one concurrency level.
+impl ClientRun {
+    fn empty() -> ClientRun {
+        ClientRun {
+            requests: 0,
+            retries: 0,
+            hist: [0; BUCKETS],
+            error: None,
+        }
+    }
+}
+
+/// Drives one backend at one concurrency level. Always returns the
+/// aggregated totals; a thread failure is recorded on the run, not
+/// thrown away with the completed work.
 fn run_one(
     addr: SocketAddr,
     backend: BackendKind,
     concurrency: usize,
     duration: Duration,
     pairs: &[(NodeId, NodeId)],
-) -> Result<(f64, ClientRun), String> {
+    retry: &RetryPolicy,
+    deadline_ms: u32,
+) -> (f64, ClientRun) {
     let started = Instant::now();
     let deadline = started + duration;
-    let runs: Vec<Result<ClientRun, String>> = std::thread::scope(|scope| {
+    let runs: Vec<ClientRun> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..concurrency)
             .map(|worker| {
-                scope.spawn(move || -> Result<ClientRun, String> {
-                    let mut client =
-                        ServeClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-                    let mut hist = [0u64; BUCKETS];
-                    let mut requests = 0u64;
+                scope.spawn(move || -> ClientRun {
+                    let mut policy = retry.clone();
+                    // Distinct jitter streams keep retrying threads from
+                    // thundering back in lock-step.
+                    policy.seed = policy.seed.wrapping_add(worker as u64);
+                    let mut client = RetryingClient::new(addr, policy);
+                    client.set_deadline_ms(deadline_ms);
+                    let mut run = ClientRun::empty();
                     let mut i = worker * pairs.len() / concurrency.max(1);
                     while Instant::now() < deadline {
                         let (s, t) = pairs[i % pairs.len()];
                         i += 1;
                         let t0 = Instant::now();
-                        client
-                            .distance(backend, s, t)
-                            .map_err(|e| format!("{}: {e}", backend.name()))?;
-                        hist[bucket_of(t0.elapsed().as_nanos() as u64)] += 1;
-                        requests += 1;
+                        if let Err(e) = client.distance(backend, s, t) {
+                            run.error = Some(format!("{}: {e}", backend.name()));
+                            break;
+                        }
+                        run.hist[bucket_of(t0.elapsed().as_nanos() as u64)] += 1;
+                        run.requests += 1;
                     }
-                    Ok(ClientRun { requests, hist })
+                    run.retries = client.retries;
+                    run
                 })
             })
             .collect();
         handles
             .into_iter()
             .map(|h| {
-                h.join()
-                    .unwrap_or_else(|_| Err("client thread panicked".into()))
+                h.join().unwrap_or_else(|_| {
+                    let mut run = ClientRun::empty();
+                    run.error = Some("client thread panicked".into());
+                    run
+                })
             })
             .collect()
     });
     let seconds = started.elapsed().as_secs_f64();
-    let mut total = ClientRun {
-        requests: 0,
-        hist: [0; BUCKETS],
-    };
+    let mut total = ClientRun::empty();
     for run in runs {
-        let run = run?;
         total.requests += run.requests;
+        total.retries += run.retries;
         for (acc, b) in total.hist.iter_mut().zip(run.hist.iter()) {
             *acc += b;
         }
+        if total.error.is_none() {
+            total.error = run.error;
+        }
     }
-    Ok((seconds, total))
+    (seconds, total)
 }
 
 /// Checks `samples` workload answers against a locally computed
@@ -224,19 +287,33 @@ fn verify_backend(
 }
 
 /// Runs the full sweep (every backend × every concurrency level)
-/// against an already-running server.
-pub fn run(
-    addr: SocketAddr,
-    net: &RoadNetwork,
-    opts: &LoadgenOptions,
-) -> Result<Vec<ThroughputRow>, String> {
+/// against an already-running server. Never panics on server failure:
+/// the report carries the partial rows and the error instead.
+pub fn run(addr: SocketAddr, net: &RoadNetwork, opts: &LoadgenOptions) -> LoadgenReport {
     let pairs = workload_pairs(net, opts.per_set, opts.seed);
-    let mut rows = Vec::new();
-    for &backend in &opts.backends {
+    let mut report = LoadgenReport {
+        rows: Vec::new(),
+        error: None,
+    };
+    'sweep: for &backend in &opts.backends {
         let (verified, mismatches) =
-            verify_backend(addr, backend, net, &pairs, opts.verify_samples)?;
+            match verify_backend(addr, backend, net, &pairs, opts.verify_samples) {
+                Ok(v) => v,
+                Err(e) => {
+                    report.error = Some(e);
+                    break 'sweep;
+                }
+            };
         for &concurrency in &opts.concurrency {
-            let (seconds, total) = run_one(addr, backend, concurrency, opts.duration, &pairs)?;
+            let (seconds, total) = run_one(
+                addr,
+                backend,
+                concurrency,
+                opts.duration,
+                &pairs,
+                &opts.retry,
+                opts.deadline_ms,
+            );
             let row = ThroughputRow {
                 backend: backend.name().to_string(),
                 concurrency,
@@ -247,25 +324,32 @@ pub fn run(
                 p99_us: percentile_ns(&total.hist, 0.99) / 1_000.0,
                 verified,
                 mismatches,
+                retries: total.retries,
             };
             eprintln!(
-                "[loadgen] {:<9} c={:<2} {:>9.0} qps  p50 {:>8.2} µs  p99 {:>8.2} µs  ({} reqs in {:.1}s)",
-                row.backend, row.concurrency, row.qps, row.p50_us, row.p99_us, row.requests, row.seconds
+                "[loadgen] {:<9} c={:<2} {:>9.0} qps  p50 {:>8.2} µs  p99 {:>8.2} µs  ({} reqs in {:.1}s, {} retries)",
+                row.backend, row.concurrency, row.qps, row.p50_us, row.p99_us, row.requests,
+                row.seconds, row.retries
             );
-            rows.push(row);
+            report.rows.push(row);
+            if let Some(e) = total.error {
+                report.error = Some(e);
+                break 'sweep;
+            }
         }
     }
-    Ok(rows)
+    report
 }
 
 /// Builds the engine, self-checks it, starts an in-process server, runs
-/// the sweep, shuts the server down, and returns the rows plus the
+/// the sweep, shuts the server down, and returns the report plus the
 /// server's final stats dump. The self-check failing is fatal by
-/// design: an `Err` here must translate into a non-zero process exit.
+/// design: an `Err` here must translate into a non-zero process exit,
+/// and so must a report whose `error` is set.
 pub fn run_in_process(
     net: RoadNetwork,
     opts: &LoadgenOptions,
-) -> Result<(Vec<ThroughputRow>, String), String> {
+) -> Result<(LoadgenReport, String), String> {
     use crate::server::{Server, ServerConfig};
     use crate::Engine;
     use std::sync::Arc;
@@ -282,13 +366,13 @@ pub fn run_in_process(
     let server = Server::start(Arc::clone(&engine), &cfg).map_err(|e| format!("bind: {e}"))?;
     let addr = server.local_addr();
     eprintln!("[loadgen] serving on {addr}");
-    let result = run(addr, engine.net(), opts);
+    let report = run(addr, engine.net(), opts);
     // Shut down regardless of the sweep's outcome so threads never leak.
     if let Ok(mut client) = ServeClient::connect(addr) {
         let _ = client.shutdown_server();
     }
     let stats = server.join();
-    Ok((result?, stats))
+    Ok((report, stats))
 }
 
 /// Writes the CSV (creating parent directories).
@@ -331,6 +415,7 @@ mod tests {
             p99_us: 90.5,
             verified: 32,
             mismatches: 0,
+            retries: 7,
         };
         let line = row.to_csv();
         assert_eq!(
@@ -338,5 +423,6 @@ mod tests {
             ThroughputRow::CSV_HEADER.split(',').count()
         );
         assert!(line.starts_with("ch,4,"));
+        assert!(line.ends_with(",7"));
     }
 }

@@ -19,11 +19,26 @@
 //! | 4      | STATS     | —                                            |
 //! | 5      | SHUTDOWN  | —                                            |
 //!
-//! Response payloads start with a status byte (0 = OK, 1 = error). An
-//! error is followed by a UTF-8 message; an OK by the opcode-specific
-//! body. Distances are `u64` LE with [`UNREACHABLE`] (`u64::MAX`) as the
-//! "no path" sentinel — real distances never collide with it because
-//! the workspace caps them below [`spq_graph::types::INFINITY`]
+//! DISTANCE, PATH, and DISTANCES requests may carry an optional
+//! trailing `deadline_ms: u32` (encoded only when nonzero, so the
+//! deadline-free encodings are byte-identical to the pre-deadline
+//! protocol): the server abandons the query once that many
+//! milliseconds have elapsed and answers `DEADLINE_EXCEEDED`.
+//!
+//! Response payloads start with a status byte. `0` = OK; every other
+//! status is followed by a UTF-8 message:
+//!
+//! | status | name              | meaning                                  |
+//! |--------|-------------------|------------------------------------------|
+//! | 0      | OK                | opcode-specific body follows             |
+//! | 1      | ERROR             | malformed or unanswerable request        |
+//! | 2      | BUSY              | overloaded — shed; retry with backoff    |
+//! | 3      | DEADLINE_EXCEEDED | the request's deadline expired mid-query |
+//! | 4      | INDEX_INVALID     | backend's index failed validation        |
+//!
+//! OK bodies: distances are `u64` LE with [`UNREACHABLE`] (`u64::MAX`)
+//! as the "no path" sentinel — real distances never collide with it
+//! because the workspace caps them below [`spq_graph::types::INFINITY`]
 //! (`u64::MAX / 2`). A PATH body is `dist: u64, len: u32, len × u32`
 //! (`len = 0` and `dist = UNREACHABLE` when unreachable); a DISTANCES
 //! body is the row-major `ns × nt` table of `u64`s; STATS and PING
@@ -47,6 +62,16 @@ pub const UNREACHABLE: u64 = u64::MAX;
 pub const STATUS_OK: u8 = 0;
 /// Response status byte: request-level failure (body = UTF-8 message).
 pub const STATUS_ERROR: u8 = 1;
+/// Response status byte: the server is overloaded and shed this
+/// request before queueing it (body = UTF-8 message). Retryable.
+pub const STATUS_BUSY: u8 = 2;
+/// Response status byte: the request's deadline expired before the
+/// query finished (body = UTF-8 message). Not retryable as-is.
+pub const STATUS_DEADLINE_EXCEEDED: u8 = 3;
+/// Response status byte: the requested backend's index failed
+/// integrity validation and no substitute is serving its wire id
+/// (body = UTF-8 message).
+pub const STATUS_INDEX_INVALID: u8 = 4;
 
 /// Opcode bytes.
 pub mod op {
@@ -77,6 +102,8 @@ pub enum Request {
         s: NodeId,
         /// Target vertex.
         t: NodeId,
+        /// Per-request deadline in milliseconds; 0 = none.
+        deadline_ms: u32,
     },
     /// Shortest-path query against one backend.
     Path {
@@ -86,6 +113,8 @@ pub enum Request {
         s: NodeId,
         /// Target vertex.
         t: NodeId,
+        /// Per-request deadline in milliseconds; 0 = none.
+        deadline_ms: u32,
     },
     /// Batched sources × targets distance table.
     Distances {
@@ -95,6 +124,8 @@ pub enum Request {
         sources: Vec<NodeId>,
         /// Batch targets.
         targets: Vec<NodeId>,
+        /// Per-request deadline in milliseconds; 0 = none.
+        deadline_ms: u32,
     },
     /// Observability snapshot.
     Stats,
@@ -108,26 +139,46 @@ impl Request {
         let mut out = Vec::new();
         match self {
             Request::Ping => out.push(op::PING),
-            Request::Distance { backend, s, t } => {
-                out.extend_from_slice(&[op::DISTANCE, *backend]);
-                out.extend_from_slice(&s.to_le_bytes());
-                out.extend_from_slice(&t.to_le_bytes());
+            Request::Distance {
+                backend,
+                s,
+                t,
+                deadline_ms,
             }
-            Request::Path { backend, s, t } => {
-                out.extend_from_slice(&[op::PATH, *backend]);
+            | Request::Path {
+                backend,
+                s,
+                t,
+                deadline_ms,
+            } => {
+                let opcode = if matches!(self, Request::Distance { .. }) {
+                    op::DISTANCE
+                } else {
+                    op::PATH
+                };
+                out.extend_from_slice(&[opcode, *backend]);
                 out.extend_from_slice(&s.to_le_bytes());
                 out.extend_from_slice(&t.to_le_bytes());
+                // Trailing deadline only when set: the deadline-free
+                // encoding stays byte-identical to the old protocol.
+                if *deadline_ms != 0 {
+                    out.extend_from_slice(&deadline_ms.to_le_bytes());
+                }
             }
             Request::Distances {
                 backend,
                 sources,
                 targets,
+                deadline_ms,
             } => {
                 out.extend_from_slice(&[op::DISTANCES, *backend]);
                 out.extend_from_slice(&(sources.len() as u32).to_le_bytes());
                 out.extend_from_slice(&(targets.len() as u32).to_le_bytes());
                 for v in sources.iter().chain(targets.iter()) {
                     out.extend_from_slice(&v.to_le_bytes());
+                }
+                if *deadline_ms != 0 {
+                    out.extend_from_slice(&deadline_ms.to_le_bytes());
                 }
             }
             Request::Stats => out.push(op::STATS),
@@ -147,10 +198,21 @@ impl Request {
                 let backend = c.u8()?;
                 let s = c.u32()?;
                 let t = c.u32()?;
+                let deadline_ms = if c.at_end() { 0 } else { c.u32()? };
                 if opcode == op::DISTANCE {
-                    Request::Distance { backend, s, t }
+                    Request::Distance {
+                        backend,
+                        s,
+                        t,
+                        deadline_ms,
+                    }
                 } else {
-                    Request::Path { backend, s, t }
+                    Request::Path {
+                        backend,
+                        s,
+                        t,
+                        deadline_ms,
+                    }
                 }
             }
             op::DISTANCES => {
@@ -163,6 +225,16 @@ impl Request {
                 if ns.saturating_mul(nt) > MAX_BATCH_PAIRS {
                     return Err(format!("batch of {ns}x{nt} pairs exceeds the limit"));
                 }
+                // Never size an allocation from the claimed counts
+                // alone: a 20-byte frame could otherwise claim 2^20
+                // vertices and make the server allocate 4 MiB per
+                // request. The payload must already hold the bytes.
+                if c.remaining() < (ns + nt) * 4 {
+                    return Err(format!(
+                        "batch header claims {ns}+{nt} vertices but only {} payload bytes follow",
+                        c.remaining()
+                    ));
+                }
                 let mut sources = Vec::with_capacity(ns);
                 for _ in 0..ns {
                     sources.push(c.u32()?);
@@ -171,10 +243,12 @@ impl Request {
                 for _ in 0..nt {
                     targets.push(c.u32()?);
                 }
+                let deadline_ms = if c.at_end() { 0 } else { c.u32()? };
                 Request::Distances {
                     backend,
                     sources,
                     targets,
+                    deadline_ms,
                 }
             }
             op::STATS => Request::Stats,
@@ -199,6 +273,17 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
 /// Reads one frame into `buf`. Returns `false` on clean EOF (no bytes
 /// of a next frame read yet).
 pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<bool> {
+    read_frame_limited(r, buf, MAX_FRAME)
+}
+
+/// [`read_frame`] with a caller-chosen payload cap. The length prefix
+/// is validated against `max_frame` *before* any allocation, so a
+/// frame claiming 4 GiB costs four header bytes, not 4 GiB of memory.
+pub fn read_frame_limited(
+    r: &mut impl Read,
+    buf: &mut Vec<u8>,
+    max_frame: usize,
+) -> io::Result<bool> {
     let mut header = [0u8; 4];
     match r.read(&mut header) {
         Ok(0) => return Ok(false),
@@ -206,10 +291,10 @@ pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<bool> {
         Err(e) => return Err(e),
     }
     let len = u32::from_le_bytes(header) as usize;
-    if len > MAX_FRAME {
+    if len > max_frame {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"),
+            format!("frame of {len} bytes exceeds the {max_frame}-byte limit"),
         ));
     }
     buf.resize(len, 0);
@@ -232,10 +317,31 @@ pub fn encode_empty_response() -> Vec<u8> {
 
 /// Error response.
 pub fn encode_error(msg: &str) -> Vec<u8> {
+    encode_status(STATUS_ERROR, msg)
+}
+
+/// Response with an explicit status byte and a UTF-8 message body
+/// (used for every non-OK status).
+pub fn encode_status(status: u8, msg: &str) -> Vec<u8> {
     let mut out = Vec::with_capacity(1 + msg.len());
-    out.push(STATUS_ERROR);
+    out.push(status);
     out.extend_from_slice(msg.as_bytes());
     out
+}
+
+/// BUSY response: the server shed this request under overload.
+pub fn encode_busy(msg: &str) -> Vec<u8> {
+    encode_status(STATUS_BUSY, msg)
+}
+
+/// DEADLINE_EXCEEDED response: the query was abandoned at its deadline.
+pub fn encode_deadline_exceeded(msg: &str) -> Vec<u8> {
+    encode_status(STATUS_DEADLINE_EXCEEDED, msg)
+}
+
+/// INDEX_INVALID response: the backend's index failed validation.
+pub fn encode_index_invalid(msg: &str) -> Vec<u8> {
+    encode_status(STATUS_INDEX_INVALID, msg)
 }
 
 /// Encodes one distance (DISTANCE response body).
@@ -293,6 +399,11 @@ impl<'a> Cursor<'a> {
         self.pos == self.data.len()
     }
 
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
         if self.pos + n > self.data.len() {
             return Err("truncated message".into());
@@ -337,16 +448,37 @@ mod tests {
                 backend: 1,
                 s: 7,
                 t: 9,
+                deadline_ms: 0,
+            },
+            Request::Distance {
+                backend: 1,
+                s: 7,
+                t: 9,
+                deadline_ms: 250,
             },
             Request::Path {
                 backend: 3,
                 s: 0,
                 t: u32::MAX - 1,
+                deadline_ms: 0,
+            },
+            Request::Path {
+                backend: 3,
+                s: 0,
+                t: 1,
+                deadline_ms: u32::MAX,
             },
             Request::Distances {
                 backend: 0,
                 sources: vec![1, 2, 3],
                 targets: vec![4, 5],
+                deadline_ms: 0,
+            },
+            Request::Distances {
+                backend: 0,
+                sources: vec![1, 2, 3],
+                targets: vec![4, 5],
+                deadline_ms: 1000,
             },
             Request::Stats,
             Request::Shutdown,
@@ -361,6 +493,36 @@ mod tests {
         assert_eq!(Request::Stats.encode(), vec![op::STATS]);
         assert_eq!(Request::Shutdown.encode(), vec![op::SHUTDOWN]);
         assert_eq!(Request::decode(&[op::PING]), Ok(Request::Ping));
+    }
+
+    #[test]
+    fn deadline_free_encoding_matches_the_old_protocol() {
+        // Pre-deadline clients encode DISTANCE as exactly 10 bytes;
+        // they must keep decoding, and deadline-free requests must keep
+        // producing the identical bytes.
+        let req = Request::Distance {
+            backend: 1,
+            s: 7,
+            t: 9,
+            deadline_ms: 0,
+        };
+        let mut old = vec![op::DISTANCE, 1];
+        old.extend_from_slice(&7u32.to_le_bytes());
+        old.extend_from_slice(&9u32.to_le_bytes());
+        assert_eq!(req.encode(), old);
+        assert_eq!(Request::decode(&old), Ok(req));
+    }
+
+    #[test]
+    fn batch_header_cannot_force_oversized_allocations() {
+        // 20-byte frame claiming 2^20 sources: must be rejected by the
+        // payload-size check before any Vec::with_capacity(2^20).
+        let mut huge = vec![op::DISTANCES, 0];
+        huge.extend_from_slice(&(1u32 << 20).to_le_bytes());
+        huge.extend_from_slice(&1u32.to_le_bytes());
+        huge.extend_from_slice(&0u32.to_le_bytes()); // a lone "vertex"
+        let err = Request::decode(&huge).unwrap_err();
+        assert!(err.contains("payload bytes"), "got: {err}");
     }
 
     #[test]
@@ -399,5 +561,42 @@ mod tests {
         let mut r = &wire[..];
         let mut buf = Vec::new();
         assert!(read_frame(&mut r, &mut buf).is_err());
+    }
+
+    #[test]
+    fn four_gib_claiming_frame_is_rejected_before_allocation() {
+        // A length prefix of u32::MAX claims a ~4 GiB payload. The
+        // reader must refuse from the four header bytes alone — the
+        // buffer it was handed must not grow at all.
+        let wire = u32::MAX.to_le_bytes();
+        let mut r = &wire[..];
+        let mut buf = Vec::new();
+        assert!(read_frame(&mut r, &mut buf).is_err());
+        assert_eq!(buf.capacity(), 0, "rejection must precede allocation");
+        // The same guard holds for a caller-tightened limit.
+        let mut r = &wire[..];
+        assert!(read_frame_limited(&mut r, &mut buf, 1024).is_err());
+        assert_eq!(buf.capacity(), 0);
+    }
+
+    #[test]
+    fn tightened_frame_limit_is_enforced() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[0u8; 100]).unwrap();
+        let mut buf = Vec::new();
+        let mut r = &wire[..];
+        assert!(read_frame_limited(&mut r, &mut buf, 99).is_err());
+        let mut r = &wire[..];
+        assert!(read_frame_limited(&mut r, &mut buf, 100).unwrap());
+        assert_eq!(buf.len(), 100);
+    }
+
+    #[test]
+    fn status_encoders_prefix_the_right_byte() {
+        assert_eq!(encode_busy("b")[0], STATUS_BUSY);
+        assert_eq!(encode_deadline_exceeded("d")[0], STATUS_DEADLINE_EXCEEDED);
+        assert_eq!(encode_index_invalid("i")[0], STATUS_INDEX_INVALID);
+        assert_eq!(encode_error("e")[0], STATUS_ERROR);
+        assert_eq!(&encode_busy("busy")[1..], b"busy");
     }
 }

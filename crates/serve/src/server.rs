@@ -1,40 +1,50 @@
-//! The TCP query server: a fixed worker pool over the engine.
+//! The TCP query server: a fixed worker pool over the engine, with
+//! bounded worst-case behavior under overload, slow clients, deadlines,
+//! and forced shutdown.
 //!
 //! Architecture (std-only, no async runtime):
 //!
 //! * An **acceptor** thread owns the (non-blocking) listener and hands
-//!   accepted connections to the pool through an mpsc channel.
+//!   accepted connections to the pool through a **bounded** channel.
+//!   Past the high-water mark ([`ServerConfig::max_pending`]) a new
+//!   connection is answered with one `BUSY` frame and closed — load is
+//!   shed at the door instead of growing an unbounded queue.
 //! * `workers` **worker** threads each own one reusable query session
 //!   per backend — created once, reused for every request the worker
-//!   ever serves, so the per-query hot path performs no allocation
-//!   beyond what the technique itself needs. A worker serves one
-//!   connection at a time, frame by frame; idle workers block on the
-//!   channel. With more concurrent connections than workers, the excess
-//!   queues in the channel (bounded fairness is the client's problem —
-//!   this mirrors a fixed-size thread-per-connection deployment).
-//! * **Shutdown** is cooperative: a `SHUTDOWN` frame or a delivered
-//!   SIGTERM/SIGINT flips a flag that the acceptor polls between
-//!   accepts and the workers poll between frames (reads use a short
-//!   timeout so a quiet connection cannot pin a worker). In-flight
-//!   requests finish and get their response before the connection
-//!   closes.
+//!   ever serves. A worker serves one connection at a time, frame by
+//!   frame. Slow clients cannot pin a worker: reads carry an idle
+//!   timeout, a mid-frame **stall timeout** bounds how long a partial
+//!   frame may dribble in, writes carry a write timeout, and frames are
+//!   capped at [`ServerConfig::max_frame_len`].
+//! * Every query runs under a [`QueryBudget`]: the request's optional
+//!   deadline plus the server's force-stop kill flag. A tripped budget
+//!   yields a `DEADLINE_EXCEEDED` frame (never a cached or misreported
+//!   "unreachable").
+//! * **Shutdown** drains: a `SHUTDOWN` frame or SIGTERM/SIGINT stops
+//!   the acceptor immediately (new connections are refused), lets
+//!   in-flight requests finish within [`ServerConfig::grace`], then a
+//!   monitor thread flips the force-stop flag — budgets trip, workers
+//!   answer a final error and close, and [`Server::join`] returns with
+//!   every thread joined.
 //!
-//! Per-request flow: decode → resolve backend → consult the sharded
-//! distance cache (DISTANCE only) → run the session → cache + record
-//! latency → respond. Dense DISTANCES batches reach CH's bucket-based
-//! many-to-many through the `Session::distances` override.
+//! Per-request flow: decode → fault-injection hook (tests only) →
+//! resolve backend (wire id or degraded alias) → consult the sharded
+//! distance cache (DISTANCE only) → run the session under its budget →
+//! cache + record latency → respond. Dense DISTANCES batches reach CH's
+//! bucket-based many-to-many through the `Session::distances` override.
 
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use spq_graph::backend::Session;
+use spq_graph::backend::{QueryBudget, Session};
 
 use crate::cache::DistanceCache;
+use crate::fault::FaultInjector;
 use crate::protocol::{self, Request};
 use crate::stats::{Op, ServerStats};
 use crate::Engine;
@@ -54,6 +64,22 @@ pub struct ServerConfig {
     /// Socket read timeout; bounds how long a quiet connection delays
     /// shutdown.
     pub read_timeout: Duration,
+    /// Accepted connections waiting for a worker beyond which new ones
+    /// are shed with BUSY.
+    pub max_pending: usize,
+    /// Socket write timeout; a peer that stops reading its responses is
+    /// disconnected instead of blocking a worker.
+    pub write_timeout: Duration,
+    /// How long a started frame may take to arrive in full; a client
+    /// stalling mid-frame past this is disconnected.
+    pub stall_timeout: Duration,
+    /// Largest accepted frame (clamped to the protocol's own cap).
+    pub max_frame_len: usize,
+    /// Drain window after shutdown is requested: in-flight requests may
+    /// finish within it, then the force-stop flag aborts the rest.
+    pub grace: Duration,
+    /// Fault-injection hook for chaos tests (None in production).
+    pub fault: Option<Arc<FaultInjector>>,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +93,12 @@ impl Default for ServerConfig {
             cache_capacity: 1 << 16,
             cache_shards: 16,
             read_timeout: Duration::from_millis(50),
+            max_pending: 64,
+            write_timeout: Duration::from_secs(2),
+            stall_timeout: Duration::from_secs(2),
+            max_frame_len: protocol::MAX_FRAME,
+            grace: Duration::from_secs(3),
+            fault: None,
         }
     }
 }
@@ -106,13 +138,29 @@ pub fn signalled() -> bool {
     SIGNALLED.load(Ordering::SeqCst)
 }
 
+/// Everything a worker needs beyond its sessions, bundled so the
+/// per-connection call chain stays readable.
+struct WorkerCtx {
+    shutdown: Arc<AtomicBool>,
+    force_stop: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    cache: Arc<DistanceCache>,
+    fault: Option<Arc<FaultInjector>>,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    stall_timeout: Duration,
+    max_frame: usize,
+}
+
 /// A running server. Dropping it without [`Server::join`] detaches the
 /// threads; the intended lifecycle is `start` → (traffic) →
 /// `request_shutdown` (or SIGTERM / a SHUTDOWN frame) → `join`.
 pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    force_stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
+    monitor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     engine: Arc<Engine>,
     stats: Arc<ServerStats>,
@@ -128,22 +176,33 @@ impl Server {
         let addr = listener.local_addr()?;
 
         let shutdown = Arc::new(AtomicBool::new(false));
+        let force_stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::new(engine.backends().len()));
         let cache = Arc::new(DistanceCache::new(cfg.cache_capacity, cfg.cache_shards));
+        let active = Arc::new(AtomicUsize::new(cfg.workers.max(1)));
 
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(cfg.max_pending.max(1));
         let rx = Arc::new(Mutex::new(rx));
 
         let mut workers = Vec::with_capacity(cfg.workers);
         for _ in 0..cfg.workers.max(1) {
             let engine = Arc::clone(&engine);
             let rx = Arc::clone(&rx);
-            let shutdown = Arc::clone(&shutdown);
-            let stats = Arc::clone(&stats);
-            let cache = Arc::clone(&cache);
-            let read_timeout = cfg.read_timeout;
+            let active = Arc::clone(&active);
+            let ctx = WorkerCtx {
+                shutdown: Arc::clone(&shutdown),
+                force_stop: Arc::clone(&force_stop),
+                stats: Arc::clone(&stats),
+                cache: Arc::clone(&cache),
+                fault: cfg.fault.clone(),
+                read_timeout: cfg.read_timeout,
+                write_timeout: cfg.write_timeout,
+                stall_timeout: cfg.stall_timeout,
+                max_frame: cfg.max_frame_len.min(protocol::MAX_FRAME),
+            };
             workers.push(std::thread::spawn(move || {
-                worker_loop(&engine, &rx, &shutdown, &stats, &cache, read_timeout)
+                worker_loop(&engine, &rx, &ctx);
+                active.fetch_sub(1, Ordering::SeqCst);
             }));
         }
 
@@ -153,10 +212,30 @@ impl Server {
             std::thread::spawn(move || accept_loop(listener, tx, &shutdown, &stats))
         };
 
+        // The grace monitor: once shutdown is requested, give in-flight
+        // work `grace` to drain, then trip every budget's kill flag.
+        let monitor = {
+            let shutdown = Arc::clone(&shutdown);
+            let force_stop = Arc::clone(&force_stop);
+            let grace = cfg.grace;
+            std::thread::spawn(move || {
+                while !stopping(&shutdown) {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                let deadline = Instant::now() + grace;
+                while Instant::now() < deadline && active.load(Ordering::SeqCst) > 0 {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                force_stop.store(true, Ordering::SeqCst);
+            })
+        };
+
         Ok(Server {
             addr,
             shutdown,
+            force_stop,
             acceptor: Some(acceptor),
+            monitor: Some(monitor),
             workers,
             engine,
             stats,
@@ -169,7 +248,8 @@ impl Server {
         self.addr
     }
 
-    /// Requests a graceful shutdown (idempotent).
+    /// Requests a graceful shutdown (idempotent): stop accepting, drain
+    /// in-flight work within the configured grace, then force-close.
     pub fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
     }
@@ -179,10 +259,28 @@ impl Server {
         self.shutdown.load(Ordering::SeqCst) || signalled()
     }
 
+    /// Whether the post-grace force-stop has fired.
+    pub fn force_stopped(&self) -> bool {
+        self.force_stop.load(Ordering::SeqCst)
+    }
+
     /// Renders the current observability snapshot.
     pub fn stats_text(&self) -> String {
-        self.stats
-            .render(&self.engine.backend_names(), &self.cache.stats())
+        let mut text = String::new();
+        for d in self.engine.degradations() {
+            text.push_str(&format!(
+                "degraded: {} -> {} ({})\n",
+                d.requested.name(),
+                d.served_by.name(),
+                d.reason
+            ));
+        }
+        text.push_str(
+            &self
+                .stats
+                .render(&self.engine.backend_names(), &self.cache.stats()),
+        );
+        text
     }
 
     /// Waits for every thread to finish (requires shutdown to have been
@@ -195,6 +293,9 @@ impl Server {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        if let Some(monitor) = self.monitor.take() {
+            let _ = monitor.join();
+        }
         self.stats_text()
     }
 }
@@ -205,7 +306,7 @@ fn stopping(flag: &AtomicBool) -> bool {
 
 fn accept_loop(
     listener: TcpListener,
-    tx: Sender<TcpStream>,
+    tx: SyncSender<TcpStream>,
     shutdown: &AtomicBool,
     stats: &ServerStats,
 ) {
@@ -214,8 +315,20 @@ fn accept_loop(
             Ok((stream, _peer)) => {
                 stats.connections.fetch_add(1, Ordering::Relaxed);
                 let _ = stream.set_nodelay(true);
-                if tx.send(stream).is_err() {
-                    break; // every worker is gone
+                match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(mut stream)) => {
+                        // Shed at the door: one BUSY frame, best-effort
+                        // (a peer that won't read it gets dropped by the
+                        // short write timeout), then close.
+                        stats.shed.fetch_add(1, Ordering::Relaxed);
+                        let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                        let busy = protocol::encode_busy(
+                            "server overloaded; retry with exponential backoff",
+                        );
+                        let _ = protocol::write_frame(&mut stream, &busy);
+                    }
+                    Err(TrySendError::Disconnected(_)) => break, // every worker is gone
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -224,17 +337,11 @@ fn accept_loop(
             Err(_) => std::thread::sleep(Duration::from_millis(5)),
         }
     }
-    // Dropping `tx` here lets idle workers observe the disconnect.
+    // Dropping `tx` here lets idle workers observe the disconnect, and
+    // dropping the listener makes new connections fail fast.
 }
 
-fn worker_loop(
-    engine: &Engine,
-    rx: &Mutex<Receiver<TcpStream>>,
-    shutdown: &AtomicBool,
-    stats: &ServerStats,
-    cache: &DistanceCache,
-    read_timeout: Duration,
-) {
+fn worker_loop(engine: &Engine, rx: &Mutex<Receiver<TcpStream>>, ctx: &WorkerCtx) {
     // One reusable session per backend for this worker's whole life —
     // this is what keeps the per-request path allocation-free.
     let mut sessions: Vec<Box<dyn Session + '_>> = engine
@@ -249,7 +356,7 @@ fn worker_loop(
             match guard.recv_timeout(Duration::from_millis(50)) {
                 Ok(stream) => stream,
                 Err(RecvTimeoutError::Timeout) => {
-                    if stopping(shutdown) {
+                    if stopping(&ctx.shutdown) {
                         return;
                     }
                     continue;
@@ -257,17 +364,8 @@ fn worker_loop(
                 Err(RecvTimeoutError::Disconnected) => return,
             }
         };
-        let _ = serve_connection(
-            stream,
-            engine,
-            &mut sessions,
-            &mut scratch,
-            shutdown,
-            stats,
-            cache,
-            read_timeout,
-        );
-        if stopping(shutdown) {
+        let _ = serve_connection(stream, engine, &mut sessions, &mut scratch, ctx);
+        if stopping(&ctx.shutdown) {
             return;
         }
     }
@@ -286,22 +384,32 @@ enum ReadOutcome {
     Filled,
     /// Clean EOF before the first byte.
     Eof,
-    /// Shutdown was requested while idle (no partial frame pending).
+    /// Shutdown (or force-stop) was requested; the caller should close.
     Stopped,
+    /// The peer stalled mid-frame past the stall timeout.
+    Stalled,
 }
 
-/// `read_exact` that tolerates the read timeout: timeouts poll the
-/// shutdown flag and retry, preserving stream framing across retries.
-/// A timeout mid-frame keeps waiting (the frame's sender is mid-write);
-/// only an idle boundary reacts to shutdown.
+/// `read_exact` that tolerates the read timeout. At a frame boundary,
+/// timeouts poll the shutdown flag and retry (a quiet connection is
+/// fine). Mid-frame, the sender is supposedly mid-write, so waiting is
+/// bounded by the stall timeout instead — a peer that dribbles half a
+/// frame and stops is disconnected, not waited on forever. The
+/// force-stop flag aborts reads in either position.
 fn read_exact_interruptible(
     stream: &mut TcpStream,
     buf: &mut [u8],
-    shutdown: &AtomicBool,
+    ctx: &WorkerCtx,
     at_frame_boundary: bool,
 ) -> io::Result<ReadOutcome> {
     let mut filled = 0;
+    let mut stall_deadline: Option<Instant> = None;
     while filled < buf.len() {
+        // Deliberately not `stopping()`: a delivered signal starts the
+        // graceful drain, only the post-grace force-stop aborts reads.
+        if ctx.force_stop.load(Ordering::SeqCst) {
+            return Ok(ReadOutcome::Stopped);
+        }
         match stream.read(&mut buf[filled..]) {
             Ok(0) => {
                 return if filled == 0 && at_frame_boundary {
@@ -310,13 +418,28 @@ fn read_exact_interruptible(
                     Err(io::ErrorKind::UnexpectedEof.into())
                 };
             }
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                // Progress restarts the stall clock: the cap is on how
+                // long the peer may sit silent mid-frame, not on total
+                // transfer time for a large batch.
+                stall_deadline = None;
+            }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                if filled == 0 && at_frame_boundary && stopping(shutdown) {
-                    return Ok(ReadOutcome::Stopped);
+                let idle_at_boundary = filled == 0 && at_frame_boundary;
+                if idle_at_boundary {
+                    if stopping(&ctx.shutdown) {
+                        return Ok(ReadOutcome::Stopped);
+                    }
+                } else {
+                    let deadline =
+                        *stall_deadline.get_or_insert_with(|| Instant::now() + ctx.stall_timeout);
+                    if Instant::now() >= deadline {
+                        return Ok(ReadOutcome::Stalled);
+                    }
                 }
             }
             Err(e) => return Err(e),
@@ -325,49 +448,100 @@ fn read_exact_interruptible(
     Ok(ReadOutcome::Filled)
 }
 
-#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     mut stream: TcpStream,
     engine: &Engine,
     sessions: &mut [Box<dyn Session + '_>],
     scratch: &mut Scratch,
-    shutdown: &AtomicBool,
-    stats: &ServerStats,
-    cache: &DistanceCache,
-    read_timeout: Duration,
+    ctx: &WorkerCtx,
 ) -> io::Result<()> {
-    stream.set_read_timeout(Some(read_timeout))?;
+    stream.set_read_timeout(Some(ctx.read_timeout))?;
+    stream.set_write_timeout(Some(ctx.write_timeout))?;
     loop {
         let mut header = [0u8; 4];
-        match read_exact_interruptible(&mut stream, &mut header, shutdown, true)? {
+        match read_exact_interruptible(&mut stream, &mut header, ctx, true)? {
             ReadOutcome::Eof | ReadOutcome::Stopped => return Ok(()),
+            ReadOutcome::Stalled => {
+                ctx.stats.client_timeouts.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
             ReadOutcome::Filled => {}
         }
         let len = u32::from_le_bytes(header) as usize;
-        if len > protocol::MAX_FRAME {
-            // Unrecoverable: framing is lost. Answer and drop the link.
+        if len > ctx.max_frame {
+            // Unrecoverable: framing is lost. Answer and drop the link
+            // without ever allocating the claimed length.
+            ctx.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
             let resp = protocol::encode_error("frame exceeds the size limit");
-            protocol::write_frame(&mut stream, &resp)?;
+            let _ = protocol::write_frame(&mut stream, &resp);
             return Ok(());
         }
-        // A frame header was read, so its payload must follow; shutdown
-        // waits for it. The buffer is taken out of the scratch so the
-        // payload can be read by `handle_request` while the scratch's
-        // batch buffer stays writable.
+        // A frame header was read, so its payload must follow; the
+        // buffer is taken out of the scratch so the payload stays
+        // readable by `handle_request` while the scratch's batch buffer
+        // stays writable.
         let mut payload = std::mem::take(&mut scratch.frame);
         payload.resize(len, 0);
-        match read_exact_interruptible(&mut stream, &mut payload, shutdown, false)? {
-            ReadOutcome::Filled => {}
-            ReadOutcome::Eof | ReadOutcome::Stopped => return Ok(()),
+        let read = read_exact_interruptible(&mut stream, &mut payload, ctx, false);
+        match read {
+            Ok(ReadOutcome::Filled) => {}
+            Ok(ReadOutcome::Stalled) => {
+                ctx.stats.client_timeouts.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            Ok(ReadOutcome::Eof) | Ok(ReadOutcome::Stopped) => return Ok(()),
+            Err(e) => return Err(e),
         }
 
-        stats.requests.fetch_add(1, Ordering::Relaxed);
-        let response = handle_request(&payload, engine, sessions, scratch, shutdown, stats, cache);
+        ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let action = match &ctx.fault {
+            Some(f) => f.on_request(),
+            None => crate::fault::FaultAction::NONE,
+        };
+        if let Some(delay) = action.delay {
+            std::thread::sleep(delay);
+        }
+        let response = handle_request(&payload, engine, sessions, scratch, ctx);
         scratch.frame = payload;
-        protocol::write_frame(&mut stream, &response)?;
-        if stopping(shutdown) {
+        if action.drop_connection {
+            // Injected mid-request connection loss: the query ran (and
+            // possibly warmed the cache), but the peer never hears back.
+            return Ok(());
+        }
+        if let Err(e) = protocol::write_frame(&mut stream, &response) {
+            if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut {
+                // The peer stopped reading; disconnect it rather
+                // than blocking this worker.
+                ctx.stats.client_timeouts.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            return Err(e);
+        }
+        if stopping(&ctx.shutdown) {
             return Ok(()); // graceful: last response delivered, then close
         }
+    }
+}
+
+/// Builds the budget one query runs under: the request deadline (if
+/// any) plus the server's force-stop kill flag.
+fn request_budget(deadline_ms: u32, ctx: &WorkerCtx) -> QueryBudget {
+    let mut budget = QueryBudget::unlimited().with_kill_flag(Arc::clone(&ctx.force_stop));
+    if deadline_ms > 0 {
+        budget = budget.with_deadline(Instant::now() + Duration::from_millis(deadline_ms as u64));
+    }
+    budget
+}
+
+/// The response for a budget-tripped query: force-stop wins (the
+/// connection is about to die anyway), otherwise the deadline frame.
+fn interrupted_response(ctx: &WorkerCtx) -> Vec<u8> {
+    if ctx.force_stop.load(Ordering::SeqCst) {
+        ctx.stats.force_closed.fetch_add(1, Ordering::Relaxed);
+        protocol::encode_error("server shutting down")
+    } else {
+        ctx.stats.deadlines_exceeded.fetch_add(1, Ordering::Relaxed);
+        protocol::encode_deadline_exceeded("deadline exceeded before the query finished")
     }
 }
 
@@ -376,10 +550,9 @@ fn handle_request(
     engine: &Engine,
     sessions: &mut [Box<dyn Session + '_>],
     scratch: &mut Scratch,
-    shutdown: &AtomicBool,
-    stats: &ServerStats,
-    cache: &DistanceCache,
+    ctx: &WorkerCtx,
 ) -> Vec<u8> {
+    let stats = &ctx.stats;
     let request = match Request::decode(payload) {
         Ok(r) => r,
         Err(msg) => {
@@ -388,51 +561,93 @@ fn handle_request(
         }
     };
     let n = engine.net().num_nodes() as u32;
-    match request {
+    let resolve = |backend: u8| -> Result<usize, Vec<u8>> {
+        engine.position_of_wire(backend).ok_or_else(|| {
+            stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            protocol::encode_error(&format!("backend {backend} not served"))
+        })
+    };
+    let check_range = |vs: &mut dyn Iterator<Item = u32>| -> Result<(), Vec<u8>> {
+        for v in vs {
+            if v >= n {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(protocol::encode_error(&format!(
+                    "vertex out of range (network has {n} vertices)"
+                )));
+            }
+        }
+        Ok(())
+    };
+    let response = match request {
         Request::Ping => protocol::encode_text_response("pong"),
         Request::Stats => {
-            protocol::encode_text_response(&stats.render(&engine.backend_names(), &cache.stats()))
-        }
-        Request::Shutdown => {
-            shutdown.store(true, Ordering::SeqCst);
-            protocol::encode_empty_response()
-        }
-        Request::Distance { backend, s, t } => {
-            let Some(pos) = engine.position_of_wire(backend) else {
-                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                return protocol::encode_error(&format!("backend {backend} not served"));
-            };
-            if s >= n || t >= n {
-                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                return protocol::encode_error(&format!(
-                    "vertex out of range (network has {n} vertices)"
+            let mut text = String::new();
+            for d in engine.degradations() {
+                text.push_str(&format!(
+                    "degraded: {} -> {} ({})\n",
+                    d.requested.name(),
+                    d.served_by.name(),
+                    d.reason
                 ));
             }
+            text.push_str(&stats.render(&engine.backend_names(), &ctx.cache.stats()));
+            protocol::encode_text_response(&text)
+        }
+        Request::Shutdown => {
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            protocol::encode_empty_response()
+        }
+        Request::Distance {
+            backend,
+            s,
+            t,
+            deadline_ms,
+        } => {
+            let pos = match resolve(backend) {
+                Ok(pos) => pos,
+                Err(resp) => return resp,
+            };
+            if let Err(resp) = check_range(&mut [s, t].into_iter()) {
+                return resp;
+            }
             let t0 = Instant::now();
-            let d = match cache.get(backend, s, t) {
+            let d = match ctx.cache.get(backend, s, t) {
                 Some(cached) => cached,
                 None => {
+                    sessions[pos].set_budget(request_budget(deadline_ms, ctx));
                     let d = sessions[pos].distance(s, t);
-                    cache.insert(backend, s, t, d);
+                    if sessions[pos].interrupted() {
+                        // An interrupted None is an abort, not an
+                        // answer: never cache it, never report it as
+                        // "unreachable".
+                        return interrupted_response(ctx);
+                    }
+                    ctx.cache.insert(backend, s, t, d);
                     d
                 }
             };
             stats.record(pos, Op::Distance, t0.elapsed().as_nanos() as u64, 1);
             protocol::encode_distance_response(d)
         }
-        Request::Path { backend, s, t } => {
-            let Some(pos) = engine.position_of_wire(backend) else {
-                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                return protocol::encode_error(&format!("backend {backend} not served"));
+        Request::Path {
+            backend,
+            s,
+            t,
+            deadline_ms,
+        } => {
+            let pos = match resolve(backend) {
+                Ok(pos) => pos,
+                Err(resp) => return resp,
             };
-            if s >= n || t >= n {
-                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                return protocol::encode_error(&format!(
-                    "vertex out of range (network has {n} vertices)"
-                ));
+            if let Err(resp) = check_range(&mut [s, t].into_iter()) {
+                return resp;
             }
             let t0 = Instant::now();
+            sessions[pos].set_budget(request_budget(deadline_ms, ctx));
             let p = sessions[pos].shortest_path(s, t);
+            if sessions[pos].interrupted() {
+                return interrupted_response(ctx);
+            }
             stats.record(pos, Op::Path, t0.elapsed().as_nanos() as u64, 1);
             protocol::encode_path_response(p)
         }
@@ -440,22 +655,25 @@ fn handle_request(
             backend,
             sources,
             targets,
+            deadline_ms,
         } => {
-            let Some(pos) = engine.position_of_wire(backend) else {
-                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                return protocol::encode_error(&format!("backend {backend} not served"));
+            let pos = match resolve(backend) {
+                Ok(pos) => pos,
+                Err(resp) => return resp,
             };
-            if sources.iter().chain(targets.iter()).any(|&v| v >= n) {
-                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                return protocol::encode_error(&format!(
-                    "vertex out of range (network has {n} vertices)"
-                ));
+            if let Err(resp) = check_range(&mut sources.iter().chain(targets.iter()).copied()) {
+                return resp;
             }
             let t0 = Instant::now();
+            sessions[pos].set_budget(request_budget(deadline_ms, ctx));
             sessions[pos].distances(&sources, &targets, &mut scratch.batch);
+            if sessions[pos].interrupted() {
+                return interrupted_response(ctx);
+            }
             let pairs = (sources.len() * targets.len()) as u64;
             stats.record(pos, Op::Batch, t0.elapsed().as_nanos() as u64, pairs);
             protocol::encode_distances_response(&scratch.batch)
         }
-    }
+    };
+    response
 }

@@ -128,6 +128,14 @@ pub struct ServerStats {
     pub requests: AtomicU64,
     /// Requests rejected at the protocol layer.
     pub protocol_errors: AtomicU64,
+    /// Connections turned away with BUSY past the queue high-water mark.
+    pub shed: AtomicU64,
+    /// Connections dropped for stalling mid-frame or timing out a write.
+    pub client_timeouts: AtomicU64,
+    /// Requests answered with DEADLINE_EXCEEDED.
+    pub deadlines_exceeded: AtomicU64,
+    /// In-flight queries aborted by the post-grace force-stop.
+    pub force_closed: AtomicU64,
     /// Server start time (for the uptime line).
     started: Instant,
 }
@@ -140,6 +148,10 @@ impl ServerStats {
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            client_timeouts: AtomicU64::new(0),
+            deadlines_exceeded: AtomicU64::new(0),
+            force_closed: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -171,6 +183,14 @@ impl ServerStats {
             self.connections.load(Ordering::Relaxed),
             self.requests.load(Ordering::Relaxed),
             self.protocol_errors.load(Ordering::Relaxed),
+        );
+        let _ = writeln!(
+            out,
+            "faults: shed={} client_timeouts={} deadlines_exceeded={} force_closed={}",
+            self.shed.load(Ordering::Relaxed),
+            self.client_timeouts.load(Ordering::Relaxed),
+            self.deadlines_exceeded.load(Ordering::Relaxed),
+            self.force_closed.load(Ordering::Relaxed),
         );
         let _ = writeln!(
             out,
@@ -267,7 +287,12 @@ mod tests {
             len: 1,
             capacity: 64,
         };
+        stats.shed.fetch_add(2, Ordering::Relaxed);
+        stats.deadlines_exceeded.fetch_add(1, Ordering::Relaxed);
         let text = stats.render(&["CH", "TNR"], &cache);
+        assert!(text.contains("shed=2"), "{text}");
+        assert!(text.contains("deadlines_exceeded=1"), "{text}");
+        assert!(text.contains("client_timeouts=0"), "{text}");
         assert!(text.contains("hits=3"));
         assert!(text.contains("hit_rate=75.0%"));
         assert!(text.contains("CH"));

@@ -1,0 +1,579 @@
+//! Deterministic chaos suite for the serving subsystem.
+//!
+//! Every fault here flows from a fixed seed ([`FaultPlan`] for
+//! server-side latency/drops, [`FaultInjector::corrupt`] for mangled
+//! request frames and index files), so a failing run replays
+//! identically — a chaos failure is a test case, not a flake. The
+//! invariants under fault load:
+//!
+//! 1. availability: retrying clients always converge to an answer;
+//! 2. correctness: every OK answer equals the Dijkstra oracle — faults
+//!    may slow or kill a request, never falsify it;
+//! 3. overload sheds (BUSY) instead of hanging;
+//! 4. shutdown drains in-flight work within the grace window, then
+//!    force-closes stragglers;
+//! 5. damaged index files degrade the engine with typed reasons instead
+//!    of serving garbage;
+//! 6. every thread joins — a hang here is a test-timeout failure.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use spq_dijkstra::Dijkstra;
+use spq_graph::backend::{Backend, QueryBudget, Session};
+use spq_graph::types::{Dist, NodeId};
+use spq_graph::RoadNetwork;
+use spq_serve::loadgen::{self, LoadgenOptions};
+use spq_serve::server::{Server, ServerConfig};
+use spq_serve::{
+    BackendKind, BackendSpec, ClientError, Engine, FaultInjector, FaultPlan, RetryPolicy,
+    RetryingClient, ServeClient,
+};
+use spq_synth::SynthParams;
+
+fn test_net(target: usize, seed: u64) -> RoadNetwork {
+    spq_synth::generate(&SynthParams::with_target_vertices(
+        spq_synth::test_vertices(target),
+        seed,
+    ))
+}
+
+/// Deterministic sample pairs spread over the vertex range.
+fn sample_pairs(n: usize, count: usize) -> Vec<(NodeId, NodeId)> {
+    let n = n as u64;
+    let mut state = 0xdead_beef_0042_4242u64;
+    (0..count)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let s = ((state >> 33) % n) as NodeId;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let t = ((state >> 33) % n) as NodeId;
+            (s, t)
+        })
+        .collect()
+}
+
+fn field(stats: &str, name: &str) -> u64 {
+    stats
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{name}=")))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("stats missing {name}:\n{stats}"))
+}
+
+/// A backend that sleeps a fixed time per query — makes queueing
+/// observable. Not oracle-correct (constant answers), so tests using it
+/// never claim answer correctness.
+struct SlowBackend(Duration);
+struct SlowSession(Duration);
+
+impl Backend for SlowBackend {
+    fn backend_name(&self) -> &'static str {
+        "Slow"
+    }
+    fn session<'a>(&'a self, _net: &'a RoadNetwork) -> Box<dyn Session + 'a> {
+        Box::new(SlowSession(self.0))
+    }
+}
+
+impl Session for SlowSession {
+    fn distance(&mut self, _s: NodeId, _t: NodeId) -> Option<Dist> {
+        std::thread::sleep(self.0);
+        Some(1)
+    }
+    fn shortest_path(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
+        std::thread::sleep(self.0);
+        Some((1, vec![s, t]))
+    }
+}
+
+/// A backend that spins until its budget trips (deadline or kill flag)
+/// — models a query too expensive to ever finish. A 10-second wall
+/// fuse keeps a buggy server from hanging the whole suite.
+struct StuckBackend;
+struct StuckSession {
+    budget: QueryBudget,
+    tripped: bool,
+}
+
+impl Backend for StuckBackend {
+    fn backend_name(&self) -> &'static str {
+        "Stuck"
+    }
+    fn session<'a>(&'a self, _net: &'a RoadNetwork) -> Box<dyn Session + 'a> {
+        Box::new(StuckSession {
+            budget: QueryBudget::unlimited(),
+            tripped: false,
+        })
+    }
+}
+
+impl Session for StuckSession {
+    fn distance(&mut self, _s: NodeId, _t: NodeId) -> Option<Dist> {
+        self.budget.reset();
+        self.tripped = false;
+        let fuse = Instant::now() + Duration::from_secs(10);
+        loop {
+            if !self.budget.charge() {
+                self.tripped = true;
+                return None;
+            }
+            if Instant::now() >= fuse {
+                return Some(1);
+            }
+        }
+    }
+    fn shortest_path(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
+        self.distance(s, t).map(|d| (d, vec![s, t]))
+    }
+    fn set_budget(&mut self, budget: QueryBudget) {
+        self.budget = budget;
+    }
+    fn interrupted(&self) -> bool {
+        self.tripped
+    }
+}
+
+/// The headline chaos run: injected latency, injected connection drops,
+/// and client-side corrupted frames, all seeded. Retrying clients must
+/// still converge on the oracle answer for every single pair.
+#[test]
+fn chaos_sweep_stays_available_and_never_wrong() {
+    let net = test_net(300, 0xc4a05);
+    let engine = Arc::new(Engine::build(
+        net.clone(),
+        &[BackendKind::Dijkstra, BackendKind::Ch],
+    ));
+    engine.self_check(16, 3).expect("clean engine");
+    let injector = Arc::new(FaultInjector::new(FaultPlan {
+        seed: 0xBAD5EED,
+        latency_prob: 0.2,
+        latency: Duration::from_millis(2),
+        drop_prob: 0.15,
+    }));
+    let cfg = ServerConfig {
+        workers: 2,
+        fault: Some(Arc::clone(&injector)),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(Arc::clone(&engine), &cfg).expect("bind");
+    let addr = server.local_addr();
+
+    // Phase 1: oracle-checked queries through a retrying client. The
+    // injected drops force reconnects; the answers must never change.
+    let pairs = sample_pairs(net.num_nodes(), 60);
+    let mut oracle = Dijkstra::new(net.num_nodes());
+    let mut client = RetryingClient::new(
+        addr,
+        RetryPolicy {
+            max_retries: 10,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(20),
+            seed: 0x7e57,
+        },
+    );
+    for (i, &(s, t)) in pairs.iter().enumerate() {
+        let kind = if i % 2 == 0 {
+            BackendKind::Dijkstra
+        } else {
+            BackendKind::Ch
+        };
+        let got = client.distance(kind, s, t).expect("chaos must not starve");
+        oracle.run_to_target(&net, s, t);
+        assert_eq!(
+            got,
+            oracle.distance(t),
+            "wrong answer under chaos ({s},{t})"
+        );
+    }
+    assert!(injector.drops() > 0, "the drop fault must have fired");
+    assert!(injector.delays() > 0, "the latency fault must have fired");
+    assert!(client.retries > 0, "drops must have caused retries");
+    // A connected client pins a worker; release it before the next
+    // phase so the pool (2 workers) never fills up with idle pins.
+    drop(client);
+
+    // Phase 2: corrupted request frames. Each elicits an error frame,
+    // a (possibly wrong-vertex but genuine) answer, or a drop — never
+    // a crash. The connection is rebuilt on demand.
+    let template = spq_serve::protocol::Request::Distance {
+        backend: BackendKind::Ch.wire_id(),
+        s: pairs[0].0,
+        t: pairs[0].1,
+        deadline_ms: 0,
+    }
+    .encode();
+    let mut raw = ServeClient::connect(addr).expect("connect raw");
+    for round in 0..40u64 {
+        let mangled = FaultInjector::corrupt(&template, round);
+        if mangled.first() == Some(&spq_serve::protocol::op::SHUTDOWN) {
+            // The one opcode with side effects; a bit flip that forges
+            // it would end the test early by design, not by bug.
+            continue;
+        }
+        if raw.roundtrip_raw(&mangled).is_err() {
+            raw = ServeClient::connect(addr).expect("reconnect after drop");
+        }
+    }
+    drop(raw);
+
+    // Phase 3: the server is still healthy and joins cleanly.
+    let mut check = RetryingClient::new(addr, RetryPolicy::default());
+    check.ping().expect("server alive after chaos");
+    let (s0, t0) = pairs[0];
+    oracle.run_to_target(&net, s0, t0);
+    assert_eq!(
+        check.distance(BackendKind::Ch, s0, t0).expect("post-chaos"),
+        oracle.distance(t0)
+    );
+    let mut closer = ServeClient::connect(addr).expect("connect for shutdown");
+    let _ = closer.shutdown_server(); // the shutdown ack itself may be dropped
+    let stats = server.join();
+    assert!(stats.contains("requests="), "{stats}");
+}
+
+/// Overload: one worker, a one-slot queue, and slow queries. Excess
+/// connections must be turned away with BUSY immediately — not queued
+/// forever, not hung.
+#[test]
+fn overload_sheds_with_busy_instead_of_hanging() {
+    let engine = Arc::new(Engine::build(test_net(64, 1), &[]).with_backend(
+        BackendKind::Dijkstra,
+        Box::new(SlowBackend(Duration::from_millis(400))),
+    ));
+    let cfg = ServerConfig {
+        workers: 1,
+        max_pending: 1,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(Arc::clone(&engine), &cfg).expect("bind");
+    let addr = server.local_addr();
+
+    const CLIENTS: usize = 6;
+    let outcomes: Vec<Result<Option<Dist>, ClientError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut c = ServeClient::connect(addr)?;
+                    c.distance(BackendKind::Dijkstra, 0, 1)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let busy = outcomes
+        .iter()
+        .filter(|r| matches!(r, Err(ClientError::Busy(_))))
+        .count();
+    let served = outcomes.iter().filter(|r| r.is_ok()).count();
+    assert!(busy > 0, "no connection was shed: {outcomes:?}");
+    assert!(
+        served > 0,
+        "shedding must not starve everyone: {outcomes:?}"
+    );
+    // Drops (EOF before a response) can happen to connections accepted
+    // into the queue when the run ends, but nothing may fail any other
+    // way than Busy or transport loss.
+    for r in &outcomes {
+        match r {
+            Ok(_) | Err(ClientError::Busy(_)) | Err(ClientError::Io(_)) => {}
+            other => panic!("unexpected outcome under overload: {other:?}"),
+        }
+    }
+
+    let mut closer = ServeClient::connect(addr).expect("connect for shutdown");
+    closer.shutdown_server().expect("shutdown");
+    let stats = server.join();
+    // Every observed Busy was counted (a shed whose BUSY frame was lost
+    // in flight surfaces client-side as Io, so shed can exceed busy).
+    assert!(field(&stats, "shed") as usize >= busy, "{stats}");
+}
+
+/// A request-level deadline on a query that would never finish: the
+/// client gets DEADLINE_EXCEEDED promptly, the worker survives, and a
+/// deadline-free fast query still works afterwards.
+#[test]
+fn deadlines_abort_stuck_queries_with_a_typed_error() {
+    let engine = Arc::new(
+        Engine::build(test_net(64, 2), &[BackendKind::Dijkstra])
+            .with_backend(BackendKind::Ch, Box::new(StuckBackend)),
+    );
+    let cfg = ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(Arc::clone(&engine), &cfg).expect("bind");
+    let addr = server.local_addr();
+
+    let mut client = ServeClient::connect(addr).expect("connect");
+    client.set_deadline_ms(50);
+    let t0 = Instant::now();
+    match client.distance(BackendKind::Ch, 0, 1) {
+        Err(ClientError::DeadlineExceeded(msg)) => {
+            assert!(msg.contains("deadline"), "{msg}")
+        }
+        other => panic!("expected DEADLINE_EXCEEDED, got {other:?}"),
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "deadline must fire promptly, took {:?}",
+        t0.elapsed()
+    );
+
+    // The same connection keeps working for an honest backend, with and
+    // without a deadline.
+    let with_deadline = client
+        .distance(BackendKind::Dijkstra, 0, 1)
+        .expect("fast query fits any deadline");
+    client.set_deadline_ms(0);
+    let without = client
+        .distance(BackendKind::Dijkstra, 0, 1)
+        .expect("deadline-free query");
+    assert_eq!(with_deadline, without);
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(field(&stats, "deadlines_exceeded"), 1, "{stats}");
+
+    let mut closer = ServeClient::connect(addr).expect("connect for shutdown");
+    closer.shutdown_server().expect("shutdown");
+    server.join();
+}
+
+/// Graceful drain: a long in-flight query finishes and is answered
+/// after SHUTDOWN arrives, while the listener stops taking new
+/// connections.
+#[test]
+fn shutdown_drains_inflight_queries_within_grace() {
+    let engine = Arc::new(Engine::build(test_net(64, 3), &[]).with_backend(
+        BackendKind::Dijkstra,
+        Box::new(SlowBackend(Duration::from_millis(500))),
+    ));
+    let cfg = ServerConfig {
+        workers: 2,
+        grace: Duration::from_secs(5),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(Arc::clone(&engine), &cfg).expect("bind");
+    let addr = server.local_addr();
+
+    let slow = std::thread::spawn(move || {
+        let mut c = ServeClient::connect(addr).expect("connect slow");
+        let t0 = Instant::now();
+        let r = c.distance(BackendKind::Dijkstra, 0, 1);
+        (r, t0.elapsed())
+    });
+    // Let the slow query get in flight, then shut down underneath it.
+    std::thread::sleep(Duration::from_millis(150));
+    let mut closer = ServeClient::connect(addr).expect("connect for shutdown");
+    closer.shutdown_server().expect("shutdown ack");
+
+    let (result, elapsed) = slow.join().expect("slow client thread");
+    assert_eq!(
+        result.expect("in-flight query must be drained, not cut"),
+        Some(1)
+    );
+    assert!(
+        elapsed >= Duration::from_millis(400),
+        "the query really was in flight across the shutdown: {elapsed:?}"
+    );
+    let stats = server.join();
+    assert_eq!(field(&stats, "force_closed"), 0, "{stats}");
+    assert!(
+        ServeClient::connect(addr).is_err(),
+        "listener must refuse new connections after shutdown"
+    );
+}
+
+/// Post-grace force-stop: a query that would never finish cannot hold
+/// shutdown hostage. The budget's kill flag aborts it, the client gets
+/// an error (never a fabricated answer), and join() returns promptly.
+#[test]
+fn force_stop_aborts_stuck_queries_after_grace() {
+    let engine = Arc::new(
+        Engine::build(test_net(64, 4), &[])
+            .with_backend(BackendKind::Dijkstra, Box::new(StuckBackend)),
+    );
+    // Two workers: one gets wedged on the stuck query, the other must
+    // stay free to receive the SHUTDOWN frame.
+    let cfg = ServerConfig {
+        workers: 2,
+        grace: Duration::from_millis(200),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(Arc::clone(&engine), &cfg).expect("bind");
+    let addr = server.local_addr();
+
+    let stuck = std::thread::spawn(move || {
+        let mut c = ServeClient::connect(addr).expect("connect stuck");
+        c.distance(BackendKind::Dijkstra, 0, 1)
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    let mut closer = ServeClient::connect(addr).expect("connect for shutdown");
+    closer.shutdown_server().expect("shutdown ack");
+
+    let t0 = Instant::now();
+    let stats = server.join();
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "join() hung past the grace window: {:?}",
+        t0.elapsed()
+    );
+    assert_eq!(field(&stats, "force_closed"), 1, "{stats}");
+
+    match stuck.join().expect("stuck client thread") {
+        Err(ClientError::Remote(msg)) => assert!(msg.contains("shutting down"), "{msg}"),
+        Err(ClientError::Io(_)) => {} // the abort may race the close
+        other => panic!("a force-stopped query must error, got {other:?}"),
+    }
+}
+
+/// Damaged index files — bit-flipped, truncated, legacy-format — must
+/// degrade the engine with precise typed reasons, and the degraded
+/// engine must still answer correctly (it serves the fallback, never
+/// the damaged bytes).
+#[test]
+fn damaged_index_files_degrade_with_typed_reasons() {
+    let net = test_net(200, 5);
+    let dir = std::env::temp_dir().join(format!("spq-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ch_path = dir.join("net.ch");
+    let ch = spq_ch::ContractionHierarchy::build(&net);
+    let mut bytes = Vec::new();
+    ch.write_binary(&mut bytes).expect("serialise CH");
+    std::fs::write(&ch_path, &bytes).expect("write CH index");
+
+    // Control: the intact file loads and serves correctly.
+    let specs = [
+        BackendSpec::built(BackendKind::Dijkstra),
+        BackendSpec::from_file(BackendKind::Ch, &ch_path),
+    ];
+    let engine = Engine::build_with_indexes(net.clone(), &specs, true).expect("engine");
+    assert!(engine.degradations().is_empty(), "intact file must load");
+    engine
+        .self_check(16, 3)
+        .expect("loaded CH answers correctly");
+
+    // Bit flip: checksum catches it, CH degrades to Dijkstra.
+    let flipped_path = dir.join("net-flipped.ch");
+    // Flip within the body (past the 24-byte container header) so the
+    // failure is the checksum, not the magic.
+    let mut flipped = bytes.clone();
+    let tail = FaultInjector::corrupt(&bytes[24..], 11);
+    flipped[24..].copy_from_slice(&tail);
+    std::fs::write(&flipped_path, &flipped).expect("write flipped");
+    let specs = [
+        BackendSpec::built(BackendKind::Dijkstra),
+        BackendSpec::from_file(BackendKind::Ch, &flipped_path),
+    ];
+    let engine = Engine::build_with_indexes(net.clone(), &specs, true).expect("degraded engine");
+    let d = &engine.degradations()[0];
+    assert_eq!(d.requested, BackendKind::Ch);
+    assert_eq!(d.served_by, BackendKind::Dijkstra);
+    assert!(d.reason.contains("checksum mismatch"), "{}", d.reason);
+    engine.self_check(16, 3).expect("fallback still correct");
+
+    // Truncation is reported as truncation.
+    let short_path = dir.join("net-short.ch");
+    std::fs::write(&short_path, FaultInjector::truncate(&bytes, 12)).expect("write short");
+    let specs = [
+        BackendSpec::built(BackendKind::Dijkstra),
+        BackendSpec::from_file(BackendKind::Ch, &short_path),
+    ];
+    let engine = Engine::build_with_indexes(net.clone(), &specs, true).expect("degraded engine");
+    let reason = &engine.degradations()[0].reason;
+    assert!(
+        reason.contains("truncated") || reason.contains("i/o error"),
+        "{reason}"
+    );
+
+    // A legacy (pre-checksum) file is refused with migration advice.
+    let legacy_path = dir.join("net-legacy.ch");
+    let mut legacy = Vec::new();
+    spq_graph::binio::write_header(&mut legacy, b"SPQC", 1).expect("legacy header");
+    spq_graph::binio::write_u64(&mut legacy, 0).expect("legacy body");
+    std::fs::write(&legacy_path, &legacy).expect("write legacy");
+    let specs = [
+        BackendSpec::built(BackendKind::Dijkstra),
+        BackendSpec::from_file(BackendKind::Ch, &legacy_path),
+    ];
+    let engine = Engine::build_with_indexes(net.clone(), &specs, true).expect("degraded engine");
+    let reason = &engine.degradations()[0].reason;
+    assert!(reason.contains("legacy format version 1"), "{reason}");
+    assert!(reason.contains("rebuild"), "{reason}");
+
+    // Strict mode (--no-degrade) turns the same damage into a fatal
+    // startup error.
+    let err = Engine::build_with_indexes(
+        net,
+        &[BackendSpec::from_file(BackendKind::Ch, &flipped_path)],
+        false,
+    )
+    .err()
+    .expect("strict mode refuses damaged indexes");
+    assert!(err.contains("checksum mismatch"), "{err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite 6: the load generator must survive the server dying
+/// mid-run — exiting with the error recorded and the partial rows
+/// preserved, not panicking or hanging.
+#[test]
+fn loadgen_reports_partial_results_when_the_server_dies() {
+    let net = test_net(200, 6);
+    let engine = Arc::new(Engine::build(net.clone(), &[BackendKind::Dijkstra]));
+    // Three workers: the two loadgen connections pin one each, and the
+    // killer's SHUTDOWN frame needs a free one to be heard at all.
+    let cfg = ServerConfig {
+        workers: 3,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(Arc::clone(&engine), &cfg).expect("bind");
+    let addr = server.local_addr();
+
+    // Kill the server out from under the sweep.
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        let mut c = ServeClient::connect(addr).expect("connect killer");
+        let _ = c.shutdown_server();
+    });
+
+    let opts = LoadgenOptions {
+        backends: vec![BackendKind::Dijkstra],
+        concurrency: vec![2],
+        duration: Duration::from_secs(10),
+        per_set: 20,
+        verify_samples: 4,
+        retry: RetryPolicy {
+            max_retries: 2,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(10),
+            seed: 3,
+        },
+        ..LoadgenOptions::default()
+    };
+    let t0 = Instant::now();
+    let report = loadgen::run(addr, &net, &opts);
+    killer.join().expect("killer thread");
+    server.join();
+
+    assert!(
+        t0.elapsed() < Duration::from_secs(8),
+        "the sweep must abort early, not run its full duration"
+    );
+    let err = report
+        .error
+        .as_ref()
+        .expect("server death must be reported");
+    assert!(!err.is_empty());
+    assert_eq!(report.rows.len(), 1, "the dying run still yields its row");
+    assert!(
+        report.rows[0].requests > 0,
+        "partial progress before the kill is preserved: {:?}",
+        report.rows[0]
+    );
+}

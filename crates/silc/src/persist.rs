@@ -8,37 +8,35 @@
 
 use std::io::{self, Read, Write};
 
-use spq_graph::binio;
+use spq_graph::binio::{self, IndexLoadError};
 
 use crate::index::Silc;
 
 const MAGIC: &[u8; 4] = b"SPQS";
-const VERSION: u32 = 1;
+/// Version 2 wraps the payload in the checksummed container; version-1
+/// files predate it and are refused at load (rebuild to migrate).
+const VERSION: u32 = 2;
 
 impl Silc {
     /// Serialises the Morton codes and the per-source block/exception
-    /// CSR arrays.
+    /// CSR arrays inside a checksummed container.
     pub fn write_binary(&self, w: &mut impl Write) -> io::Result<()> {
-        binio::write_header(w, MAGIC, VERSION)?;
-        binio::write_u64s(w, &self.node_code)?;
-        binio::write_u32s(w, &self.block_first)?;
-        binio::write_u64s(w, &self.block_code)?;
-        binio::write_u8s(w, &self.block_color)?;
-        binio::write_u32s(w, &self.exc_first)?;
-        binio::write_u32s(w, &self.exc_node)?;
-        binio::write_u8s(w, &self.exc_color)?;
-        Ok(())
+        let mut body = Vec::new();
+        binio::write_u64s(&mut body, &self.node_code)?;
+        binio::write_u32s(&mut body, &self.block_first)?;
+        binio::write_u64s(&mut body, &self.block_code)?;
+        binio::write_u8s(&mut body, &self.block_color)?;
+        binio::write_u32s(&mut body, &self.exc_first)?;
+        binio::write_u32s(&mut body, &self.exc_node)?;
+        binio::write_u8s(&mut body, &self.exc_color)?;
+        binio::write_checksummed(w, MAGIC, VERSION, &body)
     }
 
-    /// Deserialises an index written by [`Silc::write_binary`].
-    pub fn read_binary(r: &mut impl Read) -> io::Result<Silc> {
-        let version = binio::read_header(r, MAGIC)?;
-        if version != VERSION {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unsupported SILC format version {version}"),
-            ));
-        }
+    /// Deserialises an index written by [`Silc::write_binary`],
+    /// verifying the checksum and CSR invariants before returning it.
+    pub fn read_binary(r: &mut impl Read) -> Result<Silc, IndexLoadError> {
+        let body = binio::read_checksummed(r, MAGIC, VERSION)?;
+        let r = &mut &body[..];
         let node_code = binio::read_u64s(r)?;
         let block_first = binio::read_u32s(r)?;
         let block_code = binio::read_u64s(r)?;
@@ -46,7 +44,7 @@ impl Silc {
         let exc_first = binio::read_u32s(r)?;
         let exc_node = binio::read_u32s(r)?;
         let exc_color = binio::read_u8s(r)?;
-        let bad = |msg: &str| Err(io::Error::new(io::ErrorKind::InvalidData, msg.to_string()));
+        let bad = |msg: &str| Err(IndexLoadError::Corrupt(msg.to_string()));
         let n = node_code.len();
         if block_first.len() != n + 1 || exc_first.len() != n + 1 {
             return bad("CSR offsets do not match the vertex count");

@@ -1,5 +1,6 @@
 //! SILC query processing: first-hop walking (paper §3.4).
 
+use spq_graph::backend::QueryBudget;
 use spq_graph::types::{Dist, NodeId};
 use spq_graph::RoadNetwork;
 
@@ -9,6 +10,10 @@ use crate::index::Silc;
 pub struct SilcQuery<'a> {
     silc: &'a Silc,
     net: &'a RoadNetwork,
+    /// Budget charged once per first-hop step. Besides deadlines, this
+    /// bounds the walk on a defective colour map (whose `while cur != t`
+    /// would otherwise never terminate).
+    budget: QueryBudget,
     /// Number of colour lookups performed by the most recent query (= k,
     /// the number of edges on the path).
     pub last_lookups: usize,
@@ -22,8 +27,21 @@ impl<'a> SilcQuery<'a> {
         SilcQuery {
             silc,
             net,
+            budget: QueryBudget::unlimited(),
             last_lookups: 0,
         }
+    }
+
+    /// Installs the cancellation budget subsequent queries run under
+    /// (one charge per walk step). The default is unlimited.
+    pub fn set_budget(&mut self, budget: QueryBudget) {
+        self.budget = budget;
+    }
+
+    /// Whether a query since the last [`SilcQuery::set_budget`] was cut
+    /// short by the budget (its `None` is an abort, not "unreachable").
+    pub fn budget_exhausted(&self) -> bool {
+        self.budget.exhausted()
     }
 
     /// Neighbour of `cur` that starts the shortest path to `t`.
@@ -45,6 +63,9 @@ impl<'a> SilcQuery<'a> {
         let mut total: Dist = 0;
         let mut cur = s;
         while cur != t {
+            if !self.budget.charge() {
+                return None;
+            }
             let (v, w) = self.first_hop(cur, t);
             self.last_lookups += 1;
             total += w;
@@ -63,6 +84,9 @@ impl<'a> SilcQuery<'a> {
         let mut total: Dist = 0;
         let mut cur = s;
         while cur != t {
+            if !self.budget.charge() {
+                return None;
+            }
             let (v, w) = self.first_hop(cur, t);
             self.last_lookups += 1;
             total += w;
@@ -92,6 +116,14 @@ impl spq_graph::backend::Session for SilcQuery<'_> {
 
     fn shortest_path(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
         SilcQuery::shortest_path(self, s, t)
+    }
+
+    fn set_budget(&mut self, budget: QueryBudget) {
+        SilcQuery::set_budget(self, budget);
+    }
+
+    fn interrupted(&self) -> bool {
+        self.budget_exhausted()
     }
 }
 

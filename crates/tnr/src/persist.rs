@@ -9,7 +9,7 @@
 use std::io::{self, Read, Write};
 
 use spq_ch::ContractionHierarchy;
-use spq_graph::binio;
+use spq_graph::binio::{self, IndexLoadError};
 use spq_graph::grid::VertexGrid;
 use spq_graph::RoadNetwork;
 
@@ -17,21 +17,26 @@ use crate::access::AccessNodeStrategy;
 use crate::index::{AccessIndex, Fallback, Tnr, TnrParams};
 
 const MAGIC: &[u8; 4] = b"SPQT";
-const VERSION: u32 = 1;
+/// Version 2 wraps the payload in the checksummed container; version-1
+/// files predate it and are refused at load (rebuild to migrate).
+const VERSION: u32 = 2;
 
-fn bad(msg: String) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg)
+fn bad(msg: String) -> IndexLoadError {
+    IndexLoadError::Corrupt(msg)
 }
 
 impl Tnr {
     /// Serialises the full index: parameters, hierarchy, access-node
-    /// structure, and both distance tables.
+    /// structure, and both distance tables, inside a checksummed
+    /// container (the embedded hierarchy carries its own container, so
+    /// it is integrity-checked twice — once by the outer checksum, once
+    /// by its own).
     pub fn write_binary(&self, w: &mut impl Write) -> io::Result<()> {
-        binio::write_header(w, MAGIC, VERSION)?;
-        binio::write_u64(w, self.net_nodes as u64)?;
-        binio::write_u64(w, self.params.grid as u64)?;
-        binio::write_u64(w, self.params.inner_radius as u64)?;
-        binio::write_u64(w, self.params.outer_radius as u64)?;
+        let mut body = Vec::new();
+        binio::write_u64(&mut body, self.net_nodes as u64)?;
+        binio::write_u64(&mut body, self.params.grid as u64)?;
+        binio::write_u64(&mut body, self.params.inner_radius as u64)?;
+        binio::write_u64(&mut body, self.params.outer_radius as u64)?;
         let fallback = match self.params.fallback {
             Fallback::Ch => 0u8,
             Fallback::BiDijkstra => 1,
@@ -40,25 +45,24 @@ impl Tnr {
             AccessNodeStrategy::Correct => 0u8,
             AccessNodeStrategy::FlawedBast => 1,
         };
-        binio::write_u8s(w, &[fallback, access])?;
-        self.ch.write_binary(w)?;
-        binio::write_u32s(w, &self.access.access_list)?;
-        binio::write_u32s(w, &self.access.cell_first)?;
-        binio::write_u32s(w, &self.access.cell_access)?;
-        binio::write_u32s(w, &self.access.vertex_first)?;
-        binio::write_u32s(w, &self.access.vertex_access_dist)?;
-        binio::write_u32s(w, &self.table)?;
-        Ok(())
+        binio::write_u8s(&mut body, &[fallback, access])?;
+        self.ch.write_binary(&mut body)?;
+        binio::write_u32s(&mut body, &self.access.access_list)?;
+        binio::write_u32s(&mut body, &self.access.cell_first)?;
+        binio::write_u32s(&mut body, &self.access.cell_access)?;
+        binio::write_u32s(&mut body, &self.access.vertex_first)?;
+        binio::write_u32s(&mut body, &self.access.vertex_access_dist)?;
+        binio::write_u32s(&mut body, &self.table)?;
+        binio::write_checksummed(w, MAGIC, VERSION, &body)
     }
 
     /// Deserialises an index written by [`Tnr::write_binary`],
     /// rebuilding the vertex grid over `net` (the same network the index
-    /// was built on).
-    pub fn read_binary(net: &RoadNetwork, r: &mut impl Read) -> io::Result<Tnr> {
-        let version = binio::read_header(r, MAGIC)?;
-        if version != VERSION {
-            return Err(bad(format!("unsupported TNR format version {version}")));
-        }
+    /// was built on). The checksum and every structural invariant are
+    /// verified before the index is returned.
+    pub fn read_binary(net: &RoadNetwork, r: &mut impl Read) -> Result<Tnr, IndexLoadError> {
+        let body = binio::read_checksummed(r, MAGIC, VERSION)?;
+        let r = &mut &body[..];
         let net_nodes = binio::read_u64(r)? as usize;
         if net_nodes != net.num_nodes() {
             return Err(bad(format!(
@@ -88,7 +92,8 @@ impl Tnr {
                 m => return Err(bad(format!("unknown access-node strategy {m}"))),
             },
         };
-        let ch = ContractionHierarchy::read_binary(r)?;
+        let ch = ContractionHierarchy::read_binary(r)
+            .map_err(|e| bad(format!("embedded hierarchy: {e}")))?;
         if ch.num_nodes() != net_nodes {
             return Err(bad("embedded hierarchy does not match the network".into()));
         }
@@ -177,7 +182,19 @@ mod tests {
         let mut buf = Vec::new();
         tnr.write_binary(&mut buf).unwrap();
         buf[1] ^= 0xff;
-        assert!(Tnr::read_binary(&net, &mut &buf[..]).is_err());
+        assert!(matches!(
+            Tnr::read_binary(&net, &mut &buf[..]),
+            Err(IndexLoadError::BadMagic { .. })
+        ));
+        // A bit flip deep in the body trips the outer checksum.
+        let mut flipped = Vec::new();
+        tnr.write_binary(&mut flipped).unwrap();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        assert!(matches!(
+            Tnr::read_binary(&net, &mut &flipped[..]),
+            Err(IndexLoadError::ChecksumMismatch { .. })
+        ));
         // A different network (vertex count) must be rejected.
         let other = spq_synth::generate(&SynthParams::with_target_vertices(400, 79));
         let mut buf2 = Vec::new();

@@ -2,6 +2,7 @@
 
 use spq_ch::ChQuery;
 use spq_dijkstra::BiDijkstra;
+use spq_graph::backend::QueryBudget;
 use spq_graph::types::{Dist, NodeId, INFINITY};
 use spq_graph::RoadNetwork;
 
@@ -28,6 +29,9 @@ pub struct TnrQuery<'a> {
     bidi: BiDijkstra,
     /// The t-side scratch: `(global_access_index, dist(access, t))`.
     t_side: Vec<(u32, Dist)>,
+    /// Budget charged once per greedy-walk step (the fallbacks charge
+    /// their own copies per settled vertex).
+    budget: QueryBudget,
     /// How the most recent query was answered.
     pub last_answered: Answered,
 }
@@ -43,8 +47,24 @@ impl<'a> TnrQuery<'a> {
             ch_query: ChQuery::new(tnr.hierarchy()),
             bidi: BiDijkstra::new(tnr.net_nodes),
             t_side: Vec::new(),
+            budget: QueryBudget::unlimited(),
             last_answered: Answered::Tables,
         }
+    }
+
+    /// Installs the cancellation budget subsequent queries run under.
+    /// The fallback workspaces get their own copies (a clone shares the
+    /// deadline and kill flag; only the node-cap accounting is local).
+    pub fn set_budget(&mut self, budget: QueryBudget) {
+        self.ch_query.set_budget(budget.clone());
+        self.bidi.set_budget(budget.clone());
+        self.budget = budget;
+    }
+
+    /// Whether a query since the last [`TnrQuery::set_budget`] was cut
+    /// short by the budget, in the walk or in either fallback.
+    pub fn budget_exhausted(&self) -> bool {
+        self.budget.exhausted() || self.ch_query.budget_exhausted() || self.bidi.budget_exhausted()
     }
 
     /// Attaches the road network (required for path queries and for the
@@ -144,6 +164,9 @@ impl<'a> TnrQuery<'a> {
         let mut cur = s;
         let mut total: Dist = 0;
         loop {
+            if !self.budget.charge() {
+                return None;
+            }
             if !self.tnr.distance_applicable(cur, t) {
                 break;
             }
@@ -220,6 +243,14 @@ impl spq_graph::backend::Session for TnrQuery<'_> {
 
     fn shortest_path(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
         TnrQuery::shortest_path(self, s, t)
+    }
+
+    fn set_budget(&mut self, budget: QueryBudget) {
+        TnrQuery::set_budget(self, budget);
+    }
+
+    fn interrupted(&self) -> bool {
+        self.budget_exhausted()
     }
 }
 
