@@ -1,14 +1,46 @@
-//! Criterion bench: distance-query latency per technique on near (Q3)
-//! and far (Q9) workloads — the microbench form of Figures 8/9/16.
+//! Criterion bench: distance-query latency for all seven backends on
+//! near (Q3) and far (Q9) workloads — the microbench form of Figures
+//! 8/9/16, extended with ALT and arc flags.
+//!
+//! Every index is built exactly once and reused across the workloads;
+//! queries go through the unified [`spq_graph::backend::Backend`]
+//! session, the same code path `spq-serve` and `spq bench` measure.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use spq_core::{Index, Technique};
+use spq_alt::{Alt, AltParams};
+use spq_arcflags::{ArcFlags, ArcFlagsParams};
+use spq_ch::ContractionHierarchy;
+use spq_dijkstra::Baseline;
+use spq_graph::backend::Backend;
 use spq_graph::types::NodeId;
+use spq_graph::RoadNetwork;
+use spq_pcpd::Pcpd;
 use spq_queries::{linf_query_sets, QueryGenParams};
+use spq_silc::Silc;
 use spq_synth::SynthParams;
+use spq_tnr::{Tnr, TnrParams};
+
+fn backends(net: &RoadNetwork) -> Vec<Box<dyn Backend>> {
+    vec![
+        Box::new(Baseline),
+        Box::new(ContractionHierarchy::build(net)),
+        Box::new(Tnr::build(net, &TnrParams::default())),
+        Box::new(Silc::build(net)),
+        Box::new(Pcpd::build(net)),
+        Box::new(Alt::build(
+            net,
+            &AltParams {
+                num_landmarks: 16.min(net.num_nodes()),
+                ..AltParams::default()
+            },
+        )),
+        Box::new(ArcFlags::build(net, &ArcFlagsParams::default())),
+    ]
+}
 
 fn bench_distance(c: &mut Criterion) {
-    let net = spq_synth::generate(&SynthParams::with_target_vertices(4000, 5));
+    let target = spq_synth::test_vertices(4000);
+    let net = spq_synth::generate(&SynthParams::with_target_vertices(target, 5));
     let sets = linf_query_sets(
         &net,
         &QueryGenParams {
@@ -16,27 +48,24 @@ fn bench_distance(c: &mut Criterion) {
             ..QueryGenParams::default()
         },
     );
+    let built = backends(&net);
     let mut group = c.benchmark_group("distance_query");
     for (label, idx) in [("near_Q3", 2usize), ("far_Q9", 8)] {
         let pairs: Vec<(NodeId, NodeId)> = sets[idx].pairs.clone();
         if pairs.is_empty() {
             continue;
         }
-        for technique in Technique::ALL {
-            if technique == Technique::Pcpd {
-                continue; // dominated by SILC and slow to build repeatedly
-            }
-            let (index, _) = Index::build(technique, &net);
-            let mut q = index.query(&net);
+        for backend in &built {
+            let mut session = backend.session(&net);
             group.bench_with_input(
-                BenchmarkId::new(technique.name(), label),
+                BenchmarkId::new(backend.backend_name(), label),
                 &pairs,
                 |b, pairs| {
                     let mut i = 0;
                     b.iter(|| {
                         let (s, t) = pairs[i % pairs.len()];
                         i += 1;
-                        q.distance(s, t)
+                        session.distance(s, t)
                     })
                 },
             );

@@ -11,7 +11,7 @@ use spq_synth::SynthParams;
 fn bench_heap(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate/heap");
     group.bench_function("push_pop_4096", |b| {
-        let mut h = IndexedHeap::new(4096);
+        let mut h: IndexedHeap = IndexedHeap::new(4096);
         b.iter(|| {
             h.clear();
             for v in 0..4096u32 {

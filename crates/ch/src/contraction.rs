@@ -1,15 +1,27 @@
 //! The contraction process: witness searches, shortcut insertion, and the
 //! frozen hierarchy.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
+use spq_graph::heap::IndexedHeap;
 use spq_graph::par;
 use spq_graph::size::IndexSize;
 use spq_graph::types::{Dist, NodeId, Weight, INFINITY, INVALID_NODE};
 use spq_graph::RoadNetwork;
 
 use crate::ordering::{OrderingState, PriorityWeights};
+use crate::search_graph::SearchGraph;
+
+/// Order-preserving map from an `i64` contraction priority to the
+/// unsigned key space of [`IndexedHeap`] (flip the sign bit).
+#[inline]
+fn prio_key(p: i64) -> u64 {
+    (p as u64) ^ (1 << 63)
+}
+
+/// Inverse of [`prio_key`].
+#[inline]
+fn key_prio(k: u64) -> i64 {
+    (k ^ (1 << 63)) as i64
+}
 
 /// Tuning knobs of the contraction process.
 #[derive(Debug, Clone, Copy)]
@@ -102,7 +114,7 @@ struct WitnessSearch {
     dist: Vec<Dist>,
     stamp: Vec<u32>,
     version: u32,
-    heap: BinaryHeap<Reverse<(Dist, NodeId)>>,
+    heap: IndexedHeap,
 }
 
 impl WitnessSearch {
@@ -111,7 +123,7 @@ impl WitnessSearch {
             dist: vec![INFINITY; n],
             stamp: vec![0; n],
             version: 0,
-            heap: BinaryHeap::new(),
+            heap: IndexedHeap::new(n),
         }
     }
 
@@ -135,12 +147,10 @@ impl WitnessSearch {
         self.heap.clear();
         self.dist[source as usize] = 0;
         self.stamp[source as usize] = self.version;
-        self.heap.push(Reverse((0, source)));
+        self.heap.push_or_decrease(source, 0);
         let mut settled = 0usize;
-        while let Some(Reverse((d, u))) = self.heap.pop() {
-            if d > self.dist_of(u) {
-                continue; // stale entry
-            }
+        while let Some((d, u)) = self.heap.pop_min() {
+            debug_assert_eq!(d, self.dist_of(u)); // decrease-key: never stale
             settled += 1;
             if settled > settle_limit || d > cutoff {
                 break;
@@ -153,7 +163,7 @@ impl WitnessSearch {
                 if nd <= cutoff && nd < self.dist_of(e.to) {
                     self.dist[e.to as usize] = nd;
                     self.stamp[e.to as usize] = self.version;
-                    self.heap.push(Reverse((nd, e.to)));
+                    self.heap.push_or_decrease(e.to, nd);
                 }
             }
         }
@@ -191,6 +201,9 @@ pub struct ContractionHierarchy {
     up_weight: Box<[Weight]>,
     up_middle: Box<[NodeId]>,
     num_shortcuts: usize,
+    /// The flattened rank-renumbered layout the query kernels run on,
+    /// derived deterministically from the arrays above.
+    search: SearchGraph,
 }
 
 impl ContractionHierarchy {
@@ -209,43 +222,56 @@ impl ContractionHierarchy {
         // vertex over the read-only starting overlay — the dominant cost
         // of ordering on large networks, and embarrassingly parallel:
         // each worker gets its own search workspace, results come back
-        // in vertex order, so the heap is built from the same sequence
+        // in vertex order, so the queue is built from the same sequence
         // regardless of the thread count.
         let initial = par::par_map_index(
             n,
-            || (WitnessSearch::new(n), Vec::new()),
-            |(witness, scratch), v| {
+            || (WitnessSearch::new(n), Vec::new(), Vec::new()),
+            |(witness, neighbors, shortcuts), v| {
                 let v = v as NodeId;
-                let (sc, inc) =
-                    simulate(&overlay, witness, v, params.witness_settle_limit, scratch);
-                Reverse((state.priority(v, sc.len(), inc), v))
+                let inc = simulate(
+                    &overlay,
+                    witness,
+                    v,
+                    params.witness_settle_limit,
+                    neighbors,
+                    shortcuts,
+                );
+                state.priority(v, shortcuts.len(), inc)
             },
         );
-        let mut queue: BinaryHeap<Reverse<(i64, NodeId)>> = BinaryHeap::from(initial);
+        // The queue holds each vertex exactly once (update-in-place
+        // instead of the duplicate-entry push a `BinaryHeap` would
+        // need), so the lazy-update loop below never allocates.
+        let mut queue: IndexedHeap = IndexedHeap::new(n);
+        for (v, &p) in initial.iter().enumerate() {
+            queue.push_or_update(v as NodeId, prio_key(p));
+        }
 
         let mut witness = WitnessSearch::new(n);
-        let mut scratch = Vec::new();
+        let mut neighbors = Vec::new();
+        let mut shortcuts = Vec::new();
 
         let mut order = Vec::with_capacity(n);
         let mut upward: Vec<Vec<OEdge>> = vec![Vec::new(); n];
         let mut num_shortcuts = 0usize;
-        while let Some(Reverse((prio, v))) = queue.pop() {
-            if overlay.contracted[v as usize] {
-                continue; // stale duplicate
-            }
+        while let Some((key, v)) = queue.pop_min() {
+            debug_assert!(!overlay.contracted[v as usize]);
+            let prio = key_prio(key);
             // Lazy update: recompute; if no longer minimal, requeue.
-            let (shortcuts, incident) = simulate(
+            let incident = simulate(
                 &overlay,
                 &mut witness,
                 v,
                 params.witness_settle_limit,
-                &mut scratch,
+                &mut neighbors,
+                &mut shortcuts,
             );
             let fresh = state.priority(v, shortcuts.len(), incident);
             if fresh > prio {
-                if let Some(&Reverse((top, _))) = queue.peek() {
-                    if fresh > top {
-                        queue.push(Reverse((fresh, v)));
+                if let Some(top) = queue.peek_key() {
+                    if prio_key(fresh) > top {
+                        queue.push_or_update(v, prio_key(fresh));
                         continue;
                     }
                 }
@@ -258,7 +284,7 @@ impl ContractionHierarchy {
                 overlay.upsert(u, w, weight, v);
                 num_shortcuts += 1;
             }
-            for e in upward[v as usize].clone() {
+            for e in &upward[v as usize] {
                 state.on_contract_neighbor(v, e.to);
             }
             order.push(v);
@@ -277,17 +303,19 @@ impl ContractionHierarchy {
         let params = ChParams::default();
         let mut overlay = Overlay::from_network(net);
         let mut witness = WitnessSearch::new(n);
-        let mut scratch = Vec::new();
+        let mut neighbors = Vec::new();
+        let mut shortcuts = Vec::new();
         let mut upward: Vec<Vec<OEdge>> = vec![Vec::new(); n];
         let mut num_shortcuts = 0usize;
         for &v in order {
             assert!(!overlay.contracted[v as usize], "duplicate in order");
-            let (shortcuts, _) = simulate(
+            simulate(
                 &overlay,
                 &mut witness,
                 v,
                 params.witness_settle_limit,
-                &mut scratch,
+                &mut neighbors,
+                &mut shortcuts,
             );
             upward[v as usize] = overlay.live_edges(v).collect();
             overlay.contracted[v as usize] = true;
@@ -325,6 +353,7 @@ impl ContractionHierarchy {
                 up_middle[base + i] = e.middle;
             }
         }
+        let search = SearchGraph::build(&rank, &up_first, &up_head, &up_weight, &up_middle);
         ContractionHierarchy {
             rank: rank.into_boxed_slice(),
             up_first: up_first.into_boxed_slice(),
@@ -332,6 +361,7 @@ impl ContractionHierarchy {
             up_weight: up_weight.into_boxed_slice(),
             up_middle: up_middle.into_boxed_slice(),
             num_shortcuts,
+            search,
         }
     }
 
@@ -447,6 +477,7 @@ impl ContractionHierarchy {
                 }
             }
         }
+        let search = SearchGraph::build(&rank, &up_first, &up_head, &up_weight, &up_middle);
         Ok(ContractionHierarchy {
             rank: rank.into_boxed_slice(),
             up_first: up_first.into_boxed_slice(),
@@ -454,7 +485,14 @@ impl ContractionHierarchy {
             up_weight: up_weight.into_boxed_slice(),
             up_middle: up_middle.into_boxed_slice(),
             num_shortcuts,
+            search,
         })
+    }
+
+    /// The flattened rank-renumbered search graph the query kernels use.
+    #[inline]
+    pub fn search_graph(&self) -> &SearchGraph {
+        &self.search
     }
 }
 
@@ -465,6 +503,7 @@ impl IndexSize for ContractionHierarchy {
             + self.up_head.len() * 4
             + self.up_weight.len() * 4
             + self.up_middle.len() * 4
+            + self.search.index_size_bytes()
     }
 }
 
@@ -477,19 +516,22 @@ pub(crate) type RawParts<'a> = (
     &'a [NodeId],
 );
 
-/// Simulates contracting `v`: returns the shortcuts it would create (as
-/// `(u, w, weight)` with `u`, `w` live neighbours) and its live degree.
+/// Simulates contracting `v`: fills `shortcuts` with the shortcuts it
+/// would create (as `(u, w, weight)` with `u`, `w` live neighbours) and
+/// returns its live degree. Both scratch vectors are cleared and reused
+/// across calls so the contraction loop stays allocation-free.
 fn simulate(
     overlay: &Overlay,
     witness: &mut WitnessSearch,
     v: NodeId,
     settle_limit: usize,
     neighbors_scratch: &mut Vec<OEdge>,
-) -> (Vec<(NodeId, NodeId, Weight)>, usize) {
+    shortcuts: &mut Vec<(NodeId, NodeId, Weight)>,
+) -> usize {
     neighbors_scratch.clear();
+    shortcuts.clear();
     neighbors_scratch.extend(overlay.live_edges(v));
     let neighbors = &*neighbors_scratch;
-    let mut shortcuts = Vec::new();
     for (i, eu) in neighbors.iter().enumerate() {
         if i + 1 == neighbors.len() {
             break;
@@ -512,7 +554,7 @@ fn simulate(
             }
         }
     }
-    (shortcuts, neighbors.len())
+    neighbors.len()
 }
 
 #[cfg(test)]
@@ -601,7 +643,11 @@ mod tests {
     fn index_size_counts_all_arrays() {
         let g = figure1();
         let ch = ContractionHierarchy::build(&g);
-        let expect = 8 * 4 + 9 * 4 + ch.num_upward_edges() * 12;
-        assert_eq!(ch.index_size_bytes(), expect);
+        // Base arrays: rank + up_first + three parallel edge arrays.
+        let base = 8 * 4 + 9 * 4 + ch.num_upward_edges() * 12;
+        // Search graph: two permutations, two CSR offset arrays, and the
+        // 12-byte interleaved records of both halves.
+        let flat = 2 * 8 * 4 + 2 * 9 * 4 + 2 * ch.num_upward_edges() * 12;
+        assert_eq!(ch.index_size_bytes(), base + flat);
     }
 }

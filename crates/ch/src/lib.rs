@@ -12,9 +12,12 @@
 //! The crate exposes three layers:
 //!
 //! * [`ContractionHierarchy`] — the preprocessed index ([`build`] /
-//!   [`build_with_params`] / [`build_with_order`]).
+//!   [`build_with_params`] / [`build_with_order`]), which carries the
+//!   flattened rank-renumbered [`SearchGraph`] the query kernels run on.
 //! * [`ChQuery`] — a reusable query workspace for distance and
-//!   shortest-path queries.
+//!   shortest-path queries over the flat layout ([`LegacyChQuery`] keeps
+//!   the original CSR-walking kernel as the reference and bench
+//!   baseline).
 //! * [`ManyToMany`] — bucket-based distance tables between node sets,
 //!   the engine behind TNR's preprocessing (paper §4.1: "we employed CH
 //!   to accelerate the shortest path computation required in the
@@ -37,11 +40,15 @@
 
 pub mod backend;
 pub mod contraction;
+pub mod legacy;
 pub mod many2many;
 pub mod ordering;
 pub mod persist;
 pub mod query;
+pub mod search_graph;
 
 pub use contraction::{ChParams, ContractionHierarchy};
+pub use legacy::LegacyChQuery;
 pub use many2many::{par_table, ManyToMany};
 pub use query::ChQuery;
+pub use search_graph::{SearchEdge, SearchGraph};

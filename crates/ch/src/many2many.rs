@@ -13,18 +13,20 @@ use spq_graph::par;
 use spq_graph::types::{Dist, NodeId, INFINITY};
 
 use crate::contraction::ContractionHierarchy;
+use crate::search_graph::SearchGraph;
 
 /// Reusable upward-search workspace: an exhaustive Dijkstra over the
-/// upward graph of a hierarchy, recording every settled vertex. The
-/// upward search space is tiny (polylogarithmic in practice), so no
-/// pruning is needed. Each preprocessing worker thread owns one.
+/// flattened upward half of the search graph, in rank space, recording
+/// every settled vertex. The upward search space is tiny
+/// (polylogarithmic in practice), so no pruning is needed. Each
+/// preprocessing worker thread owns one.
 struct UpwardSearch {
     dist: Vec<Dist>,
     stamp: Vec<u32>,
     version: u32,
     heap: IndexedHeap,
-    /// `(vertex, dist)` pairs settled by the most recent search.
-    settled: Vec<(NodeId, Dist)>,
+    /// `(rank, dist)` pairs settled by the most recent search.
+    settled: Vec<(u32, Dist)>,
 }
 
 impl UpwardSearch {
@@ -38,7 +40,7 @@ impl UpwardSearch {
         }
     }
 
-    fn run(&mut self, ch: &ContractionHierarchy, root: NodeId) {
+    fn run(&mut self, sg: &SearchGraph, root: u32) {
         self.version = self.version.wrapping_add(1);
         if self.version == 0 {
             self.stamp.fill(0);
@@ -52,26 +54,28 @@ impl UpwardSearch {
         self.heap.push_or_decrease(root, 0);
         while let Some((d, u)) = self.heap.pop_min() {
             self.settled.push((u, d));
-            for (_, h, w) in ch.upward_edges(u) {
-                let nd = d + w as Dist;
-                let hi = h as usize;
+            for e in sg.up(u) {
+                let nd = d + e.weight as Dist;
+                let hi = e.target as usize;
                 if self.stamp[hi] != version || nd < self.dist[hi] {
                     self.dist[hi] = nd;
                     self.stamp[hi] = version;
-                    self.heap.push_or_decrease(h, nd);
+                    self.heap.push_or_decrease(e.target, nd);
                 }
             }
         }
     }
 }
 
-/// Many-to-many distance computation workspace.
+/// Many-to-many distance computation workspace. Sources and targets are
+/// original vertex ids; internally everything runs in rank space over
+/// the flat search graph.
 pub struct ManyToMany<'a> {
-    ch: &'a ContractionHierarchy,
+    sg: &'a SearchGraph,
     search: UpwardSearch,
-    /// `buckets[v]` holds `(target_index, dist(v ↑ target))` entries.
+    /// `buckets[r]` holds `(target_index, dist(r ↑ target))` entries.
     buckets: Vec<Vec<(u32, Dist)>>,
-    touched_buckets: Vec<NodeId>,
+    touched_buckets: Vec<u32>,
     /// Number of targets in the most recent [`ManyToMany::prepare_targets`].
     prepared: usize,
 }
@@ -79,9 +83,10 @@ pub struct ManyToMany<'a> {
 impl<'a> ManyToMany<'a> {
     /// Creates a workspace bound to `ch`.
     pub fn new(ch: &'a ContractionHierarchy) -> Self {
-        let n = ch.num_nodes();
+        let sg = ch.search_graph();
+        let n = sg.num_nodes();
         ManyToMany {
-            ch,
+            sg,
             search: UpwardSearch::new(n),
             buckets: vec![Vec::new(); n],
             touched_buckets: Vec::new(),
@@ -99,12 +104,12 @@ impl<'a> ManyToMany<'a> {
         }
         self.prepared = targets.len();
         for (j, &t) in targets.iter().enumerate() {
-            self.search.run(self.ch, t);
+            self.search.run(self.sg, self.sg.rank_of(t));
             for i in 0..self.search.settled.len() {
-                let (v, d) = self.search.settled[i];
-                let bucket = &mut self.buckets[v as usize];
+                let (r, d) = self.search.settled[i];
+                let bucket = &mut self.buckets[r as usize];
                 if bucket.is_empty() {
-                    self.touched_buckets.push(v);
+                    self.touched_buckets.push(r);
                 }
                 bucket.push((j as u32, d));
             }
@@ -116,10 +121,10 @@ impl<'a> ManyToMany<'a> {
     pub fn distances_from(&mut self, source: NodeId, row: &mut [Dist]) {
         assert_eq!(row.len(), self.prepared, "row must match prepare_targets");
         row.fill(INFINITY);
-        self.search.run(self.ch, source);
+        self.search.run(self.sg, self.sg.rank_of(source));
         for i in 0..self.search.settled.len() {
-            let (v, d) = self.search.settled[i];
-            for &(j, dt) in &self.buckets[v as usize] {
+            let (r, d) = self.search.settled[i];
+            for &(j, dt) in &self.buckets[r as usize] {
                 let total = d + dt;
                 if total < row[j as usize] {
                     row[j as usize] = total;
@@ -160,23 +165,24 @@ impl<'a> ManyToMany<'a> {
 /// minimum (order-insensitive), so the table is identical to
 /// [`ManyToMany::table`]'s for any thread count.
 pub fn par_table(ch: &ContractionHierarchy, sources: &[NodeId], targets: &[NodeId]) -> Vec<Dist> {
-    let n = ch.num_nodes();
+    let sg = ch.search_graph();
+    let n = sg.num_nodes();
     let m = targets.len();
 
     // Phase 1: per-target settled sets, then a sequential deposit in
     // target order (identical bucket entry order to the sequential path).
-    let settled_per_target: Vec<Vec<(NodeId, Dist)>> = par::par_map(
+    let settled_per_target: Vec<Vec<(u32, Dist)>> = par::par_map(
         targets,
         || UpwardSearch::new(n),
         |ws, &t| {
-            ws.run(ch, t);
+            ws.run(sg, sg.rank_of(t));
             ws.settled.clone()
         },
     );
     let mut buckets: Vec<Vec<(u32, Dist)>> = vec![Vec::new(); n];
     for (j, settled) in settled_per_target.iter().enumerate() {
-        for &(v, d) in settled {
-            buckets[v as usize].push((j as u32, d));
+        for &(r, d) in settled {
+            buckets[r as usize].push((j as u32, d));
         }
     }
     drop(settled_per_target);
@@ -187,11 +193,11 @@ pub fn par_table(ch: &ContractionHierarchy, sources: &[NodeId], targets: &[NodeI
         sources,
         || UpwardSearch::new(n),
         |ws, &s| {
-            ws.run(ch, s);
+            ws.run(sg, sg.rank_of(s));
             let mut row = vec![INFINITY; m];
             for i in 0..ws.settled.len() {
-                let (v, d) = ws.settled[i];
-                for &(j, dt) in &buckets[v as usize] {
+                let (r, d) = ws.settled[i];
+                for &(j, dt) in &buckets[r as usize] {
                     let total = d + dt;
                     if total < row[j as usize] {
                         row[j as usize] = total;

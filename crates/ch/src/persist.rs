@@ -7,18 +7,51 @@
 use std::io::{self, Read, Write};
 
 use spq_graph::binio::{self, IndexLoadError};
+use spq_graph::types::NodeId;
 
 use crate::contraction::ContractionHierarchy;
+use crate::search_graph::SearchEdge;
 
 const MAGIC: &[u8; 4] = b"SPQC";
-/// Version 2 wraps the payload in the checksummed container
-/// ([`binio::write_checksummed`]); version-1 files predate it and are
-/// refused at load (rebuild to migrate).
-const VERSION: u32 = 2;
+/// Version 3 appends the flattened rank-renumbered search graph to the
+/// version-2 payload, so a load hands the query kernels the exact layout
+/// that was built (and cross-checks it against a fresh derivation).
+/// Version-2 files (base arrays only) still load — the search graph is
+/// rebuilt on the fly. Version-1 files predate the checksummed container
+/// ([`binio::write_checksummed`]) and are refused (rebuild to migrate).
+const VERSION: u32 = 3;
+const MIN_VERSION: u32 = 2;
+
+/// Flattens interleaved edge records to the plain `u32` stream
+/// [`binio::write_u32s`] speaks: `target, weight, middle` per record.
+fn edges_to_u32s(edges: &[SearchEdge]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(edges.len() * 3);
+    for e in edges {
+        out.push(e.target);
+        out.push(e.weight);
+        out.push(e.middle);
+    }
+    out
+}
+
+fn u32s_to_edges(raw: &[u32]) -> Result<Vec<SearchEdge>, String> {
+    if raw.len() % 3 != 0 {
+        return Err("edge section length is not a multiple of 3".into());
+    }
+    Ok(raw
+        .chunks_exact(3)
+        .map(|c| SearchEdge {
+            target: c[0],
+            weight: c[1],
+            middle: c[2],
+        })
+        .collect())
+}
 
 impl ContractionHierarchy {
-    /// Serialises the hierarchy (ranks + upward graph + shortcut tags)
-    /// inside a checksummed container.
+    /// Serialises the hierarchy (ranks + upward graph + shortcut tags,
+    /// followed by the flat search-graph sections) inside a checksummed
+    /// container.
     pub fn write_binary(&self, w: &mut impl Write) -> io::Result<()> {
         let mut body = Vec::new();
         binio::write_u64(&mut body, self.num_shortcuts() as u64)?;
@@ -28,14 +61,22 @@ impl ContractionHierarchy {
         binio::write_u32s(&mut body, up_head)?;
         binio::write_u32s(&mut body, up_weight)?;
         binio::write_u32s(&mut body, up_middle)?;
+        let (node, sg_up_first, sg_up, sg_down_first, sg_down) = self.search_graph().sections();
+        binio::write_u32s(&mut body, node)?;
+        binio::write_u32s(&mut body, sg_up_first)?;
+        binio::write_u32s(&mut body, &edges_to_u32s(sg_up))?;
+        binio::write_u32s(&mut body, sg_down_first)?;
+        binio::write_u32s(&mut body, &edges_to_u32s(sg_down))?;
         binio::write_checksummed(w, MAGIC, VERSION, &body)
     }
 
     /// Deserialises a hierarchy written by
     /// [`ContractionHierarchy::write_binary`], verifying the checksum
-    /// and structural invariants before returning it.
+    /// and structural invariants before returning it. Accepts version-2
+    /// files (pre-search-graph) as a migration path: their flat layout
+    /// is rebuilt from the base arrays.
     pub fn read_binary(r: &mut impl Read) -> Result<ContractionHierarchy, IndexLoadError> {
-        let body = binio::read_checksummed(r, MAGIC, VERSION)?;
+        let (version, body) = binio::read_checksummed_versioned(r, MAGIC, MIN_VERSION, VERSION)?;
         let r = &mut &body[..];
         let num_shortcuts = binio::read_u64(r)? as usize;
         let rank = binio::read_u32s(r)?;
@@ -43,7 +84,7 @@ impl ContractionHierarchy {
         let up_head = binio::read_u32s(r)?;
         let up_weight = binio::read_u32s(r)?;
         let up_middle = binio::read_u32s(r)?;
-        ContractionHierarchy::from_raw_parts(
+        let ch = ContractionHierarchy::from_raw_parts(
             rank,
             up_first,
             up_head,
@@ -51,7 +92,29 @@ impl ContractionHierarchy {
             up_middle,
             num_shortcuts,
         )
-        .map_err(IndexLoadError::Corrupt)
+        .map_err(IndexLoadError::Corrupt)?;
+        if version >= 3 {
+            // The stored search graph must equal the one derived from the
+            // base arrays — anything else means the two sections of the
+            // file disagree, i.e. it was not produced by `write_binary`.
+            let node: Vec<NodeId> = binio::read_u32s(r)?;
+            let sg_up_first = binio::read_u32s(r)?;
+            let sg_up = u32s_to_edges(&binio::read_u32s(r)?).map_err(IndexLoadError::Corrupt)?;
+            let sg_down_first = binio::read_u32s(r)?;
+            let sg_down = u32s_to_edges(&binio::read_u32s(r)?).map_err(IndexLoadError::Corrupt)?;
+            let (enode, eup_first, eup, edown_first, edown) = ch.search_graph().sections();
+            if node != enode
+                || sg_up_first != eup_first
+                || sg_up != eup
+                || sg_down_first != edown_first
+                || sg_down != edown
+            {
+                return Err(IndexLoadError::Corrupt(
+                    "search-graph section disagrees with the base arrays".into(),
+                ));
+            }
+        }
+        Ok(ch)
     }
 }
 
@@ -71,6 +134,7 @@ mod tests {
             let ch2 = ContractionHierarchy::read_binary(&mut &buf[..]).unwrap();
             assert_eq!(ch2.num_nodes(), ch.num_nodes());
             assert_eq!(ch2.num_shortcuts(), ch.num_shortcuts());
+            assert_eq!(ch2.search_graph(), ch.search_graph());
             let mut q1 = ChQuery::new(&ch);
             let mut q2 = ChQuery::new(&ch2);
             for s in 0..g.num_nodes() as NodeId {
@@ -83,6 +147,62 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A version-2 file (base arrays only, no search-graph sections)
+    /// must still load, with the flat layout rebuilt on the fly.
+    #[test]
+    fn migrates_version_2_files() {
+        let g = grid_graph(5, 6);
+        let ch = ContractionHierarchy::build(&g);
+        let mut body = Vec::new();
+        binio::write_u64(&mut body, ch.num_shortcuts() as u64).unwrap();
+        let (rank, up_first, up_head, up_weight, up_middle) = ch.raw_parts();
+        binio::write_u32s(&mut body, rank).unwrap();
+        binio::write_u32s(&mut body, up_first).unwrap();
+        binio::write_u32s(&mut body, up_head).unwrap();
+        binio::write_u32s(&mut body, up_weight).unwrap();
+        binio::write_u32s(&mut body, up_middle).unwrap();
+        let mut v2 = Vec::new();
+        binio::write_checksummed(&mut v2, MAGIC, 2, &body).unwrap();
+
+        let migrated = ContractionHierarchy::read_binary(&mut &v2[..]).unwrap();
+        assert_eq!(migrated.search_graph(), ch.search_graph());
+        // Re-serialising the migrated index produces a current-version
+        // file, byte-identical to serialising the original.
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        migrated.write_binary(&mut a).unwrap();
+        ch.write_binary(&mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    /// A tampered search-graph section is rejected even though the base
+    /// arrays parse (the checksum is recomputed to isolate the
+    /// cross-section consistency check).
+    #[test]
+    fn rejects_inconsistent_search_graph_section() {
+        let g = grid_graph(4, 4);
+        let ch = ContractionHierarchy::build(&g);
+        let mut buf = Vec::new();
+        ch.write_binary(&mut buf).unwrap();
+        // Re-pack the container with one weight flipped in the flat
+        // upward section (the last-but-one array of the body).
+        let body_start = 4 + 4 + 8 + 8;
+        let mut body = buf[body_start..].to_vec();
+        let n = ch.num_nodes();
+        let m = ch.num_upward_edges();
+        // Offsets: u64 + five base arrays (each u64 len + payload), the
+        // node array, the up_first array, then the up edge records.
+        let base = 8 + (8 + n * 4) + (8 + (n + 1) * 4) + 3 * (8 + m * 4);
+        let up_records = base + (8 + n * 4) + (8 + (n + 1) * 4) + 8;
+        body[up_records + 4] ^= 1; // weight of the first flat record
+        let mut tampered = Vec::new();
+        binio::write_checksummed(&mut tampered, MAGIC, VERSION, &body).unwrap();
+        let err = ContractionHierarchy::read_binary(&mut &tampered[..]).unwrap_err();
+        assert!(
+            matches!(err, IndexLoadError::Corrupt(ref m) if m.contains("search-graph")),
+            "got: {err}"
+        );
     }
 
     #[test]

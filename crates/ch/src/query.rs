@@ -1,47 +1,71 @@
-//! CH distance and shortest-path queries (paper §3.2).
+//! CH distance and shortest-path queries (paper §3.2) over the flattened
+//! rank-renumbered [`SearchGraph`].
+//!
+//! The kernel never touches original vertex ids except at the boundary:
+//! endpoints are translated to ranks on entry, unpacked paths back to
+//! original ids on exit. In between, every settle scans one contiguous
+//! slice of interleaved [`SearchEdge`](crate::search_graph::SearchEdge)
+//! records whose targets ascend — the layout the cache wants.
 
 use spq_graph::backend::QueryBudget;
 use spq_graph::heap::IndexedHeap;
 use spq_graph::types::{Dist, NodeId, INFINITY, INVALID_NODE};
 
 use crate::contraction::ContractionHierarchy;
-
-const NO_EDGE: u32 = u32::MAX;
+use crate::search_graph::{SearchGraph, NO_MIDDLE};
 
 /// One direction's workspace of the bidirectional upward search.
-#[derive(Debug, Clone)]
+///
+/// Sized lazily on the first query: a freshly constructed [`ChQuery`]
+/// owns no n-length arrays, so spinning up a worker pool against a large
+/// graph costs nothing until a worker actually serves a query — and from
+/// the second query on, a side is allocation-free.
+#[derive(Debug)]
 struct Side {
     dist: Vec<Dist>,
-    /// Upward-edge index that discovered each vertex (for path retrieval).
-    parent_edge: Vec<u32>,
-    parent: Vec<NodeId>,
+    /// Rank of the vertex that discovered each vertex (for path
+    /// retrieval).
+    parent: Vec<u32>,
+    /// Middle tag of the discovering edge ([`NO_MIDDLE`] if original).
+    parent_middle: Vec<u32>,
     stamp: Vec<u32>,
     heap: IndexedHeap,
 }
 
 impl Side {
-    fn new(n: usize) -> Self {
+    fn empty() -> Self {
         Side {
-            dist: vec![INFINITY; n],
-            parent_edge: vec![NO_EDGE; n],
-            parent: vec![INVALID_NODE; n],
-            stamp: vec![0; n],
-            heap: IndexedHeap::new(n),
+            dist: Vec::new(),
+            parent: Vec::new(),
+            parent_middle: Vec::new(),
+            stamp: Vec::new(),
+            heap: IndexedHeap::new(0),
         }
     }
 
-    fn begin(&mut self, root: NodeId, version: u32) {
+    /// Grows the workspace to cover `n` vertices (no-op once grown).
+    fn ensure(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist = vec![INFINITY; n];
+            self.parent = vec![INVALID_NODE; n];
+            self.parent_middle = vec![NO_MIDDLE; n];
+            self.stamp = vec![0; n];
+            self.heap = IndexedHeap::new(n);
+        }
+    }
+
+    fn begin(&mut self, root: u32, version: u32) {
         self.heap.clear();
         self.dist[root as usize] = 0;
-        self.parent_edge[root as usize] = NO_EDGE;
         self.parent[root as usize] = INVALID_NODE;
+        self.parent_middle[root as usize] = NO_MIDDLE;
         self.stamp[root as usize] = version;
         self.heap.push_or_decrease(root, 0);
     }
 
     #[inline]
-    fn reached(&self, v: NodeId, version: u32) -> bool {
-        self.stamp[v as usize] == version
+    fn reached(&self, r: u32, version: u32) -> bool {
+        self.stamp[r as usize] == version
     }
 }
 
@@ -56,10 +80,12 @@ impl Side {
 ///
 /// Shortest-path queries additionally unpack shortcuts: a shortcut tagged
 /// with contracted vertex `m` between `u` and `w` is recursively replaced
-/// by the hierarchy edges (u, m) and (m, w).
-#[derive(Debug, Clone)]
+/// by the hierarchy edges (u, m) and (m, w), looked up in the search
+/// graph's downward half.
+#[derive(Debug)]
 pub struct ChQuery<'a> {
     ch: &'a ContractionHierarchy,
+    sg: &'a SearchGraph,
     fwd: Side,
     bwd: Side,
     version: u32,
@@ -69,19 +95,33 @@ pub struct ChQuery<'a> {
     pub stall_on_demand: bool,
     /// Vertices settled by the most recent query.
     pub last_settled: usize,
-    /// Scratch stack for shortcut unpacking.
-    unpack_stack: Vec<(NodeId, NodeId, u32)>,
+    /// Scratch stack for shortcut unpacking: `(a, b, middle)` in rank
+    /// space.
+    unpack_stack: Vec<(u32, u32, u32)>,
     budget: QueryBudget,
 }
 
+impl Clone for ChQuery<'_> {
+    /// Cloning yields a fresh workspace against the same hierarchy —
+    /// lazily sized, like [`ChQuery::new`] — rather than copying the
+    /// megabytes of per-query scratch state.
+    fn clone(&self) -> Self {
+        let mut q = ChQuery::new(self.ch);
+        q.stall_on_demand = self.stall_on_demand;
+        q.budget = self.budget.clone();
+        q
+    }
+}
+
 impl<'a> ChQuery<'a> {
-    /// Creates a workspace bound to `ch`.
+    /// Creates a workspace bound to `ch`. Allocation of the n-sized
+    /// search arrays is deferred to the first query.
     pub fn new(ch: &'a ContractionHierarchy) -> Self {
-        let n = ch.num_nodes();
         ChQuery {
             ch,
-            fwd: Side::new(n),
-            bwd: Side::new(n),
+            sg: ch.search_graph(),
+            fwd: Side::empty(),
+            bwd: Side::empty(),
             version: 0,
             stall_on_demand: true,
             last_settled: 0,
@@ -116,64 +156,70 @@ impl<'a> ChQuery<'a> {
     /// in the original network, with all shortcuts unpacked.
     pub fn shortest_path(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
         let (d, meet) = self.search(s, t)?;
-        // The augmented path: s ..fwd.. meet ..bwd.. t, as hierarchy edges.
+        let rs = self.sg.rank_of(s);
+        let rt = self.sg.rank_of(t);
+        // The augmented path: s ..fwd.. meet ..bwd.. t, as hierarchy edges
+        // in rank space; original ids appear only as the path is emitted.
         let mut path = vec![s];
         // Forward half (s -> meet), collected backwards then reversed.
         let mut fwd_edges = Vec::new();
         let mut cur = meet;
-        while cur != s {
-            let e = self.fwd.parent_edge[cur as usize];
+        while cur != rs {
+            let m = self.fwd.parent_middle[cur as usize];
             let from = self.fwd.parent[cur as usize];
-            fwd_edges.push((from, cur, e));
+            fwd_edges.push((from, cur, m));
             cur = from;
         }
         fwd_edges.reverse();
-        for (from, to, e) in fwd_edges {
-            self.append_unpacked(from, to, e, &mut path);
+        for (from, to, m) in fwd_edges {
+            self.append_unpacked(from, to, m, &mut path);
         }
         // Backward half (meet -> t): bwd parents walk toward t.
         let mut cur = meet;
-        while cur != t {
-            let e = self.bwd.parent_edge[cur as usize];
+        while cur != rt {
+            let m = self.bwd.parent_middle[cur as usize];
             let to = self.bwd.parent[cur as usize];
-            self.append_unpacked(cur, to, e, &mut path);
+            self.append_unpacked(cur, to, m, &mut path);
             cur = to;
         }
         Some((d, path))
     }
 
-    /// Appends the expansion of hierarchy edge `e` (known to connect
-    /// `from` to `to`, in that travel direction) to `path`, excluding
+    /// Appends the expansion of the hierarchy edge from rank `from` to
+    /// rank `to` tagged `middle` to `path` (original ids), excluding
     /// `from` itself. Iterative to survive very long shortcut chains.
-    fn append_unpacked(&mut self, from: NodeId, to: NodeId, e: u32, path: &mut Vec<NodeId>) {
-        debug_assert_eq!(path.last().copied(), Some(from));
+    fn append_unpacked(&mut self, from: u32, to: u32, middle: u32, path: &mut Vec<NodeId>) {
+        debug_assert_eq!(path.last().copied(), Some(self.sg.orig_of(from)));
         self.unpack_stack.clear();
-        self.unpack_stack.push((from, to, e));
-        while let Some((a, b, e)) = self.unpack_stack.pop() {
-            let m = self.ch.edge_middle(e);
-            if m == INVALID_NODE {
-                path.push(b);
+        self.unpack_stack.push((from, to, middle));
+        while let Some((a, b, m)) = self.unpack_stack.pop() {
+            if m == NO_MIDDLE {
+                path.push(self.sg.orig_of(b));
             } else {
                 // Shortcut tagged m: replace with (a, m) then (m, b). The
                 // halves are upward edges *of m* (m was contracted before
-                // both endpoints). Push in reverse order: stack is LIFO.
+                // both endpoints), found in the endpoints' downward
+                // lists. Push in reverse order: stack is LIFO.
                 let e1 = self
-                    .ch
-                    .upward_edge_to(m, a)
+                    .sg
+                    .down_edge_to(a, m)
                     .expect("shortcut half (m, a) must exist in the hierarchy");
                 let e2 = self
-                    .ch
-                    .upward_edge_to(m, b)
+                    .sg
+                    .down_edge_to(b, m)
                     .expect("shortcut half (m, b) must exist in the hierarchy");
-                self.unpack_stack.push((m, b, e2));
-                self.unpack_stack.push((a, m, e1));
+                self.unpack_stack.push((m, b, e2.middle));
+                self.unpack_stack.push((a, m, e1.middle));
             }
         }
     }
 
-    /// The bidirectional upward search. Returns `(distance, meeting
-    /// vertex)`.
-    fn search(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, NodeId)> {
+    /// The bidirectional upward search, entirely in rank space. Returns
+    /// `(distance, meeting rank)`.
+    fn search(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, u32)> {
+        let n = self.sg.num_nodes();
+        self.fwd.ensure(n);
+        self.bwd.ensure(n);
         self.version = self.version.wrapping_add(1);
         if self.version == 0 {
             self.fwd.stamp.fill(0);
@@ -182,14 +228,16 @@ impl<'a> ChQuery<'a> {
         }
         let version = self.version;
         self.last_settled = 0;
-        self.fwd.begin(s, version);
-        self.bwd.begin(t, version);
-        if s == t {
-            return Some((0, s));
+        let rs = self.sg.rank_of(s);
+        let rt = self.sg.rank_of(t);
+        self.fwd.begin(rs, version);
+        self.bwd.begin(rt, version);
+        if rs == rt {
+            return Some((0, rs));
         }
 
         let mut mu = INFINITY;
-        let mut meet = INVALID_NODE;
+        let mut meet = u32::MAX;
         loop {
             let ftop = self.fwd.heap.peek_key().unwrap_or(INFINITY);
             let btop = self.bwd.heap.peek_key().unwrap_or(INFINITY);
@@ -228,36 +276,34 @@ impl<'a> ChQuery<'a> {
                 }
             }
 
+            let edges = self.sg.up(u);
+
             // Stall-on-demand: if a higher-ranked, already-settled
             // neighbour offers a shorter way back down to u, u cannot be
             // on a shortest up-down path; skip expanding it.
-            if self.stall_on_demand {
-                let mut stalled = false;
-                for (_, h, w) in self.ch.upward_edges(u) {
-                    if this.reached(h, version) && this.dist[h as usize] + (w as Dist) < d {
-                        stalled = true;
-                        break;
-                    }
-                }
-                if stalled {
-                    continue;
-                }
+            if self.stall_on_demand
+                && edges.iter().any(|e| {
+                    this.reached(e.target, version)
+                        && this.dist[e.target as usize] + (e.weight as Dist) < d
+                })
+            {
+                continue;
             }
 
-            for (e, h, w) in self.ch.upward_edges(u) {
-                let nd = d + w as Dist;
-                let hi = h as usize;
+            for e in edges {
+                let nd = d + e.weight as Dist;
+                let hi = e.target as usize;
                 if this.stamp[hi] != version || nd < this.dist[hi] {
                     this.dist[hi] = nd;
                     this.parent[hi] = u;
-                    this.parent_edge[hi] = e;
+                    this.parent_middle[hi] = e.middle;
                     this.stamp[hi] = version;
-                    this.heap.push_or_decrease(h, nd);
+                    this.heap.push_or_decrease(e.target, nd);
                 }
             }
         }
 
-        if meet == INVALID_NODE {
+        if meet == u32::MAX {
             None
         } else {
             Some((mu, meet))
@@ -269,6 +315,7 @@ impl<'a> ChQuery<'a> {
 mod tests {
     use super::*;
     use crate::contraction::ContractionHierarchy;
+    use crate::legacy::LegacyChQuery;
     use spq_dijkstra::Dijkstra;
     use spq_graph::toy::{figure1, grid_graph};
     use spq_graph::RoadNetwork;
@@ -276,6 +323,7 @@ mod tests {
     fn check_all_pairs(g: &RoadNetwork, ch: &ContractionHierarchy) {
         let n = g.num_nodes() as NodeId;
         let mut q = ChQuery::new(ch);
+        let mut legacy = LegacyChQuery::new(ch);
         let mut reference = Dijkstra::new(g.num_nodes());
         for s in 0..n {
             reference.run(g, s);
@@ -291,6 +339,9 @@ mod tests {
                     expect,
                     "path ({s},{t}) must be edge-valid and optimal: {path:?}"
                 );
+                // The flat kernel is a re-layout, not a re-algorithm: it
+                // must reproduce the legacy kernel's answers exactly.
+                assert_eq!(legacy.shortest_path(s, t), Some((d, path)), "({s},{t})");
             }
         }
     }
@@ -357,6 +408,21 @@ mod tests {
             q.last_settled,
             d.stats.settled
         );
+    }
+
+    #[test]
+    fn clone_starts_lazy_but_answers_identically() {
+        let g = grid_graph(6, 6);
+        let ch = ContractionHierarchy::build(&g);
+        let mut q = ChQuery::new(&ch);
+        assert_eq!(q.fwd.dist.len(), 0, "construction must not allocate");
+        q.distance(0, 35);
+        let mut c = q.clone();
+        assert_eq!(c.fwd.dist.len(), 0, "clone must reset to lazy");
+        for (s, t) in [(0u32, 35u32), (5, 30), (12, 12)] {
+            assert_eq!(c.distance(s, t), q.distance(s, t));
+            assert_eq!(c.shortest_path(s, t), q.shortest_path(s, t));
+        }
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! The flattened, rank-renumbered CH search graph — the cache-conscious
+//! layout the query kernels run on.
+//!
+//! [`ContractionHierarchy`](crate::ContractionHierarchy) keeps its upward
+//! graph keyed by *original* vertex ids, which is the natural shape for
+//! contraction and persistence but a poor one for querying: the upward
+//! search of §3.2 spends its time on the few thousand most important
+//! vertices, and under original ids those are scattered across the whole
+//! id space, so every settle is a cache miss.
+//!
+//! [`SearchGraph`] renumbers vertices by contraction rank (vertex `r` is
+//! the one contracted `r`-th), which clusters the hot high-ranked core at
+//! the top of every array, and stores two flattened CSR halves of
+//! interleaved [`SearchEdge`] records:
+//!
+//! * the **upward** half: for each vertex, its upward edges with targets
+//!   in ascending rank — one contiguous 12-byte-record scan per settle,
+//!   shared by both directions of the bidirectional search (the network
+//!   is undirected);
+//! * the **downward** half: the transpose, sorted by source rank — the
+//!   lookup structure for shortcut unpacking (the two halves of a
+//!   shortcut tagged `m` are upward edges *of* `m`, found in the
+//!   downward lists of the shortcut's endpoints by binary search).
+//!
+//! Original ids appear only at the boundary: [`SearchGraph::rank_of`] on
+//! the way in, [`SearchGraph::orig_of`] when emitting unpacked paths.
+
+use spq_graph::size::IndexSize;
+use spq_graph::types::{NodeId, Weight, INVALID_NODE};
+
+/// "Not a shortcut" marker in [`SearchEdge::middle`].
+pub const NO_MIDDLE: u32 = u32::MAX;
+
+/// One interleaved edge record of the flattened search graph. All fields
+/// are in rank space; 12 bytes, so a 64-byte cache line holds five and a
+/// typical upward adjacency (3–5 edges) is a single-line scan.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchEdge {
+    /// Rank of the other endpoint (above in the upward half, below in
+    /// the downward half).
+    pub target: u32,
+    /// Edge weight.
+    pub weight: Weight,
+    /// Rank of the contracted vertex this shortcut replaces, or
+    /// [`NO_MIDDLE`] for an original road edge.
+    pub middle: u32,
+}
+
+/// Borrowed persistence sections of a [`SearchGraph`]:
+/// `(node, up_first, up, down_first, down)`.
+pub(crate) type Sections<'a> = (
+    &'a [NodeId],
+    &'a [u32],
+    &'a [SearchEdge],
+    &'a [u32],
+    &'a [SearchEdge],
+);
+
+/// The rank-renumbered flat search graph. Built once after contraction
+/// (deterministically — pure array transposition, no ordering choices)
+/// and immutable afterwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchGraph {
+    /// Original id → rank.
+    rank: Box<[u32]>,
+    /// Rank → original id (inverse permutation of `rank`).
+    node: Box<[NodeId]>,
+    up_first: Box<[u32]>,
+    up: Box<[SearchEdge]>,
+    down_first: Box<[u32]>,
+    down: Box<[SearchEdge]>,
+}
+
+impl SearchGraph {
+    /// Builds the flat graph from the hierarchy's raw arrays (original-id
+    /// space, as produced by contraction or loaded from disk).
+    pub(crate) fn build(
+        rank: &[u32],
+        up_first: &[u32],
+        up_head: &[NodeId],
+        up_weight: &[Weight],
+        up_middle: &[NodeId],
+    ) -> SearchGraph {
+        let n = rank.len();
+        let mut node = vec![0 as NodeId; n];
+        for (v, &r) in rank.iter().enumerate() {
+            node[r as usize] = v as NodeId;
+        }
+
+        // Upward half: per-rank adjacency, preserving each vertex's edge
+        // order (already ascending by target rank from `freeze`).
+        let mut flat_first = vec![0u32; n + 1];
+        for r in 0..n {
+            let v = node[r] as usize;
+            flat_first[r + 1] = flat_first[r] + (up_first[v + 1] - up_first[v]);
+        }
+        let total = flat_first[n] as usize;
+        let mut up = Vec::with_capacity(total);
+        for &v in node.iter() {
+            let v = v as usize;
+            for e in up_first[v] as usize..up_first[v + 1] as usize {
+                let m = up_middle[e];
+                up.push(SearchEdge {
+                    target: rank[up_head[e] as usize],
+                    weight: up_weight[e],
+                    middle: if m == INVALID_NODE {
+                        NO_MIDDLE
+                    } else {
+                        rank[m as usize]
+                    },
+                });
+            }
+        }
+
+        // Downward half: the transpose. Filling in ascending source rank
+        // leaves every down list sorted by target (= source rank), with
+        // parallel edges in their source's upward order — exactly the
+        // record a legacy `upward_edge_to` first-match lookup would pick.
+        let mut down_first = vec![0u32; n + 1];
+        for e in &up {
+            down_first[e.target as usize + 1] += 1;
+        }
+        for r in 0..n {
+            down_first[r + 1] += down_first[r];
+        }
+        let mut cursor: Vec<u32> = down_first[..n].to_vec();
+        let mut down = vec![
+            SearchEdge {
+                target: 0,
+                weight: 0,
+                middle: NO_MIDDLE
+            };
+            total
+        ];
+        for r in 0..n as u32 {
+            for e in &up[flat_first[r as usize] as usize..flat_first[r as usize + 1] as usize] {
+                let slot = &mut cursor[e.target as usize];
+                down[*slot as usize] = SearchEdge {
+                    target: r,
+                    weight: e.weight,
+                    middle: e.middle,
+                };
+                *slot += 1;
+            }
+        }
+
+        SearchGraph {
+            rank: rank.to_vec().into_boxed_slice(),
+            node: node.into_boxed_slice(),
+            up_first: flat_first.into_boxed_slice(),
+            up: up.into_boxed_slice(),
+            down_first: down_first.into_boxed_slice(),
+            down: down.into_boxed_slice(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.node.len()
+    }
+
+    /// Number of edges in each half.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.up.len()
+    }
+
+    /// Rank of original vertex `v`.
+    #[inline]
+    pub fn rank_of(&self, v: NodeId) -> u32 {
+        self.rank[v as usize]
+    }
+
+    /// Original id of the vertex at rank `r`.
+    #[inline]
+    pub fn orig_of(&self, r: u32) -> NodeId {
+        self.node[r as usize]
+    }
+
+    /// Upward edges of the vertex at rank `r` (targets ascend, all `> r`).
+    #[inline]
+    pub fn up(&self, r: u32) -> &[SearchEdge] {
+        &self.up[self.up_first[r as usize] as usize..self.up_first[r as usize + 1] as usize]
+    }
+
+    /// Downward edges of the vertex at rank `r` (targets ascend, all
+    /// `< r`): the upward edges that point *to* `r`, keyed by their
+    /// source.
+    #[inline]
+    pub fn down(&self, r: u32) -> &[SearchEdge] {
+        &self.down[self.down_first[r as usize] as usize..self.down_first[r as usize + 1] as usize]
+    }
+
+    /// Finds the edge from `below` up to `r` — the record in `r`'s
+    /// downward list with the given target — via binary search. With
+    /// parallel edges, returns the first, matching the legacy kernel's
+    /// first-match lookup. Shortcut unpacking's only search primitive.
+    #[inline]
+    pub fn down_edge_to(&self, r: u32, below: u32) -> Option<&SearchEdge> {
+        let list = self.down(r);
+        let i = list.partition_point(|e| e.target < below);
+        list.get(i).filter(|e| e.target == below)
+    }
+
+    /// Raw sections for persistence: `(node, up_first, up, down_first,
+    /// down)`.
+    pub(crate) fn sections(&self) -> Sections<'_> {
+        (
+            &self.node,
+            &self.up_first,
+            &self.up,
+            &self.down_first,
+            &self.down,
+        )
+    }
+}
+
+impl IndexSize for SearchGraph {
+    fn index_size_bytes(&self) -> usize {
+        self.rank.len() * 4
+            + self.node.len() * 4
+            + self.up_first.len() * 4
+            + self.up.len() * std::mem::size_of::<SearchEdge>()
+            + self.down_first.len() * 4
+            + self.down.len() * std::mem::size_of::<SearchEdge>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contraction::ContractionHierarchy;
+    use spq_graph::toy::{figure1, grid_graph};
+
+    #[test]
+    fn records_are_twelve_bytes() {
+        assert_eq!(std::mem::size_of::<SearchEdge>(), 12);
+    }
+
+    #[test]
+    fn flat_graph_mirrors_hierarchy() {
+        let g = figure1();
+        let ch = ContractionHierarchy::build(&g);
+        let sg = ch.search_graph();
+        assert_eq!(sg.num_nodes(), 8);
+        assert_eq!(sg.num_edges(), ch.num_upward_edges());
+        for v in 0..8u32 {
+            let r = sg.rank_of(v);
+            assert_eq!(sg.orig_of(r), v);
+            assert_eq!(r, ch.rank(v));
+            let flat = sg.up(r);
+            let legacy: Vec<_> = ch.upward_edges(v).collect();
+            assert_eq!(flat.len(), legacy.len());
+            for (fe, &(e, head, w)) in flat.iter().zip(&legacy) {
+                assert_eq!(fe.target, ch.rank(head));
+                assert_eq!(fe.weight, w);
+                let m = ch.edge_middle(e);
+                if m == INVALID_NODE {
+                    assert_eq!(fe.middle, NO_MIDDLE);
+                } else {
+                    assert_eq!(fe.middle, ch.rank(m));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn up_targets_ascend_within_and_above_source() {
+        let g = grid_graph(6, 7);
+        let ch = ContractionHierarchy::build(&g);
+        let sg = ch.search_graph();
+        for r in 0..sg.num_nodes() as u32 {
+            let mut prev = r; // targets must all exceed the source rank
+            for e in sg.up(r) {
+                assert!(e.target > r);
+                assert!(e.target >= prev, "targets must ascend");
+                prev = e.target;
+            }
+        }
+    }
+
+    #[test]
+    fn down_is_the_exact_transpose() {
+        let g = grid_graph(5, 9);
+        let ch = ContractionHierarchy::build(&g);
+        let sg = ch.search_graph();
+        let n = sg.num_nodes() as u32;
+        let mut down_seen = 0usize;
+        for r in 0..n {
+            let mut prev = 0;
+            for e in sg.down(r) {
+                assert!(e.target < r);
+                assert!(e.target >= prev, "down targets must ascend");
+                prev = e.target;
+                // The matching upward record must exist below.
+                assert!(sg
+                    .up(e.target)
+                    .iter()
+                    .any(|u| u.target == r && u.weight == e.weight && u.middle == e.middle));
+                down_seen += 1;
+            }
+        }
+        assert_eq!(down_seen, sg.num_edges());
+        // And the binary-search lookup agrees with a linear scan.
+        for r in 0..n {
+            for below in 0..r {
+                let linear = sg.down(r).iter().find(|e| e.target == below);
+                assert_eq!(sg.down_edge_to(r, below), linear);
+            }
+        }
+    }
+}

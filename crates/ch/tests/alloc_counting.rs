@@ -1,0 +1,80 @@
+//! Allocation accounting for the flat CH query kernel.
+//!
+//! The serving path promises microsecond-scale distance queries, which
+//! dies the moment a query allocates: one heap round trip costs more
+//! than an entire small upward search. The kernel's contract is
+//! therefore *lazy then never* — a workspace defers its n-sized arrays
+//! to the first query, and from then on every distance query runs
+//! allocation-free. A counting shim around the system allocator pins
+//! both halves of that contract down.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use spq_ch::{ChQuery, ContractionHierarchy};
+use spq_graph::toy::grid_graph;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn distance_queries_do_not_allocate_after_warmup() {
+    let g = grid_graph(20, 20);
+    let ch = ContractionHierarchy::build(&g);
+    let n = g.num_nodes() as u32;
+
+    // Construction is lazy: a fresh workspace must not pay the O(n)
+    // arrays (a handful of empty-container setup allocations are fine;
+    // four n-sized vectors per side are not).
+    let before_new = allocations();
+    let mut q = ChQuery::new(&ch);
+    let after_new = allocations();
+    assert!(
+        after_new - before_new < 8,
+        "ChQuery::new allocated {} times — workspace sizing is not lazy",
+        after_new - before_new
+    );
+
+    // First query: allocates the workspaces, once.
+    assert!(q.distance(0, n - 1).is_some());
+
+    // Steady state: no allocation, whatever the query mix.
+    let pairs: Vec<(u32, u32)> = (0..50u32)
+        .map(|i| ((i * 37) % n, (i * 151 + 13) % n))
+        .collect();
+    let before = allocations();
+    let mut acc = 0u64;
+    for &(s, t) in &pairs {
+        acc = acc.wrapping_add(q.distance(s, t).unwrap_or(0));
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "warm distance queries allocated (checksum {acc})"
+    );
+}

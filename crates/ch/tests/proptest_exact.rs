@@ -2,7 +2,7 @@
 //! graphs — distances equal Dijkstra's, paths are edge-valid and optimal.
 
 use proptest::prelude::*;
-use spq_ch::{ChQuery, ContractionHierarchy};
+use spq_ch::{ChQuery, ContractionHierarchy, LegacyChQuery};
 use spq_dijkstra::Dijkstra;
 use spq_graph::arbitrary::small_connected_network;
 use spq_graph::types::NodeId;
@@ -22,6 +22,23 @@ proptest! {
                 let (pd, path) = q.shortest_path(s, t).unwrap();
                 prop_assert_eq!(Some(pd), d.distance(t));
                 prop_assert_eq!(net.path_length(&path), d.distance(t));
+            }
+        }
+    }
+
+    /// The flat rank-renumbered kernel is a memory-layout change, not an
+    /// algorithmic one: on any connected network it must return the same
+    /// distances *and the same unpacked vertex sequences* as the legacy
+    /// CSR-walking kernel, query for query.
+    #[test]
+    fn flat_kernel_equals_legacy_kernel(net in small_connected_network()) {
+        let ch = ContractionHierarchy::build(&net);
+        let mut flat = ChQuery::new(&ch);
+        let mut legacy = LegacyChQuery::new(&ch);
+        for s in 0..net.num_nodes() as NodeId {
+            for t in 0..net.num_nodes() as NodeId {
+                prop_assert_eq!(flat.distance(s, t), legacy.distance(s, t));
+                prop_assert_eq!(flat.shortest_path(s, t), legacy.shortest_path(s, t));
             }
         }
     }

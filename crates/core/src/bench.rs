@@ -1,0 +1,773 @@
+//! `spq bench` — the query-latency measurement and regression harness.
+//!
+//! Times the point-to-point distance kernel of every backend (the five
+//! paper techniques plus ALT and arc flags), the CH shortest-path
+//! (unpack) kernel, the legacy CSR-walking CH kernel it replaced, and
+//! CH's bucket-based many-to-many, on Table-1 proxy networks. Results
+//! go to a JSON report with one entry per line:
+//!
+//! ```text
+//! {"mode":"smoke","network":"DE","vertices":122,"backend":"ch","op":"distance","queries":512,"median_ns":850.2},
+//! ```
+//!
+//! Two modes live in one file: `full` (Table-1 proxies at 1/40 scale,
+//! DE–CO) is the number that matters, `smoke` (1/400 scale, DE–ME) is
+//! cheap enough for CI. A default run produces both; `--smoke`
+//! restricts to the smoke entries so CI can regenerate them and compare
+//! against the committed baseline with [`check_against`].
+//!
+//! The regression check normalises every median by the same run's
+//! bidirectional-Dijkstra median on the same network, so it compares
+//! *relative* query cost and tolerates absolute machine-speed
+//! differences between the baseline host and the CI runner. The
+//! trade-off: a regression confined to the baseline itself shifts every
+//! ratio down instead of tripping its own row, which is why the
+//! Dijkstra kernel is also covered by Criterion benches.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use spq_alt::{Alt, AltParams};
+use spq_arcflags::{ArcFlags, ArcFlagsParams};
+use spq_ch::{ChQuery, ContractionHierarchy, LegacyChQuery, ManyToMany};
+use spq_dijkstra::BiDijkstra;
+use spq_graph::types::NodeId;
+use spq_graph::RoadNetwork;
+use spq_pcpd::Pcpd;
+use spq_silc::Silc;
+use spq_synth::{Dataset, Scale};
+use spq_tnr::{Tnr, TnrParams};
+
+/// Vertex ceiling for the all-pairs techniques (SILC, PCPD): beyond
+/// this the quadratic preprocessing dominates the whole run, and the
+/// paper itself confines them to the smallest datasets (§4.3).
+const ALL_PAIRS_CAP: usize = 6_000;
+
+/// Chunk size for the chunked-median timer: one `Instant` read per
+/// `CHUNK` queries keeps clock overhead under ~1% even for the
+/// sub-microsecond CH kernel.
+const CHUNK: usize = 32;
+
+/// Repetitions of the whole chunked-median measurement per cell; the
+/// *minimum* of the per-rep medians is reported. A single median still
+/// jitters ±30% on the microsecond-scale smoke cells — enough to trip
+/// a 25% gate on machine noise alone — while the min over a few reps
+/// converges on the noise-free cost, which is the quantity a
+/// regression check should compare.
+const REPS: usize = 3;
+
+/// Many-to-many table side (sources × targets per `table` call).
+const M2M_SIDE: usize = 24;
+
+/// Repetitions of the many-to-many table, median taken across them.
+const M2M_REPS: usize = 9;
+
+/// Medians below this are excluded from the regression gate: a cell in
+/// the tens of nanoseconds (TNR's table hits on the smoke networks) is
+/// dominated by timer granularity and branch-predictor state, and
+/// run-to-run jitter there dwarfs any real regression signal.
+const NOISE_FLOOR_NS: f64 = 500.0;
+
+/// Options for one `spq bench` invocation.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Only produce the `smoke` entries (the CI configuration).
+    pub smoke_only: bool,
+    /// Report path.
+    pub out: PathBuf,
+    /// Baseline report to compare against; any entry regressing by more
+    /// than `tolerance` fails the run.
+    pub check: Option<PathBuf>,
+    /// Allowed relative regression per entry (0.25 = 25%).
+    pub tolerance: f64,
+    /// Timed query pairs per (network, backend); 0 picks the default
+    /// (1024, or 256 under `SPQ_TEST_FAST=1`).
+    pub queries: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            smoke_only: false,
+            out: PathBuf::from("BENCH_query.json"),
+            check: None,
+            tolerance: 0.25,
+            queries: 0,
+            seed: 0x5eed_0bec,
+        }
+    }
+}
+
+/// One measured (network, backend, op) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// `smoke` or `full`.
+    pub mode: String,
+    /// Table-1 dataset name.
+    pub network: String,
+    /// Vertices in the proxy network.
+    pub vertices: usize,
+    /// Backend name (`dijkstra`, `ch`, `ch_legacy`, ...).
+    pub backend: String,
+    /// `distance`, `path`, or `m2m` (ns per table entry).
+    pub op: String,
+    /// Timed queries (or table entries) behind the median.
+    pub queries: usize,
+    /// Median nanoseconds per query.
+    pub median_ns: f64,
+}
+
+impl Entry {
+    /// The comparison key: everything but the measurement itself.
+    fn key(&self) -> (String, String, String, String) {
+        (
+            self.mode.clone(),
+            self.network.clone(),
+            self.backend.clone(),
+            self.op.clone(),
+        )
+    }
+
+    fn to_json_line(&self) -> String {
+        format!(
+            "{{\"mode\":\"{}\",\"network\":\"{}\",\"vertices\":{},\"backend\":\"{}\",\"op\":\"{}\",\"queries\":{},\"median_ns\":{:.1}}}",
+            self.mode, self.network, self.vertices, self.backend, self.op, self.queries, self.median_ns
+        )
+    }
+}
+
+/// Renders the whole report (line-oriented: one entry per line, so the
+/// regression checker and shell tools can grep it without a JSON
+/// parser).
+pub fn render_report(entries: &[Entry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"spq-bench-v1\",\n  \"unit\": \"median_ns per query\",\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(out, "    {}{}", e.to_json_line(), comma);
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses a report produced by [`render_report`]. Entry objects are
+/// recognised line by line; malformed entry lines are an error (a
+/// silently shrinking baseline would disable the regression gate).
+pub fn parse_report(text: &str) -> Result<Vec<Entry>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') || !line.contains("\"mode\"") {
+            continue;
+        }
+        let parse = || -> Option<Entry> {
+            Some(Entry {
+                mode: json_str(line, "mode")?,
+                network: json_str(line, "network")?,
+                vertices: json_num(line, "vertices")? as usize,
+                backend: json_str(line, "backend")?,
+                op: json_str(line, "op")?,
+                queries: json_num(line, "queries")? as usize,
+                median_ns: json_num(line, "median_ns")?,
+            })
+        };
+        match parse() {
+            Some(e) => out.push(e),
+            None => return Err(format!("malformed bench entry on line {}", lineno + 1)),
+        }
+    }
+    if out.is_empty() {
+        return Err("no bench entries found in report".into());
+    }
+    Ok(out)
+}
+
+/// Extracts `"key":"value"` from a single-line JSON object.
+fn json_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_string())
+}
+
+/// Extracts `"key":number` from a single-line JSON object.
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Chunked-median timer: runs `pairs` through `f` in chunks of
+/// [`CHUNK`], one warm-up chunk untimed, and takes the median of the
+/// per-chunk mean ns/query — the median across chunks shrugs off a
+/// scheduler hiccup that would wreck a single mean. The whole pass is
+/// repeated [`REPS`] times and the minimum median reported, so the
+/// gate compares noise-free costs instead of whichever tail each run
+/// happened to land on.
+fn median_ns<F: FnMut(NodeId, NodeId) -> u64>(pairs: &[(NodeId, NodeId)], mut f: F) -> f64 {
+    assert!(pairs.len() >= 2 * CHUNK, "need at least two chunks");
+    let mut sink = 0u64;
+    for &(s, t) in &pairs[..CHUNK] {
+        sink = sink.wrapping_add(f(s, t));
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let mut per_chunk: Vec<f64> = Vec::with_capacity(pairs.len() / CHUNK);
+        for chunk in pairs.chunks_exact(CHUNK) {
+            let t0 = Instant::now();
+            for &(s, t) in chunk {
+                sink = sink.wrapping_add(f(s, t));
+            }
+            per_chunk.push(t0.elapsed().as_nanos() as f64 / CHUNK as f64);
+        }
+        best = best.min(median(&mut per_chunk));
+    }
+    std::hint::black_box(sink);
+    best
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// Deterministic query pairs: uniform over vertices, seeded per
+/// (network, seed) — same workload on every run and host.
+fn query_pairs(net: &RoadNetwork, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let n = net.num_nodes() as u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            (
+                (rng.random::<u64>() % n) as NodeId,
+                (rng.random::<u64>() % n) as NodeId,
+            )
+        })
+        .collect()
+}
+
+/// The timed query count for one backend row. Deliberately *not*
+/// shrunk under `SPQ_TEST_FAST`: the regression gate compares medians
+/// against a committed baseline, and the two runs must draw the exact
+/// same workload — a different pair count changes which chunk is the
+/// median, which reads as a phantom regression on the bimodal backends
+/// (TNR's locality filter, PCPD's pair classes).
+fn default_queries() -> usize {
+    1024
+}
+
+/// Measures every backend on one network, appending entries.
+fn bench_network(
+    entries: &mut Vec<Entry>,
+    mode: &str,
+    dataset: &Dataset,
+    net: &RoadNetwork,
+    queries: usize,
+    seed: u64,
+) {
+    let n = net.num_nodes();
+    let pairs = query_pairs(net, queries, seed ^ dataset.paper_vertices);
+    let mut push = |backend: &str, op: &str, q: usize, ns: f64| {
+        eprintln!(
+            "[bench {mode}/{}] {backend:>9} {op:<8} {ns:>12.1} ns/query",
+            dataset.name
+        );
+        entries.push(Entry {
+            mode: mode.to_string(),
+            network: dataset.name.to_string(),
+            vertices: n,
+            backend: backend.to_string(),
+            op: op.to_string(),
+            queries: q,
+            median_ns: ns,
+        });
+    };
+
+    // Dijkstra first: it is the normalisation denominator for the
+    // regression check, so it must exist for every network.
+    let mut bi = BiDijkstra::new(n);
+    push(
+        "dijkstra",
+        "distance",
+        pairs.len(),
+        median_ns(&pairs, |s, t| bi.distance(net, s, t).unwrap_or(0)),
+    );
+
+    // One CH build serves four kernels: the flat distance/path kernels,
+    // the legacy comparison kernel, and the bucket many-to-many.
+    let ch = ContractionHierarchy::build(net);
+    {
+        let mut q = ChQuery::new(&ch);
+        push(
+            "ch",
+            "distance",
+            pairs.len(),
+            median_ns(&pairs, |s, t| q.distance(s, t).unwrap_or(0)),
+        );
+        push(
+            "ch",
+            "path",
+            pairs.len(),
+            median_ns(&pairs, |s, t| {
+                q.shortest_path(s, t)
+                    .map(|(d, p)| d + p.len() as u64)
+                    .unwrap_or(0)
+            }),
+        );
+    }
+    {
+        let mut q = LegacyChQuery::new(&ch);
+        push(
+            "ch_legacy",
+            "distance",
+            pairs.len(),
+            median_ns(&pairs, |s, t| q.distance(s, t).unwrap_or(0)),
+        );
+        push(
+            "ch_legacy",
+            "path",
+            pairs.len(),
+            median_ns(&pairs, |s, t| {
+                q.shortest_path(s, t)
+                    .map(|(d, p)| d + p.len() as u64)
+                    .unwrap_or(0)
+            }),
+        );
+    }
+    {
+        let side = M2M_SIDE.min(n);
+        let sources: Vec<NodeId> = pairs.iter().take(side).map(|&(s, _)| s).collect();
+        let targets: Vec<NodeId> = pairs.iter().take(side).map(|&(_, t)| t).collect();
+        let mut m2m = ManyToMany::new(&ch);
+        let mut sink = 0u64;
+        let mut reps: Vec<f64> = Vec::with_capacity(M2M_REPS);
+        sink = sink.wrapping_add(m2m.table(&sources, &targets).len() as u64); // warm-up
+        for _ in 0..M2M_REPS {
+            let t0 = Instant::now();
+            let table = m2m.table(&sources, &targets);
+            reps.push(t0.elapsed().as_nanos() as f64 / table.len() as f64);
+            sink = sink.wrapping_add(table.iter().copied().fold(0u64, u64::wrapping_add));
+        }
+        std::hint::black_box(sink);
+        push("ch", "m2m", side * side, median(&mut reps));
+    }
+
+    {
+        let tnr = Tnr::build(net, &TnrParams::default());
+        let mut q = tnr.query().with_network(net);
+        push(
+            "tnr",
+            "distance",
+            pairs.len(),
+            median_ns(&pairs, |s, t| q.distance(s, t).unwrap_or(0)),
+        );
+    }
+    {
+        let alt = Alt::build(
+            net,
+            &AltParams {
+                num_landmarks: 16.min(n),
+                ..AltParams::default()
+            },
+        );
+        let mut q = alt.query(net);
+        push(
+            "alt",
+            "distance",
+            pairs.len(),
+            median_ns(&pairs, |s, t| q.distance(s, t).unwrap_or(0)),
+        );
+    }
+    {
+        let af = ArcFlags::build(net, &ArcFlagsParams::default());
+        let mut q = af.query(net);
+        push(
+            "arcflags",
+            "distance",
+            pairs.len(),
+            median_ns(&pairs, |s, t| q.distance(s, t).unwrap_or(0)),
+        );
+    }
+    if n <= ALL_PAIRS_CAP {
+        {
+            let silc = Silc::build(net);
+            let mut q = silc.query(net);
+            push(
+                "silc",
+                "distance",
+                pairs.len(),
+                median_ns(&pairs, |s, t| q.distance(s, t).unwrap_or(0)),
+            );
+        }
+        {
+            let pcpd = Pcpd::build(net);
+            let mut q = pcpd.query(net);
+            push(
+                "pcpd",
+                "distance",
+                pairs.len(),
+                median_ns(&pairs, |s, t| q.distance(s, t).unwrap_or(0)),
+            );
+        }
+    } else {
+        eprintln!(
+            "[bench {mode}/{}] silc/pcpd skipped: {n} vertices exceeds the all-pairs cap ({ALL_PAIRS_CAP})",
+            dataset.name
+        );
+    }
+}
+
+/// Runs the harness: builds each mode's networks, measures every
+/// backend, writes the report, and (when requested) gates against a
+/// baseline. Returns the entries it measured.
+pub fn run(opts: &BenchOptions) -> Result<Vec<Entry>, String> {
+    let queries = if opts.queries > 0 {
+        opts.queries.max(2 * CHUNK)
+    } else {
+        default_queries()
+    };
+    let mut modes: Vec<(&str, Scale, Vec<&'static Dataset>)> = vec![(
+        "smoke",
+        Scale::Smoke,
+        ["DE", "NH", "ME"]
+            .iter()
+            .map(|n| Dataset::by_name(n).unwrap())
+            .collect(),
+    )];
+    if !opts.smoke_only {
+        modes.push((
+            "full",
+            Scale::Paper,
+            ["DE", "NH", "ME", "CO"]
+                .iter()
+                .map(|n| Dataset::by_name(n).unwrap())
+                .collect(),
+        ));
+    }
+
+    let mut entries = Vec::new();
+    for (mode, scale, datasets) in modes {
+        for dataset in datasets {
+            let t0 = Instant::now();
+            let net = dataset.build_with_seed(scale, opts.seed);
+            eprintln!(
+                "[bench {mode}/{}] n = {}, m = {} (built in {:.2?})",
+                dataset.name,
+                net.num_nodes(),
+                net.num_edges(),
+                t0.elapsed()
+            );
+            bench_network(&mut entries, mode, dataset, &net, queries, opts.seed);
+        }
+    }
+
+    if let Some(parent) = opts.out.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("create {}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(&opts.out, render_report(&entries))
+        .map_err(|e| format!("write {}: {e}", opts.out.display()))?;
+    eprintln!(
+        "[bench] wrote {} ({} entries)",
+        opts.out.display(),
+        entries.len()
+    );
+
+    if let Some(baseline) = &opts.check {
+        check_against(&entries, baseline, opts.tolerance)?;
+    }
+    Ok(entries)
+}
+
+/// Compares a run against a baseline report, Dijkstra-normalised.
+///
+/// For every entry of the current run whose (mode, network, backend,
+/// op) also exists in the baseline, both medians are divided by their
+/// own run's `dijkstra`/`distance` median on the same (mode, network);
+/// the entry fails when the current ratio exceeds the baseline ratio by
+/// more than `tolerance`. Baseline entries missing from the current run
+/// (for the modes that ran) also fail — a backend silently dropping out
+/// of the bench must not pass the gate. Cells whose median is under
+/// [`NOISE_FLOOR_NS`] on either side are reported but not gated; they
+/// still fail when missing entirely.
+pub fn check_against(current: &[Entry], baseline: &Path, tolerance: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline)
+        .map_err(|e| format!("read baseline {}: {e}", baseline.display()))?;
+    let base = parse_report(&text)?;
+
+    let dijkstra_of = |entries: &[Entry], mode: &str, network: &str| -> Option<f64> {
+        entries
+            .iter()
+            .find(|e| {
+                e.mode == mode
+                    && e.network == network
+                    && e.backend == "dijkstra"
+                    && e.op == "distance"
+            })
+            .map(|e| e.median_ns)
+    };
+
+    let modes_run: Vec<String> = {
+        let mut m: Vec<String> = current.iter().map(|e| e.mode.clone()).collect();
+        m.sort();
+        m.dedup();
+        m
+    };
+
+    let mut failures = Vec::new();
+    let mut compared = 0usize;
+    for b in base.iter().filter(|b| modes_run.contains(&b.mode)) {
+        let Some(c) = current.iter().find(|c| c.key() == b.key()) else {
+            failures.push(format!(
+                "{}/{} {} {}: present in baseline but missing from this run",
+                b.mode, b.network, b.backend, b.op
+            ));
+            continue;
+        };
+        if b.backend == "dijkstra" && b.op == "distance" {
+            continue; // the normalisation unit compares as 1.0 by construction
+        }
+        compared += 1;
+        if b.median_ns < NOISE_FLOOR_NS || c.median_ns < NOISE_FLOOR_NS {
+            eprintln!(
+                "[bench] {}/{} {} {}: under the {NOISE_FLOOR_NS:.0} ns noise floor ({:.1} ns), not gated",
+                b.mode, b.network, b.backend, b.op, c.median_ns
+            );
+            continue;
+        }
+        let (Some(bd), Some(cd)) = (
+            dijkstra_of(&base, &b.mode, &b.network),
+            dijkstra_of(current, &b.mode, &b.network),
+        ) else {
+            failures.push(format!(
+                "{}/{}: no dijkstra distance row to normalise against",
+                b.mode, b.network
+            ));
+            continue;
+        };
+        let base_ratio = b.median_ns / bd;
+        let cur_ratio = c.median_ns / cd;
+        if cur_ratio > base_ratio * (1.0 + tolerance) {
+            failures.push(format!(
+                "{}/{} {} {}: {:.4}x dijkstra vs {:.4}x in baseline (+{:.0}% > {:.0}% tolerance)",
+                b.mode,
+                b.network,
+                b.backend,
+                b.op,
+                cur_ratio,
+                base_ratio,
+                (cur_ratio / base_ratio - 1.0) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    if compared == 0 && failures.is_empty() {
+        return Err("baseline shares no comparable entries with this run".into());
+    }
+    if failures.is_empty() {
+        eprintln!(
+            "[bench] regression check passed: {compared} entries within {:.0}% of {}",
+            tolerance * 100.0,
+            baseline.display()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "performance regression against {}:\n  {}",
+            baseline.display(),
+            failures.join("\n  ")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(mode: &str, network: &str, backend: &str, op: &str, ns: f64) -> Entry {
+        Entry {
+            mode: mode.into(),
+            network: network.into(),
+            vertices: 100,
+            backend: backend.into(),
+            op: op.into(),
+            queries: 64,
+            median_ns: ns,
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_through_parser() {
+        let entries = vec![
+            entry("smoke", "DE", "dijkstra", "distance", 51000.4),
+            entry("smoke", "DE", "ch", "distance", 850.0),
+            entry("full", "CO", "ch", "m2m", 120.7),
+        ];
+        let text = render_report(&entries);
+        assert_eq!(parse_report(&text).unwrap(), entries);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_entries() {
+        let text = "{\n\"entries\": [\n{\"mode\":\"smoke\",\"network\":3}\n]}\n";
+        assert!(parse_report(text).unwrap_err().contains("malformed"));
+    }
+
+    fn write_baseline(entries: &[Entry]) -> tempdir::TempPath {
+        tempdir::write(render_report(entries))
+    }
+
+    /// Minimal temp-file helper (no tempfile crate in the workspace).
+    mod tempdir {
+        use std::path::PathBuf;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        pub struct TempPath(pub PathBuf);
+        impl Drop for TempPath {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+
+        static N: AtomicU64 = AtomicU64::new(0);
+
+        pub fn write(text: String) -> TempPath {
+            let path = std::env::temp_dir().join(format!(
+                "spq_bench_test_{}_{}.json",
+                std::process::id(),
+                N.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::write(&path, text).unwrap();
+            TempPath(path)
+        }
+    }
+
+    #[test]
+    fn check_passes_when_ratios_hold_despite_machine_speed() {
+        let base = vec![
+            entry("smoke", "DE", "dijkstra", "distance", 10_000.0),
+            entry("smoke", "DE", "ch", "distance", 1_000.0),
+        ];
+        // Twice as slow across the board: same ratios, must pass.
+        let cur = vec![
+            entry("smoke", "DE", "dijkstra", "distance", 20_000.0),
+            entry("smoke", "DE", "ch", "distance", 2_000.0),
+        ];
+        let f = write_baseline(&base);
+        check_against(&cur, &f.0, 0.25).unwrap();
+    }
+
+    #[test]
+    fn check_fails_on_relative_regression() {
+        let base = vec![
+            entry("smoke", "DE", "dijkstra", "distance", 10_000.0),
+            entry("smoke", "DE", "ch", "distance", 1_000.0),
+        ];
+        let cur = vec![
+            entry("smoke", "DE", "dijkstra", "distance", 10_000.0),
+            entry("smoke", "DE", "ch", "distance", 1_400.0),
+        ];
+        let f = write_baseline(&base);
+        let err = check_against(&cur, &f.0, 0.25).unwrap_err();
+        assert!(err.contains("ch distance"), "{err}");
+    }
+
+    #[test]
+    fn check_skips_sub_noise_floor_cells() {
+        let base = vec![
+            entry("smoke", "DE", "dijkstra", "distance", 10_000.0),
+            entry("smoke", "DE", "tnr", "distance", 40.0),
+        ];
+        // 3x slower, but 120 ns is under the floor: must not gate.
+        let cur = vec![
+            entry("smoke", "DE", "dijkstra", "distance", 10_000.0),
+            entry("smoke", "DE", "tnr", "distance", 120.0),
+        ];
+        let f = write_baseline(&base);
+        check_against(&cur, &f.0, 0.25).unwrap();
+    }
+
+    #[test]
+    fn check_fails_on_missing_entry() {
+        let base = vec![
+            entry("smoke", "DE", "dijkstra", "distance", 10_000.0),
+            entry("smoke", "DE", "ch", "distance", 1_000.0),
+        ];
+        let cur = vec![entry("smoke", "DE", "dijkstra", "distance", 10_000.0)];
+        let f = write_baseline(&base);
+        let err = check_against(&cur, &f.0, 0.25).unwrap_err();
+        assert!(err.contains("missing from this run"), "{err}");
+    }
+
+    #[test]
+    fn check_ignores_modes_that_did_not_run() {
+        let base = vec![
+            entry("smoke", "DE", "dijkstra", "distance", 10_000.0),
+            entry("smoke", "DE", "ch", "distance", 1_000.0),
+            entry("full", "CO", "dijkstra", "distance", 90_000.0),
+            entry("full", "CO", "ch", "distance", 2_000.0),
+        ];
+        // A --smoke run must not fail on the absent full entries.
+        let cur = vec![
+            entry("smoke", "DE", "dijkstra", "distance", 10_000.0),
+            entry("smoke", "DE", "ch", "distance", 1_050.0),
+        ];
+        let f = write_baseline(&base);
+        check_against(&cur, &f.0, 0.25).unwrap();
+    }
+
+    #[test]
+    fn smoke_bench_produces_consistent_entries() {
+        // One real (tiny) network through the whole measurement path.
+        let d = Dataset::by_name("DE").unwrap();
+        let net = d.build_with_seed(Scale::Divisor(800.0), 7);
+        let mut entries = Vec::new();
+        bench_network(&mut entries, "smoke", d, &net, 2 * CHUNK, 7);
+        // All seven backends (the network is under the all-pairs cap),
+        // plus the legacy kernel rows, the path rows, and the m2m row.
+        let backends: Vec<&str> = entries.iter().map(|e| e.backend.as_str()).collect();
+        for b in [
+            "dijkstra",
+            "ch",
+            "ch_legacy",
+            "tnr",
+            "silc",
+            "pcpd",
+            "alt",
+            "arcflags",
+        ] {
+            assert!(backends.contains(&b), "missing backend {b}");
+        }
+        assert_eq!(entries.iter().filter(|e| e.op == "path").count(), 2);
+        assert_eq!(entries.iter().filter(|e| e.op == "m2m").count(), 1);
+        assert!(entries.iter().all(|e| e.median_ns > 0.0));
+        // And the rendered report must parse back to the same entries
+        // (medians are serialised at 0.1 ns precision).
+        let rounded: Vec<Entry> = entries
+            .iter()
+            .cloned()
+            .map(|mut e| {
+                e.median_ns = (e.median_ns * 10.0).round() / 10.0;
+                e
+            })
+            .collect();
+        assert_eq!(parse_report(&render_report(&entries)).unwrap(), rounded);
+    }
+}

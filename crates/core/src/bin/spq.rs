@@ -10,6 +10,7 @@
 //! spq verify --net P [--samples N]           certify all techniques
 //! spq serve --net P [--addr A] [--backends L] run the query server
 //! spq loadgen --net P [--concurrency L]      measure serving throughput
+//! spq bench --json [--smoke] [--check B]     query-latency report + regression gate
 //! ```
 //!
 //! `--net P` loads `P.gr` + `P.co` (DIMACS text); `serve` and `loadgen`
@@ -40,6 +41,7 @@ fn main() -> ExitCode {
         Some("verify") => verify(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("loadgen") => loadgen(&args[1..]),
+        Some("bench") => bench(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -69,7 +71,10 @@ fn print_usage() {
          \x20       [--cache N] [--index kind=path]* [--no-degrade] [--grace-ms N]\n\
          \x20       [--max-pending N]                run the TCP query server\n\
          \x20 loadgen (--net P | --target N) [--backends L] [--concurrency L]\n\
-         \x20         [--duration S] [--out F]       measure serving throughput\n\n\
+         \x20         [--duration S] [--warmup-ms N] [--out F]\n\
+         \x20                                        measure serving throughput\n\
+         \x20 bench --json [--smoke] [--out F] [--check BASELINE] [--tolerance R]\n\
+         \x20       [--queries N] [--seed S]        query-latency report + regression gate\n\n\
          serve/loadgen backends: dijkstra,ch,tnr,silc,pcpd,alt,arcflags (or 'all');\n\
          see README.md for the wire protocol."
     );
@@ -414,6 +419,12 @@ fn loadgen(args: &[String]) -> Result<(), String> {
                 .map_err(|_| "--duration must be a number of seconds".to_string())?,
         );
     }
+    if let Some(s) = opt(args, "--warmup-ms") {
+        opts.warmup = Duration::from_millis(
+            s.parse()
+                .map_err(|_| "--warmup-ms must be an integer".to_string())?,
+        );
+    }
     if let Some(s) = opt(args, "--seed") {
         opts.seed = s
             .parse()
@@ -443,6 +454,42 @@ fn loadgen(args: &[String]) -> Result<(), String> {
         return Err("a run completed zero requests".into());
     }
     println!("wrote {out}");
+    Ok(())
+}
+
+fn bench(args: &[String]) -> Result<(), String> {
+    if !flag(args, "--json") {
+        return Err("spq bench only has a JSON report; pass --json".into());
+    }
+    let mut opts = spq_core::bench::BenchOptions {
+        smoke_only: flag(args, "--smoke"),
+        ..spq_core::bench::BenchOptions::default()
+    };
+    if let Some(s) = opt(args, "--out") {
+        opts.out = s.into();
+    }
+    if let Some(s) = opt(args, "--check") {
+        opts.check = Some(s.into());
+    }
+    if let Some(s) = opt(args, "--tolerance") {
+        opts.tolerance = s
+            .parse()
+            .map_err(|_| "--tolerance must be a number (0.25 = 25%)".to_string())?;
+        if !opts.tolerance.is_finite() || opts.tolerance <= 0.0 {
+            return Err("--tolerance must be positive".into());
+        }
+    }
+    if let Some(s) = opt(args, "--queries") {
+        opts.queries = s
+            .parse()
+            .map_err(|_| "--queries must be an integer".to_string())?;
+    }
+    if let Some(s) = opt(args, "--seed") {
+        opts.seed = s
+            .parse()
+            .map_err(|_| "--seed must be an integer".to_string())?;
+    }
+    spq_core::bench::run(&opts)?;
     Ok(())
 }
 

@@ -28,6 +28,7 @@
 //! assert_eq!(net.path_length(&path), Some(d));
 //! ```
 
+pub mod bench;
 pub mod oracle;
 pub mod verify;
 

@@ -211,6 +211,22 @@ pub fn read_checksummed(
     magic: &[u8; 4],
     version: u32,
 ) -> Result<Vec<u8>, IndexLoadError> {
+    read_checksummed_versioned(r, magic, version, version).map(|(_, body)| body)
+}
+
+/// Like [`read_checksummed`] but accepting any version in
+/// `min_version..=max_version`, returning the version found alongside the
+/// verified body. This is the migration entry point: an index format that
+/// bumps its version keeps loading the previous on-disk layout by
+/// widening the accepted range and branching on the returned version.
+/// The checksum is seeded with the *found* version, matching what
+/// [`write_checksummed`] stored when that file was written.
+pub fn read_checksummed_versioned(
+    r: &mut impl Read,
+    magic: &[u8; 4],
+    min_version: u32,
+    max_version: u32,
+) -> Result<(u32, Vec<u8>), IndexLoadError> {
     let mut got_magic = [0u8; 4];
     r.read_exact(&mut got_magic)?;
     if &got_magic != magic {
@@ -222,16 +238,16 @@ pub fn read_checksummed(
     let mut v = [0u8; 4];
     r.read_exact(&mut v)?;
     let found = u32::from_le_bytes(v);
-    if found < version {
+    if found < min_version {
         return Err(IndexLoadError::LegacyVersion {
             found,
-            supported: version,
+            supported: min_version,
         });
     }
-    if found > version {
+    if found > max_version {
         return Err(IndexLoadError::UnsupportedVersion {
             found,
-            supported: version,
+            supported: max_version,
         });
     }
     let body_len = read_u64(r)?;
@@ -256,14 +272,14 @@ pub fn read_checksummed(
             Err(e) => return Err(IndexLoadError::Io(e)),
         }
     }
-    let computed = xxhash64(&body, version as u64);
+    let computed = xxhash64(&body, found as u64);
     if computed != stored {
         return Err(IndexLoadError::ChecksumMismatch {
             expected: stored,
             got: computed,
         });
     }
-    Ok(body)
+    Ok((found, body))
 }
 
 /// Writes the 8-byte header: 4 magic bytes + u32 version.

@@ -314,8 +314,8 @@ mod tests {
         let g = figure1();
         let grid = VertexGrid::build(&g, 4);
         // Radius covering the whole frame returns every vertex.
-        let all: Vec<_> = grid.vertices_within(Cell { cx: 2, cy: 2 }, 4).collect();
-        assert_eq!(all.len(), g.num_nodes());
+        let all = grid.vertices_within(Cell { cx: 2, cy: 2 }, 4).count();
+        assert_eq!(all, g.num_nodes());
     }
 
     #[test]

@@ -107,7 +107,7 @@ proptest! {
 
     #[test]
     fn heap_sorts(keys in proptest::collection::vec(0u64..1_000_000, 1..200)) {
-        let mut h = IndexedHeap::new(keys.len());
+        let mut h: IndexedHeap = IndexedHeap::new(keys.len());
         for (v, &k) in keys.iter().enumerate() {
             h.push_or_decrease(v as NodeId, k);
         }

@@ -34,7 +34,11 @@ OPTIONS:
     --backends <list>      comma-separated backends, or 'all'
                            (dijkstra,ch,tnr,silc,pcpd,alt,arcflags; default 'all')
     --concurrency <list>   comma-separated client-thread counts (default '1,4')
-    --duration <secs>      seconds per timed run, fractions allowed (default 3)
+    --duration <secs>      steady-state seconds per timed run, fractions allowed
+                           (default 3)
+    --warmup-ms <n>        warm-up window before each timed run; connection
+                           setup and cold-start requests are excluded from
+                           the reported QPS (default 250)
     --per-set <n>          query pairs drawn per Q-set (default 200)
     --deadline-ms <n>      per-request deadline in milliseconds (default 0: none)
     --retries <n>          client retries for BUSY/connection loss (default 3)
@@ -97,6 +101,9 @@ fn options(args: &[String]) -> Result<LoadgenOptions, String> {
     }
     if let Some(s) = opt(args, "--duration") {
         opts.duration = Duration::from_secs_f64(parse(&s, "--duration")?);
+    }
+    if let Some(s) = opt(args, "--warmup-ms") {
+        opts.warmup = Duration::from_millis(parse(&s, "--warmup-ms")?);
     }
     if let Some(s) = opt(args, "--per-set") {
         opts.per_set = parse(&s, "--per-set")?;

@@ -38,8 +38,14 @@ pub struct LoadgenOptions {
     pub backends: Vec<BackendKind>,
     /// Concurrency levels to sweep (client threads per run).
     pub concurrency: Vec<usize>,
-    /// Wall-clock duration of each timed run.
+    /// Wall-clock duration of each timed run (steady state, after the
+    /// warm-up window).
     pub duration: Duration,
+    /// Warm-up window preceding each timed run: clients connect and
+    /// issue requests, but nothing is counted. Connection setup, cold
+    /// caches, and the server's first-touch page faults land here
+    /// instead of deflating the reported QPS.
+    pub warmup: Duration,
     /// Query pairs per Q-set fed into the pool.
     pub per_set: usize,
     /// Workload seed.
@@ -60,6 +66,7 @@ impl Default for LoadgenOptions {
             backends: BackendKind::DEFAULT.to_vec(),
             concurrency: vec![1, 4],
             duration: Duration::from_secs(3),
+            warmup: Duration::from_millis(250),
             per_set: 200,
             seed: 0x9e37_79b9,
             verify_samples: 32,
@@ -76,11 +83,12 @@ pub struct ThroughputRow {
     pub backend: String,
     /// Client threads in this run.
     pub concurrency: usize,
-    /// Measured wall-clock seconds.
+    /// Measured steady-state wall-clock seconds (the warm-up window is
+    /// excluded).
     pub seconds: f64,
-    /// Requests completed.
+    /// Requests completed within the timed window.
     pub requests: u64,
-    /// Requests per second.
+    /// Steady-state requests per second.
     pub qps: f64,
     /// Median client-observed latency (µs).
     pub p50_us: f64,
@@ -186,6 +194,14 @@ impl ClientRun {
     }
 }
 
+/// The measurement window of one run: an uncounted warm-up, then the
+/// timed steady-state stretch.
+#[derive(Clone, Copy)]
+struct Window {
+    warmup: Duration,
+    duration: Duration,
+}
+
 /// Drives one backend at one concurrency level. Always returns the
 /// aggregated totals; a thread failure is recorded on the run, not
 /// thrown away with the completed work.
@@ -193,41 +209,56 @@ fn run_one(
     addr: SocketAddr,
     backend: BackendKind,
     concurrency: usize,
-    duration: Duration,
+    window: Window,
     pairs: &[(NodeId, NodeId)],
     retry: &RetryPolicy,
     deadline_ms: u32,
 ) -> (f64, ClientRun) {
     let started = Instant::now();
-    let deadline = started + duration;
+    // Steady-state measurement: the timed window opens only after the
+    // warm-up window, so connection setup and cold-start effects never
+    // count toward QPS.
+    let warm_end = started + window.warmup;
+    let deadline = warm_end + window.duration;
     let runs: Vec<ClientRun> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..concurrency)
-            .map(|worker| {
-                scope.spawn(move || -> ClientRun {
-                    let mut policy = retry.clone();
-                    // Distinct jitter streams keep retrying threads from
-                    // thundering back in lock-step.
-                    policy.seed = policy.seed.wrapping_add(worker as u64);
-                    let mut client = RetryingClient::new(addr, policy);
-                    client.set_deadline_ms(deadline_ms);
-                    let mut run = ClientRun::empty();
-                    let mut i = worker * pairs.len() / concurrency.max(1);
-                    while Instant::now() < deadline {
-                        let (s, t) = pairs[i % pairs.len()];
-                        i += 1;
-                        let t0 = Instant::now();
-                        if let Err(e) = client.distance(backend, s, t) {
-                            run.error = Some(format!("{}: {e}", backend.name()));
-                            break;
-                        }
-                        run.hist[bucket_of(t0.elapsed().as_nanos() as u64)] += 1;
-                        run.requests += 1;
+        // Spawned eagerly into the Vec: a lazy iterator would serialise
+        // the workers behind each other's joins.
+        let mut handles = Vec::with_capacity(concurrency);
+        for worker in 0..concurrency {
+            handles.push(scope.spawn(move || -> ClientRun {
+                let mut policy = retry.clone();
+                // Distinct jitter streams keep retrying threads from
+                // thundering back in lock-step.
+                policy.seed = policy.seed.wrapping_add(worker as u64);
+                let mut client = RetryingClient::new(addr, policy);
+                client.set_deadline_ms(deadline_ms);
+                let mut run = ClientRun::empty();
+                let mut i = worker * pairs.len() / concurrency.max(1);
+                // Warm-up: drive the same loop, count nothing.
+                while Instant::now() < warm_end {
+                    let (s, t) = pairs[i % pairs.len()];
+                    i += 1;
+                    if let Err(e) = client.distance(backend, s, t) {
+                        run.error = Some(format!("{}: {e}", backend.name()));
+                        return run;
                     }
-                    run.retries = client.retries;
-                    run
-                })
-            })
-            .collect();
+                }
+                let warm_retries = client.retries;
+                while Instant::now() < deadline {
+                    let (s, t) = pairs[i % pairs.len()];
+                    i += 1;
+                    let t0 = Instant::now();
+                    if let Err(e) = client.distance(backend, s, t) {
+                        run.error = Some(format!("{}: {e}", backend.name()));
+                        break;
+                    }
+                    run.hist[bucket_of(t0.elapsed().as_nanos() as u64)] += 1;
+                    run.requests += 1;
+                }
+                run.retries = client.retries - warm_retries;
+                run
+            }));
+        }
         handles
             .into_iter()
             .map(|h| {
@@ -239,7 +270,7 @@ fn run_one(
             })
             .collect()
     });
-    let seconds = started.elapsed().as_secs_f64();
+    let seconds = warm_end.elapsed().as_secs_f64();
     let mut total = ClientRun::empty();
     for run in runs {
         total.requests += run.requests;
@@ -309,7 +340,10 @@ pub fn run(addr: SocketAddr, net: &RoadNetwork, opts: &LoadgenOptions) -> Loadge
                 addr,
                 backend,
                 concurrency,
-                opts.duration,
+                Window {
+                    warmup: opts.warmup,
+                    duration: opts.duration,
+                },
                 &pairs,
                 &opts.retry,
                 opts.deadline_ms,

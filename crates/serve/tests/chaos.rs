@@ -255,14 +255,15 @@ fn overload_sheds_with_busy_instead_of_hanging() {
 
     const CLIENTS: usize = 6;
     let outcomes: Vec<Result<Option<Dist>, ClientError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..CLIENTS)
-            .map(|_| {
-                scope.spawn(move || {
-                    let mut c = ServeClient::connect(addr)?;
-                    c.distance(BackendKind::Dijkstra, 0, 1)
-                })
-            })
-            .collect();
+        // Spawned eagerly so all clients contend at once; a lazy
+        // iterator would serialise them behind each other's joins.
+        let mut handles = Vec::with_capacity(CLIENTS);
+        for _ in 0..CLIENTS {
+            handles.push(scope.spawn(move || {
+                let mut c = ServeClient::connect(addr)?;
+                c.distance(BackendKind::Dijkstra, 0, 1)
+            }));
+        }
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let busy = outcomes

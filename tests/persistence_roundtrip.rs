@@ -59,8 +59,17 @@ proptest! {
         let rewritten = write_to_vec(|b| reloaded.write_binary(b));
         prop_assert_eq!(&bytes, &rewritten, "CH bytes drift across a round-trip");
 
+        // The version-3 container carries the flattened search graph;
+        // the reloaded copy must be identical to the built one, and the
+        // reloaded index must unpack identical paths.
+        prop_assert_eq!(reloaded.search_graph(), ch.search_graph());
         let mut q1 = spq_ch::ChQuery::new(&ch);
         let mut q2 = spq_ch::ChQuery::new(&reloaded);
+        for s in 0..net.num_nodes() as NodeId {
+            for t in 0..net.num_nodes() as NodeId {
+                prop_assert_eq!(q1.shortest_path(s, t), q2.shortest_path(s, t));
+            }
+        }
         prop_assert_eq!(
             all_distances(&net, |s, t| q1.distance(s, t)),
             all_distances(&net, |s, t| q2.distance(s, t))
