@@ -2,14 +2,31 @@
 //! technique against the Dijkstra baseline on sampled workloads — the
 //! reproduction of the paper's own methodological point that a faulty
 //! implementation invalidates published numbers (§1).
+//!
+//! Knobs (environment): `SPQ_SELFCHECK_QUERIES` overrides the sampled
+//! queries per (dataset, technique) pair (default 200);
+//! `SPQ_SELFCHECK_SEED` overrides the workload seed (default: the
+//! bench config's seed), so a defect report can be reproduced exactly.
 
 use std::process::ExitCode;
 
 use spq_bench::{build_dataset, datasets_up_to, Config, ResultTable};
 use spq_core::{verify_index, Index, Technique};
 
+fn env_knob<T: std::str::FromStr>(name: &str, default: T) -> T {
+    match std::env::var(name) {
+        Ok(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("{name}: cannot parse '{s}', aborting");
+            std::process::exit(2);
+        }),
+        Err(_) => default,
+    }
+}
+
 fn main() -> ExitCode {
     let cfg = Config::from_env();
+    let samples: usize = env_knob("SPQ_SELFCHECK_QUERIES", 200);
+    let seed: u64 = env_knob("SPQ_SELFCHECK_SEED", cfg.seed);
     let mut table = ResultTable::new(
         "verify",
         &["dataset", "n", "technique", "checked", "defects"],
@@ -22,7 +39,7 @@ fn main() -> ExitCode {
                 continue;
             }
             let (index, _) = Index::build(technique, &net);
-            let report = verify_index(&net, &index, 200, cfg.seed);
+            let report = verify_index(&net, &index, samples, seed);
             if !report.is_clean() {
                 all_clean = false;
                 for defect in report.defects.iter().take(3) {

@@ -7,9 +7,11 @@
 //! spq prep --net P --out F.ch                build + persist a CH index
 //! spq query --net P --from S --to T          answer one query
 //!           [--technique dijkstra|ch|tnr|silc|pcpd] [--ch F.ch] [--path]
-//! spq verify --net P [--samples N]           certify all techniques
+//! spq verify --net P [--samples N] [--seed S] certify all techniques
 //! spq serve --net P [--addr A] [--backends L] run the query server
+//!           [--reload-file P] [--no-audit]    (hot reload + oracle audit)
 //! spq loadgen --net P [--concurrency L]      measure serving throughput
+//!             [--reload-every S]              (hot reloads mid-sweep)
 //! spq bench --json [--smoke] [--check B]     query-latency report + regression gate
 //! ```
 //!
@@ -27,7 +29,7 @@ use spq_graph::size::IndexSize;
 use spq_graph::RoadNetwork;
 use spq_serve::loadgen::{run_in_process, write_csv, LoadgenOptions, ThroughputRow};
 use spq_serve::server::{install_signal_handlers, Server, ServerConfig};
-use spq_serve::{BackendKind, BackendSpec, Engine};
+use spq_serve::{AuditConfig, BackendKind, BackendSpec, Engine};
 use spq_synth::{SynthParams, DATASETS};
 
 fn main() -> ExitCode {
@@ -66,12 +68,16 @@ fn print_usage() {
          \x20 info --net P                           network statistics\n\
          \x20 prep --net P --out F.ch                build + persist a CH index\n\
          \x20 query --net P --from S --to T [--technique T] [--ch F.ch] [--path]\n\
-         \x20 verify --net P [--samples N]           certify all techniques\n\
+         \x20 verify --net P [--samples N] [--seed S] certify all techniques\n\
          \x20 serve (--net P | --target N) [--addr A] [--backends L] [--workers N]\n\
          \x20       [--cache N] [--index kind=path]* [--no-degrade] [--grace-ms N]\n\
-         \x20       [--max-pending N]                run the TCP query server\n\
+         \x20       [--max-pending N] [--selfcheck-queries N] [--selfcheck-seed S]\n\
+         \x20       [--reload-file P] [--reload-poll-ms N] [--no-audit]\n\
+         \x20       [--audit-interval-ms N] [--audit-queries N] [--audit-threshold N]\n\
+         \x20       [--no-failover] [--restart-cap N] [--restart-window-ms N]\n\
+         \x20                                        run the TCP query server\n\
          \x20 loadgen (--net P | --target N) [--backends L] [--concurrency L]\n\
-         \x20         [--duration S] [--warmup-ms N] [--out F]\n\
+         \x20         [--duration S] [--warmup-ms N] [--reload-every S] [--out F]\n\
          \x20                                        measure serving throughput\n\
          \x20 bench --json [--smoke] [--out F] [--check BASELINE] [--tolerance R]\n\
          \x20       [--queries N] [--seed S]        query-latency report + regression gate\n\n\
@@ -255,6 +261,13 @@ fn verify(args: &[String]) -> Result<(), String> {
         })
         .transpose()?
         .unwrap_or(100);
+    let seed: u64 = opt(args, "--seed")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| "--seed must be an integer".to_string())
+        })
+        .transpose()?
+        .unwrap_or(7);
     let mut failed = false;
     for technique in Technique::ALL {
         if technique.needs_all_pairs() && net.num_nodes() > 24_000 {
@@ -265,7 +278,7 @@ fn verify(args: &[String]) -> Result<(), String> {
             continue;
         }
         let (index, elapsed) = Index::build(technique, &net);
-        let report = spq_core::verify_index(&net, &index, samples, 7);
+        let report = spq_core::verify_index(&net, &index, samples, seed);
         let status = if report.is_clean() { "ok" } else { "DEFECTIVE" };
         println!(
             "{:<9} {:>4} queries checked, {} defects ({status}; prep {:.2?})",
@@ -348,16 +361,35 @@ fn serve(args: &[String]) -> Result<(), String> {
         );
     }
     // The startup gate: refuse to serve from an index that disagrees
-    // with the Dijkstra oracle (returning Err exits non-zero).
+    // with the Dijkstra oracle (returning Err exits non-zero). The same
+    // sample count and seed gate every reload before publication.
+    let selfcheck_queries: usize = opt(args, "--selfcheck-queries")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| "--selfcheck-queries must be an integer".to_string())
+        })
+        .transpose()?
+        .unwrap_or(32);
+    let selfcheck_seed: u64 = opt(args, "--selfcheck-seed")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| "--selfcheck-seed must be an integer".to_string())
+        })
+        .transpose()?
+        .unwrap_or(7);
     engine
-        .self_check(32, 7)
+        .self_check(selfcheck_queries, selfcheck_seed)
         .map_err(|e| format!("refusing to serve: {e}"))?;
     eprintln!(
-        "self-check passed for {} backend(s)",
+        "self-check passed for {} backend(s) ({selfcheck_queries} queries, seed {selfcheck_seed})",
         engine.backends().len()
     );
 
-    let mut cfg = ServerConfig::default();
+    let mut cfg = ServerConfig {
+        selfcheck_queries,
+        selfcheck_seed,
+        ..ServerConfig::default()
+    };
     if let Some(addr) = opt(args, "--addr") {
         cfg.addr = addr.to_string();
     }
@@ -381,6 +413,57 @@ fn serve(args: &[String]) -> Result<(), String> {
         cfg.max_pending = p
             .parse()
             .map_err(|_| "--max-pending must be an integer".to_string())?;
+    }
+    if let Some(c) = opt(args, "--restart-cap") {
+        cfg.restart_cap = c
+            .parse()
+            .map_err(|_| "--restart-cap must be an integer".to_string())?;
+    }
+    if let Some(ms) = opt(args, "--restart-window-ms") {
+        cfg.restart_window = Duration::from_millis(
+            ms.parse()
+                .map_err(|_| "--restart-window-ms must be an integer".to_string())?,
+        );
+    }
+    // Hot reload: a watched spec file (see README) makes RELOAD frames,
+    // SIGHUP, and file edits swap the index without dropping the server.
+    if let Some(p) = opt(args, "--reload-file") {
+        cfg.reload_file = Some(std::path::PathBuf::from(p));
+        eprintln!("hot reload enabled: watching {p} (also RELOAD frames and SIGHUP)");
+    }
+    if let Some(ms) = opt(args, "--reload-poll-ms") {
+        cfg.reload_poll = Duration::from_millis(
+            ms.parse()
+                .map_err(|_| "--reload-poll-ms must be an integer".to_string())?,
+        );
+    }
+    // Continuous oracle auditing is on by default for a long-running
+    // server; --no-audit turns the background checker off.
+    if !flag(args, "--no-audit") {
+        let mut audit = AuditConfig {
+            failover: !flag(args, "--no-failover"),
+            ..AuditConfig::default()
+        };
+        if let Some(ms) = opt(args, "--audit-interval-ms") {
+            audit.interval = Duration::from_millis(
+                ms.parse()
+                    .map_err(|_| "--audit-interval-ms must be an integer".to_string())?,
+            );
+        }
+        if let Some(q) = opt(args, "--audit-queries") {
+            audit.queries = q
+                .parse()
+                .map_err(|_| "--audit-queries must be an integer".to_string())?;
+        }
+        if let Some(t) = opt(args, "--audit-threshold") {
+            audit.threshold = t
+                .parse()
+                .map_err(|_| "--audit-threshold must be an integer".to_string())?;
+        }
+        audit.seed = selfcheck_seed;
+        cfg.audit = Some(audit);
+    } else if flag(args, "--no-failover") {
+        return Err("--no-failover only makes sense with auditing enabled".into());
     }
     install_signal_handlers();
     let server = Server::start(Arc::new(engine), &cfg).map_err(|e| format!("bind: {e}"))?;
@@ -429,6 +512,15 @@ fn loadgen(args: &[String]) -> Result<(), String> {
         opts.seed = s
             .parse()
             .map_err(|_| "--seed must be an integer".to_string())?;
+    }
+    if let Some(s) = opt(args, "--reload-every") {
+        let secs: f64 = s
+            .parse()
+            .map_err(|_| "--reload-every must be a number of seconds".to_string())?;
+        if !secs.is_finite() || secs <= 0.0 {
+            return Err("--reload-every must be positive".into());
+        }
+        opts.reload_every = Some(Duration::from_secs_f64(secs));
     }
     let (report, stats) = run_in_process(net, &opts)?;
     eprintln!("--- final server stats ---\n{stats}");

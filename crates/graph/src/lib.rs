@@ -52,6 +52,7 @@ pub mod grid;
 pub mod heap;
 pub mod par;
 pub mod persist;
+pub mod sample;
 pub mod size;
 pub mod toy;
 pub mod types;

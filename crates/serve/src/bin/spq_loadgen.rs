@@ -42,6 +42,9 @@ OPTIONS:
     --per-set <n>          query pairs drawn per Q-set (default 200)
     --deadline-ms <n>      per-request deadline in milliseconds (default 0: none)
     --retries <n>          client retries for BUSY/connection loss (default 3)
+    --reload-every <secs>  issue a RELOAD on this cadence during every timed
+                           run (chaos-lite: the sweep fails unless at least
+                           one hot swap completes; fractions allowed)
     --out <path>           CSV output path (default results/serve_throughput.csv)
     --help                 print this help
 ";
@@ -116,6 +119,13 @@ fn options(args: &[String]) -> Result<LoadgenOptions, String> {
     }
     if let Some(s) = opt(args, "--retries") {
         opts.retry.max_retries = parse(&s, "--retries")?;
+    }
+    if let Some(s) = opt(args, "--reload-every") {
+        let secs: f64 = parse(&s, "--reload-every")?;
+        if !secs.is_finite() || secs <= 0.0 {
+            return Err("--reload-every needs a positive number of seconds".into());
+        }
+        opts.reload_every = Some(Duration::from_secs_f64(secs));
     }
     Ok(opts)
 }

@@ -1,16 +1,21 @@
 //! A sharded LRU cache for distance answers.
 //!
-//! Keyed by `(backend, s, t)`; the value is the wire encoding of the
-//! answer ([`UNREACHABLE`] for "no path"), so negative results are
-//! cached too. Distances over a static network never go stale, which
-//! makes the cache trivially coherent: a key's value is immutable, and
-//! the only mutation is eviction.
+//! Keyed by `(epoch, backend, s, t)`; the value is the wire encoding of
+//! the answer ([`UNREACHABLE`] for "no path"), so negative results are
+//! cached too. Distances over one epoch's network never go stale —
+//! a key's value is immutable, and the only mutations are eviction and
+//! explicit purging. A hot index swap changes the epoch component, so
+//! entries cached against the old index are structurally unreachable
+//! from queries running on the new one (and vice versa: a connection
+//! still pinned to the old epoch keeps hitting only old-epoch entries,
+//! which remain correct for it).
 //!
 //! Sharding bounds contention: a key hashes to one of `shards` (a power
 //! of two) independent mutex-protected LRU lists, so concurrent workers
 //! only collide when they touch the same shard. Hit/miss/eviction
 //! accounting is kept in shard-external atomics — reading the counters
-//! never takes a lock.
+//! never takes a lock. Shard locks recover from poisoning (a panicking
+//! worker must not disable caching for everyone else).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -19,6 +24,12 @@ use std::sync::Mutex;
 use spq_graph::types::Dist;
 
 use crate::protocol::UNREACHABLE;
+use crate::sync::lock_unpoisoned;
+
+/// How far the epoch is shifted inside the 128-bit key: bits 0..32 are
+/// the target, 32..64 the source, 64..72 the backend wire id, and the
+/// remaining high bits the (truncated) epoch.
+const EPOCH_SHIFT: u32 = 72;
 
 /// Cache counters snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +42,9 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Entries evicted by the LRU policy.
     pub evictions: u64,
+    /// Entries removed by explicit purges (epoch retirement or backend
+    /// quarantine).
+    pub purged: u64,
     /// Entries currently resident.
     pub len: usize,
     /// Total capacity across shards (0 = disabled).
@@ -156,6 +170,33 @@ impl Shard {
         self.push_front(victim);
         true
     }
+
+    /// Removes every entry whose key matches `pred`, preserving the
+    /// recency order of the survivors. Returns how many were removed.
+    fn purge(&mut self, pred: &dyn Fn(u128) -> bool) -> usize {
+        // Walk MRU → LRU collecting survivors, then rebuild: arbitrary
+        // mid-list removal would need a free-list the steady state
+        // never wants, and purges are rare (reload / quarantine).
+        let mut survivors = Vec::with_capacity(self.map.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            let e = &self.entries[cur as usize];
+            if !pred(e.key) {
+                survivors.push((e.key, e.value));
+            }
+            cur = e.next;
+        }
+        let removed = self.map.len() - survivors.len();
+        self.map.clear();
+        self.entries.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        // Reinsert LRU-first so push_front restores the original order.
+        for (key, value) in survivors.into_iter().rev() {
+            self.insert(key, value);
+        }
+        removed
+    }
 }
 
 /// The sharded cache. Capacity 0 disables it (every lookup misses,
@@ -168,6 +209,7 @@ pub struct DistanceCache {
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    purged: AtomicU64,
 }
 
 impl DistanceCache {
@@ -189,11 +231,23 @@ impl DistanceCache {
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            purged: AtomicU64::new(0),
         }
     }
 
-    fn key(backend: u8, s: u32, t: u32) -> u128 {
-        ((backend as u128) << 64) | ((s as u128) << 32) | t as u128
+    fn key(epoch: u64, backend: u8, s: u32, t: u32) -> u128 {
+        ((epoch as u128) << EPOCH_SHIFT)
+            | ((backend as u128) << 64)
+            | ((s as u128) << 32)
+            | t as u128
+    }
+
+    fn key_epoch(key: u128) -> u64 {
+        (key >> EPOCH_SHIFT) as u64
+    }
+
+    fn key_backend(key: u128) -> u8 {
+        (key >> 64) as u8
     }
 
     fn shard_of(&self, key: u128) -> &Mutex<Shard> {
@@ -209,9 +263,9 @@ impl DistanceCache {
     /// Looks up a cached answer. `Some(None)` means "cached as
     /// unreachable".
     #[allow(clippy::option_option)]
-    pub fn get(&self, backend: u8, s: u32, t: u32) -> Option<Option<Dist>> {
-        let key = Self::key(backend, s, t);
-        let cached = self.shard_of(key).lock().unwrap().get(key);
+    pub fn get(&self, epoch: u64, backend: u8, s: u32, t: u32) -> Option<Option<Dist>> {
+        let key = Self::key(epoch, backend, s, t);
+        let cached = lock_unpoisoned(self.shard_of(key)).get(key);
         match cached {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -225,10 +279,10 @@ impl DistanceCache {
     }
 
     /// Caches an answer (including "unreachable").
-    pub fn insert(&self, backend: u8, s: u32, t: u32, d: Option<Dist>) {
-        let key = Self::key(backend, s, t);
+    pub fn insert(&self, epoch: u64, backend: u8, s: u32, t: u32, d: Option<Dist>) {
+        let key = Self::key(epoch, backend, s, t);
         let shard = self.shard_of(key);
-        let mut guard = shard.lock().unwrap();
+        let mut guard = lock_unpoisoned(shard);
         if guard.capacity == 0 {
             return;
         }
@@ -240,12 +294,38 @@ impl DistanceCache {
         }
     }
 
+    fn purge(&self, pred: impl Fn(u128) -> bool) -> u64 {
+        let mut removed = 0usize;
+        for shard in &self.shards {
+            removed += lock_unpoisoned(shard).purge(&pred);
+        }
+        self.purged.fetch_add(removed as u64, Ordering::Relaxed);
+        removed as u64
+    }
+
+    /// Drops every entry not keyed to `current_epoch`, reclaiming the
+    /// capacity held by retired epochs after a hot swap. Connections
+    /// still pinned to an old epoch simply miss afterwards — correct,
+    /// just cold.
+    pub fn purge_stale_epochs(&self, current_epoch: u64) -> u64 {
+        let tag = Self::key_epoch(Self::key(current_epoch, 0, 0, 0));
+        self.purge(move |key| Self::key_epoch(key) != tag)
+    }
+
+    /// Drops every entry one backend wrote under one epoch — called on
+    /// quarantine so answers cached before the defect was detected can
+    /// never be served from the cache afterwards.
+    pub fn purge_backend(&self, epoch: u64, backend: u8) -> u64 {
+        let tag = Self::key_epoch(Self::key(epoch, 0, 0, 0));
+        self.purge(move |key| Self::key_epoch(key) == tag && Self::key_backend(key) == backend)
+    }
+
     /// Counter snapshot (entry count takes each shard lock briefly).
     pub fn stats(&self) -> CacheStats {
         let mut len = 0;
         let mut capacity = 0;
         for shard in &self.shards {
-            let s = shard.lock().unwrap();
+            let s = lock_unpoisoned(shard);
             len += s.map.len();
             capacity += s.capacity;
         }
@@ -254,6 +334,7 @@ impl DistanceCache {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            purged: self.purged.load(Ordering::Relaxed),
             len,
             capacity,
         }
@@ -267,28 +348,29 @@ mod tests {
     #[test]
     fn hit_miss_and_negative_caching() {
         let cache = DistanceCache::new(64, 4);
-        assert_eq!(cache.get(1, 2, 3), None);
-        cache.insert(1, 2, 3, Some(42));
-        cache.insert(1, 3, 2, None);
-        assert_eq!(cache.get(1, 2, 3), Some(Some(42)));
-        assert_eq!(cache.get(1, 3, 2), Some(None), "negative result cached");
-        assert_eq!(cache.get(2, 2, 3), None, "backend is part of the key");
+        assert_eq!(cache.get(0, 1, 2, 3), None);
+        cache.insert(0, 1, 2, 3, Some(42));
+        cache.insert(0, 1, 3, 2, None);
+        assert_eq!(cache.get(0, 1, 2, 3), Some(Some(42)));
+        assert_eq!(cache.get(0, 1, 3, 2), Some(None), "negative result cached");
+        assert_eq!(cache.get(0, 2, 2, 3), None, "backend is part of the key");
+        assert_eq!(cache.get(1, 1, 2, 3), None, "epoch is part of the key");
         let s = cache.stats();
-        assert_eq!((s.hits, s.misses, s.insertions), (2, 2, 2));
-        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!((s.hits, s.misses, s.insertions), (2, 3, 2));
+        assert!((s.hit_rate() - 0.4).abs() < 1e-9);
     }
 
     #[test]
     fn lru_evicts_least_recently_used() {
         // One shard of capacity 2 makes the policy observable.
         let cache = DistanceCache::new(2, 1);
-        cache.insert(0, 1, 1, Some(1));
-        cache.insert(0, 2, 2, Some(2));
-        assert_eq!(cache.get(0, 1, 1), Some(Some(1))); // refresh key 1
-        cache.insert(0, 3, 3, Some(3)); // evicts key 2
-        assert_eq!(cache.get(0, 2, 2), None, "LRU entry evicted");
-        assert_eq!(cache.get(0, 1, 1), Some(Some(1)));
-        assert_eq!(cache.get(0, 3, 3), Some(Some(3)));
+        cache.insert(0, 0, 1, 1, Some(1));
+        cache.insert(0, 0, 2, 2, Some(2));
+        assert_eq!(cache.get(0, 0, 1, 1), Some(Some(1))); // refresh key 1
+        cache.insert(0, 0, 3, 3, Some(3)); // evicts key 2
+        assert_eq!(cache.get(0, 0, 2, 2), None, "LRU entry evicted");
+        assert_eq!(cache.get(0, 0, 1, 1), Some(Some(1)));
+        assert_eq!(cache.get(0, 0, 3, 3), Some(Some(3)));
         assert_eq!(cache.stats().evictions, 1);
         assert_eq!(cache.stats().len, 2);
     }
@@ -296,9 +378,9 @@ mod tests {
     #[test]
     fn reinsert_updates_in_place() {
         let cache = DistanceCache::new(2, 1);
-        cache.insert(0, 1, 1, Some(1));
-        cache.insert(0, 1, 1, Some(9));
-        assert_eq!(cache.get(0, 1, 1), Some(Some(9)));
+        cache.insert(0, 0, 1, 1, Some(1));
+        cache.insert(0, 0, 1, 1, Some(9));
+        assert_eq!(cache.get(0, 0, 1, 1), Some(Some(9)));
         assert_eq!(cache.stats().len, 1);
         assert_eq!(cache.stats().evictions, 0);
     }
@@ -306,10 +388,52 @@ mod tests {
     #[test]
     fn zero_capacity_disables_the_cache() {
         let cache = DistanceCache::new(0, 4);
-        cache.insert(0, 1, 1, Some(1));
-        assert_eq!(cache.get(0, 1, 1), None);
+        cache.insert(0, 0, 1, 1, Some(1));
+        assert_eq!(cache.get(0, 0, 1, 1), None);
         assert_eq!(cache.stats().len, 0);
         assert_eq!(cache.stats().capacity, 0);
+    }
+
+    #[test]
+    fn purging_stale_epochs_keeps_only_the_current_one() {
+        let cache = DistanceCache::new(64, 2);
+        for k in 0..8u32 {
+            cache.insert(1, 0, k, k, Some(k as Dist));
+            cache.insert(2, 0, k, k, Some((k + 100) as Dist));
+        }
+        let removed = cache.purge_stale_epochs(2);
+        assert_eq!(removed, 8, "all epoch-1 entries removed");
+        for k in 0..8u32 {
+            assert_eq!(cache.get(1, 0, k, k), None, "old epoch gone");
+            assert_eq!(cache.get(2, 0, k, k), Some(Some((k + 100) as Dist)));
+        }
+        assert_eq!(cache.stats().purged, 8);
+        assert_eq!(cache.stats().len, 8);
+    }
+
+    #[test]
+    fn purging_a_backend_spares_the_others_and_recency() {
+        let cache = DistanceCache::new(8, 1);
+        cache.insert(0, 1, 1, 1, Some(1));
+        cache.insert(0, 2, 2, 2, Some(2));
+        cache.insert(0, 1, 3, 3, Some(3));
+        cache.insert(0, 2, 4, 4, Some(4));
+        assert_eq!(cache.purge_backend(0, 1), 2);
+        assert_eq!(cache.get(0, 1, 1, 1), None);
+        assert_eq!(cache.get(0, 1, 3, 3), None);
+        assert_eq!(cache.get(0, 2, 2, 2), Some(Some(2)));
+        assert_eq!(cache.get(0, 2, 4, 4), Some(Some(4)));
+        let s = cache.stats();
+        assert_eq!((s.purged, s.len), (2, 2));
+        // Rebuilt shard still evicts its least-recently-used survivor
+        // first once refilled: key 2 was refreshed before key 4 above.
+        for k in 10..17u32 {
+            cache.insert(0, 3, k, k, Some(k as Dist));
+        }
+        let s = cache.stats();
+        assert_eq!(s.len, 8, "shard refilled to capacity");
+        assert_eq!(cache.get(0, 2, 2, 2), None, "LRU survivor evicted first");
+        assert_eq!(cache.get(0, 2, 4, 4), Some(Some(4)), "MRU survivor kept");
     }
 
     #[test]
@@ -320,7 +444,7 @@ mod tests {
         let cache = DistanceCache::new(2, 8);
         assert_eq!(cache.stats().capacity, 8);
         for k in 0..32u32 {
-            cache.insert(0, k, k, Some(k as Dist));
+            cache.insert(0, 0, k, k, Some(k as Dist));
         }
         let s = cache.stats();
         assert_eq!(s.insertions, 32);
@@ -347,7 +471,7 @@ mod tests {
                 scope.spawn(move || {
                     for round in 0..1_000u32 {
                         let k = worker * 1_000 + round;
-                        cache.insert(0, k, k, Some(k as Dist));
+                        cache.insert(0, 0, k, k, Some(k as Dist));
                     }
                 });
             }
@@ -379,9 +503,9 @@ mod tests {
                 scope.spawn(move || {
                     for round in 0..2_000u32 {
                         let k = (worker * 31 + round) % 97;
-                        match cache.get(0, k, k + 1) {
+                        match cache.get(0, 0, k, k + 1) {
                             Some(v) => assert_eq!(v, Some(k as Dist * 3)),
-                            None => cache.insert(0, k, k + 1, Some(k as Dist * 3)),
+                            None => cache.insert(0, 0, k, k + 1, Some(k as Dist * 3)),
                         }
                     }
                 });

@@ -22,7 +22,7 @@ use spq_graph::types::{Dist, NodeId};
 
 use crate::protocol::{
     read_frame, write_frame, Cursor, Request, STATUS_BUSY, STATUS_DEADLINE_EXCEEDED,
-    STATUS_INDEX_INVALID, STATUS_OK, UNREACHABLE,
+    STATUS_INDEX_INVALID, STATUS_OK, STATUS_QUARANTINED, STATUS_RELOAD_FAILED, UNREACHABLE,
 };
 use crate::BackendKind;
 
@@ -39,6 +39,11 @@ pub enum ClientError {
     DeadlineExceeded(String),
     /// The server reported an invalid/unusable index for this backend.
     IndexInvalid(String),
+    /// A requested hot reload was rejected; the old epoch kept serving.
+    ReloadFailed(String),
+    /// The backend was quarantined by the oracle auditor and failover
+    /// is disabled (or exhausted).
+    Quarantined(String),
     /// The response payload did not parse.
     Protocol(String),
 }
@@ -60,6 +65,8 @@ impl fmt::Display for ClientError {
             ClientError::Busy(msg) => write!(f, "server busy: {msg}"),
             ClientError::DeadlineExceeded(msg) => write!(f, "deadline exceeded: {msg}"),
             ClientError::IndexInvalid(msg) => write!(f, "index invalid: {msg}"),
+            ClientError::ReloadFailed(msg) => write!(f, "reload failed: {msg}"),
+            ClientError::Quarantined(msg) => write!(f, "backend quarantined: {msg}"),
             ClientError::Protocol(msg) => write!(f, "malformed response: {msg}"),
         }
     }
@@ -125,6 +132,8 @@ impl ServeClient {
                     STATUS_BUSY => ClientError::Busy(msg),
                     STATUS_DEADLINE_EXCEEDED => ClientError::DeadlineExceeded(msg),
                     STATUS_INDEX_INVALID => ClientError::IndexInvalid(msg),
+                    STATUS_RELOAD_FAILED => ClientError::ReloadFailed(msg),
+                    STATUS_QUARANTINED => ClientError::Quarantined(msg),
                     _ => ClientError::Remote(msg),
                 })
             }
@@ -211,6 +220,18 @@ impl ServeClient {
     pub fn stats(&mut self) -> Result<String, ClientError> {
         let body = self.roundtrip(&Request::Stats)?;
         Ok(String::from_utf8_lossy(body).into_owned())
+    }
+
+    /// Requests a hot index reload and waits for the attempt's outcome.
+    /// `Ok(epoch)` means the new epoch passed its self-check and is
+    /// serving; [`ClientError::ReloadFailed`] means the old epoch kept
+    /// serving and carries the typed reason.
+    pub fn reload(&mut self) -> Result<u64, ClientError> {
+        let body = self.roundtrip(&Request::Reload)?;
+        let text = String::from_utf8_lossy(body);
+        text.strip_prefix("epoch=")
+            .and_then(|n| n.trim().parse::<u64>().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("unexpected RELOAD body '{text}'")))
     }
 
     /// Requests a graceful server shutdown.
@@ -370,6 +391,8 @@ mod tests {
         assert!(!ClientError::Remote("bad vertex".into()).is_retryable());
         assert!(!ClientError::DeadlineExceeded("late".into()).is_retryable());
         assert!(!ClientError::IndexInvalid("checksum".into()).is_retryable());
+        assert!(!ClientError::ReloadFailed("self-check".into()).is_retryable());
+        assert!(!ClientError::Quarantined("audit".into()).is_retryable());
         assert!(!ClientError::Protocol("truncated".into()).is_retryable());
     }
 

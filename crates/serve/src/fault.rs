@@ -4,9 +4,10 @@
 //! by tests; the worker consults it once per decoded request and acts on
 //! the resulting [`FaultAction`]: sleep (artificial backend latency),
 //! drop the connection without responding (a mid-request crash as seen
-//! by the client), or both. All randomness flows from one seeded
-//! [`StdRng`], so a chaos run replays identically for a fixed seed —
-//! a failure is a test case, not a flake.
+//! by the client), panic inside the request path (exercising the
+//! worker-supervision `catch_unwind`), or a combination. All randomness
+//! flows from one seeded [`StdRng`], so a chaos run replays identically
+//! for a fixed seed — a failure is a test case, not a flake.
 //!
 //! The injector also offers pure helpers ([`FaultInjector::corrupt`],
 //! [`FaultInjector::truncate`]) that tests use to mangle request frames
@@ -33,6 +34,9 @@ pub struct FaultPlan {
     pub latency: Duration,
     /// Probability that the connection is dropped instead of answered.
     pub drop_prob: f64,
+    /// Probability that the worker panics while serving the request —
+    /// a stand-in for a defect in a backend's query code.
+    pub panic_prob: f64,
 }
 
 impl Default for FaultPlan {
@@ -42,6 +46,7 @@ impl Default for FaultPlan {
             latency_prob: 0.0,
             latency: Duration::from_millis(10),
             drop_prob: 0.0,
+            panic_prob: 0.0,
         }
     }
 }
@@ -53,6 +58,9 @@ pub struct FaultAction {
     pub delay: Option<Duration>,
     /// Close the connection without writing a response.
     pub drop_connection: bool,
+    /// Panic mid-request; the supervision layer must contain it to
+    /// this one connection.
+    pub panic: bool,
 }
 
 impl FaultAction {
@@ -60,6 +68,7 @@ impl FaultAction {
     pub const NONE: FaultAction = FaultAction {
         delay: None,
         drop_connection: false,
+        panic: false,
     };
 }
 
@@ -71,6 +80,7 @@ pub struct FaultInjector {
     rng: Mutex<StdRng>,
     delays: AtomicU64,
     drops: AtomicU64,
+    panics: AtomicU64,
 }
 
 impl std::fmt::Debug for FaultInjector {
@@ -79,6 +89,7 @@ impl std::fmt::Debug for FaultInjector {
             .field("plan", &self.plan)
             .field("delays", &self.delays.load(Ordering::Relaxed))
             .field("drops", &self.drops.load(Ordering::Relaxed))
+            .field("panics", &self.panics.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -92,12 +103,16 @@ impl FaultInjector {
             rng: Mutex::new(rng),
             delays: AtomicU64::new(0),
             drops: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
         }
     }
 
     /// Draws the fault action for one request.
     pub fn on_request(&self) -> FaultAction {
-        let mut rng = self.rng.lock().unwrap();
+        // Poison-tolerant: the injector's own panics unwind through
+        // the worker while this lock is *not* held, but a defensive
+        // recovery keeps the chaos plan running either way.
+        let mut rng = crate::sync::lock_unpoisoned(&self.rng);
         let delay = if rng.random::<f64>() < self.plan.latency_prob {
             self.delays.fetch_add(1, Ordering::Relaxed);
             Some(self.plan.latency)
@@ -108,9 +123,14 @@ impl FaultInjector {
         if drop_connection {
             self.drops.fetch_add(1, Ordering::Relaxed);
         }
+        let panic = rng.random::<f64>() < self.plan.panic_prob;
+        if panic {
+            self.panics.fetch_add(1, Ordering::Relaxed);
+        }
         FaultAction {
             delay,
             drop_connection,
+            panic,
         }
     }
 
@@ -122,6 +142,11 @@ impl FaultInjector {
     /// Injected connection drops so far.
     pub fn drops(&self) -> u64 {
         self.drops.load(Ordering::Relaxed)
+    }
+
+    /// Injected worker panics so far.
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
     }
 
     /// Deterministically flips one bit of `data` (chosen by `seed`).
@@ -160,6 +185,7 @@ mod tests {
             latency_prob: 0.3,
             latency: Duration::from_millis(1),
             drop_prob: 0.2,
+            panic_prob: 0.1,
         };
         let a = FaultInjector::new(plan.clone());
         let b = FaultInjector::new(plan);
@@ -168,8 +194,10 @@ mod tests {
         assert_eq!(seq_a, seq_b);
         assert_eq!(a.delays(), b.delays());
         assert_eq!(a.drops(), b.drops());
+        assert_eq!(a.panics(), b.panics());
         assert!(a.delays() > 0, "0.3 over 200 draws must fire");
         assert!(a.drops() > 0, "0.2 over 200 draws must fire");
+        assert!(a.panics() > 0, "0.1 over 200 draws must fire");
     }
 
     #[test]
@@ -178,7 +206,10 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(injector.on_request(), FaultAction::NONE);
         }
-        assert_eq!((injector.delays(), injector.drops()), (0, 0));
+        assert_eq!(
+            (injector.delays(), injector.drops(), injector.panics()),
+            (0, 0, 0)
+        );
     }
 
     #[test]

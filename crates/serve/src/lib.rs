@@ -24,17 +24,29 @@
 //!   configurable concurrency, producing `results/serve_throughput.csv`
 //!   (QPS, p50/p99 per backend) and verifying sampled answers against
 //!   the Dijkstra oracle.
+//! * [`epoch`] — epoch-based hot index swap: a RELOAD frame (or a
+//!   watched reload file, or SIGHUP) builds and self-checks a fresh
+//!   [`Engine`] off-thread and atomically publishes it; in-flight
+//!   requests finish on their pinned epoch and the distance cache is
+//!   epoch-keyed so a swap can never serve a stale answer.
+//! * [`audit`] — a background auditor replays a seeded trickle of
+//!   queries against the Dijkstra oracle while the server runs;
+//!   repeated mismatches quarantine the offending backend and fail its
+//!   wire id over to a healthy one.
 //!
 //! Everything is `std`-only: `std::net` sockets, `std::thread` workers,
 //! no external dependencies.
 
+pub mod audit;
 pub mod cache;
 pub mod client;
+pub mod epoch;
 pub mod fault;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
 pub mod stats;
+pub mod sync;
 
 use std::fs::File;
 use std::io::BufReader;
@@ -46,14 +58,16 @@ use spq_arcflags::{ArcFlags, ArcFlagsParams};
 use spq_ch::ContractionHierarchy;
 use spq_dijkstra::{Baseline, Dijkstra};
 use spq_graph::backend::Backend;
-use spq_graph::types::NodeId;
+use spq_graph::sample::PairSampler;
 use spq_graph::RoadNetwork;
 use spq_pcpd::Pcpd;
 use spq_silc::Silc;
 use spq_tnr::{Tnr, TnrParams};
 
+pub use audit::AuditConfig;
 pub use cache::{CacheStats, DistanceCache};
 pub use client::{ClientError, RetryPolicy, RetryingClient, ServeClient};
+pub use epoch::{EpochRegistry, EpochState, ReloadFactory, ReloadSpec};
 pub use fault::{FaultAction, FaultInjector, FaultPlan};
 pub use loadgen::{LoadgenOptions, LoadgenReport, ThroughputRow};
 pub use server::{Server, ServerConfig};
@@ -470,21 +484,12 @@ impl Engine {
     /// invalidated previously published results, §1) — so callers treat
     /// any `Err` as fatal and exit non-zero before accepting traffic.
     pub fn self_check(&self, samples: usize, seed: u64) -> Result<(), String> {
-        let n = self.net.num_nodes() as u64;
         let mut reference = Dijkstra::new(self.net.num_nodes());
         let mut defects = Vec::new();
         for eb in &self.backends {
             let mut session = eb.backend.session(&self.net);
-            let mut state = seed ^ 0x5eed_5e1f_c4ec_ba5e;
-            for _ in 0..samples {
-                state = state
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-                let s = ((state >> 33) % n) as NodeId;
-                state = state
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-                let t = ((state >> 33) % n) as NodeId;
+            let sampler = PairSampler::new(self.net.num_nodes(), seed);
+            for (s, t) in sampler.take(samples) {
                 reference.run_to_target(&self.net, s, t);
                 let expected = reference.distance(t);
                 let got = session.distance(s, t);
@@ -527,7 +532,7 @@ impl Engine {
 mod tests {
     use super::*;
     use spq_graph::backend::Session;
-    use spq_graph::types::Dist;
+    use spq_graph::types::{Dist, NodeId};
     use spq_synth::SynthParams;
 
     #[test]

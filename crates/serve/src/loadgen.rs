@@ -58,6 +58,10 @@ pub struct LoadgenOptions {
     pub retry: RetryPolicy,
     /// Per-request deadline attached to every query (0: none).
     pub deadline_ms: u32,
+    /// Trigger a hot index reload this often during the sweep
+    /// (in-process serving only; None: no reloads). Chaos-lite: the
+    /// sweep doubles as a check that hot swaps survive real load.
+    pub reload_every: Option<Duration>,
 }
 
 impl Default for LoadgenOptions {
@@ -72,6 +76,7 @@ impl Default for LoadgenOptions {
             verify_samples: 32,
             retry: RetryPolicy::default(),
             deadline_ms: 0,
+            reload_every: None,
         }
     }
 }
@@ -384,8 +389,10 @@ pub fn run_in_process(
     net: RoadNetwork,
     opts: &LoadgenOptions,
 ) -> Result<(LoadgenReport, String), String> {
+    use crate::epoch::ReloadFactory;
     use crate::server::{Server, ServerConfig};
     use crate::Engine;
+    use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
 
     let engine = Arc::new(Engine::build(net, &opts.backends));
@@ -393,14 +400,81 @@ pub fn run_in_process(
         .self_check(32, opts.seed)
         .map_err(|e| format!("refusing to serve: {e}"))?;
     let max_concurrency = opts.concurrency.iter().copied().max().unwrap_or(1);
+    // With --reload-every, the server gets a factory that rebuilds the
+    // same engine — the point is exercising the swap under load, not
+    // changing the answers (the oracle verification stays valid).
+    let reload_factory = opts.reload_every.map(|_| {
+        let net = engine.net().clone();
+        let backends = opts.backends.clone();
+        ReloadFactory::new(move || Ok(Arc::new(Engine::build(net.clone(), &backends))))
+    });
     let cfg = ServerConfig {
         workers: max_concurrency + 1,
+        reload_factory,
+        selfcheck_seed: opts.seed,
         ..ServerConfig::default()
     };
     let server = Server::start(Arc::clone(&engine), &cfg).map_err(|e| format!("bind: {e}"))?;
     let addr = server.local_addr();
     eprintln!("[loadgen] serving on {addr}");
-    let report = run(addr, engine.net(), opts);
+
+    // The reload driver: fires a RELOAD frame every `reload_every`
+    // while the sweep runs, reporting how many swaps were published.
+    let reload_driver = opts.reload_every.map(|every| {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || -> (u64, Option<String>) {
+            let mut ok = 0u64;
+            let mut first_err = None;
+            'driver: loop {
+                let wake = Instant::now() + every;
+                while Instant::now() < wake {
+                    if flag.load(Ordering::SeqCst) {
+                        break 'driver;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                let outcome = ServeClient::connect(addr)
+                    .map_err(|e| e.to_string())
+                    .and_then(|mut c| c.reload().map_err(|e| e.to_string()));
+                match outcome {
+                    Ok(epoch) => {
+                        ok += 1;
+                        eprintln!("[loadgen] hot reload published epoch {epoch}");
+                    }
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(format!("hot reload failed: {e}"));
+                        }
+                    }
+                }
+            }
+            (ok, first_err)
+        });
+        (stop, handle)
+    });
+
+    let mut report = run(addr, engine.net(), opts);
+
+    if let Some((stop, handle)) = reload_driver {
+        stop.store(true, Ordering::SeqCst);
+        let (ok, err) = handle
+            .join()
+            .unwrap_or((0, Some("the reload driver panicked".into())));
+        eprintln!("[loadgen] hot reloads published during the sweep: {ok}");
+        if report.error.is_none() {
+            if let Some(e) = err {
+                report.error = Some(e);
+            } else if ok == 0 {
+                report.error = Some(
+                    "--reload-every was set but no reload completed within the sweep \
+                     (lengthen --secs or shorten the reload interval)"
+                        .into(),
+                );
+            }
+        }
+    }
+
     // Shut down regardless of the sweep's outcome so threads never leak.
     if let Ok(mut client) = ServeClient::connect(addr) {
         let _ = client.shutdown_server();

@@ -18,6 +18,7 @@
 //! | 3      | DISTANCES | `ns: u32, nt: u32, ns × u32, nt × u32`       |
 //! | 4      | STATS     | —                                            |
 //! | 5      | SHUTDOWN  | —                                            |
+//! | 6      | RELOAD    | —                                            |
 //!
 //! DISTANCE, PATH, and DISTANCES requests may carry an optional
 //! trailing `deadline_ms: u32` (encoded only when nonzero, so the
@@ -35,6 +36,15 @@
 //! | 2      | BUSY              | overloaded — shed; retry with backoff    |
 //! | 3      | DEADLINE_EXCEEDED | the request's deadline expired mid-query |
 //! | 4      | INDEX_INVALID     | backend's index failed validation        |
+//! | 5      | RELOAD_FAILED     | reload rejected; old epoch keeps serving |
+//! | 6      | QUARANTINED       | backend quarantined by the auditor       |
+//!
+//! A RELOAD request triggers an off-thread load + validation of the
+//! operator-staged replacement index set; the response arrives only
+//! after the outcome is known. Its OK body is the UTF-8 text
+//! `epoch=<N>` naming the newly published epoch — every request read
+//! from the wire after that response was sent is answered by the new
+//! epoch.
 //!
 //! OK bodies: distances are `u64` LE with [`UNREACHABLE`] (`u64::MAX`)
 //! as the "no path" sentinel — real distances never collide with it
@@ -72,6 +82,14 @@ pub const STATUS_DEADLINE_EXCEEDED: u8 = 3;
 /// integrity validation and no substitute is serving its wire id
 /// (body = UTF-8 message).
 pub const STATUS_INDEX_INVALID: u8 = 4;
+/// Response status byte: a requested index reload was rejected before
+/// publication — the previous epoch keeps serving (body = UTF-8
+/// message with the typed reason).
+pub const STATUS_RELOAD_FAILED: u8 = 5;
+/// Response status byte: the requested backend has been quarantined by
+/// the continuous oracle audit and automatic failover is disabled
+/// (body = UTF-8 message).
+pub const STATUS_QUARANTINED: u8 = 6;
 
 /// Opcode bytes.
 pub mod op {
@@ -87,6 +105,9 @@ pub mod op {
     pub const STATS: u8 = 4;
     /// Graceful server shutdown.
     pub const SHUTDOWN: u8 = 5;
+    /// Hot index reload: load, validate, and atomically publish the
+    /// staged replacement index set as a new epoch.
+    pub const RELOAD: u8 = 6;
 }
 
 /// A decoded request.
@@ -131,6 +152,8 @@ pub enum Request {
     Stats,
     /// Graceful shutdown request.
     Shutdown,
+    /// Hot index reload request.
+    Reload,
 }
 
 impl Request {
@@ -183,6 +206,7 @@ impl Request {
             }
             Request::Stats => out.push(op::STATS),
             Request::Shutdown => out.push(op::SHUTDOWN),
+            Request::Reload => out.push(op::RELOAD),
         }
         out
     }
@@ -253,6 +277,7 @@ impl Request {
             }
             op::STATS => Request::Stats,
             op::SHUTDOWN => Request::Shutdown,
+            op::RELOAD => Request::Reload,
             other => return Err(format!("unknown opcode {other}")),
         };
         if !c.at_end() {
@@ -342,6 +367,18 @@ pub fn encode_deadline_exceeded(msg: &str) -> Vec<u8> {
 /// INDEX_INVALID response: the backend's index failed validation.
 pub fn encode_index_invalid(msg: &str) -> Vec<u8> {
     encode_status(STATUS_INDEX_INVALID, msg)
+}
+
+/// RELOAD_FAILED response: the staged index was rejected and the old
+/// epoch keeps serving.
+pub fn encode_reload_failed(msg: &str) -> Vec<u8> {
+    encode_status(STATUS_RELOAD_FAILED, msg)
+}
+
+/// QUARANTINED response: the backend was quarantined by the auditor
+/// and failover is disabled.
+pub fn encode_quarantined(msg: &str) -> Vec<u8> {
+    encode_status(STATUS_QUARANTINED, msg)
 }
 
 /// Encodes one distance (DISTANCE response body).
@@ -482,6 +519,7 @@ mod tests {
             },
             Request::Stats,
             Request::Shutdown,
+            Request::Reload,
         ];
         for req in cases {
             let bytes = req.encode();
@@ -492,7 +530,9 @@ mod tests {
         assert_eq!(Request::Ping.encode(), vec![op::PING]);
         assert_eq!(Request::Stats.encode(), vec![op::STATS]);
         assert_eq!(Request::Shutdown.encode(), vec![op::SHUTDOWN]);
+        assert_eq!(Request::Reload.encode(), vec![op::RELOAD]);
         assert_eq!(Request::decode(&[op::PING]), Ok(Request::Ping));
+        assert_eq!(Request::decode(&[op::RELOAD]), Ok(Request::Reload));
     }
 
     #[test]
@@ -596,6 +636,8 @@ mod tests {
         assert_eq!(encode_busy("b")[0], STATUS_BUSY);
         assert_eq!(encode_deadline_exceeded("d")[0], STATUS_DEADLINE_EXCEEDED);
         assert_eq!(encode_index_invalid("i")[0], STATUS_INDEX_INVALID);
+        assert_eq!(encode_reload_failed("r")[0], STATUS_RELOAD_FAILED);
+        assert_eq!(encode_quarantined("q")[0], STATUS_QUARANTINED);
         assert_eq!(encode_error("e")[0], STATUS_ERROR);
         assert_eq!(&encode_busy("busy")[1..], b"busy");
     }

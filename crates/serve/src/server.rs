@@ -1,6 +1,6 @@
 //! The TCP query server: a fixed worker pool over the engine, with
 //! bounded worst-case behavior under overload, slow clients, deadlines,
-//! and forced shutdown.
+//! forced shutdown, worker panics, and live index swaps.
 //!
 //! Architecture (std-only, no async runtime):
 //!
@@ -9,13 +9,25 @@
 //!   Past the high-water mark ([`ServerConfig::max_pending`]) a new
 //!   connection is answered with one `BUSY` frame and closed — load is
 //!   shed at the door instead of growing an unbounded queue.
-//! * `workers` **worker** threads each own one reusable query session
-//!   per backend — created once, reused for every request the worker
-//!   ever serves. A worker serves one connection at a time, frame by
-//!   frame. Slow clients cannot pin a worker: reads carry an idle
-//!   timeout, a mid-frame **stall timeout** bounds how long a partial
-//!   frame may dribble in, writes carry a write timeout, and frames are
-//!   capped at [`ServerConfig::max_frame_len`].
+//! * `workers` **worker** threads each pin the current
+//!   [`EpochState`](crate::epoch::EpochState) and own one reusable
+//!   query session per backend — rebuilt only when a reload publishes a
+//!   new epoch or a panic forces a fresh start. A worker serves one
+//!   connection at a time, frame by frame, inside a `catch_unwind`
+//!   supervision shell: a panicking query kills only its own
+//!   connection, the worker rebuilds its sessions and keeps serving.
+//!   Past [`ServerConfig::restart_cap`] panics within
+//!   [`ServerConfig::restart_window`] the worker retires; when the last
+//!   worker retires the server shuts down instead of lingering as a
+//!   zombie acceptor.
+//! * A **reloader** thread (present when a reload source is configured)
+//!   watches for `RELOAD` frames, `SIGHUP`, and content changes to the
+//!   reload file; it builds the replacement engine, self-checks it
+//!   against the Dijkstra oracle, and only then publishes the new
+//!   epoch. See [`crate::epoch`].
+//! * An **auditor** thread (see [`crate::audit`]) replays a seeded
+//!   trickle of queries against the oracle and quarantines backends
+//!   that keep disagreeing.
 //! * Every query runs under a [`QueryBudget`]: the request's optional
 //!   deadline plus the server's force-stop kill flag. A tripped budget
 //!   yields a `DEADLINE_EXCEEDED` frame (never a cached or misreported
@@ -28,26 +40,33 @@
 //!   every thread joined.
 //!
 //! Per-request flow: decode → fault-injection hook (tests only) →
-//! resolve backend (wire id or degraded alias) → consult the sharded
-//! distance cache (DISTANCE only) → run the session under its budget →
-//! cache + record latency → respond. Dense DISTANCES batches reach CH's
-//! bucket-based many-to-many through the `Session::distances` override.
+//! resolve backend (wire id, degraded alias, or quarantine failover) →
+//! consult the sharded epoch-keyed distance cache (DISTANCE only) → run
+//! the session under its budget → cache + record latency → respond.
+//! Dense DISTANCES batches reach CH's bucket-based many-to-many through
+//! the `Session::distances` override.
 
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use spq_graph::backend::{QueryBudget, Session};
+use spq_dijkstra::Baseline;
+use spq_graph::backend::{Backend, QueryBudget, Session};
 
+use crate::audit::{self, AuditConfig};
 use crate::cache::DistanceCache;
+use crate::epoch::{EpochRegistry, EpochState, ReloadFactory, ReloadSpec};
 use crate::fault::FaultInjector;
 use crate::protocol::{self, Request};
-use crate::stats::{Op, ServerStats};
-use crate::Engine;
+use crate::stats::{wire_slot, Op, ServerStats, WIRE_NAMES, WIRE_SLOTS};
+use crate::sync::lock_unpoisoned;
+use crate::{BackendKind, Engine};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -80,6 +99,30 @@ pub struct ServerConfig {
     pub grace: Duration,
     /// Fault-injection hook for chaos tests (None in production).
     pub fault: Option<Arc<FaultInjector>>,
+    /// Programmatic reload source: invoked by the reloader to build the
+    /// replacement engine (tests and embedders; the CLI uses
+    /// [`ServerConfig::reload_file`]).
+    pub reload_factory: Option<ReloadFactory>,
+    /// Watched reload file (see [`ReloadSpec`]): a content change
+    /// triggers a reload, and `RELOAD` frames / `SIGHUP` rebuild from
+    /// its current contents.
+    pub reload_file: Option<PathBuf>,
+    /// How often the reload file is polled for content changes.
+    pub reload_poll: Duration,
+    /// How long a `RELOAD` frame may wait for its attempt's outcome.
+    pub reload_timeout: Duration,
+    /// Random pairs the pre-publication self-check (and any startup
+    /// self-check the caller runs) compares against the oracle.
+    pub selfcheck_queries: usize,
+    /// Seed of the self-check sampler.
+    pub selfcheck_seed: u64,
+    /// Continuous oracle auditing (None disables the auditor thread).
+    pub audit: Option<AuditConfig>,
+    /// Worker panics tolerated within [`ServerConfig::restart_window`]
+    /// before the worker retires.
+    pub restart_cap: usize,
+    /// The sliding window [`ServerConfig::restart_cap`] counts over.
+    pub restart_window: Duration,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +142,15 @@ impl Default for ServerConfig {
             max_frame_len: protocol::MAX_FRAME,
             grace: Duration::from_secs(3),
             fault: None,
+            reload_factory: None,
+            reload_file: None,
+            reload_poll: Duration::from_millis(500),
+            reload_timeout: Duration::from_secs(120),
+            selfcheck_queries: 32,
+            selfcheck_seed: 7,
+            audit: None,
+            restart_cap: 5,
+            restart_window: Duration::from_secs(10),
         }
     }
 }
@@ -108,27 +160,39 @@ impl Default for ServerConfig {
 /// shutdown flag.
 static SIGNALLED: AtomicBool = AtomicBool::new(false);
 
+/// Process-wide flag flipped by SIGHUP: the operator's "reload your
+/// indexes" signal, consumed by the reloader thread.
+static SIGHUP_RELOAD: AtomicBool = AtomicBool::new(false);
+
 #[cfg(unix)]
 extern "C" fn on_signal(_signum: i32) {
     // Only async-signal-safe work here: one atomic store.
     SIGNALLED.store(true, Ordering::SeqCst);
 }
 
+#[cfg(unix)]
+extern "C" fn on_sighup(_signum: i32) {
+    SIGHUP_RELOAD.store(true, Ordering::SeqCst);
+}
+
 /// Installs SIGTERM and SIGINT handlers that request a graceful
-/// shutdown of every server in the process. No-op off Unix.
+/// shutdown of every server in the process, and a SIGHUP handler that
+/// requests an index reload. No-op off Unix.
 pub fn install_signal_handlers() {
     #[cfg(unix)]
     {
         // libc is always linked on Unix; declaring `signal` directly
-        // avoids a dependency for two syscalls.
+        // avoids a dependency for three syscalls.
         extern "C" {
             fn signal(signum: i32, handler: usize) -> usize;
         }
+        const SIGHUP: i32 = 1;
         const SIGINT: i32 = 2;
         const SIGTERM: i32 = 15;
         unsafe {
             signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
             signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGHUP, on_sighup as extern "C" fn(i32) as usize);
         }
     }
 }
@@ -138,6 +202,11 @@ pub fn signalled() -> bool {
     SIGNALLED.load(Ordering::SeqCst)
 }
 
+/// Consumes a pending SIGHUP reload request, if any.
+pub fn take_sighup() -> bool {
+    SIGHUP_RELOAD.swap(false, Ordering::SeqCst)
+}
+
 /// Everything a worker needs beyond its sessions, bundled so the
 /// per-connection call chain stays readable.
 struct WorkerCtx {
@@ -145,11 +214,19 @@ struct WorkerCtx {
     force_stop: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
     cache: Arc<DistanceCache>,
+    registry: Arc<EpochRegistry>,
     fault: Option<Arc<FaultInjector>>,
     read_timeout: Duration,
     write_timeout: Duration,
     stall_timeout: Duration,
     max_frame: usize,
+    reload_timeout: Duration,
+    has_reload_source: bool,
+    /// Whether quarantined wire ids fail over down the degradation
+    /// chain (from the audit config; irrelevant without an auditor).
+    failover: bool,
+    restart_cap: usize,
+    restart_window: Duration,
 }
 
 /// A running server. Dropping it without [`Server::join`] detaches the
@@ -161,15 +238,19 @@ pub struct Server {
     force_stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     monitor: Option<JoinHandle<()>>,
+    reloader: Option<JoinHandle<()>>,
+    auditor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    engine: Arc<Engine>,
+    registry: Arc<EpochRegistry>,
     stats: Arc<ServerStats>,
     cache: Arc<DistanceCache>,
 }
 
 impl Server {
     /// Binds and starts accepting. The engine should already be
-    /// self-checked (see [`Engine::self_check`]).
+    /// self-checked (see [`Engine::self_check`]); engines published
+    /// later by reloads are self-checked by the reloader before they
+    /// serve.
     pub fn start(engine: Arc<Engine>, cfg: &ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
@@ -177,16 +258,19 @@ impl Server {
 
         let shutdown = Arc::new(AtomicBool::new(false));
         let force_stop = Arc::new(AtomicBool::new(false));
-        let stats = Arc::new(ServerStats::new(engine.backends().len()));
+        // Stats are sized by wire id, not by this engine's backend
+        // count: a reload may publish an engine with a different set.
+        let stats = Arc::new(ServerStats::new(WIRE_SLOTS));
         let cache = Arc::new(DistanceCache::new(cfg.cache_capacity, cfg.cache_shards));
+        let registry = Arc::new(EpochRegistry::new(engine));
         let active = Arc::new(AtomicUsize::new(cfg.workers.max(1)));
+        let has_reload_source = cfg.reload_factory.is_some() || cfg.reload_file.is_some();
 
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(cfg.max_pending.max(1));
         let rx = Arc::new(Mutex::new(rx));
 
         let mut workers = Vec::with_capacity(cfg.workers);
-        for _ in 0..cfg.workers.max(1) {
-            let engine = Arc::clone(&engine);
+        for worker_id in 0..cfg.workers.max(1) {
             let rx = Arc::clone(&rx);
             let active = Arc::clone(&active);
             let ctx = WorkerCtx {
@@ -194,15 +278,26 @@ impl Server {
                 force_stop: Arc::clone(&force_stop),
                 stats: Arc::clone(&stats),
                 cache: Arc::clone(&cache),
+                registry: Arc::clone(&registry),
                 fault: cfg.fault.clone(),
                 read_timeout: cfg.read_timeout,
                 write_timeout: cfg.write_timeout,
                 stall_timeout: cfg.stall_timeout,
                 max_frame: cfg.max_frame_len.min(protocol::MAX_FRAME),
+                reload_timeout: cfg.reload_timeout,
+                has_reload_source,
+                failover: cfg.audit.as_ref().map_or(true, |a| a.failover),
+                restart_cap: cfg.restart_cap.max(1),
+                restart_window: cfg.restart_window,
             };
             workers.push(std::thread::spawn(move || {
-                worker_loop(&engine, &rx, &ctx);
-                active.fetch_sub(1, Ordering::SeqCst);
+                worker_loop(&rx, &ctx, worker_id);
+                // The last worker to leave — retirement or shutdown —
+                // turns the lights off, so a fully retired pool shuts
+                // the server down instead of leaving a zombie acceptor.
+                if active.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    ctx.shutdown.store(true, Ordering::SeqCst);
+                }
             }));
         }
 
@@ -217,6 +312,7 @@ impl Server {
         let monitor = {
             let shutdown = Arc::clone(&shutdown);
             let force_stop = Arc::clone(&force_stop);
+            let active = Arc::clone(&active);
             let grace = cfg.grace;
             std::thread::spawn(move || {
                 while !stopping(&shutdown) {
@@ -230,14 +326,49 @@ impl Server {
             })
         };
 
+        let reloader = has_reload_source.then(|| {
+            let reloader = Reloader {
+                registry: Arc::clone(&registry),
+                cache: Arc::clone(&cache),
+                stats: Arc::clone(&stats),
+                factory: cfg.reload_factory.clone(),
+                reload_file: cfg.reload_file.clone(),
+                poll: cfg.reload_poll,
+                selfcheck_queries: cfg.selfcheck_queries,
+                selfcheck_seed: cfg.selfcheck_seed,
+                shutdown: Arc::clone(&shutdown),
+            };
+            std::thread::spawn(move || reloader.run())
+        });
+
+        let auditor = cfg.audit.clone().map(|audit_cfg| {
+            let registry = Arc::clone(&registry);
+            let cache = Arc::clone(&cache);
+            let stats = Arc::clone(&stats);
+            let shutdown = Arc::clone(&shutdown);
+            let force_stop = Arc::clone(&force_stop);
+            std::thread::spawn(move || {
+                audit::auditor_loop(
+                    &registry,
+                    &cache,
+                    &stats,
+                    &audit_cfg,
+                    &shutdown,
+                    &force_stop,
+                )
+            })
+        });
+
         Ok(Server {
             addr,
             shutdown,
             force_stop,
             acceptor: Some(acceptor),
             monitor: Some(monitor),
+            reloader,
+            auditor,
             workers,
-            engine,
+            registry,
             stats,
             cache,
         })
@@ -246,6 +377,11 @@ impl Server {
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The epoch registry (tests inspect and trigger swaps through it).
+    pub fn registry(&self) -> &Arc<EpochRegistry> {
+        &self.registry
     }
 
     /// Requests a graceful shutdown (idempotent): stop accepting, drain
@@ -266,21 +402,7 @@ impl Server {
 
     /// Renders the current observability snapshot.
     pub fn stats_text(&self) -> String {
-        let mut text = String::new();
-        for d in self.engine.degradations() {
-            text.push_str(&format!(
-                "degraded: {} -> {} ({})\n",
-                d.requested.name(),
-                d.served_by.name(),
-                d.reason
-            ));
-        }
-        text.push_str(
-            &self
-                .stats
-                .render(&self.engine.backend_names(), &self.cache.stats()),
-        );
-        text
+        render_status(&self.registry.current(), &self.stats, &self.cache)
     }
 
     /// Waits for every thread to finish (requires shutdown to have been
@@ -296,12 +418,130 @@ impl Server {
         if let Some(monitor) = self.monitor.take() {
             let _ = monitor.join();
         }
+        if let Some(reloader) = self.reloader.take() {
+            let _ = reloader.join();
+        }
+        if let Some(auditor) = self.auditor.take() {
+            let _ = auditor.join();
+        }
         self.stats_text()
     }
 }
 
+/// The STATS body: epoch, startup degradations, live quarantines, then
+/// the counter tables.
+fn render_status(state: &EpochState, stats: &ServerStats, cache: &DistanceCache) -> String {
+    let mut text = format!("epoch: {}\n", state.epoch);
+    for d in state.engine.degradations() {
+        text.push_str(&format!(
+            "degraded: {} -> {} ({})\n",
+            d.requested.name(),
+            d.served_by.name(),
+            d.reason
+        ));
+    }
+    for q in state.quarantine_lines() {
+        text.push_str(&format!("quarantined: {q}\n"));
+    }
+    text.push_str(&stats.render(&WIRE_NAMES, &cache.stats()));
+    text
+}
+
 fn stopping(flag: &AtomicBool) -> bool {
     flag.load(Ordering::SeqCst) || signalled()
+}
+
+/// The reloader thread: waits for a trigger (RELOAD frame, SIGHUP, or
+/// a content change to the watched reload file), builds and
+/// self-checks the replacement engine, and publishes it as a new
+/// epoch. Failure publishes nothing; the old epoch keeps serving.
+struct Reloader {
+    registry: Arc<EpochRegistry>,
+    cache: Arc<DistanceCache>,
+    stats: Arc<ServerStats>,
+    factory: Option<ReloadFactory>,
+    reload_file: Option<PathBuf>,
+    poll: Duration,
+    selfcheck_queries: usize,
+    selfcheck_seed: u64,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Reloader {
+    fn run(&self) {
+        // The file's startup contents are the baseline: only a *change*
+        // triggers, so restarting the server next to an existing reload
+        // file does not immediately rebuild.
+        let mut baseline: Option<Vec<u8>> = self
+            .reload_file
+            .as_ref()
+            .and_then(|p| std::fs::read(p).ok());
+        let mut next_file_check = Instant::now() + self.poll;
+        loop {
+            if stopping(&self.shutdown) {
+                return;
+            }
+            let mut triggered = self.registry.take_request();
+            if take_sighup() {
+                triggered = true;
+            }
+            if !triggered && Instant::now() >= next_file_check {
+                next_file_check = Instant::now() + self.poll;
+                if let Some(path) = &self.reload_file {
+                    if let Ok(bytes) = std::fs::read(path) {
+                        if baseline.as_deref() != Some(&bytes[..]) {
+                            baseline = Some(bytes);
+                            triggered = true;
+                        }
+                    }
+                }
+            }
+            if !triggered {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            let outcome = self.perform();
+            match &outcome {
+                Ok(epoch) => {
+                    self.stats.reloads_ok.fetch_add(1, Ordering::Relaxed);
+                    self.stats.clear_reload_error();
+                    eprintln!("[reload] epoch {epoch} published");
+                }
+                Err(reason) => {
+                    self.stats.reloads_failed.fetch_add(1, Ordering::Relaxed);
+                    self.stats.set_reload_error(reason.clone());
+                    eprintln!("[reload] FAILED (old epoch keeps serving): {reason}");
+                }
+            }
+            self.registry.complete(outcome);
+        }
+    }
+
+    /// One reload attempt: build → self-check → publish → purge stale
+    /// cache epochs. Every step before `publish` leaves serving state
+    /// untouched.
+    fn perform(&self) -> Result<u64, String> {
+        let current = self.registry.current();
+        let engine: Arc<Engine> = if let Some(factory) = &self.factory {
+            (factory.0)()?
+        } else if let Some(path) = &self.reload_file {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let spec = ReloadSpec::parse(&text)?;
+            spec.build(&current.engine)?
+        } else {
+            return Err("no reload source configured".into());
+        };
+        engine
+            .self_check(self.selfcheck_queries, self.selfcheck_seed)
+            .map_err(|e| format!("refusing to publish: {e}"))?;
+        let epoch = self.registry.publish(engine);
+        let purged = self.cache.purge_stale_epochs(epoch);
+        if purged > 0 {
+            eprintln!("[reload] purged {purged} cached answers from superseded epochs");
+        }
+        Ok(epoch)
+    }
 }
 
 fn accept_loop(
@@ -341,32 +581,115 @@ fn accept_loop(
     // dropping the listener makes new connections fail fast.
 }
 
-fn worker_loop(engine: &Engine, rx: &Mutex<Receiver<TcpStream>>, ctx: &WorkerCtx) {
-    // One reusable session per backend for this worker's whole life —
-    // this is what keeps the per-request path allocation-free.
-    let mut sessions: Vec<Box<dyn Session + '_>> = engine
-        .backends()
-        .iter()
-        .map(|b| b.backend.session(engine.net()))
-        .collect();
+/// How one served connection ended, from the worker's perspective.
+enum ConnOutcome {
+    /// The connection is finished (EOF, error, shutdown, or dropped).
+    Done,
+    /// A fresh epoch was published after this frame was read: the
+    /// worker must rebuild its sessions and then answer the carried
+    /// frame on the new epoch — the frame is never dropped.
+    EpochStale { stream: TcpStream, payload: Vec<u8> },
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: &WorkerCtx, worker_id: usize) {
     let mut scratch = Scratch::default();
-    loop {
-        let stream = {
-            let guard = rx.lock().unwrap();
-            match guard.recv_timeout(Duration::from_millis(50)) {
-                Ok(stream) => stream,
-                Err(RecvTimeoutError::Timeout) => {
-                    if stopping(&ctx.shutdown) {
+    // Panic timestamps within the restart window (the supervision cap).
+    let mut panics: Vec<Instant> = Vec::new();
+    // A connection (plus its already-read frame) carried across an
+    // epoch swap, resumed first thing on the new epoch's sessions.
+    let mut carry: Option<(TcpStream, Vec<u8>)> = None;
+    'epochs: loop {
+        // Pin the current epoch: sessions borrow this state's engine,
+        // so every query this worker runs until the next swap (or
+        // panic) is answered by one consistent index set.
+        let state = ctx.registry.current();
+        let engine = &state.engine;
+        let baseline = Baseline;
+        let mut sessions: Vec<Box<dyn Session + '_>> = engine
+            .backends()
+            .iter()
+            .map(|b| b.backend.session(engine.net()))
+            .collect();
+        // The worker-local end of the quarantine failover chain: an
+        // index-free Dijkstra session that exists even when the engine
+        // serves no dijkstra slot.
+        sessions.push(baseline.session(engine.net()));
+        let fallback = sessions.len() - 1;
+        loop {
+            let (stream, pending) = match carry.take() {
+                Some((stream, payload)) => (stream, Some(payload)),
+                None => {
+                    let received = {
+                        let guard = lock_unpoisoned(rx);
+                        guard.recv_timeout(Duration::from_millis(50))
+                    };
+                    match received {
+                        Ok(stream) => (stream, None),
+                        Err(RecvTimeoutError::Timeout) => {
+                            if stopping(&ctx.shutdown) {
+                                return;
+                            }
+                            if ctx.registry.epoch() != state.epoch {
+                                continue 'epochs;
+                            }
+                            continue;
+                        }
+                        Err(RecvTimeoutError::Disconnected) => return,
+                    }
+                }
+            };
+            // The supervision shell: a panic inside the request path —
+            // injected by the chaos suite or a real backend defect —
+            // kills only this connection. The worker records it,
+            // rebuilds its sessions (the panicking one may be mid-query
+            // garbage), and keeps serving.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                serve_connection(
+                    stream,
+                    &state,
+                    &mut sessions,
+                    fallback,
+                    &mut scratch,
+                    ctx,
+                    pending,
+                )
+            }));
+            match outcome {
+                Ok(Ok(ConnOutcome::Done)) | Ok(Err(_)) => {}
+                Ok(Ok(ConnOutcome::EpochStale { stream, payload })) => {
+                    carry = Some((stream, payload));
+                    continue 'epochs;
+                }
+                Err(_) => {
+                    ctx.stats.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                    let now = Instant::now();
+                    panics.retain(|&at| now.duration_since(at) <= ctx.restart_window);
+                    panics.push(now);
+                    if panics.len() >= ctx.restart_cap {
+                        eprintln!(
+                            "[worker {worker_id}] RETIRED: {} panics within {:?} (cap {})",
+                            panics.len(),
+                            ctx.restart_window,
+                            ctx.restart_cap
+                        );
                         return;
                     }
-                    continue;
+                    eprintln!(
+                        "[worker {worker_id}] recovered from a panic; sessions rebuilt \
+                         ({}/{} within {:?})",
+                        panics.len(),
+                        ctx.restart_cap,
+                        ctx.restart_window
+                    );
+                    continue 'epochs;
                 }
-                Err(RecvTimeoutError::Disconnected) => return,
             }
-        };
-        let _ = serve_connection(stream, engine, &mut sessions, &mut scratch, ctx);
-        if stopping(&ctx.shutdown) {
-            return;
+            if stopping(&ctx.shutdown) {
+                return;
+            }
+            if ctx.registry.epoch() != state.epoch {
+                continue 'epochs;
+            }
         }
     }
 }
@@ -450,48 +773,62 @@ fn read_exact_interruptible(
 
 fn serve_connection(
     mut stream: TcpStream,
-    engine: &Engine,
+    state: &EpochState,
     sessions: &mut [Box<dyn Session + '_>],
+    fallback: usize,
     scratch: &mut Scratch,
     ctx: &WorkerCtx,
-) -> io::Result<()> {
+    mut pending: Option<Vec<u8>>,
+) -> io::Result<ConnOutcome> {
     stream.set_read_timeout(Some(ctx.read_timeout))?;
     stream.set_write_timeout(Some(ctx.write_timeout))?;
     loop {
-        let mut header = [0u8; 4];
-        match read_exact_interruptible(&mut stream, &mut header, ctx, true)? {
-            ReadOutcome::Eof | ReadOutcome::Stopped => return Ok(()),
-            ReadOutcome::Stalled => {
-                ctx.stats.client_timeouts.fetch_add(1, Ordering::Relaxed);
-                return Ok(());
+        let payload = match pending.take() {
+            // A frame carried across an epoch swap: already read,
+            // answered now by the new epoch's sessions.
+            Some(p) => p,
+            None => {
+                let mut header = [0u8; 4];
+                match read_exact_interruptible(&mut stream, &mut header, ctx, true)? {
+                    ReadOutcome::Eof | ReadOutcome::Stopped => return Ok(ConnOutcome::Done),
+                    ReadOutcome::Stalled => {
+                        ctx.stats.client_timeouts.fetch_add(1, Ordering::Relaxed);
+                        return Ok(ConnOutcome::Done);
+                    }
+                    ReadOutcome::Filled => {}
+                }
+                let len = u32::from_le_bytes(header) as usize;
+                if len > ctx.max_frame {
+                    // Unrecoverable: framing is lost. Answer and drop the
+                    // link without ever allocating the claimed length.
+                    ctx.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    let resp = protocol::encode_error("frame exceeds the size limit");
+                    let _ = protocol::write_frame(&mut stream, &resp);
+                    return Ok(ConnOutcome::Done);
+                }
+                // A frame header was read, so its payload must follow;
+                // the buffer is taken out of the scratch so the payload
+                // stays readable by `handle_request` while the
+                // scratch's batch buffer stays writable.
+                let mut payload = std::mem::take(&mut scratch.frame);
+                payload.resize(len, 0);
+                match read_exact_interruptible(&mut stream, &mut payload, ctx, false)? {
+                    ReadOutcome::Filled => {}
+                    ReadOutcome::Stalled => {
+                        ctx.stats.client_timeouts.fetch_add(1, Ordering::Relaxed);
+                        return Ok(ConnOutcome::Done);
+                    }
+                    ReadOutcome::Eof | ReadOutcome::Stopped => return Ok(ConnOutcome::Done),
+                }
+                // The epoch pin point: this frame arrived after a newer
+                // epoch was published, so it (and everything after it)
+                // belongs to the new engine. Hand the frame back intact.
+                if ctx.registry.epoch() != state.epoch {
+                    return Ok(ConnOutcome::EpochStale { stream, payload });
+                }
+                payload
             }
-            ReadOutcome::Filled => {}
-        }
-        let len = u32::from_le_bytes(header) as usize;
-        if len > ctx.max_frame {
-            // Unrecoverable: framing is lost. Answer and drop the link
-            // without ever allocating the claimed length.
-            ctx.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            let resp = protocol::encode_error("frame exceeds the size limit");
-            let _ = protocol::write_frame(&mut stream, &resp);
-            return Ok(());
-        }
-        // A frame header was read, so its payload must follow; the
-        // buffer is taken out of the scratch so the payload stays
-        // readable by `handle_request` while the scratch's batch buffer
-        // stays writable.
-        let mut payload = std::mem::take(&mut scratch.frame);
-        payload.resize(len, 0);
-        let read = read_exact_interruptible(&mut stream, &mut payload, ctx, false);
-        match read {
-            Ok(ReadOutcome::Filled) => {}
-            Ok(ReadOutcome::Stalled) => {
-                ctx.stats.client_timeouts.fetch_add(1, Ordering::Relaxed);
-                return Ok(());
-            }
-            Ok(ReadOutcome::Eof) | Ok(ReadOutcome::Stopped) => return Ok(()),
-            Err(e) => return Err(e),
-        }
+        };
 
         ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
         let action = match &ctx.fault {
@@ -501,24 +838,30 @@ fn serve_connection(
         if let Some(delay) = action.delay {
             std::thread::sleep(delay);
         }
-        let response = handle_request(&payload, engine, sessions, scratch, ctx);
+        if action.panic {
+            // Stands in for a defect in a backend's query code: the
+            // unwind is caught by the worker's supervision shell and
+            // must kill only this connection.
+            panic!("injected fault: panic while serving a request");
+        }
+        let response = handle_request(&payload, state, sessions, fallback, scratch, ctx);
         scratch.frame = payload;
         if action.drop_connection {
             // Injected mid-request connection loss: the query ran (and
             // possibly warmed the cache), but the peer never hears back.
-            return Ok(());
+            return Ok(ConnOutcome::Done);
         }
         if let Err(e) = protocol::write_frame(&mut stream, &response) {
             if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut {
                 // The peer stopped reading; disconnect it rather
                 // than blocking this worker.
                 ctx.stats.client_timeouts.fetch_add(1, Ordering::Relaxed);
-                return Ok(());
+                return Ok(ConnOutcome::Done);
             }
             return Err(e);
         }
         if stopping(&ctx.shutdown) {
-            return Ok(()); // graceful: last response delivered, then close
+            return Ok(ConnOutcome::Done); // graceful: last response delivered, then close
         }
     }
 }
@@ -545,10 +888,56 @@ fn interrupted_response(ctx: &WorkerCtx) -> Vec<u8> {
     }
 }
 
+/// Resolves which session position actually answers `backend`:
+/// normally the engine position behind the wire id (or its degraded
+/// alias), but a quarantined position fails over down the degradation
+/// chain — CH, then Dijkstra, then the worker-local baseline at
+/// `fallback` — or, with failover disabled, gets the typed
+/// `QUARANTINED` response.
+fn resolve_serving(
+    backend: u8,
+    state: &EpochState,
+    fallback: usize,
+    ctx: &WorkerCtx,
+) -> Result<usize, Vec<u8>> {
+    let engine = &state.engine;
+    let pos = match engine.position_of_wire(backend) {
+        Some(pos) => pos,
+        None => {
+            ctx.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(protocol::encode_error(&format!(
+                "backend {backend} not served"
+            )));
+        }
+    };
+    if !state.is_quarantined(pos) {
+        return Ok(pos);
+    }
+    if !ctx.failover {
+        return Err(protocol::encode_quarantined(&format!(
+            "backend {backend} is quarantined by the oracle auditor and failover is disabled"
+        )));
+    }
+    let next = engine
+        .position_of_wire(BackendKind::Ch.wire_id())
+        .filter(|&p| p != pos && !state.is_quarantined(p))
+        .or_else(|| {
+            engine
+                .position_of_wire(BackendKind::Dijkstra.wire_id())
+                .filter(|&p| p != pos && !state.is_quarantined(p))
+        })
+        .unwrap_or(fallback);
+    ctx.stats
+        .quarantine_failovers
+        .fetch_add(1, Ordering::Relaxed);
+    Ok(next)
+}
+
 fn handle_request(
     payload: &[u8],
-    engine: &Engine,
+    state: &EpochState,
     sessions: &mut [Box<dyn Session + '_>],
+    fallback: usize,
     scratch: &mut Scratch,
     ctx: &WorkerCtx,
 ) -> Vec<u8> {
@@ -560,13 +949,8 @@ fn handle_request(
             return protocol::encode_error(&msg);
         }
     };
+    let engine = &state.engine;
     let n = engine.net().num_nodes() as u32;
-    let resolve = |backend: u8| -> Result<usize, Vec<u8>> {
-        engine.position_of_wire(backend).ok_or_else(|| {
-            stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            protocol::encode_error(&format!("backend {backend} not served"))
-        })
-    };
     let check_range = |vs: &mut dyn Iterator<Item = u32>| -> Result<(), Vec<u8>> {
         for v in vs {
             if v >= n {
@@ -580,22 +964,28 @@ fn handle_request(
     };
     let response = match request {
         Request::Ping => protocol::encode_text_response("pong"),
-        Request::Stats => {
-            let mut text = String::new();
-            for d in engine.degradations() {
-                text.push_str(&format!(
-                    "degraded: {} -> {} ({})\n",
-                    d.requested.name(),
-                    d.served_by.name(),
-                    d.reason
-                ));
-            }
-            text.push_str(&stats.render(&engine.backend_names(), &ctx.cache.stats()));
-            protocol::encode_text_response(&text)
-        }
+        Request::Stats => protocol::encode_text_response(&render_status(state, stats, &ctx.cache)),
         Request::Shutdown => {
             ctx.shutdown.store(true, Ordering::SeqCst);
             protocol::encode_empty_response()
+        }
+        Request::Reload => {
+            if !ctx.has_reload_source {
+                protocol::encode_reload_failed(
+                    "no reload source configured (start with --reload-file or a reload factory)",
+                )
+            } else {
+                // Blocks this worker until the attempt completes; the
+                // registry coalesces concurrent requests into one
+                // rebuild, and shutdown cancels the wait.
+                match ctx
+                    .registry
+                    .reload_and_wait(ctx.reload_timeout, &ctx.shutdown)
+                {
+                    Ok(epoch) => protocol::encode_text_response(&format!("epoch={epoch}")),
+                    Err(reason) => protocol::encode_reload_failed(&reason),
+                }
+            }
         }
         Request::Distance {
             backend,
@@ -603,7 +993,7 @@ fn handle_request(
             t,
             deadline_ms,
         } => {
-            let pos = match resolve(backend) {
+            let pos = match resolve_serving(backend, state, fallback, ctx) {
                 Ok(pos) => pos,
                 Err(resp) => return resp,
             };
@@ -611,7 +1001,7 @@ fn handle_request(
                 return resp;
             }
             let t0 = Instant::now();
-            let d = match ctx.cache.get(backend, s, t) {
+            let d = match ctx.cache.get(state.epoch, backend, s, t) {
                 Some(cached) => cached,
                 None => {
                     sessions[pos].set_budget(request_budget(deadline_ms, ctx));
@@ -622,11 +1012,21 @@ fn handle_request(
                         // "unreachable".
                         return interrupted_response(ctx);
                     }
-                    ctx.cache.insert(backend, s, t, d);
+                    // Re-checked at insert time: if the auditor
+                    // quarantined this position while the query ran,
+                    // its answer must not outlive the purge.
+                    if !state.is_quarantined(pos) {
+                        ctx.cache.insert(state.epoch, backend, s, t, d);
+                    }
                     d
                 }
             };
-            stats.record(pos, Op::Distance, t0.elapsed().as_nanos() as u64, 1);
+            stats.record(
+                wire_slot(backend),
+                Op::Distance,
+                t0.elapsed().as_nanos() as u64,
+                1,
+            );
             protocol::encode_distance_response(d)
         }
         Request::Path {
@@ -635,7 +1035,7 @@ fn handle_request(
             t,
             deadline_ms,
         } => {
-            let pos = match resolve(backend) {
+            let pos = match resolve_serving(backend, state, fallback, ctx) {
                 Ok(pos) => pos,
                 Err(resp) => return resp,
             };
@@ -648,7 +1048,12 @@ fn handle_request(
             if sessions[pos].interrupted() {
                 return interrupted_response(ctx);
             }
-            stats.record(pos, Op::Path, t0.elapsed().as_nanos() as u64, 1);
+            stats.record(
+                wire_slot(backend),
+                Op::Path,
+                t0.elapsed().as_nanos() as u64,
+                1,
+            );
             protocol::encode_path_response(p)
         }
         Request::Distances {
@@ -657,7 +1062,7 @@ fn handle_request(
             targets,
             deadline_ms,
         } => {
-            let pos = match resolve(backend) {
+            let pos = match resolve_serving(backend, state, fallback, ctx) {
                 Ok(pos) => pos,
                 Err(resp) => return resp,
             };
@@ -671,7 +1076,12 @@ fn handle_request(
                 return interrupted_response(ctx);
             }
             let pairs = (sources.len() * targets.len()) as u64;
-            stats.record(pos, Op::Batch, t0.elapsed().as_nanos() as u64, pairs);
+            stats.record(
+                wire_slot(backend),
+                Op::Batch,
+                t0.elapsed().as_nanos() as u64,
+                pairs,
+            );
             protocol::encode_distances_response(&scratch.batch)
         }
     };

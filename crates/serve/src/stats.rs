@@ -9,14 +9,38 @@
 //! throughput report spanning nanoseconds to seconds.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::cache::CacheStats;
+use crate::sync::lock_unpoisoned;
 
-/// Number of log2 nanosecond buckets: bucket 0 is `[0, 1)` ns, bucket
-/// `i ≥ 1` is `[2^(i-1), 2^i)` ns; the last bucket (≈ 9 minutes and up)
-/// absorbs everything slower.
-pub const BUCKETS: usize = 40;
+/// Number of histogram buckets: bucket 0 is `[0, 1)` ns, bucket
+/// `1 ≤ i < OVERFLOW_BUCKET` is `[2^(i-1), 2^i)` ns, and the final
+/// [`OVERFLOW_BUCKET`] holds everything at or above
+/// 2^([`OVERFLOW_BUCKET`] − 1) ns (≈ 9 minutes) — counted explicitly
+/// instead of aliased into the top log2 bucket, so multi-second
+/// outliers (e.g. during an index reload) stay visible.
+pub const BUCKETS: usize = 41;
+
+/// Index of the explicit overflow bucket.
+pub const OVERFLOW_BUCKET: usize = BUCKETS - 1;
+
+/// Stats slots are indexed by protocol wire id, not engine position:
+/// a hot reload may change how many backends the engine holds, but the
+/// wire ids clients query by are stable, so counters survive swaps.
+/// The final slot absorbs any wire id past the known range.
+pub const WIRE_SLOTS: usize = 8;
+
+/// Display names for the wire-id slots, in slot order.
+pub const WIRE_NAMES: [&str; WIRE_SLOTS] = [
+    "dijkstra", "ch", "tnr", "silc", "pcpd", "alt", "arcflags", "other",
+];
+
+/// Maps a protocol wire id to its stats slot.
+pub fn wire_slot(wire_id: u8) -> usize {
+    (wire_id as usize).min(WIRE_SLOTS - 1)
+}
 
 /// The operations the server distinguishes in its per-backend stats.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,14 +72,17 @@ impl Op {
 
 /// Maps a nanosecond latency to its bucket.
 pub fn bucket_of(nanos: u64) -> usize {
-    ((64 - nanos.leading_zeros()) as usize).min(BUCKETS - 1)
+    ((64 - nanos.leading_zeros()) as usize).min(OVERFLOW_BUCKET)
 }
 
 /// Representative latency of a bucket in nanoseconds (geometric
-/// midpoint of its range).
+/// midpoint of its range; the overflow bucket reports its lower bound,
+/// since its range is unbounded above).
 pub fn bucket_value_ns(bucket: usize) -> f64 {
     if bucket == 0 {
         0.5
+    } else if bucket >= OVERFLOW_BUCKET {
+        2f64.powi(OVERFLOW_BUCKET as i32 - 1)
     } else {
         // Bucket covers [2^(b-1), 2^b): midpoint 2^(b-1) · √2.
         2f64.powi(bucket as i32 - 1) * std::f64::consts::SQRT_2
@@ -103,6 +130,11 @@ impl Histogram {
     pub fn snapshot(&self) -> [u64; BUCKETS] {
         std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
     }
+
+    /// Samples that landed in the explicit overflow bucket.
+    pub fn overflow(&self) -> u64 {
+        self.buckets[OVERFLOW_BUCKET].load(Ordering::Relaxed)
+    }
 }
 
 /// Counters and latency histogram for one (backend, op) pair.
@@ -136,6 +168,26 @@ pub struct ServerStats {
     pub deadlines_exceeded: AtomicU64,
     /// In-flight queries aborted by the post-grace force-stop.
     pub force_closed: AtomicU64,
+    /// Index reloads that validated and published a new epoch.
+    pub reloads_ok: AtomicU64,
+    /// Index reloads rejected before publication (the old epoch kept
+    /// serving).
+    pub reloads_failed: AtomicU64,
+    /// Worker panics recovered by the supervision loop (the worker
+    /// rebuilt its sessions and kept serving).
+    pub worker_restarts: AtomicU64,
+    /// Completed audit rounds (one pass over every auditable backend).
+    pub audit_rounds: AtomicU64,
+    /// Individual audit queries compared against the oracle.
+    pub audit_checked: AtomicU64,
+    /// Audit queries that disagreed with the oracle.
+    pub audit_mismatches: AtomicU64,
+    /// Requests answered by the degradation chain because their backend
+    /// was quarantined.
+    pub quarantine_failovers: AtomicU64,
+    /// The typed reason of the most recent failed reload (cleared by
+    /// the next successful one).
+    last_reload_error: Mutex<Option<String>>,
     /// Server start time (for the uptime line).
     started: Instant,
 }
@@ -152,8 +204,31 @@ impl ServerStats {
             client_timeouts: AtomicU64::new(0),
             deadlines_exceeded: AtomicU64::new(0),
             force_closed: AtomicU64::new(0),
+            reloads_ok: AtomicU64::new(0),
+            reloads_failed: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
+            audit_rounds: AtomicU64::new(0),
+            audit_checked: AtomicU64::new(0),
+            audit_mismatches: AtomicU64::new(0),
+            quarantine_failovers: AtomicU64::new(0),
+            last_reload_error: Mutex::new(None),
             started: Instant::now(),
         }
+    }
+
+    /// Records the typed reason of a failed reload.
+    pub fn set_reload_error(&self, reason: String) {
+        *lock_unpoisoned(&self.last_reload_error) = Some(reason);
+    }
+
+    /// Clears the failed-reload reason (a later reload succeeded).
+    pub fn clear_reload_error(&self) {
+        *lock_unpoisoned(&self.last_reload_error) = None;
+    }
+
+    /// The most recent failed-reload reason, if any.
+    pub fn reload_error(&self) -> Option<String> {
+        lock_unpoisoned(&self.last_reload_error).clone()
     }
 
     /// Records one served request: `items` individual answers produced
@@ -194,19 +269,38 @@ impl ServerStats {
         );
         let _ = writeln!(
             out,
-            "cache: hits={} misses={} hit_rate={:.1}% insertions={} evictions={} len={} capacity={}",
+            "health: reloads_ok={} reloads_failed={} worker_restarts={}",
+            self.reloads_ok.load(Ordering::Relaxed),
+            self.reloads_failed.load(Ordering::Relaxed),
+            self.worker_restarts.load(Ordering::Relaxed),
+        );
+        let _ = writeln!(
+            out,
+            "audit: audit_rounds={} audit_checked={} audit_mismatches={} quarantine_failovers={}",
+            self.audit_rounds.load(Ordering::Relaxed),
+            self.audit_checked.load(Ordering::Relaxed),
+            self.audit_mismatches.load(Ordering::Relaxed),
+            self.quarantine_failovers.load(Ordering::Relaxed),
+        );
+        if let Some(reason) = self.reload_error() {
+            let _ = writeln!(out, "reload_error: RELOAD_FAILED {reason}");
+        }
+        let _ = writeln!(
+            out,
+            "cache: hits={} misses={} hit_rate={:.1}% insertions={} evictions={} purged={} len={} capacity={}",
             cache.hits,
             cache.misses,
             cache.hit_rate() * 100.0,
             cache.insertions,
             cache.evictions,
+            cache.purged,
             cache.len,
             cache.capacity,
         );
         let _ = writeln!(
             out,
-            "{:<10} {:<9} {:>10} {:>12} {:>10} {:>10}",
-            "backend", "op", "count", "items", "p50_us", "p99_us"
+            "{:<10} {:<9} {:>10} {:>12} {:>10} {:>10} {:>9}",
+            "backend", "op", "count", "items", "p50_us", "p99_us", "overflow"
         );
         for (i, name) in backend_names.iter().enumerate() {
             for op in Op::ALL {
@@ -218,13 +312,14 @@ impl ServerStats {
                 let snap = s.hist.snapshot();
                 let _ = writeln!(
                     out,
-                    "{:<10} {:<9} {:>10} {:>12} {:>10.2} {:>10.2}",
+                    "{:<10} {:<9} {:>10} {:>12} {:>10.2} {:>10.2} {:>9}",
                     name,
                     op.name(),
                     count,
                     s.items.load(Ordering::Relaxed),
                     percentile_ns(&snap, 0.50) / 1_000.0,
                     percentile_ns(&snap, 0.99) / 1_000.0,
+                    s.hist.overflow(),
                 );
             }
         }
@@ -243,17 +338,33 @@ mod tests {
         assert_eq!(bucket_of(2), 2);
         assert_eq!(bucket_of(3), 2);
         assert_eq!(bucket_of(4), 3);
-        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_of(u64::MAX), OVERFLOW_BUCKET);
         for nanos in [5u64, 1_000, 1_000_000, 10_000_000_000] {
             let b = bucket_of(nanos);
-            assert!(b < BUCKETS);
-            if b < BUCKETS - 1 {
-                // The representative value is within ~√2 of the sample.
-                let rep = bucket_value_ns(b);
-                assert!(rep / nanos as f64 <= std::f64::consts::SQRT_2 + 1e-9);
-                assert!(nanos as f64 / rep <= std::f64::consts::SQRT_2 + 1e-9);
-            }
+            assert!(b < OVERFLOW_BUCKET, "ordinary latencies never overflow");
+            // The representative value is within ~√2 of the sample.
+            let rep = bucket_value_ns(b);
+            assert!(rep / nanos as f64 <= std::f64::consts::SQRT_2 + 1e-9);
+            assert!(nanos as f64 / rep <= std::f64::consts::SQRT_2 + 1e-9);
         }
+    }
+
+    #[test]
+    fn overflow_bucket_counts_extreme_outliers_explicitly() {
+        let threshold = 1u64 << (OVERFLOW_BUCKET - 1);
+        assert_eq!(bucket_of(threshold - 1), OVERFLOW_BUCKET - 1);
+        assert_eq!(bucket_of(threshold), OVERFLOW_BUCKET);
+        let hist = Histogram::default();
+        hist.record(1_000);
+        assert_eq!(hist.overflow(), 0);
+        hist.record(threshold);
+        hist.record(u64::MAX);
+        assert_eq!(hist.overflow(), 2, "outliers counted, not aliased");
+        // The overflow representative is its lower bound, so the
+        // percentile estimate never understates an overflowing tail.
+        assert!(bucket_value_ns(OVERFLOW_BUCKET) >= threshold as f64);
+        let snap = hist.snapshot();
+        assert_eq!(percentile_ns(&snap, 1.0), bucket_value_ns(OVERFLOW_BUCKET));
     }
 
     #[test]
@@ -284,19 +395,36 @@ mod tests {
             misses: 1,
             insertions: 1,
             evictions: 0,
+            purged: 0,
             len: 1,
             capacity: 64,
         };
         stats.shed.fetch_add(2, Ordering::Relaxed);
         stats.deadlines_exceeded.fetch_add(1, Ordering::Relaxed);
+        stats.worker_restarts.fetch_add(3, Ordering::Relaxed);
+        stats.audit_mismatches.fetch_add(4, Ordering::Relaxed);
         let text = stats.render(&["CH", "TNR"], &cache);
         assert!(text.contains("shed=2"), "{text}");
         assert!(text.contains("deadlines_exceeded=1"), "{text}");
         assert!(text.contains("client_timeouts=0"), "{text}");
         assert!(text.contains("hits=3"));
         assert!(text.contains("hit_rate=75.0%"));
+        assert!(text.contains("reloads_ok=0"), "{text}");
+        assert!(text.contains("worker_restarts=3"), "{text}");
+        assert!(text.contains("audit_mismatches=4"), "{text}");
+        assert!(text.contains("overflow"), "{text}");
+        assert!(
+            !text.contains("reload_error"),
+            "no failed reload, no reason line:\n{text}"
+        );
         assert!(text.contains("CH"));
         assert!(text.contains("batch"));
         assert!(!text.contains("path"), "unused ops are omitted:\n{text}");
+
+        stats.set_reload_error("self-check rejected the new index".into());
+        let text = stats.render(&["CH", "TNR"], &cache);
+        assert!(text.contains("reload_error: RELOAD_FAILED"), "{text}");
+        stats.clear_reload_error();
+        assert_eq!(stats.reload_error(), None);
     }
 }

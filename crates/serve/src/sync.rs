@@ -1,0 +1,34 @@
+//! Poison-tolerant locking.
+//!
+//! A worker panic (injected by the chaos suite or caused by a real
+//! defect) may unwind while holding a stats, cache-shard, or registry
+//! mutex. The data under every such lock is a plain counter table or an
+//! LRU list whose invariants hold between individual field writes, so a
+//! poisoned guard is still structurally sound — recovering it keeps the
+//! rest of the server serving instead of turning one panic into a
+//! process-wide cascade of `PoisonError` panics.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_a_poisoned_mutex() {
+        let m = Mutex::new(41);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(result.is_err());
+        assert!(m.lock().is_err(), "mutex is poisoned");
+        *lock_unpoisoned(&m) += 1;
+        assert_eq!(*lock_unpoisoned(&m), 42);
+    }
+}

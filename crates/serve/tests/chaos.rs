@@ -14,8 +14,15 @@
 //!    force-closes stragglers;
 //! 5. damaged index files degrade the engine with typed reasons instead
 //!    of serving garbage;
-//! 6. every thread joins — a hang here is a test-timeout failure.
+//! 6. every thread joins — a hang here is a test-timeout failure;
+//! 7. a hot index swap under concurrent load never yields a wrong or
+//!    stale answer, and a failed reload leaves the old epoch serving;
+//! 8. an injected worker panic kills only its own connection — the
+//!    supervised worker recovers (and a panic storm retires it);
+//! 9. a backend that starts answering wrongly is quarantined by the
+//!    continuous oracle audit and its traffic fails over.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -26,8 +33,8 @@ use spq_graph::RoadNetwork;
 use spq_serve::loadgen::{self, LoadgenOptions};
 use spq_serve::server::{Server, ServerConfig};
 use spq_serve::{
-    BackendKind, BackendSpec, ClientError, Engine, FaultInjector, FaultPlan, RetryPolicy,
-    RetryingClient, ServeClient,
+    AuditConfig, BackendKind, BackendSpec, ClientError, Engine, FaultInjector, FaultPlan,
+    ReloadFactory, RetryPolicy, RetryingClient, ServeClient,
 };
 use spq_synth::SynthParams;
 
@@ -138,6 +145,31 @@ impl Session for StuckSession {
     }
 }
 
+/// A backend that confidently answers every query with distance 1 — a
+/// stand-in for an index silently gone bad *after* the startup
+/// self-check (memory corruption, a bad mmap, a defect that only
+/// manifests under load). The continuous audit must catch it.
+struct LyingBackend;
+struct LyingSession;
+
+impl Backend for LyingBackend {
+    fn backend_name(&self) -> &'static str {
+        "Lying"
+    }
+    fn session<'a>(&'a self, _net: &'a RoadNetwork) -> Box<dyn Session + 'a> {
+        Box::new(LyingSession)
+    }
+}
+
+impl Session for LyingSession {
+    fn distance(&mut self, _s: NodeId, _t: NodeId) -> Option<Dist> {
+        Some(1)
+    }
+    fn shortest_path(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
+        Some((1, vec![s, t]))
+    }
+}
+
 /// The headline chaos run: injected latency, injected connection drops,
 /// and client-side corrupted frames, all seeded. Retrying clients must
 /// still converge on the oracle answer for every single pair.
@@ -154,6 +186,7 @@ fn chaos_sweep_stays_available_and_never_wrong() {
         latency_prob: 0.2,
         latency: Duration::from_millis(2),
         drop_prob: 0.15,
+        panic_prob: 0.0,
     }));
     let cfg = ServerConfig {
         workers: 2,
@@ -577,4 +610,472 @@ fn loadgen_reports_partial_results_when_the_server_dies() {
         "partial progress before the kill is preserved: {:?}",
         report.rows[0]
     );
+}
+
+/// Acceptance (a): a hot index swap under concurrent load. Three
+/// clients hammer oracle-checked queries while a fourth triggers three
+/// RELOADs; every single answer must equal the oracle (the replacement
+/// engines serve the same network, so a stale cache entry or a query
+/// answered half-on-each-epoch would still surface as a correctness
+/// violation in the epoch-keyed accounting below).
+#[test]
+fn hot_reload_under_concurrent_load_never_yields_wrong_or_stale_answers() {
+    let net = test_net(300, 9);
+    let kinds = [BackendKind::Dijkstra, BackendKind::Ch];
+    let engine = Arc::new(Engine::build(net.clone(), &kinds));
+    engine.self_check(16, 3).expect("clean engine");
+    let factory_net = net.clone();
+    let factory = ReloadFactory::new(move || {
+        Ok(Arc::new(Engine::build(
+            factory_net.clone(),
+            &[BackendKind::Dijkstra, BackendKind::Ch],
+        )))
+    });
+    let cfg = ServerConfig {
+        workers: 4,
+        reload_factory: Some(factory),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(engine, &cfg).expect("bind");
+    let addr = server.local_addr();
+
+    let pairs = sample_pairs(net.num_nodes(), 30);
+    let mut oracle = Dijkstra::new(net.num_nodes());
+    let expected: Vec<Option<Dist>> = pairs
+        .iter()
+        .map(|&(s, t)| {
+            oracle.run_to_target(&net, s, t);
+            oracle.distance(t)
+        })
+        .collect();
+
+    const RELOADS: u64 = 3;
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let stop = &stop;
+        let pairs = &pairs;
+        let expected = &expected;
+        for worker in 0..3usize {
+            scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                let mut i = worker;
+                while !stop.load(Ordering::SeqCst) {
+                    let (s, t) = pairs[i % pairs.len()];
+                    let kind = if i % 2 == 0 {
+                        BackendKind::Dijkstra
+                    } else {
+                        BackendKind::Ch
+                    };
+                    let got = client.distance(kind, s, t).expect("query across a swap");
+                    assert_eq!(
+                        got,
+                        expected[i % pairs.len()],
+                        "wrong answer across a hot swap ({s},{t})"
+                    );
+                    i += 1;
+                }
+            });
+        }
+        scope.spawn(move || {
+            let mut rc = ServeClient::connect(addr).expect("connect reloader");
+            for round in 1..=RELOADS {
+                // Let queries (and cache fills) interleave each epoch.
+                std::thread::sleep(Duration::from_millis(80));
+                let epoch = rc.reload().expect("reload must succeed");
+                assert_eq!(epoch, round, "each RELOAD publishes the next epoch");
+            }
+            stop.store(true, Ordering::SeqCst);
+        });
+    });
+
+    assert_eq!(server.registry().epoch(), RELOADS);
+    let mut c = ServeClient::connect(addr).expect("connect for stats");
+    let stats = c.stats().expect("stats");
+    assert!(stats.contains(&format!("epoch: {RELOADS}")), "{stats}");
+    assert_eq!(field(&stats, "reloads_ok"), RELOADS, "{stats}");
+    assert_eq!(field(&stats, "reloads_failed"), 0, "{stats}");
+    assert!(
+        field(&stats, "purged") > 0,
+        "cache entries from superseded epochs must be purged:\n{stats}"
+    );
+    let _ = c.shutdown_server();
+    server.join();
+}
+
+/// A reload whose replacement engine fails the pre-publication
+/// self-check: the RELOAD frame gets the typed failure, the old epoch
+/// keeps serving correct answers, and STATS carries the reason.
+#[test]
+fn a_failed_reload_keeps_the_old_epoch_serving_with_a_typed_reason() {
+    let net = test_net(200, 11);
+    let engine = Arc::new(Engine::build(
+        net.clone(),
+        &[BackendKind::Dijkstra, BackendKind::Ch],
+    ));
+    engine.self_check(16, 3).expect("clean engine");
+    let factory_net = net.clone();
+    let factory = ReloadFactory::new(move || {
+        // The replacement lies; the self-check must refuse to publish.
+        Ok(Arc::new(
+            Engine::build(factory_net.clone(), &[BackendKind::Dijkstra])
+                .with_backend(BackendKind::Ch, Box::new(LyingBackend)),
+        ))
+    });
+    let cfg = ServerConfig {
+        workers: 2,
+        reload_factory: Some(factory),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(engine, &cfg).expect("bind");
+    let addr = server.local_addr();
+
+    let mut client = ServeClient::connect(addr).expect("connect");
+    match client.reload() {
+        Err(ClientError::ReloadFailed(msg)) => {
+            assert!(msg.contains("refusing to publish"), "{msg}")
+        }
+        other => panic!("expected RELOAD_FAILED, got {other:?}"),
+    }
+    assert_eq!(
+        server.registry().epoch(),
+        0,
+        "a failed reload publishes nothing"
+    );
+
+    let mut oracle = Dijkstra::new(net.num_nodes());
+    for &(s, t) in &sample_pairs(net.num_nodes(), 8) {
+        let got = client
+            .distance(BackendKind::Ch, s, t)
+            .expect("the old epoch keeps serving");
+        oracle.run_to_target(&net, s, t);
+        assert_eq!(got, oracle.distance(t), "old epoch must stay correct");
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(field(&stats, "reloads_failed"), 1, "{stats}");
+    assert_eq!(field(&stats, "reloads_ok"), 0, "{stats}");
+    assert!(stats.contains("reload_error: RELOAD_FAILED"), "{stats}");
+    let _ = client.shutdown_server();
+    server.join();
+}
+
+/// Acceptance (b): an injected worker panic kills only its own
+/// connection. Retrying clients converge on oracle answers throughout,
+/// the server keeps accepting, and STATS records every supervised
+/// restart.
+#[test]
+fn injected_worker_panics_kill_one_connection_each_and_the_worker_recovers() {
+    let net = test_net(200, 12);
+    let engine = Arc::new(Engine::build(
+        net.clone(),
+        &[BackendKind::Dijkstra, BackendKind::Ch],
+    ));
+    engine.self_check(16, 3).expect("clean engine");
+    let injector = Arc::new(FaultInjector::new(FaultPlan {
+        seed: 0x9A71C,
+        panic_prob: 0.08,
+        ..FaultPlan::default()
+    }));
+    let cfg = ServerConfig {
+        workers: 2,
+        fault: Some(Arc::clone(&injector)),
+        // Generous cap: this test is about recovery, not retirement.
+        restart_cap: 1000,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(engine, &cfg).expect("bind");
+    let addr = server.local_addr();
+
+    let pairs = sample_pairs(net.num_nodes(), 60);
+    let mut oracle = Dijkstra::new(net.num_nodes());
+    let mut client = RetryingClient::new(
+        addr,
+        RetryPolicy {
+            max_retries: 20,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(10),
+            seed: 0x7e57,
+        },
+    );
+    for (i, &(s, t)) in pairs.iter().enumerate() {
+        let kind = if i % 2 == 0 {
+            BackendKind::Dijkstra
+        } else {
+            BackendKind::Ch
+        };
+        let got = client
+            .distance(kind, s, t)
+            .expect("panics must not starve clients");
+        oracle.run_to_target(&net, s, t);
+        assert_eq!(
+            got,
+            oracle.distance(t),
+            "wrong answer amid panics ({s},{t})"
+        );
+    }
+    assert!(injector.panics() > 0, "the panic fault must have fired");
+    assert!(client.retries > 0, "each panic costs its connection");
+    drop(client);
+
+    // A RELOAD without a reload source is a typed failure, not a hang
+    // (retried because the panic fault may hit this request too).
+    let msg = loop {
+        let mut c = ServeClient::connect(addr).expect("server still accepting");
+        match c.reload() {
+            Err(ClientError::ReloadFailed(m)) => break m,
+            Err(ClientError::Io(_)) => continue,
+            other => panic!("expected RELOAD_FAILED, got {other:?}"),
+        }
+    };
+    assert!(msg.contains("no reload source"), "{msg}");
+
+    server.request_shutdown();
+    let stats = server.join();
+    assert_eq!(
+        field(&stats, "worker_restarts"),
+        injector.panics(),
+        "every injected panic is one supervised restart:\n{stats}"
+    );
+}
+
+/// Past the restart cap a worker retires, and when the whole pool has
+/// retired the last worker shuts the server down instead of leaving a
+/// zombie acceptor.
+#[test]
+fn a_panic_storm_retires_workers_and_an_empty_pool_shuts_down() {
+    let engine = Arc::new(Engine::build(test_net(64, 13), &[BackendKind::Dijkstra]));
+    let injector = Arc::new(FaultInjector::new(FaultPlan {
+        seed: 0x57031,
+        panic_prob: 1.0,
+        ..FaultPlan::default()
+    }));
+    let cfg = ServerConfig {
+        workers: 2,
+        restart_cap: 2,
+        restart_window: Duration::from_secs(60),
+        fault: Some(injector),
+        grace: Duration::from_millis(200),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(engine, &cfg).expect("bind");
+    let addr = server.local_addr();
+
+    // Every request panics; keep poking until both workers hit the cap
+    // and the last one to retire turns the lights off.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !server.shutting_down() {
+        assert!(
+            Instant::now() < deadline,
+            "a fully retired pool must shut the server down"
+        );
+        if let Ok(mut c) = ServeClient::connect(addr) {
+            let _ = c.ping();
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = server.join();
+    assert_eq!(
+        field(&stats, "worker_restarts"),
+        4,
+        "2 workers x restart cap 2:\n{stats}"
+    );
+    assert!(
+        ServeClient::connect(addr).is_err(),
+        "the listener must be gone after the pool retired"
+    );
+}
+
+/// Acceptance (c): a backend that starts answering wrongly after
+/// startup is quarantined by the continuous audit within its window,
+/// its cached lies are purged, and its wire id fails over to honest
+/// backends.
+#[test]
+fn the_audit_quarantines_a_lying_backend_and_fails_over() {
+    let net = test_net(200, 14);
+    // CH and Dijkstra are honest; the TNR slot lies. The startup
+    // self-check is deliberately not run — the lie models an index
+    // silently gone bad after startup.
+    let engine = Arc::new(
+        Engine::build(net.clone(), &[BackendKind::Dijkstra, BackendKind::Ch])
+            .with_backend(BackendKind::Tnr, Box::new(LyingBackend)),
+    );
+    let cfg = ServerConfig {
+        workers: 2,
+        audit: Some(AuditConfig {
+            interval: Duration::from_millis(150),
+            queries: 6,
+            threshold: 3,
+            ..AuditConfig::default()
+        }),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(engine, &cfg).expect("bind");
+    let addr = server.local_addr();
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let pairs = sample_pairs(net.num_nodes(), 12);
+
+    // Cache one lie before the quarantine lands (racing the auditor is
+    // fine: if it already landed, this is a correct failover answer).
+    let (ps, pt) = pairs[0];
+    let early = client
+        .distance(BackendKind::Tnr, ps, pt)
+        .expect("pre-quarantine");
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let stats = loop {
+        let s = client.stats().expect("stats");
+        if s.contains("quarantined: Lying") {
+            break s;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "the audit failed to quarantine the lying backend:\n{s}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(field(&stats, "audit_mismatches") >= 3, "{stats}");
+    let mut oracle = Dijkstra::new(net.num_nodes());
+    oracle.run_to_target(&net, ps, pt);
+    if early == Some(1) && oracle.distance(pt) != Some(1) {
+        // The lie really was cached pre-quarantine; it must be purged.
+        assert!(
+            field(&stats, "purged") >= 1,
+            "cached lies must not survive the quarantine:\n{stats}"
+        );
+    }
+
+    // Traffic for the quarantined wire id now fails over and matches
+    // the oracle — including the pair whose lie was cached.
+    for &(s, t) in &pairs {
+        let got = client.distance(BackendKind::Tnr, s, t).expect("failover");
+        oracle.run_to_target(&net, s, t);
+        assert_eq!(
+            got,
+            oracle.distance(t),
+            "failover must serve oracle answers ({s},{t})"
+        );
+    }
+    let stats = client.stats().expect("stats");
+    assert!(
+        field(&stats, "quarantine_failovers") >= pairs.len() as u64,
+        "{stats}"
+    );
+    let _ = client.shutdown_server();
+    server.join();
+}
+
+/// With failover disabled, a quarantined wire id answers with the typed
+/// QUARANTINED status while honest backends keep serving.
+#[test]
+fn quarantine_without_failover_returns_the_typed_status() {
+    let net = test_net(128, 15);
+    let engine = Arc::new(
+        Engine::build(net.clone(), &[BackendKind::Dijkstra])
+            .with_backend(BackendKind::Ch, Box::new(LyingBackend)),
+    );
+    let cfg = ServerConfig {
+        workers: 2,
+        audit: Some(AuditConfig {
+            interval: Duration::from_millis(50),
+            queries: 6,
+            threshold: 3,
+            failover: false,
+            ..AuditConfig::default()
+        }),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(engine, &cfg).expect("bind");
+    let addr = server.local_addr();
+    let mut client = ServeClient::connect(addr).expect("connect");
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let s = client.stats().expect("stats");
+        if s.contains("quarantined: Lying") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no quarantine:\n{s}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    match client.distance(BackendKind::Ch, 0, 1) {
+        Err(ClientError::Quarantined(msg)) => {
+            assert!(msg.contains("quarantined"), "{msg}")
+        }
+        other => panic!("expected QUARANTINED, got {other:?}"),
+    }
+    // The honest backend is unaffected.
+    let mut oracle = Dijkstra::new(net.num_nodes());
+    oracle.run_to_target(&net, 0, 1);
+    assert_eq!(
+        client
+            .distance(BackendKind::Dijkstra, 0, 1)
+            .expect("healthy backend"),
+        oracle.distance(1)
+    );
+    let _ = client.shutdown_server();
+    server.join();
+}
+
+/// The watched reload file: startup contents are the baseline (no
+/// spurious reload), an atomic content change hot-adds a backend to the
+/// serving set, and the swap is oracle-correct.
+#[test]
+fn a_reload_file_content_change_hot_swaps_the_engine() {
+    let net = test_net(200, 16);
+    let engine = Arc::new(Engine::build(net.clone(), &[BackendKind::Dijkstra]));
+    let dir = std::env::temp_dir().join(format!("spq-reload-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("reload.conf");
+    std::fs::write(&path, "backends=dijkstra\n").expect("write reload file");
+    let cfg = ServerConfig {
+        workers: 2,
+        reload_file: Some(path.clone()),
+        reload_poll: Duration::from_millis(25),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(engine, &cfg).expect("bind");
+    let addr = server.local_addr();
+    let mut client = ServeClient::connect(addr).expect("connect");
+
+    std::thread::sleep(Duration::from_millis(150));
+    assert_eq!(
+        server.registry().epoch(),
+        0,
+        "an unchanged reload file must not trigger a reload"
+    );
+    match client.distance(BackendKind::Ch, 0, 1) {
+        Err(ClientError::Remote(msg)) => assert!(msg.contains("not served"), "{msg}"),
+        other => panic!("CH must not be served yet: {other:?}"),
+    }
+
+    // Atomic replace (write + rename) so the watcher never reads a
+    // half-written spec.
+    let tmp = dir.join("reload.conf.tmp");
+    std::fs::write(&tmp, "# hot-add the CH slot\nbackends=dijkstra,ch\n").expect("write tmp");
+    std::fs::rename(&tmp, &path).expect("atomic replace");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.registry().epoch() == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "the file change never triggered a reload"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let mut oracle = Dijkstra::new(net.num_nodes());
+    for &(s, t) in &sample_pairs(net.num_nodes(), 8) {
+        let got = client
+            .distance(BackendKind::Ch, s, t)
+            .expect("hot-added backend");
+        oracle.run_to_target(&net, s, t);
+        assert_eq!(
+            got,
+            oracle.distance(t),
+            "hot-added CH must be oracle-correct"
+        );
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(field(&stats, "reloads_ok"), 1, "{stats}");
+    let _ = client.shutdown_server();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
 }

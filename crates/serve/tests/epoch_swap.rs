@@ -1,0 +1,176 @@
+//! Property: a hot index swap is atomic from every client's point of
+//! view. While a reload replaces the whole network mid-flight,
+//!
+//! * every point answer equals the old epoch's oracle value or the new
+//!   epoch's — never anything else (a torn swap or a cross-epoch cache
+//!   hit would surface as a third value);
+//! * a batched DISTANCES response is answered entirely by one epoch —
+//!   never a row-mix of both;
+//! * after the swap, repeated queries (the second of which is a cache
+//!   hit by construction) return only new-epoch answers, proving no
+//!   stale cache entry survived the epoch purge.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use spq_dijkstra::Dijkstra;
+use spq_graph::types::{Dist, NodeId};
+use spq_graph::RoadNetwork;
+use spq_serve::server::{Server, ServerConfig};
+use spq_serve::{BackendKind, Engine, ReloadFactory, ServeClient};
+use spq_synth::SynthParams;
+
+fn synth(seed: u64) -> RoadNetwork {
+    spq_synth::generate(&SynthParams::with_target_vertices(
+        spq_synth::test_vertices(96),
+        seed,
+    ))
+}
+
+fn oracle_distances(net: &RoadNetwork, pairs: &[(NodeId, NodeId)]) -> Vec<Option<Dist>> {
+    let mut d = Dijkstra::new(net.num_nodes());
+    pairs
+        .iter()
+        .map(|&(s, t)| {
+            d.run_to_target(net, s, t);
+            d.distance(t)
+        })
+        .collect()
+}
+
+/// The oracle table in the same row-major layout DISTANCES responds in.
+fn oracle_batch(net: &RoadNetwork, sources: &[NodeId], targets: &[NodeId]) -> Vec<Option<Dist>> {
+    let mut d = Dijkstra::new(net.num_nodes());
+    let mut table = Vec::with_capacity(sources.len() * targets.len());
+    for &s in sources {
+        for &t in targets {
+            d.run_to_target(net, s, t);
+            table.push(d.distance(t));
+        }
+    }
+    table
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn hot_swaps_are_atomic_and_cache_hits_stay_in_epoch(seed in any::<u64>()) {
+        // Two genuinely different networks: distances disagree between
+        // the epochs, so a stale or mixed answer is distinguishable.
+        let net_a = synth(seed);
+        let net_b = synth(seed ^ 0x5EED_CAFE_F00D_D1CE);
+        let n = net_a.num_nodes().min(net_b.num_nodes()) as u64;
+        prop_assert!(n >= 8, "synthetic networks are never this small");
+
+        let pairs: Vec<(NodeId, NodeId)> = {
+            let mut state = seed | 1;
+            let mut next = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) % n) as NodeId
+            };
+            (0..12).map(|_| (next(), next())).collect()
+        };
+        let d_a = oracle_distances(&net_a, &pairs);
+        let d_b = oracle_distances(&net_b, &pairs);
+        let nn = n as NodeId;
+        let sources: Vec<NodeId> = (0..3).map(|i| i * (nn / 3).max(1) % nn).collect();
+        let targets: Vec<NodeId> = (0..3).map(|i| (i * 7 + 1) % nn).collect();
+        let batch_a = oracle_batch(&net_a, &sources, &targets);
+        let batch_b = oracle_batch(&net_b, &sources, &targets);
+
+        let engine = Arc::new(Engine::build(
+            net_a.clone(),
+            &[BackendKind::Dijkstra, BackendKind::Ch],
+        ));
+        let factory_net = net_b.clone();
+        let factory = ReloadFactory::new(move || {
+            Ok(Arc::new(Engine::build(
+                factory_net.clone(),
+                &[BackendKind::Dijkstra, BackendKind::Ch],
+            )))
+        });
+        let cfg = ServerConfig {
+            workers: 3,
+            reload_factory: Some(factory),
+            ..ServerConfig::default()
+        };
+        let server = Server::start(engine, &cfg).expect("bind");
+        let addr = server.local_addr();
+
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let stop = &stop;
+            let pairs = &pairs;
+            let (d_a, d_b) = (&d_a, &d_b);
+            let (sources, targets) = (&sources, &targets);
+            let (batch_a, batch_b) = (&batch_a, &batch_b);
+            // Point queries: every answer belongs to exactly one epoch.
+            scope.spawn(move || {
+                let mut c = ServeClient::connect(addr).expect("connect");
+                let mut i = 0usize;
+                while !stop.load(Ordering::SeqCst) {
+                    let k = i % pairs.len();
+                    let (s, t) = pairs[k];
+                    let kind = if i % 2 == 0 {
+                        BackendKind::Dijkstra
+                    } else {
+                        BackendKind::Ch
+                    };
+                    let got = c.distance(kind, s, t).expect("distance across swap");
+                    assert!(
+                        got == d_a[k] || got == d_b[k],
+                        "answer from no epoch: ({s},{t}) -> {got:?}, \
+                         epoch A {:?}, epoch B {:?}",
+                        d_a[k],
+                        d_b[k]
+                    );
+                    i += 1;
+                }
+            });
+            // Batches: one response never mixes epochs.
+            scope.spawn(move || {
+                let mut c = ServeClient::connect(addr).expect("connect");
+                while !stop.load(Ordering::SeqCst) {
+                    let table = c
+                        .distances(BackendKind::Ch, sources, targets)
+                        .expect("batch across swap");
+                    assert!(
+                        table == *batch_a || table == *batch_b,
+                        "a batch response mixed epochs:\n{table:?}\nA: {batch_a:?}\nB: {batch_b:?}"
+                    );
+                }
+            });
+            let mut rc = ServeClient::connect(addr).expect("connect reloader");
+            std::thread::sleep(Duration::from_millis(30));
+            let epoch = rc.reload().expect("reload");
+            assert_eq!(epoch, 1);
+            std::thread::sleep(Duration::from_millis(30));
+            stop.store(true, Ordering::SeqCst);
+        });
+
+        // Post-swap: the first round may miss the cache, the second is
+        // a hit by construction — both must answer from epoch B. A
+        // stale epoch-A entry surviving the purge would answer d_a.
+        let mut c = ServeClient::connect(addr).expect("connect");
+        for round in 0..2 {
+            for (k, &(s, t)) in pairs.iter().enumerate() {
+                let got = c.distance(BackendKind::Ch, s, t).expect("post-swap");
+                prop_assert_eq!(
+                    got,
+                    d_b[k],
+                    "post-swap answer for ({}, {}) in round {} must come from the new epoch",
+                    s,
+                    t,
+                    round
+                );
+            }
+        }
+        server.request_shutdown();
+        server.join();
+    }
+}
