@@ -4,7 +4,7 @@
 //! spq registry                               list the Table-1 datasets
 //! spq generate --target N [--seed S] --out P write P.gr / P.co (DIMACS)
 //! spq info --net P                           network statistics
-//! spq prep --net P --out F.ch                build + persist a CH index
+//! spq prep --net P --out F [--kind ch|hl]    build + persist a CH or HL index
 //! spq query --net P --from S --to T          answer one query
 //!           [--technique dijkstra|ch|tnr|silc|pcpd] [--ch F.ch] [--path]
 //! spq verify --net P [--samples N] [--seed S] certify all techniques
@@ -66,7 +66,7 @@ fn print_usage() {
          \x20 registry                               list the Table-1 datasets\n\
          \x20 generate --target N [--seed S] --out P write P.gr / P.co\n\
          \x20 info --net P                           network statistics\n\
-         \x20 prep --net P --out F.ch                build + persist a CH index\n\
+         \x20 prep --net P --out F [--kind ch|hl]    build + persist a CH or HL index\n\
          \x20 query --net P --from S --to T [--technique T] [--ch F.ch] [--path]\n\
          \x20 verify --net P [--samples N] [--seed S] certify all techniques\n\
          \x20 serve (--net P | --target N) [--addr A] [--backends L] [--workers N]\n\
@@ -81,7 +81,7 @@ fn print_usage() {
          \x20                                        measure serving throughput\n\
          \x20 bench --json [--smoke] [--out F] [--check BASELINE] [--tolerance R]\n\
          \x20       [--queries N] [--seed S]        query-latency report + regression gate\n\n\
-         serve/loadgen backends: dijkstra,ch,tnr,silc,pcpd,alt,arcflags (or 'all');\n\
+         serve/loadgen backends: dijkstra,ch,tnr,silc,pcpd,alt,arcflags,hl (or 'all');\n\
          see README.md for the wire protocol."
     );
 }
@@ -183,18 +183,40 @@ fn info(args: &[String]) -> Result<(), String> {
 fn prep(args: &[String]) -> Result<(), String> {
     let net = load_net(required(args, "--net")?)?;
     let out = required(args, "--out")?;
+    let kind = opt(args, "--kind").unwrap_or("ch");
     let t0 = std::time::Instant::now();
-    let ch = spq_ch::ContractionHierarchy::build(&net);
-    let elapsed = t0.elapsed();
-    let f = File::create(out).map_err(|e| e.to_string())?;
-    let mut w = BufWriter::new(f);
-    ch.write_binary(&mut w).map_err(|e| e.to_string())?;
-    println!(
-        "built CH in {:.2?}: {} shortcuts, {:.2} MB -> {out}",
-        elapsed,
-        ch.num_shortcuts(),
-        ch.index_size_mb()
-    );
+    match kind {
+        "ch" => {
+            let ch = spq_ch::ContractionHierarchy::build(&net);
+            let elapsed = t0.elapsed();
+            let f = File::create(out).map_err(|e| e.to_string())?;
+            let mut w = BufWriter::new(f);
+            ch.write_binary(&mut w).map_err(|e| e.to_string())?;
+            println!(
+                "built CH in {:.2?}: {} shortcuts, {:.2} MB -> {out}",
+                elapsed,
+                ch.num_shortcuts(),
+                ch.index_size_mb()
+            );
+        }
+        "hl" => {
+            let hl = spq_hl::Hl::build(&net);
+            let elapsed = t0.elapsed();
+            let f = File::create(out).map_err(|e| e.to_string())?;
+            let mut w = BufWriter::new(f);
+            hl.write_binary(&mut w).map_err(|e| e.to_string())?;
+            println!(
+                "built HL in {:.2?}: {} label entries ({:.1} avg / {} max per vertex), \
+                 {:.2} MB -> {out}",
+                elapsed,
+                hl.labels().num_entries(),
+                hl.labels().avg_label_len(),
+                hl.labels().max_label_len(),
+                hl.index_size_mb()
+            );
+        }
+        other => return Err(format!("--kind must be ch or hl, got '{other}'")),
+    }
     Ok(())
 }
 

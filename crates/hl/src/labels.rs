@@ -1,0 +1,516 @@
+//! Label construction and the merge-scan distance kernel.
+//!
+//! Building runs two embarrassingly parallel passes over the vertices
+//! (fanned out through [`spq_graph::par`], so the result is
+//! byte-identical at any thread count):
+//!
+//! 1. **Search** — for each vertex `v`, the stall-on-demand upward
+//!    Dijkstra over the flat rank-renumbered
+//!    [`SearchGraph`](spq_ch::SearchGraph) collects `v`'s raw label:
+//!    every settled `(hub_rank, dist)` pair, sorted by rank. Stalled
+//!    vertices are excluded — stalling proves a shorter down-up path
+//!    exists, so their entry could never win a merge.
+//! 2. **Prune** — an entry `(h, d)` of `L(v)` survives only if the
+//!    label query `min over common hubs of L(v) + L(h)` over the *raw*
+//!    labels equals `d`. Raw labels are complete CH search spaces, so
+//!    that query is the exact distance; dropping dominated entries is
+//!    safe because the apex of a shortest path always carries its exact
+//!    distance and is therefore never dropped.
+//!
+//! The pruned labels are flattened into one CSR-style buffer: `first`
+//! offsets (indexed by rank) into parallel `hub`/`dist` arrays. A
+//! distance query translates both endpoints to rank space, then
+//! merge-scans the two sorted slices — O(|L(s)| + |L(t)|), allocation-
+//! free, branch-predictable.
+
+use spq_ch::{ContractionHierarchy, SearchGraph};
+use spq_graph::heap::IndexedHeap;
+use spq_graph::par;
+use spq_graph::size::IndexSize;
+use spq_graph::types::{Dist, NodeId, INFINITY};
+use spq_graph::RoadNetwork;
+
+/// The flat 2-hop label store. Labels are keyed by contraction rank;
+/// original ids are translated at the query boundary via `rank`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HubLabels {
+    /// Original id → rank (copied from the search graph so the store
+    /// answers queries without borrowing the hierarchy).
+    rank: Box<[u32]>,
+    /// Label slice starts, indexed by rank (`first[r]..first[r + 1]`).
+    first: Box<[u32]>,
+    /// Hub ranks, strictly ascending within each label.
+    hub: Box<[u32]>,
+    /// Distance to each hub, parallel to `hub`.
+    dist: Box<[Dist]>,
+}
+
+/// One direction-free upward-search workspace (the network is
+/// undirected, so forward and backward labels coincide and one search
+/// per vertex suffices). Reused across the vertices a build worker
+/// processes; stamp-versioned so per-vertex reset is O(search space).
+struct UpwardSearch {
+    dist: Vec<Dist>,
+    stamp: Vec<u32>,
+    version: u32,
+    heap: IndexedHeap,
+}
+
+impl UpwardSearch {
+    fn new(n: usize) -> UpwardSearch {
+        UpwardSearch {
+            dist: vec![INFINITY; n],
+            stamp: vec![0; n],
+            version: 0,
+            heap: IndexedHeap::new(n),
+        }
+    }
+
+    #[inline]
+    fn reached(&self, r: u32, version: u32) -> bool {
+        self.stamp[r as usize] == version
+    }
+
+    /// The raw label of the vertex at rank `root`: its stall-on-demand
+    /// upward search space, sorted by hub rank.
+    fn raw_label(&mut self, sg: &SearchGraph, root: u32) -> Vec<(u32, Dist)> {
+        self.version = self.version.wrapping_add(1);
+        if self.version == 0 {
+            self.stamp.fill(0);
+            self.version = 1;
+        }
+        let version = self.version;
+        self.heap.clear();
+        self.dist[root as usize] = 0;
+        self.stamp[root as usize] = version;
+        self.heap.push_or_decrease(root, 0);
+
+        let mut out: Vec<(u32, Dist)> = Vec::new();
+        while let Some((d, u)) = self.heap.pop_min() {
+            let edges = sg.up(u);
+            // Stall-on-demand: a shorter route back down to u through a
+            // higher-ranked vertex proves u's entry could never win a
+            // merge, so it is neither recorded nor expanded.
+            if edges.iter().any(|e| {
+                self.reached(e.target, version)
+                    && self.dist[e.target as usize] + (e.weight as Dist) < d
+            }) {
+                continue;
+            }
+            out.push((u, d));
+            for e in edges {
+                let nd = d + e.weight as Dist;
+                let hi = e.target as usize;
+                if self.stamp[hi] != version || nd < self.dist[hi] {
+                    self.dist[hi] = nd;
+                    self.stamp[hi] = version;
+                    self.heap.push_or_decrease(e.target, nd);
+                }
+            }
+        }
+        // Settle order is by distance; labels merge by rank.
+        out.sort_unstable_by_key(|&(h, _)| h);
+        out
+    }
+}
+
+/// Minimum of `a[i].1 + b[j].1` over shared hub ranks (the label query
+/// over unflattened labels, used by the prune pass).
+fn merge_min(a: &[(u32, Dist)], b: &[(u32, Dist)]) -> Dist {
+    let (mut i, mut j) = (0, 0);
+    let mut best = Dist::MAX;
+    while i < a.len() && j < b.len() {
+        let (ha, hb) = (a[i].0, b[j].0);
+        if ha == hb {
+            let d = a[i].1 + b[j].1;
+            if d < best {
+                best = d;
+            }
+            i += 1;
+            j += 1;
+        } else if ha < hb {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    best
+}
+
+impl HubLabels {
+    /// Builds the pruned labels from a hierarchy's search graph. Pure
+    /// function of the hierarchy; parallel and sequential builds are
+    /// byte-identical.
+    pub fn build(ch: &ContractionHierarchy) -> HubLabels {
+        let sg = ch.search_graph();
+        let n = sg.num_nodes();
+
+        let raw: Vec<Vec<(u32, Dist)>> = par::par_map_index(
+            n,
+            || UpwardSearch::new(n),
+            |ws, r| ws.raw_label(sg, r as u32),
+        );
+
+        // Prune: keep (h, d) only when the raw-label query confirms d
+        // is the exact distance to h. The raw labels stay immutable
+        // for the whole pass, so pruning parallelises per vertex.
+        let pruned: Vec<Vec<(u32, Dist)>> = par::par_map_index(
+            n,
+            || (),
+            |_, r| {
+                let lv = &raw[r];
+                lv.iter()
+                    .filter(|&&(h, d)| h == r as u32 || merge_min(lv, &raw[h as usize]) >= d)
+                    .copied()
+                    .collect()
+            },
+        );
+
+        let total: usize = pruned.iter().map(Vec::len).sum();
+        assert!(
+            total <= u32::MAX as usize,
+            "label buffer exceeds u32 offsets"
+        );
+        let mut first = Vec::with_capacity(n + 1);
+        let mut hub = Vec::with_capacity(total);
+        let mut dist = Vec::with_capacity(total);
+        first.push(0u32);
+        for label in &pruned {
+            for &(h, d) in label {
+                hub.push(h);
+                dist.push(d);
+            }
+            first.push(hub.len() as u32);
+        }
+
+        let mut rank = vec![0u32; n];
+        for (v, r) in rank.iter_mut().enumerate() {
+            *r = sg.rank_of(v as NodeId);
+        }
+
+        HubLabels {
+            rank: rank.into_boxed_slice(),
+            first: first.into_boxed_slice(),
+            hub: hub.into_boxed_slice(),
+            dist: dist.into_boxed_slice(),
+        }
+    }
+
+    /// Reassembles a label store from its persisted sections, verifying
+    /// the structural invariants a well-formed store upholds (offset
+    /// monotonicity, rank bijectivity, per-label sortedness, and the
+    /// mandatory `(own rank, 0)` head entry). Semantic fidelity beyond
+    /// that is the engine self-check's and the auditor's job.
+    pub fn from_raw(
+        rank: Vec<u32>,
+        first: Vec<u32>,
+        hub: Vec<u32>,
+        dist: Vec<Dist>,
+    ) -> Result<HubLabels, String> {
+        let n = rank.len();
+        if first.len() != n + 1 {
+            return Err(format!(
+                "offset array has {} entries for {n} vertices",
+                first.len()
+            ));
+        }
+        if first[0] != 0 || first[n] as usize != hub.len() || hub.len() != dist.len() {
+            return Err("label sections disagree on the entry count".into());
+        }
+        let mut seen = vec![false; n];
+        for &r in &rank {
+            match seen.get_mut(r as usize) {
+                Some(slot) if !*slot => *slot = true,
+                _ => return Err("rank array is not a permutation".into()),
+            }
+        }
+        for r in 0..n {
+            let (lo, hi) = (first[r] as usize, first[r + 1] as usize);
+            if lo > hi || hi > hub.len() {
+                return Err("label offsets are not monotone".into());
+            }
+            let label = &hub[lo..hi];
+            if label.first() != Some(&(r as u32)) || dist[lo] != 0 {
+                return Err(format!("label of rank {r} does not start with (self, 0)"));
+            }
+            if label.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("label of rank {r} is not strictly ascending"));
+            }
+            if label.iter().any(|&h| h as usize >= n) {
+                return Err(format!("label of rank {r} references an out-of-range hub"));
+            }
+        }
+        Ok(HubLabels {
+            rank: rank.into_boxed_slice(),
+            first: first.into_boxed_slice(),
+            hub: hub.into_boxed_slice(),
+            dist: dist.into_boxed_slice(),
+        })
+    }
+
+    /// Borrowed persistence sections: `(rank, first, hub, dist)`.
+    pub(crate) fn sections(&self) -> (&[u32], &[u32], &[u32], &[Dist]) {
+        (&self.rank, &self.first, &self.hub, &self.dist)
+    }
+
+    /// Number of labeled vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// Total label entries across all vertices.
+    #[inline]
+    pub fn num_entries(&self) -> usize {
+        self.hub.len()
+    }
+
+    /// Mean label size (entries per vertex).
+    pub fn avg_label_len(&self) -> f64 {
+        self.num_entries() as f64 / self.num_nodes().max(1) as f64
+    }
+
+    /// Largest single label.
+    pub fn max_label_len(&self) -> usize {
+        self.first
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The label slices of the vertex at rank `r`.
+    #[inline]
+    fn label(&self, r: u32) -> (&[u32], &[Dist]) {
+        let (lo, hi) = (
+            self.first[r as usize] as usize,
+            self.first[r as usize + 1] as usize,
+        );
+        (&self.hub[lo..hi], &self.dist[lo..hi])
+    }
+
+    /// Distance query: one merge-scan of the two sorted label slices.
+    /// `None` when the labels share no hub (`t` unreachable from `s`).
+    #[inline]
+    pub fn distance(&self, s: NodeId, t: NodeId) -> Option<Dist> {
+        let (ah, ad) = self.label(self.rank[s as usize]);
+        let (bh, bd) = self.label(self.rank[t as usize]);
+        let (mut i, mut j) = (0, 0);
+        let mut best = Dist::MAX;
+        while i < ah.len() && j < bh.len() {
+            let (x, y) = (ah[i], bh[j]);
+            if x == y {
+                let d = ad[i] + bd[j];
+                if d < best {
+                    best = d;
+                }
+                i += 1;
+                j += 1;
+            } else if x < y {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        (best != Dist::MAX).then_some(best)
+    }
+}
+
+impl IndexSize for HubLabels {
+    fn index_size_bytes(&self) -> usize {
+        self.rank.len() * 4
+            + self.first.len() * 4
+            + self.hub.len() * 4
+            + self.dist.len() * std::mem::size_of::<Dist>()
+    }
+}
+
+/// The servable hub-labeling index: the labels plus the hierarchy they
+/// were derived from. Distance queries never touch the hierarchy;
+/// shortest-path queries (which must unpack shortcuts) run on the
+/// embedded CH, exactly as fast as the `ch` backend's.
+#[derive(Debug, Clone)]
+pub struct Hl {
+    ch: ContractionHierarchy,
+    labels: HubLabels,
+}
+
+impl Hl {
+    /// Contracts `net` and labels the resulting hierarchy.
+    pub fn build(net: &RoadNetwork) -> Hl {
+        Hl::from_ch(ContractionHierarchy::build(net))
+    }
+
+    /// Labels an existing hierarchy (reuses a CH another backend or a
+    /// persisted file already paid for).
+    pub fn from_ch(ch: ContractionHierarchy) -> Hl {
+        let labels = HubLabels::build(&ch);
+        Hl { ch, labels }
+    }
+
+    /// Reassembles from persisted parts (the labels must describe
+    /// `ch`'s vertex set).
+    pub(crate) fn from_parts(ch: ContractionHierarchy, labels: HubLabels) -> Result<Hl, String> {
+        if ch.num_nodes() != labels.num_nodes() {
+            return Err(format!(
+                "labels cover {} vertices but the hierarchy has {}",
+                labels.num_nodes(),
+                ch.num_nodes()
+            ));
+        }
+        Ok(Hl { ch, labels })
+    }
+
+    /// The label store.
+    pub fn labels(&self) -> &HubLabels {
+        &self.labels
+    }
+
+    /// The hierarchy the labels were derived from.
+    pub fn hierarchy(&self) -> &ContractionHierarchy {
+        &self.ch
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.labels.num_nodes()
+    }
+}
+
+impl IndexSize for Hl {
+    fn index_size_bytes(&self) -> usize {
+        self.labels.index_size_bytes() + self.ch.index_size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_dijkstra::Dijkstra;
+    use spq_graph::toy::{figure1, grid_graph};
+
+    fn check_all_pairs(g: &RoadNetwork) {
+        let hl = Hl::build(g);
+        let mut reference = Dijkstra::new(g.num_nodes());
+        for s in 0..g.num_nodes() as NodeId {
+            reference.run(g, s);
+            for t in 0..g.num_nodes() as NodeId {
+                assert_eq!(
+                    hl.labels().distance(s, t),
+                    reference.distance(t),
+                    "({s},{t})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_worked_example() {
+        let g = figure1();
+        let hl = Hl::build(&g);
+        assert_eq!(hl.labels().distance(2, 6), Some(6)); // §3.2: dist(v3, v7)
+        assert_eq!(hl.labels().distance(0, 0), Some(0));
+        check_all_pairs(&g);
+    }
+
+    #[test]
+    fn grid_all_pairs_exact() {
+        check_all_pairs(&grid_graph(7, 5));
+    }
+
+    #[test]
+    fn synthetic_network_all_pairs_exact() {
+        let g = spq_synth::generate(&spq_synth::SynthParams::with_target_vertices(400, 3));
+        let hl = Hl::build(&g);
+        let mut reference = Dijkstra::new(g.num_nodes());
+        let n = g.num_nodes() as NodeId;
+        for s in (0..n).step_by(7) {
+            reference.run(&g, s);
+            for t in 0..n {
+                assert_eq!(
+                    hl.labels().distance(s, t),
+                    reference.distance(t),
+                    "({s},{t})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labels_start_with_self_and_ascend() {
+        let g = grid_graph(6, 6);
+        let hl = Hl::build(&g);
+        let labels = hl.labels();
+        for r in 0..labels.num_nodes() as u32 {
+            let (hubs, dists) = labels.label(r);
+            assert_eq!(hubs.first(), Some(&r), "rank {r} must be its own first hub");
+            assert_eq!(dists[0], 0);
+            assert!(hubs.windows(2).all(|w| w[0] < w[1]), "rank {r} not sorted");
+            assert!(hubs.iter().all(|&h| h >= r), "upward labels only");
+        }
+        assert!(labels.avg_label_len() >= 1.0);
+        assert!(labels.max_label_len() >= 1);
+    }
+
+    #[test]
+    fn pruning_never_grows_labels_beyond_the_search_space() {
+        // The pruned store must answer identically to the raw search
+        // spaces while holding no more entries.
+        let g = grid_graph(5, 8);
+        let ch = ContractionHierarchy::build(&g);
+        let sg = ch.search_graph();
+        let n = sg.num_nodes();
+        let mut ws = UpwardSearch::new(n);
+        let raw_total: usize = (0..n as u32).map(|r| ws.raw_label(sg, r).len()).sum();
+        let labels = HubLabels::build(&ch);
+        assert!(labels.num_entries() <= raw_total);
+        check_all_pairs(&g);
+    }
+
+    #[test]
+    fn from_raw_rejects_structural_garbage() {
+        let g = figure1();
+        let hl = Hl::build(&g);
+        let (rank, first, hub, dist) = hl.labels().sections();
+        let ok = HubLabels::from_raw(rank.to_vec(), first.to_vec(), hub.to_vec(), dist.to_vec())
+            .expect("clean sections reassemble");
+        assert_eq!(&ok, hl.labels());
+
+        // Broken permutation.
+        let mut bad = rank.to_vec();
+        bad[0] = bad[1];
+        assert!(
+            HubLabels::from_raw(bad, first.to_vec(), hub.to_vec(), dist.to_vec())
+                .unwrap_err()
+                .contains("permutation")
+        );
+        // Non-monotone offsets.
+        let mut bad = first.to_vec();
+        bad[1] = bad[2] + 1;
+        assert!(HubLabels::from_raw(rank.to_vec(), bad, hub.to_vec(), dist.to_vec()).is_err());
+        // A label no longer headed by (self, 0).
+        let mut bad = dist.to_vec();
+        bad[0] = 5;
+        assert!(
+            HubLabels::from_raw(rank.to_vec(), first.to_vec(), hub.to_vec(), bad)
+                .unwrap_err()
+                .contains("(self, 0)")
+        );
+        // Out-of-range hub.
+        let mut bad = hub.to_vec();
+        let last = bad.len() - 1;
+        bad[last] = u32::MAX;
+        assert!(HubLabels::from_raw(rank.to_vec(), first.to_vec(), bad, dist.to_vec()).is_err());
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical() {
+        let g = spq_synth::generate(&spq_synth::SynthParams::with_target_vertices(300, 9));
+        let ch = ContractionHierarchy::build(&g);
+        let sequential = par::with_threads(1, || HubLabels::build(&ch));
+        for threads in [2, 4] {
+            let parallel = par::with_threads(threads, || HubLabels::build(&ch));
+            assert_eq!(parallel, sequential, "{threads}-thread build differs");
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Binary persistence for the hub-labeling index.
+//!
+//! Label construction dominates HL's cost (it runs one pruned upward
+//! search per vertex plus a pruning pass), so serving restarts load a
+//! prebuilt `SPQH` container instead of re-labeling. The container
+//! holds the four label sections plus the embedded hierarchy's own
+//! `SPQC` container verbatim — the hierarchy keeps its format evolution
+//! (and its structural cross-checks) without this crate re-encoding it.
+
+use std::io::{self, Read, Write};
+
+use spq_ch::ContractionHierarchy;
+use spq_graph::binio::{self, IndexLoadError};
+
+use crate::labels::{Hl, HubLabels};
+
+const MAGIC: &[u8; 4] = b"SPQH";
+const VERSION: u32 = 1;
+
+impl Hl {
+    /// Serialises the labels and the embedded hierarchy inside one
+    /// checksummed container.
+    pub fn write_binary(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut body = Vec::new();
+        let (rank, first, hub, dist) = self.labels().sections();
+        binio::write_u32s(&mut body, rank)?;
+        binio::write_u32s(&mut body, first)?;
+        binio::write_u32s(&mut body, hub)?;
+        binio::write_u64s(&mut body, dist)?;
+        let mut ch_bytes = Vec::new();
+        self.hierarchy().write_binary(&mut ch_bytes)?;
+        binio::write_u8s(&mut body, &ch_bytes)?;
+        binio::write_checksummed(w, MAGIC, VERSION, &body)
+    }
+
+    /// Deserialises an index written by [`Hl::write_binary`], verifying
+    /// the container checksum, the label store's structural invariants
+    /// ([`HubLabels::from_raw`]), and the embedded hierarchy's own
+    /// container before returning it.
+    pub fn read_binary(r: &mut impl Read) -> Result<Hl, IndexLoadError> {
+        let (_, body) = binio::read_checksummed_versioned(r, MAGIC, VERSION, VERSION)?;
+        let r = &mut &body[..];
+        let rank = binio::read_u32s(r)?;
+        let first = binio::read_u32s(r)?;
+        let hub = binio::read_u32s(r)?;
+        let dist = binio::read_u64s(r)?;
+        let labels =
+            HubLabels::from_raw(rank, first, hub, dist).map_err(IndexLoadError::Corrupt)?;
+        let ch_bytes = binio::read_u8s(r)?;
+        let ch = ContractionHierarchy::read_binary(&mut &ch_bytes[..])
+            .map_err(|e| IndexLoadError::Corrupt(format!("embedded hierarchy: {e}")))?;
+        Hl::from_parts(ch, labels).map_err(IndexLoadError::Corrupt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_graph::toy::{figure1, grid_graph};
+    use spq_graph::types::NodeId;
+
+    #[test]
+    fn roundtrip_answers_identically() {
+        for g in [figure1(), grid_graph(6, 8)] {
+            let hl = Hl::build(&g);
+            let mut buf = Vec::new();
+            hl.write_binary(&mut buf).unwrap();
+            let hl2 = Hl::read_binary(&mut &buf[..]).unwrap();
+            assert_eq!(hl2.labels(), hl.labels());
+            for s in 0..g.num_nodes() as NodeId {
+                for t in 0..g.num_nodes() as NodeId {
+                    assert_eq!(hl2.labels().distance(s, t), hl.labels().distance(s, t));
+                }
+            }
+            // Write → read → write is byte-stable.
+            let mut buf2 = Vec::new();
+            hl2.write_binary(&mut buf2).unwrap();
+            assert_eq!(buf2, buf);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_payloads() {
+        let g = figure1();
+        let hl = Hl::build(&g);
+        let mut buf = Vec::new();
+        hl.write_binary(&mut buf).unwrap();
+
+        let mut bad_magic = buf.clone();
+        bad_magic[2] ^= 0xff;
+        assert!(matches!(
+            Hl::read_binary(&mut &bad_magic[..]),
+            Err(IndexLoadError::BadMagic { .. })
+        ));
+
+        let mut truncated = buf.clone();
+        truncated.truncate(truncated.len() - 11);
+        assert!(matches!(
+            Hl::read_binary(&mut &truncated[..]),
+            Err(IndexLoadError::Truncated { .. })
+        ));
+
+        let mut flipped = buf.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        assert!(matches!(
+            Hl::read_binary(&mut &flipped[..]),
+            Err(IndexLoadError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_future_versions() {
+        // A version-2 container does not exist yet; a reader must refuse
+        // it rather than misinterpret its body.
+        let g = figure1();
+        let hl = Hl::build(&g);
+        let mut buf = Vec::new();
+        hl.write_binary(&mut buf).unwrap();
+        // Reconstruct the body and re-pack it under a higher version.
+        let (_, body) =
+            binio::read_checksummed_versioned(&mut &buf[..], MAGIC, VERSION, VERSION).unwrap();
+        let mut future = Vec::new();
+        binio::write_checksummed(&mut future, MAGIC, VERSION + 1, &body).unwrap();
+        assert!(Hl::read_binary(&mut &future[..]).is_err());
+    }
+
+    /// Structurally broken label sections are rejected as `Corrupt` even
+    /// when the container checksum is valid (the checksum is recomputed
+    /// to isolate the semantic check).
+    #[test]
+    fn rejects_tampered_label_sections() {
+        let g = grid_graph(4, 4);
+        let hl = Hl::build(&g);
+        let (rank, first, hub, dist) = hl.labels().sections();
+
+        let mut bad_rank = rank.to_vec();
+        bad_rank.swap(0, 1);
+        bad_rank[0] = bad_rank[1]; // duplicate → not a permutation
+        let mut body = Vec::new();
+        binio::write_u32s(&mut body, &bad_rank).unwrap();
+        binio::write_u32s(&mut body, first).unwrap();
+        binio::write_u32s(&mut body, hub).unwrap();
+        binio::write_u64s(&mut body, dist).unwrap();
+        let mut ch_bytes = Vec::new();
+        hl.hierarchy().write_binary(&mut ch_bytes).unwrap();
+        binio::write_u8s(&mut body, &ch_bytes).unwrap();
+        let mut tampered = Vec::new();
+        binio::write_checksummed(&mut tampered, MAGIC, VERSION, &body).unwrap();
+        let err = Hl::read_binary(&mut &tampered[..]).unwrap_err();
+        assert!(
+            matches!(err, IndexLoadError::Corrupt(ref m) if m.contains("permutation")),
+            "got: {err}"
+        );
+    }
+
+    /// A corrupted *embedded hierarchy* is surfaced with its own error
+    /// context, not silently accepted.
+    #[test]
+    fn rejects_corrupt_embedded_hierarchy() {
+        let g = figure1();
+        let hl = Hl::build(&g);
+        let (rank, first, hub, dist) = hl.labels().sections();
+        let mut ch_bytes = Vec::new();
+        hl.hierarchy().write_binary(&mut ch_bytes).unwrap();
+        let mid = ch_bytes.len() / 2;
+        ch_bytes[mid] ^= 0x40;
+        let mut body = Vec::new();
+        binio::write_u32s(&mut body, rank).unwrap();
+        binio::write_u32s(&mut body, first).unwrap();
+        binio::write_u32s(&mut body, hub).unwrap();
+        binio::write_u64s(&mut body, dist).unwrap();
+        binio::write_u8s(&mut body, &ch_bytes).unwrap();
+        let mut tampered = Vec::new();
+        binio::write_checksummed(&mut tampered, MAGIC, VERSION, &body).unwrap();
+        let err = Hl::read_binary(&mut &tampered[..]).unwrap_err();
+        assert!(
+            matches!(err, IndexLoadError::Corrupt(ref m) if m.contains("embedded hierarchy")),
+            "got: {err}"
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Property test: hub-labeling distances equal the Dijkstra oracle on
+//! arbitrary connected networks — exhaustively, over every (s, t) pair.
+//!
+//! This is the labeling analogue of `tests/proptest_exactness.rs`: the
+//! generator explores degenerate shapes (two-vertex paths, stars,
+//! parallel-heavy multigraphs after dedup) that the curated toy graphs
+//! never hit, and the label query must agree with the ground truth on
+//! all of them.
+
+use proptest::prelude::*;
+use spq_dijkstra::Dijkstra;
+use spq_graph::arbitrary::{connected_network, NetworkStrategyParams};
+use spq_graph::{NodeId, RoadNetwork};
+use spq_hl::Hl;
+
+fn small_network() -> impl Strategy<Value = RoadNetwork> {
+    connected_network(NetworkStrategyParams {
+        min_nodes: 2,
+        max_nodes: 40,
+        ..NetworkStrategyParams::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn labels_match_dijkstra_on_every_pair(net in small_network()) {
+        let hl = Hl::build(&net);
+        let mut oracle = Dijkstra::new(net.num_nodes());
+        for s in 0..net.num_nodes() as NodeId {
+            oracle.run(&net, s);
+            for t in 0..net.num_nodes() as NodeId {
+                prop_assert_eq!(
+                    hl.labels().distance(s, t),
+                    oracle.distance(t),
+                    "HL disagrees with Dijkstra on ({}, {})", s, t
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn label_store_is_symmetric(net in small_network()) {
+        // The network is undirected, so the merge of L(s) and L(t) must
+        // be order-insensitive.
+        let hl = Hl::build(&net);
+        for s in 0..net.num_nodes() as NodeId {
+            for t in s..net.num_nodes() as NodeId {
+                prop_assert_eq!(hl.labels().distance(s, t), hl.labels().distance(t, s));
+            }
+        }
+    }
+}

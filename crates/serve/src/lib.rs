@@ -60,6 +60,7 @@ use spq_dijkstra::{Baseline, Dijkstra};
 use spq_graph::backend::Backend;
 use spq_graph::sample::PairSampler;
 use spq_graph::RoadNetwork;
+use spq_hl::Hl;
 use spq_pcpd::Pcpd;
 use spq_silc::Silc;
 use spq_tnr::{Tnr, TnrParams};
@@ -90,11 +91,13 @@ pub enum BackendKind {
     Alt,
     /// Arc flags (wire id 6).
     ArcFlags,
+    /// Hub labeling — CH-based 2-hop labels (wire id 7).
+    Hl,
 }
 
 impl BackendKind {
     /// Every servable backend.
-    pub const ALL: [BackendKind; 7] = [
+    pub const ALL: [BackendKind; 8] = [
         BackendKind::Dijkstra,
         BackendKind::Ch,
         BackendKind::Tnr,
@@ -102,16 +105,19 @@ impl BackendKind {
         BackendKind::Pcpd,
         BackendKind::Alt,
         BackendKind::ArcFlags,
+        BackendKind::Hl,
     ];
 
-    /// The default serving set: the paper's five techniques plus ALT.
-    pub const DEFAULT: [BackendKind; 6] = [
+    /// The default serving set: the paper's five techniques plus ALT
+    /// and hub labeling.
+    pub const DEFAULT: [BackendKind; 7] = [
         BackendKind::Dijkstra,
         BackendKind::Ch,
         BackendKind::Tnr,
         BackendKind::Silc,
         BackendKind::Pcpd,
         BackendKind::Alt,
+        BackendKind::Hl,
     ];
 
     /// Stable protocol id.
@@ -124,6 +130,7 @@ impl BackendKind {
             BackendKind::Pcpd => 4,
             BackendKind::Alt => 5,
             BackendKind::ArcFlags => 6,
+            BackendKind::Hl => 7,
         }
     }
 
@@ -142,6 +149,7 @@ impl BackendKind {
             BackendKind::Pcpd => "pcpd",
             BackendKind::Alt => "alt",
             BackendKind::ArcFlags => "arcflags",
+            BackendKind::Hl => "hl",
         }
     }
 
@@ -274,6 +282,7 @@ impl Engine {
                 },
             )),
             BackendKind::ArcFlags => Box::new(ArcFlags::build(net, &ArcFlagsParams::default())),
+            BackendKind::Hl => Box::new(Hl::build(net)),
         }
     }
 
@@ -325,6 +334,11 @@ impl Engine {
             BackendKind::ArcFlags => {
                 let af = ArcFlags::read_binary(net, &mut r).map_err(|e| format!("{shown}: {e}"))?;
                 Ok(Box::new(af))
+            }
+            BackendKind::Hl => {
+                let hl = Hl::read_binary(&mut r).map_err(|e| format!("{shown}: {e}"))?;
+                check_nodes(hl.num_nodes())?;
+                Ok(Box::new(hl))
             }
         }
     }

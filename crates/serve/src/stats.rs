@@ -30,11 +30,11 @@ pub const OVERFLOW_BUCKET: usize = BUCKETS - 1;
 /// a hot reload may change how many backends the engine holds, but the
 /// wire ids clients query by are stable, so counters survive swaps.
 /// The final slot absorbs any wire id past the known range.
-pub const WIRE_SLOTS: usize = 8;
+pub const WIRE_SLOTS: usize = 9;
 
 /// Display names for the wire-id slots, in slot order.
 pub const WIRE_NAMES: [&str; WIRE_SLOTS] = [
-    "dijkstra", "ch", "tnr", "silc", "pcpd", "alt", "arcflags", "other",
+    "dijkstra", "ch", "tnr", "silc", "pcpd", "alt", "arcflags", "hl", "other",
 ];
 
 /// Maps a protocol wire id to its stats slot.

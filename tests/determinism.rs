@@ -11,6 +11,7 @@ use spq_arcflags::{ArcFlags, ArcFlagsParams};
 use spq_ch::ContractionHierarchy;
 use spq_graph::par;
 use spq_graph::RoadNetwork;
+use spq_hl::Hl;
 use spq_silc::Silc;
 use spq_synth::SynthParams;
 use spq_tnr::{Tnr, TnrParams};
@@ -47,6 +48,16 @@ fn ch_build_is_thread_invariant() {
         ContractionHierarchy::build(&net)
             .write_binary(&mut buf)
             .unwrap();
+        buf
+    });
+}
+
+#[test]
+fn hl_build_is_thread_invariant() {
+    let net = network();
+    assert_thread_invariant("HL", || {
+        let mut buf = Vec::new();
+        Hl::build(&net).write_binary(&mut buf).unwrap();
         buf
     });
 }

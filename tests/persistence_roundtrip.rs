@@ -1,6 +1,6 @@
 //! Persistence round-trip property tests covering every
-//! `write_binary`/`read_binary` pair in the workspace: CH, TNR, SILC,
-//! ALT, and arc flags.
+//! `write_binary`/`read_binary` pair in the workspace: CH, HL, TNR,
+//! SILC, ALT, and arc flags.
 //!
 //! Two properties per format, on arbitrary connected networks:
 //!
@@ -15,6 +15,7 @@ use spq_arcflags::{ArcFlags, ArcFlagsParams};
 use spq_ch::ContractionHierarchy;
 use spq_graph::arbitrary::{connected_network, NetworkStrategyParams};
 use spq_graph::{NodeId, RoadNetwork};
+use spq_hl::Hl;
 use spq_silc::Silc;
 use spq_tnr::{Tnr, TnrParams};
 
@@ -73,6 +74,21 @@ proptest! {
         prop_assert_eq!(
             all_distances(&net, |s, t| q1.distance(s, t)),
             all_distances(&net, |s, t| q2.distance(s, t))
+        );
+    }
+
+    #[test]
+    fn hl_roundtrip(net in small_network()) {
+        let hl = Hl::build(&net);
+        let bytes = write_to_vec(|b| hl.write_binary(b));
+        let reloaded = Hl::read_binary(&mut &bytes[..]).expect("read back");
+        let rewritten = write_to_vec(|b| reloaded.write_binary(b));
+        prop_assert_eq!(&bytes, &rewritten, "HL bytes drift across a round-trip");
+
+        prop_assert_eq!(reloaded.labels(), hl.labels());
+        prop_assert_eq!(
+            all_distances(&net, |s, t| hl.labels().distance(s, t)),
+            all_distances(&net, |s, t| reloaded.labels().distance(s, t))
         );
     }
 
