@@ -35,10 +35,11 @@ use rand::{Rng, SeedableRng};
 use spq_alt::{Alt, AltParams};
 use spq_arcflags::{ArcFlags, ArcFlagsParams};
 use spq_ch::{ChQuery, ContractionHierarchy, LegacyChQuery, ManyToMany};
-use spq_dijkstra::BiDijkstra;
-use spq_graph::types::NodeId;
+use spq_dijkstra::{BiDijkstra, Dijkstra};
+use spq_graph::types::{Dist, NodeId};
 use spq_graph::RoadNetwork;
 use spq_hl::HubLabels;
+use spq_many::{KnnWorkspace, OneToMany, PoiIndex, PoiSet};
 use spq_pcpd::Pcpd;
 use spq_silc::Silc;
 use spq_synth::{Dataset, Scale};
@@ -91,6 +92,14 @@ pub struct BenchOptions {
     pub queries: usize,
     /// Workload seed.
     pub seed: u64,
+    /// Op families to measure (`distance`, `path`, `m2m`, `o2m`,
+    /// `knn`, `range`); empty measures everything. The Dijkstra
+    /// distance row is exempt — it is the normalisation denominator and
+    /// is always measured.
+    pub only: Vec<String>,
+    /// Backends to measure; empty measures everything. `dijkstra` is
+    /// exempt for the same reason as above.
+    pub backends: Vec<String>,
 }
 
 impl Default for BenchOptions {
@@ -102,7 +111,24 @@ impl Default for BenchOptions {
             tolerance: 0.25,
             queries: 0,
             seed: 0x5eed_0bec,
+            only: Vec::new(),
+            backends: Vec::new(),
         }
+    }
+}
+
+/// Op families recognised by `--only`. `o2m_64`/`o2m_1024` and `knn8`
+/// collapse onto their family so a filter selects the whole family,
+/// not one parameterisation.
+pub const OP_FAMILIES: [&str; 6] = ["distance", "path", "m2m", "o2m", "knn", "range"];
+
+fn op_family(op: &str) -> &str {
+    if op.starts_with("o2m") {
+        "o2m"
+    } else if op.starts_with("knn") {
+        "knn"
+    } else {
+        op
     }
 }
 
@@ -273,7 +299,11 @@ fn default_queries() -> usize {
     1024
 }
 
-/// Measures every backend on one network, appending entries.
+/// Measures every backend on one network, appending entries. The
+/// `only`/`backends` filters subset the measured cells; the Dijkstra
+/// distance row is exempt from both because every other row is gated
+/// relative to it.
+#[allow(clippy::too_many_arguments)]
 fn bench_network(
     entries: &mut Vec<Entry>,
     mode: &str,
@@ -281,9 +311,15 @@ fn bench_network(
     net: &RoadNetwork,
     queries: usize,
     seed: u64,
-) {
+    only: &[String],
+    backends: &[String],
+) -> Result<(), String> {
     let n = net.num_nodes();
     let pairs = query_pairs(net, queries, seed ^ dataset.paper_vertices);
+    let want = |backend: &str, op: &str| {
+        (backends.is_empty() || backends.iter().any(|b| b == backend))
+            && (only.is_empty() || only.iter().any(|o| o == op_family(op)))
+    };
     let mut push = |backend: &str, op: &str, q: usize, ns: f64| {
         eprintln!(
             "[bench {mode}/{}] {backend:>9} {op:<8} {ns:>12.1} ns/query",
@@ -310,78 +346,110 @@ fn bench_network(
         median_ns(&pairs, |s, t| bi.distance(net, s, t).unwrap_or(0)),
     );
 
-    // One CH build serves four kernels: the flat distance/path kernels,
-    // the legacy comparison kernel, and the bucket many-to-many.
-    let ch = ContractionHierarchy::build(net);
-    {
-        let mut q = ChQuery::new(&ch);
-        push(
-            "ch",
-            "distance",
-            pairs.len(),
-            median_ns(&pairs, |s, t| q.distance(s, t).unwrap_or(0)),
-        );
-        push(
-            "ch",
-            "path",
-            pairs.len(),
-            median_ns(&pairs, |s, t| {
-                q.shortest_path(s, t)
-                    .map(|(d, p)| d + p.len() as u64)
-                    .unwrap_or(0)
-            }),
-        );
-    }
-    {
-        let mut q = LegacyChQuery::new(&ch);
-        push(
-            "ch_legacy",
-            "distance",
-            pairs.len(),
-            median_ns(&pairs, |s, t| q.distance(s, t).unwrap_or(0)),
-        );
-        push(
-            "ch_legacy",
-            "path",
-            pairs.len(),
-            median_ns(&pairs, |s, t| {
-                q.shortest_path(s, t)
-                    .map(|(d, p)| d + p.len() as u64)
-                    .unwrap_or(0)
-            }),
-        );
-    }
-    {
-        let side = M2M_SIDE.min(n);
-        let sources: Vec<NodeId> = pairs.iter().take(side).map(|&(s, _)| s).collect();
-        let targets: Vec<NodeId> = pairs.iter().take(side).map(|&(_, t)| t).collect();
-        let mut m2m = ManyToMany::new(&ch);
-        let mut sink = 0u64;
-        let mut reps: Vec<f64> = Vec::with_capacity(M2M_REPS);
-        sink = sink.wrapping_add(m2m.table(&sources, &targets).len() as u64); // warm-up
-        for _ in 0..M2M_REPS {
-            let t0 = Instant::now();
-            let table = m2m.table(&sources, &targets);
-            reps.push(t0.elapsed().as_nanos() as f64 / table.len() as f64);
-            sink = sink.wrapping_add(table.iter().copied().fold(0u64, u64::wrapping_add));
+    // One CH build serves every hierarchy-based kernel: the flat
+    // distance/path kernels, the legacy comparison kernel, the bucket
+    // many-to-many, the one-to-many family, and hub labeling. Skip the
+    // build entirely when the filters select none of them.
+    let need_ch = ["distance", "path", "m2m", "o2m_64", "knn8", "range"]
+        .iter()
+        .any(|op| want("ch", op))
+        || want("ch_legacy", "distance")
+        || want("ch_legacy", "path")
+        || want("hl", "distance");
+    let ch = if need_ch {
+        Some(ContractionHierarchy::build(net))
+    } else {
+        None
+    };
+    if let Some(ch) = &ch {
+        {
+            let mut q = ChQuery::new(ch);
+            if want("ch", "distance") {
+                push(
+                    "ch",
+                    "distance",
+                    pairs.len(),
+                    median_ns(&pairs, |s, t| q.distance(s, t).unwrap_or(0)),
+                );
+            }
+            if want("ch", "path") {
+                push(
+                    "ch",
+                    "path",
+                    pairs.len(),
+                    median_ns(&pairs, |s, t| {
+                        q.shortest_path(s, t)
+                            .map(|(d, p)| d + p.len() as u64)
+                            .unwrap_or(0)
+                    }),
+                );
+            }
         }
-        std::hint::black_box(sink);
-        push("ch", "m2m", side * side, median(&mut reps));
+        {
+            let mut q = LegacyChQuery::new(ch);
+            if want("ch_legacy", "distance") {
+                push(
+                    "ch_legacy",
+                    "distance",
+                    pairs.len(),
+                    median_ns(&pairs, |s, t| q.distance(s, t).unwrap_or(0)),
+                );
+            }
+            if want("ch_legacy", "path") {
+                push(
+                    "ch_legacy",
+                    "path",
+                    pairs.len(),
+                    median_ns(&pairs, |s, t| {
+                        q.shortest_path(s, t)
+                            .map(|(d, p)| d + p.len() as u64)
+                            .unwrap_or(0)
+                    }),
+                );
+            }
+        }
+        if want("ch", "m2m") {
+            let side = M2M_SIDE.min(n);
+            let sources: Vec<NodeId> = pairs.iter().take(side).map(|&(s, _)| s).collect();
+            let targets: Vec<NodeId> = pairs.iter().take(side).map(|&(_, t)| t).collect();
+            let mut m2m = ManyToMany::new(ch);
+            let mut sink = 0u64;
+            let mut reps: Vec<f64> = Vec::with_capacity(M2M_REPS);
+            sink = sink.wrapping_add(m2m.table(&sources, &targets).len() as u64); // warm-up
+            for _ in 0..M2M_REPS {
+                let t0 = Instant::now();
+                let table = m2m.table(&sources, &targets);
+                reps.push(t0.elapsed().as_nanos() as f64 / table.len() as f64);
+                sink = sink.wrapping_add(table.iter().copied().fold(0u64, u64::wrapping_add));
+            }
+            std::hint::black_box(sink);
+            push("ch", "m2m", side * side, median(&mut reps));
+        }
+        bench_many_ops(
+            &mut push,
+            &want,
+            mode,
+            dataset,
+            net,
+            ch,
+            &pairs,
+            seed ^ dataset.paper_vertices,
+        )?;
+
+        if want("hl", "distance") {
+            // Hub labels reuse the hierarchy the CH rows already built —
+            // the label store is a pure function of it.
+            let labels = HubLabels::build(ch);
+            push(
+                "hl",
+                "distance",
+                pairs.len(),
+                median_ns(&pairs, |s, t| labels.distance(s, t).unwrap_or(0)),
+            );
+        }
     }
 
-    {
-        // Hub labels reuse the hierarchy the CH rows already built —
-        // the label store is a pure function of it.
-        let labels = HubLabels::build(&ch);
-        push(
-            "hl",
-            "distance",
-            pairs.len(),
-            median_ns(&pairs, |s, t| labels.distance(s, t).unwrap_or(0)),
-        );
-    }
-
-    {
+    if want("tnr", "distance") {
         let tnr = Tnr::build(net, &TnrParams::default());
         let mut q = tnr.query().with_network(net);
         push(
@@ -391,7 +459,7 @@ fn bench_network(
             median_ns(&pairs, |s, t| q.distance(s, t).unwrap_or(0)),
         );
     }
-    {
+    if want("alt", "distance") {
         let alt = Alt::build(
             net,
             &AltParams {
@@ -407,7 +475,7 @@ fn bench_network(
             median_ns(&pairs, |s, t| q.distance(s, t).unwrap_or(0)),
         );
     }
-    {
+    if want("arcflags", "distance") {
         let af = ArcFlags::build(net, &ArcFlagsParams::default());
         let mut q = af.query(net);
         push(
@@ -418,7 +486,7 @@ fn bench_network(
         );
     }
     if n <= ALL_PAIRS_CAP {
-        {
+        if want("silc", "distance") {
             let silc = Silc::build(net);
             let mut q = silc.query(net);
             push(
@@ -428,7 +496,7 @@ fn bench_network(
                 median_ns(&pairs, |s, t| q.distance(s, t).unwrap_or(0)),
             );
         }
-        {
+        if want("pcpd", "distance") {
             let pcpd = Pcpd::build(net);
             let mut q = pcpd.query(net);
             push(
@@ -444,6 +512,164 @@ fn bench_network(
             dataset.name
         );
     }
+    Ok(())
+}
+
+/// One-to-many target-set sizes: the gate requires the sweep to win at
+/// 64 and win by [`O2M_FULL_SPEEDUP`]x at 1024 on the full proxies.
+const O2M_SIZES: [usize; 2] = [64, 1024];
+
+/// Required full-mode speedup of one PHAST sweep over |T| = 1024
+/// independent CH point queries.
+const O2M_FULL_SPEEDUP: f64 = 5.0;
+
+/// Sources audited against the one-to-all Dijkstra oracle per network.
+const ORACLE_SOURCES: usize = 4;
+
+/// Measures the one-to-many family (PHAST sweep, bucket-CH kNN,
+/// network range) and audits all three for exactness against a plain
+/// one-to-all Dijkstra. A fast-but-wrong kernel must not produce a
+/// report, so any mismatch fails the whole run.
+#[allow(clippy::too_many_arguments)]
+fn bench_many_ops(
+    push: &mut impl FnMut(&str, &str, usize, f64),
+    want: &impl Fn(&str, &str) -> bool,
+    mode: &str,
+    dataset: &Dataset,
+    net: &RoadNetwork,
+    ch: &ContractionHierarchy,
+    pairs: &[(NodeId, NodeId)],
+    seed: u64,
+) -> Result<(), String> {
+    let n = net.num_nodes();
+    let measure_o2m = want("ch", "o2m_64");
+    let measure_knn = want("ch", "knn8");
+    let measure_range = want("ch", "range");
+    if !measure_o2m && !measure_knn && !measure_range {
+        return Ok(());
+    }
+
+    let mut o2m = OneToMany::new(ch);
+
+    // POI set for kNN: a deterministic sample, sized so buckets stay
+    // non-trivial on the smoke networks without dominating the full
+    // ones.
+    let poi_count = (n / 16).clamp(1, 256).min(n);
+    let set = PoiSet::sample(net, "bench", poi_count, seed ^ 0x9015)
+        .map_err(|e| format!("{mode}/{}: sample POI set: {e}", dataset.name))?;
+    let index = PoiIndex::build(ch, &set).map_err(|e| format!("{mode}/{}: {e}", dataset.name))?;
+
+    // Range limit at roughly the 10th percentile of one source's
+    // distance profile: a local neighbourhood, the regime the paper's
+    // range queries target.
+    let limit = {
+        o2m.run(pairs[0].0);
+        let mut ds: Vec<Dist> = (0..n as NodeId).filter_map(|v| o2m.distance(v)).collect();
+        ds.sort_unstable();
+        ds.get(ds.len() / 10).copied().unwrap_or(0)
+    };
+
+    if measure_o2m {
+        let mut dists: Vec<Option<Dist>> = Vec::new();
+        for &k in &O2M_SIZES {
+            let targets: Vec<NodeId> = query_pairs(net, k, seed ^ 0x02e0 ^ k as u64)
+                .iter()
+                .map(|&(_, t)| t)
+                .collect();
+            let op = format!("o2m_{k}");
+            push(
+                "ch",
+                &op,
+                pairs.len(),
+                median_ns(pairs, |s, _| {
+                    o2m.run(s);
+                    o2m.distances_into(&targets, &mut dists);
+                    dists
+                        .iter()
+                        .flatten()
+                        .copied()
+                        .fold(0u64, u64::wrapping_add)
+                }),
+            );
+        }
+    }
+    if measure_knn {
+        let mut ws = KnnWorkspace::new();
+        let mut out: Vec<(NodeId, Dist)> = Vec::new();
+        push(
+            "ch",
+            "knn8",
+            pairs.len(),
+            median_ns(pairs, |s, _| {
+                index.knn(ch.search_graph(), &mut ws, s, 8, &mut out);
+                out.iter()
+                    .map(|&(v, d)| u64::from(v).wrapping_add(d))
+                    .fold(0u64, u64::wrapping_add)
+            }),
+        );
+    }
+    if measure_range {
+        let mut out: Vec<(NodeId, Dist)> = Vec::new();
+        push(
+            "ch",
+            "range",
+            pairs.len(),
+            median_ns(pairs, |s, _| {
+                o2m.range(s, limit, &mut out);
+                out.len() as u64
+            }),
+        );
+    }
+
+    // Exactness audit: a handful of sources against the one-to-all
+    // oracle, across whichever of the three kernels were measured.
+    let mut truth = Dijkstra::new(n);
+    let mut ws = KnnWorkspace::new();
+    let mut got: Vec<(NodeId, Dist)> = Vec::new();
+    let mut mismatches = 0usize;
+    for &(s, _) in pairs.iter().take(ORACLE_SOURCES) {
+        truth.run(net, s);
+        if measure_o2m {
+            o2m.run(s);
+            mismatches += (0..n as NodeId)
+                .filter(|&v| o2m.distance(v) != truth.distance(v))
+                .count();
+        }
+        if measure_knn {
+            let mut expect: Vec<(Dist, NodeId)> = set
+                .nodes()
+                .iter()
+                .filter_map(|&p| truth.distance(p).map(|d| (d, p)))
+                .collect();
+            expect.sort_unstable();
+            expect.truncate(8);
+            index.knn(ch.search_graph(), &mut ws, s, 8, &mut got);
+            let got_kv: Vec<(Dist, NodeId)> = got.iter().map(|&(v, d)| (d, v)).collect();
+            if got_kv != expect {
+                mismatches += 1;
+            }
+        }
+        if measure_range {
+            let expect: Vec<(NodeId, Dist)> = (0..n as NodeId)
+                .filter_map(|v| truth.distance(v).filter(|&d| d <= limit).map(|d| (v, d)))
+                .collect();
+            o2m.range(s, limit, &mut got);
+            if got != expect {
+                mismatches += 1;
+            }
+        }
+    }
+    if mismatches > 0 {
+        return Err(format!(
+            "{mode}/{}: o2m/knn/range oracle found {mismatches} mismatch(es) — refusing to report",
+            dataset.name
+        ));
+    }
+    eprintln!(
+        "[bench {mode}/{}] o2m/knn/range oracle: 0 mismatches over {ORACLE_SOURCES} sources",
+        dataset.name
+    );
+    Ok(())
 }
 
 /// Runs the harness: builds each mode's networks, measures every
@@ -455,6 +681,14 @@ pub fn run(opts: &BenchOptions) -> Result<Vec<Entry>, String> {
     } else {
         default_queries()
     };
+    for o in &opts.only {
+        if !OP_FAMILIES.contains(&o.as_str()) {
+            return Err(format!(
+                "--only: unknown op family '{o}' (choose from {})",
+                OP_FAMILIES.join(",")
+            ));
+        }
+    }
     let mut modes: Vec<(&str, Scale, Vec<&'static Dataset>)> = vec![(
         "smoke",
         Scale::Smoke,
@@ -486,7 +720,16 @@ pub fn run(opts: &BenchOptions) -> Result<Vec<Entry>, String> {
                 net.num_edges(),
                 t0.elapsed()
             );
-            bench_network(&mut entries, mode, dataset, &net, queries, opts.seed);
+            bench_network(
+                &mut entries,
+                mode,
+                dataset,
+                &net,
+                queries,
+                opts.seed,
+                &opts.only,
+                &opts.backends,
+            )?;
         }
     }
 
@@ -504,7 +747,18 @@ pub fn run(opts: &BenchOptions) -> Result<Vec<Entry>, String> {
         entries.len()
     );
 
-    check_hl_beats_ch(&entries)?;
+    // Speed gates only fire when the filters left their rows in the
+    // report — `--only distance --backends tnr` must not fail for lack
+    // of HL or one-to-many rows.
+    let has_ch_distance = entries
+        .iter()
+        .any(|e| e.backend == "ch" && e.op == "distance");
+    if has_ch_distance && entries.iter().any(|e| e.backend == "hl") {
+        check_hl_beats_ch(&entries)?;
+    }
+    if has_ch_distance && entries.iter().any(|e| e.op.starts_with("o2m_")) {
+        check_o2m_beats_ch(&entries)?;
+    }
 
     if let Some(baseline) = &opts.check {
         check_against(&entries, baseline, opts.tolerance)?;
@@ -566,6 +820,56 @@ pub fn check_hl_beats_ch(entries: &[Entry]) -> Result<(), String> {
     Ok(())
 }
 
+/// Enforces the one-to-many speed claim: per (mode, network), one
+/// PHAST sweep answering |T| targets must beat |T| independent CH
+/// point queries (|T| × the same run's CH distance median), and on the
+/// full Table-1 proxies the |T| = 1024 sweep must win by at least
+/// [`O2M_FULL_SPEEDUP`]x. The smoke networks only need the plain win:
+/// at 1/400 scale a sweep has almost nothing to amortise, so a ratio
+/// gate there would measure timer noise.
+pub fn check_o2m_beats_ch(entries: &[Entry]) -> Result<(), String> {
+    let mut checked = 0usize;
+    for e in entries
+        .iter()
+        .filter(|e| e.backend == "ch" && e.op.starts_with("o2m_"))
+    {
+        let k: f64 = e.op["o2m_".len()..]
+            .parse()
+            .map_err(|_| format!("malformed o2m op name '{}'", e.op))?;
+        let Some(chd) = entries.iter().find(|c| {
+            c.mode == e.mode && c.network == e.network && c.backend == "ch" && c.op == "distance"
+        }) else {
+            return Err(format!(
+                "{}/{}: {} row has no ch distance row to compare against",
+                e.mode, e.network, e.op
+            ));
+        };
+        let loop_ns = chd.median_ns * k;
+        let required = if e.mode == "full" && k >= 1024.0 {
+            O2M_FULL_SPEEDUP
+        } else {
+            1.0
+        };
+        let speedup = loop_ns / e.median_ns;
+        if speedup < required {
+            return Err(format!(
+                "{}/{} {}: one sweep costs {:.1} ns vs {:.1} ns for {k:.0} CH point queries \
+                 ({speedup:.2}x, need >= {required:.0}x)",
+                e.mode, e.network, e.op, e.median_ns, loop_ns
+            ));
+        }
+        eprintln!(
+            "[bench] {}/{} {}: sweep beats {k:.0} CH point queries by {speedup:.1}x",
+            e.mode, e.network, e.op
+        );
+        checked += 1;
+    }
+    if checked == 0 {
+        return Err("no o2m rows to gate".into());
+    }
+    Ok(())
+}
+
 /// Compares a run against a baseline report, Dijkstra-normalised.
 ///
 /// For every entry of the current run whose (mode, network, backend,
@@ -613,6 +917,14 @@ pub fn check_against(current: &[Entry], baseline: &Path, tolerance: f64) -> Resu
         };
         if b.backend == "dijkstra" && b.op == "distance" {
             continue; // the normalisation unit compares as 1.0 by construction
+        }
+        if matches!(op_family(&b.op), "o2m" | "knn" | "range") {
+            // Batch-shape medians normalised against a *point*-query
+            // unit don't track runner drift at smoke scale; these rows
+            // are gated structurally instead (the sweep must beat its
+            // point-query decomposition within the same run), so only
+            // their presence is enforced here.
+            continue;
         }
         compared += 1;
         if b.median_ns < NOISE_FLOOR_NS || c.median_ns < NOISE_FLOOR_NS {
@@ -821,12 +1133,38 @@ mod tests {
     }
 
     #[test]
+    fn o2m_speed_gate_compares_against_k_point_queries() {
+        let mut entries = vec![
+            entry("full", "DE", "ch", "distance", 1_000.0),
+            entry("full", "DE", "ch", "o2m_64", 50_000.0),
+            entry("full", "DE", "ch", "o2m_1024", 200_000.0),
+        ];
+        // 64 × 1000 = 64k > 50k (win) and 1024 × 1000 = 1.024M ≥ 5 ×
+        // 200k: both pass.
+        check_o2m_beats_ch(&entries).unwrap();
+        // Full mode demands the 5x margin at |T| = 1024, not just a win.
+        entries[2].median_ns = 500_000.0;
+        let err = check_o2m_beats_ch(&entries).unwrap_err();
+        assert!(err.contains("need >= 5x"), "{err}");
+        // Smoke mode only needs the win.
+        for e in &mut entries {
+            e.mode = "smoke".into();
+        }
+        check_o2m_beats_ch(&entries).unwrap();
+        // Losing outright fails even in smoke mode.
+        entries[1].median_ns = 100_000.0;
+        assert!(check_o2m_beats_ch(&entries).is_err());
+        // No rows at all is an error, not a silent pass.
+        assert!(check_o2m_beats_ch(&entries[..1]).is_err());
+    }
+
+    #[test]
     fn smoke_bench_produces_consistent_entries() {
         // One real (tiny) network through the whole measurement path.
         let d = Dataset::by_name("DE").unwrap();
         let net = d.build_with_seed(Scale::Divisor(800.0), 7);
         let mut entries = Vec::new();
-        bench_network(&mut entries, "smoke", d, &net, 2 * CHUNK, 7);
+        bench_network(&mut entries, "smoke", d, &net, 2 * CHUNK, 7, &[], &[]).unwrap();
         // All seven backends (the network is under the all-pairs cap),
         // plus the legacy kernel rows, the path rows, and the m2m row.
         let backends: Vec<&str> = entries.iter().map(|e| e.backend.as_str()).collect();
@@ -845,6 +1183,19 @@ mod tests {
         }
         assert_eq!(entries.iter().filter(|e| e.op == "path").count(), 2);
         assert_eq!(entries.iter().filter(|e| e.op == "m2m").count(), 1);
+        // The one-to-many family rides the ch backend: one row per
+        // target-set size plus the kNN and range rows, all
+        // oracle-audited inside bench_network.
+        for op in ["o2m_64", "o2m_1024", "knn8", "range"] {
+            assert_eq!(
+                entries
+                    .iter()
+                    .filter(|e| e.backend == "ch" && e.op == op)
+                    .count(),
+                1,
+                "missing ch row for {op}"
+            );
+        }
         assert!(entries.iter().all(|e| e.median_ns > 0.0));
         // And the rendered report must parse back to the same entries
         // (medians are serialised at 0.1 ns precision — derive the
@@ -860,5 +1211,59 @@ mod tests {
             })
             .collect();
         assert_eq!(parse_report(&render_report(&entries)).unwrap(), rounded);
+    }
+
+    #[test]
+    fn bench_filters_subset_the_measured_cells() {
+        let d = Dataset::by_name("DE").unwrap();
+        let net = d.build_with_seed(Scale::Divisor(800.0), 7);
+        let mut entries = Vec::new();
+        bench_network(
+            &mut entries,
+            "smoke",
+            d,
+            &net,
+            2 * CHUNK,
+            7,
+            &["distance".into()],
+            &["ch".into(), "hl".into()],
+        )
+        .unwrap();
+        // Dijkstra is exempt from both filters (it is the
+        // normalisation unit); everything else obeys them.
+        let mut rows: Vec<(&str, &str)> = entries
+            .iter()
+            .map(|e| (e.backend.as_str(), e.op.as_str()))
+            .collect();
+        rows.sort_unstable();
+        assert_eq!(
+            rows,
+            vec![
+                ("ch", "distance"),
+                ("dijkstra", "distance"),
+                ("hl", "distance"),
+            ]
+        );
+
+        // An op-family filter selects every parameterisation of the
+        // family without rebuilding anything else.
+        let mut o2m_only = Vec::new();
+        bench_network(
+            &mut o2m_only,
+            "smoke",
+            d,
+            &net,
+            2 * CHUNK,
+            7,
+            &["o2m".into()],
+            &["ch".into()],
+        )
+        .unwrap();
+        let ops: Vec<&str> = o2m_only
+            .iter()
+            .filter(|e| e.backend == "ch")
+            .map(|e| e.op.as_str())
+            .collect();
+        assert_eq!(ops, vec!["o2m_64", "o2m_1024"]);
     }
 }

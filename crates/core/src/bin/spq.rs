@@ -4,7 +4,7 @@
 //! spq registry                               list the Table-1 datasets
 //! spq generate --target N [--seed S] --out P write P.gr / P.co (DIMACS)
 //! spq info --net P                           network statistics
-//! spq prep --net P --out F [--kind ch|hl]    build + persist a CH or HL index
+//! spq prep --net P --out F [--kind ch|hl|poi] build + persist a CH/HL index or POI set
 //! spq query --net P --from S --to T          answer one query
 //!           [--technique dijkstra|ch|tnr|silc|pcpd] [--ch F.ch] [--path]
 //! spq verify --net P [--samples N] [--seed S] certify all techniques
@@ -66,7 +66,8 @@ fn print_usage() {
          \x20 registry                               list the Table-1 datasets\n\
          \x20 generate --target N [--seed S] --out P write P.gr / P.co\n\
          \x20 info --net P                           network statistics\n\
-         \x20 prep --net P --out F [--kind ch|hl]    build + persist a CH or HL index\n\
+         \x20 prep --net P --out F [--kind ch|hl|poi] [--name N] [--count K]\n\
+         \x20                                        build + persist a CH/HL index or POI set\n\
          \x20 query --net P --from S --to T [--technique T] [--ch F.ch] [--path]\n\
          \x20 verify --net P [--samples N] [--seed S] certify all techniques\n\
          \x20 serve (--net P | --target N) [--addr A] [--backends L] [--workers N]\n\
@@ -78,9 +79,12 @@ fn print_usage() {
          \x20                                        run the TCP query server\n\
          \x20 loadgen (--net P | --target N) [--backends L] [--concurrency L]\n\
          \x20         [--duration S] [--warmup-ms N] [--reload-every S] [--out F]\n\
+         \x20         [--mix distance:8,o2m:2,knn:1,range:1]\n\
          \x20                                        measure serving throughput\n\
          \x20 bench --json [--smoke] [--out F] [--check BASELINE] [--tolerance R]\n\
-         \x20       [--queries N] [--seed S]        query-latency report + regression gate\n\n\
+         \x20       [--queries N] [--seed S] [--only OPS] [--backends L]\n\
+         \x20                                        query-latency report + regression gate\n\
+         \x20                                        (OPS: distance,path,m2m,o2m,knn,range)\n\n\
          serve/loadgen backends: dijkstra,ch,tnr,silc,pcpd,alt,arcflags,hl (or 'all');\n\
          see README.md for the wire protocol."
     );
@@ -215,7 +219,36 @@ fn prep(args: &[String]) -> Result<(), String> {
                 hl.index_size_mb()
             );
         }
-        other => return Err(format!("--kind must be ch or hl, got '{other}'")),
+        "poi" => {
+            // A POI container for the one-to-many serving path: a
+            // named, checksummed vertex set the server indexes against
+            // its own hierarchy at registration (`poi=` reload lines).
+            let name = opt(args, "--name").unwrap_or("poi");
+            let count: usize = match opt(args, "--count") {
+                Some(s) => s
+                    .parse()
+                    .map_err(|_| "--count must be an integer".to_string())?,
+                None => (net.num_nodes() / 16).clamp(1, 4096),
+            };
+            let seed: u64 = match opt(args, "--seed") {
+                Some(s) => s
+                    .parse()
+                    .map_err(|_| "--seed must be an integer".to_string())?,
+                None => 0x5eed_0bec,
+            };
+            let set = spq_many::PoiSet::sample(&net, name, count, seed)?;
+            let elapsed = t0.elapsed();
+            let f = File::create(out).map_err(|e| e.to_string())?;
+            let mut w = BufWriter::new(f);
+            set.write_binary(&mut w).map_err(|e| e.to_string())?;
+            println!(
+                "sampled POI set '{}' in {:.2?}: {} vertices -> {out}",
+                set.name(),
+                elapsed,
+                set.len()
+            );
+        }
+        other => return Err(format!("--kind must be ch, hl, or poi, got '{other}'")),
     }
     Ok(())
 }
@@ -544,6 +577,9 @@ fn loadgen(args: &[String]) -> Result<(), String> {
         }
         opts.reload_every = Some(Duration::from_secs_f64(secs));
     }
+    if let Some(s) = opt(args, "--mix") {
+        opts.mix = spq_serve::loadgen::OpMix::parse(s)?;
+    }
     let (report, stats) = run_in_process(net, &opts)?;
     eprintln!("--- final server stats ---\n{stats}");
 
@@ -602,6 +638,12 @@ fn bench(args: &[String]) -> Result<(), String> {
         opts.seed = s
             .parse()
             .map_err(|_| "--seed must be an integer".to_string())?;
+    }
+    if let Some(s) = opt(args, "--only") {
+        opts.only = s.split(',').map(|p| p.trim().to_string()).collect();
+    }
+    if let Some(s) = opt(args, "--backends") {
+        opts.backends = s.split(',').map(|p| p.trim().to_string()).collect();
     }
     spq_core::bench::run(&opts)?;
     Ok(())

@@ -9,14 +9,20 @@ use spq_graph::types::{Dist, NodeId};
 use spq_graph::RoadNetwork;
 
 use crate::bidirectional::BiDijkstra;
+use crate::onetoall::{Dijkstra, SearchScope};
 
 /// The index-free bidirectional-Dijkstra backend (§3.1).
 pub struct Baseline;
 
 /// Per-thread baseline workspace: the search state plus the network.
+/// The one-to-all workspace is created lazily — point-to-point-only
+/// workers never pay for it.
 pub struct BaselineSession<'a> {
     net: &'a RoadNetwork,
     search: BiDijkstra,
+    oneall: Option<Dijkstra>,
+    budget: QueryBudget,
+    aux_interrupted: bool,
 }
 
 impl Backend for Baseline {
@@ -28,6 +34,9 @@ impl Backend for Baseline {
         Box::new(BaselineSession {
             net,
             search: BiDijkstra::new(net.num_nodes()),
+            oneall: None,
+            budget: QueryBudget::unlimited(),
+            aux_interrupted: false,
         })
     }
 }
@@ -41,12 +50,73 @@ impl Session for BaselineSession<'_> {
         self.search.shortest_path(self.net, s, t)
     }
 
+    /// One full-graph search beats `targets.len()` bidirectional
+    /// searches as soon as the target set is non-trivial; the search
+    /// stops as early as the last requested target.
+    fn one_to_many(&mut self, s: NodeId, targets: &[NodeId], out: &mut Vec<Option<Dist>>) {
+        self.aux_interrupted = false;
+        let d = self
+            .oneall
+            .get_or_insert_with(|| Dijkstra::new(self.net.num_nodes()));
+        let mut sorted: Vec<NodeId> = targets.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut remaining = sorted.len();
+        let mut budget = self.budget.clone();
+        budget.reset();
+        let mut interrupted = false;
+        d.run_scoped(self.net, s, SearchScope::Full, |v, _| {
+            if !budget.charge() {
+                interrupted = true;
+                return true;
+            }
+            if sorted.binary_search(&v).is_ok() {
+                remaining -= 1;
+                remaining == 0
+            } else {
+                false
+            }
+        });
+        self.aux_interrupted = interrupted;
+        out.clear();
+        out.extend(targets.iter().map(|&t| d.distance(t)));
+    }
+
+    /// Truncated one-to-all search: the textbook range oracle.
+    fn range(&mut self, s: NodeId, limit: Dist, out: &mut Vec<(NodeId, Dist)>) -> bool {
+        self.aux_interrupted = false;
+        let d = self
+            .oneall
+            .get_or_insert_with(|| Dijkstra::new(self.net.num_nodes()));
+        let mut budget = self.budget.clone();
+        budget.reset();
+        let mut interrupted = false;
+        d.run_scoped(self.net, s, SearchScope::Full, |_, dist| {
+            if !budget.charge() {
+                interrupted = true;
+                return true;
+            }
+            dist > limit
+        });
+        self.aux_interrupted = interrupted;
+        out.clear();
+        for v in 0..self.net.num_nodes() as NodeId {
+            if let Some(dist) = d.distance(v) {
+                if dist <= limit {
+                    out.push((v, dist));
+                }
+            }
+        }
+        true
+    }
+
     fn set_budget(&mut self, budget: QueryBudget) {
+        self.budget = budget.clone();
         self.search.set_budget(budget);
     }
 
     fn interrupted(&self) -> bool {
-        self.search.budget_exhausted()
+        self.search.budget_exhausted() || self.aux_interrupted
     }
 }
 
@@ -69,5 +139,47 @@ mod tests {
         let (d, path) = session.shortest_path(2, 6).unwrap();
         assert_eq!(d, 6);
         assert_eq!(g.path_length(&path), Some(6));
+    }
+
+    #[test]
+    fn one_to_many_matches_point_queries() {
+        let g = figure1();
+        let backend = Baseline;
+        let mut session = backend.session(&g);
+        let targets: Vec<NodeId> = (0..g.num_nodes() as NodeId).rev().collect();
+        let mut out = Vec::new();
+        session.one_to_many(2, &targets, &mut out);
+        assert!(!session.interrupted());
+        for (j, &t) in targets.iter().enumerate() {
+            assert_eq!(out[j], session.distance(2, t), "target {t}");
+        }
+    }
+
+    #[test]
+    fn range_is_exact_and_sorted() {
+        let g = figure1();
+        let backend = Baseline;
+        let mut session = backend.session(&g);
+        let mut out = Vec::new();
+        assert!(session.range(2, 3, &mut out));
+        assert!(!session.interrupted());
+        // Exactly the vertices whose distance from v3 is <= 3.
+        for v in 0..g.num_nodes() as NodeId {
+            let d = session.distance(2, v);
+            let expect = d.filter(|&d| d <= 3).map(|d| (v, d));
+            assert_eq!(out.iter().find(|&&(u, _)| u == v).copied(), expect);
+        }
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0), "sorted by id");
+    }
+
+    #[test]
+    fn range_respects_budget() {
+        let g = figure1();
+        let backend = Baseline;
+        let mut session = backend.session(&g);
+        session.set_budget(QueryBudget::unlimited().with_node_cap(2));
+        let mut out = Vec::new();
+        assert!(session.range(2, 100, &mut out));
+        assert!(session.interrupted(), "node cap must trip mid-search");
     }
 }

@@ -137,6 +137,21 @@ impl QueryBudget {
     }
 }
 
+/// A named point-of-interest set a kNN query runs against.
+///
+/// The server resolves the set name to its registered vertex list once
+/// per request and hands both to the session: backends without a native
+/// kNN index can answer from the vertex list alone (the default
+/// implementation below), while bucket-based engines use the name to
+/// find their precomputed per-vertex buckets for the same set.
+#[derive(Debug, Clone, Copy)]
+pub struct PoiRef<'a> {
+    /// Registered name of the set.
+    pub name: &'a str,
+    /// The set's vertices (sorted, deduplicated).
+    pub nodes: &'a [NodeId],
+}
+
 /// A preprocessed index that can answer queries over one road network.
 ///
 /// Implementations live in the technique crates (the trait is defined
@@ -178,6 +193,48 @@ pub trait Session {
                 out.push(self.distance(s, t));
             }
         }
+    }
+
+    /// One-to-many distances: fills `out[j]` with
+    /// `distance(s, targets[j])`.
+    ///
+    /// The default routes through the batched [`Session::distances`]
+    /// (a 1×m table); engines with a dedicated one-to-many kernel —
+    /// the PHAST-style rank sweep in `spq-many` — override this to beat
+    /// the decomposition into point-to-point queries.
+    fn one_to_many(&mut self, s: NodeId, targets: &[NodeId], out: &mut Vec<Option<Dist>>) {
+        self.distances(&[s], targets, out);
+    }
+
+    /// k-nearest-neighbour query over a registered POI set: fills `out`
+    /// with up to `k` `(poi_vertex, distance)` pairs, ascending by
+    /// `(distance, vertex id)` — the deterministic total order every
+    /// implementation must produce. Unreachable POIs never appear.
+    ///
+    /// The default brute-forces the whole set through
+    /// [`Session::one_to_many`] and selects the k best; bucket-based
+    /// engines override with one upward search plus bucket merges.
+    fn knn(&mut self, s: NodeId, k: usize, poi: PoiRef<'_>, out: &mut Vec<(NodeId, Dist)>) {
+        let mut row = Vec::with_capacity(poi.nodes.len());
+        self.one_to_many(s, poi.nodes, &mut row);
+        out.clear();
+        out.extend(
+            poi.nodes
+                .iter()
+                .zip(row.iter())
+                .filter_map(|(&p, d)| d.map(|d| (p, d))),
+        );
+        out.sort_unstable_by_key(|&(p, d)| (d, p));
+        out.truncate(k);
+    }
+
+    /// Network range query: fills `out` with every `(vertex, distance)`
+    /// within `limit` of `s`, ascending by vertex id, and returns
+    /// `true`. Returns `false` (leaving `out` untouched) when the
+    /// backend has no way to enumerate the network — the server answers
+    /// such backends with an error rather than a wrong result.
+    fn range(&mut self, _s: NodeId, _limit: Dist, _out: &mut Vec<(NodeId, Dist)>) -> bool {
+        false
     }
 
     /// Installs the budget the next queries run under. The default does
@@ -291,6 +348,51 @@ mod tests {
             }
         }
         assert!(tripped);
+    }
+
+    #[test]
+    fn default_one_to_many_matches_singles() {
+        let g = figure1();
+        let backend: Box<dyn Backend> = Box::new(OneHop);
+        let mut session = backend.session(&g);
+        let targets = [0u32, 3, 5, 7];
+        let mut out = Vec::new();
+        session.one_to_many(7, &targets, &mut out);
+        assert_eq!(out.len(), targets.len());
+        for (j, &t) in targets.iter().enumerate() {
+            assert_eq!(out[j], session.distance(7, t));
+        }
+    }
+
+    #[test]
+    fn default_knn_selects_k_nearest_deterministically() {
+        let g = figure1();
+        let backend: Box<dyn Backend> = Box::new(OneHop);
+        let mut session = backend.session(&g);
+        let nodes: Vec<NodeId> = (0..8).collect();
+        let poi = PoiRef {
+            name: "all",
+            nodes: &nodes,
+        };
+        let mut out = Vec::new();
+        session.knn(7, 3, poi, &mut out);
+        // From v8, OneHop reaches itself (0), v1 (1), then v2 and v6 at
+        // distance 2 — the tie must break toward the smaller id.
+        assert_eq!(out, vec![(7, 0), (0, 1), (1, 2)]);
+        // k larger than the reachable set returns only reachable POIs.
+        session.knn(7, 100, poi, &mut out);
+        assert!(out.len() < nodes.len());
+        assert!(out.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn default_range_reports_unsupported() {
+        let g = figure1();
+        let backend: Box<dyn Backend> = Box::new(OneHop);
+        let mut session = backend.session(&g);
+        let mut out = vec![(9u32, 9u64)];
+        assert!(!session.range(0, 100, &mut out));
+        assert_eq!(out, vec![(9, 9)], "unsupported range must not touch out");
     }
 
     #[test]

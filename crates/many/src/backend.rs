@@ -1,0 +1,393 @@
+//! The serving face of the batched-query engines: a [`Backend`] that
+//! wraps a shared contraction hierarchy and answers every [`Session`]
+//! capability natively — point-to-point through `ChQuery`, dense
+//! batches through the bucket many-to-many, one-to-many through the
+//! PHAST sweep, kNN through registered POI buckets, and range through
+//! the truncated sweep.
+//!
+//! The hierarchy is held behind an `Arc` so the serving engine can keep
+//! one copy visible to this backend, the bench harness, and POI-index
+//! builds alike. POI sets live in a [`PoiTable`] that is installed
+//! exactly once per epoch (after the hierarchy exists, before the first
+//! query) — sessions see either the full table or, before
+//! installation, an empty one; they never see it change.
+
+use std::sync::{Arc, OnceLock};
+
+use spq_ch::{ChQuery, ContractionHierarchy, ManyToMany};
+use spq_graph::backend::{Backend, PoiRef, QueryBudget, Session};
+use spq_graph::types::{Dist, NodeId, INFINITY};
+use spq_graph::RoadNetwork;
+
+use crate::phast::OneToMany;
+use crate::poi::{KnnWorkspace, PoiIndex, PoiSet};
+
+/// Below this many targets a loop of point-to-point CH queries beats
+/// the O(n + m) sweep; at and above it the sweep wins on every network
+/// in the bench registry (the CI gate holds the line at exactly this
+/// boundary).
+pub const O2M_SWEEP_CUTOFF: usize = 64;
+
+/// One registered POI set plus its bucket index over the serving
+/// hierarchy.
+#[derive(Debug)]
+pub struct PoiEntry {
+    /// The set as registered (persisted form).
+    pub set: PoiSet,
+    /// Buckets over the epoch's hierarchy.
+    pub index: PoiIndex,
+}
+
+/// The epoch-scoped registry of POI sets, installed once after the
+/// engine's hierarchy is built and immutable from then on.
+#[derive(Debug, Default)]
+pub struct PoiTable {
+    entries: OnceLock<Vec<PoiEntry>>,
+}
+
+impl PoiTable {
+    /// An empty, not-yet-installed table.
+    pub fn empty() -> Arc<PoiTable> {
+        Arc::new(PoiTable::default())
+    }
+
+    /// Installs the entries. A table can be installed only once — a
+    /// second install is a bug in epoch construction and is reported,
+    /// not silently ignored.
+    pub fn install(&self, entries: Vec<PoiEntry>) -> Result<(), String> {
+        self.entries
+            .set(entries)
+            .map_err(|_| "POI table already installed for this epoch".to_string())
+    }
+
+    /// Looks a set up by name.
+    pub fn get(&self, name: &str) -> Option<&PoiEntry> {
+        self.entries().iter().find(|e| e.set.name() == name)
+    }
+
+    /// All registered entries (empty before installation).
+    pub fn entries(&self) -> &[PoiEntry] {
+        self.entries.get().map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// The CH-backed backend serving all five query shapes.
+pub struct ManyBackend {
+    ch: Arc<ContractionHierarchy>,
+    pois: Arc<PoiTable>,
+}
+
+impl ManyBackend {
+    /// Wraps a shared hierarchy and the epoch's POI table.
+    pub fn new(ch: Arc<ContractionHierarchy>, pois: Arc<PoiTable>) -> Self {
+        ManyBackend { ch, pois }
+    }
+
+    /// The wrapped hierarchy.
+    pub fn hierarchy(&self) -> &Arc<ContractionHierarchy> {
+        &self.ch
+    }
+}
+
+impl Backend for ManyBackend {
+    fn backend_name(&self) -> &'static str {
+        // Serves the same index and answers as the plain CH backend; the
+        // batched engines are capability extensions, not a new backend.
+        "CH"
+    }
+
+    fn session<'a>(&'a self, _net: &'a RoadNetwork) -> Box<dyn Session + 'a> {
+        Box::new(ManySession {
+            ch: &self.ch,
+            pois: &self.pois,
+            query: ChQuery::new(&self.ch),
+            many: None,
+            o2m: None,
+            knn_ws: KnnWorkspace::new(),
+            budget: QueryBudget::unlimited(),
+        })
+    }
+}
+
+/// Per-thread workspace bundle. Every engine is created lazily, so a
+/// worker only pays for the query shapes it actually serves.
+pub struct ManySession<'a> {
+    ch: &'a ContractionHierarchy,
+    pois: &'a PoiTable,
+    query: ChQuery<'a>,
+    many: Option<ManyToMany<'a>>,
+    o2m: Option<OneToMany<'a>>,
+    knn_ws: KnnWorkspace,
+    budget: QueryBudget,
+}
+
+impl<'a> ManySession<'a> {
+    fn o2m(&mut self) -> &mut OneToMany<'a> {
+        let ch = self.ch;
+        let budget = &self.budget;
+        self.o2m.get_or_insert_with(|| {
+            let mut engine = OneToMany::new(ch);
+            engine.set_budget(budget.clone());
+            engine
+        })
+    }
+}
+
+impl Session for ManySession<'_> {
+    fn distance(&mut self, s: NodeId, t: NodeId) -> Option<Dist> {
+        self.query.distance(s, t)
+    }
+
+    fn shortest_path(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
+        self.query.shortest_path(s, t)
+    }
+
+    /// Dense batches keep CH's bucket many-to-many; single-row batches
+    /// wide enough for the sweep ride the one-to-many kernel; everything
+    /// else loops point-to-point (same routing the plain CH backend had,
+    /// plus the sweep fast path).
+    fn distances(&mut self, sources: &[NodeId], targets: &[NodeId], out: &mut Vec<Option<Dist>>) {
+        if sources.len() == 1 && targets.len() >= O2M_SWEEP_CUTOFF {
+            self.one_to_many(sources[0], targets, out);
+            return;
+        }
+        if sources.len() < 2 || targets.len() < 2 {
+            out.clear();
+            out.extend(
+                sources
+                    .iter()
+                    .flat_map(|&s| targets.iter().map(move |&t| (s, t)))
+                    .map(|(s, t)| self.query.distance(s, t)),
+            );
+            return;
+        }
+        let many = self.many.get_or_insert_with(|| ManyToMany::new(self.ch));
+        let table = many.table(sources, targets);
+        out.clear();
+        out.extend(
+            table
+                .into_iter()
+                .map(|d| if d >= INFINITY { None } else { Some(d) }),
+        );
+    }
+
+    fn one_to_many(&mut self, s: NodeId, targets: &[NodeId], out: &mut Vec<Option<Dist>>) {
+        if targets.len() < O2M_SWEEP_CUTOFF {
+            out.clear();
+            out.extend(targets.iter().map(|&t| self.query.distance(s, t)));
+            return;
+        }
+        let engine = self.o2m();
+        if engine.run(s) {
+            engine.distances_into(targets, out);
+        } else {
+            // Interrupted: the caller sees it via `interrupted()` and
+            // must discard; fill the row so lengths still line up.
+            out.clear();
+            out.resize(targets.len(), None);
+        }
+    }
+
+    fn knn(&mut self, s: NodeId, k: usize, poi: PoiRef<'_>, out: &mut Vec<(NodeId, Dist)>) {
+        if let Some(entry) = self.pois.get(poi.name) {
+            if !entry
+                .index
+                .knn(self.ch.search_graph(), &mut self.knn_ws, s, k, out)
+            {
+                out.clear();
+            }
+            return;
+        }
+        // No buckets registered under this name (e.g. the caller
+        // resolved the set elsewhere): brute-force over the vertex list.
+        let mut row = Vec::with_capacity(poi.nodes.len());
+        self.one_to_many(s, poi.nodes, &mut row);
+        out.clear();
+        out.extend(
+            poi.nodes
+                .iter()
+                .zip(row.iter())
+                .filter_map(|(&p, d)| d.map(|d| (p, d))),
+        );
+        out.sort_unstable_by_key(|&(p, d)| (d, p));
+        out.truncate(k);
+    }
+
+    fn range(&mut self, s: NodeId, limit: Dist, out: &mut Vec<(NodeId, Dist)>) -> bool {
+        let engine = self.o2m();
+        if !engine.range(s, limit, out) {
+            out.clear();
+        }
+        true
+    }
+
+    fn set_budget(&mut self, budget: QueryBudget) {
+        self.query.set_budget(budget.clone());
+        if let Some(engine) = self.o2m.as_mut() {
+            engine.set_budget(budget.clone());
+        }
+        self.knn_ws.set_budget(budget.clone());
+        self.budget = budget;
+    }
+
+    fn interrupted(&self) -> bool {
+        self.query.budget_exhausted()
+            || self.o2m.as_ref().is_some_and(|e| e.interrupted())
+            || self.knn_ws.interrupted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_dijkstra::Dijkstra;
+    use spq_graph::toy::grid_graph;
+
+    fn backend_with_pois(g: &RoadNetwork) -> (ManyBackend, PoiSet) {
+        let ch = Arc::new(ContractionHierarchy::build(g));
+        let set = PoiSet::sample(g, "poi", 6, 11).unwrap();
+        let index = PoiIndex::build(&ch, &set).unwrap();
+        let pois = PoiTable::empty();
+        pois.install(vec![PoiEntry {
+            set: set.clone(),
+            index,
+        }])
+        .unwrap();
+        (ManyBackend::new(ch, pois), set)
+    }
+
+    #[test]
+    fn session_one_to_many_exact_on_both_routing_paths() {
+        let g = grid_graph(12, 12);
+        let (backend, _) = backend_with_pois(&g);
+        let mut session = backend.session(&g);
+        let mut d = Dijkstra::new(g.num_nodes());
+        d.run(&g, 5);
+        // Below the cutoff (loop path) and above it (sweep path).
+        for m in [3usize, 100] {
+            let targets: Vec<NodeId> = (0..m as NodeId).collect();
+            let mut out = Vec::new();
+            session.one_to_many(5, &targets, &mut out);
+            assert!(!session.interrupted());
+            for (j, &t) in targets.iter().enumerate() {
+                assert_eq!(out[j], d.distance(t), "m={m} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn session_batch_routes_single_row_to_sweep() {
+        let g = grid_graph(10, 10);
+        let (backend, _) = backend_with_pois(&g);
+        let mut session = backend.session(&g);
+        let targets: Vec<NodeId> = (0..100).collect();
+        let mut batch = Vec::new();
+        session.distances(&[7], &targets, &mut batch);
+        let mut direct = Vec::new();
+        session.one_to_many(7, &targets, &mut direct);
+        assert_eq!(batch, direct);
+    }
+
+    #[test]
+    fn session_knn_uses_buckets_and_matches_brute_force() {
+        let g = grid_graph(9, 9);
+        let (backend, set) = backend_with_pois(&g);
+        let mut session = backend.session(&g);
+        let mut d = Dijkstra::new(g.num_nodes());
+        for s in [0u32, 40, 80] {
+            d.run(&g, s);
+            let mut expect: Vec<(NodeId, Dist)> = set
+                .nodes()
+                .iter()
+                .filter_map(|&p| d.distance(p).map(|x| (p, x)))
+                .collect();
+            expect.sort_unstable_by_key(|&(p, x)| (x, p));
+            expect.truncate(3);
+            let mut got = Vec::new();
+            session.knn(
+                s,
+                3,
+                PoiRef {
+                    name: "poi",
+                    nodes: set.nodes(),
+                },
+                &mut got,
+            );
+            assert_eq!(got, expect, "s={s}");
+            // An unregistered name falls back to brute force over the
+            // provided vertex list — same answers.
+            session.knn(
+                s,
+                3,
+                PoiRef {
+                    name: "unregistered",
+                    nodes: set.nodes(),
+                },
+                &mut got,
+            );
+            assert_eq!(got, expect, "fallback s={s}");
+        }
+    }
+
+    #[test]
+    fn session_range_exact() {
+        let g = grid_graph(8, 8);
+        let (backend, _) = backend_with_pois(&g);
+        let mut session = backend.session(&g);
+        let mut d = Dijkstra::new(g.num_nodes());
+        d.run(&g, 0);
+        let mut out = Vec::new();
+        assert!(session.range(0, 6, &mut out));
+        let expect: Vec<(NodeId, Dist)> = (0..64)
+            .filter_map(|v| d.distance(v).filter(|&x| x <= 6).map(|x| (v, x)))
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn deadline_interrupts_every_shape() {
+        let g = grid_graph(10, 10);
+        let (backend, set) = backend_with_pois(&g);
+        let mut session = backend.session(&g);
+        session.set_budget(QueryBudget::unlimited().with_node_cap(1));
+        let targets: Vec<NodeId> = (0..100).collect();
+        let mut row = Vec::new();
+        session.one_to_many(0, &targets, &mut row);
+        assert!(session.interrupted(), "o2m must trip");
+
+        session.set_budget(QueryBudget::unlimited().with_node_cap(1));
+        let mut hits = Vec::new();
+        session.knn(
+            0,
+            2,
+            PoiRef {
+                name: "poi",
+                nodes: set.nodes(),
+            },
+            &mut hits,
+        );
+        assert!(session.interrupted(), "knn must trip");
+        assert!(hits.is_empty());
+
+        session.set_budget(QueryBudget::unlimited().with_node_cap(1));
+        let mut out = Vec::new();
+        assert!(session.range(0, 100, &mut out));
+        assert!(session.interrupted(), "range must trip");
+        assert!(out.is_empty());
+
+        // Fresh budget -> everything recovers.
+        session.set_budget(QueryBudget::unlimited());
+        session.one_to_many(0, &targets, &mut row);
+        assert!(!session.interrupted());
+        assert_eq!(row[0], Some(0));
+    }
+
+    #[test]
+    fn poi_table_installs_once() {
+        let table = PoiTable::empty();
+        assert!(table.entries().is_empty());
+        assert!(table.get("x").is_none());
+        table.install(Vec::new()).unwrap();
+        assert!(table.install(Vec::new()).is_err());
+    }
+}

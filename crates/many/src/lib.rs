@@ -1,0 +1,43 @@
+//! Batched query shapes over the flat CH search graph — the repo's
+//! ninth subsystem, extending point-to-point serving with the three
+//! shapes real road-network traffic is dominated by:
+//!
+//! * [`OneToMany`] — a PHAST-style one-to-many kernel: one upward
+//!   Dijkstra from the source, then a single rank-descending linear
+//!   sweep of the search graph that finalises every vertex's distance.
+//!   Answers `dist(s, ·)` for arbitrary target sets orders of magnitude
+//!   faster than repeated point queries once the set is non-trivial.
+//! * [`PoiIndex`] — bucket-CH k-nearest-neighbour over a registered
+//!   [`PoiSet`]: per-vertex buckets precomputed from each POI's upward
+//!   search space make a kNN query one upward search plus bucket
+//!   merges.
+//! * Network range ("all vertices within `d` of `s`") — an
+//!   early-terminated variant of the sweep ([`OneToMany::range`]).
+//!
+//! [`ManyBackend`] packages all of it behind the serving `Backend` /
+//! `Session` traits so the TCP server, loadgen, and bench harness drive
+//! the new shapes through the same budget/deadline/epoch machinery as
+//! the original ops.
+//!
+//! # Example
+//!
+//! ```
+//! use spq_ch::ContractionHierarchy;
+//! use spq_graph::toy::figure1;
+//! use spq_many::OneToMany;
+//!
+//! let g = figure1();
+//! let ch = ContractionHierarchy::build(&g);
+//! let mut o2m = OneToMany::new(&ch);
+//! assert!(o2m.run(2)); // one sweep answers every target
+//! assert_eq!(o2m.distance(6), Some(6)); // dist(v3, v7), paper §3.2
+//! assert_eq!(o2m.distance(2), Some(0));
+//! ```
+
+pub mod backend;
+pub mod phast;
+pub mod poi;
+
+pub use backend::{ManyBackend, ManySession, PoiEntry, PoiTable, O2M_SWEEP_CUTOFF};
+pub use phast::OneToMany;
+pub use poi::{KnnWorkspace, PoiIndex, PoiSet, MAX_POI_NAME};

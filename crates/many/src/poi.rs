@@ -1,0 +1,557 @@
+//! POI sets and the bucket-CH kNN index built over them.
+//!
+//! A **POI set** is a named, immutable list of vertices (restaurants,
+//! chargers, depots) registered with the server ahead of queries. The
+//! kNN engine is the classic bucket technique run *offline*: one upward
+//! search per POI deposits `(poi, distance)` entries at every vertex of
+//! its search space, stored as one flat CSR over ranks. A query is then
+//! a single upward search from the source plus a merge of the buckets
+//! it settles — `dist(s, p) = min over settled r of d↑(s, r) + d↑(p, r)`,
+//! exact because every shortest path in a CH is up-down and the network
+//! is undirected (the backward cone from a POI *is* its upward cone).
+//!
+//! Persistence stores only the set itself (`SPQP` container): buckets
+//! depend on the serving hierarchy, so they are rebuilt at registration
+//! time against whatever CH the epoch publishes — this is what makes a
+//! registered set survive a hot index swap unchanged.
+
+use std::io::{self, Read, Write};
+
+use spq_ch::{ContractionHierarchy, SearchGraph};
+use spq_graph::backend::QueryBudget;
+use spq_graph::binio::{self, IndexLoadError};
+use spq_graph::heap::IndexedHeap;
+use spq_graph::types::{Dist, NodeId, INFINITY};
+use spq_graph::{par, RoadNetwork};
+
+const MAGIC: &[u8; 4] = b"SPQP";
+const VERSION: u32 = 1;
+
+/// Longest accepted set name. Names appear in reload-spec lines and
+/// STATS output, so they are kept short and shell-safe.
+pub const MAX_POI_NAME: usize = 64;
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_POI_NAME
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+}
+
+/// A named, validated set of POI vertices for one network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoiSet {
+    name: String,
+    /// Vertex count of the network the set was sampled from — a load
+    /// against a different network is rejected instead of answering
+    /// nonsense.
+    net_nodes: u64,
+    /// Sorted, deduplicated vertex ids.
+    nodes: Vec<NodeId>,
+}
+
+impl PoiSet {
+    /// Builds a set from raw vertices, sorting and deduplicating them.
+    pub fn new(name: &str, net_nodes: usize, mut nodes: Vec<NodeId>) -> Result<PoiSet, String> {
+        if !valid_name(name) {
+            return Err(format!(
+                "invalid POI set name {name:?}: 1..={MAX_POI_NAME} chars of [A-Za-z0-9_.-]"
+            ));
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        if nodes.is_empty() {
+            return Err(format!("POI set {name:?} is empty"));
+        }
+        if let Some(&v) = nodes.last() {
+            if v as u64 >= net_nodes as u64 {
+                return Err(format!(
+                    "POI set {name:?} names vertex {v} but the network has {net_nodes} vertices"
+                ));
+            }
+        }
+        Ok(PoiSet {
+            name: name.to_string(),
+            net_nodes: net_nodes as u64,
+            nodes,
+        })
+    }
+
+    /// Deterministically samples `count` distinct vertices of `net`.
+    pub fn sample(
+        net: &RoadNetwork,
+        name: &str,
+        count: usize,
+        seed: u64,
+    ) -> Result<PoiSet, String> {
+        let n = net.num_nodes();
+        if count == 0 || count > n {
+            return Err(format!(
+                "cannot sample {count} POIs from a {n}-vertex network"
+            ));
+        }
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut nodes = Vec::with_capacity(count);
+        while nodes.len() < count {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = ((state >> 33) % n as u64) as NodeId;
+            if !nodes.contains(&v) {
+                nodes.push(v);
+            }
+        }
+        PoiSet::new(name, n, nodes)
+    }
+
+    /// The set's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The POI vertices, sorted ascending.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of POIs in the set.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the set is empty (never true for a validated set).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Rejects the set if it was sampled from a different network than
+    /// the one about to serve it.
+    pub fn validate_for(&self, net_nodes: usize) -> Result<(), String> {
+        if self.net_nodes != net_nodes as u64 {
+            return Err(format!(
+                "POI set {:?} was built for a {}-vertex network, not {net_nodes}",
+                self.name, self.net_nodes
+            ));
+        }
+        Ok(())
+    }
+
+    /// Serialises the set inside a checksummed `SPQP` container.
+    pub fn write_binary(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut body = Vec::new();
+        binio::write_u8s(&mut body, self.name.as_bytes())?;
+        binio::write_u64(&mut body, self.net_nodes)?;
+        binio::write_u32s(&mut body, &self.nodes)?;
+        binio::write_checksummed(w, MAGIC, VERSION, &body)
+    }
+
+    /// Deserialises a set written by [`PoiSet::write_binary`], verifying
+    /// the checksum and re-validating every structural invariant.
+    pub fn read_binary(r: &mut impl Read) -> Result<PoiSet, IndexLoadError> {
+        let (_, body) = binio::read_checksummed_versioned(r, MAGIC, VERSION, VERSION)?;
+        let r = &mut &body[..];
+        let name_bytes = binio::read_u8s(r)?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| IndexLoadError::Corrupt("POI set name is not UTF-8".into()))?;
+        let net_nodes = binio::read_u64(r)?;
+        let nodes = binio::read_u32s(r)?;
+        if usize::try_from(net_nodes).is_err() {
+            return Err(IndexLoadError::Corrupt(
+                "network size overflows usize".into(),
+            ));
+        }
+        let set = PoiSet::new(&name, net_nodes as usize, nodes).map_err(IndexLoadError::Corrupt)?;
+        Ok(set)
+    }
+}
+
+/// The precomputed bucket index for one POI set over one hierarchy.
+///
+/// `bucket_first` is a CSR over ranks: the entries for rank `r` are
+/// `bucket_poi/bucket_dist[bucket_first[r]..bucket_first[r + 1]]`, where
+/// `bucket_poi[i]` indexes into the set's vertex list and
+/// `bucket_dist[i]` is the upward distance from that POI to `r`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoiIndex {
+    nodes: Vec<NodeId>,
+    bucket_first: Vec<u32>,
+    bucket_poi: Vec<u32>,
+    bucket_dist: Vec<Dist>,
+}
+
+/// The upward-search scratch of the bucket build (same shape as the
+/// many-to-many preprocessing workspace).
+struct Upward {
+    dist: Vec<Dist>,
+    stamp: Vec<u32>,
+    version: u32,
+    heap: IndexedHeap,
+    settled: Vec<(u32, Dist)>,
+}
+
+impl Upward {
+    fn new(n: usize) -> Self {
+        Upward {
+            dist: vec![INFINITY; n],
+            stamp: vec![0; n],
+            version: 0,
+            heap: IndexedHeap::new(n),
+            settled: Vec::new(),
+        }
+    }
+
+    fn run(&mut self, sg: &SearchGraph, root: u32) {
+        self.version = self.version.wrapping_add(1);
+        if self.version == 0 {
+            self.stamp.fill(0);
+            self.version = 1;
+        }
+        let version = self.version;
+        self.heap.clear();
+        self.settled.clear();
+        self.dist[root as usize] = 0;
+        self.stamp[root as usize] = version;
+        self.heap.push_or_decrease(root, 0);
+        while let Some((d, u)) = self.heap.pop_min() {
+            self.settled.push((u, d));
+            for e in sg.up(u) {
+                let nd = d + e.weight as Dist;
+                let hi = e.target as usize;
+                if self.stamp[hi] != version || nd < self.dist[hi] {
+                    self.dist[hi] = nd;
+                    self.stamp[hi] = version;
+                    self.heap.push_or_decrease(e.target, nd);
+                }
+            }
+        }
+    }
+}
+
+impl PoiIndex {
+    /// Builds the bucket index for `set` over `ch`. The upward searches
+    /// fan out across the preprocessing worker pool; the deposit order
+    /// is fixed by POI index, so the result is byte-identical at any
+    /// thread count.
+    pub fn build(ch: &ContractionHierarchy, set: &PoiSet) -> Result<PoiIndex, String> {
+        let sg = ch.search_graph();
+        let n = sg.num_nodes();
+        set.validate_for(n)?;
+        let settled: Vec<Vec<(u32, Dist)>> = par::par_map(
+            set.nodes(),
+            || Upward::new(n),
+            |ws, &p| {
+                ws.run(sg, sg.rank_of(p));
+                ws.settled.clone()
+            },
+        );
+        let mut counts = vec![0u32; n + 1];
+        for per_poi in &settled {
+            for &(r, _) in per_poi {
+                counts[r as usize + 1] += 1;
+            }
+        }
+        let mut bucket_first = counts;
+        for i in 1..bucket_first.len() {
+            bucket_first[i] += bucket_first[i - 1];
+        }
+        let total = *bucket_first.last().unwrap() as usize;
+        let mut cursor: Vec<u32> = bucket_first[..n].to_vec();
+        let mut bucket_poi = vec![0u32; total];
+        let mut bucket_dist = vec![0 as Dist; total];
+        for (j, per_poi) in settled.iter().enumerate() {
+            for &(r, d) in per_poi {
+                let at = cursor[r as usize] as usize;
+                bucket_poi[at] = j as u32;
+                bucket_dist[at] = d;
+                cursor[r as usize] += 1;
+            }
+        }
+        Ok(PoiIndex {
+            nodes: set.nodes().to_vec(),
+            bucket_first,
+            bucket_poi,
+            bucket_dist,
+        })
+    }
+
+    /// The POI vertices the index answers for.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Total bucket entries (index-size accounting).
+    pub fn num_bucket_entries(&self) -> usize {
+        self.bucket_poi.len()
+    }
+
+    /// k nearest POIs from `s`: up to `k` `(poi_vertex, distance)` pairs
+    /// ascending by `(distance, vertex id)`. Returns `false` (with `out`
+    /// cleared) if the budget tripped mid-query.
+    pub fn knn(
+        &self,
+        sg: &SearchGraph,
+        ws: &mut KnnWorkspace,
+        s: NodeId,
+        k: usize,
+        out: &mut Vec<(NodeId, Dist)>,
+    ) -> bool {
+        out.clear();
+        if k == 0 {
+            return true;
+        }
+        ws.ensure(sg.num_nodes(), self.nodes.len());
+        ws.budget.reset();
+        ws.version = ws.version.wrapping_add(1);
+        if ws.version == 0 {
+            ws.stamp.fill(0);
+            ws.best_stamp.fill(0);
+            ws.version = 1;
+        }
+        let version = ws.version;
+        ws.heap.clear();
+        ws.touched.clear();
+        let root = sg.rank_of(s);
+        ws.dist[root as usize] = 0;
+        ws.stamp[root as usize] = version;
+        ws.heap.push_or_decrease(root, 0);
+        while let Some((d, u)) = ws.heap.pop_min() {
+            if !ws.budget.charge() {
+                return false;
+            }
+            // Merge this vertex's bucket: each entry closes an up-down
+            // path s ↑ u ↓ poi.
+            let lo = self.bucket_first[u as usize] as usize;
+            let hi = self.bucket_first[u as usize + 1] as usize;
+            for i in lo..hi {
+                let j = self.bucket_poi[i] as usize;
+                let total = d + self.bucket_dist[i];
+                if ws.best_stamp[j] != version {
+                    ws.best_stamp[j] = version;
+                    ws.best[j] = total;
+                    ws.touched.push(j as u32);
+                } else if total < ws.best[j] {
+                    ws.best[j] = total;
+                }
+            }
+            for e in sg.up(u) {
+                let nd = d + e.weight as Dist;
+                let ti = e.target as usize;
+                if ws.stamp[ti] != version || nd < ws.dist[ti] {
+                    ws.dist[ti] = nd;
+                    ws.stamp[ti] = version;
+                    ws.heap.push_or_decrease(e.target, nd);
+                }
+            }
+        }
+        out.extend(
+            ws.touched
+                .iter()
+                .map(|&j| (self.nodes[j as usize], ws.best[j as usize])),
+        );
+        out.sort_unstable_by_key(|&(p, d)| (d, p));
+        out.truncate(k);
+        true
+    }
+}
+
+/// Reusable per-thread scratch for bucket kNN queries: the upward
+/// search state plus a best-distance slot per POI. Lazily sized, so a
+/// worker that never serves kNN never allocates it.
+#[derive(Debug)]
+pub struct KnnWorkspace {
+    dist: Vec<Dist>,
+    stamp: Vec<u32>,
+    version: u32,
+    heap: IndexedHeap,
+    best: Vec<Dist>,
+    best_stamp: Vec<u32>,
+    touched: Vec<u32>,
+    budget: QueryBudget,
+}
+
+impl Default for KnnWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KnnWorkspace {
+    /// Creates an empty workspace; arrays appear on first use.
+    pub fn new() -> Self {
+        KnnWorkspace {
+            dist: Vec::new(),
+            stamp: Vec::new(),
+            version: 0,
+            heap: IndexedHeap::new(0),
+            best: Vec::new(),
+            best_stamp: Vec::new(),
+            touched: Vec::new(),
+            budget: QueryBudget::unlimited(),
+        }
+    }
+
+    fn ensure(&mut self, n: usize, m: usize) {
+        if self.dist.len() < n {
+            self.dist = vec![INFINITY; n];
+            self.stamp = vec![0; n];
+            self.heap = IndexedHeap::new(n);
+            self.version = 0;
+        }
+        if self.best.len() < m {
+            self.best = vec![INFINITY; m];
+            self.best_stamp = vec![0; m];
+        }
+    }
+
+    /// Installs the cancellation budget subsequent queries run under.
+    pub fn set_budget(&mut self, budget: QueryBudget) {
+        self.budget = budget;
+    }
+
+    /// Whether the most recent query was cut short by its budget.
+    pub fn interrupted(&self) -> bool {
+        self.budget.exhausted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_dijkstra::Dijkstra;
+    use spq_graph::toy::{figure1, grid_graph};
+
+    fn brute_knn(
+        g: &RoadNetwork,
+        d: &mut Dijkstra,
+        s: NodeId,
+        k: usize,
+        pois: &[NodeId],
+    ) -> Vec<(NodeId, Dist)> {
+        d.run(g, s);
+        let mut all: Vec<(NodeId, Dist)> = pois
+            .iter()
+            .filter_map(|&p| d.distance(p).map(|x| (p, x)))
+            .collect();
+        all.sort_unstable_by_key(|&(p, x)| (x, p));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let g = grid_graph(9, 9);
+        let ch = ContractionHierarchy::build(&g);
+        let set = PoiSet::new("poi", g.num_nodes(), vec![0, 8, 40, 72, 80, 13]).unwrap();
+        let idx = PoiIndex::build(&ch, &set).unwrap();
+        let mut ws = KnnWorkspace::new();
+        let mut d = Dijkstra::new(g.num_nodes());
+        for s in 0..g.num_nodes() as NodeId {
+            for k in [1usize, 3, 6, 10] {
+                let mut got = Vec::new();
+                assert!(idx.knn(ch.search_graph(), &mut ws, s, k, &mut got));
+                assert_eq!(got, brute_knn(&g, &mut d, s, k, set.nodes()), "s={s} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_workspace_survives_different_sets() {
+        let g = grid_graph(6, 6);
+        let ch = ContractionHierarchy::build(&g);
+        let small = PoiSet::new("small", 36, vec![0, 35]).unwrap();
+        let big = PoiSet::new("big", 36, (0..36).step_by(3).collect()).unwrap();
+        let small_idx = PoiIndex::build(&ch, &small).unwrap();
+        let big_idx = PoiIndex::build(&ch, &big).unwrap();
+        let mut ws = KnnWorkspace::new();
+        let mut d = Dijkstra::new(36);
+        for s in [0u32, 17, 35] {
+            let mut got = Vec::new();
+            assert!(small_idx.knn(ch.search_graph(), &mut ws, s, 2, &mut got));
+            assert_eq!(got, brute_knn(&g, &mut d, s, 2, small.nodes()));
+            assert!(big_idx.knn(ch.search_graph(), &mut ws, s, 5, &mut got));
+            assert_eq!(got, brute_knn(&g, &mut d, s, 5, big.nodes()));
+        }
+    }
+
+    #[test]
+    fn knn_budget_interrupts() {
+        let g = grid_graph(8, 8);
+        let ch = ContractionHierarchy::build(&g);
+        let set = PoiSet::new("p", 64, vec![0, 63]).unwrap();
+        let idx = PoiIndex::build(&ch, &set).unwrap();
+        let mut ws = KnnWorkspace::new();
+        ws.set_budget(QueryBudget::unlimited().with_node_cap(1));
+        let mut out = vec![(1u32, 1u64)];
+        assert!(!idx.knn(ch.search_graph(), &mut ws, 30, 2, &mut out));
+        assert!(ws.interrupted());
+        assert!(out.is_empty(), "interrupted query must not leak results");
+    }
+
+    #[test]
+    fn build_is_deterministic_across_threads() {
+        let g = grid_graph(7, 7);
+        let ch = ContractionHierarchy::build(&g);
+        let set = PoiSet::new("p", 49, (0..49).step_by(4).collect()).unwrap();
+        let one = par::with_threads(1, || PoiIndex::build(&ch, &set).unwrap());
+        let four = par::with_threads(4, || PoiIndex::build(&ch, &set).unwrap());
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn set_validation_rejects_bad_inputs() {
+        assert!(PoiSet::new("", 10, vec![0]).is_err());
+        assert!(PoiSet::new("has space", 10, vec![0]).is_err());
+        assert!(PoiSet::new("x", 10, vec![]).is_err());
+        assert!(PoiSet::new("x", 10, vec![10]).is_err(), "id out of range");
+        let set = PoiSet::new("x", 10, vec![3, 1, 3, 2]).unwrap();
+        assert_eq!(set.nodes(), &[1, 2, 3], "sorted and deduplicated");
+        assert!(set.validate_for(10).is_ok());
+        assert!(set.validate_for(11).is_err());
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_distinct() {
+        let g = figure1();
+        let a = PoiSet::sample(&g, "s", 5, 42).unwrap();
+        let b = PoiSet::sample(&g, "s", 5, 42).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert!(PoiSet::sample(&g, "s", 9, 42).is_err(), "more than n");
+        let c = PoiSet::sample(&g, "s", 5, 43).unwrap();
+        assert_ne!(a.nodes(), c.nodes(), "different seed, different sample");
+    }
+
+    #[test]
+    fn container_roundtrip_and_rejection() {
+        let g = grid_graph(5, 5);
+        let set = PoiSet::sample(&g, "chargers", 7, 9).unwrap();
+        let mut buf = Vec::new();
+        set.write_binary(&mut buf).unwrap();
+        let back = PoiSet::read_binary(&mut &buf[..]).unwrap();
+        assert_eq!(back, set);
+        let mut buf2 = Vec::new();
+        back.write_binary(&mut buf2).unwrap();
+        assert_eq!(buf2, buf, "write → read → write is byte-stable");
+
+        let mut bad_magic = buf.clone();
+        bad_magic[1] ^= 0xff;
+        assert!(matches!(
+            PoiSet::read_binary(&mut &bad_magic[..]),
+            Err(IndexLoadError::BadMagic { .. })
+        ));
+        let mut flipped = buf.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x08;
+        assert!(matches!(
+            PoiSet::read_binary(&mut &flipped[..]),
+            Err(IndexLoadError::ChecksumMismatch { .. })
+        ));
+        let mut truncated = buf.clone();
+        truncated.truncate(truncated.len() - 5);
+        assert!(matches!(
+            PoiSet::read_binary(&mut &truncated[..]),
+            Err(IndexLoadError::Truncated { .. })
+        ));
+    }
+}

@@ -41,6 +41,10 @@ OPTIONS:
                            the reported QPS (default 250)
     --per-set <n>          query pairs drawn per Q-set (default 200)
     --deadline-ms <n>      per-request deadline in milliseconds (default 0: none)
+    --mix <weights>        op:weight list drawn round-robin by each client,
+                           e.g. 'distance:8,o2m:2,knn:1,range:1'
+                           (default 'distance:1'; a knn weight samples and
+                           registers a POI set automatically)
     --retries <n>          client retries for BUSY/connection loss (default 3)
     --reload-every <secs>  issue a RELOAD on this cadence during every timed
                            run (chaos-lite: the sweep fails unless at least
@@ -116,6 +120,9 @@ fn options(args: &[String]) -> Result<LoadgenOptions, String> {
     }
     if let Some(s) = opt(args, "--deadline-ms") {
         opts.deadline_ms = parse(&s, "--deadline-ms")?;
+    }
+    if let Some(s) = opt(args, "--mix") {
+        opts.mix = spq_serve::loadgen::OpMix::parse(&s)?;
     }
     if let Some(s) = opt(args, "--retries") {
         opts.retry.max_retries = parse(&s, "--retries")?;

@@ -216,6 +216,84 @@ impl ServeClient {
         Ok(out)
     }
 
+    /// One-to-many distances from `s`, in target order.
+    pub fn one_to_many(
+        &mut self,
+        backend: BackendKind,
+        s: NodeId,
+        targets: &[NodeId],
+    ) -> Result<Vec<Option<Dist>>, ClientError> {
+        let deadline_ms = self.deadline_ms;
+        let body = self.roundtrip(&Request::OneToMany {
+            backend: backend.wire_id(),
+            s,
+            targets: targets.to_vec(),
+            deadline_ms,
+        })?;
+        let mut c = Cursor::new(body);
+        let mut out = Vec::with_capacity(targets.len());
+        for _ in 0..targets.len() {
+            let d = c.u64().map_err(ClientError::Protocol)?;
+            out.push(if d == UNREACHABLE { None } else { Some(d) });
+        }
+        Ok(out)
+    }
+
+    /// The `k` nearest members of the registered POI set `poi`, sorted
+    /// by `(distance, vertex)`.
+    pub fn knn(
+        &mut self,
+        backend: BackendKind,
+        s: NodeId,
+        k: u32,
+        poi: &str,
+    ) -> Result<Vec<(NodeId, Dist)>, ClientError> {
+        let deadline_ms = self.deadline_ms;
+        let body = self.roundtrip(&Request::Knn {
+            backend: backend.wire_id(),
+            s,
+            k,
+            poi: poi.to_string(),
+            deadline_ms,
+        })?;
+        Self::parse_nodes_dists(body)
+    }
+
+    /// Every vertex within `limit` of `s`, ascending by vertex id.
+    pub fn range(
+        &mut self,
+        backend: BackendKind,
+        s: NodeId,
+        limit: Dist,
+    ) -> Result<Vec<(NodeId, Dist)>, ClientError> {
+        let deadline_ms = self.deadline_ms;
+        let body = self.roundtrip(&Request::Range {
+            backend: backend.wire_id(),
+            s,
+            limit,
+            deadline_ms,
+        })?;
+        Self::parse_nodes_dists(body)
+    }
+
+    fn parse_nodes_dists(body: &[u8]) -> Result<Vec<(NodeId, Dist)>, ClientError> {
+        let mut c = Cursor::new(body);
+        let count = c.u32().map_err(ClientError::Protocol)? as usize;
+        if c.remaining() < count.saturating_mul(12) {
+            return Err(ClientError::Protocol(format!(
+                "body claims {count} entries but only {} bytes follow",
+                c.remaining()
+            )));
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let v = c.u32().map_err(ClientError::Protocol)?;
+            let d = c.u64().map_err(ClientError::Protocol)?;
+            out.push((v, d));
+        }
+        Ok(out)
+    }
+
     /// Fetches the server's observability snapshot.
     pub fn stats(&mut self) -> Result<String, ClientError> {
         let body = self.roundtrip(&Request::Stats)?;
@@ -372,6 +450,37 @@ impl RetryingClient {
         t: NodeId,
     ) -> Result<Option<(Dist, Vec<NodeId>)>, ClientError> {
         self.with_retries(|c| c.shortest_path(backend, s, t))
+    }
+
+    /// One-to-many query with retry.
+    pub fn one_to_many(
+        &mut self,
+        backend: BackendKind,
+        s: NodeId,
+        targets: &[NodeId],
+    ) -> Result<Vec<Option<Dist>>, ClientError> {
+        self.with_retries(|c| c.one_to_many(backend, s, targets))
+    }
+
+    /// kNN query with retry.
+    pub fn knn(
+        &mut self,
+        backend: BackendKind,
+        s: NodeId,
+        k: u32,
+        poi: &str,
+    ) -> Result<Vec<(NodeId, Dist)>, ClientError> {
+        self.with_retries(|c| c.knn(backend, s, k, poi))
+    }
+
+    /// Range query with retry.
+    pub fn range(
+        &mut self,
+        backend: BackendKind,
+        s: NodeId,
+        limit: Dist,
+    ) -> Result<Vec<(NodeId, Dist)>, ClientError> {
+        self.with_retries(|c| c.range(backend, s, limit))
     }
 
     /// Liveness probe with retry.

@@ -275,6 +275,7 @@ impl fmt::Debug for EpochRegistry {
 /// net=data/usa          # base path: reads usa.gr + usa.co (optional)
 /// backends=ch,alt       # serving set (optional; default: keep current kinds)
 /// index=ch=idx/usa.ch   # load a persisted index for one slot (repeatable)
+/// poi=fuel=idx/fuel.poi # register a persisted POI set (repeatable)
 /// ```
 ///
 /// Without `net=` the replacement engine reuses the currently served
@@ -282,6 +283,12 @@ impl fmt::Debug for EpochRegistry {
 /// no degradation chain: an operator hot-swapping a broken index wants
 /// the reload to fail loudly and leave the old epoch serving, not to
 /// silently come up degraded.
+///
+/// Without `poi=` lines the currently registered POI sets carry over:
+/// the new epoch re-indexes the same sets against its own hierarchy, so
+/// a CH swap never silently drops kNN serving. `poi=` lines replace the
+/// whole registered set, and each loaded container's embedded name must
+/// match the name in its line.
 #[derive(Debug, Clone, Default)]
 pub struct ReloadSpec {
     /// DIMACS base path (`<base>.gr` + `<base>.co`), if the network
@@ -291,6 +298,9 @@ pub struct ReloadSpec {
     pub backends: Vec<BackendKind>,
     /// Persisted indexes to load for specific slots.
     pub indexes: Vec<BackendSpec>,
+    /// POI sets to register, as `(name, container path)` (empty: keep
+    /// the currently registered sets).
+    pub pois: Vec<(String, PathBuf)>,
 }
 
 impl ReloadSpec {
@@ -315,6 +325,19 @@ impl ReloadSpec {
                     let parsed = BackendSpec::parse(value.trim())
                         .map_err(|e| format!("reload file line {}: {e}", lineno + 1))?;
                     spec.indexes.push(parsed);
+                }
+                "poi" => {
+                    let (name, path) = value.trim().split_once('=').ok_or_else(|| {
+                        format!("reload file line {}: poi wants name=path", lineno + 1)
+                    })?;
+                    if name.trim().is_empty() || path.trim().is_empty() {
+                        return Err(format!(
+                            "reload file line {}: poi wants name=path",
+                            lineno + 1
+                        ));
+                    }
+                    spec.pois
+                        .push((name.trim().to_string(), PathBuf::from(path.trim())));
                 }
                 other => {
                     return Err(format!(
@@ -357,7 +380,32 @@ impl ReloadSpec {
                 None => specs.push(idx.clone()),
             }
         }
-        Engine::build_with_indexes(net, &specs, false).map(Arc::new)
+        let engine = Engine::build_with_indexes(net, &specs, false)?;
+        // POI sets persist across swaps: `poi=` lines replace the set,
+        // otherwise the current registrations carry over and are
+        // re-indexed against the new epoch's hierarchy.
+        let sets: Vec<spq_many::PoiSet> = if self.pois.is_empty() {
+            current.poi_sets().iter().map(|e| e.set.clone()).collect()
+        } else {
+            let mut sets = Vec::with_capacity(self.pois.len());
+            for (name, path) in &self.pois {
+                let shown = path.display();
+                let f =
+                    std::fs::File::open(path).map_err(|e| format!("cannot open {shown}: {e}"))?;
+                let set = spq_many::PoiSet::read_binary(&mut std::io::BufReader::new(f))
+                    .map_err(|e| format!("cannot load POI set {shown}: {e}"))?;
+                if set.name() != name {
+                    return Err(format!(
+                        "POI container {shown} is named '{}', the reload file says '{name}'",
+                        set.name()
+                    ));
+                }
+                sets.push(set);
+            }
+            sets
+        };
+        engine.register_pois(sets)?;
+        Ok(Arc::new(engine))
     }
 }
 

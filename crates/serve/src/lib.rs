@@ -51,6 +51,7 @@ pub mod sync;
 use std::fs::File;
 use std::io::BufReader;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use spq_alt::{Alt, AltParams};
@@ -61,6 +62,7 @@ use spq_graph::backend::Backend;
 use spq_graph::sample::PairSampler;
 use spq_graph::RoadNetwork;
 use spq_hl::Hl;
+use spq_many::{ManyBackend, PoiEntry, PoiIndex, PoiSet, PoiTable};
 use spq_pcpd::Pcpd;
 use spq_silc::Silc;
 use spq_tnr::{Tnr, TnrParams};
@@ -70,7 +72,7 @@ pub use cache::{CacheStats, DistanceCache};
 pub use client::{ClientError, RetryPolicy, RetryingClient, ServeClient};
 pub use epoch::{EpochRegistry, EpochState, ReloadFactory, ReloadSpec};
 pub use fault::{FaultAction, FaultInjector, FaultPlan};
-pub use loadgen::{LoadgenOptions, LoadgenReport, ThroughputRow};
+pub use loadgen::{LoadgenOptions, LoadgenReport, OpMix, ThroughputRow};
 pub use server::{Server, ServerConfig};
 pub use stats::ServerStats;
 
@@ -256,6 +258,12 @@ pub struct Engine {
     net: RoadNetwork,
     backends: Vec<EngineBackend>,
     degradations: Vec<Degradation>,
+    /// The hierarchy behind the CH serving slot, kept so POI sets can
+    /// be indexed against exactly the structure that serves queries.
+    ch: Option<Arc<ContractionHierarchy>>,
+    /// Registered POI sets and their bucket-CH indexes (installed once
+    /// per engine via [`Engine::register_pois`]; empty until then).
+    pois: Arc<PoiTable>,
 }
 
 impl Engine {
@@ -266,11 +274,12 @@ impl Engine {
         Engine::build_with_indexes(net, &specs, true).expect("in-memory builds cannot fail")
     }
 
-    /// Builds one backend in memory.
+    /// Builds one backend in memory. CH is handled by the caller (its
+    /// hierarchy is shared with the POI machinery).
     fn build_one(net: &RoadNetwork, kind: BackendKind) -> Box<dyn Backend> {
         match kind {
             BackendKind::Dijkstra => Box::new(Baseline),
-            BackendKind::Ch => Box::new(ContractionHierarchy::build(net)),
+            BackendKind::Ch => unreachable!("CH slots are built by build_with_indexes"),
             BackendKind::Tnr => Box::new(Tnr::build(net, &TnrParams::default())),
             BackendKind::Silc => Box::new(Silc::build(net)),
             BackendKind::Pcpd => Box::new(Pcpd::build(net)),
@@ -343,6 +352,23 @@ impl Engine {
         }
     }
 
+    /// Loads a persisted CH, keeping the hierarchy shareable with the
+    /// POI machinery.
+    fn load_ch(path: &Path, net: &RoadNetwork) -> Result<Arc<ContractionHierarchy>, String> {
+        let shown = path.display();
+        let f = File::open(path).map_err(|e| format!("{shown}: {e}"))?;
+        let mut r = BufReader::new(f);
+        let ch = ContractionHierarchy::read_binary(&mut r).map_err(|e| format!("{shown}: {e}"))?;
+        if ch.num_nodes() != net.num_nodes() {
+            return Err(format!(
+                "{shown}: index covers {} vertices but the network has {}",
+                ch.num_nodes(),
+                net.num_nodes()
+            ));
+        }
+        Ok(Arc::new(ch))
+    }
+
     /// Builds or loads the requested serving slots, degrading failed
     /// index loads down the chain (anything → CH → Dijkstra) when
     /// `degrade` is true. With `degrade` false the first load failure is
@@ -362,25 +388,51 @@ impl Engine {
             net,
             backends: Vec::new(),
             degradations: Vec::new(),
+            ch: None,
+            pois: PoiTable::empty(),
         };
         let mut failed: Vec<(BackendKind, String)> = Vec::new();
         for spec in specs {
             let start = Instant::now();
-            let backend: Box<dyn Backend> = match &spec.index {
-                None => Self::build_one(&engine.net, spec.kind),
-                Some(path) => match Self::load_backend(spec.kind, path, &engine.net) {
-                    Ok(b) => b,
+            // The CH slot is served by ManyBackend (point queries plus
+            // the one-to-many / kNN / range capabilities), which shares
+            // its hierarchy with POI registration — so it is built here
+            // rather than in `build_one`.
+            let backend: Box<dyn Backend> = if spec.kind == BackendKind::Ch {
+                let loaded = match &spec.index {
+                    None => Ok(Arc::new(ContractionHierarchy::build(&engine.net))),
+                    Some(path) => Self::load_ch(path, &engine.net),
+                };
+                match loaded {
+                    Ok(ch) => {
+                        engine.ch = Some(Arc::clone(&ch));
+                        Box::new(ManyBackend::new(ch, Arc::clone(&engine.pois)))
+                    }
                     Err(reason) => {
                         if !degrade {
-                            return Err(format!(
-                                "cannot load {} index: {reason}",
-                                spec.kind.name()
-                            ));
+                            return Err(format!("cannot load ch index: {reason}"));
                         }
                         failed.push((spec.kind, reason));
                         continue;
                     }
-                },
+                }
+            } else {
+                match &spec.index {
+                    None => Self::build_one(&engine.net, spec.kind),
+                    Some(path) => match Self::load_backend(spec.kind, path, &engine.net) {
+                        Ok(b) => b,
+                        Err(reason) => {
+                            if !degrade {
+                                return Err(format!(
+                                    "cannot load {} index: {reason}",
+                                    spec.kind.name()
+                                ));
+                            }
+                            failed.push((spec.kind, reason));
+                            continue;
+                        }
+                    },
+                }
             };
             let build_time = start.elapsed();
             eprintln!(
@@ -445,6 +497,43 @@ impl Engine {
     /// Startup downgrades recorded by [`Engine::build_with_indexes`].
     pub fn degradations(&self) -> &[Degradation] {
         &self.degradations
+    }
+
+    /// Registers POI sets for kNN serving: validates each against the
+    /// network, builds its bucket-CH index against this engine's own
+    /// hierarchy, and installs the table. Callable at most once per
+    /// engine (the table is immutable once serving; a reload publishes
+    /// a new engine with freshly indexed sets).
+    pub fn register_pois(&self, sets: Vec<PoiSet>) -> Result<(), String> {
+        if sets.is_empty() {
+            return Ok(());
+        }
+        let ch = self
+            .ch
+            .as_ref()
+            .ok_or("POI registration needs a CH slot in the serving set")?;
+        let mut entries: Vec<PoiEntry> = Vec::with_capacity(sets.len());
+        for set in sets {
+            set.validate_for(self.net.num_nodes())
+                .map_err(|e| format!("POI set '{}': {e}", set.name()))?;
+            if entries.iter().any(|e| e.set.name() == set.name()) {
+                return Err(format!("POI set '{}' registered twice", set.name()));
+            }
+            let index =
+                PoiIndex::build(ch, &set).map_err(|e| format!("POI set '{}': {e}", set.name()))?;
+            entries.push(PoiEntry { set, index });
+        }
+        self.pois.install(entries)
+    }
+
+    /// The registered POI sets (empty until [`Engine::register_pois`]).
+    pub fn poi_sets(&self) -> &[PoiEntry] {
+        self.pois.entries()
+    }
+
+    /// Looks up one registered POI set by name.
+    pub fn poi_set(&self, name: &str) -> Option<&PoiEntry> {
+        self.pois.get(name)
     }
 
     /// Adds a pre-built (possibly custom) backend; used by tests to

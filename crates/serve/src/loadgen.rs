@@ -1,6 +1,11 @@
 //! The load generator: replays the paper's Q1–Q10 query sets against a
 //! running server at configurable concurrency and reports throughput.
 //!
+//! `--mix` weights the query ops each client draws from — point
+//! distance plus the one-to-many family (`o2m:`/`knn:`/`range:`) — and
+//! the CSV reports one row per (backend, concurrency, op) so each op's
+//! QPS, latency percentiles, and oracle mismatches stay separable.
+//!
 //! Each client thread owns one retrying connection and one latency
 //! histogram; threads start at staggered offsets into the
 //! (shuffled-by-generation) pair pool so concurrent clients do not
@@ -25,11 +30,147 @@ use std::time::{Duration, Instant};
 use spq_dijkstra::Dijkstra;
 use spq_graph::types::{Dist, NodeId};
 use spq_graph::RoadNetwork;
+use spq_many::PoiSet;
 use spq_queries::{linf_query_sets, QueryGenParams};
 
 use crate::client::{RetryPolicy, RetryingClient, ServeClient};
 use crate::stats::{bucket_of, percentile_ns, BUCKETS};
 use crate::BackendKind;
+
+/// Targets per one-to-many request in the mix (drawn as a sliding
+/// window over the workload pool, so consecutive requests see
+/// different sets without per-request allocation).
+const MIX_O2M_TARGETS: usize = 64;
+
+/// Neighbours per kNN request in the mix.
+const MIX_KNN_K: u32 = 8;
+
+/// The query ops a mix can weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Distance = 0,
+    OneToMany = 1,
+    Knn = 2,
+    Range = 3,
+}
+
+/// Number of [`OpKind`] variants (per-op accumulator array length).
+const MIX_OPS: usize = 4;
+
+impl OpKind {
+    const ALL: [OpKind; MIX_OPS] = [
+        OpKind::Distance,
+        OpKind::OneToMany,
+        OpKind::Knn,
+        OpKind::Range,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            OpKind::Distance => "distance",
+            OpKind::OneToMany => "o2m",
+            OpKind::Knn => "knn",
+            OpKind::Range => "range",
+        }
+    }
+}
+
+/// Relative op weights each client thread draws from, e.g.
+/// `distance:8,o2m:2,knn:1,range:1`. Zero-weight ops are never issued
+/// and produce no CSV row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpMix {
+    /// Point-to-point distance weight.
+    pub distance: u32,
+    /// One-to-many weight ([`MIX_O2M_TARGETS`] targets per request).
+    pub o2m: u32,
+    /// kNN weight (k = [`MIX_KNN_K`], against the registered POI set).
+    pub knn: u32,
+    /// Network-range weight (limit picked from the network's distance
+    /// profile at startup).
+    pub range: u32,
+}
+
+impl Default for OpMix {
+    fn default() -> Self {
+        OpMix {
+            distance: 1,
+            o2m: 0,
+            knn: 0,
+            range: 0,
+        }
+    }
+}
+
+impl OpMix {
+    /// Parses `op:weight` pairs separated by commas. Ops left out get
+    /// weight 0; at least one weight must be positive.
+    pub fn parse(s: &str) -> Result<OpMix, String> {
+        let mut mix = OpMix {
+            distance: 0,
+            o2m: 0,
+            knn: 0,
+            range: 0,
+        };
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (name, weight) = part
+                .split_once(':')
+                .ok_or_else(|| format!("--mix wants op:weight, got '{part}'"))?;
+            let weight: u32 = weight
+                .trim()
+                .parse()
+                .map_err(|_| format!("--mix: '{weight}' is not a weight"))?;
+            match name.trim() {
+                "distance" => mix.distance = weight,
+                "o2m" => mix.o2m = weight,
+                "knn" => mix.knn = weight,
+                "range" => mix.range = weight,
+                other => {
+                    return Err(format!(
+                        "--mix: unknown op '{other}' (distance, o2m, knn, range)"
+                    ))
+                }
+            }
+        }
+        if mix.total() == 0 {
+            return Err("--mix needs at least one positive weight".into());
+        }
+        Ok(mix)
+    }
+
+    fn weight(&self, op: OpKind) -> u32 {
+        match op {
+            OpKind::Distance => self.distance,
+            OpKind::OneToMany => self.o2m,
+            OpKind::Knn => self.knn,
+            OpKind::Range => self.range,
+        }
+    }
+
+    fn total(&self) -> u32 {
+        self.distance + self.o2m + self.knn + self.range
+    }
+
+    /// The deterministic per-thread op sequence: ops interleaved round
+    /// robin by weight, so a `8:2:1:1` mix spreads the rare ops across
+    /// the window instead of bursting them.
+    fn schedule(&self) -> Vec<OpKind> {
+        let max = OpKind::ALL
+            .iter()
+            .map(|&op| self.weight(op))
+            .max()
+            .unwrap_or(0);
+        let mut sched = Vec::with_capacity(self.total() as usize);
+        for round in 0..max {
+            for &op in &OpKind::ALL {
+                if round < self.weight(op) {
+                    sched.push(op);
+                }
+            }
+        }
+        sched
+    }
+}
 
 /// Load-generator knobs.
 #[derive(Debug, Clone)]
@@ -62,6 +203,14 @@ pub struct LoadgenOptions {
     /// (in-process serving only; None: no reloads). Chaos-lite: the
     /// sweep doubles as a check that hot swaps survive real load.
     pub reload_every: Option<Duration>,
+    /// Relative op weights each client draws from (default: pure
+    /// distance queries, the pre-mix behaviour).
+    pub mix: OpMix,
+    /// POI set the kNN mix queries. [`run_in_process`] samples and
+    /// registers one automatically when the mix needs it; a caller
+    /// driving an external server must provide the set that server has
+    /// registered, both to name it on the wire and to verify answers.
+    pub poi: Option<PoiSet>,
 }
 
 impl Default for LoadgenOptions {
@@ -77,15 +226,20 @@ impl Default for LoadgenOptions {
             retry: RetryPolicy::default(),
             deadline_ms: 0,
             reload_every: None,
+            mix: OpMix::default(),
+            poi: None,
         }
     }
 }
 
-/// One line of `results/serve_throughput.csv`.
+/// One line of `results/serve_throughput.csv`: one (backend,
+/// concurrency, op) cell of the sweep.
 #[derive(Debug, Clone)]
 pub struct ThroughputRow {
     /// Backend display name.
     pub backend: String,
+    /// Query op this row measured (`distance`, `o2m`, `knn`, `range`).
+    pub op: String,
     /// Client threads in this run.
     pub concurrency: usize,
     /// Measured steady-state wall-clock seconds (the warm-up window is
@@ -103,20 +257,22 @@ pub struct ThroughputRow {
     pub verified: usize,
     /// Checked answers that disagreed (any non-zero is a failure).
     pub mismatches: usize,
-    /// Client-side retries spent (BUSY shedding + reconnects).
+    /// Client-side retries spent on this op (BUSY shedding +
+    /// reconnects, attributed to the request that triggered them).
     pub retries: u64,
 }
 
 impl ThroughputRow {
     /// CSV header matching [`ThroughputRow::to_csv`].
     pub const CSV_HEADER: &'static str =
-        "backend,concurrency,seconds,requests,qps,p50_us,p99_us,verified,mismatches,retries";
+        "backend,op,concurrency,seconds,requests,qps,p50_us,p99_us,verified,mismatches,retries";
 
     /// One CSV line.
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{:.2},{},{:.1},{:.2},{:.2},{},{},{}",
+            "{},{},{},{:.2},{},{:.1},{:.2},{:.2},{},{},{}",
             self.backend,
+            self.op,
             self.concurrency,
             self.seconds,
             self.requests,
@@ -179,21 +335,36 @@ pub fn workload_pairs(net: &RoadNetwork, per_set: usize, seed: u64) -> Vec<(Node
     pairs
 }
 
-/// Result of one client thread's timed loop. Carries whatever completed
-/// before `error` struck, so a dying run still reports its partials.
-struct ClientRun {
+/// Per-op accumulator of one client thread: completed requests, the
+/// latency histogram, and the retries its requests triggered.
+#[derive(Clone, Copy)]
+struct OpAgg {
     requests: u64,
     retries: u64,
     hist: [u64; BUCKETS],
+}
+
+impl OpAgg {
+    fn empty() -> OpAgg {
+        OpAgg {
+            requests: 0,
+            retries: 0,
+            hist: [0; BUCKETS],
+        }
+    }
+}
+
+/// Result of one client thread's timed loop. Carries whatever completed
+/// before `error` struck, so a dying run still reports its partials.
+struct ClientRun {
+    per_op: [OpAgg; MIX_OPS],
     error: Option<String>,
 }
 
 impl ClientRun {
     fn empty() -> ClientRun {
         ClientRun {
-            requests: 0,
-            retries: 0,
-            hist: [0; BUCKETS],
+            per_op: [OpAgg::empty(); MIX_OPS],
             error: None,
         }
     }
@@ -207,9 +378,23 @@ struct Window {
     duration: Duration,
 }
 
+/// Everything the client threads need to issue the non-distance ops:
+/// the target pool for one-to-many windows, the POI set name for kNN,
+/// and the precomputed range limit.
+#[derive(Clone, Copy)]
+struct MixContext<'a> {
+    mix: &'a OpMix,
+    /// Workload targets, duplicated once so any offset yields a full
+    /// [`MIX_O2M_TARGETS`]-wide slice without wrap-around.
+    tpool: &'a [NodeId],
+    poi_name: &'a str,
+    range_limit: Dist,
+}
+
 /// Drives one backend at one concurrency level. Always returns the
 /// aggregated totals; a thread failure is recorded on the run, not
 /// thrown away with the completed work.
+#[allow(clippy::too_many_arguments)]
 fn run_one(
     addr: SocketAddr,
     backend: BackendKind,
@@ -218,6 +403,7 @@ fn run_one(
     pairs: &[(NodeId, NodeId)],
     retry: &RetryPolicy,
     deadline_ms: u32,
+    ctx: MixContext<'_>,
 ) -> (f64, ClientRun) {
     let started = Instant::now();
     // Steady-state measurement: the timed window opens only after the
@@ -225,6 +411,9 @@ fn run_one(
     // count toward QPS.
     let warm_end = started + window.warmup;
     let deadline = warm_end + window.duration;
+    let sched = ctx.mix.schedule();
+    let sched = sched.as_slice();
+    let half = ctx.tpool.len() / 2;
     let runs: Vec<ClientRun> = std::thread::scope(|scope| {
         // Spawned eagerly into the Vec: a lazy iterator would serialise
         // the workers behind each other's joins.
@@ -239,28 +428,45 @@ fn run_one(
                 client.set_deadline_ms(deadline_ms);
                 let mut run = ClientRun::empty();
                 let mut i = worker * pairs.len() / concurrency.max(1);
+                let issue = |client: &mut RetryingClient, i: usize| {
+                    let (s, t) = pairs[i % pairs.len()];
+                    let op = sched[i % sched.len()];
+                    let res = match op {
+                        OpKind::Distance => client.distance(backend, s, t).map(drop),
+                        OpKind::OneToMany => {
+                            let off = i % half;
+                            client
+                                .one_to_many(backend, s, &ctx.tpool[off..off + MIX_O2M_TARGETS])
+                                .map(drop)
+                        }
+                        OpKind::Knn => client.knn(backend, s, MIX_KNN_K, ctx.poi_name).map(drop),
+                        OpKind::Range => client.range(backend, s, ctx.range_limit).map(drop),
+                    };
+                    (op, res)
+                };
                 // Warm-up: drive the same loop, count nothing.
                 while Instant::now() < warm_end {
-                    let (s, t) = pairs[i % pairs.len()];
+                    let (_, res) = issue(&mut client, i);
                     i += 1;
-                    if let Err(e) = client.distance(backend, s, t) {
+                    if let Err(e) = res {
                         run.error = Some(format!("{}: {e}", backend.name()));
                         return run;
                     }
                 }
-                let warm_retries = client.retries;
                 while Instant::now() < deadline {
-                    let (s, t) = pairs[i % pairs.len()];
-                    i += 1;
+                    let retries_before = client.retries;
                     let t0 = Instant::now();
-                    if let Err(e) = client.distance(backend, s, t) {
+                    let (op, res) = issue(&mut client, i);
+                    i += 1;
+                    if let Err(e) = res {
                         run.error = Some(format!("{}: {e}", backend.name()));
                         break;
                     }
-                    run.hist[bucket_of(t0.elapsed().as_nanos() as u64)] += 1;
-                    run.requests += 1;
+                    let agg = &mut run.per_op[op as usize];
+                    agg.hist[bucket_of(t0.elapsed().as_nanos() as u64)] += 1;
+                    agg.requests += 1;
+                    agg.retries += client.retries - retries_before;
                 }
-                run.retries = client.retries - warm_retries;
                 run
             }));
         }
@@ -278,10 +484,12 @@ fn run_one(
     let seconds = warm_end.elapsed().as_secs_f64();
     let mut total = ClientRun::empty();
     for run in runs {
-        total.requests += run.requests;
-        total.retries += run.retries;
-        for (acc, b) in total.hist.iter_mut().zip(run.hist.iter()) {
-            *acc += b;
+        for (acc, op) in total.per_op.iter_mut().zip(run.per_op.iter()) {
+            acc.requests += op.requests;
+            acc.retries += op.retries;
+            for (a, b) in acc.hist.iter_mut().zip(op.hist.iter()) {
+                *a += b;
+            }
         }
         if total.error.is_none() {
             total.error = run.error;
@@ -290,36 +498,111 @@ fn run_one(
     (seconds, total)
 }
 
-/// Checks `samples` workload answers against a locally computed
-/// Dijkstra oracle. Returns `(checked, mismatches)`.
+/// Sources per backend fed through the one-to-many-family oracle (each
+/// costs a full one-to-all Dijkstra, so fewer than the distance
+/// samples).
+const MANY_VERIFY_SOURCES: usize = 6;
+
+/// Checks workload answers against a locally computed Dijkstra oracle:
+/// `samples` point-to-point distances, plus [`MANY_VERIFY_SOURCES`]
+/// full sources for whichever of o2m/knn/range the mix enables.
+/// Returns per-op `(checked, mismatches)`, indexed by [`OpKind`].
 fn verify_backend(
     addr: SocketAddr,
     backend: BackendKind,
     net: &RoadNetwork,
     pairs: &[(NodeId, NodeId)],
     samples: usize,
-) -> Result<(usize, usize), String> {
+    ctx: MixContext<'_>,
+    poi: Option<&PoiSet>,
+) -> Result<[(usize, usize); MIX_OPS], String> {
     let mut client = ServeClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let mut oracle = Dijkstra::new(net.num_nodes());
-    let mut mismatches = 0;
+    let mut out = [(0usize, 0usize); MIX_OPS];
     let step = (pairs.len() / samples.max(1)).max(1);
-    let mut checked = 0;
-    for &(s, t) in pairs.iter().step_by(step).take(samples) {
-        let got: Option<Dist> = client
-            .distance(backend, s, t)
-            .map_err(|e| format!("{}: {e}", backend.name()))?;
-        oracle.run_to_target(net, s, t);
-        let expected = oracle.distance(t);
-        if got != expected {
-            mismatches += 1;
-            eprintln!(
-                "[loadgen] {} MISMATCH: distance({s}, {t}) = {got:?}, oracle {expected:?}",
-                backend.name()
-            );
+    if ctx.mix.distance > 0 {
+        let cell = &mut out[OpKind::Distance as usize];
+        for &(s, t) in pairs.iter().step_by(step).take(samples) {
+            let got: Option<Dist> = client
+                .distance(backend, s, t)
+                .map_err(|e| format!("{}: {e}", backend.name()))?;
+            oracle.run_to_target(net, s, t);
+            let expected = oracle.distance(t);
+            if got != expected {
+                cell.1 += 1;
+                eprintln!(
+                    "[loadgen] {} MISMATCH: distance({s}, {t}) = {got:?}, oracle {expected:?}",
+                    backend.name()
+                );
+            }
+            cell.0 += 1;
         }
-        checked += 1;
     }
-    Ok((checked, mismatches))
+    if ctx.mix.o2m == 0 && ctx.mix.knn == 0 && ctx.mix.range == 0 {
+        return Ok(out);
+    }
+    let half = ctx.tpool.len() / 2;
+    for (j, &(s, _)) in pairs
+        .iter()
+        .step_by(step)
+        .take(MANY_VERIFY_SOURCES)
+        .enumerate()
+    {
+        oracle.run(net, s);
+        if ctx.mix.o2m > 0 {
+            let cell = &mut out[OpKind::OneToMany as usize];
+            let targets = &ctx.tpool[(j * 17) % half..(j * 17) % half + MIX_O2M_TARGETS];
+            let got = client
+                .one_to_many(backend, s, targets)
+                .map_err(|e| format!("{}: {e}", backend.name()))?;
+            let expected: Vec<Option<Dist>> = targets.iter().map(|&t| oracle.distance(t)).collect();
+            if got != expected {
+                cell.1 += 1;
+                eprintln!("[loadgen] {} MISMATCH: one_to_many({s})", backend.name());
+            }
+            cell.0 += 1;
+        }
+        if ctx.mix.knn > 0 {
+            let set = poi.expect("knn mix requires a POI set");
+            let cell = &mut out[OpKind::Knn as usize];
+            let got = client
+                .knn(backend, s, MIX_KNN_K, ctx.poi_name)
+                .map_err(|e| format!("{}: {e}", backend.name()))?;
+            let mut expected: Vec<(Dist, NodeId)> = set
+                .nodes()
+                .iter()
+                .filter_map(|&p| oracle.distance(p).map(|d| (d, p)))
+                .collect();
+            expected.sort_unstable();
+            expected.truncate(MIX_KNN_K as usize);
+            let got_kv: Vec<(Dist, NodeId)> = got.iter().map(|&(v, d)| (d, v)).collect();
+            if got_kv != expected {
+                cell.1 += 1;
+                eprintln!("[loadgen] {} MISMATCH: knn({s})", backend.name());
+            }
+            cell.0 += 1;
+        }
+        if ctx.mix.range > 0 {
+            let cell = &mut out[OpKind::Range as usize];
+            let got = client
+                .range(backend, s, ctx.range_limit)
+                .map_err(|e| format!("{}: {e}", backend.name()))?;
+            let expected: Vec<(NodeId, Dist)> = (0..net.num_nodes() as NodeId)
+                .filter_map(|v| {
+                    oracle
+                        .distance(v)
+                        .filter(|&d| d <= ctx.range_limit)
+                        .map(|d| (v, d))
+                })
+                .collect();
+            if got != expected {
+                cell.1 += 1;
+                eprintln!("[loadgen] {} MISMATCH: range({s})", backend.name());
+            }
+            cell.0 += 1;
+        }
+    }
+    Ok(out)
 }
 
 /// Runs the full sweep (every backend × every concurrency level)
@@ -331,15 +614,62 @@ pub fn run(addr: SocketAddr, net: &RoadNetwork, opts: &LoadgenOptions) -> Loadge
         rows: Vec::new(),
         error: None,
     };
+    if opts.mix.total() == 0 {
+        report.error = Some("the op mix has no positive weight".into());
+        return report;
+    }
+    if opts.mix.knn > 0 && opts.poi.is_none() {
+        report.error = Some(
+            "the mix weights knn but no POI set is configured \
+             (run_in_process samples one automatically)"
+                .into(),
+        );
+        return report;
+    }
+    // Target pool for one-to-many windows, duplicated once so a slice
+    // at any offset below `pairs.len()` never wraps.
+    let mut tpool: Vec<NodeId> = pairs.iter().map(|&(_, t)| t).collect();
+    tpool.extend_from_within(..);
+    // Range limit at roughly the 10th percentile of one source's
+    // distance profile: local-neighbourhood queries, bounded responses.
+    let range_limit = if opts.mix.range > 0 {
+        let mut oracle = Dijkstra::new(net.num_nodes());
+        oracle.run(net, pairs[0].0);
+        let mut ds: Vec<Dist> = (0..net.num_nodes() as NodeId)
+            .filter_map(|v| oracle.distance(v))
+            .collect();
+        ds.sort_unstable();
+        ds.get(ds.len() / 10).copied().unwrap_or(0)
+    } else {
+        0
+    };
+    let poi_name = opts
+        .poi
+        .as_ref()
+        .map(|s| s.name().to_string())
+        .unwrap_or_default();
+    let ctx = MixContext {
+        mix: &opts.mix,
+        tpool: &tpool,
+        poi_name: &poi_name,
+        range_limit,
+    };
     'sweep: for &backend in &opts.backends {
-        let (verified, mismatches) =
-            match verify_backend(addr, backend, net, &pairs, opts.verify_samples) {
-                Ok(v) => v,
-                Err(e) => {
-                    report.error = Some(e);
-                    break 'sweep;
-                }
-            };
+        let verified = match verify_backend(
+            addr,
+            backend,
+            net,
+            &pairs,
+            opts.verify_samples,
+            ctx,
+            opts.poi.as_ref(),
+        ) {
+            Ok(v) => v,
+            Err(e) => {
+                report.error = Some(e);
+                break 'sweep;
+            }
+        };
         for &concurrency in &opts.concurrency {
             let (seconds, total) = run_one(
                 addr,
@@ -352,25 +682,34 @@ pub fn run(addr: SocketAddr, net: &RoadNetwork, opts: &LoadgenOptions) -> Loadge
                 &pairs,
                 &opts.retry,
                 opts.deadline_ms,
+                ctx,
             );
-            let row = ThroughputRow {
-                backend: backend.name().to_string(),
-                concurrency,
-                seconds,
-                requests: total.requests,
-                qps: total.requests as f64 / seconds.max(1e-9),
-                p50_us: percentile_ns(&total.hist, 0.50) / 1_000.0,
-                p99_us: percentile_ns(&total.hist, 0.99) / 1_000.0,
-                verified,
-                mismatches,
-                retries: total.retries,
-            };
-            eprintln!(
-                "[loadgen] {:<9} c={:<2} {:>9.0} qps  p50 {:>8.2} µs  p99 {:>8.2} µs  ({} reqs in {:.1}s, {} retries)",
-                row.backend, row.concurrency, row.qps, row.p50_us, row.p99_us, row.requests,
-                row.seconds, row.retries
-            );
-            report.rows.push(row);
+            for op in OpKind::ALL {
+                if opts.mix.weight(op) == 0 {
+                    continue;
+                }
+                let agg = &total.per_op[op as usize];
+                let (checked, mismatches) = verified[op as usize];
+                let row = ThroughputRow {
+                    backend: backend.name().to_string(),
+                    op: op.name().to_string(),
+                    concurrency,
+                    seconds,
+                    requests: agg.requests,
+                    qps: agg.requests as f64 / seconds.max(1e-9),
+                    p50_us: percentile_ns(&agg.hist, 0.50) / 1_000.0,
+                    p99_us: percentile_ns(&agg.hist, 0.99) / 1_000.0,
+                    verified: checked,
+                    mismatches,
+                    retries: agg.retries,
+                };
+                eprintln!(
+                    "[loadgen] {:<9} {:<8} c={:<2} {:>9.0} qps  p50 {:>8.2} µs  p99 {:>8.2} µs  ({} reqs in {:.1}s, {} retries)",
+                    row.backend, row.op, row.concurrency, row.qps, row.p50_us, row.p99_us,
+                    row.requests, row.seconds, row.retries
+                );
+                report.rows.push(row);
+            }
             if let Some(e) = total.error {
                 report.error = Some(e);
                 break 'sweep;
@@ -395,18 +734,41 @@ pub fn run_in_process(
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
 
+    let mut opts = opts.clone();
     let engine = Arc::new(Engine::build(net, &opts.backends));
     engine
         .self_check(32, opts.seed)
         .map_err(|e| format!("refusing to serve: {e}"))?;
+    if opts.mix.knn > 0 && opts.poi.is_none() {
+        // The kNN mix needs a registered POI set; sample one sized like
+        // the bench harness's (registration requires a CH slot to build
+        // the buckets against).
+        let n = engine.net().num_nodes();
+        let count = (n / 16).clamp(1, 256).min(n);
+        let set = PoiSet::sample(engine.net(), "loadgen", count, opts.seed ^ 0x9015)
+            .map_err(|e| format!("sample POI set: {e}"))?;
+        opts.poi = Some(set);
+    }
+    if let Some(set) = &opts.poi {
+        engine.register_pois(vec![set.clone()])?;
+    }
+    let opts = &opts;
     let max_concurrency = opts.concurrency.iter().copied().max().unwrap_or(1);
     // With --reload-every, the server gets a factory that rebuilds the
     // same engine — the point is exercising the swap under load, not
-    // changing the answers (the oracle verification stays valid).
+    // changing the answers (the oracle verification stays valid). POI
+    // sets are re-registered so kNN keeps answering across swaps.
     let reload_factory = opts.reload_every.map(|_| {
         let net = engine.net().clone();
         let backends = opts.backends.clone();
-        ReloadFactory::new(move || Ok(Arc::new(Engine::build(net.clone(), &backends))))
+        let poi = opts.poi.clone();
+        ReloadFactory::new(move || {
+            let engine = Arc::new(Engine::build(net.clone(), &backends));
+            if let Some(set) = &poi {
+                engine.register_pois(vec![set.clone()])?;
+            }
+            Ok(engine)
+        })
     });
     let cfg = ServerConfig {
         workers: max_concurrency + 1,
@@ -512,9 +874,29 @@ mod tests {
     }
 
     #[test]
+    fn mix_parses_and_schedules_by_weight() {
+        let mix = OpMix::parse("distance:8,o2m:2,knn:1,range:1").unwrap();
+        assert_eq!(mix.total(), 12);
+        let sched = mix.schedule();
+        assert_eq!(sched.len(), 12);
+        assert_eq!(sched.iter().filter(|&&o| o == OpKind::Distance).count(), 8);
+        assert_eq!(sched.iter().filter(|&&o| o == OpKind::OneToMany).count(), 2);
+        // Rare ops are spread across the window, not clumped at the
+        // end: the first half of an 8:2:1:1 schedule already contains
+        // a non-distance op.
+        assert!(sched[..6].iter().any(|&o| o != OpKind::Distance));
+        // The default mix is pure distance (pre-mix behaviour).
+        assert_eq!(OpMix::default().schedule(), vec![OpKind::Distance]);
+        assert!(OpMix::parse("distance:0").is_err());
+        assert!(OpMix::parse("turtles:3").is_err());
+        assert!(OpMix::parse("o2m").is_err());
+    }
+
+    #[test]
     fn csv_rows_are_well_formed() {
         let row = ThroughputRow {
             backend: "ch".into(),
+            op: "o2m".into(),
             concurrency: 4,
             seconds: 2.0,
             requests: 1000,
@@ -530,7 +912,7 @@ mod tests {
             line.split(',').count(),
             ThroughputRow::CSV_HEADER.split(',').count()
         );
-        assert!(line.starts_with("ch,4,"));
+        assert!(line.starts_with("ch,o2m,4,"));
         assert!(line.ends_with(",7"));
     }
 }

@@ -6,25 +6,29 @@
 //! u32 LE payload length | payload (≤ 16 MiB)
 //! ```
 //!
-//! Request payloads start with an opcode byte; backend-bearing opcodes
-//! (DISTANCE, PATH, DISTANCES) follow it with a backend byte, the rest
+//! Request payloads start with an opcode byte; query opcodes (every
+//! opcode below with operands) follow it with a backend byte, the rest
 //! have no further operands:
 //!
 //! | opcode | name      | operands                                     |
 //! |--------|-----------|----------------------------------------------|
-//! | 0      | PING      | —                                            |
-//! | 1      | DISTANCE  | `s: u32, t: u32`                             |
-//! | 2      | PATH      | `s: u32, t: u32`                             |
-//! | 3      | DISTANCES | `ns: u32, nt: u32, ns × u32, nt × u32`       |
-//! | 4      | STATS     | —                                            |
-//! | 5      | SHUTDOWN  | —                                            |
-//! | 6      | RELOAD    | —                                            |
+//! | 0      | PING        | —                                           |
+//! | 1      | DISTANCE    | `s: u32, t: u32`                            |
+//! | 2      | PATH        | `s: u32, t: u32`                            |
+//! | 3      | DISTANCES   | `ns: u32, nt: u32, ns × u32, nt × u32`      |
+//! | 4      | STATS       | —                                           |
+//! | 5      | SHUTDOWN    | —                                           |
+//! | 6      | RELOAD      | —                                           |
+//! | 7      | ONE_TO_MANY | `s: u32, m: u32, m × u32`                   |
+//! | 8      | KNN         | `s: u32, k: u32, nlen: u8, nlen name bytes` |
+//! | 9      | RANGE       | `s: u32, limit: u64`                        |
 //!
-//! DISTANCE, PATH, and DISTANCES requests may carry an optional
-//! trailing `deadline_ms: u32` (encoded only when nonzero, so the
-//! deadline-free encodings are byte-identical to the pre-deadline
-//! protocol): the server abandons the query once that many
-//! milliseconds have elapsed and answers `DEADLINE_EXCEEDED`.
+//! Every backend-bearing query opcode may carry an optional trailing
+//! `deadline_ms: u32` (encoded only when nonzero, so the deadline-free
+//! encodings are byte-identical to the pre-deadline protocol): the
+//! server abandons the query once that many milliseconds have elapsed
+//! and answers `DEADLINE_EXCEEDED`. A KNN request names a POI set
+//! registered with the serving epoch (`nlen` bytes of UTF-8).
 //!
 //! Response payloads start with a status byte. `0` = OK; every other
 //! status is followed by a UTF-8 message:
@@ -51,8 +55,11 @@
 //! because the workspace caps them below [`spq_graph::types::INFINITY`]
 //! (`u64::MAX / 2`). A PATH body is `dist: u64, len: u32, len × u32`
 //! (`len = 0` and `dist = UNREACHABLE` when unreachable); a DISTANCES
-//! body is the row-major `ns × nt` table of `u64`s; STATS and PING
-//! bodies are UTF-8 text.
+//! body is the row-major `ns × nt` table of `u64`s; an ONE_TO_MANY body
+//! is the `m × u64` distance row in target order; KNN and RANGE share
+//! one body shape, `count: u32, count × (vertex: u32, dist: u64)` —
+//! kNN sorted by `(dist, vertex)`, range ascending by vertex; STATS
+//! and PING bodies are UTF-8 text.
 
 use std::io::{self, Read, Write};
 
@@ -62,8 +69,15 @@ use spq_graph::types::{Dist, NodeId};
 /// malicious or corrupt length prefixes.
 pub const MAX_FRAME: usize = 16 << 20;
 
-/// Hard cap on `ns × nt` of one DISTANCES request.
+/// Hard cap on `ns × nt` of one DISTANCES request, and on the target
+/// count of one ONE_TO_MANY request.
 pub const MAX_BATCH_PAIRS: usize = 1 << 20;
+
+/// Hard cap on the entries one KNN/RANGE response carries. 2^20 entries
+/// at 12 bytes each stay comfortably inside [`MAX_FRAME`]; a range
+/// query whose result would exceed this is answered with ERROR rather
+/// than a silently truncated vertex list.
+pub const MAX_RESULT_ENTRIES: usize = 1 << 20;
 
 /// Wire sentinel for "unreachable" (distinct from every real distance).
 pub const UNREACHABLE: u64 = u64::MAX;
@@ -108,6 +122,12 @@ pub mod op {
     /// Hot index reload: load, validate, and atomically publish the
     /// staged replacement index set as a new epoch.
     pub const RELOAD: u8 = 6;
+    /// One-to-many distance query (one source, a flat target list).
+    pub const ONE_TO_MANY: u8 = 7;
+    /// k-nearest-neighbour query over a registered POI set.
+    pub const KNN: u8 = 8;
+    /// Network range query (every vertex within a distance limit).
+    pub const RANGE: u8 = 9;
 }
 
 /// A decoded request.
@@ -145,6 +165,41 @@ pub enum Request {
         sources: Vec<NodeId>,
         /// Batch targets.
         targets: Vec<NodeId>,
+        /// Per-request deadline in milliseconds; 0 = none.
+        deadline_ms: u32,
+    },
+    /// One source against a flat target list.
+    OneToMany {
+        /// Backend wire id.
+        backend: u8,
+        /// Source vertex.
+        s: NodeId,
+        /// Targets, answered in order.
+        targets: Vec<NodeId>,
+        /// Per-request deadline in milliseconds; 0 = none.
+        deadline_ms: u32,
+    },
+    /// k nearest members of a registered POI set.
+    Knn {
+        /// Backend wire id.
+        backend: u8,
+        /// Source vertex.
+        s: NodeId,
+        /// Number of neighbours requested.
+        k: u32,
+        /// Name of the POI set registered with the serving epoch.
+        poi: String,
+        /// Per-request deadline in milliseconds; 0 = none.
+        deadline_ms: u32,
+    },
+    /// Every vertex within `limit` of the source.
+    Range {
+        /// Backend wire id.
+        backend: u8,
+        /// Source vertex.
+        s: NodeId,
+        /// Distance limit (inclusive).
+        limit: Dist,
         /// Per-request deadline in milliseconds; 0 = none.
         deadline_ms: u32,
     },
@@ -200,6 +255,52 @@ impl Request {
                 for v in sources.iter().chain(targets.iter()) {
                     out.extend_from_slice(&v.to_le_bytes());
                 }
+                if *deadline_ms != 0 {
+                    out.extend_from_slice(&deadline_ms.to_le_bytes());
+                }
+            }
+            Request::OneToMany {
+                backend,
+                s,
+                targets,
+                deadline_ms,
+            } => {
+                out.extend_from_slice(&[op::ONE_TO_MANY, *backend]);
+                out.extend_from_slice(&s.to_le_bytes());
+                out.extend_from_slice(&(targets.len() as u32).to_le_bytes());
+                for v in targets {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                if *deadline_ms != 0 {
+                    out.extend_from_slice(&deadline_ms.to_le_bytes());
+                }
+            }
+            Request::Knn {
+                backend,
+                s,
+                k,
+                poi,
+                deadline_ms,
+            } => {
+                debug_assert!(poi.len() <= u8::MAX as usize);
+                out.extend_from_slice(&[op::KNN, *backend]);
+                out.extend_from_slice(&s.to_le_bytes());
+                out.extend_from_slice(&k.to_le_bytes());
+                out.push(poi.len() as u8);
+                out.extend_from_slice(poi.as_bytes());
+                if *deadline_ms != 0 {
+                    out.extend_from_slice(&deadline_ms.to_le_bytes());
+                }
+            }
+            Request::Range {
+                backend,
+                s,
+                limit,
+                deadline_ms,
+            } => {
+                out.extend_from_slice(&[op::RANGE, *backend]);
+                out.extend_from_slice(&s.to_le_bytes());
+                out.extend_from_slice(&limit.to_le_bytes());
                 if *deadline_ms != 0 {
                     out.extend_from_slice(&deadline_ms.to_le_bytes());
                 }
@@ -272,6 +373,65 @@ impl Request {
                     backend,
                     sources,
                     targets,
+                    deadline_ms,
+                }
+            }
+            op::ONE_TO_MANY => {
+                let backend = c.u8()?;
+                let s = c.u32()?;
+                let m = c.u32()? as usize;
+                if m == 0 {
+                    return Err("empty target list".into());
+                }
+                if m > MAX_BATCH_PAIRS {
+                    return Err(format!("one-to-many of {m} targets exceeds the limit"));
+                }
+                // Same discipline as DISTANCES: the payload must hold
+                // the claimed bytes before anything is allocated.
+                if c.remaining() < m * 4 {
+                    return Err(format!(
+                        "one-to-many header claims {m} targets but only {} payload bytes follow",
+                        c.remaining()
+                    ));
+                }
+                let mut targets = Vec::with_capacity(m);
+                for _ in 0..m {
+                    targets.push(c.u32()?);
+                }
+                let deadline_ms = if c.at_end() { 0 } else { c.u32()? };
+                Request::OneToMany {
+                    backend,
+                    s,
+                    targets,
+                    deadline_ms,
+                }
+            }
+            op::KNN => {
+                let backend = c.u8()?;
+                let s = c.u32()?;
+                let k = c.u32()?;
+                let nlen = c.u8()? as usize;
+                let poi = std::str::from_utf8(c.take(nlen)?)
+                    .map_err(|_| "POI name is not UTF-8".to_string())?
+                    .to_string();
+                let deadline_ms = if c.at_end() { 0 } else { c.u32()? };
+                Request::Knn {
+                    backend,
+                    s,
+                    k,
+                    poi,
+                    deadline_ms,
+                }
+            }
+            op::RANGE => {
+                let backend = c.u8()?;
+                let s = c.u32()?;
+                let limit = c.u64()?;
+                let deadline_ms = if c.at_end() { 0 } else { c.u32()? };
+                Request::Range {
+                    backend,
+                    s,
+                    limit,
                     deadline_ms,
                 }
             }
@@ -419,6 +579,20 @@ pub fn encode_distances_response(table: &[Option<Dist>]) -> Vec<u8> {
     out
 }
 
+/// Encodes a `(vertex, distance)` list (KNN and RANGE response body):
+/// `count: u32` followed by `count × (u32, u64)` pairs, in the order
+/// given.
+pub fn encode_nodes_dists_response(entries: &[(NodeId, Dist)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + 12 * entries.len());
+    out.push(STATUS_OK);
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for &(v, d) in entries {
+        out.extend_from_slice(&v.to_le_bytes());
+        out.extend_from_slice(&d.to_le_bytes());
+    }
+    out
+}
+
 /// A bounds-checked little-endian reader over a payload.
 pub struct Cursor<'a> {
     data: &'a [u8],
@@ -517,6 +691,44 @@ mod tests {
                 targets: vec![4, 5],
                 deadline_ms: 1000,
             },
+            Request::OneToMany {
+                backend: 2,
+                s: 11,
+                targets: vec![0, 5, 5, u32::MAX],
+                deadline_ms: 0,
+            },
+            Request::OneToMany {
+                backend: 2,
+                s: 11,
+                targets: vec![9],
+                deadline_ms: 40,
+            },
+            Request::Knn {
+                backend: 1,
+                s: 3,
+                k: 8,
+                poi: "fuel".into(),
+                deadline_ms: 0,
+            },
+            Request::Knn {
+                backend: 1,
+                s: 3,
+                k: 0,
+                poi: String::new(),
+                deadline_ms: 17,
+            },
+            Request::Range {
+                backend: 0,
+                s: 42,
+                limit: u64::MAX / 3,
+                deadline_ms: 0,
+            },
+            Request::Range {
+                backend: 0,
+                s: 42,
+                limit: 0,
+                deadline_ms: 9,
+            },
             Request::Stats,
             Request::Shutdown,
             Request::Reload,
@@ -578,6 +790,62 @@ mod tests {
         huge.extend_from_slice(&u32::MAX.to_le_bytes());
         huge.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(Request::decode(&huge).is_err());
+    }
+
+    #[test]
+    fn one_to_many_header_cannot_force_oversized_allocations() {
+        // A 14-byte frame claiming 2^20 targets must be rejected by the
+        // payload-size check before any allocation happens.
+        let mut huge = vec![op::ONE_TO_MANY, 0];
+        huge.extend_from_slice(&0u32.to_le_bytes());
+        huge.extend_from_slice(&(1u32 << 20).to_le_bytes());
+        huge.extend_from_slice(&0u32.to_le_bytes()); // a lone "target"
+        let err = Request::decode(&huge).unwrap_err();
+        assert!(err.contains("payload bytes"), "got: {err}");
+        // Over the hard cap entirely.
+        let mut over = vec![op::ONE_TO_MANY, 0];
+        over.extend_from_slice(&0u32.to_le_bytes());
+        over.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Request::decode(&over).is_err());
+        // Empty target list.
+        let mut empty = vec![op::ONE_TO_MANY, 0];
+        empty.extend_from_slice(&0u32.to_le_bytes());
+        empty.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(Request::decode(&empty).unwrap_err(), "empty target list");
+    }
+
+    #[test]
+    fn knn_name_is_validated() {
+        // Name length claiming more bytes than the payload holds.
+        let mut short = vec![op::KNN, 0];
+        short.extend_from_slice(&1u32.to_le_bytes());
+        short.extend_from_slice(&1u32.to_le_bytes());
+        short.push(40); // claims 40 name bytes, none follow
+        assert_eq!(Request::decode(&short).unwrap_err(), "truncated message");
+        // Non-UTF-8 name bytes.
+        let mut bad = vec![op::KNN, 0];
+        bad.extend_from_slice(&1u32.to_le_bytes());
+        bad.extend_from_slice(&1u32.to_le_bytes());
+        bad.push(2);
+        bad.extend_from_slice(&[0xff, 0xfe]);
+        assert!(Request::decode(&bad).unwrap_err().contains("UTF-8"));
+    }
+
+    #[test]
+    fn nodes_dists_response_layout_is_stable() {
+        let body = encode_nodes_dists_response(&[(3, 10), (7, 25)]);
+        let mut expect = vec![STATUS_OK];
+        expect.extend_from_slice(&2u32.to_le_bytes());
+        expect.extend_from_slice(&3u32.to_le_bytes());
+        expect.extend_from_slice(&10u64.to_le_bytes());
+        expect.extend_from_slice(&7u32.to_le_bytes());
+        expect.extend_from_slice(&25u64.to_le_bytes());
+        assert_eq!(body, expect);
+        assert_eq!(encode_nodes_dists_response(&[]), {
+            let mut e = vec![STATUS_OK];
+            e.extend_from_slice(&0u32.to_le_bytes());
+            e
+        });
     }
 
     #[test]

@@ -699,6 +699,7 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: &WorkerCtx, worker_id: usiz
 struct Scratch {
     frame: Vec<u8>,
     batch: Vec<Option<spq_graph::types::Dist>>,
+    entries: Vec<(spq_graph::types::NodeId, spq_graph::types::Dist)>,
 }
 
 /// Outcome of an interruptible exact read.
@@ -946,6 +947,10 @@ fn handle_request(
         Ok(r) => r,
         Err(msg) => {
             stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            // Undecodable frames land in the shared op-indexed tables
+            // (final wire slot, op "other") — the same accounting path
+            // as every real query, not a side channel.
+            stats.record(wire_slot(u8::MAX), Op::Other, 0, 0);
             return protocol::encode_error(&msg);
         }
     };
@@ -1083,6 +1088,116 @@ fn handle_request(
                 pairs,
             );
             protocol::encode_distances_response(&scratch.batch)
+        }
+        Request::OneToMany {
+            backend,
+            s,
+            targets,
+            deadline_ms,
+        } => {
+            let pos = match resolve_serving(backend, state, fallback, ctx) {
+                Ok(pos) => pos,
+                Err(resp) => return resp,
+            };
+            if let Err(resp) = check_range(&mut [s].into_iter().chain(targets.iter().copied())) {
+                return resp;
+            }
+            let t0 = Instant::now();
+            sessions[pos].set_budget(request_budget(deadline_ms, ctx));
+            sessions[pos].one_to_many(s, &targets, &mut scratch.batch);
+            if sessions[pos].interrupted() {
+                return interrupted_response(ctx);
+            }
+            stats.record(
+                wire_slot(backend),
+                Op::OneToMany,
+                t0.elapsed().as_nanos() as u64,
+                targets.len() as u64,
+            );
+            protocol::encode_distances_response(&scratch.batch)
+        }
+        Request::Knn {
+            backend,
+            s,
+            k,
+            poi,
+            deadline_ms,
+        } => {
+            let pos = match resolve_serving(backend, state, fallback, ctx) {
+                Ok(pos) => pos,
+                Err(resp) => return resp,
+            };
+            if let Err(resp) = check_range(&mut [s].into_iter()) {
+                return resp;
+            }
+            // The epoch's registry resolves the name so every session —
+            // including the index-free quarantine fallback, which
+            // brute-forces over the set — answers the same queries.
+            let Some(entry) = engine.poi_set(&poi) else {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return protocol::encode_error(&format!("unknown POI set '{poi}'"));
+            };
+            let poi_ref = spq_graph::backend::PoiRef {
+                name: entry.set.name(),
+                nodes: entry.set.nodes(),
+            };
+            if (k as usize).min(entry.set.len()) > protocol::MAX_RESULT_ENTRIES {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return protocol::encode_error(&format!(
+                    "kNN result of {k} entries exceeds the response limit"
+                ));
+            }
+            let t0 = Instant::now();
+            sessions[pos].set_budget(request_budget(deadline_ms, ctx));
+            sessions[pos].knn(s, k as usize, poi_ref, &mut scratch.entries);
+            if sessions[pos].interrupted() {
+                return interrupted_response(ctx);
+            }
+            stats.record(
+                wire_slot(backend),
+                Op::Knn,
+                t0.elapsed().as_nanos() as u64,
+                scratch.entries.len() as u64,
+            );
+            protocol::encode_nodes_dists_response(&scratch.entries)
+        }
+        Request::Range {
+            backend,
+            s,
+            limit,
+            deadline_ms,
+        } => {
+            let pos = match resolve_serving(backend, state, fallback, ctx) {
+                Ok(pos) => pos,
+                Err(resp) => return resp,
+            };
+            if let Err(resp) = check_range(&mut [s].into_iter()) {
+                return resp;
+            }
+            let t0 = Instant::now();
+            sessions[pos].set_budget(request_budget(deadline_ms, ctx));
+            let supported = sessions[pos].range(s, limit, &mut scratch.entries);
+            if sessions[pos].interrupted() {
+                return interrupted_response(ctx);
+            }
+            if !supported {
+                return protocol::encode_error(&format!(
+                    "backend {backend} does not serve range queries"
+                ));
+            }
+            if scratch.entries.len() > protocol::MAX_RESULT_ENTRIES {
+                return protocol::encode_error(&format!(
+                    "range result of {} vertices exceeds the response limit; lower the limit",
+                    scratch.entries.len()
+                ));
+            }
+            stats.record(
+                wire_slot(backend),
+                Op::Range,
+                t0.elapsed().as_nanos() as u64,
+                scratch.entries.len() as u64,
+            );
+            protocol::encode_nodes_dists_response(&scratch.entries)
         }
     };
     response

@@ -43,6 +43,10 @@ pub fn wire_slot(wire_id: u8) -> usize {
 }
 
 /// The operations the server distinguishes in its per-backend stats.
+/// Every served frame is recorded under exactly one `(slot, op)` pair —
+/// frames that fail to decode land in [`Op::Other`] under the final
+/// wire slot, so unknown-op accounting shares the same tables and code
+/// path as real queries instead of a separate counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
     /// Point-to-point distance queries.
@@ -51,10 +55,19 @@ pub enum Op {
     Path = 1,
     /// Batched (many-to-many) distance queries.
     Batch = 2,
+    /// One-to-many distance queries.
+    OneToMany = 3,
+    /// k-nearest-neighbour queries over a registered POI set.
+    Knn = 4,
+    /// Network range queries.
+    Range = 5,
+    /// Frames that decoded to no known operation (unknown opcode,
+    /// malformed payload).
+    Other = 6,
 }
 
 /// Number of [`Op`] variants.
-pub const NUM_OPS: usize = 3;
+pub const NUM_OPS: usize = 7;
 
 impl Op {
     /// Display name.
@@ -63,11 +76,23 @@ impl Op {
             Op::Distance => "distance",
             Op::Path => "path",
             Op::Batch => "batch",
+            Op::OneToMany => "o2m",
+            Op::Knn => "knn",
+            Op::Range => "range",
+            Op::Other => "other",
         }
     }
 
     /// All operations, in display order.
-    pub const ALL: [Op; NUM_OPS] = [Op::Distance, Op::Path, Op::Batch];
+    pub const ALL: [Op; NUM_OPS] = [
+        Op::Distance,
+        Op::Path,
+        Op::Batch,
+        Op::OneToMany,
+        Op::Knn,
+        Op::Range,
+        Op::Other,
+    ];
 }
 
 /// Maps a nanosecond latency to its bucket.

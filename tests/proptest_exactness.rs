@@ -76,4 +76,85 @@ proptest! {
             }
         }
     }
+
+    /// PHAST one-to-many equals |T| independent Dijkstra distances,
+    /// from every source, over the full vertex set as targets.
+    #[test]
+    fn phast_one_to_many_matches_dijkstra(net in arb_network()) {
+        let ch = spq_ch::ContractionHierarchy::build(&net);
+        let mut o2m = spq_many::OneToMany::new(&ch);
+        let mut reference = Dijkstra::new(net.num_nodes());
+        let n = net.num_nodes() as NodeId;
+        let targets: Vec<NodeId> = (0..n).collect();
+        let mut out = Vec::new();
+        for s in 0..n {
+            prop_assert!(o2m.run(s));
+            reference.run(&net, s);
+            o2m.distances_into(&targets, &mut out);
+            for (&t, &got) in targets.iter().zip(out.iter()) {
+                prop_assert_eq!(got, reference.distance(t), "o2m({}, {})", s, t);
+            }
+        }
+    }
+
+    /// Bucket-CH kNN equals brute force over the POI set: same
+    /// neighbours, same distances, same (distance, vertex) order.
+    #[test]
+    fn bucket_knn_matches_brute_force(
+        net in arb_network(),
+        picks in proptest::collection::vec(0u32..u32::MAX, 1..8),
+        k in 0usize..10,
+    ) {
+        let n = net.num_nodes() as NodeId;
+        let mut nodes: Vec<NodeId> = picks.iter().map(|&p| p % n).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let set = spq_many::PoiSet::new("p", net.num_nodes(), nodes).unwrap();
+        let ch = spq_ch::ContractionHierarchy::build(&net);
+        let index = spq_many::PoiIndex::build(&ch, &set).unwrap();
+        let mut ws = spq_many::KnnWorkspace::new();
+        let mut reference = Dijkstra::new(net.num_nodes());
+        let mut got = Vec::new();
+        for s in 0..n {
+            reference.run(&net, s);
+            let mut expect: Vec<(u64, NodeId)> = set
+                .nodes()
+                .iter()
+                .filter_map(|&p| reference.distance(p).map(|d| (d, p)))
+                .collect();
+            expect.sort_unstable();
+            expect.truncate(k);
+            prop_assert!(index.knn(ch.search_graph(), &mut ws, s, k, &mut got));
+            let got_kv: Vec<(u64, NodeId)> = got.iter().map(|&(v, d)| (d, v)).collect();
+            prop_assert_eq!(&got_kv, &expect, "knn({}, k={})", s, k);
+        }
+    }
+
+    /// Range equals a truncated Dijkstra: exactly the vertices within
+    /// the limit, ascending by vertex id, with exact distances. Limits
+    /// are drawn around real eccentricities so both empty-ish and
+    /// all-inclusive ranges occur.
+    #[test]
+    fn range_matches_truncated_dijkstra(net in arb_network(), frac in 0u32..120) {
+        let ch = spq_ch::ContractionHierarchy::build(&net);
+        let mut o2m = spq_many::OneToMany::new(&ch);
+        let mut reference = Dijkstra::new(net.num_nodes());
+        let n = net.num_nodes() as NodeId;
+        let mut out = Vec::new();
+        for s in 0..n {
+            reference.run(&net, s);
+            let ecc = (0..n).filter_map(|v| reference.distance(v)).max().unwrap_or(0);
+            let limit = ecc * u64::from(frac) / 100;
+            let expect: Vec<(NodeId, u64)> = (0..n)
+                .filter_map(|v| {
+                    reference
+                        .distance(v)
+                        .filter(|&d| d <= limit)
+                        .map(|d| (v, d))
+                })
+                .collect();
+            prop_assert!(o2m.range(s, limit, &mut out));
+            prop_assert_eq!(&out, &expect, "range({}, {})", s, limit);
+        }
+    }
 }
