@@ -739,8 +739,11 @@ pub fn run(opts: &BenchOptions) -> Result<Vec<Entry>, String> {
                 .map_err(|e| format!("create {}: {e}", parent.display()))?;
         }
     }
-    std::fs::write(&opts.out, render_report(&entries))
-        .map_err(|e| format!("write {}: {e}", opts.out.display()))?;
+    spq_graph::atomic_io::write_atomic(&opts.out, |w| {
+        use std::io::Write;
+        w.write_all(render_report(&entries).as_bytes())
+    })
+    .map_err(|e| format!("write {}: {e}", opts.out.display()))?;
     eprintln!(
         "[bench] wrote {} ({} entries)",
         opts.out.display(),

@@ -19,12 +19,13 @@
 //! also accept `--target N` to synthesise a network instead.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::BufReader;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
 use spq_core::{Index, Technique};
+use spq_graph::atomic_io;
 use spq_graph::size::IndexSize;
 use spq_graph::RoadNetwork;
 use spq_serve::loadgen::{run_in_process, write_csv, LoadgenOptions, ThroughputRow};
@@ -44,6 +45,8 @@ fn main() -> ExitCode {
         Some("serve") => serve(&args[1..]),
         Some("loadgen") => loadgen(&args[1..]),
         Some("bench") => bench(&args[1..]),
+        Some("qgen") => qgen(&args[1..]),
+        Some("torture") => torture(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -79,12 +82,18 @@ fn print_usage() {
          \x20                                        run the TCP query server\n\
          \x20 loadgen (--net P | --target N) [--backends L] [--concurrency L]\n\
          \x20         [--duration S] [--warmup-ms N] [--reload-every S] [--out F]\n\
-         \x20         [--mix distance:8,o2m:2,knn:1,range:1]\n\
+         \x20         [--mix distance:8,o2m:2,knn:1,range:1] [--workload F]\n\
          \x20                                        measure serving throughput\n\
          \x20 bench --json [--smoke] [--out F] [--check BASELINE] [--tolerance R]\n\
          \x20       [--queries N] [--seed S] [--only OPS] [--backends L]\n\
          \x20                                        query-latency report + regression gate\n\
-         \x20                                        (OPS: distance,path,m2m,o2m,knn,range)\n\n\
+         \x20                                        (OPS: distance,path,m2m,o2m,knn,range)\n\
+         \x20 qgen (--net P | --target N) --out F [--seed S] [--o2m-sets N]\n\
+         \x20      [--o2m-targets N] [--knn-ks N] [--range-radii N]\n\
+         \x20                                        persist seeded workload shapes (SPQW)\n\
+         \x20 torture [--dir D] [--seed S] [--rounds N] [--target N] [--no-minimize]\n\
+         \x20         [--artifact F] [--startup-timeout-s N]\n\
+         \x20                                        crash/chaos recovery harness\n\n\
          serve/loadgen backends: dijkstra,ch,tnr,silc,pcpd,alt,arcflags,hl (or 'all');\n\
          see README.md for the wire protocol."
     );
@@ -150,10 +159,14 @@ fn generate(args: &[String]) -> Result<(), String> {
         .unwrap_or(0x5eed_0002);
     let out = required(args, "--out")?;
     let net = spq_synth::generate(&SynthParams::with_target_vertices(target, seed));
-    let gr = File::create(format!("{out}.gr")).map_err(|e| e.to_string())?;
-    spq_graph::dimacs::write_gr(&net, BufWriter::new(gr)).map_err(|e| e.to_string())?;
-    let co = File::create(format!("{out}.co")).map_err(|e| e.to_string())?;
-    spq_graph::dimacs::write_co(&net, BufWriter::new(co)).map_err(|e| e.to_string())?;
+    atomic_io::write_atomic(format!("{out}.gr"), |w| {
+        spq_graph::dimacs::write_gr(&net, w)
+    })
+    .map_err(|e| e.to_string())?;
+    atomic_io::write_atomic(format!("{out}.co"), |w| {
+        spq_graph::dimacs::write_co(&net, w)
+    })
+    .map_err(|e| e.to_string())?;
     println!(
         "wrote {out}.gr / {out}.co — {} vertices, {} edges",
         net.num_nodes(),
@@ -193,9 +206,7 @@ fn prep(args: &[String]) -> Result<(), String> {
         "ch" => {
             let ch = spq_ch::ContractionHierarchy::build(&net);
             let elapsed = t0.elapsed();
-            let f = File::create(out).map_err(|e| e.to_string())?;
-            let mut w = BufWriter::new(f);
-            ch.write_binary(&mut w).map_err(|e| e.to_string())?;
+            atomic_io::write_atomic(out, |w| ch.write_binary(w)).map_err(|e| e.to_string())?;
             println!(
                 "built CH in {:.2?}: {} shortcuts, {:.2} MB -> {out}",
                 elapsed,
@@ -206,9 +217,7 @@ fn prep(args: &[String]) -> Result<(), String> {
         "hl" => {
             let hl = spq_hl::Hl::build(&net);
             let elapsed = t0.elapsed();
-            let f = File::create(out).map_err(|e| e.to_string())?;
-            let mut w = BufWriter::new(f);
-            hl.write_binary(&mut w).map_err(|e| e.to_string())?;
+            atomic_io::write_atomic(out, |w| hl.write_binary(w)).map_err(|e| e.to_string())?;
             println!(
                 "built HL in {:.2?}: {} label entries ({:.1} avg / {} max per vertex), \
                  {:.2} MB -> {out}",
@@ -238,9 +247,7 @@ fn prep(args: &[String]) -> Result<(), String> {
             };
             let set = spq_many::PoiSet::sample(&net, name, count, seed)?;
             let elapsed = t0.elapsed();
-            let f = File::create(out).map_err(|e| e.to_string())?;
-            let mut w = BufWriter::new(f);
-            set.write_binary(&mut w).map_err(|e| e.to_string())?;
+            atomic_io::write_atomic(out, |w| set.write_binary(w)).map_err(|e| e.to_string())?;
             println!(
                 "sampled POI set '{}' in {:.2?}: {} vertices -> {out}",
                 set.name(),
@@ -580,6 +587,13 @@ fn loadgen(args: &[String]) -> Result<(), String> {
     if let Some(s) = opt(args, "--mix") {
         opts.mix = spq_serve::loadgen::OpMix::parse(s)?;
     }
+    if let Some(p) = opt(args, "--workload") {
+        let mut f = File::open(p).map_err(|e| format!("cannot open {p}: {e}"))?;
+        opts.workload = Some(
+            spq_queries::shapes::Workload::read_binary(&mut f)
+                .map_err(|e| format!("cannot load workload {p}: {e}"))?,
+        );
+    }
     let (report, stats) = run_in_process(net, &opts)?;
     eprintln!("--- final server stats ---\n{stats}");
 
@@ -646,6 +660,82 @@ fn bench(args: &[String]) -> Result<(), String> {
         opts.backends = s.split(',').map(|p| p.trim().to_string()).collect();
     }
     spq_core::bench::run(&opts)?;
+    Ok(())
+}
+
+fn qgen(args: &[String]) -> Result<(), String> {
+    use spq_queries::shapes::{generate_workload, ShapeGenParams};
+    let net = serve_network(args)?;
+    let out = required(args, "--out")?;
+    let mut params = ShapeGenParams::default();
+    if let Some(s) = opt(args, "--seed") {
+        params.seed = s
+            .parse()
+            .map_err(|_| "--seed must be an integer".to_string())?;
+    }
+    for (key, slot) in [
+        ("--o2m-sets", &mut params.o2m_sets),
+        ("--o2m-targets", &mut params.o2m_targets),
+        ("--knn-ks", &mut params.knn_ks),
+        ("--range-radii", &mut params.range_radii),
+    ] {
+        if let Some(s) = opt(args, key) {
+            *slot = s.parse().map_err(|_| format!("{key} must be an integer"))?;
+        }
+    }
+    let workload = generate_workload(&net, &params);
+    atomic_io::write_atomic(out, |w| workload.write_binary(w))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {out}: seed {}, {} o2m set(s) × {} target(s), k-sweep {:?}, {} radii",
+        workload.seed,
+        workload.o2m_sets.len(),
+        workload.o2m_sets.first().map(Vec::len).unwrap_or(0),
+        workload.knn_ks,
+        workload.range_radii.len()
+    );
+    Ok(())
+}
+
+fn torture(args: &[String]) -> Result<(), String> {
+    use spq_serve::torture::{run_torture, TortureOptions};
+    let mut opts = TortureOptions {
+        spq_bin: std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?,
+        dir: opt(args, "--dir").unwrap_or("torture-scratch").into(),
+        minimize: !flag(args, "--no-minimize"),
+        artifact: opt(args, "--artifact").map(Into::into),
+        ..TortureOptions::default()
+    };
+    if let Some(s) = opt(args, "--seed") {
+        opts.seed = s
+            .parse()
+            .map_err(|_| "--seed must be an integer".to_string())?;
+    }
+    if let Some(s) = opt(args, "--rounds") {
+        opts.rounds = s
+            .parse()
+            .map_err(|_| "--rounds must be an integer".to_string())?;
+    }
+    if let Some(s) = opt(args, "--target") {
+        opts.target = s
+            .parse()
+            .map_err(|_| "--target must be an integer".to_string())?;
+    }
+    if let Some(s) = opt(args, "--startup-timeout-s") {
+        opts.startup_timeout = Duration::from_secs(
+            s.parse()
+                .map_err(|_| "--startup-timeout-s must be an integer".to_string())?,
+        );
+    }
+    let report = run_torture(&opts)?;
+    print!("{}", report.render());
+    if report.failures() > 0 {
+        return Err(format!(
+            "{} torture round(s) failed (seed {})",
+            report.failures(),
+            report.seed
+        ));
+    }
     Ok(())
 }
 

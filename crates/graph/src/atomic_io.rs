@@ -1,0 +1,613 @@
+//! Crash-safe container writes and cold-start recovery.
+//!
+//! Every persisted artifact in the workspace (network, CH, HL, POI
+//! containers, bench baselines, workload files) is written through
+//! [`write_atomic`]: serialise the body, write it to a temp file *in the
+//! target directory*, `fsync` the file, atomically rename it over the
+//! destination, then `fsync` the directory so the rename itself is
+//! durable. A crash at any point leaves either the old file, the new
+//! file, or an orphaned `*.tmp` — never a half-written file under the
+//! final name. This is the torn-write discipline of LSM stores.
+//!
+//! The other half is [`recover_dir`]: a typed recovery scan run at
+//! server startup and reload that sweeps a directory for the debris a
+//! crash *can* leave — orphaned `*.tmp` files and checksummed `SPQ*`
+//! containers that fail validation (torn by a non-atomic writer, bit
+//! rot, forged length) — and moves them into a sidecar
+//! `spq.quarantine/` directory with an appended reason manifest instead
+//! of aborting. Quarantined index files then surface as load failures
+//! that feed the serving engine's existing degradation chain.
+//!
+//! For the torture harness, [`write_atomic`] honours a crash hook: set
+//! `SPQ_CRASH_WRITE=<stage>:<nth>` and the `nth` atomic write in the
+//! process aborts (SIGABRT, no unwinding, no destructors — as close to
+//! `kill -9` as a process can do to itself) at `stage`, one of
+//! `mid-write`, `before-sync`, `before-rename`, `after-rename`. Every
+//! stage must leave a state the recovery scan handles.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::binio::{read_u64, xxhash64, IndexLoadError};
+
+/// Where in the atomic-write sequence a crash hook fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashStage {
+    /// After roughly half the body bytes hit the temp file.
+    MidWrite,
+    /// Body fully written, before the file `fsync`.
+    BeforeSync,
+    /// File synced, before the rename.
+    BeforeRename,
+    /// Renamed into place, before the directory `fsync`.
+    AfterRename,
+}
+
+impl CrashStage {
+    /// Parses the stage half of `SPQ_CRASH_WRITE`.
+    pub fn parse(s: &str) -> Option<CrashStage> {
+        match s {
+            "mid-write" => Some(CrashStage::MidWrite),
+            "before-sync" => Some(CrashStage::BeforeSync),
+            "before-rename" => Some(CrashStage::BeforeRename),
+            "after-rename" => Some(CrashStage::AfterRename),
+            _ => None,
+        }
+    }
+
+    /// The string form accepted by [`CrashStage::parse`].
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CrashStage::MidWrite => "mid-write",
+            CrashStage::BeforeSync => "before-sync",
+            CrashStage::BeforeRename => "before-rename",
+            CrashStage::AfterRename => "after-rename",
+        }
+    }
+
+    /// All stages, in write order — the torture scheduler samples these.
+    pub const ALL: [CrashStage; 4] = [
+        CrashStage::MidWrite,
+        CrashStage::BeforeSync,
+        CrashStage::BeforeRename,
+        CrashStage::AfterRename,
+    ];
+}
+
+/// Process-wide count of atomic writes, so `SPQ_CRASH_WRITE=<stage>:<nth>`
+/// can target "the nth container this process persists" deterministically.
+static WRITE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Environment variable consulted by [`write_atomic`]; value is
+/// `<stage>:<nth>` (1-based). Used by `spq torture` to make child
+/// processes tear their own writes at a chosen point.
+pub const CRASH_ENV: &str = "SPQ_CRASH_WRITE";
+
+fn armed_crash(nth: u64) -> Option<CrashStage> {
+    let spec = std::env::var(CRASH_ENV).ok()?;
+    let (stage, n) = spec.split_once(':')?;
+    let n: u64 = n.parse().ok()?;
+    if n == nth {
+        CrashStage::parse(stage)
+    } else {
+        None
+    }
+}
+
+enum CrashMode {
+    /// Real crash hook: abort the process at the stage.
+    Abort(CrashStage),
+    /// Test hook: stop at the stage, leaving the torn on-disk state,
+    /// and return normally so the same process can run the recovery scan.
+    Simulate(CrashStage),
+}
+
+/// Writes `path` atomically: the closure serialises the body into a
+/// buffer, which is then written to a unique temp file in the target
+/// directory, fsynced, renamed over `path`, and the directory fsynced.
+///
+/// Honours the [`CRASH_ENV`] hook (aborting the process mid-sequence)
+/// when armed for this write's ordinal.
+pub fn write_atomic(
+    path: impl AsRef<Path>,
+    write_body: impl FnOnce(&mut Vec<u8>) -> io::Result<()>,
+) -> io::Result<()> {
+    let mut body = Vec::new();
+    write_body(&mut body)?;
+    let nth = WRITE_COUNTER.fetch_add(1, Ordering::Relaxed) + 1;
+    let crash = armed_crash(nth).map(CrashMode::Abort);
+    write_atomic_inner(path.as_ref(), &body, crash)?;
+    Ok(())
+}
+
+/// Test-only variant of [`write_atomic`] that *simulates* a crash at
+/// `stage`: the on-disk state is exactly what the abort hook leaves,
+/// but the process survives to run [`recover_dir`] over it. Returns
+/// `Ok(false)` when the simulated crash cut the sequence short (the
+/// write did not complete).
+pub fn write_atomic_torn(
+    path: impl AsRef<Path>,
+    stage: CrashStage,
+    write_body: impl FnOnce(&mut Vec<u8>) -> io::Result<()>,
+) -> io::Result<bool> {
+    let mut body = Vec::new();
+    write_body(&mut body)?;
+    WRITE_COUNTER.fetch_add(1, Ordering::Relaxed);
+    write_atomic_inner(path.as_ref(), &body, Some(CrashMode::Simulate(stage)))
+}
+
+fn crash_point(mode: &Option<CrashMode>, here: CrashStage) -> bool {
+    match mode {
+        Some(CrashMode::Abort(s)) if *s == here => {
+            // Flush the reason to stderr first: the torture harness greps
+            // child logs to confirm the hook (not a genuine bug) fired.
+            eprintln!("[atomic_io] crash hook firing at {}", here.as_str());
+            std::process::abort();
+        }
+        Some(CrashMode::Simulate(s)) if *s == here => true,
+        _ => false,
+    }
+}
+
+fn write_atomic_inner(path: &Path, body: &[u8], crash: Option<CrashMode>) -> io::Result<bool> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = dir.join(format!(
+        "{name}.{}.{}.tmp",
+        std::process::id(),
+        WRITE_COUNTER.load(Ordering::Relaxed)
+    ));
+
+    let mut f = File::create(&tmp)?;
+    let half = body.len() / 2;
+    f.write_all(&body[..half])?;
+    if crash_point(&crash, CrashStage::MidWrite) {
+        return Ok(false);
+    }
+    f.write_all(&body[half..])?;
+    if crash_point(&crash, CrashStage::BeforeSync) {
+        return Ok(false);
+    }
+    f.sync_all()?;
+    drop(f);
+    if crash_point(&crash, CrashStage::BeforeRename) {
+        return Ok(false);
+    }
+    fs::rename(&tmp, path)?;
+    let survived = !crash_point(&crash, CrashStage::AfterRename);
+    // Sync the directory so the rename is durable across power loss.
+    // Some filesystems refuse to open a directory for writing; opening
+    // read-only still permits fsync on unix.
+    if let Ok(d) = File::open(&dir) {
+        let _ = d.sync_all();
+    }
+    Ok(survived)
+}
+
+// ---------------------------------------------------------------------------
+// Recovery scan.
+
+/// Name of the sidecar directory a recovery scan moves debris into.
+pub const QUARANTINE_DIR: &str = "spq.quarantine";
+
+/// Name of the append-only reason manifest inside [`QUARANTINE_DIR`].
+pub const MANIFEST: &str = "MANIFEST";
+
+/// One file the recovery scan moved aside.
+#[derive(Debug)]
+pub struct QuarantineEntry {
+    /// Where the file was found.
+    pub original: PathBuf,
+    /// Where it now lives (inside the sidecar quarantine dir).
+    pub quarantined_to: PathBuf,
+    /// Human-readable reason, also appended to the manifest.
+    pub reason: String,
+}
+
+/// Result of scanning one directory.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Regular files examined.
+    pub scanned: usize,
+    /// Checksummed `SPQ*` containers that validated end to end.
+    pub verified: usize,
+    /// Files moved into quarantine, with reasons.
+    pub quarantined: Vec<QuarantineEntry>,
+}
+
+impl RecoveryReport {
+    /// Folds another directory's report into this one.
+    pub fn merge(&mut self, other: RecoveryReport) {
+        self.scanned += other.scanned;
+        self.verified += other.verified;
+        self.quarantined.extend(other.quarantined);
+    }
+
+    /// Looks up the quarantine entry for an exact original path, letting
+    /// a loader attach the precise reason to its degradation record.
+    pub fn reason_for(&self, path: &Path) -> Option<&QuarantineEntry> {
+        self.quarantined.iter().find(|q| q.original == path)
+    }
+}
+
+/// Validates a checksummed `SPQ*` container without knowing which index
+/// format it is: magic(4) + version(4) + body_len(8) + xxh64(8) + body,
+/// checksum seeded with the version, exactly as
+/// [`crate::binio::write_checksummed`] lays it down.
+fn validate_container(path: &Path) -> Result<(), IndexLoadError> {
+    let mut f = File::open(path)?;
+    let mut magic = [0u8; 4];
+    f.read_exact(&mut magic)?;
+    let mut v = [0u8; 4];
+    f.read_exact(&mut v)?;
+    let version = u32::from_le_bytes(v);
+    // Version-1 CH files predate the checksummed container entirely
+    // (plain header, no body_len/checksum fields); classify them before
+    // touching fields they do not have, or a short legacy file reads as
+    // an i/o error and gets quarantined instead of left for the loader's
+    // migration advice. Every other SPQ* magic is checksummed from v1.
+    if &magic == b"SPQC" && version < 2 {
+        return Err(IndexLoadError::LegacyVersion {
+            found: version,
+            supported: 2,
+        });
+    }
+    let body_len = read_u64(&mut f)?;
+    // Same plausibility cap as binio::MAX_BODY_LEN.
+    if body_len > (1 << 37) {
+        return Err(IndexLoadError::Corrupt(format!(
+            "implausible body length {body_len}"
+        )));
+    }
+    let stored = read_u64(&mut f)?;
+    let mut body = Vec::new();
+    f.read_to_end(&mut body)?;
+    if (body.len() as u64) < body_len {
+        return Err(IndexLoadError::Truncated {
+            expected: body_len,
+            got: body.len() as u64,
+        });
+    }
+    body.truncate(body_len as usize);
+    let computed = xxhash64(&body, version as u64);
+    if computed != stored {
+        return Err(IndexLoadError::ChecksumMismatch {
+            expected: stored,
+            got: computed,
+        });
+    }
+    Ok(())
+}
+
+/// Decides whether one regular file is debris, and why.
+fn debris_reason(path: &Path) -> io::Result<Option<String>> {
+    let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+    let name = name.unwrap_or_default();
+    if name.ends_with(".tmp") {
+        return Ok(Some(
+            "orphaned temp file from an interrupted atomic write".to_string(),
+        ));
+    }
+    // Only checksummed SPQ containers can be validated magic-agnostically.
+    // SPQN (network) files use a plain header without a checksum, and
+    // non-SPQ files are none of our business: both are left in place.
+    let mut f = File::open(path)?;
+    let mut magic = [0u8; 4];
+    match f.read_exact(&mut magic) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    if !magic.starts_with(b"SPQ") || &magic == b"SPQN" {
+        return Ok(None);
+    }
+    drop(f);
+    match validate_container(path) {
+        Ok(()) => Ok(None),
+        // A version-1 file predates the checksummed container; it is
+        // refused at load time with a typed error but is not *torn*, so
+        // the scan leaves it for the operator.
+        Err(IndexLoadError::LegacyVersion { .. }) => Ok(None),
+        Err(e) => Ok(Some(format!(
+            "container {} failed validation: {e}",
+            String::from_utf8_lossy(&magic)
+        ))),
+    }
+}
+
+/// Moves `path` into `dir/spq.quarantine/`, appending a manifest line.
+fn quarantine(dir: &Path, path: &Path, reason: &str) -> io::Result<QuarantineEntry> {
+    let qdir = dir.join(QUARANTINE_DIR);
+    fs::create_dir_all(&qdir)?;
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unnamed".to_string());
+    let mut dest = qdir.join(&name);
+    let mut n = 1;
+    while dest.exists() {
+        dest = qdir.join(format!("{name}.{n}"));
+        n += 1;
+    }
+    fs::rename(path, &dest)?;
+    let ts = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut manifest = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(qdir.join(MANIFEST))?;
+    writeln!(
+        manifest,
+        "ts={ts} file={} quarantined_as={} reason={reason}",
+        path.display(),
+        dest.file_name().unwrap_or_default().to_string_lossy()
+    )?;
+    manifest.sync_all()?;
+    Ok(QuarantineEntry {
+        original: path.to_path_buf(),
+        quarantined_to: dest,
+        reason: reason.to_string(),
+    })
+}
+
+/// Scans one directory (non-recursive) for crash debris: orphaned
+/// `*.tmp` files and checksummed `SPQ*` containers that fail
+/// validation. Each is moved into the sidecar [`QUARANTINE_DIR`] with a
+/// manifest line; nothing is deleted. Files the scan cannot judge
+/// (non-SPQ, unchecksummed `SPQN`, legacy versions) are left alone.
+///
+/// A missing directory yields an empty report — a fresh deployment has
+/// nothing to recover.
+pub fn recover_dir(dir: impl AsRef<Path>) -> io::Result<RecoveryReport> {
+    let dir = dir.as_ref();
+    let mut report = RecoveryReport::default();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(report),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let path = entry.path();
+        if !entry.file_type()?.is_file() {
+            continue;
+        }
+        report.scanned += 1;
+        match debris_reason(&path) {
+            Ok(Some(reason)) => {
+                report.quarantined.push(quarantine(dir, &path, &reason)?);
+            }
+            Ok(None) => report.verified += 1,
+            // A file that vanished mid-scan (concurrent writer) is not
+            // debris; skip it rather than fail the whole scan.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(report)
+}
+
+/// Scans the parent directories of a set of files (deduplicated), for
+/// callers that know which artifact paths they are about to load rather
+/// than which directories hold them.
+pub fn recover_dirs_of<'a>(
+    paths: impl IntoIterator<Item = &'a Path>,
+) -> io::Result<RecoveryReport> {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    for p in paths {
+        let d = match p.parent() {
+            Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+            _ => PathBuf::from("."),
+        };
+        if !dirs.contains(&d) {
+            dirs.push(d);
+        }
+    }
+    let mut report = RecoveryReport::default();
+    for d in &dirs {
+        report.merge(recover_dir(d)?);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binio::write_checksummed;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "spq_atomic_io_{tag}_{}_{}",
+            std::process::id(),
+            WRITE_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn container_bytes(version: u32, body: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_checksummed(&mut buf, b"SPQC", version, body).unwrap();
+        buf
+    }
+
+    #[test]
+    fn write_atomic_roundtrip_and_no_temp_left() {
+        let d = tmpdir("roundtrip");
+        let path = d.join("index.ch");
+        write_atomic(&path, |w| w.write_all(&container_bytes(2, b"hello"))).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), container_bytes(2, b"hello"));
+        let leftovers: Vec<_> = fs::read_dir(&d)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .ends_with(".tmp")
+            })
+            .collect();
+        assert!(leftovers.is_empty(), "temp file must be renamed away");
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_replaces_existing_file_atomically() {
+        let d = tmpdir("replace");
+        let path = d.join("index.ch");
+        write_atomic(&path, |w| w.write_all(b"old")).unwrap();
+        write_atomic(&path, |w| w.write_all(b"new content")).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"new content");
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn torn_write_never_damages_the_destination() {
+        // Crash at every pre-rename stage: the old file survives intact.
+        for stage in [
+            CrashStage::MidWrite,
+            CrashStage::BeforeSync,
+            CrashStage::BeforeRename,
+        ] {
+            let d = tmpdir("torn");
+            let path = d.join("index.ch");
+            let old = container_bytes(2, b"previous generation");
+            write_atomic(&path, |w| w.write_all(&old)).unwrap();
+            let completed =
+                write_atomic_torn(&path, stage, |w| w.write_all(&container_bytes(2, b"next")))
+                    .unwrap();
+            assert!(!completed, "{stage:?} must cut the write short");
+            assert_eq!(
+                fs::read(&path).unwrap(),
+                old,
+                "{stage:?}: destination must still hold the old bytes"
+            );
+            fs::remove_dir_all(&d).unwrap();
+        }
+        // Crash after the rename: the new file is already in place.
+        let d = tmpdir("torn_after");
+        let path = d.join("index.ch");
+        let new = container_bytes(2, b"next");
+        write_atomic_torn(&path, CrashStage::AfterRename, |w| w.write_all(&new)).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), new);
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn recovery_scan_quarantines_orphan_tmp_and_keeps_good_files() {
+        let d = tmpdir("scan_orphan");
+        let good = d.join("good.ch");
+        write_atomic(&good, |w| w.write_all(&container_bytes(2, b"good body"))).unwrap();
+        // A torn mid-write leaves an orphan temp.
+        write_atomic_torn(d.join("other.ch"), CrashStage::MidWrite, |w| {
+            w.write_all(&container_bytes(2, b"never finished"))
+        })
+        .unwrap();
+        let report = recover_dir(&d).unwrap();
+        assert_eq!(report.quarantined.len(), 1, "exactly the orphan temp");
+        assert!(report.quarantined[0].reason.contains("orphaned temp"));
+        assert!(good.exists(), "validated container stays in place");
+        assert!(report.quarantined[0].quarantined_to.exists());
+        let manifest = fs::read_to_string(d.join(QUARANTINE_DIR).join(MANIFEST)).unwrap();
+        assert!(manifest.contains("orphaned temp"), "manifest: {manifest}");
+        // Scan is idempotent: a second pass finds nothing new.
+        let again = recover_dir(&d).unwrap();
+        assert!(again.quarantined.is_empty());
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn recovery_scan_quarantines_corrupt_containers() {
+        let d = tmpdir("scan_corrupt");
+        // Truncated container (torn by a non-atomic writer).
+        let mut torn = container_bytes(2, b"a body of respectable length here");
+        torn.truncate(torn.len() - 5);
+        fs::write(d.join("torn.ch"), &torn).unwrap();
+        // Bit-flipped container.
+        let mut flipped = container_bytes(2, b"a body of respectable length here");
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x10;
+        fs::write(d.join("flipped.hl"), &flipped).unwrap();
+        // Non-SPQ file: left alone.
+        fs::write(d.join("notes.txt"), b"operator notes").unwrap();
+        let report = recover_dir(&d).unwrap();
+        assert_eq!(report.quarantined.len(), 2);
+        assert!(d.join("notes.txt").exists());
+        assert!(!d.join("torn.ch").exists());
+        assert!(!d.join("flipped.hl").exists());
+        let reasons: Vec<&str> = report
+            .quarantined
+            .iter()
+            .map(|q| q.reason.as_str())
+            .collect();
+        assert!(
+            reasons.iter().any(|r| r.contains("truncated")),
+            "{reasons:?}"
+        );
+        assert!(
+            reasons.iter().any(|r| r.contains("checksum mismatch")),
+            "{reasons:?}"
+        );
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    /// A pre-checksum CH file (version 1: plain header, no
+    /// body_len/checksum fields) is not debris — the loader refuses it
+    /// with migration advice, so the scan must leave it in place even
+    /// though it is too short to parse as a checksummed container.
+    #[test]
+    fn recovery_scan_leaves_legacy_ch_files_for_the_loader() {
+        let d = tmpdir("scan_legacy");
+        let legacy = d.join("old.ch");
+        let mut bytes = Vec::new();
+        crate::binio::write_header(&mut bytes, b"SPQC", 1).unwrap();
+        crate::binio::write_u64(&mut bytes, 0).unwrap();
+        fs::write(&legacy, &bytes).unwrap();
+        let report = recover_dir(&d).unwrap();
+        assert!(report.quarantined.is_empty(), "{:?}", report.quarantined);
+        assert!(legacy.exists(), "legacy file must stay in place");
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn recovery_scan_reports_reason_for_exact_path() {
+        let d = tmpdir("scan_reason");
+        let bad = d.join("bad.ch");
+        let mut bytes = container_bytes(2, b"soon to be damaged");
+        bytes[20] ^= 0xFF;
+        fs::write(&bad, &bytes).unwrap();
+        let report = recover_dirs_of([bad.as_path()]).unwrap();
+        let entry = report.reason_for(&bad).expect("entry for the exact path");
+        assert!(entry.reason.contains("checksum mismatch"));
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_report() {
+        let report = recover_dir("/definitely/not/a/real/dir/spq").unwrap();
+        assert_eq!(report.scanned, 0);
+        assert!(report.quarantined.is_empty());
+    }
+
+    #[test]
+    fn crash_env_parses_stages() {
+        assert_eq!(CrashStage::parse("mid-write"), Some(CrashStage::MidWrite));
+        assert_eq!(
+            CrashStage::parse("after-rename"),
+            Some(CrashStage::AfterRename)
+        );
+        assert_eq!(CrashStage::parse("nonsense"), None);
+    }
+}

@@ -41,6 +41,7 @@
 
 #[cfg(feature = "arbitrary")]
 pub mod arbitrary;
+pub mod atomic_io;
 pub mod backend;
 pub mod binio;
 pub mod builder;

@@ -11,6 +11,7 @@
 
 pub mod linf;
 pub mod network;
+pub mod shapes;
 pub mod stats;
 
 pub use linf::linf_query_sets;

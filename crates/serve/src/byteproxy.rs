@@ -1,0 +1,477 @@
+//! A seeded byte-level fault proxy for wire chaos.
+//!
+//! [`ByteProxy`] listens on its own port and pumps every accepted
+//! connection to an upstream server, perturbing the byte stream on the
+//! way: frames split at arbitrary offsets, mid-frame stalls
+//! (slowloris), single-bit flips, duplicated windows, and connections
+//! killed mid-stream (truncation as the peer sees it). It is the wire
+//! counterpart of [`crate::fault`]'s request-level injector: where that
+//! module faults *requests*, this one faults *bytes*, exercising the
+//! framing layer, the interruptible reads, and the stall timeout.
+//!
+//! Replayability is the design constraint. TCP chunk boundaries are
+//! decided by the kernel, so drawing faults per `read()` would make a
+//! failing run unreproducible. Instead the stream is divided into
+//! fixed [`WINDOW`]-byte windows by *cumulative offset*, and the fault
+//! decision for window `w` of direction `d` is a pure function of
+//! `(plan.seed, connection, d, w)`. For a fixed client workload the
+//! perturbation is then byte-for-byte identical across runs, whatever
+//! the kernel does to chunking — a failing seed is a test case.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Fault-decision granularity, in stream bytes. Small enough that a
+/// single request frame (≥13 bytes) can be hit by multiple decisions;
+/// large enough that the per-window rng setup stays off the hot path.
+pub const WINDOW: usize = 256;
+
+/// Probabilities of each per-window byte fault. All draws come from a
+/// window-keyed seeded rng, so a plan plus a client workload replays
+/// exactly.
+#[derive(Debug, Clone)]
+pub struct ByteFaultPlan {
+    /// Master seed; every per-window decision derives from it.
+    pub seed: u64,
+    /// Split the window at a random offset: the bytes arrive in two
+    /// writes with a flush and a short pause between them.
+    pub split_prob: f64,
+    /// Stall mid-window for [`ByteFaultPlan::stall`] before sending the
+    /// rest (slowloris). The peer sees a half-delivered frame.
+    pub stall_prob: f64,
+    /// The stall duration.
+    pub stall: Duration,
+    /// Flip one random bit of one byte in the window.
+    pub flip_prob: f64,
+    /// Write the window's bytes twice (duplicated payload).
+    pub dup_prob: f64,
+    /// Kill the connection at a random offset inside the window: the
+    /// peer sees a truncated stream and an abrupt close.
+    pub kill_prob: f64,
+    /// Perturb client→server bytes.
+    pub fault_upstream: bool,
+    /// Perturb server→client bytes.
+    pub fault_downstream: bool,
+}
+
+impl Default for ByteFaultPlan {
+    fn default() -> Self {
+        ByteFaultPlan {
+            seed: 0xB17E_FA57,
+            split_prob: 0.0,
+            stall_prob: 0.0,
+            stall: Duration::from_millis(20),
+            flip_prob: 0.0,
+            dup_prob: 0.0,
+            kill_prob: 0.0,
+            fault_upstream: true,
+            fault_downstream: false,
+        }
+    }
+}
+
+/// The decision for one window of one direction: where (if anywhere)
+/// to flip, split, stall, duplicate, or kill. Offsets are relative to
+/// the window start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WindowFault {
+    flip: Option<(usize, u8)>,
+    split: Option<usize>,
+    stall: Option<usize>,
+    dup: bool,
+    kill: Option<usize>,
+}
+
+impl WindowFault {
+    const NONE: WindowFault = WindowFault {
+        flip: None,
+        split: None,
+        stall: None,
+        dup: false,
+        kill: None,
+    };
+}
+
+fn mix(seed: u64, conn: u64, dir: u64, win: u64) -> u64 {
+    // SplitMix64-style avalanche over the four coordinates.
+    let mut z = seed
+        .wrapping_add(conn.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(dir.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(win.wrapping_mul(0x94D0_49BB_1331_11EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Pure decision function: the fault plan for window `win` of direction
+/// `dir` (0: client→server, 1: server→client) on connection `conn`.
+fn window_fault(plan: &ByteFaultPlan, conn: u64, dir: u64, win: u64) -> WindowFault {
+    let mut rng = StdRng::seed_from_u64(mix(plan.seed, conn, dir, win));
+    // Every probability is drawn unconditionally so one decision never
+    // shifts the rng stream of the next — decisions stay independent.
+    let flip_roll = rng.random::<f64>() < plan.flip_prob;
+    let flip_at = rng.random_range(0..WINDOW);
+    let flip_bit = rng.random_range(0u32..8) as u8;
+    let split_roll = rng.random::<f64>() < plan.split_prob;
+    let split_at = rng.random_range(1..WINDOW);
+    let stall_roll = rng.random::<f64>() < plan.stall_prob;
+    let stall_at = rng.random_range(0..WINDOW);
+    let dup = rng.random::<f64>() < plan.dup_prob;
+    let kill_roll = rng.random::<f64>() < plan.kill_prob;
+    let kill_at = rng.random_range(0..WINDOW);
+    WindowFault {
+        flip: flip_roll.then_some((flip_at, flip_bit)),
+        split: split_roll.then_some(split_at),
+        stall: stall_roll.then_some(stall_at),
+        dup,
+        kill: kill_roll.then_some(kill_at),
+    }
+}
+
+/// Counts of faults actually applied (a probability only counts once
+/// its window carried bytes).
+#[derive(Debug, Default)]
+pub struct ProxyCounters {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Windows written in two parts.
+    pub splits: AtomicU64,
+    /// Mid-window stalls.
+    pub stalls: AtomicU64,
+    /// Single-bit flips.
+    pub flips: AtomicU64,
+    /// Duplicated windows.
+    pub dups: AtomicU64,
+    /// Connections killed mid-stream.
+    pub kills: AtomicU64,
+}
+
+/// A point-in-time copy of [`ProxyCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProxySnapshot {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Windows written in two parts.
+    pub splits: u64,
+    /// Mid-window stalls.
+    pub stalls: u64,
+    /// Single-bit flips.
+    pub flips: u64,
+    /// Duplicated windows.
+    pub dups: u64,
+    /// Connections killed mid-stream.
+    pub kills: u64,
+}
+
+impl ProxySnapshot {
+    /// Total faults applied across all kinds.
+    pub fn total_faults(&self) -> u64 {
+        self.splits + self.stalls + self.flips + self.dups + self.kills
+    }
+}
+
+/// The running proxy: accepts on its own port, pumps to `upstream`
+/// through the fault plan. Stops (and joins its acceptor) on drop.
+pub struct ByteProxy {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<ProxyCounters>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ByteProxy {
+    /// Binds a fresh port on 127.0.0.1 and starts proxying to
+    /// `upstream` under `plan`.
+    pub fn start(upstream: SocketAddr, plan: ByteFaultPlan) -> io::Result<ByteProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(ProxyCounters::default());
+        let stop = Arc::clone(&shutdown);
+        let ctr = Arc::clone(&counters);
+        let acceptor = thread::Builder::new()
+            .name("byteproxy-accept".into())
+            .spawn(move || {
+                let mut conn_id: u64 = 0;
+                while !stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((client, _)) => {
+                            ctr.connections.fetch_add(1, Ordering::Relaxed);
+                            let id = conn_id;
+                            conn_id += 1;
+                            if let Err(e) = spawn_pumps(client, upstream, &plan, id, &stop, &ctr) {
+                                eprintln!("[byteproxy] conn {id}: {e}");
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(e) => {
+                            eprintln!("[byteproxy] accept: {e}");
+                            break;
+                        }
+                    }
+                }
+            })
+            .expect("spawn byteproxy acceptor");
+        Ok(ByteProxy {
+            addr,
+            shutdown,
+            counters,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the fault counters.
+    pub fn counters(&self) -> ProxySnapshot {
+        ProxySnapshot {
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            splits: self.counters.splits.load(Ordering::Relaxed),
+            stalls: self.counters.stalls.load(Ordering::Relaxed),
+            flips: self.counters.flips.load(Ordering::Relaxed),
+            dups: self.counters.dups.load(Ordering::Relaxed),
+            kills: self.counters.kills.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting and joins the acceptor. Pump threads notice the
+    /// flag within their read timeout and exit on their own.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ByteProxy {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+fn spawn_pumps(
+    client: TcpStream,
+    upstream: SocketAddr,
+    plan: &ByteFaultPlan,
+    conn: u64,
+    stop: &Arc<AtomicBool>,
+    counters: &Arc<ProxyCounters>,
+) -> io::Result<()> {
+    let server = TcpStream::connect(upstream)?;
+    // Short read timeouts keep the pumps responsive to shutdown without
+    // busy-waiting; WouldBlock/TimedOut just re-checks the flag.
+    let timeout = Some(Duration::from_millis(20));
+    client.set_read_timeout(timeout)?;
+    server.set_read_timeout(timeout)?;
+    for (dir, src, dst) in [
+        (0u64, client.try_clone()?, server.try_clone()?),
+        (1u64, server, client),
+    ] {
+        let faulted = match dir {
+            0 => plan.fault_upstream,
+            _ => plan.fault_downstream,
+        };
+        let plan = plan.clone();
+        let stop = Arc::clone(stop);
+        let counters = Arc::clone(counters);
+        thread::Builder::new()
+            .name(format!("byteproxy-{conn}-{dir}"))
+            .spawn(move || {
+                pump(src, dst, &plan, conn, dir, faulted, &stop, &counters);
+            })
+            .expect("spawn byteproxy pump");
+    }
+    Ok(())
+}
+
+/// Pumps `src` to `dst`, applying the windowed fault plan. Reads never
+/// cross a window boundary, so each chunk lives in exactly one window
+/// and the decision for it is position-deterministic.
+#[allow(clippy::too_many_arguments)]
+fn pump(
+    mut src: TcpStream,
+    mut dst: TcpStream,
+    plan: &ByteFaultPlan,
+    conn: u64,
+    dir: u64,
+    faulted: bool,
+    stop: &AtomicBool,
+    counters: &ProxyCounters,
+) {
+    let mut offset: usize = 0;
+    let mut buf = [0u8; WINDOW];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let win = offset / WINDOW;
+        let win_start = win * WINDOW;
+        let room = WINDOW - (offset - win_start);
+        let n = match src.read(&mut buf[..room]) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        let fault = if faulted {
+            window_fault(plan, conn, dir, win as u64)
+        } else {
+            WindowFault::NONE
+        };
+        let rel = offset - win_start; // chunk's start inside the window
+        let chunk = &mut buf[..n];
+        if let Some((at, bit)) = fault.flip {
+            if at >= rel && at < rel + n {
+                chunk[at - rel] ^= 1 << bit;
+                counters.flips.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if let Some(at) = fault.kill {
+            if at >= rel && at < rel + n {
+                // Deliver the prefix, then tear the whole connection
+                // down: the peer sees a truncated stream.
+                let _ = dst.write_all(&chunk[..at - rel]);
+                let _ = dst.flush();
+                counters.kills.fetch_add(1, Ordering::Relaxed);
+                let _ = src.shutdown(Shutdown::Both);
+                let _ = dst.shutdown(Shutdown::Both);
+                return;
+            }
+        }
+        // Where (relative to the chunk) to pause: a stall or a split
+        // point that lands inside this chunk.
+        let mut pause_at: Option<(usize, Duration)> = None;
+        if let Some(at) = fault.stall {
+            if at >= rel && at < rel + n {
+                pause_at = Some((at - rel, plan.stall));
+                counters.stalls.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if pause_at.is_none() {
+            if let Some(at) = fault.split {
+                if at > rel && at < rel + n {
+                    pause_at = Some((at - rel, Duration::from_millis(1)));
+                    counters.splits.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let write_ok = match pause_at {
+            Some((k, pause)) => dst
+                .write_all(&chunk[..k])
+                .and_then(|_| dst.flush())
+                .map(|_| {
+                    thread::sleep(pause);
+                })
+                .and_then(|_| dst.write_all(&chunk[k..])),
+            None => dst.write_all(chunk),
+        }
+        .and_then(|_| dst.flush())
+        .is_ok();
+        if write_ok && fault.dup {
+            counters.dups.fetch_add(1, Ordering::Relaxed);
+            if dst.write_all(chunk).and_then(|_| dst.flush()).is_err() {
+                break;
+            }
+        }
+        if !write_ok {
+            break;
+        }
+        offset += n;
+    }
+    // Propagate EOF so the peer's read returns 0 instead of timing out.
+    let _ = dst.shutdown(Shutdown::Write);
+    let _ = src.shutdown(Shutdown::Read);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_decisions_are_deterministic_and_seed_sensitive() {
+        let plan = ByteFaultPlan {
+            seed: 42,
+            split_prob: 0.5,
+            stall_prob: 0.3,
+            flip_prob: 0.4,
+            dup_prob: 0.2,
+            kill_prob: 0.1,
+            ..ByteFaultPlan::default()
+        };
+        let a: Vec<WindowFault> = (0..64).map(|w| window_fault(&plan, 3, 0, w)).collect();
+        let b: Vec<WindowFault> = (0..64).map(|w| window_fault(&plan, 3, 0, w)).collect();
+        assert_eq!(a, b, "same coordinates, same decisions");
+        let other_seed = ByteFaultPlan {
+            seed: 43,
+            ..plan.clone()
+        };
+        let c: Vec<WindowFault> = (0..64)
+            .map(|w| window_fault(&other_seed, 3, 0, w))
+            .collect();
+        assert_ne!(a, c, "seed must matter");
+        let other_dir: Vec<WindowFault> = (0..64).map(|w| window_fault(&plan, 3, 1, w)).collect();
+        assert_ne!(a, other_dir, "directions draw independent streams");
+    }
+
+    #[test]
+    fn zero_probability_plan_is_a_clean_pipe() {
+        let plan = ByteFaultPlan::default();
+        for w in 0..128 {
+            assert_eq!(window_fault(&plan, 0, 0, w), WindowFault::NONE);
+        }
+    }
+
+    #[test]
+    fn proxy_with_clean_plan_passes_bytes_through() {
+        // An echo upstream: whatever arrives is written back.
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let up_addr = upstream.local_addr().unwrap();
+        let echo = thread::spawn(move || {
+            let (mut s, _) = upstream.accept().unwrap();
+            let mut buf = [0u8; 1024];
+            loop {
+                match s.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        if s.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+        let proxy = ByteProxy::start(up_addr, ByteFaultPlan::default()).unwrap();
+        let mut c = TcpStream::connect(proxy.local_addr()).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let payload: Vec<u8> = (0..2000u32).flat_map(|x| x.to_le_bytes()).collect();
+        c.write_all(&payload).unwrap();
+        let mut back = vec![0u8; payload.len()];
+        c.read_exact(&mut back).unwrap();
+        assert_eq!(back, payload, "clean plan must not alter the stream");
+        assert_eq!(proxy.counters().total_faults(), 0);
+        drop(c);
+        proxy.stop();
+        echo.join().unwrap();
+    }
+}

@@ -87,6 +87,12 @@ pub struct ServeClient {
     /// Deadline attached to subsequent DISTANCE/PATH/DISTANCES requests
     /// (0: none).
     deadline_ms: u32,
+    /// True from the moment request bytes start flowing until the full
+    /// response is read. A transport error with this set means the
+    /// server may have executed the request (the response was lost, not
+    /// necessarily the request) — [`RetryingClient`] budgets such
+    /// retries separately.
+    in_flight: bool,
 }
 
 impl ServeClient {
@@ -98,7 +104,15 @@ impl ServeClient {
             stream,
             buf: Vec::new(),
             deadline_ms: 0,
+            in_flight: false,
         })
+    }
+
+    /// Whether a request was sent (possibly partially) without its
+    /// response having been fully read — i.e. whether a transport error
+    /// now would leave the request in a possibly-executed state.
+    pub fn in_flight(&self) -> bool {
+        self.in_flight
     }
 
     /// Sets the per-request deadline (milliseconds) attached to every
@@ -107,23 +121,38 @@ impl ServeClient {
         self.deadline_ms = deadline_ms;
     }
 
+    /// Bounds every socket read and write. A client talking to a server
+    /// (or a fault proxy) that stalls mid-frame gets `Io(WouldBlock |
+    /// TimedOut)` instead of hanging forever — the torture harness's
+    /// hang detector relies on this.
+    pub fn set_io_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+
     /// Sends a raw frame payload and returns the raw response payload
     /// (status byte included). Exists for protocol-robustness tests.
     pub fn roundtrip_raw(&mut self, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
+        self.in_flight = true;
         write_frame(&mut self.stream, payload)?;
         if !read_frame(&mut self.stream, &mut self.buf)? {
             return Err(ClientError::Io(io::ErrorKind::UnexpectedEof.into()));
         }
+        self.in_flight = false;
         Ok(self.buf.clone())
     }
 
     /// Sends a request and returns the OK body (status byte stripped),
     /// or the typed remote error.
     fn roundtrip(&mut self, request: &Request) -> Result<&[u8], ClientError> {
+        self.in_flight = true;
         write_frame(&mut self.stream, &request.encode())?;
         if !read_frame(&mut self.stream, &mut self.buf)? {
             return Err(ClientError::Io(io::ErrorKind::UnexpectedEof.into()));
         }
+        // A fully read response — even an error status — proves the
+        // server finished with this request; nothing is in flight.
+        self.in_flight = false;
         match self.buf.split_first() {
             Some((&STATUS_OK, body)) => Ok(body),
             Some((&status, body)) => {
@@ -331,6 +360,14 @@ pub struct RetryPolicy {
     /// Seed for the jitter PRNG (a fixed seed makes retry timing
     /// deterministic in tests).
     pub seed: u64,
+    /// Of the `max_retries` budget, how many may be spent on a request
+    /// that was already (possibly partially) delivered when the
+    /// transport failed — a mid-frame stall or reset after the frame
+    /// went out. Such a request may have *executed*; re-sending it is a
+    /// deliberate at-least-once decision, so it gets its own explicit
+    /// budget (0 turns it off) and its own lifetime counter
+    /// ([`RetryingClient::retried_after_partial`]).
+    pub partial_retries: u32,
 }
 
 impl Default for RetryPolicy {
@@ -340,6 +377,7 @@ impl Default for RetryPolicy {
             base: Duration::from_millis(5),
             cap: Duration::from_millis(200),
             seed: 0xB0FF,
+            partial_retries: 1,
         }
     }
 }
@@ -371,6 +409,11 @@ pub struct RetryingClient {
     deadline_ms: u32,
     /// Retries performed over this client's lifetime.
     pub retries: u64,
+    /// Of those, retries of requests that were already in flight when
+    /// the transport failed — requests the server may have executed.
+    /// Surfaced in the loadgen CSV so an operator can see how often the
+    /// at-least-once path was taken.
+    pub retried_after_partial: u64,
 }
 
 impl RetryingClient {
@@ -384,6 +427,7 @@ impl RetryingClient {
             client: None,
             deadline_ms: 0,
             retries: 0,
+            retried_after_partial: 0,
         }
     }
 
@@ -397,28 +441,56 @@ impl RetryingClient {
     }
 
     /// Runs `op` with retry/reconnect; the workhorse behind the typed
-    /// query methods.
-    fn with_retries<T>(
+    /// query methods. Public so test harnesses can drive the retry loop
+    /// with synthetic outcomes and assert its exact classification.
+    pub fn with_retries<T>(
         &mut self,
         mut op: impl FnMut(&mut ServeClient) -> Result<T, ClientError>,
     ) -> Result<T, ClientError> {
         let mut attempt = 0u32;
+        let mut partial_spent = 0u32;
         loop {
-            let result = match &mut self.client {
-                Some(c) => op(c),
-                None => match ServeClient::connect(self.addr) {
+            // Connect (or reconnect) first, so the client's in-flight
+            // state is still inspectable after a failed op.
+            if self.client.is_none() {
+                match ServeClient::connect(self.addr) {
                     Ok(mut c) => {
                         c.set_deadline_ms(self.deadline_ms);
-                        let r = op(&mut c);
                         self.client = Some(c);
-                        r
                     }
-                    Err(e) => Err(ClientError::Io(e)),
-                },
-            };
+                    Err(e) => {
+                        // A failed connect never delivered anything —
+                        // plain transport loss, retry on the main budget.
+                        if attempt >= self.policy.max_retries {
+                            return Err(ClientError::Io(e));
+                        }
+                        self.retries += 1;
+                        std::thread::sleep(self.policy.backoff(attempt, &mut self.rng));
+                        attempt += 1;
+                        continue;
+                    }
+                }
+            }
+            let c = self.client.as_mut().expect("connected above");
+            let result = op(c);
+            // Read the flag before tearing the connection down: a
+            // transport error with a request in flight means the server
+            // may have executed it and only the response was lost.
+            let was_in_flight = c.in_flight();
             match result {
                 Ok(v) => return Ok(v),
                 Err(e) if e.is_retryable() && attempt < self.policy.max_retries => {
+                    let partial = was_in_flight && matches!(e, ClientError::Io(_));
+                    if partial {
+                        // Re-sending a possibly-executed request is an
+                        // explicit at-least-once decision with its own
+                        // budget; exhausting it surfaces the error.
+                        if partial_spent >= self.policy.partial_retries {
+                            return Err(e);
+                        }
+                        partial_spent += 1;
+                        self.retried_after_partial += 1;
+                    }
                     // Busy answers arrive on a connection the server has
                     // already closed; transport errors leave it in an
                     // unknown state. Reconnect either way.
@@ -512,6 +584,7 @@ mod tests {
             base: Duration::from_millis(10),
             cap: Duration::from_millis(80),
             seed: 1,
+            partial_retries: 8,
         };
         let mut a = StdRng::seed_from_u64(1);
         let mut b = StdRng::seed_from_u64(1);

@@ -387,6 +387,15 @@ impl ReloadSpec {
         let sets: Vec<spq_many::PoiSet> = if self.pois.is_empty() {
             current.poi_sets().iter().map(|e| e.set.clone()).collect()
         } else {
+            // Same recovery discipline as index loads: sweep the POI
+            // containers' directories for crash debris first, so a torn
+            // container fails this (strict) reload with the scan reason
+            // instead of a bare parse error.
+            match spq_graph::atomic_io::recover_dirs_of(self.pois.iter().map(|(_, p)| p.as_path()))
+            {
+                Ok(report) => crate::log_recovery(&report),
+                Err(e) => eprintln!("[recovery] scan failed: {e}"),
+            }
             let mut sets = Vec::with_capacity(self.pois.len());
             for (name, path) in &self.pois {
                 let shown = path.display();

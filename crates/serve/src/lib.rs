@@ -38,6 +38,7 @@
 //! no external dependencies.
 
 pub mod audit;
+pub mod byteproxy;
 pub mod cache;
 pub mod client;
 pub mod epoch;
@@ -47,6 +48,7 @@ pub mod protocol;
 pub mod server;
 pub mod stats;
 pub mod sync;
+pub mod torture;
 
 use std::fs::File;
 use std::io::BufReader;
@@ -58,6 +60,7 @@ use spq_alt::{Alt, AltParams};
 use spq_arcflags::{ArcFlags, ArcFlagsParams};
 use spq_ch::ContractionHierarchy;
 use spq_dijkstra::{Baseline, Dijkstra};
+use spq_graph::atomic_io;
 use spq_graph::backend::Backend;
 use spq_graph::sample::PairSampler;
 use spq_graph::RoadNetwork;
@@ -68,6 +71,7 @@ use spq_silc::Silc;
 use spq_tnr::{Tnr, TnrParams};
 
 pub use audit::AuditConfig;
+pub use byteproxy::{ByteFaultPlan, ByteProxy};
 pub use cache::{CacheStats, DistanceCache};
 pub use client::{ClientError, RetryPolicy, RetryingClient, ServeClient};
 pub use epoch::{EpochRegistry, EpochState, ReloadFactory, ReloadSpec};
@@ -240,6 +244,28 @@ impl BackendSpec {
     }
 }
 
+/// Logs a recovery scan's outcome in the greppable `[recovery]` form
+/// the RUNBOOK documents. Called by the engine builder and by the
+/// reload path before POI loads.
+pub fn log_recovery(report: &atomic_io::RecoveryReport) {
+    for q in &report.quarantined {
+        eprintln!(
+            "[recovery] quarantined {} -> {}: {}",
+            q.original.display(),
+            q.quarantined_to.display(),
+            q.reason
+        );
+    }
+    if report.scanned > 0 {
+        eprintln!(
+            "[recovery] scanned {} file(s): {} verified container(s), {} quarantined",
+            report.scanned,
+            report.verified,
+            report.quarantined.len()
+        );
+    }
+}
+
 /// A recorded startup downgrade: `requested` failed index validation
 /// and its wire id is being answered by `served_by` instead.
 #[derive(Debug, Clone)]
@@ -391,6 +417,38 @@ impl Engine {
             ch: None,
             pois: PoiTable::empty(),
         };
+        // Recovery scan: before touching any persisted index, sweep the
+        // directories they live in for crash debris (orphaned `*.tmp`
+        // files, torn or bit-rotted containers) and quarantine it. A
+        // quarantined index then fails its load below with the precise
+        // scan reason attached, feeding the degradation chain — or, in
+        // strict (reload) mode, failing the build with a typed message.
+        let index_paths: Vec<&Path> = specs.iter().filter_map(|s| s.index.as_deref()).collect();
+        let recovery = if index_paths.is_empty() {
+            atomic_io::RecoveryReport::default()
+        } else {
+            match atomic_io::recover_dirs_of(index_paths.iter().copied()) {
+                Ok(r) => r,
+                Err(e) => {
+                    // A scan failure (permissions, disk) must not take
+                    // down startup on its own; the loads below will hit
+                    // the same wall and report it.
+                    eprintln!("[recovery] scan failed: {e}");
+                    atomic_io::RecoveryReport::default()
+                }
+            }
+        };
+        log_recovery(&recovery);
+        let annotate = |reason: String, path: &Path| -> String {
+            match recovery.reason_for(path) {
+                Some(q) => format!(
+                    "{reason} (quarantined by recovery scan: {}; moved to {})",
+                    q.reason,
+                    q.quarantined_to.display()
+                ),
+                None => reason,
+            }
+        };
         let mut failed: Vec<(BackendKind, String)> = Vec::new();
         for spec in specs {
             let start = Instant::now();
@@ -409,6 +467,10 @@ impl Engine {
                         Box::new(ManyBackend::new(ch, Arc::clone(&engine.pois)))
                     }
                     Err(reason) => {
+                        let reason = match &spec.index {
+                            Some(path) => annotate(reason, path),
+                            None => reason,
+                        };
                         if !degrade {
                             return Err(format!("cannot load ch index: {reason}"));
                         }
@@ -422,6 +484,7 @@ impl Engine {
                     Some(path) => match Self::load_backend(spec.kind, path, &engine.net) {
                         Ok(b) => b,
                         Err(reason) => {
+                            let reason = annotate(reason, path);
                             if !degrade {
                                 return Err(format!(
                                     "cannot load {} index: {reason}",

@@ -31,6 +31,7 @@ use spq_dijkstra::Dijkstra;
 use spq_graph::types::{Dist, NodeId};
 use spq_graph::RoadNetwork;
 use spq_many::PoiSet;
+use spq_queries::shapes::Workload;
 use spq_queries::{linf_query_sets, QueryGenParams};
 
 use crate::client::{RetryPolicy, RetryingClient, ServeClient};
@@ -211,6 +212,11 @@ pub struct LoadgenOptions {
     /// driving an external server must provide the set that server has
     /// registered, both to name it on the wire and to verify answers.
     pub poi: Option<PoiSet>,
+    /// Persisted query shapes (one-to-many target sets, kNN k-sweep,
+    /// range radii) the mix draws from instead of the built-in
+    /// defaults. Lets two runs — or the torture harness and a loadgen
+    /// sweep — replay byte-identical request shapes from one file.
+    pub workload: Option<Workload>,
 }
 
 impl Default for LoadgenOptions {
@@ -228,6 +234,7 @@ impl Default for LoadgenOptions {
             reload_every: None,
             mix: OpMix::default(),
             poi: None,
+            workload: None,
         }
     }
 }
@@ -260,17 +267,22 @@ pub struct ThroughputRow {
     /// Client-side retries spent on this op (BUSY shedding +
     /// reconnects, attributed to the request that triggered them).
     pub retries: u64,
+    /// Retries of requests the server may already have executed (the
+    /// connection died mid-response). These are the at-least-once
+    /// deliveries; a non-idempotent caller must treat this column as a
+    /// duplicate-execution upper bound.
+    pub retried_after_partial: u64,
 }
 
 impl ThroughputRow {
     /// CSV header matching [`ThroughputRow::to_csv`].
-    pub const CSV_HEADER: &'static str =
-        "backend,op,concurrency,seconds,requests,qps,p50_us,p99_us,verified,mismatches,retries";
+    pub const CSV_HEADER: &'static str = "backend,op,concurrency,seconds,requests,qps,p50_us,\
+         p99_us,verified,mismatches,retries,retried_after_partial";
 
     /// One CSV line.
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{},{:.2},{},{:.1},{:.2},{:.2},{},{},{}",
+            "{},{},{},{:.2},{},{:.1},{:.2},{:.2},{},{},{},{}",
             self.backend,
             self.op,
             self.concurrency,
@@ -281,7 +293,8 @@ impl ThroughputRow {
             self.p99_us,
             self.verified,
             self.mismatches,
-            self.retries
+            self.retries,
+            self.retried_after_partial
         )
     }
 }
@@ -341,6 +354,7 @@ pub fn workload_pairs(net: &RoadNetwork, per_set: usize, seed: u64) -> Vec<(Node
 struct OpAgg {
     requests: u64,
     retries: u64,
+    partials: u64,
     hist: [u64; BUCKETS],
 }
 
@@ -349,6 +363,7 @@ impl OpAgg {
         OpAgg {
             requests: 0,
             retries: 0,
+            partials: 0,
             hist: [0; BUCKETS],
         }
     }
@@ -389,6 +404,38 @@ struct MixContext<'a> {
     tpool: &'a [NodeId],
     poi_name: &'a str,
     range_limit: Dist,
+    /// Persisted shapes overriding the built-in defaults, when set.
+    workload: Option<&'a Workload>,
+}
+
+impl<'a> MixContext<'a> {
+    /// Target set of the `i`-th one-to-many request: a persisted set
+    /// when a workload is loaded, else a sliding window over the pool.
+    fn o2m_targets(&self, i: usize) -> &'a [NodeId] {
+        match self.workload {
+            Some(w) if !w.o2m_sets.is_empty() => &w.o2m_sets[i % w.o2m_sets.len()],
+            _ => {
+                let off = i % (self.tpool.len() / 2);
+                &self.tpool[off..off + MIX_O2M_TARGETS]
+            }
+        }
+    }
+
+    /// `k` of the `i`-th kNN request (the workload's k-sweep, cycled).
+    fn knn_k(&self, i: usize) -> u32 {
+        match self.workload {
+            Some(w) if !w.knn_ks.is_empty() => w.knn_ks[i % w.knn_ks.len()],
+            _ => MIX_KNN_K,
+        }
+    }
+
+    /// Radius of the `i`-th range request.
+    fn range_limit_at(&self, i: usize) -> Dist {
+        match self.workload {
+            Some(w) if !w.range_radii.is_empty() => w.range_radii[i % w.range_radii.len()],
+            _ => self.range_limit,
+        }
+    }
 }
 
 /// Drives one backend at one concurrency level. Always returns the
@@ -413,7 +460,6 @@ fn run_one(
     let deadline = warm_end + window.duration;
     let sched = ctx.mix.schedule();
     let sched = sched.as_slice();
-    let half = ctx.tpool.len() / 2;
     let runs: Vec<ClientRun> = std::thread::scope(|scope| {
         // Spawned eagerly into the Vec: a lazy iterator would serialise
         // the workers behind each other's joins.
@@ -434,13 +480,10 @@ fn run_one(
                     let res = match op {
                         OpKind::Distance => client.distance(backend, s, t).map(drop),
                         OpKind::OneToMany => {
-                            let off = i % half;
-                            client
-                                .one_to_many(backend, s, &ctx.tpool[off..off + MIX_O2M_TARGETS])
-                                .map(drop)
+                            client.one_to_many(backend, s, ctx.o2m_targets(i)).map(drop)
                         }
-                        OpKind::Knn => client.knn(backend, s, MIX_KNN_K, ctx.poi_name).map(drop),
-                        OpKind::Range => client.range(backend, s, ctx.range_limit).map(drop),
+                        OpKind::Knn => client.knn(backend, s, ctx.knn_k(i), ctx.poi_name).map(drop),
+                        OpKind::Range => client.range(backend, s, ctx.range_limit_at(i)).map(drop),
                     };
                     (op, res)
                 };
@@ -455,6 +498,7 @@ fn run_one(
                 }
                 while Instant::now() < deadline {
                     let retries_before = client.retries;
+                    let partials_before = client.retried_after_partial;
                     let t0 = Instant::now();
                     let (op, res) = issue(&mut client, i);
                     i += 1;
@@ -466,6 +510,7 @@ fn run_one(
                     agg.hist[bucket_of(t0.elapsed().as_nanos() as u64)] += 1;
                     agg.requests += 1;
                     agg.retries += client.retries - retries_before;
+                    agg.partials += client.retried_after_partial - partials_before;
                 }
                 run
             }));
@@ -487,6 +532,7 @@ fn run_one(
         for (acc, op) in total.per_op.iter_mut().zip(run.per_op.iter()) {
             acc.requests += op.requests;
             acc.retries += op.retries;
+            acc.partials += op.partials;
             for (a, b) in acc.hist.iter_mut().zip(op.hist.iter()) {
                 *a += b;
             }
@@ -541,7 +587,6 @@ fn verify_backend(
     if ctx.mix.o2m == 0 && ctx.mix.knn == 0 && ctx.mix.range == 0 {
         return Ok(out);
     }
-    let half = ctx.tpool.len() / 2;
     for (j, &(s, _)) in pairs
         .iter()
         .step_by(step)
@@ -551,7 +596,7 @@ fn verify_backend(
         oracle.run(net, s);
         if ctx.mix.o2m > 0 {
             let cell = &mut out[OpKind::OneToMany as usize];
-            let targets = &ctx.tpool[(j * 17) % half..(j * 17) % half + MIX_O2M_TARGETS];
+            let targets = ctx.o2m_targets(j * 17);
             let got = client
                 .one_to_many(backend, s, targets)
                 .map_err(|e| format!("{}: {e}", backend.name()))?;
@@ -565,8 +610,9 @@ fn verify_backend(
         if ctx.mix.knn > 0 {
             let set = poi.expect("knn mix requires a POI set");
             let cell = &mut out[OpKind::Knn as usize];
+            let k = ctx.knn_k(j);
             let got = client
-                .knn(backend, s, MIX_KNN_K, ctx.poi_name)
+                .knn(backend, s, k, ctx.poi_name)
                 .map_err(|e| format!("{}: {e}", backend.name()))?;
             let mut expected: Vec<(Dist, NodeId)> = set
                 .nodes()
@@ -574,7 +620,7 @@ fn verify_backend(
                 .filter_map(|&p| oracle.distance(p).map(|d| (d, p)))
                 .collect();
             expected.sort_unstable();
-            expected.truncate(MIX_KNN_K as usize);
+            expected.truncate(k as usize);
             let got_kv: Vec<(Dist, NodeId)> = got.iter().map(|&(v, d)| (d, v)).collect();
             if got_kv != expected {
                 cell.1 += 1;
@@ -584,16 +630,12 @@ fn verify_backend(
         }
         if ctx.mix.range > 0 {
             let cell = &mut out[OpKind::Range as usize];
+            let limit = ctx.range_limit_at(j);
             let got = client
-                .range(backend, s, ctx.range_limit)
+                .range(backend, s, limit)
                 .map_err(|e| format!("{}: {e}", backend.name()))?;
             let expected: Vec<(NodeId, Dist)> = (0..net.num_nodes() as NodeId)
-                .filter_map(|v| {
-                    oracle
-                        .distance(v)
-                        .filter(|&d| d <= ctx.range_limit)
-                        .map(|d| (v, d))
-                })
+                .filter_map(|v| oracle.distance(v).filter(|&d| d <= limit).map(|d| (v, d)))
                 .collect();
             if got != expected {
                 cell.1 += 1;
@@ -648,11 +690,18 @@ pub fn run(addr: SocketAddr, net: &RoadNetwork, opts: &LoadgenOptions) -> Loadge
         .as_ref()
         .map(|s| s.name().to_string())
         .unwrap_or_default();
+    if let Some(w) = &opts.workload {
+        if let Err(e) = w.validate(net) {
+            report.error = Some(format!("workload does not fit this network: {e}"));
+            return report;
+        }
+    }
     let ctx = MixContext {
         mix: &opts.mix,
         tpool: &tpool,
         poi_name: &poi_name,
         range_limit,
+        workload: opts.workload.as_ref(),
     };
     'sweep: for &backend in &opts.backends {
         let verified = match verify_backend(
@@ -702,6 +751,7 @@ pub fn run(addr: SocketAddr, net: &RoadNetwork, opts: &LoadgenOptions) -> Loadge
                     verified: checked,
                     mismatches,
                     retries: agg.retries,
+                    retried_after_partial: agg.partials,
                 };
                 eprintln!(
                     "[loadgen] {:<9} {:<8} c={:<2} {:>9.0} qps  p50 {:>8.2} µs  p99 {:>8.2} µs  ({} reqs in {:.1}s, {} retries)",
@@ -856,7 +906,10 @@ pub fn write_csv(rows: &[ThroughputRow], path: &std::path::Path) -> std::io::Res
         out.push_str(&row.to_csv());
         out.push('\n');
     }
-    std::fs::write(path, out)
+    spq_graph::atomic_io::write_atomic(path, |w| {
+        use std::io::Write;
+        w.write_all(out.as_bytes())
+    })
 }
 
 #[cfg(test)]
@@ -906,6 +959,7 @@ mod tests {
             verified: 32,
             mismatches: 0,
             retries: 7,
+            retried_after_partial: 2,
         };
         let line = row.to_csv();
         assert_eq!(
@@ -913,6 +967,6 @@ mod tests {
             ThroughputRow::CSV_HEADER.split(',').count()
         );
         assert!(line.starts_with("ch,o2m,4,"));
-        assert!(line.ends_with(",7"));
+        assert!(line.ends_with(",7,2"));
     }
 }

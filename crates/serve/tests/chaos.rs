@@ -207,6 +207,7 @@ fn chaos_sweep_stays_available_and_never_wrong() {
             base: Duration::from_millis(1),
             cap: Duration::from_millis(20),
             seed: 0x7e57,
+            partial_retries: 10,
         },
     );
     for (i, &(s, t)) in pairs.iter().enumerate() {
@@ -540,10 +541,13 @@ fn damaged_index_files_degrade_with_typed_reasons() {
     assert!(reason.contains("rebuild"), "{reason}");
 
     // Strict mode (--no-degrade) turns the same damage into a fatal
-    // startup error.
+    // startup error. A fresh damaged file: the earlier degrade-mode
+    // build already moved `net-flipped.ch` into quarantine.
+    let strict_path = dir.join("net-strict.ch");
+    std::fs::write(&strict_path, &flipped).expect("write strict-mode copy");
     let err = Engine::build_with_indexes(
         net,
-        &[BackendSpec::from_file(BackendKind::Ch, &flipped_path)],
+        &[BackendSpec::from_file(BackendKind::Ch, &strict_path)],
         false,
     )
     .err()
@@ -587,6 +591,7 @@ fn loadgen_reports_partial_results_when_the_server_dies() {
             base: Duration::from_millis(1),
             cap: Duration::from_millis(10),
             seed: 3,
+            partial_retries: 2,
         },
         ..LoadgenOptions::default()
     };
@@ -794,6 +799,7 @@ fn injected_worker_panics_kill_one_connection_each_and_the_worker_recovers() {
             base: Duration::from_millis(1),
             cap: Duration::from_millis(10),
             seed: 0x7e57,
+            partial_retries: 20,
         },
     );
     for (i, &(s, t)) in pairs.iter().enumerate() {

@@ -330,6 +330,7 @@ fn hot_swap_mid_stream_keeps_many_ops_exact() {
                     base: Duration::from_millis(1),
                     cap: Duration::from_millis(20),
                     seed: 0x7e57,
+                    partial_retries: 10,
                 },
             );
             let mut served = 0u64;

@@ -1,0 +1,197 @@
+//! Retry-policy contract tests.
+//!
+//! Three properties, each load-bearing for chaos recovery:
+//!
+//! 1. **Backoff cap** — the jittered delay before retry `a` never
+//!    exceeds `min(cap, base · 2^min(a, 20))`, for arbitrary policies.
+//! 2. **Exact retry classification** — only BUSY push-back and
+//!    transport loss retry; deadline, quarantine, and every other typed
+//!    error surfaces immediately (retrying a deadline doubles the
+//!    damage, retrying a quarantined backend hammers a known-bad slot).
+//! 3. **Partial-retry budget** — a request that may already have
+//!    executed (connection died mid-response) is only re-sent within
+//!    the explicit `partial_retries` budget, and every such re-send is
+//!    counted on `retried_after_partial`.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use spq_serve::client::{ClientError, RetryPolicy, RetryingClient};
+
+/// Binds a listener whose accept loop either holds connections open
+/// (connects succeed, nothing is ever answered) or slams them shut.
+fn listener(hold_open: bool) -> SocketAddr {
+    let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = l.local_addr().expect("local addr");
+    std::thread::spawn(move || {
+        let mut held = Vec::new();
+        for conn in l.incoming() {
+            match conn {
+                Ok(s) => {
+                    if hold_open {
+                        held.push(s);
+                    } // else: dropped here — immediate close
+                }
+                Err(_) => break,
+            }
+        }
+    });
+    addr
+}
+
+fn policy(max_retries: u32, partial_retries: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_retries,
+        base: Duration::from_micros(50),
+        cap: Duration::from_micros(500),
+        seed: 11,
+        partial_retries,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn backoff_never_exceeds_the_documented_cap(
+        base_us in 0u64..2_000,
+        cap_us in 0u64..2_000,
+        attempt in 0u32..64,
+        seed in any::<u64>(),
+    ) {
+        let p = RetryPolicy {
+            max_retries: 3,
+            base: Duration::from_micros(base_us),
+            cap: Duration::from_micros(cap_us),
+            seed,
+            partial_retries: 1,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = p.backoff(attempt, &mut rng);
+        let exp = p.base.saturating_mul(1u32 << attempt.min(20)).min(p.cap);
+        prop_assert!(d <= exp, "backoff {d:?} exceeds bound {exp:?}");
+        // The zero-delay policy must never sleep at all.
+        if base_us == 0 || cap_us == 0 {
+            prop_assert_eq!(d, Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn classification_is_exact(variant in 0usize..8, msg_pick in 0usize..3) {
+        let msg = ["", "shed", "a longer diagnostic message"][msg_pick].to_string();
+        let (err, should_retry) = match variant {
+            0 => (ClientError::Io(io::Error::from(io::ErrorKind::ConnectionReset)), true),
+            1 => (ClientError::Busy(msg.clone()), true),
+            2 => (ClientError::Remote(msg.clone()), false),
+            3 => (ClientError::DeadlineExceeded(msg.clone()), false),
+            4 => (ClientError::IndexInvalid(msg.clone()), false),
+            5 => (ClientError::ReloadFailed(msg.clone()), false),
+            6 => (ClientError::Quarantined(msg.clone()), false),
+            _ => (ClientError::Protocol(msg.clone()), false),
+        };
+        prop_assert_eq!(err.is_retryable(), should_retry, "misclassified: {}", err);
+    }
+}
+
+/// BUSY retries burn the main budget and eventually surface as BUSY —
+/// with exactly `max_retries` recorded retries.
+#[test]
+fn busy_retries_exhaust_the_main_budget() {
+    let addr = listener(true);
+    let mut client = RetryingClient::new(addr, policy(3, 1));
+    let out: Result<(), _> = client.with_retries(|_| Err(ClientError::Busy("shed".into())));
+    assert!(matches!(out, Err(ClientError::Busy(_))), "got {out:?}");
+    assert_eq!(client.retries, 3);
+    assert_eq!(client.retried_after_partial, 0, "BUSY is never partial");
+}
+
+/// Every non-retryable typed error must surface on the first attempt,
+/// spending nothing.
+#[test]
+fn typed_errors_surface_immediately() {
+    let addr = listener(true);
+    let errors: Vec<fn() -> ClientError> = vec![
+        || ClientError::DeadlineExceeded("late".into()),
+        || ClientError::Quarantined("bad slot".into()),
+        || ClientError::IndexInvalid("stale epoch".into()),
+        || ClientError::ReloadFailed("rebuild".into()),
+        || ClientError::Remote("oops".into()),
+        || ClientError::Protocol("garbage".into()),
+    ];
+    for make in errors {
+        let mut client = RetryingClient::new(addr, policy(5, 5));
+        let mut calls = 0u32;
+        let out: Result<(), _> = client.with_retries(|_| {
+            calls += 1;
+            Err(make())
+        });
+        let err = out.expect_err("typed errors must not be swallowed");
+        assert_eq!(calls, 1, "{err}: op must run exactly once");
+        assert_eq!(client.retries, 0, "{err}: no retry may be spent");
+        assert_eq!(client.retried_after_partial, 0);
+    }
+}
+
+/// Transport loss with no request in flight retries on the main budget
+/// without touching the partial counter.
+#[test]
+fn clean_transport_loss_is_not_partial() {
+    let addr = listener(true);
+    let mut client = RetryingClient::new(addr, policy(2, 0));
+    let mut calls = 0u32;
+    // The op never writes, so `in_flight` stays false: pure loss.
+    let out: Result<(), _> = client.with_retries(|_| {
+        calls += 1;
+        Err(ClientError::Io(io::Error::from(
+            io::ErrorKind::ConnectionReset,
+        )))
+    });
+    assert!(matches!(out, Err(ClientError::Io(_))));
+    assert_eq!(calls, 3, "initial attempt + 2 retries");
+    assert_eq!(client.retries, 2);
+    assert_eq!(
+        client.retried_after_partial, 0,
+        "a partial budget of zero must not block clean-loss retries"
+    );
+}
+
+/// A connection that dies mid-response (request possibly executed) is
+/// retried at most `partial_retries` times, each re-send counted, even
+/// when the main budget has room left.
+#[test]
+fn partial_budget_is_enforced_and_counted() {
+    // Connections are accepted and instantly closed: the ping's frame
+    // is written (in-flight set), then the read sees EOF / reset.
+    let addr = listener(false);
+    let mut client = RetryingClient::new(addr, policy(10, 2));
+    let out = client.ping();
+    assert!(
+        matches!(out, Err(ClientError::Io(_))),
+        "mid-frame death must surface as transport loss, got {out:?}"
+    );
+    assert_eq!(
+        client.retried_after_partial, 2,
+        "exactly the partial budget may be re-sent"
+    );
+    assert!(
+        client.retries < 10,
+        "the partial budget must stop the loop before the main budget"
+    );
+}
+
+/// `partial_retries = 0` turns at-least-once delivery off entirely.
+#[test]
+fn zero_partial_budget_never_resends() {
+    let addr = listener(false);
+    let mut client = RetryingClient::new(addr, policy(10, 0));
+    let out = client.ping();
+    assert!(matches!(out, Err(ClientError::Io(_))));
+    assert_eq!(client.retried_after_partial, 0);
+    assert_eq!(
+        client.retries, 0,
+        "the first partial failure must surface immediately"
+    );
+}
