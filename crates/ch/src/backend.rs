@@ -1,29 +1,33 @@
 //! [`Backend`] implementation for Contraction Hierarchies.
 //!
 //! Point-to-point queries go through the regular [`ChQuery`] workspace.
-//! Batched distance queries are routed to the bucket-based many-to-many
-//! algorithm ([`ManyToMany`]) whenever the batch is *dense* — both sides
-//! have at least two vertices — because the bucket technique amortises
-//! the backward searches across the whole target set, which a loop of
+//! Batched distance queries are routed to the SoA-lane batch kernel
+//! ([`BatchDistances`]) whenever the batch is *dense* — both sides have
+//! at least two vertices — because the multi-source sweep amortises the
+//! upward searches across lanes and the bucket combine amortises the
+//! backward side across the whole target set, which a loop of
 //! point-to-point queries cannot. Degenerate (1×k or k×1) batches fall
 //! back to the default per-pair loop, which is cheaper than paying the
-//! bucket setup for a single row.
+//! batch setup for a single row. Both paths poll the same
+//! [`QueryBudget`], so deadlines and forced shutdown interrupt batches
+//! exactly like point queries.
 
 use spq_graph::backend::{Backend, QueryBudget, Session};
 use spq_graph::types::{Dist, NodeId, INFINITY};
 use spq_graph::RoadNetwork;
 
+use crate::batch::BatchDistances;
 use crate::contraction::ContractionHierarchy;
-use crate::many2many::ManyToMany;
 use crate::query::ChQuery;
 
 /// Per-thread CH workspace: the point-to-point query state plus a
-/// lazily created many-to-many workspace (its buckets are `O(n)`, so
-/// workers that never see a batch never pay for them).
+/// lazily created batch workspace (its lane slab is `O(n)`, so workers
+/// that never see a batch never pay for it).
 pub struct ChSession<'a> {
     ch: &'a ContractionHierarchy,
     query: ChQuery<'a>,
-    many: Option<ManyToMany<'a>>,
+    batch: Option<BatchDistances<'a>>,
+    budget: QueryBudget,
 }
 
 impl Backend for ContractionHierarchy {
@@ -35,7 +39,8 @@ impl Backend for ContractionHierarchy {
         Box::new(ChSession {
             ch: self,
             query: ChQuery::new(self),
-            many: None,
+            batch: None,
+            budget: QueryBudget::unlimited(),
         })
     }
 }
@@ -60,25 +65,36 @@ impl Session for ChSession<'_> {
             );
             return;
         }
-        let many = self.many.get_or_insert_with(|| ManyToMany::new(self.ch));
-        let table = many.table(sources, targets);
+        let batch = self
+            .batch
+            .get_or_insert_with(|| BatchDistances::new(self.ch));
+        batch.set_budget(self.budget.clone());
         out.clear();
-        out.extend(
-            table
-                .into_iter()
-                .map(|d| if d >= INFINITY { None } else { Some(d) }),
-        );
+        match batch.table(sources, targets) {
+            Some(table) => {
+                out.extend(
+                    table
+                        .into_iter()
+                        .map(|d| if d >= INFINITY { None } else { Some(d) }),
+                )
+            }
+            // Budget tripped mid-batch: report every pair unanswered
+            // rather than fabricating entries; `interrupted` tells the
+            // caller the batch was cut short, not unreachable.
+            None => out.resize(sources.len() * targets.len(), None),
+        }
     }
 
     fn set_budget(&mut self, budget: QueryBudget) {
-        // The bucket-based many-to-many path is not cancellable (its
-        // work is bounded by the batch-size cap the server enforces);
-        // point-to-point queries poll the budget per settled vertex.
-        self.query.set_budget(budget);
+        self.query.set_budget(budget.clone());
+        if let Some(batch) = &mut self.batch {
+            batch.set_budget(budget.clone());
+        }
+        self.budget = budget;
     }
 
     fn interrupted(&self) -> bool {
-        self.query.budget_exhausted()
+        self.query.budget_exhausted() || self.batch.as_ref().is_some_and(|b| b.budget_exhausted())
     }
 }
 
@@ -109,5 +125,20 @@ mod tests {
         let mut row = Vec::new();
         session.distances(&sources[..1], &targets, &mut row);
         assert_eq!(row, out[..targets.len()].to_vec());
+    }
+
+    #[test]
+    fn interrupted_batch_answers_nothing() {
+        let g = figure1();
+        let ch = ContractionHierarchy::build(&g);
+        let mut session = ch.session(&g);
+        session.set_budget(QueryBudget::unlimited().with_node_cap(1));
+        let sources: Vec<NodeId> = (0..4).collect();
+        let targets: Vec<NodeId> = (4..8).collect();
+        let mut out = Vec::new();
+        session.distances(&sources, &targets, &mut out);
+        assert!(session.interrupted());
+        assert_eq!(out.len(), sources.len() * targets.len());
+        assert!(out.iter().all(Option::is_none));
     }
 }

@@ -22,6 +22,10 @@
 //!   the engine behind TNR's preprocessing (paper §4.1: "we employed CH
 //!   to accelerate the shortest path computation required in the
 //!   preprocessing steps of SILC, PCPD, and TNR").
+//! * [`BatchDistances`] — the serving-path batch kernel: multi-source
+//!   upward sweeps with structure-of-arrays distance lanes ([`LANES`]
+//!   endpoints per sweep), budget-aware, bit-identical to pointwise
+//!   queries.
 //!
 //! # Example
 //!
@@ -39,6 +43,7 @@
 //! ```
 
 pub mod backend;
+pub mod batch;
 pub mod contraction;
 pub mod legacy;
 pub mod many2many;
@@ -47,6 +52,7 @@ pub mod persist;
 pub mod query;
 pub mod search_graph;
 
+pub use batch::{BatchDistances, LANES};
 pub use contraction::{ChParams, ContractionHierarchy};
 pub use legacy::LegacyChQuery;
 pub use many2many::{par_table, ManyToMany};

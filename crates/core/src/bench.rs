@@ -34,9 +34,9 @@ use rand::{Rng, SeedableRng};
 
 use spq_alt::{Alt, AltParams};
 use spq_arcflags::{ArcFlags, ArcFlagsParams};
-use spq_ch::{ChQuery, ContractionHierarchy, LegacyChQuery, ManyToMany};
+use spq_ch::{BatchDistances, ChQuery, ContractionHierarchy, LegacyChQuery, ManyToMany};
 use spq_dijkstra::{BiDijkstra, Dijkstra};
-use spq_graph::types::{Dist, NodeId};
+use spq_graph::types::{Dist, NodeId, INFINITY};
 use spq_graph::RoadNetwork;
 use spq_hl::HubLabels;
 use spq_many::{KnnWorkspace, OneToMany, PoiIndex, PoiSet};
@@ -68,6 +68,21 @@ const M2M_SIDE: usize = 24;
 
 /// Repetitions of the many-to-many table, median taken across them.
 const M2M_REPS: usize = 9;
+
+/// Batched-distances table sizes (total entries); each is measured as
+/// a square `√K × √K` table, the shape the serving path's DISTANCES
+/// op produces. Per-entry ns is the reported median, so the row is
+/// directly comparable against the CH point-query distance row.
+const BATCH_SIZES: [usize; 3] = [16, 256, 1024];
+
+/// Repetitions of each batched table, median taken across them.
+const BATCH_REPS: usize = 9;
+
+/// Required full-mode speedup of the batched kernel's per-entry cost
+/// over one CH point query at the largest table (1024 entries). On the
+/// smoke proxies a plain win suffices: at 1/400 scale one upward
+/// sweep has almost nothing to amortise.
+const BATCH_FULL_SPEEDUP: f64 = 2.0;
 
 /// Medians below this are excluded from the regression gate: a cell in
 /// the tens of nanoseconds (TNR's table hits on the smoke networks) is
@@ -120,10 +135,22 @@ impl Default for BenchOptions {
 /// Op families recognised by `--only`. `o2m_64`/`o2m_1024` and `knn8`
 /// collapse onto their family so a filter selects the whole family,
 /// not one parameterisation.
-pub const OP_FAMILIES: [&str; 6] = ["distance", "path", "m2m", "o2m", "knn", "range"];
+pub const OP_FAMILIES: [&str; 7] = [
+    "distance",
+    "path",
+    "m2m",
+    "o2m",
+    "knn",
+    "range",
+    "distances_batch",
+];
 
 fn op_family(op: &str) -> &str {
-    if op.starts_with("o2m") {
+    // `distances_batch` before any `distance` comparison: the batch
+    // family's op names share the point-query prefix.
+    if op.starts_with("distances_batch") {
+        "distances_batch"
+    } else if op.starts_with("o2m") {
         "o2m"
     } else if op.starts_with("knn") {
         "knn"
@@ -350,9 +377,17 @@ fn bench_network(
     // distance/path kernels, the legacy comparison kernel, the bucket
     // many-to-many, the one-to-many family, and hub labeling. Skip the
     // build entirely when the filters select none of them.
-    let need_ch = ["distance", "path", "m2m", "o2m_64", "knn8", "range"]
-        .iter()
-        .any(|op| want("ch", op))
+    let need_ch = [
+        "distance",
+        "path",
+        "m2m",
+        "o2m_64",
+        "knn8",
+        "range",
+        "distances_batch_16",
+    ]
+    .iter()
+    .any(|op| want("ch", op))
         || want("ch_legacy", "distance")
         || want("ch_legacy", "path")
         || want("hl", "distance");
@@ -424,6 +459,9 @@ fn bench_network(
             }
             std::hint::black_box(sink);
             push("ch", "m2m", side * side, median(&mut reps));
+        }
+        if want("ch", "distances_batch_16") {
+            bench_batch_distances(&mut push, net, ch, seed ^ dataset.paper_vertices)?;
         }
         bench_many_ops(
             &mut push,
@@ -510,6 +548,68 @@ fn bench_network(
         eprintln!(
             "[bench {mode}/{}] silc/pcpd skipped: {n} vertices exceeds the all-pairs cap ({ALL_PAIRS_CAP})",
             dataset.name
+        );
+    }
+    Ok(())
+}
+
+/// Measures the batched multi-source kernel ([`BatchDistances`]) on
+/// square tables of [`BATCH_SIZES`] total entries, reporting median ns
+/// *per table entry* so the rows compare directly against the CH
+/// point-query distance row ([`check_batch_beats_pointwise`]). Every
+/// measured shape is first audited entry-by-entry against the flat CH
+/// point kernel: a fast-but-wrong batch must not produce a report.
+fn bench_batch_distances(
+    push: &mut impl FnMut(&str, &str, usize, f64),
+    net: &RoadNetwork,
+    ch: &ContractionHierarchy,
+    seed: u64,
+) -> Result<(), String> {
+    let n = net.num_nodes();
+    let mut batch = BatchDistances::new(ch);
+    let mut point = ChQuery::new(ch);
+    let mut out: Vec<Dist> = Vec::new();
+    for &k in &BATCH_SIZES {
+        let side = ((k as f64).sqrt() as usize).min(n);
+        let sources: Vec<NodeId> = query_pairs(net, side, seed ^ 0xba7c ^ k as u64)
+            .iter()
+            .map(|&(s, _)| s)
+            .collect();
+        let targets: Vec<NodeId> = query_pairs(net, side, seed ^ 0x7a26 ^ k as u64)
+            .iter()
+            .map(|&(_, t)| t)
+            .collect();
+
+        // Exactness audit before the clock starts.
+        if !batch.table_into(&sources, &targets, &mut out) {
+            return Err("distances_batch: unbudgeted table tripped a budget".into());
+        }
+        for (i, &s) in sources.iter().enumerate() {
+            for (j, &t) in targets.iter().enumerate() {
+                let want = point.distance(s, t).unwrap_or(INFINITY);
+                if out[i * side + j] != want {
+                    return Err(format!(
+                        "distances_batch_{k}: entry ({s}, {t}) disagrees with the CH point kernel \
+                         — refusing to report"
+                    ));
+                }
+            }
+        }
+
+        let mut sink = 0u64;
+        let mut reps: Vec<f64> = Vec::with_capacity(BATCH_REPS);
+        for _ in 0..BATCH_REPS {
+            let t0 = Instant::now();
+            batch.table_into(&sources, &targets, &mut out);
+            reps.push(t0.elapsed().as_nanos() as f64 / out.len() as f64);
+            sink = sink.wrapping_add(out.iter().copied().fold(0u64, u64::wrapping_add));
+        }
+        std::hint::black_box(sink);
+        push(
+            "ch",
+            &format!("distances_batch_{k}"),
+            side * side,
+            median(&mut reps),
         );
     }
     Ok(())
@@ -762,6 +862,9 @@ pub fn run(opts: &BenchOptions) -> Result<Vec<Entry>, String> {
     if has_ch_distance && entries.iter().any(|e| e.op.starts_with("o2m_")) {
         check_o2m_beats_ch(&entries)?;
     }
+    if has_ch_distance && entries.iter().any(|e| e.op.starts_with("distances_batch_")) {
+        check_batch_beats_pointwise(&entries)?;
+    }
 
     if let Some(baseline) = &opts.check {
         check_against(&entries, baseline, opts.tolerance)?;
@@ -873,6 +976,54 @@ pub fn check_o2m_beats_ch(entries: &[Entry]) -> Result<(), String> {
     Ok(())
 }
 
+/// Enforces the batched-execution speed claim: per (mode, network),
+/// the batched kernel's per-entry cost must not lose to one CH point
+/// query (the same run's CH distance median), and on the full Table-1
+/// proxies the 1024-entry table must win by at least
+/// [`BATCH_FULL_SPEEDUP`]x — the amortisation the batch kernel exists
+/// to deliver. Smaller tables only need the plain win.
+pub fn check_batch_beats_pointwise(entries: &[Entry]) -> Result<(), String> {
+    let mut checked = 0usize;
+    for e in entries
+        .iter()
+        .filter(|e| e.backend == "ch" && e.op.starts_with("distances_batch_"))
+    {
+        let k: f64 = e.op["distances_batch_".len()..]
+            .parse()
+            .map_err(|_| format!("malformed batch op name '{}'", e.op))?;
+        let Some(chd) = entries.iter().find(|c| {
+            c.mode == e.mode && c.network == e.network && c.backend == "ch" && c.op == "distance"
+        }) else {
+            return Err(format!(
+                "{}/{}: {} row has no ch distance row to compare against",
+                e.mode, e.network, e.op
+            ));
+        };
+        let required = if e.mode == "full" && k >= 1024.0 {
+            BATCH_FULL_SPEEDUP
+        } else {
+            1.0
+        };
+        let speedup = chd.median_ns / e.median_ns;
+        if speedup < required {
+            return Err(format!(
+                "{}/{} {}: {:.1} ns per batched entry vs {:.1} ns per CH point query \
+                 ({speedup:.2}x, need >= {required:.0}x)",
+                e.mode, e.network, e.op, e.median_ns, chd.median_ns
+            ));
+        }
+        eprintln!(
+            "[bench] {}/{} {}: batched entry beats a CH point query by {speedup:.1}x",
+            e.mode, e.network, e.op
+        );
+        checked += 1;
+    }
+    if checked == 0 {
+        return Err("no distances_batch rows to gate".into());
+    }
+    Ok(())
+}
+
 /// Compares a run against a baseline report, Dijkstra-normalised.
 ///
 /// For every entry of the current run whose (mode, network, backend,
@@ -921,7 +1072,10 @@ pub fn check_against(current: &[Entry], baseline: &Path, tolerance: f64) -> Resu
         if b.backend == "dijkstra" && b.op == "distance" {
             continue; // the normalisation unit compares as 1.0 by construction
         }
-        if matches!(op_family(&b.op), "o2m" | "knn" | "range") {
+        if matches!(
+            op_family(&b.op),
+            "o2m" | "knn" | "range" | "distances_batch"
+        ) {
             // Batch-shape medians normalised against a *point*-query
             // unit don't track runner drift at smoke scale; these rows
             // are gated structurally instead (the sweep must beat its
@@ -1162,6 +1316,30 @@ mod tests {
     }
 
     #[test]
+    fn batch_speed_gate_compares_per_entry_cost() {
+        let mut entries = vec![
+            entry("full", "DE", "ch", "distance", 1_000.0),
+            entry("full", "DE", "ch", "distances_batch_16", 900.0),
+            entry("full", "DE", "ch", "distances_batch_1024", 400.0),
+        ];
+        // 16-entry table only needs a win; 1024 needs the 2x margin.
+        check_batch_beats_pointwise(&entries).unwrap();
+        entries[2].median_ns = 600.0;
+        let err = check_batch_beats_pointwise(&entries).unwrap_err();
+        assert!(err.contains("need >= 2x"), "{err}");
+        // Smoke mode only needs the win at any size.
+        for e in &mut entries {
+            e.mode = "smoke".into();
+        }
+        check_batch_beats_pointwise(&entries).unwrap();
+        // Losing outright fails even in smoke mode.
+        entries[1].median_ns = 1_500.0;
+        assert!(check_batch_beats_pointwise(&entries).is_err());
+        // No rows at all is an error, not a silent pass.
+        assert!(check_batch_beats_pointwise(&entries[..1]).is_err());
+    }
+
+    #[test]
     fn smoke_bench_produces_consistent_entries() {
         // One real (tiny) network through the whole measurement path.
         let d = Dataset::by_name("DE").unwrap();
@@ -1189,7 +1367,15 @@ mod tests {
         // The one-to-many family rides the ch backend: one row per
         // target-set size plus the kNN and range rows, all
         // oracle-audited inside bench_network.
-        for op in ["o2m_64", "o2m_1024", "knn8", "range"] {
+        for op in [
+            "o2m_64",
+            "o2m_1024",
+            "knn8",
+            "range",
+            "distances_batch_16",
+            "distances_batch_256",
+            "distances_batch_1024",
+        ] {
             assert_eq!(
                 entries
                     .iter()

@@ -74,20 +74,23 @@ fn print_usage() {
          \x20 query --net P --from S --to T [--technique T] [--ch F.ch] [--path]\n\
          \x20 verify --net P [--samples N] [--seed S] certify all techniques\n\
          \x20 serve (--net P | --target N) [--addr A] [--backends L] [--workers N]\n\
-         \x20       [--cache N] [--index kind=path]* [--no-degrade] [--grace-ms N]\n\
+         \x20       [--shards N] [--pipeline-depth N] [--cache N] [--index kind=path]*\n\
+         \x20       [--no-degrade] [--grace-ms N]\n\
          \x20       [--max-pending N] [--selfcheck-queries N] [--selfcheck-seed S]\n\
          \x20       [--reload-file P] [--reload-poll-ms N] [--no-audit]\n\
          \x20       [--audit-interval-ms N] [--audit-queries N] [--audit-threshold N]\n\
          \x20       [--no-failover] [--restart-cap N] [--restart-window-ms N]\n\
          \x20                                        run the TCP query server\n\
          \x20 loadgen (--net P | --target N) [--backends L] [--concurrency L]\n\
-         \x20         [--duration S] [--warmup-ms N] [--reload-every S] [--out F]\n\
+         \x20         [--connections N] [--churn-every N] [--duration S]\n\
+         \x20         [--warmup-ms N] [--reload-every S] [--out F]\n\
          \x20         [--mix distance:8,o2m:2,knn:1,range:1] [--workload F]\n\
          \x20                                        measure serving throughput\n\
          \x20 bench --json [--smoke] [--out F] [--check BASELINE] [--tolerance R]\n\
          \x20       [--queries N] [--seed S] [--only OPS] [--backends L]\n\
          \x20                                        query-latency report + regression gate\n\
-         \x20                                        (OPS: distance,path,m2m,o2m,knn,range)\n\
+         \x20                                        (OPS: distance,path,m2m,o2m,knn,range,\n\
+         \x20                                         distances_batch)\n\
          \x20 qgen (--net P | --target N) --out F [--seed S] [--o2m-sets N]\n\
          \x20      [--o2m-targets N] [--knn-ks N] [--range-radii N]\n\
          \x20                                        persist seeded workload shapes (SPQW)\n\
@@ -460,6 +463,16 @@ fn serve(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|_| "--workers must be an integer".to_string())?;
     }
+    if let Some(s) = opt(args, "--shards") {
+        cfg.shards = s
+            .parse()
+            .map_err(|_| "--shards must be an integer".to_string())?;
+    }
+    if let Some(d) = opt(args, "--pipeline-depth") {
+        cfg.pipeline_depth = d
+            .parse()
+            .map_err(|_| "--pipeline-depth must be an integer".to_string())?;
+    }
     if let Some(c) = opt(args, "--cache") {
         cfg.cache_capacity = c
             .parse()
@@ -557,6 +570,16 @@ fn loadgen(args: &[String]) -> Result<(), String> {
         if opts.concurrency.is_empty() || opts.concurrency.contains(&0) {
             return Err("--concurrency needs positive thread counts".into());
         }
+    }
+    if let Some(s) = opt(args, "--connections") {
+        opts.connections = s
+            .parse()
+            .map_err(|_| "--connections must be an integer".to_string())?;
+    }
+    if let Some(s) = opt(args, "--churn-every") {
+        opts.churn_every = s
+            .parse()
+            .map_err(|_| "--churn-every must be an integer".to_string())?;
     }
     if let Some(s) = opt(args, "--duration") {
         opts.duration = Duration::from_secs_f64(

@@ -16,14 +16,16 @@ use spq_graph::backend::{Backend, QueryBudget, Session};
 use spq_graph::types::{Dist, NodeId};
 use spq_graph::RoadNetwork;
 
-use crate::labels::{Hl, HubLabels};
+use crate::labels::{BatchScan, Hl, HubLabels};
 
-/// Per-thread HL workspace: a borrowed label store plus the CH query
-/// state that answers path queries.
+/// Per-thread HL workspace: a borrowed label store, the CH query state
+/// that answers path queries, and a lazily created batch scatter array
+/// (O(n), only paid by sessions that actually serve dense batches).
 pub struct HlSession<'a> {
     labels: &'a HubLabels,
     budget: QueryBudget,
     paths: ChQuery<'a>,
+    batch: Option<BatchScan>,
 }
 
 impl Backend for Hl {
@@ -36,6 +38,7 @@ impl Backend for Hl {
             labels: self.labels(),
             budget: QueryBudget::unlimited(),
             paths: ChQuery::new(self.hierarchy()),
+            batch: None,
         })
     }
 }
@@ -55,17 +58,26 @@ impl Session for HlSession<'_> {
 
     fn distances(&mut self, sources: &[NodeId], targets: &[NodeId], out: &mut Vec<Option<Dist>>) {
         self.budget.reset();
-        out.clear();
-        out.reserve(sources.len() * targets.len());
-        for &s in sources {
-            for &t in targets {
-                if !self.budget.charge() {
-                    out.push(None);
-                    continue;
+        if sources.len() < 2 || targets.len() < 2 {
+            // Degenerate rows/columns: the scatter never amortises, so
+            // keep the plain merge-scan loop.
+            out.clear();
+            out.reserve(sources.len() * targets.len());
+            for &s in sources {
+                for &t in targets {
+                    if !self.budget.charge() {
+                        out.push(None);
+                        continue;
+                    }
+                    out.push(self.labels.distance(s, t));
                 }
-                out.push(self.labels.distance(s, t));
             }
+            return;
         }
+        let batch = self
+            .batch
+            .get_or_insert_with(|| BatchScan::new(self.labels));
+        batch.table_into(self.labels, sources, targets, &mut self.budget, out);
     }
 
     fn set_budget(&mut self, budget: QueryBudget) {

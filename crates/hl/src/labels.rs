@@ -24,6 +24,7 @@
 //! free, branch-predictable.
 
 use spq_ch::{ContractionHierarchy, SearchGraph};
+use spq_graph::backend::QueryBudget;
 use spq_graph::heap::IndexedHeap;
 use spq_graph::par;
 use spq_graph::size::IndexSize;
@@ -325,6 +326,83 @@ impl IndexSize for HubLabels {
     }
 }
 
+/// Batch-table workspace: a dense rank-indexed scatter array.
+///
+/// A DISTANCES table re-reads each source label once per target when
+/// every cell merge-scans. Scattering `L(s)` into a stamped dense array
+/// once per row turns each cell into a single pass over `L(t)` with an
+/// O(1) stamped lookup per hub — O(|L(s)| + T·|L(t)|) per row instead
+/// of O(T·(|L(s)| + |L(t)|)). Both shapes take the minimum of
+/// `d_s(h) + d_t(h)` over the same common-hub set in exact `u64`
+/// arithmetic, so the batch path is bit-identical to the merge-scan.
+///
+/// The workspace is allocation-free after construction and stamp-
+/// versioned so per-row reset is O(|L(s)|).
+pub struct BatchScan {
+    val: Vec<Dist>,
+    stamp: Vec<u32>,
+    version: u32,
+}
+
+impl BatchScan {
+    /// Allocates a scatter array covering `labels`' vertex set.
+    pub fn new(labels: &HubLabels) -> BatchScan {
+        let n = labels.num_nodes();
+        BatchScan {
+            val: vec![0; n],
+            stamp: vec![0; n],
+            version: 0,
+        }
+    }
+
+    /// Fills `out` with the `sources × targets` table in row-major
+    /// order, `None` for unreachable pairs. The budget is charged once
+    /// per pair in the same order as the pointwise loop; pairs after a
+    /// trip are reported `None` (check the budget afterwards to tell
+    /// "interrupted" from "unreachable").
+    pub fn table_into(
+        &mut self,
+        labels: &HubLabels,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        budget: &mut QueryBudget,
+        out: &mut Vec<Option<Dist>>,
+    ) {
+        out.clear();
+        out.reserve(sources.len() * targets.len());
+        for &s in sources {
+            self.version = self.version.wrapping_add(1);
+            if self.version == 0 {
+                self.stamp.fill(0);
+                self.version = 1;
+            }
+            let version = self.version;
+            let (sh, sd) = labels.label(labels.rank[s as usize]);
+            for (&h, &d) in sh.iter().zip(sd) {
+                self.val[h as usize] = d;
+                self.stamp[h as usize] = version;
+            }
+            for &t in targets {
+                if !budget.charge() {
+                    out.push(None);
+                    continue;
+                }
+                let (th, td) = labels.label(labels.rank[t as usize]);
+                let mut best = Dist::MAX;
+                for (&h, &d) in th.iter().zip(td) {
+                    if self.stamp[h as usize] == version {
+                        let sum = self.val[h as usize] + d;
+                        if sum < best {
+                            best = sum;
+                        }
+                    }
+                }
+                out.push((best != Dist::MAX).then_some(best));
+            }
+        }
+    }
+}
+
 /// The servable hub-labeling index: the labels plus the hierarchy they
 /// were derived from. Distance queries never touch the hierarchy;
 /// shortest-path queries (which must unpack shortcuts) run on the
@@ -501,6 +579,65 @@ mod tests {
         let last = bad.len() - 1;
         bad[last] = u32::MAX;
         assert!(HubLabels::from_raw(rank.to_vec(), first.to_vec(), bad, dist.to_vec()).is_err());
+    }
+
+    #[test]
+    fn batch_scan_matches_merge_scan() {
+        let g = grid_graph(6, 7);
+        let hl = Hl::build(&g);
+        let labels = hl.labels();
+        let sources: Vec<NodeId> = (0..g.num_nodes() as NodeId).step_by(3).collect();
+        let targets: Vec<NodeId> = (0..g.num_nodes() as NodeId).step_by(5).collect();
+        let mut ws = BatchScan::new(labels);
+        let mut budget = QueryBudget::unlimited();
+        let mut out = Vec::new();
+        ws.table_into(labels, &sources, &targets, &mut budget, &mut out);
+        assert_eq!(out.len(), sources.len() * targets.len());
+        for (i, &s) in sources.iter().enumerate() {
+            for (j, &t) in targets.iter().enumerate() {
+                assert_eq!(
+                    out[i * targets.len() + j],
+                    labels.distance(s, t),
+                    "({s},{t})"
+                );
+            }
+        }
+        // Workspace reuse across tables stays clean.
+        ws.table_into(labels, &targets, &sources, &mut budget, &mut out);
+        for (i, &s) in targets.iter().enumerate() {
+            for (j, &t) in sources.iter().enumerate() {
+                assert_eq!(
+                    out[i * sources.len() + j],
+                    labels.distance(s, t),
+                    "({s},{t})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scan_budget_trip_answers_none_from_the_trip_on() {
+        let g = grid_graph(4, 4);
+        let hl = Hl::build(&g);
+        let labels = hl.labels();
+        let sources: Vec<NodeId> = vec![0, 5, 9];
+        let targets: Vec<NodeId> = vec![1, 6, 11, 15];
+        let mut ws = BatchScan::new(labels);
+        let mut budget = QueryBudget::unlimited().with_node_cap(5);
+        let mut out = Vec::new();
+        ws.table_into(labels, &sources, &targets, &mut budget, &mut out);
+        assert!(budget.exhausted());
+        assert_eq!(out.len(), sources.len() * targets.len());
+        // The first five pairs were answered (and correctly); the rest
+        // are None — never a fabricated distance.
+        for (k, cell) in out.iter().enumerate() {
+            let (s, t) = (sources[k / targets.len()], targets[k % targets.len()]);
+            if k < 5 {
+                assert_eq!(*cell, labels.distance(s, t), "pair {k}");
+            } else {
+                assert_eq!(*cell, None, "pair {k} after the trip");
+            }
+        }
     }
 
     #[test]

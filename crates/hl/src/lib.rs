@@ -50,4 +50,4 @@ pub mod backend;
 pub mod labels;
 pub mod persist;
 
-pub use labels::{Hl, HubLabels};
+pub use labels::{BatchScan, Hl, HubLabels};

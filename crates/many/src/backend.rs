@@ -14,7 +14,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use spq_ch::{ChQuery, ContractionHierarchy, ManyToMany};
+use spq_ch::{BatchDistances, ChQuery, ContractionHierarchy};
 use spq_graph::backend::{Backend, PoiRef, QueryBudget, Session};
 use spq_graph::types::{Dist, NodeId, INFINITY};
 use spq_graph::RoadNetwork;
@@ -101,7 +101,7 @@ impl Backend for ManyBackend {
             ch: &self.ch,
             pois: &self.pois,
             query: ChQuery::new(&self.ch),
-            many: None,
+            batch: None,
             o2m: None,
             knn_ws: KnnWorkspace::new(),
             budget: QueryBudget::unlimited(),
@@ -115,7 +115,7 @@ pub struct ManySession<'a> {
     ch: &'a ContractionHierarchy,
     pois: &'a PoiTable,
     query: ChQuery<'a>,
-    many: Option<ManyToMany<'a>>,
+    batch: Option<BatchDistances<'a>>,
     o2m: Option<OneToMany<'a>>,
     knn_ws: KnnWorkspace,
     budget: QueryBudget,
@@ -142,10 +142,10 @@ impl Session for ManySession<'_> {
         self.query.shortest_path(s, t)
     }
 
-    /// Dense batches keep CH's bucket many-to-many; single-row batches
-    /// wide enough for the sweep ride the one-to-many kernel; everything
-    /// else loops point-to-point (same routing the plain CH backend had,
-    /// plus the sweep fast path).
+    /// Dense batches ride the multi-source SoA batch kernel; single-row
+    /// batches wide enough for the sweep ride the one-to-many kernel;
+    /// everything else loops point-to-point (same routing the plain CH
+    /// backend has, plus the sweep fast path).
     fn distances(&mut self, sources: &[NodeId], targets: &[NodeId], out: &mut Vec<Option<Dist>>) {
         if sources.len() == 1 && targets.len() >= O2M_SWEEP_CUTOFF {
             self.one_to_many(sources[0], targets, out);
@@ -161,14 +161,23 @@ impl Session for ManySession<'_> {
             );
             return;
         }
-        let many = self.many.get_or_insert_with(|| ManyToMany::new(self.ch));
-        let table = many.table(sources, targets);
+        let batch = self
+            .batch
+            .get_or_insert_with(|| BatchDistances::new(self.ch));
+        batch.set_budget(self.budget.clone());
         out.clear();
-        out.extend(
-            table
-                .into_iter()
-                .map(|d| if d >= INFINITY { None } else { Some(d) }),
-        );
+        match batch.table(sources, targets) {
+            Some(table) => {
+                out.extend(
+                    table
+                        .into_iter()
+                        .map(|d| if d >= INFINITY { None } else { Some(d) }),
+                )
+            }
+            // Interrupted mid-table: report nothing rather than a mix
+            // of answered and fabricated cells.
+            None => out.resize(sources.len() * targets.len(), None),
+        }
     }
 
     fn one_to_many(&mut self, s: NodeId, targets: &[NodeId], out: &mut Vec<Option<Dist>>) {
@@ -226,6 +235,9 @@ impl Session for ManySession<'_> {
         if let Some(engine) = self.o2m.as_mut() {
             engine.set_budget(budget.clone());
         }
+        if let Some(batch) = self.batch.as_mut() {
+            batch.set_budget(budget.clone());
+        }
         self.knn_ws.set_budget(budget.clone());
         self.budget = budget;
     }
@@ -233,6 +245,7 @@ impl Session for ManySession<'_> {
     fn interrupted(&self) -> bool {
         self.query.budget_exhausted()
             || self.o2m.as_ref().is_some_and(|e| e.interrupted())
+            || self.batch.as_ref().is_some_and(|b| b.budget_exhausted())
             || self.knn_ws.interrupted()
     }
 }

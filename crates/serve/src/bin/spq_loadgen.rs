@@ -34,6 +34,13 @@ OPTIONS:
     --backends <list>      comma-separated backends, or 'all'
                            (dijkstra,ch,tnr,silc,pcpd,alt,arcflags; default 'all')
     --concurrency <list>   comma-separated client-thread counts (default '1,4')
+    --connections <n>      open connections per run; when larger than the
+                           thread count each thread rotates over
+                           n/concurrency connections round-robin
+                           (default 0: one connection per thread)
+    --churn-every <n>      tear down and re-establish a connection every n
+                           requests per thread (default 0: never); the
+                           'reconnects' CSV column counts the teardowns
     --duration <secs>      steady-state seconds per timed run, fractions allowed
                            (default 3)
     --warmup-ms <n>        warm-up window before each timed run; connection
@@ -105,6 +112,12 @@ fn options(args: &[String]) -> Result<LoadgenOptions, String> {
         if opts.concurrency.is_empty() || opts.concurrency.contains(&0) {
             return Err("--concurrency needs positive thread counts".into());
         }
+    }
+    if let Some(s) = opt(args, "--connections") {
+        opts.connections = parse(&s, "--connections")?;
+    }
+    if let Some(s) = opt(args, "--churn-every") {
+        opts.churn_every = parse(&s, "--churn-every")?;
     }
     if let Some(s) = opt(args, "--duration") {
         opts.duration = Duration::from_secs_f64(parse(&s, "--duration")?);

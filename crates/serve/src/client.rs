@@ -142,6 +142,27 @@ impl ServeClient {
         Ok(self.buf.clone())
     }
 
+    /// Pipelines raw frame payloads: writes every request before
+    /// reading any response, then reads exactly one response per
+    /// request. The server guarantees responses arrive in request
+    /// order, which is exactly what this returns (and what the
+    /// pipelining chaos tests verify).
+    pub fn pipeline_raw(&mut self, payloads: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, ClientError> {
+        self.in_flight = true;
+        for payload in payloads {
+            write_frame(&mut self.stream, payload)?;
+        }
+        let mut responses = Vec::with_capacity(payloads.len());
+        for _ in 0..payloads.len() {
+            if !read_frame(&mut self.stream, &mut self.buf)? {
+                return Err(ClientError::Io(io::ErrorKind::UnexpectedEof.into()));
+            }
+            responses.push(self.buf.clone());
+        }
+        self.in_flight = false;
+        Ok(responses)
+    }
+
     /// Sends a request and returns the OK body (status byte stripped),
     /// or the typed remote error.
     fn roundtrip(&mut self, request: &Request) -> Result<&[u8], ClientError> {
@@ -438,6 +459,18 @@ impl RetryingClient {
         if let Some(c) = &mut self.client {
             c.set_deadline_ms(deadline_ms);
         }
+    }
+
+    /// Drops the current connection (if any); the next operation
+    /// reconnects. Connection churn in the load generator is built on
+    /// this.
+    pub fn disconnect(&mut self) {
+        self.client = None;
+    }
+
+    /// Whether a connection is currently open.
+    pub fn is_connected(&self) -> bool {
+        self.client.is_some()
     }
 
     /// Runs `op` with retry/reconnect; the workhorse behind the typed

@@ -42,6 +42,7 @@ pub mod byteproxy;
 pub mod cache;
 pub mod client;
 pub mod epoch;
+pub mod eventloop;
 pub mod fault;
 pub mod loadgen;
 pub mod protocol;

@@ -180,6 +180,17 @@ pub struct LoadgenOptions {
     pub backends: Vec<BackendKind>,
     /// Concurrency levels to sweep (client threads per run).
     pub concurrency: Vec<usize>,
+    /// Open connections per run (0: one per client thread). When larger
+    /// than the concurrency, each thread owns `connections/concurrency`
+    /// connections and rotates its requests across them round-robin —
+    /// the thread count bounds CPU-side parallelism while the
+    /// connection count exercises the server's event loop at
+    /// connection scale.
+    pub connections: usize,
+    /// Tear down and re-establish a connection every this many requests
+    /// per thread (0: never). Connection churn is part of real traffic;
+    /// the `reconnects` CSV column counts the teardowns.
+    pub churn_every: usize,
     /// Wall-clock duration of each timed run (steady state, after the
     /// warm-up window).
     pub duration: Duration,
@@ -224,6 +235,8 @@ impl Default for LoadgenOptions {
         LoadgenOptions {
             backends: BackendKind::DEFAULT.to_vec(),
             concurrency: vec![1, 4],
+            connections: 0,
+            churn_every: 0,
             duration: Duration::from_secs(3),
             warmup: Duration::from_millis(250),
             per_set: 200,
@@ -249,6 +262,9 @@ pub struct ThroughputRow {
     pub op: String,
     /// Client threads in this run.
     pub concurrency: usize,
+    /// Open connections in this run (threads × connections per
+    /// thread).
+    pub connections: usize,
     /// Measured steady-state wall-clock seconds (the warm-up window is
     /// excluded).
     pub seconds: f64,
@@ -272,20 +288,25 @@ pub struct ThroughputRow {
     /// deliveries; a non-idempotent caller must treat this column as a
     /// duplicate-execution upper bound.
     pub retried_after_partial: u64,
+    /// Deliberate connection teardowns (`--churn-every`) across the
+    /// whole run. A run-level total, repeated on each of the run's op
+    /// rows (churn is per connection, not per op).
+    pub reconnects: u64,
 }
 
 impl ThroughputRow {
     /// CSV header matching [`ThroughputRow::to_csv`].
-    pub const CSV_HEADER: &'static str = "backend,op,concurrency,seconds,requests,qps,p50_us,\
-         p99_us,verified,mismatches,retries,retried_after_partial";
+    pub const CSV_HEADER: &'static str = "backend,op,concurrency,connections,seconds,requests,\
+         qps,p50_us,p99_us,verified,mismatches,retries,retried_after_partial,reconnects";
 
     /// One CSV line.
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{},{:.2},{},{:.1},{:.2},{:.2},{},{},{},{}",
+            "{},{},{},{},{:.2},{},{:.1},{:.2},{:.2},{},{},{},{},{}",
             self.backend,
             self.op,
             self.concurrency,
+            self.connections,
             self.seconds,
             self.requests,
             self.qps,
@@ -294,7 +315,8 @@ impl ThroughputRow {
             self.verified,
             self.mismatches,
             self.retries,
-            self.retried_after_partial
+            self.retried_after_partial,
+            self.reconnects
         )
     }
 }
@@ -373,6 +395,7 @@ impl OpAgg {
 /// before `error` struck, so a dying run still reports its partials.
 struct ClientRun {
     per_op: [OpAgg; MIX_OPS],
+    reconnects: u64,
     error: Option<String>,
 }
 
@@ -380,7 +403,32 @@ impl ClientRun {
     fn empty() -> ClientRun {
         ClientRun {
             per_op: [OpAgg::empty(); MIX_OPS],
+            reconnects: 0,
             error: None,
+        }
+    }
+}
+
+/// How one run spreads its connections: connections per client thread
+/// and the churn cadence.
+#[derive(Clone, Copy)]
+struct ConnPlan {
+    /// Connections each client thread owns and rotates round-robin.
+    per_thread: usize,
+    /// Tear one connection down every this many requests per thread
+    /// (0: never).
+    churn_every: usize,
+}
+
+impl ConnPlan {
+    fn new(concurrency: usize, opts: &LoadgenOptions) -> ConnPlan {
+        ConnPlan {
+            per_thread: if opts.connections == 0 {
+                1
+            } else {
+                opts.connections.div_ceil(concurrency.max(1)).max(1)
+            },
+            churn_every: opts.churn_every,
         }
     }
 }
@@ -451,6 +499,7 @@ fn run_one(
     retry: &RetryPolicy,
     deadline_ms: u32,
     ctx: MixContext<'_>,
+    plan: ConnPlan,
 ) -> (f64, ClientRun) {
     let started = Instant::now();
     // Steady-state measurement: the timed window opens only after the
@@ -466,12 +515,24 @@ fn run_one(
         let mut handles = Vec::with_capacity(concurrency);
         for worker in 0..concurrency {
             handles.push(scope.spawn(move || -> ClientRun {
-                let mut policy = retry.clone();
-                // Distinct jitter streams keep retrying threads from
-                // thundering back in lock-step.
-                policy.seed = policy.seed.wrapping_add(worker as u64);
-                let mut client = RetryingClient::new(addr, policy);
-                client.set_deadline_ms(deadline_ms);
+                // Each thread rotates its requests across `per_thread`
+                // connections: the thread count is the CPU-side
+                // concurrency, the connection count is what the
+                // server's event loop has to keep alive.
+                let mut clients: Vec<RetryingClient> = (0..plan.per_thread)
+                    .map(|slot| {
+                        let mut policy = retry.clone();
+                        // Distinct jitter streams keep retrying
+                        // connections from thundering back in
+                        // lock-step.
+                        policy.seed = policy
+                            .seed
+                            .wrapping_add((worker * plan.per_thread + slot) as u64);
+                        let mut client = RetryingClient::new(addr, policy);
+                        client.set_deadline_ms(deadline_ms);
+                        client
+                    })
+                    .collect();
                 let mut run = ClientRun::empty();
                 let mut i = worker * pairs.len() / concurrency.max(1);
                 let issue = |client: &mut RetryingClient, i: usize| {
@@ -487,25 +548,39 @@ fn run_one(
                     };
                     (op, res)
                 };
+                let num_clients = clients.len();
                 // Warm-up: drive the same loop, count nothing.
                 while Instant::now() < warm_end {
-                    let (_, res) = issue(&mut client, i);
+                    let (_, res) = issue(&mut clients[i % num_clients], i);
                     i += 1;
                     if let Err(e) = res {
                         run.error = Some(format!("{}: {e}", backend.name()));
                         return run;
                     }
                 }
+                let mut issued = 0usize;
                 while Instant::now() < deadline {
+                    if plan.churn_every > 0 && issued > 0 && issued % plan.churn_every == 0 {
+                        // Deliberate churn: drop one connection; the
+                        // next request through that slot reconnects.
+                        let victim = &mut clients[issued / plan.churn_every % num_clients];
+                        if victim.is_connected() {
+                            victim.disconnect();
+                            run.reconnects += 1;
+                        }
+                    }
+                    let client = &mut clients[i % num_clients];
                     let retries_before = client.retries;
                     let partials_before = client.retried_after_partial;
                     let t0 = Instant::now();
-                    let (op, res) = issue(&mut client, i);
+                    let (op, res) = issue(client, i);
                     i += 1;
+                    issued += 1;
                     if let Err(e) = res {
                         run.error = Some(format!("{}: {e}", backend.name()));
                         break;
                     }
+                    let client = &clients[(i - 1) % num_clients];
                     let agg = &mut run.per_op[op as usize];
                     agg.hist[bucket_of(t0.elapsed().as_nanos() as u64)] += 1;
                     agg.requests += 1;
@@ -537,6 +612,7 @@ fn run_one(
                 *a += b;
             }
         }
+        total.reconnects += run.reconnects;
         if total.error.is_none() {
             total.error = run.error;
         }
@@ -720,6 +796,7 @@ pub fn run(addr: SocketAddr, net: &RoadNetwork, opts: &LoadgenOptions) -> Loadge
             }
         };
         for &concurrency in &opts.concurrency {
+            let plan = ConnPlan::new(concurrency, opts);
             let (seconds, total) = run_one(
                 addr,
                 backend,
@@ -732,6 +809,7 @@ pub fn run(addr: SocketAddr, net: &RoadNetwork, opts: &LoadgenOptions) -> Loadge
                 &opts.retry,
                 opts.deadline_ms,
                 ctx,
+                plan,
             );
             for op in OpKind::ALL {
                 if opts.mix.weight(op) == 0 {
@@ -743,6 +821,7 @@ pub fn run(addr: SocketAddr, net: &RoadNetwork, opts: &LoadgenOptions) -> Loadge
                     backend: backend.name().to_string(),
                     op: op.name().to_string(),
                     concurrency,
+                    connections: concurrency * plan.per_thread,
                     seconds,
                     requests: agg.requests,
                     qps: agg.requests as f64 / seconds.max(1e-9),
@@ -752,6 +831,7 @@ pub fn run(addr: SocketAddr, net: &RoadNetwork, opts: &LoadgenOptions) -> Loadge
                     mismatches,
                     retries: agg.retries,
                     retried_after_partial: agg.partials,
+                    reconnects: total.reconnects,
                 };
                 eprintln!(
                     "[loadgen] {:<9} {:<8} c={:<2} {:>9.0} qps  p50 {:>8.2} µs  p99 {:>8.2} µs  ({} reqs in {:.1}s, {} retries)",
@@ -820,8 +900,15 @@ pub fn run_in_process(
             Ok(engine)
         })
     });
+    // Workers are the CPU pool behind the event loop, not connection
+    // holders: size them to the smaller of the active streams and the
+    // machine (+1 so a wedged query never starves the pool). Sizing
+    // them to `max_concurrency` like the old thread-per-connection
+    // server did just builds an idle worker herd whose condvar wakeups
+    // starve the shard threads at high stream counts.
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     let cfg = ServerConfig {
-        workers: max_concurrency + 1,
+        workers: max_concurrency.min(cores) + 1,
         reload_factory,
         selfcheck_seed: opts.seed,
         ..ServerConfig::default()
@@ -946,11 +1033,27 @@ mod tests {
     }
 
     #[test]
+    fn conn_plan_splits_connections_across_threads() {
+        let mut opts = LoadgenOptions::default();
+        assert_eq!(ConnPlan::new(8, &opts).per_thread, 1);
+        opts.connections = 1024;
+        opts.churn_every = 50;
+        let plan = ConnPlan::new(8, &opts);
+        assert_eq!(plan.per_thread, 128);
+        assert_eq!(plan.churn_every, 50);
+        // A connection count below the thread count still gives every
+        // thread one connection.
+        opts.connections = 3;
+        assert_eq!(ConnPlan::new(8, &opts).per_thread, 1);
+    }
+
+    #[test]
     fn csv_rows_are_well_formed() {
         let row = ThroughputRow {
             backend: "ch".into(),
             op: "o2m".into(),
             concurrency: 4,
+            connections: 16,
             seconds: 2.0,
             requests: 1000,
             qps: 500.0,
@@ -960,13 +1063,14 @@ mod tests {
             mismatches: 0,
             retries: 7,
             retried_after_partial: 2,
+            reconnects: 3,
         };
         let line = row.to_csv();
         assert_eq!(
             line.split(',').count(),
             ThroughputRow::CSV_HEADER.split(',').count()
         );
-        assert!(line.starts_with("ch,o2m,4,"));
-        assert!(line.ends_with(",7,2"));
+        assert!(line.starts_with("ch,o2m,4,16,"));
+        assert!(line.ends_with(",7,2,3"));
     }
 }

@@ -1,22 +1,38 @@
-//! The TCP query server: a fixed worker pool over the engine, with
-//! bounded worst-case behavior under overload, slow clients, deadlines,
-//! forced shutdown, worker panics, and live index swaps.
+//! The TCP query server: sharded epoll event loop in front of a fixed
+//! worker pool, with bounded worst-case behavior under overload, slow
+//! clients, deadlines, forced shutdown, worker panics, and live index
+//! swaps.
 //!
-//! Architecture (std-only, no async runtime):
+//! Architecture (std-only, no async runtime; the epoll/eventfd shims
+//! live in [`crate::eventloop`]):
 //!
-//! * An **acceptor** thread owns the (non-blocking) listener and hands
-//!   accepted connections to the pool through a **bounded** channel.
-//!   Past the high-water mark ([`ServerConfig::max_pending`]) a new
-//!   connection is answered with one `BUSY` frame and closed — load is
-//!   shed at the door instead of growing an unbounded queue.
-//! * `workers` **worker** threads each pin the current
-//!   [`EpochState`](crate::epoch::EpochState) and own one reusable
-//!   query session per backend — rebuilt only when a reload publishes a
-//!   new epoch or a panic forces a fresh start. A worker serves one
-//!   connection at a time, frame by frame, inside a `catch_unwind`
-//!   supervision shell: a panicking query kills only its own
-//!   connection, the worker rebuilds its sessions and keeps serving.
-//!   Past [`ServerConfig::restart_cap`] panics within
+//! * An **acceptor** thread owns the (non-blocking) listener and deals
+//!   accepted connections round-robin to the shards. Accepting is
+//!   cheap: connection count is bounded by file descriptors, not
+//!   threads, so tens of thousands of idle connections cost one fd and
+//!   a few hundred bytes each.
+//! * [`ServerConfig::shards`] **shard** threads each run an epoll loop
+//!   over their connections: non-blocking reads into a growing buffer,
+//!   frame parsing, and a per-connection write queue. Clients may
+//!   **pipeline** requests (several frames in flight on one
+//!   connection, up to [`ServerConfig::pipeline_depth`]); responses are
+//!   sequenced and flushed strictly in request order. Parsed frames are
+//!   dispatched to a **bounded** work queue; past the high-water mark
+//!   ([`ServerConfig::max_pending`]) a request is answered with one
+//!   `BUSY` frame in its response slot — load is shed per request
+//!   instead of growing an unbounded queue. A peer that stalls
+//!   mid-frame past [`ServerConfig::stall_timeout`] or stops reading
+//!   its responses past [`ServerConfig::write_timeout`] is
+//!   disconnected; a quietly idle connection is never reaped.
+//! * `workers` **worker** threads pop requests from the work queue.
+//!   Each pins the current [`EpochState`](crate::epoch::EpochState) and
+//!   owns one reusable query session per backend — rebuilt when a
+//!   reload publishes a new epoch (checked before every request, so a
+//!   request arriving after a `RELOAD` acknowledgement is answered by
+//!   the new epoch) or when a panic forces a fresh start. Queries run
+//!   inside a `catch_unwind` supervision shell: a panicking query kills
+//!   only its own connection, the worker rebuilds its sessions and
+//!   keeps serving. Past [`ServerConfig::restart_cap`] panics within
 //!   [`ServerConfig::restart_window`] the worker retires; when the last
 //!   worker retires the server shuts down instead of lingering as a
 //!   zombie acceptor.
@@ -33,26 +49,30 @@
 //!   yields a `DEADLINE_EXCEEDED` frame (never a cached or misreported
 //!   "unreachable").
 //! * **Shutdown** drains: a `SHUTDOWN` frame or SIGTERM/SIGINT stops
-//!   the acceptor immediately (new connections are refused), lets
-//!   in-flight requests finish within [`ServerConfig::grace`], then a
+//!   the acceptor immediately (new connections are refused) and stops
+//!   frame parsing; queued and in-flight requests finish within
+//!   [`ServerConfig::grace`], their responses are flushed, then a
 //!   monitor thread flips the force-stop flag — budgets trip, workers
-//!   answer a final error and close, and [`Server::join`] returns with
-//!   every thread joined.
+//!   answer a final error, shards flush and close what they can inside
+//!   a short hard-stop window, and [`Server::join`] returns with every
+//!   thread joined.
 //!
-//! Per-request flow: decode → fault-injection hook (tests only) →
-//! resolve backend (wire id, degraded alias, or quarantine failover) →
-//! consult the sharded epoch-keyed distance cache (DISTANCE only) → run
-//! the session under its budget → cache + record latency → respond.
-//! Dense DISTANCES batches reach CH's bucket-based many-to-many through
-//! the `Session::distances` override.
+//! Per-request flow: parse (shard) → dispatch → fault-injection hook
+//! (tests only) → resolve backend (wire id, degraded alias, or
+//! quarantine failover) → consult the sharded epoch-keyed distance
+//! cache (DISTANCE only) → run the session under its budget → cache +
+//! record latency → sequence the response back through the owning
+//! shard. Dense DISTANCES batches reach the CH batch kernel through the
+//! `Session::distances` override.
 
-use std::io::{self, Read};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -62,6 +82,7 @@ use spq_graph::backend::{Backend, QueryBudget, Session};
 use crate::audit::{self, AuditConfig};
 use crate::cache::DistanceCache;
 use crate::epoch::{EpochRegistry, EpochState, ReloadFactory, ReloadSpec};
+use crate::eventloop::{Event, Poller, Waker};
 use crate::fault::FaultInjector;
 use crate::protocol::{self, Request};
 use crate::stats::{wire_slot, Op, ServerStats, WIRE_NAMES, WIRE_SLOTS};
@@ -73,24 +94,33 @@ use crate::{BackendKind, Engine};
 pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Worker threads (also the maximum number of concurrently served
-    /// connections).
+    /// Worker threads executing queries (CPU-bound concurrency).
     pub workers: usize,
+    /// Event-loop shards owning connections (0 = auto: a small number
+    /// scaled to the machine; connection capacity is not limited by
+    /// this, it only spreads readiness handling).
+    pub shards: usize,
+    /// Most requests one connection may have in flight (parsed but not
+    /// yet responded). Parsing pauses past this, so a pipelining client
+    /// is backpressured through TCP instead of ballooning memory.
+    pub pipeline_depth: usize,
     /// Total distance-cache entries (0 disables the cache).
     pub cache_capacity: usize,
     /// Cache shards (rounded up to a power of two).
     pub cache_shards: usize,
-    /// Socket read timeout; bounds how long a quiet connection delays
-    /// shutdown.
+    /// Legacy knob from the thread-per-connection server; the event
+    /// loop waits on readiness instead of read timeouts. Retained so
+    /// existing configs keep compiling.
     pub read_timeout: Duration,
-    /// Accepted connections waiting for a worker beyond which new ones
-    /// are shed with BUSY.
+    /// Parsed requests waiting for a worker beyond which new ones are
+    /// answered with BUSY.
     pub max_pending: usize,
-    /// Socket write timeout; a peer that stops reading its responses is
-    /// disconnected instead of blocking a worker.
+    /// A peer that accepts no response bytes for this long is
+    /// disconnected instead of holding buffered responses forever.
     pub write_timeout: Duration,
     /// How long a started frame may take to arrive in full; a client
-    /// stalling mid-frame past this is disconnected.
+    /// stalling mid-frame past this is disconnected. (An idle
+    /// connection at a frame boundary is never disconnected.)
     pub stall_timeout: Duration,
     /// Largest accepted frame (clamped to the protocol's own cap).
     pub max_frame_len: usize,
@@ -133,6 +163,8 @@ impl Default for ServerConfig {
                 .map(|p| p.get())
                 .unwrap_or(4)
                 .max(2),
+            shards: 0,
+            pipeline_depth: 32,
             cache_capacity: 1 << 16,
             cache_shards: 16,
             read_timeout: Duration::from_millis(50),
@@ -207,8 +239,102 @@ pub fn take_sighup() -> bool {
     SIGHUP_RELOAD.swap(false, Ordering::SeqCst)
 }
 
+/// One parsed request travelling from a shard to a worker.
+struct WorkItem {
+    /// Index of the shard that owns the connection.
+    shard: usize,
+    /// Generation-tagged connection token within that shard.
+    token: u64,
+    /// Position of this request in its connection's response order.
+    seq: u64,
+    /// The frame payload (without the length prefix).
+    payload: Vec<u8>,
+}
+
+/// What a worker hands back for one [`WorkItem`].
+enum Completion {
+    /// A response payload, to be flushed in `seq` order.
+    Respond(Vec<u8>),
+    /// Close the connection without responding (injected connection
+    /// drop, or a panic that killed the request).
+    Close,
+}
+
+/// Messages into a shard's ingress queue.
+enum ShardMsg {
+    /// A freshly accepted connection to adopt.
+    Conn(TcpStream),
+    /// A finished request for one of this shard's connections.
+    Done {
+        token: u64,
+        seq: u64,
+        completion: Completion,
+    },
+}
+
+/// The cross-thread face of a shard: a locked ingress queue plus the
+/// eventfd that pulls the shard out of `epoll_wait`.
+struct ShardHandle {
+    ingress: Mutex<VecDeque<ShardMsg>>,
+    waker: Waker,
+}
+
+impl ShardHandle {
+    fn send(&self, msg: ShardMsg) {
+        lock_unpoisoned(&self.ingress).push_back(msg);
+        self.waker.wake();
+    }
+}
+
+/// The bounded queue of parsed requests awaiting a worker.
+struct WorkQueue {
+    q: Mutex<VecDeque<WorkItem>>,
+    cv: Condvar,
+    cap: usize,
+}
+
+impl WorkQueue {
+    fn new(cap: usize) -> Self {
+        WorkQueue {
+            q: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues unless the high-water mark is reached (the caller sheds
+    /// with BUSY then).
+    fn try_push(&self, item: WorkItem) -> bool {
+        {
+            let mut q = lock_unpoisoned(&self.q);
+            if q.len() >= self.cap {
+                return false;
+            }
+            q.push_back(item);
+        }
+        self.cv.notify_one();
+        true
+    }
+
+    fn pop(&self, timeout: Duration) -> Option<WorkItem> {
+        let mut q = lock_unpoisoned(&self.q);
+        if let Some(item) = q.pop_front() {
+            return Some(item);
+        }
+        let (mut q, _timed_out) = self
+            .cv
+            .wait_timeout(q, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        q.pop_front()
+    }
+
+    fn is_empty(&self) -> bool {
+        lock_unpoisoned(&self.q).is_empty()
+    }
+}
+
 /// Everything a worker needs beyond its sessions, bundled so the
-/// per-connection call chain stays readable.
+/// per-request call chain stays readable.
 struct WorkerCtx {
     shutdown: Arc<AtomicBool>,
     force_stop: Arc<AtomicBool>,
@@ -216,10 +342,6 @@ struct WorkerCtx {
     cache: Arc<DistanceCache>,
     registry: Arc<EpochRegistry>,
     fault: Option<Arc<FaultInjector>>,
-    read_timeout: Duration,
-    write_timeout: Duration,
-    stall_timeout: Duration,
-    max_frame: usize,
     reload_timeout: Duration,
     has_reload_source: bool,
     /// Whether quarantined wire ids fail over down the degradation
@@ -240,6 +362,7 @@ pub struct Server {
     monitor: Option<JoinHandle<()>>,
     reloader: Option<JoinHandle<()>>,
     auditor: Option<JoinHandle<()>>,
+    shards: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     registry: Arc<EpochRegistry>,
     stats: Arc<ServerStats>,
@@ -266,12 +389,53 @@ impl Server {
         let active = Arc::new(AtomicUsize::new(cfg.workers.max(1)));
         let has_reload_source = cfg.reload_factory.is_some() || cfg.reload_file.is_some();
 
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(cfg.max_pending.max(1));
-        let rx = Arc::new(Mutex::new(rx));
+        let num_shards = if cfg.shards == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get() / 4)
+                .unwrap_or(1)
+                .clamp(1, 4)
+        } else {
+            cfg.shards
+        };
+        stats.shards.store(num_shards as u64, Ordering::Relaxed);
+
+        let handles: Arc<Vec<ShardHandle>> = Arc::new(
+            (0..num_shards)
+                .map(|_| {
+                    Ok(ShardHandle {
+                        ingress: Mutex::new(VecDeque::new()),
+                        waker: Waker::new()?,
+                    })
+                })
+                .collect::<io::Result<Vec<_>>>()?,
+        );
+        let work = Arc::new(WorkQueue::new(cfg.max_pending));
+
+        let mut shard_threads = Vec::with_capacity(num_shards);
+        for shard_id in 0..num_shards {
+            let ctx = ShardCtx {
+                shutdown: Arc::clone(&shutdown),
+                force_stop: Arc::clone(&force_stop),
+                stats: Arc::clone(&stats),
+                max_frame: cfg.max_frame_len.min(protocol::MAX_FRAME),
+                stall_timeout: cfg.stall_timeout,
+                write_timeout: cfg.write_timeout,
+                pipeline_depth: cfg.pipeline_depth.max(1),
+            };
+            let handles = Arc::clone(&handles);
+            let work = Arc::clone(&work);
+            shard_threads.push(std::thread::spawn(move || {
+                match Shard::new(shard_id, handles, work, ctx) {
+                    Ok(mut shard) => shard.run(),
+                    Err(e) => eprintln!("[shard {shard_id}] failed to start epoll: {e}"),
+                }
+            }));
+        }
 
         let mut workers = Vec::with_capacity(cfg.workers);
         for worker_id in 0..cfg.workers.max(1) {
-            let rx = Arc::clone(&rx);
+            let work = Arc::clone(&work);
+            let handles = Arc::clone(&handles);
             let active = Arc::clone(&active);
             let ctx = WorkerCtx {
                 shutdown: Arc::clone(&shutdown),
@@ -280,10 +444,6 @@ impl Server {
                 cache: Arc::clone(&cache),
                 registry: Arc::clone(&registry),
                 fault: cfg.fault.clone(),
-                read_timeout: cfg.read_timeout,
-                write_timeout: cfg.write_timeout,
-                stall_timeout: cfg.stall_timeout,
-                max_frame: cfg.max_frame_len.min(protocol::MAX_FRAME),
                 reload_timeout: cfg.reload_timeout,
                 has_reload_source,
                 failover: cfg.audit.as_ref().map_or(true, |a| a.failover),
@@ -291,7 +451,7 @@ impl Server {
                 restart_window: cfg.restart_window,
             };
             workers.push(std::thread::spawn(move || {
-                worker_loop(&rx, &ctx, worker_id);
+                worker_loop(&work, &handles, &ctx, worker_id);
                 // The last worker to leave — retirement or shutdown —
                 // turns the lights off, so a fully retired pool shuts
                 // the server down instead of leaving a zombie acceptor.
@@ -304,7 +464,8 @@ impl Server {
         let acceptor = {
             let shutdown = Arc::clone(&shutdown);
             let stats = Arc::clone(&stats);
-            std::thread::spawn(move || accept_loop(listener, tx, &shutdown, &stats))
+            let handles = Arc::clone(&handles);
+            std::thread::spawn(move || accept_loop(listener, &handles, &shutdown, &stats))
         };
 
         // The grace monitor: once shutdown is requested, give in-flight
@@ -367,6 +528,7 @@ impl Server {
             monitor: Some(monitor),
             reloader,
             auditor,
+            shards: shard_threads,
             workers,
             registry,
             stats,
@@ -411,6 +573,9 @@ impl Server {
     pub fn join(mut self) -> String {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
+        }
+        for s in self.shards.drain(..) {
+            let _ = s.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -546,30 +711,21 @@ impl Reloader {
 
 fn accept_loop(
     listener: TcpListener,
-    tx: SyncSender<TcpStream>,
+    handles: &[ShardHandle],
     shutdown: &AtomicBool,
     stats: &ServerStats,
 ) {
+    let mut next = 0usize;
     while !stopping(shutdown) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 stats.connections.fetch_add(1, Ordering::Relaxed);
                 let _ = stream.set_nodelay(true);
-                match tx.try_send(stream) {
-                    Ok(()) => {}
-                    Err(TrySendError::Full(mut stream)) => {
-                        // Shed at the door: one BUSY frame, best-effort
-                        // (a peer that won't read it gets dropped by the
-                        // short write timeout), then close.
-                        stats.shed.fetch_add(1, Ordering::Relaxed);
-                        let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
-                        let busy = protocol::encode_busy(
-                            "server overloaded; retry with exponential backoff",
-                        );
-                        let _ = protocol::write_frame(&mut stream, &busy);
-                    }
-                    Err(TrySendError::Disconnected(_)) => break, // every worker is gone
-                }
+                // Round-robin: connection count is bounded by fds, not
+                // by a queue — overload is shed per *request* at the
+                // work queue, not per connection at the door.
+                handles[next % handles.len()].send(ShardMsg::Conn(stream));
+                next = next.wrapping_add(1);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -577,27 +733,530 @@ fn accept_loop(
             Err(_) => std::thread::sleep(Duration::from_millis(5)),
         }
     }
-    // Dropping `tx` here lets idle workers observe the disconnect, and
-    // dropping the listener makes new connections fail fast.
+    // Dropping the listener makes new connections fail fast.
 }
 
-/// How one served connection ended, from the worker's perspective.
-enum ConnOutcome {
-    /// The connection is finished (EOF, error, shutdown, or dropped).
-    Done,
-    /// A fresh epoch was published after this frame was read: the
-    /// worker must rebuild its sessions and then answer the carried
-    /// frame on the new epoch — the frame is never dropped.
-    EpochStale { stream: TcpStream, payload: Vec<u8> },
+/// Token under which every shard registers its own waker.
+const WAKER_TOKEN: u64 = u64::MAX;
+
+fn conn_token(gen: u32, idx: usize) -> u64 {
+    ((gen as u64) << 32) | idx as u64
 }
 
-fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: &WorkerCtx, worker_id: usize) {
+fn token_parts(token: u64) -> (u32, usize) {
+    ((token >> 32) as u32, (token & 0xffff_ffff) as usize)
+}
+
+/// Immutable shard environment.
+struct ShardCtx {
+    shutdown: Arc<AtomicBool>,
+    force_stop: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    max_frame: usize,
+    stall_timeout: Duration,
+    write_timeout: Duration,
+    pipeline_depth: usize,
+}
+
+/// Per-connection state owned by exactly one shard.
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    /// Received-but-unparsed bytes; `rstart` is the consumed prefix.
+    /// Only bytes actually received are ever buffered — a corrupted
+    /// length header can never make the server allocate the claimed
+    /// size.
+    rbuf: Vec<u8>,
+    rstart: usize,
+    /// Bytes queued to write; `wstart` is the flushed prefix.
+    wbuf: Vec<u8>,
+    wstart: usize,
+    /// Sequence number assigned to the next parsed frame.
+    next_seq: u64,
+    /// Sequence number of the next response to append to `wbuf` —
+    /// responses flush strictly in request order.
+    next_flush: u64,
+    /// Out-of-order completions waiting for their turn.
+    ready: BTreeMap<u64, Vec<u8>>,
+    /// Dispatched requests not yet completed.
+    inflight: usize,
+    /// When the trailing partial frame stopped growing (None at a clean
+    /// frame boundary or while a complete frame waits on backpressure).
+    partial_since: Option<Instant>,
+    /// Last instant write() made progress (meaningful while `wbuf` is
+    /// non-empty).
+    last_write_progress: Instant,
+    /// Whether EPOLLOUT interest is currently registered.
+    write_interest: bool,
+    /// Flush what is queued, then close (protocol framing is lost).
+    close_after_flush: bool,
+    /// Peer sent EOF; close once everything in flight has flushed.
+    eof: bool,
+    /// Hard failure (socket error / hangup): close immediately.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, token: u64) -> Conn {
+        Conn {
+            stream,
+            token,
+            rbuf: Vec::new(),
+            rstart: 0,
+            wbuf: Vec::new(),
+            wstart: 0,
+            next_seq: 0,
+            next_flush: 0,
+            ready: BTreeMap::new(),
+            inflight: 0,
+            partial_since: None,
+            last_write_progress: Instant::now(),
+            write_interest: false,
+            close_after_flush: false,
+            eof: false,
+            dead: false,
+        }
+    }
+
+    fn write_drained(&self) -> bool {
+        self.wstart == self.wbuf.len() && self.ready.is_empty()
+    }
+}
+
+/// Whether the unparsed bytes start with a complete (or oversized, and
+/// therefore immediately actionable) frame.
+fn has_full_frame(conn: &Conn, max_frame: usize) -> bool {
+    let avail = &conn.rbuf[conn.rstart..];
+    if avail.len() < 4 {
+        return false;
+    }
+    let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+    len > max_frame || avail.len() >= 4 + len
+}
+
+/// Appends one length-prefixed frame to the connection's write queue.
+fn enqueue_frame(conn: &mut Conn, payload: &[u8]) {
+    if conn.wstart == conn.wbuf.len() {
+        // Transitioning from drained to pending restarts the
+        // write-stall clock.
+        conn.last_write_progress = Instant::now();
+    }
+    conn.wbuf
+        .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    conn.wbuf.extend_from_slice(payload);
+}
+
+/// Moves completed responses into the write queue, in sequence order.
+fn flush_ready(conn: &mut Conn) {
+    while let Some(payload) = conn.ready.remove(&conn.next_flush) {
+        enqueue_frame(conn, &payload);
+        conn.next_flush += 1;
+    }
+}
+
+/// Parses complete frames out of the read buffer and dispatches them,
+/// shedding with BUSY when the work queue is full.
+fn parse_and_dispatch(
+    conn: &mut Conn,
+    shard_id: usize,
+    work: &WorkQueue,
+    ctx: &ShardCtx,
+    stopping_now: bool,
+) {
+    // Once shutdown is requested no new work is started; buffered
+    // bytes of unparsed frames are simply dropped at close.
+    if stopping_now || conn.close_after_flush || conn.dead {
+        return;
+    }
+    loop {
+        if conn.inflight + conn.ready.len() >= ctx.pipeline_depth {
+            break; // backpressure: stop parsing, let TCP flow control push back
+        }
+        let avail = &conn.rbuf[conn.rstart..];
+        if avail.len() < 4 {
+            break;
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len > ctx.max_frame {
+            // Unrecoverable: framing is lost. Answer in sequence and
+            // drop the link without ever allocating the claimed length.
+            ctx.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            conn.ready
+                .insert(seq, protocol::encode_error("frame exceeds the size limit"));
+            conn.close_after_flush = true;
+            break;
+        }
+        if avail.len() < 4 + len {
+            break;
+        }
+        let payload = avail[4..4 + len].to_vec();
+        conn.rstart += 4 + len;
+        ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        if conn.inflight > 0 {
+            ctx.stats.pipelined_frames.fetch_add(1, Ordering::Relaxed);
+        }
+        let item = WorkItem {
+            shard: shard_id,
+            token: conn.token,
+            seq,
+            payload,
+        };
+        if work.try_push(item) {
+            conn.inflight += 1;
+        } else {
+            // Per-request shedding: the BUSY frame takes this request's
+            // response slot so pipelined siblings stay correctly
+            // ordered.
+            ctx.stats.shed.fetch_add(1, Ordering::Relaxed);
+            conn.ready.insert(
+                seq,
+                protocol::encode_busy("server overloaded; retry with exponential backoff"),
+            );
+        }
+    }
+    // Compact the consumed prefix once it dominates the buffer.
+    if conn.rstart == conn.rbuf.len() {
+        conn.rbuf.clear();
+        conn.rstart = 0;
+    } else if conn.rstart > 64 * 1024 {
+        conn.rbuf.drain(..conn.rstart);
+        conn.rstart = 0;
+    }
+}
+
+/// Non-blocking read into the connection's buffer. Returns whether any
+/// bytes arrived; flags EOF and hard errors on the connection.
+fn on_read(conn: &mut Conn) -> bool {
+    let mut progressed = false;
+    let mut tmp = [0u8; 16 * 1024];
+    // Bounded per readiness event so one firehose connection cannot
+    // starve its shard; level-triggered epoll re-fires for the rest.
+    for _ in 0..8 {
+        match conn.stream.read(&mut tmp) {
+            Ok(0) => {
+                conn.eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&tmp[..n]);
+                progressed = true;
+                if n < tmp.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    progressed
+}
+
+/// Flushes as much of the write queue as the socket accepts. Returns
+/// false on a hard write error.
+fn try_write(conn: &mut Conn) -> bool {
+    while conn.wstart < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wstart..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return false;
+            }
+            Ok(n) => {
+                conn.wstart += n;
+                conn.last_write_progress = Instant::now();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                return false;
+            }
+        }
+    }
+    if conn.wstart == conn.wbuf.len() {
+        conn.wbuf.clear();
+        conn.wstart = 0;
+    } else if conn.wstart > 64 * 1024 {
+        conn.wbuf.drain(..conn.wstart);
+        conn.wstart = 0;
+    }
+    true
+}
+
+/// One event-loop shard: owns a set of connections, parses and
+/// sequences their frames, and exchanges work with the worker pool.
+struct Shard {
+    id: usize,
+    poller: Poller,
+    handles: Arc<Vec<ShardHandle>>,
+    work: Arc<WorkQueue>,
+    ctx: ShardCtx,
+    conns: Vec<Option<Conn>>,
+    gens: Vec<u32>,
+    free: Vec<usize>,
+    open: usize,
+    /// When the force-stop flag was first observed (bounds the hard
+    /// shutdown window).
+    force_seen: Option<Instant>,
+}
+
+/// How long a shard keeps flushing after force-stop before it closes
+/// whatever is left (covers responses produced by budgets tripping).
+const FORCE_STOP_LINGER: Duration = Duration::from_millis(400);
+
+impl Shard {
+    fn new(
+        id: usize,
+        handles: Arc<Vec<ShardHandle>>,
+        work: Arc<WorkQueue>,
+        ctx: ShardCtx,
+    ) -> io::Result<Shard> {
+        let poller = Poller::new(256)?;
+        poller.add(handles[id].waker.raw_fd(), WAKER_TOKEN, false)?;
+        Ok(Shard {
+            id,
+            poller,
+            handles,
+            work,
+            ctx,
+            conns: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            open: 0,
+            force_seen: None,
+        })
+    }
+
+    fn run(&mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            events.clear();
+            let _ = self.poller.wait(&mut events, 25);
+            self.handles[self.id].waker.drain();
+            let stopping_now = stopping(&self.ctx.shutdown);
+
+            // Ingress: adopted connections and finished requests.
+            let msgs: VecDeque<ShardMsg> = {
+                let mut q = lock_unpoisoned(&self.handles[self.id].ingress);
+                std::mem::take(&mut *q)
+            };
+            for msg in msgs {
+                match msg {
+                    ShardMsg::Conn(stream) => self.register(stream, stopping_now),
+                    ShardMsg::Done {
+                        token,
+                        seq,
+                        completion,
+                    } => self.complete(token, seq, completion),
+                }
+            }
+
+            // Readiness: pull bytes in, note hangups; all the actual
+            // frame work happens in the service pass below.
+            let mut any_read = false;
+            for ev in &events {
+                if ev.token == WAKER_TOKEN {
+                    continue;
+                }
+                let (gen, idx) = token_parts(ev.token);
+                let Some(slot) = self.conns.get_mut(idx) else {
+                    continue;
+                };
+                let Some(conn) = slot.as_mut() else { continue };
+                if self.gens[idx] != gen {
+                    continue; // stale event for a recycled slot
+                }
+                if ev.hangup {
+                    conn.dead = true;
+                    continue;
+                }
+                if ev.readable && on_read(conn) {
+                    any_read = true;
+                    // New bytes restart the mid-frame stall clock.
+                    conn.partial_since = None;
+                }
+            }
+            let _ = any_read;
+
+            // Service pass: parse, dispatch, flush, sequence, reap.
+            let now = Instant::now();
+            let force = self.ctx.force_stop.load(Ordering::SeqCst);
+            if force && self.force_seen.is_none() {
+                self.force_seen = Some(now);
+            }
+            let force_expired = self
+                .force_seen
+                .is_some_and(|t0| now.duration_since(t0) >= FORCE_STOP_LINGER);
+            for idx in 0..self.conns.len() {
+                let close = {
+                    let Some(conn) = self.conns[idx].as_mut() else {
+                        continue;
+                    };
+                    service_conn(conn, self.id, &self.poller, &self.work, &self.ctx, now)
+                        || should_close(conn, &self.ctx, now, stopping_now)
+                        || force_expired
+                };
+                if close {
+                    self.close(idx);
+                }
+            }
+
+            if stopping_now && self.open == 0 {
+                // Graceful exit: nothing left to serve. (Force-stop
+                // funnels here too once the linger window closes every
+                // remaining connection.)
+                return;
+            }
+        }
+    }
+
+    fn register(&mut self, stream: TcpStream, stopping_now: bool) {
+        if stopping_now || stream.set_nonblocking(true).is_err() {
+            return; // refused at the edge: dropping the stream closes it
+        }
+        let idx = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.gens.push(0);
+            self.conns.len() - 1
+        });
+        let token = conn_token(self.gens[idx], idx);
+        if self.poller.add(stream.as_raw_fd(), token, false).is_err() {
+            self.free.push(idx);
+            return;
+        }
+        self.ctx
+            .stats
+            .open_connections
+            .fetch_add(1, Ordering::Relaxed);
+        self.open += 1;
+        self.conns[idx] = Some(Conn::new(stream, token));
+    }
+
+    fn complete(&mut self, token: u64, seq: u64, completion: Completion) {
+        let (gen, idx) = token_parts(token);
+        let Some(slot) = self.conns.get_mut(idx) else {
+            return;
+        };
+        let Some(conn) = slot.as_mut() else { return };
+        if self.gens[idx] != gen {
+            return; // the connection died while this request ran
+        }
+        conn.inflight = conn.inflight.saturating_sub(1);
+        match completion {
+            Completion::Respond(payload) => {
+                conn.ready.insert(seq, payload);
+            }
+            Completion::Close => {
+                // Injected drop or a panic: the request dies with its
+                // connection, pipelined siblings included.
+                self.close(idx);
+            }
+        }
+    }
+
+    fn close(&mut self, idx: usize) {
+        if let Some(conn) = self.conns[idx].take() {
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+            self.gens[idx] = self.gens[idx].wrapping_add(1);
+            self.free.push(idx);
+            self.open -= 1;
+            self.ctx
+                .stats
+                .open_connections
+                .fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One connection's service step. Returns true if the connection must
+/// close because of a hard failure.
+fn service_conn(
+    conn: &mut Conn,
+    shard_id: usize,
+    poller: &Poller,
+    work: &WorkQueue,
+    ctx: &ShardCtx,
+    now: Instant,
+) -> bool {
+    let stopping_now = stopping(&ctx.shutdown);
+    parse_and_dispatch(conn, shard_id, work, ctx, stopping_now);
+    flush_ready(conn);
+    if !try_write(conn) || conn.dead {
+        return true;
+    }
+    // Track the trailing partial frame for the stall timeout. A
+    // complete frame waiting on pipeline backpressure is not a stall,
+    // and progress (handled at read time) restarts the clock.
+    let leftover = conn.rbuf.len() - conn.rstart;
+    if leftover > 0 && !has_full_frame(conn, ctx.max_frame) && !conn.close_after_flush {
+        conn.partial_since.get_or_insert(now);
+    } else {
+        conn.partial_since = None;
+    }
+    // Keep EPOLLOUT interest in sync with pending output.
+    let want_write = conn.wstart < conn.wbuf.len();
+    if want_write != conn.write_interest
+        && poller
+            .modify(conn.stream.as_raw_fd(), conn.token, want_write)
+            .is_ok()
+    {
+        conn.write_interest = want_write;
+    }
+    false
+}
+
+/// Whether a connection should close now (orderly paths; hard failures
+/// are handled by [`service_conn`]).
+fn should_close(conn: &Conn, ctx: &ShardCtx, now: Instant, stopping_now: bool) -> bool {
+    let drained = conn.inflight == 0 && conn.write_drained();
+    if drained && conn.close_after_flush {
+        return true;
+    }
+    if drained && stopping_now {
+        return true; // graceful shutdown: last responses delivered, then close
+    }
+    if drained && conn.eof && !has_full_frame(conn, ctx.max_frame) {
+        return true; // peer finished and everything owed was flushed
+    }
+    // Mid-frame stall: only once nothing is owed (a slow-loris with
+    // responses still in flight is reaped after they flush).
+    if conn.inflight == 0 && conn.ready.is_empty() {
+        if let Some(t0) = conn.partial_since {
+            if now.duration_since(t0) >= ctx.stall_timeout {
+                ctx.stats.client_timeouts.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+    }
+    // Write stall: the peer stopped reading its responses.
+    if conn.wstart < conn.wbuf.len()
+        && now.duration_since(conn.last_write_progress) >= ctx.write_timeout
+    {
+        ctx.stats.client_timeouts.fetch_add(1, Ordering::Relaxed);
+        return true;
+    }
+    false
+}
+
+fn worker_loop(
+    work: &Arc<WorkQueue>,
+    handles: &Arc<Vec<ShardHandle>>,
+    ctx: &WorkerCtx,
+    worker_id: usize,
+) {
     let mut scratch = Scratch::default();
     // Panic timestamps within the restart window (the supervision cap).
     let mut panics: Vec<Instant> = Vec::new();
-    // A connection (plus its already-read frame) carried across an
-    // epoch swap, resumed first thing on the new epoch's sessions.
-    let mut carry: Option<(TcpStream, Vec<u8>)> = None;
+    // A request carried across an epoch swap, answered first thing on
+    // the new epoch's sessions — never dropped.
+    let mut carry: Option<WorkItem> = None;
     'epochs: loop {
         // Pin the current epoch: sessions borrow this state's engine,
         // so every query this worker runs until the next swap (or
@@ -616,52 +1275,76 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: &WorkerCtx, worker_id: usiz
         sessions.push(baseline.session(engine.net()));
         let fallback = sessions.len() - 1;
         loop {
-            let (stream, pending) = match carry.take() {
-                Some((stream, payload)) => (stream, Some(payload)),
-                None => {
-                    let received = {
-                        let guard = lock_unpoisoned(rx);
-                        guard.recv_timeout(Duration::from_millis(50))
-                    };
-                    match received {
-                        Ok(stream) => (stream, None),
-                        Err(RecvTimeoutError::Timeout) => {
-                            if stopping(&ctx.shutdown) {
-                                return;
-                            }
-                            if ctx.registry.epoch() != state.epoch {
-                                continue 'epochs;
-                            }
-                            continue;
+            let item = match carry.take() {
+                Some(item) => item,
+                None => match work.pop(Duration::from_millis(50)) {
+                    Some(item) => item,
+                    None => {
+                        if stopping(&ctx.shutdown) && work.is_empty() {
+                            return; // drained: queued requests were answered first
                         }
-                        Err(RecvTimeoutError::Disconnected) => return,
+                        if ctx.registry.epoch() != state.epoch {
+                            continue 'epochs;
+                        }
+                        continue;
                     }
-                }
+                },
             };
+            // Re-pin before every request: a request dispatched after a
+            // reload acknowledgement must be answered by the new epoch.
+            if ctx.registry.epoch() != state.epoch {
+                carry = Some(item);
+                continue 'epochs;
+            }
+            let action = match &ctx.fault {
+                Some(f) => f.on_request(),
+                None => crate::fault::FaultAction::NONE,
+            };
+            if let Some(delay) = action.delay {
+                std::thread::sleep(delay);
+            }
             // The supervision shell: a panic inside the request path —
             // injected by the chaos suite or a real backend defect —
-            // kills only this connection. The worker records it,
-            // rebuilds its sessions (the panicking one may be mid-query
-            // garbage), and keeps serving.
+            // kills only this request's connection. The worker records
+            // it, rebuilds its sessions (the panicking one may be
+            // mid-query garbage), and keeps serving.
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                serve_connection(
-                    stream,
+                if action.panic {
+                    // Stands in for a defect in a backend's query code.
+                    panic!("injected fault: panic while serving a request");
+                }
+                handle_request(
+                    &item.payload,
                     &state,
                     &mut sessions,
                     fallback,
                     &mut scratch,
                     ctx,
-                    pending,
                 )
             }));
             match outcome {
-                Ok(Ok(ConnOutcome::Done)) | Ok(Err(_)) => {}
-                Ok(Ok(ConnOutcome::EpochStale { stream, payload })) => {
-                    carry = Some((stream, payload));
-                    continue 'epochs;
+                Ok(response) => {
+                    let completion = if action.drop_connection {
+                        // Injected mid-request connection loss: the
+                        // query ran (and possibly warmed the cache),
+                        // but the peer never hears back.
+                        Completion::Close
+                    } else {
+                        Completion::Respond(response)
+                    };
+                    handles[item.shard].send(ShardMsg::Done {
+                        token: item.token,
+                        seq: item.seq,
+                        completion,
+                    });
                 }
                 Err(_) => {
                     ctx.stats.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                    handles[item.shard].send(ShardMsg::Done {
+                        token: item.token,
+                        seq: item.seq,
+                        completion: Completion::Close,
+                    });
                     let now = Instant::now();
                     panics.retain(|&at| now.duration_since(at) <= ctx.restart_window);
                     panics.push(now);
@@ -684,12 +1367,6 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: &WorkerCtx, worker_id: usiz
                     continue 'epochs;
                 }
             }
-            if stopping(&ctx.shutdown) {
-                return;
-            }
-            if ctx.registry.epoch() != state.epoch {
-                continue 'epochs;
-            }
         }
     }
 }
@@ -697,174 +1374,8 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: &WorkerCtx, worker_id: usiz
 /// Reusable per-worker buffers.
 #[derive(Default)]
 struct Scratch {
-    frame: Vec<u8>,
     batch: Vec<Option<spq_graph::types::Dist>>,
     entries: Vec<(spq_graph::types::NodeId, spq_graph::types::Dist)>,
-}
-
-/// Outcome of an interruptible exact read.
-enum ReadOutcome {
-    /// The buffer was filled.
-    Filled,
-    /// Clean EOF before the first byte.
-    Eof,
-    /// Shutdown (or force-stop) was requested; the caller should close.
-    Stopped,
-    /// The peer stalled mid-frame past the stall timeout.
-    Stalled,
-}
-
-/// `read_exact` that tolerates the read timeout. At a frame boundary,
-/// timeouts poll the shutdown flag and retry (a quiet connection is
-/// fine). Mid-frame, the sender is supposedly mid-write, so waiting is
-/// bounded by the stall timeout instead — a peer that dribbles half a
-/// frame and stops is disconnected, not waited on forever. The
-/// force-stop flag aborts reads in either position.
-fn read_exact_interruptible(
-    stream: &mut TcpStream,
-    buf: &mut [u8],
-    ctx: &WorkerCtx,
-    at_frame_boundary: bool,
-) -> io::Result<ReadOutcome> {
-    let mut filled = 0;
-    let mut stall_deadline: Option<Instant> = None;
-    while filled < buf.len() {
-        // Deliberately not `stopping()`: a delivered signal starts the
-        // graceful drain, only the post-grace force-stop aborts reads.
-        if ctx.force_stop.load(Ordering::SeqCst) {
-            return Ok(ReadOutcome::Stopped);
-        }
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return if filled == 0 && at_frame_boundary {
-                    Ok(ReadOutcome::Eof)
-                } else {
-                    Err(io::ErrorKind::UnexpectedEof.into())
-                };
-            }
-            Ok(n) => {
-                filled += n;
-                // Progress restarts the stall clock: the cap is on how
-                // long the peer may sit silent mid-frame, not on total
-                // transfer time for a large batch.
-                stall_deadline = None;
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                let idle_at_boundary = filled == 0 && at_frame_boundary;
-                if idle_at_boundary {
-                    if stopping(&ctx.shutdown) {
-                        return Ok(ReadOutcome::Stopped);
-                    }
-                } else {
-                    let deadline =
-                        *stall_deadline.get_or_insert_with(|| Instant::now() + ctx.stall_timeout);
-                    if Instant::now() >= deadline {
-                        return Ok(ReadOutcome::Stalled);
-                    }
-                }
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(ReadOutcome::Filled)
-}
-
-fn serve_connection(
-    mut stream: TcpStream,
-    state: &EpochState,
-    sessions: &mut [Box<dyn Session + '_>],
-    fallback: usize,
-    scratch: &mut Scratch,
-    ctx: &WorkerCtx,
-    mut pending: Option<Vec<u8>>,
-) -> io::Result<ConnOutcome> {
-    stream.set_read_timeout(Some(ctx.read_timeout))?;
-    stream.set_write_timeout(Some(ctx.write_timeout))?;
-    loop {
-        let payload = match pending.take() {
-            // A frame carried across an epoch swap: already read,
-            // answered now by the new epoch's sessions.
-            Some(p) => p,
-            None => {
-                let mut header = [0u8; 4];
-                match read_exact_interruptible(&mut stream, &mut header, ctx, true)? {
-                    ReadOutcome::Eof | ReadOutcome::Stopped => return Ok(ConnOutcome::Done),
-                    ReadOutcome::Stalled => {
-                        ctx.stats.client_timeouts.fetch_add(1, Ordering::Relaxed);
-                        return Ok(ConnOutcome::Done);
-                    }
-                    ReadOutcome::Filled => {}
-                }
-                let len = u32::from_le_bytes(header) as usize;
-                if len > ctx.max_frame {
-                    // Unrecoverable: framing is lost. Answer and drop the
-                    // link without ever allocating the claimed length.
-                    ctx.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    let resp = protocol::encode_error("frame exceeds the size limit");
-                    let _ = protocol::write_frame(&mut stream, &resp);
-                    return Ok(ConnOutcome::Done);
-                }
-                // A frame header was read, so its payload must follow;
-                // the buffer is taken out of the scratch so the payload
-                // stays readable by `handle_request` while the
-                // scratch's batch buffer stays writable.
-                let mut payload = std::mem::take(&mut scratch.frame);
-                payload.resize(len, 0);
-                match read_exact_interruptible(&mut stream, &mut payload, ctx, false)? {
-                    ReadOutcome::Filled => {}
-                    ReadOutcome::Stalled => {
-                        ctx.stats.client_timeouts.fetch_add(1, Ordering::Relaxed);
-                        return Ok(ConnOutcome::Done);
-                    }
-                    ReadOutcome::Eof | ReadOutcome::Stopped => return Ok(ConnOutcome::Done),
-                }
-                // The epoch pin point: this frame arrived after a newer
-                // epoch was published, so it (and everything after it)
-                // belongs to the new engine. Hand the frame back intact.
-                if ctx.registry.epoch() != state.epoch {
-                    return Ok(ConnOutcome::EpochStale { stream, payload });
-                }
-                payload
-            }
-        };
-
-        ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
-        let action = match &ctx.fault {
-            Some(f) => f.on_request(),
-            None => crate::fault::FaultAction::NONE,
-        };
-        if let Some(delay) = action.delay {
-            std::thread::sleep(delay);
-        }
-        if action.panic {
-            // Stands in for a defect in a backend's query code: the
-            // unwind is caught by the worker's supervision shell and
-            // must kill only this connection.
-            panic!("injected fault: panic while serving a request");
-        }
-        let response = handle_request(&payload, state, sessions, fallback, scratch, ctx);
-        scratch.frame = payload;
-        if action.drop_connection {
-            // Injected mid-request connection loss: the query ran (and
-            // possibly warmed the cache), but the peer never hears back.
-            return Ok(ConnOutcome::Done);
-        }
-        if let Err(e) = protocol::write_frame(&mut stream, &response) {
-            if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut {
-                // The peer stopped reading; disconnect it rather
-                // than blocking this worker.
-                ctx.stats.client_timeouts.fetch_add(1, Ordering::Relaxed);
-                return Ok(ConnOutcome::Done);
-            }
-            return Err(e);
-        }
-        if stopping(&ctx.shutdown) {
-            return Ok(ConnOutcome::Done); // graceful: last response delivered, then close
-        }
-    }
 }
 
 /// Builds the budget one query runs under: the request deadline (if

@@ -185,7 +185,15 @@ pub struct ServerStats {
     pub requests: AtomicU64,
     /// Requests rejected at the protocol layer.
     pub protocol_errors: AtomicU64,
-    /// Connections turned away with BUSY past the queue high-water mark.
+    /// Event-loop shards serving connections (set once at startup).
+    pub shards: AtomicU64,
+    /// Currently open connections (gauge: incremented at registration,
+    /// decremented at close).
+    pub open_connections: AtomicU64,
+    /// Frames dispatched while the same connection already had at least
+    /// one request in flight — the wire-protocol pipelining counter.
+    pub pipelined_frames: AtomicU64,
+    /// Requests answered with BUSY past the work-queue high-water mark.
     pub shed: AtomicU64,
     /// Connections dropped for stalling mid-frame or timing out a write.
     pub client_timeouts: AtomicU64,
@@ -225,6 +233,9 @@ impl ServerStats {
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
+            shards: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
+            pipelined_frames: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             client_timeouts: AtomicU64::new(0),
             deadlines_exceeded: AtomicU64::new(0),
@@ -283,6 +294,13 @@ impl ServerStats {
             self.connections.load(Ordering::Relaxed),
             self.requests.load(Ordering::Relaxed),
             self.protocol_errors.load(Ordering::Relaxed),
+        );
+        let _ = writeln!(
+            out,
+            "serve: shards={} open_connections={} pipelined_frames={}",
+            self.shards.load(Ordering::Relaxed),
+            self.open_connections.load(Ordering::Relaxed),
+            self.pipelined_frames.load(Ordering::Relaxed),
         );
         let _ = writeln!(
             out,
@@ -428,7 +446,13 @@ mod tests {
         stats.deadlines_exceeded.fetch_add(1, Ordering::Relaxed);
         stats.worker_restarts.fetch_add(3, Ordering::Relaxed);
         stats.audit_mismatches.fetch_add(4, Ordering::Relaxed);
+        stats.shards.store(3, Ordering::Relaxed);
+        stats.open_connections.fetch_add(5, Ordering::Relaxed);
+        stats.pipelined_frames.fetch_add(7, Ordering::Relaxed);
         let text = stats.render(&["CH", "TNR"], &cache);
+        assert!(text.contains("shards=3"), "{text}");
+        assert!(text.contains("open_connections=5"), "{text}");
+        assert!(text.contains("pipelined_frames=7"), "{text}");
         assert!(text.contains("shed=2"), "{text}");
         assert!(text.contains("deadlines_exceeded=1"), "{text}");
         assert!(text.contains("client_timeouts=0"), "{text}");

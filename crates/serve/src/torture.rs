@@ -478,6 +478,10 @@ fn serve_args(net_base: &str, index: &Path, extra: &[&str]) -> Vec<String> {
         "127.0.0.1:0".to_string(),
         "--workers".to_string(),
         "2".to_string(),
+        // Two event-loop shards: the torture rounds double as a
+        // SIGKILL-under-load test of the sharded server.
+        "--shards".to_string(),
+        "2".to_string(),
     ];
     args.extend(extra.iter().map(|s| s.to_string()));
     args

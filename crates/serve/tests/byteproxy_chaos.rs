@@ -153,6 +153,119 @@ fn server_survives_byte_chaos_on_requests() {
     );
 }
 
+/// Wire chaos against *pipelined* connections: each connection fires a
+/// burst of distance frames before reading anything, while the proxy
+/// splits writes, stalls mid-frame, and severs connections (no bit
+/// flips or duplications, so every frame that arrives is intact and
+/// response order is unambiguous). The contract: every response that
+/// comes back before a kill is the in-order, oracle-exact answer to
+/// the matching request — chaos may truncate a pipeline, never reorder
+/// or corrupt it.
+#[test]
+fn pipelined_connections_survive_byte_chaos_in_order() {
+    use spq_serve::protocol::{read_frame, write_frame, Request, STATUS_OK, UNREACHABLE};
+
+    let net = test_net();
+    let engine = Arc::new(Engine::build(net.clone(), &[BackendKind::Dijkstra]));
+    let cfg = ServerConfig {
+        workers: 2,
+        shards: 2,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(Arc::clone(&engine), &cfg).expect("bind");
+    let addr = server.local_addr();
+    let qs = pairs(net.num_nodes(), 96);
+    let mut oracle = Dijkstra::new(net.num_nodes());
+
+    let mut prefixes_verified = 0usize;
+    for seed in [0x91be_11ed_u64, 7, 0x00ac_ce55] {
+        let plan = ByteFaultPlan {
+            seed,
+            split_prob: 0.7,
+            stall_prob: 0.3,
+            stall: Duration::from_millis(30),
+            flip_prob: 0.0,
+            dup_prob: 0.0,
+            kill_prob: 0.15,
+            fault_upstream: true,
+            fault_downstream: false,
+        };
+        let proxy = ByteProxy::start(addr, plan).expect("start proxy");
+        let via = proxy.local_addr();
+        for burst in qs.chunks(8) {
+            let Ok(stream) = std::net::TcpStream::connect(via) else {
+                continue;
+            };
+            stream.set_read_timeout(Some(IO_TIMEOUT)).expect("timeout");
+            stream.set_write_timeout(Some(IO_TIMEOUT)).expect("timeout");
+            let mut stream = stream;
+            let started = Instant::now();
+            // Fire the whole burst before reading a single byte.
+            let mut sent = 0usize;
+            for &(s, t) in burst {
+                let frame = Request::Distance {
+                    backend: BackendKind::Dijkstra.wire_id(),
+                    s,
+                    t,
+                    deadline_ms: 0,
+                }
+                .encode();
+                if write_frame(&mut stream, &frame).is_err() {
+                    break; // the proxy severed the connection mid-burst
+                }
+                sent += 1;
+            }
+            // Read whatever prefix of the pipeline survives; each
+            // response must be the exact in-order answer.
+            let mut buf = Vec::new();
+            for &(s, t) in &burst[..sent] {
+                match read_frame(&mut stream, &mut buf) {
+                    Ok(true) => {}
+                    Ok(false) | Err(_) => break, // killed: the prefix ends here
+                }
+                assert!(
+                    started.elapsed() < HANG_BOUND,
+                    "seed {seed:#x}: pipelined burst hung"
+                );
+                assert_eq!(buf.first(), Some(&STATUS_OK), "seed {seed:#x}");
+                let got = u64::from_le_bytes(buf[1..9].try_into().unwrap());
+                oracle.run_to_target(&net, s, t);
+                let expected = oracle.distance(t).unwrap_or(UNREACHABLE);
+                assert_eq!(
+                    got, expected,
+                    "seed {seed:#x}: out-of-order or wrong pipelined response for ({s}, {t})"
+                );
+                prefixes_verified += 1;
+            }
+        }
+        let counters = proxy.counters();
+        proxy.stop();
+        assert!(
+            counters.total_faults() > 0,
+            "seed {seed:#x}: the chaos plan injected nothing"
+        );
+    }
+    assert!(
+        prefixes_verified > 32,
+        "chaos killed nearly everything; only {prefixes_verified} responses checked"
+    );
+
+    let mut c = ServeClient::connect(addr).expect("connect for shutdown");
+    let stats = c.stats().expect("stats");
+    let pipelined: u64 = stats
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("pipelined_frames="))
+        .and_then(|v| v.parse().ok())
+        .expect("stats expose pipelined_frames");
+    assert!(pipelined > 0, "bursts never pipelined:\n{stats}");
+    c.shutdown_server().expect("shutdown");
+    let stats = server.join();
+    assert!(
+        stats.contains("worker_restarts=0"),
+        "a worker died to pipelined byte chaos:\n{stats}"
+    );
+}
+
 /// Response-direction chaos: the *client* sees mangled bytes. The
 /// client must fail typed/transport within its bounds — and the server
 /// must shrug the aborted connections off.

@@ -198,6 +198,58 @@ fn concurrent_clients_never_observe_stale_or_torn_results() {
     shutdown(server, addr);
 }
 
+/// Protocol pipelining: a burst of frames written before any response
+/// is read comes back as one in-order response stream, and the stats
+/// counters attribute the overlap.
+#[test]
+fn pipelined_frames_answer_in_request_order() {
+    let (server, addr) = start_server(300, &[BackendKind::Dijkstra, BackendKind::Ch], 4);
+    let net = test_net(300, 0xa11ce);
+    let pairs = sample_pairs(net.num_nodes(), 48);
+    let mut oracle = Dijkstra::new(net.num_nodes());
+
+    let mut client = ServeClient::connect(addr).expect("connect");
+    for burst in pairs.chunks(16) {
+        let frames: Vec<Vec<u8>> = burst
+            .iter()
+            .map(|&(s, t)| {
+                protocol::Request::Distance {
+                    backend: BackendKind::Ch.wire_id(),
+                    s,
+                    t,
+                    deadline_ms: 0,
+                }
+                .encode()
+            })
+            .collect();
+        let responses = client.pipeline_raw(&frames).expect("pipelined burst");
+        assert_eq!(responses.len(), burst.len());
+        for (resp, &(s, t)) in responses.iter().zip(burst) {
+            assert_eq!(resp.first(), Some(&STATUS_OK));
+            let got = u64::from_le_bytes(resp[1..9].try_into().unwrap());
+            oracle.run_to_target(&net, s, t);
+            let expected = oracle.distance(t).unwrap_or(protocol::UNREACHABLE);
+            assert_eq!(got, expected, "out-of-order response for ({s}, {t})");
+        }
+    }
+
+    let stats = client.stats().expect("stats");
+    let field = |name: &str| -> u64 {
+        stats
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix(&format!("{name}=")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("stats missing {name}:\n{stats}"))
+    };
+    assert!(field("shards") > 0, "{stats}");
+    assert!(
+        field("pipelined_frames") > 0,
+        "bursts of 16 must overlap in flight:\n{stats}"
+    );
+    assert!(field("open_connections") >= 1, "{stats}");
+    shutdown(server, addr);
+}
+
 #[test]
 fn malformed_and_out_of_range_requests_get_errors_not_crashes() {
     let (server, addr) = start_server(200, &[BackendKind::Ch], 2);
