@@ -80,11 +80,14 @@ fn print_usage() {
          \x20       [--reload-file P] [--reload-poll-ms N] [--no-audit]\n\
          \x20       [--audit-interval-ms N] [--audit-queries N] [--audit-threshold N]\n\
          \x20       [--no-failover] [--restart-cap N] [--restart-window-ms N]\n\
+         \x20       [--wbuf-cap BYTES] [--mem-budget BYTES] [--max-connections N]\n\
+         \x20       [--stall-timeout-ms N] [--write-timeout-ms N]\n\
          \x20                                        run the TCP query server\n\
          \x20 loadgen (--net P | --target N) [--backends L] [--concurrency L]\n\
          \x20         [--connections N] [--churn-every N] [--duration S]\n\
          \x20         [--warmup-ms N] [--reload-every S] [--out F]\n\
          \x20         [--mix distance:8,o2m:2,knn:1,range:1] [--workload F]\n\
+         \x20         [--slow-readers N] [--slow-reader-rate BPS]\n\
          \x20                                        measure serving throughput\n\
          \x20 bench --json [--smoke] [--out F] [--check BASELINE] [--tolerance R]\n\
          \x20       [--queries N] [--seed S] [--only OPS] [--backends L]\n\
@@ -95,8 +98,10 @@ fn print_usage() {
          \x20      [--o2m-targets N] [--knn-ks N] [--range-radii N]\n\
          \x20                                        persist seeded workload shapes (SPQW)\n\
          \x20 torture [--dir D] [--seed S] [--rounds N] [--target N] [--no-minimize]\n\
-         \x20         [--artifact F] [--startup-timeout-s N]\n\
-         \x20                                        crash/chaos recovery harness\n\n\
+         \x20         [--artifact F] [--startup-timeout-s N] [--resource]\n\
+         \x20                                        crash/chaos recovery harness\n\
+         \x20                                        (--resource: fd/disk/memory/slow-reader\n\
+         \x20                                         exhaustion schedules)\n\n\
          serve/loadgen backends: dijkstra,ch,tnr,silc,pcpd,alt,arcflags,hl (or 'all');\n\
          see README.md for the wire protocol."
     );
@@ -500,6 +505,52 @@ fn serve(args: &[String]) -> Result<(), String> {
                 .map_err(|_| "--restart-window-ms must be an integer".to_string())?,
         );
     }
+    // Resource-exhaustion knobs: per-connection write backlog cap,
+    // global memory budget, admission limit, and how long a stalled
+    // writer may hold a capped backlog before being force-closed.
+    if let Some(b) = opt(args, "--wbuf-cap") {
+        cfg.wbuf_cap = b
+            .parse()
+            .map_err(|_| "--wbuf-cap must be a byte count".to_string())?;
+    }
+    if let Some(b) = opt(args, "--mem-budget") {
+        cfg.mem_budget = b
+            .parse()
+            .map_err(|_| "--mem-budget must be a byte count".to_string())?;
+    }
+    if let Some(n) = opt(args, "--max-connections") {
+        cfg.max_connections = n
+            .parse()
+            .map_err(|_| "--max-connections must be an integer".to_string())?;
+    }
+    if let Some(ms) = opt(args, "--stall-timeout-ms") {
+        cfg.stall_timeout = Duration::from_millis(
+            ms.parse()
+                .map_err(|_| "--stall-timeout-ms must be an integer".to_string())?,
+        );
+    }
+    if let Some(ms) = opt(args, "--write-timeout-ms") {
+        cfg.write_timeout = Duration::from_millis(
+            ms.parse()
+                .map_err(|_| "--write-timeout-ms must be an integer".to_string())?,
+        );
+    }
+    // The fd-squeeze env hook: a torture child lowers its own
+    // RLIMIT_NOFILE before binding, so the whole accept path runs
+    // starved from the first connection.
+    if let Ok(v) = std::env::var(spq_serve::eventloop::FD_LIMIT_ENV) {
+        let target: u64 = v.parse().map_err(|_| {
+            format!(
+                "{} must be an integer, got '{v}'",
+                spq_serve::eventloop::FD_LIMIT_ENV
+            )
+        })?;
+        let now = spq_serve::eventloop::lower_nofile_limit(target);
+        eprintln!(
+            "fd soft limit lowered to {now} (env {})",
+            spq_serve::eventloop::FD_LIMIT_ENV
+        );
+    }
     // Hot reload: a watched spec file (see README) makes RELOAD frames,
     // SIGHUP, and file edits swap the index without dropping the server.
     if let Some(p) = opt(args, "--reload-file") {
@@ -617,6 +668,16 @@ fn loadgen(args: &[String]) -> Result<(), String> {
                 .map_err(|e| format!("cannot load workload {p}: {e}"))?,
         );
     }
+    if let Some(s) = opt(args, "--slow-readers") {
+        opts.slow_readers = s
+            .parse()
+            .map_err(|_| "--slow-readers must be an integer".to_string())?;
+    }
+    if let Some(s) = opt(args, "--slow-reader-rate") {
+        opts.slow_reader_rate = s
+            .parse()
+            .map_err(|_| "--slow-reader-rate must be bytes/second".to_string())?;
+    }
     let (report, stats) = run_in_process(net, &opts)?;
     eprintln!("--- final server stats ---\n{stats}");
 
@@ -727,6 +788,7 @@ fn torture(args: &[String]) -> Result<(), String> {
         dir: opt(args, "--dir").unwrap_or("torture-scratch").into(),
         minimize: !flag(args, "--no-minimize"),
         artifact: opt(args, "--artifact").map(Into::into),
+        resource: flag(args, "--resource"),
         ..TortureOptions::default()
     };
     if let Some(s) = opt(args, "--seed") {

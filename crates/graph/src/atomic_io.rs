@@ -24,11 +24,23 @@
 //! `kill -9` as a process can do to itself) at `stage`, one of
 //! `mid-write`, `before-sync`, `before-rename`, `after-rename`. Every
 //! stage must leave a state the recovery scan handles.
+//!
+//! A second, softer hook models a *full disk*: set
+//! `SPQ_FAULT_ENOSPC=<from_nth>` and every guarded disk write from the
+//! `from_nth`-th onward fails with a genuine `ENOSPC` error instead of
+//! touching the filesystem (the counter is separate from the crash
+//! hook's, so `SPQ_CRASH_WRITE` ordinals stay stable). Any `ENOSPC` —
+//! injected or real — latches the process-wide sticky
+//! [`disk_degraded`] flag, which the serving stats surface as a gauge:
+//! once the disk has been full, answers keep flowing but persistence
+//! is suspect until an operator intervenes, so the flag never clears
+//! itself.
 
+use std::cell::Cell;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use crate::binio::{read_u64, xxhash64, IndexLoadError};
@@ -97,6 +109,85 @@ fn armed_crash(nth: u64) -> Option<CrashStage> {
     }
 }
 
+/// Environment variable consulted before every guarded disk write;
+/// value is `<from_nth>` (1-based). From that ordinal onward the writes
+/// fail with an injected `ENOSPC` — the disk is "full" and stays full,
+/// which is how real disks fail. Counted separately from
+/// [`CRASH_ENV`]'s ordinal so arming one hook never shifts the other's.
+pub const ENOSPC_ENV: &str = "SPQ_FAULT_ENOSPC";
+
+/// Ordinals for [`ENOSPC_ENV`] (guarded disk writes, not atomic writes).
+static ENOSPC_WRITES: AtomicU64 = AtomicU64::new(0);
+
+/// Sticky process-wide "the disk has been full" flag. Latched by any
+/// `ENOSPC` seen on a guarded write (injected or real); never cleared —
+/// serving continues, but an operator must judge what persisted.
+static DISK_DEGRADED: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    /// Test hook: `Some(n)` lets the next `n` guarded writes on this
+    /// thread succeed, then fails every later one. Thread-local so
+    /// parallel unit tests cannot contaminate each other.
+    static ENOSPC_COUNTDOWN: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Test hook: after `allowed` more guarded disk writes on this thread,
+/// every further one fails with an injected `ENOSPC` until
+/// [`clear_enospc_injection`] runs.
+pub fn inject_enospc_after(allowed: u64) {
+    ENOSPC_COUNTDOWN.with(|c| c.set(Some(allowed)));
+}
+
+/// Disarms [`inject_enospc_after`] on this thread.
+pub fn clear_enospc_injection() {
+    ENOSPC_COUNTDOWN.with(|c| c.set(None));
+}
+
+/// Whether any guarded disk write has hit `ENOSPC` since the process
+/// started. Sticky by design: a disk that filled once may have eaten a
+/// write even if space later frees up, so only an operator (restart)
+/// resets the gauge.
+pub fn disk_degraded() -> bool {
+    DISK_DEGRADED.load(Ordering::Relaxed)
+}
+
+/// Latches [`disk_degraded`] when `e` is `ENOSPC`.
+pub fn note_disk_error(e: &io::Error) {
+    // ENOSPC is errno 28 on every unix the workspace targets.
+    if e.raw_os_error() == Some(28) {
+        DISK_DEGRADED.store(true, Ordering::Relaxed);
+    }
+}
+
+fn enospc_error() -> io::Error {
+    io::Error::from_raw_os_error(28)
+}
+
+/// The injection gate every guarded disk write passes through: the
+/// thread-local test countdown first, then the process-wide
+/// [`ENOSPC_ENV`] ordinal hook.
+fn injected_enospc() -> Option<io::Error> {
+    let tripped = ENOSPC_COUNTDOWN.with(|c| match c.get() {
+        Some(0) => true,
+        Some(n) => {
+            c.set(Some(n - 1));
+            false
+        }
+        None => false,
+    });
+    if tripped {
+        return Some(enospc_error());
+    }
+    let spec = std::env::var(ENOSPC_ENV).ok()?;
+    let from: u64 = spec.parse().ok()?;
+    let nth = ENOSPC_WRITES.fetch_add(1, Ordering::Relaxed) + 1;
+    if nth >= from {
+        Some(enospc_error())
+    } else {
+        None
+    }
+}
+
 enum CrashMode {
     /// Real crash hook: abort the process at the stage.
     Abort(CrashStage),
@@ -118,9 +209,18 @@ pub fn write_atomic(
     let mut body = Vec::new();
     write_body(&mut body)?;
     let nth = WRITE_COUNTER.fetch_add(1, Ordering::Relaxed) + 1;
+    if let Some(e) = injected_enospc() {
+        note_disk_error(&e);
+        return Err(e);
+    }
     let crash = armed_crash(nth).map(CrashMode::Abort);
-    write_atomic_inner(path.as_ref(), &body, crash)?;
-    Ok(())
+    match write_atomic_inner(path.as_ref(), &body, crash) {
+        Ok(_) => Ok(()),
+        Err(e) => {
+            note_disk_error(&e);
+            Err(e)
+        }
+    }
 }
 
 /// Test-only variant of [`write_atomic`] that *simulates* a crash at
@@ -326,6 +426,12 @@ fn debris_reason(path: &Path) -> io::Result<Option<String>> {
 }
 
 /// Moves `path` into `dir/spq.quarantine/`, appending a manifest line.
+///
+/// The manifest append is best-effort: on a full disk the *move* still
+/// isolates the debris (a rename consumes no data blocks), and failing
+/// the whole recovery scan over a missing log line would turn a
+/// degraded disk into an outage. An append failure latches
+/// [`disk_degraded`] and is logged instead.
 fn quarantine(dir: &Path, path: &Path, reason: &str) -> io::Result<QuarantineEntry> {
     let qdir = dir.join(QUARANTINE_DIR);
     fs::create_dir_all(&qdir)?;
@@ -344,17 +450,31 @@ fn quarantine(dir: &Path, path: &Path, reason: &str) -> io::Result<QuarantineEnt
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
-    let mut manifest = OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(qdir.join(MANIFEST))?;
-    writeln!(
-        manifest,
-        "ts={ts} file={} quarantined_as={} reason={reason}",
-        path.display(),
-        dest.file_name().unwrap_or_default().to_string_lossy()
-    )?;
-    manifest.sync_all()?;
+    let appended = (|| -> io::Result<()> {
+        if let Some(e) = injected_enospc() {
+            return Err(e);
+        }
+        let mut manifest = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(qdir.join(MANIFEST))?;
+        writeln!(
+            manifest,
+            "ts={ts} file={} quarantined_as={} reason={reason}",
+            path.display(),
+            dest.file_name().unwrap_or_default().to_string_lossy()
+        )?;
+        manifest.sync_all()
+    })();
+    if let Err(e) = appended {
+        note_disk_error(&e);
+        eprintln!(
+            "[atomic_io] quarantine manifest append failed ({e}); \
+             {} moved to {} without a manifest line",
+            path.display(),
+            dest.display()
+        );
+    }
     Ok(QuarantineEntry {
         original: path.to_path_buf(),
         quarantined_to: dest,
@@ -599,6 +719,54 @@ mod tests {
         let report = recover_dir("/definitely/not/a/real/dir/spq").unwrap();
         assert_eq!(report.scanned, 0);
         assert!(report.quarantined.is_empty());
+    }
+
+    #[test]
+    fn injected_enospc_fails_the_write_and_latches_degraded() {
+        let d = tmpdir("enospc_write");
+        let path = d.join("index.ch");
+        write_atomic(&path, |w| w.write_all(b"fits")).unwrap();
+        inject_enospc_after(0);
+        let err = write_atomic(&path, |w| w.write_all(b"disk is full")).unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28), "must be a real ENOSPC");
+        assert!(disk_degraded(), "ENOSPC must latch the sticky gauge");
+        assert_eq!(
+            fs::read(&path).unwrap(),
+            b"fits",
+            "the destination must keep its old bytes"
+        );
+        clear_enospc_injection();
+        write_atomic(&path, |w| w.write_all(b"space again")).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"space again");
+        assert!(disk_degraded(), "the gauge stays latched after recovery");
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn manifest_enospc_never_fails_the_recovery_scan() {
+        let d = tmpdir("enospc_manifest");
+        // A torn mid-write leaves an orphan temp for the scan to move.
+        write_atomic_torn(d.join("victim.ch"), CrashStage::MidWrite, |w| {
+            w.write_all(b"never finished at respectable length")
+        })
+        .unwrap();
+        // The very next guarded write — the manifest append — hits the
+        // full disk. The scan must still succeed and still isolate the
+        // debris; only the log line is lost.
+        inject_enospc_after(0);
+        let report = recover_dir(&d).unwrap();
+        clear_enospc_injection();
+        assert_eq!(report.quarantined.len(), 1, "{:?}", report.quarantined);
+        assert!(report.quarantined[0].quarantined_to.exists());
+        assert!(disk_degraded(), "manifest ENOSPC must latch the gauge");
+        // No orphan remains outside quarantine.
+        let leftovers: Vec<_> = fs::read_dir(&d)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        fs::remove_dir_all(&d).unwrap();
     }
 
     #[test]

@@ -56,6 +56,14 @@ OPTIONS:
     --reload-every <secs>  issue a RELOAD on this cadence during every timed
                            run (chaos-lite: the sweep fails unless at least
                            one hot swap completes; fractions allowed)
+    --slow-readers <n>     park n antagonist connections per run that pipeline
+                           large batches and never (or barely) read responses;
+                           the server must force-close them while the measured
+                           clients stay correct — the 'force_closed' CSV
+                           column counts the reclaims (default 0)
+    --slow-reader-rate <bps>
+                           bytes/second each slow reader drains (default 0:
+                           read nothing at all)
     --out <path>           CSV output path (default results/serve_throughput.csv)
     --help                 print this help
 ";
@@ -146,6 +154,12 @@ fn options(args: &[String]) -> Result<LoadgenOptions, String> {
             return Err("--reload-every needs a positive number of seconds".into());
         }
         opts.reload_every = Some(Duration::from_secs_f64(secs));
+    }
+    if let Some(s) = opt(args, "--slow-readers") {
+        opts.slow_readers = parse(&s, "--slow-readers")?;
+    }
+    if let Some(s) = opt(args, "--slow-reader-rate") {
+        opts.slow_reader_rate = parse(&s, "--slow-reader-rate")?;
     }
     Ok(opts)
 }

@@ -65,6 +65,13 @@ impl CacheStats {
 
 const NIL: u32 = u32::MAX;
 
+/// Approximate resident bytes per cache entry, used by the server's
+/// memory budget to reserve the cache's worst-case footprint up front:
+/// a 32-byte [`Entry`] plus the `HashMap<u128, u32>` index's amortised
+/// bucket (key + slot + load-factor headroom). Deliberately a static
+/// estimate — the budget needs a bound at startup, not live telemetry.
+pub const APPROX_ENTRY_BYTES: usize = 64;
+
 struct Entry {
     key: u128,
     value: u64,

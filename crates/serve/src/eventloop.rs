@@ -104,23 +104,33 @@ impl Poller {
         Ok(())
     }
 
-    /// Registers `fd` (level-triggered) under `token`. Read interest is
-    /// always on; write interest only when `writable`.
-    pub fn add(&self, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
-        let mut interest = EPOLLIN | EPOLLRDHUP;
+    fn interest(readable: bool, writable: bool) -> u32 {
+        // EPOLLERR/EPOLLHUP are always delivered regardless of the
+        // registered mask, so a read-paused connection still learns
+        // about a dead peer — pausing reads for backpressure can never
+        // leak a connection forever.
+        let mut interest = 0;
+        if readable {
+            interest |= EPOLLIN | EPOLLRDHUP;
+        }
         if writable {
             interest |= EPOLLOUT;
         }
-        self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        interest
     }
 
-    /// Changes the write interest of an already registered fd.
-    pub fn modify(&self, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
-        let mut interest = EPOLLIN | EPOLLRDHUP;
-        if writable {
-            interest |= EPOLLOUT;
-        }
-        self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+    /// Registers `fd` (level-triggered) under `token`. Read interest is
+    /// on from the start; write interest only when `writable`.
+    pub fn add(&self, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, Self::interest(true, writable))
+    }
+
+    /// Changes the read/write interest of an already registered fd.
+    /// Dropping read interest is the event loop's backpressure lever: a
+    /// level-triggered readable fd we refuse to drain would otherwise
+    /// busy-spin the shard.
+    pub fn modify(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, Self::interest(readable, writable))
     }
 
     /// Deregisters an fd (must be called before the fd closes when the
@@ -218,6 +228,36 @@ pub fn raise_nofile_limit(target: u64) -> u64 {
     lim.cur
 }
 
+/// Env hook read at `spq serve` startup: when set to an integer, the
+/// server lowers its own `RLIMIT_NOFILE` soft limit to that value via
+/// [`lower_nofile_limit`]. The torture harness's fd-squeeze mode sets
+/// it on child servers so descriptor starvation replays from a seed
+/// without the parent needing `prlimit` shims.
+pub const FD_LIMIT_ENV: &str = "SPQ_FD_LIMIT";
+
+/// Lowers the open-file soft limit to `target` (never below 8, never
+/// above the current soft limit). Returns the resulting soft limit.
+/// The fd-squeeze fault mode uses this so a child server can starve
+/// *itself* of descriptors deterministically, without the parent
+/// needing `prlimit` shims.
+pub fn lower_nofile_limit(target: u64) -> u64 {
+    let mut lim = RLimit { cur: 0, max: 0 };
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return 0;
+    }
+    let want = target.max(8).min(lim.cur);
+    if want < lim.cur {
+        let new = RLimit {
+            cur: want,
+            max: lim.max,
+        };
+        if unsafe { setrlimit(RLIMIT_NOFILE, &new) } == 0 {
+            return want;
+        }
+    }
+    lim.cur
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,10 +290,31 @@ mod tests {
         assert!(events.iter().any(|e| e.token == 42 && e.readable));
 
         // Write interest toggles on via modify.
-        poller.modify(server_side.as_raw_fd(), 42, true).unwrap();
+        poller
+            .modify(server_side.as_raw_fd(), 42, true, true)
+            .unwrap();
         let mut events = Vec::new();
         poller.wait(&mut events, 100).unwrap();
         assert!(events.iter().any(|e| e.token == 42 && e.writable));
+
+        // Backpressure: dropping read interest silences the (still
+        // unread) "hello" bytes — the level-triggered fd must stop
+        // reporting readable until interest is restored.
+        poller
+            .modify(server_side.as_raw_fd(), 42, false, false)
+            .unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, 50).unwrap();
+        assert!(
+            events.iter().all(|e| !e.readable && !e.writable),
+            "paused fd must go quiet: {events:?}"
+        );
+        poller
+            .modify(server_side.as_raw_fd(), 42, true, false)
+            .unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, 100).unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && e.readable));
         poller.delete(server_side.as_raw_fd()).unwrap();
     }
 
@@ -289,5 +350,10 @@ mod tests {
         assert!(now > 0, "every process has a nonzero nofile limit");
         // Raising towards the current value is a no-op, not an error.
         assert!(raise_nofile_limit(now) >= now.min(1024));
+        // Lowering towards a target at/above the current soft limit is
+        // a no-op (a *real* squeeze would starve this whole test
+        // process of fds, so only the clamp is exercised here; the
+        // torture harness squeezes real child processes).
+        assert_eq!(lower_nofile_limit(u64::MAX), raise_nofile_limit(0));
     }
 }

@@ -37,6 +37,12 @@ pub struct FaultPlan {
     /// Probability that the worker panics while serving the request —
     /// a stand-in for a defect in a backend's query code.
     pub panic_prob: f64,
+    /// The first this many accepted connections are treated as if
+    /// `accept` had returned `EMFILE`: the server must answer a typed
+    /// BUSY and close, exactly as on a real fd-exhausted box. Counted,
+    /// not random, so tests can pin "connection N is refused, N+1
+    /// serves" without probability tuning.
+    pub emfile_accepts: u32,
 }
 
 impl Default for FaultPlan {
@@ -47,6 +53,7 @@ impl Default for FaultPlan {
             latency: Duration::from_millis(10),
             drop_prob: 0.0,
             panic_prob: 0.0,
+            emfile_accepts: 0,
         }
     }
 }
@@ -81,6 +88,7 @@ pub struct FaultInjector {
     delays: AtomicU64,
     drops: AtomicU64,
     panics: AtomicU64,
+    accepts: AtomicU64,
 }
 
 impl std::fmt::Debug for FaultInjector {
@@ -104,7 +112,19 @@ impl FaultInjector {
             delays: AtomicU64::new(0),
             drops: AtomicU64::new(0),
             panics: AtomicU64::new(0),
+            accepts: AtomicU64::new(0),
         }
+    }
+
+    /// Consulted once per accepted connection; `true` means the
+    /// acceptor must behave as if `accept` returned `EMFILE` (shed the
+    /// peer with a typed BUSY and close). Fires on the plan's first
+    /// `emfile_accepts` connections.
+    pub fn on_accept(&self) -> bool {
+        if self.plan.emfile_accepts == 0 {
+            return false;
+        }
+        self.accepts.fetch_add(1, Ordering::Relaxed) < self.plan.emfile_accepts as u64
     }
 
     /// Draws the fault action for one request.
@@ -186,6 +206,7 @@ mod tests {
             latency: Duration::from_millis(1),
             drop_prob: 0.2,
             panic_prob: 0.1,
+            emfile_accepts: 0,
         };
         let a = FaultInjector::new(plan.clone());
         let b = FaultInjector::new(plan);
@@ -210,6 +231,19 @@ mod tests {
             (injector.delays(), injector.drops(), injector.panics()),
             (0, 0, 0)
         );
+    }
+
+    #[test]
+    fn emfile_injection_is_count_based_and_exact() {
+        let injector = FaultInjector::new(FaultPlan {
+            emfile_accepts: 3,
+            ..FaultPlan::default()
+        });
+        let fired: Vec<bool> = (0..6).map(|_| injector.on_accept()).collect();
+        assert_eq!(fired, [true, true, true, false, false, false]);
+        // Zero means the accept path is never touched.
+        let clean = FaultInjector::new(FaultPlan::default());
+        assert!((0..10).all(|_| !clean.on_accept()));
     }
 
     #[test]

@@ -24,7 +24,10 @@
 //! must treat that error as a non-zero exit, not silently publish the
 //! partial CSV as a clean result.
 
-use std::net::SocketAddr;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use spq_dijkstra::Dijkstra;
@@ -228,6 +231,16 @@ pub struct LoadgenOptions {
     /// defaults. Lets two runs — or the torture harness and a loadgen
     /// sweep — replay byte-identical request shapes from one file.
     pub workload: Option<Workload>,
+    /// Adversarial slow-reader connections run alongside each timed
+    /// run: each pipelines large DISTANCES requests and reads responses
+    /// at [`LoadgenOptions::slow_reader_rate`] bytes/sec (0: never
+    /// reads). The server must force-close them without the well-
+    /// behaved clients noticing; the closes land in the `force_closed`
+    /// CSV column.
+    pub slow_readers: usize,
+    /// Bytes per second each slow reader drains (0: a pure never-reads
+    /// peer).
+    pub slow_reader_rate: u64,
 }
 
 impl Default for LoadgenOptions {
@@ -248,6 +261,8 @@ impl Default for LoadgenOptions {
             mix: OpMix::default(),
             poi: None,
             workload: None,
+            slow_readers: 0,
+            slow_reader_rate: 0,
         }
     }
 }
@@ -292,17 +307,23 @@ pub struct ThroughputRow {
     /// whole run. A run-level total, repeated on each of the run's op
     /// rows (churn is per connection, not per op).
     pub reconnects: u64,
+    /// Connections the server force-closed during this run (the
+    /// `force_closed` + `slow_closed` server counters, sampled before
+    /// and after). Non-zero is expected exactly when `--slow-readers`
+    /// is set; a run-level total repeated on each op row.
+    pub force_closed: u64,
 }
 
 impl ThroughputRow {
     /// CSV header matching [`ThroughputRow::to_csv`].
     pub const CSV_HEADER: &'static str = "backend,op,concurrency,connections,seconds,requests,\
-         qps,p50_us,p99_us,verified,mismatches,retries,retried_after_partial,reconnects";
+         qps,p50_us,p99_us,verified,mismatches,retries,retried_after_partial,reconnects,\
+         force_closed";
 
     /// One CSV line.
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{},{},{:.2},{},{:.1},{:.2},{:.2},{},{},{},{},{}",
+            "{},{},{},{},{:.2},{},{:.1},{:.2},{:.2},{},{},{},{},{},{}",
             self.backend,
             self.op,
             self.concurrency,
@@ -316,7 +337,8 @@ impl ThroughputRow {
             self.mismatches,
             self.retries,
             self.retried_after_partial,
-            self.reconnects
+            self.reconnects,
+            self.force_closed
         )
     }
 }
@@ -620,6 +642,86 @@ fn run_one(
     (seconds, total)
 }
 
+/// First counter named `name=` in a rendered STATS body (0 when absent
+/// or unparsable — absent counters must not fail a sweep).
+fn stat_counter(stats: &str, name: &str) -> u64 {
+    let needle = format!("{name}=");
+    stats
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix(needle.as_str()))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The server-side force-close total: connections reaped for making no
+/// write progress (`force_closed`) plus typed slow-reader closes
+/// (`slow_closed`). Returns 0 when the server cannot be asked.
+fn fetch_force_closed(addr: SocketAddr) -> u64 {
+    ServeClient::connect(addr)
+        .ok()
+        .and_then(|mut c| c.stats().ok())
+        .map(|s| stat_counter(&s, "force_closed") + stat_counter(&s, "slow_closed"))
+        .unwrap_or(0)
+}
+
+/// One adversarial slow reader: pipelines large DISTANCES requests on a
+/// raw connection and drains responses at `rate` bytes/sec (0: never).
+/// Runs until the server force-closes the connection (the expected
+/// outcome) or `stop` is set. Write timeouts are survival, not failure:
+/// a backpressured socket just means the server has correctly stopped
+/// reading us.
+fn slow_reader_loop(
+    addr: SocketAddr,
+    backend: BackendKind,
+    rate: u64,
+    stop: &AtomicBool,
+    sources: &[NodeId],
+    targets: &[NodeId],
+) {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return;
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let payload = crate::protocol::Request::Distances {
+        backend: backend.wire_id(),
+        sources: sources.to_vec(),
+        targets: targets.to_vec(),
+        deadline_ms: 0,
+    }
+    .encode();
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    let mut drain = [0u8; 4096];
+    while !stop.load(Ordering::SeqCst) {
+        match stream.write_all(&frame) {
+            Ok(()) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Backpressured: the server stopped reading us. Keep
+                // the connection parked until it force-closes.
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(_) => return, // reset: the server reclaimed this connection
+        }
+        if rate > 0 {
+            // Trickle-read roughly `rate` bytes/sec in 100 ms slices —
+            // slow enough that the backlog still outgrows any cap.
+            let slice = ((rate / 10).max(1) as usize).min(drain.len());
+            if matches!(stream.read(&mut drain[..slice]), Ok(0)) {
+                return; // orderly close from the server
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    }
+}
+
 /// Sources per backend fed through the one-to-many-family oracle (each
 /// costs a full one-to-all Dijkstra, so fewer than the distance
 /// samples).
@@ -797,6 +899,43 @@ pub fn run(addr: SocketAddr, net: &RoadNetwork, opts: &LoadgenOptions) -> Loadge
         };
         for &concurrency in &opts.concurrency {
             let plan = ConnPlan::new(concurrency, opts);
+            // Adversarial slow readers ride alongside the timed run;
+            // the server's force-close counters are sampled around it
+            // so the CSV reports how many connections were reclaimed.
+            let closed_before = if opts.slow_readers > 0 {
+                fetch_force_closed(addr)
+            } else {
+                0
+            };
+            let slow_stop = Arc::new(AtomicBool::new(false));
+            // Hoard batches ride a native many-to-many backend when one
+            // is served (huge response, negligible compute), so the
+            // antagonists pressure the write path without starving the
+            // worker pool the measured clients share. With only
+            // per-pair backends the batch shrinks to keep the stolen
+            // worker time bounded.
+            let hoard_backend = [BackendKind::Ch, BackendKind::Hl]
+                .into_iter()
+                .find(|b| opts.backends.contains(b))
+                .unwrap_or(backend);
+            let n_targets = if matches!(hoard_backend, BackendKind::Ch | BackendKind::Hl) {
+                4096
+            } else {
+                256
+            };
+            let slow_handles: Vec<std::thread::JoinHandle<()>> = (0..opts.slow_readers)
+                .map(|i| {
+                    let stop = Arc::clone(&slow_stop);
+                    let sources: Vec<NodeId> = pairs.iter().take(8).map(|&(s, _)| s).collect();
+                    let targets: Vec<NodeId> = (0..n_targets)
+                        .map(|j| pairs[(i + j) % pairs.len()].1)
+                        .collect();
+                    let rate = opts.slow_reader_rate;
+                    std::thread::spawn(move || {
+                        slow_reader_loop(addr, hoard_backend, rate, &stop, &sources, &targets)
+                    })
+                })
+                .collect();
             let (seconds, total) = run_one(
                 addr,
                 backend,
@@ -811,6 +950,15 @@ pub fn run(addr: SocketAddr, net: &RoadNetwork, opts: &LoadgenOptions) -> Loadge
                 ctx,
                 plan,
             );
+            slow_stop.store(true, Ordering::SeqCst);
+            for h in slow_handles {
+                let _ = h.join();
+            }
+            let force_closed = if opts.slow_readers > 0 {
+                fetch_force_closed(addr).saturating_sub(closed_before)
+            } else {
+                0
+            };
             for op in OpKind::ALL {
                 if opts.mix.weight(op) == 0 {
                     continue;
@@ -832,6 +980,7 @@ pub fn run(addr: SocketAddr, net: &RoadNetwork, opts: &LoadgenOptions) -> Loadge
                     retries: agg.retries,
                     retried_after_partial: agg.partials,
                     reconnects: total.reconnects,
+                    force_closed,
                 };
                 eprintln!(
                     "[loadgen] {:<9} {:<8} c={:<2} {:>9.0} qps  p50 {:>8.2} µs  p99 {:>8.2} µs  ({} reqs in {:.1}s, {} retries)",
@@ -861,8 +1010,6 @@ pub fn run_in_process(
     use crate::epoch::ReloadFactory;
     use crate::server::{Server, ServerConfig};
     use crate::Engine;
-    use std::sync::atomic::{AtomicBool, Ordering};
-    use std::sync::Arc;
 
     let mut opts = opts.clone();
     let engine = Arc::new(Engine::build(net, &opts.backends));
@@ -907,12 +1054,21 @@ pub fn run_in_process(
     // server did just builds an idle worker herd whose condvar wakeups
     // starve the shard threads at high stream counts.
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
-    let cfg = ServerConfig {
+    let mut cfg = ServerConfig {
         workers: max_concurrency.min(cores) + 1,
         reload_factory,
         selfcheck_seed: opts.seed,
         ..ServerConfig::default()
     };
+    if opts.slow_readers > 0 {
+        // A short timed run must actually see the reclaim: a snug
+        // backlog cap and a prompt write timeout trip the force-close
+        // within the window, and a shallow pipeline keeps the
+        // antagonists from monopolising the shared work queue.
+        cfg.wbuf_cap = 1 << 20;
+        cfg.write_timeout = Duration::from_millis(500);
+        cfg.pipeline_depth = 8;
+    }
     let server = Server::start(Arc::clone(&engine), &cfg).map_err(|e| format!("bind: {e}"))?;
     let addr = server.local_addr();
     eprintln!("[loadgen] serving on {addr}");
@@ -1064,6 +1220,7 @@ mod tests {
             retries: 7,
             retried_after_partial: 2,
             reconnects: 3,
+            force_closed: 5,
         };
         let line = row.to_csv();
         assert_eq!(
@@ -1071,6 +1228,16 @@ mod tests {
             ThroughputRow::CSV_HEADER.split(',').count()
         );
         assert!(line.starts_with("ch,o2m,4,16,"));
-        assert!(line.ends_with(",7,2,3"));
+        assert!(line.ends_with(",7,2,3,5"));
+    }
+
+    #[test]
+    fn stat_counters_parse_out_of_a_stats_body() {
+        let body = "epoch: 3\nfaults: shed=1 client_timeouts=2 force_closed=4 slow_closed=6\n\
+                    resources: mem_budget=1048576 open_fds=37\n";
+        assert_eq!(stat_counter(body, "force_closed"), 4);
+        assert_eq!(stat_counter(body, "slow_closed"), 6);
+        assert_eq!(stat_counter(body, "mem_budget"), 1048576);
+        assert_eq!(stat_counter(body, "no_such_counter"), 0);
     }
 }

@@ -410,6 +410,12 @@ impl Request {
                 let backend = c.u8()?;
                 let s = c.u32()?;
                 let k = c.u32()?;
+                // Same discipline as the batch ops: an absurd k is a
+                // typed error at decode time, before any session runs
+                // or any result buffer is sized from it.
+                if k as usize > MAX_RESULT_ENTRIES {
+                    return Err(format!("kNN k of {k} exceeds the response limit"));
+                }
                 let nlen = c.u8()? as usize;
                 let poi = std::str::from_utf8(c.take(nlen)?)
                     .map_err(|_| "POI name is not UTF-8".to_string())?
@@ -427,6 +433,15 @@ impl Request {
                 let backend = c.u8()?;
                 let s = c.u32()?;
                 let limit = c.u64()?;
+                // u64::MAX is the UNREACHABLE sentinel: as a radius it
+                // would ask for every reachable vertex, so it is
+                // rejected before the traversal starts rather than
+                // after MAX_RESULT_ENTRIES have been collected.
+                if limit == u64::MAX {
+                    return Err(
+                        "range radius u64::MAX is unbounded; pass a finite radius".to_string()
+                    );
+                }
                 let deadline_ms = if c.at_end() { 0 } else { c.u32()? };
                 Request::Range {
                     backend,
@@ -829,6 +844,41 @@ mod tests {
         bad.push(2);
         bad.extend_from_slice(&[0xff, 0xfe]);
         assert!(Request::decode(&bad).unwrap_err().contains("UTF-8"));
+    }
+
+    #[test]
+    fn absurd_knn_k_is_rejected_at_decode_time() {
+        // k = u32::MAX claims ~4 billion result entries; the decoder
+        // must refuse before any session or result buffer sees it.
+        let mut req = vec![op::KNN, 0];
+        req.extend_from_slice(&1u32.to_le_bytes());
+        req.extend_from_slice(&u32::MAX.to_le_bytes());
+        req.push(0);
+        assert!(Request::decode(&req)
+            .unwrap_err()
+            .contains("exceeds the response limit"));
+        // The largest admissible k still decodes.
+        let mut ok = vec![op::KNN, 0];
+        ok.extend_from_slice(&1u32.to_le_bytes());
+        ok.extend_from_slice(&(MAX_RESULT_ENTRIES as u32).to_le_bytes());
+        ok.push(0);
+        assert!(Request::decode(&ok).is_ok());
+    }
+
+    #[test]
+    fn unbounded_range_radius_is_rejected_at_decode_time() {
+        // u64::MAX is the UNREACHABLE sentinel; as a radius it means
+        // "everything reachable" and must be refused before traversal.
+        let mut req = vec![op::RANGE, 0];
+        req.extend_from_slice(&1u32.to_le_bytes());
+        req.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Request::decode(&req).unwrap_err().contains("unbounded"));
+        // Any finite radius — even MAX-1 — is the backend's problem,
+        // bounded downstream by MAX_RESULT_ENTRIES.
+        let mut ok = vec![op::RANGE, 0];
+        ok.extend_from_slice(&1u32.to_le_bytes());
+        ok.extend_from_slice(&(u64::MAX - 1).to_le_bytes());
+        assert!(Request::decode(&ok).is_ok());
     }
 
     #[test]

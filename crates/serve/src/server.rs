@@ -48,6 +48,19 @@
 //!   deadline plus the server's force-stop kill flag. A tripped budget
 //!   yields a `DEADLINE_EXCEEDED` frame (never a cached or misreported
 //!   "unreachable").
+//! * **Resource exhaustion is survived, not crashed on.** Every
+//!   per-connection buffer is capped ([`ServerConfig::wbuf_cap`], one
+//!   max frame of unparsed bytes) and an optional global byte budget
+//!   ([`ServerConfig::mem_budget`]) pauses read interest across
+//!   connections when buffered bytes exceed it — backpressure through
+//!   TCP, never OOM. A peer that fills its write backlog and then
+//!   makes no read progress is force-closed (`slow_closed`). `accept`
+//!   returning `EMFILE`/`ENFILE` trips a reserved-emergency-fd path
+//!   that sheds one waiting peer with a typed BUSY and backs off;
+//!   [`ServerConfig::max_connections`] sheds at the door before fds
+//!   run out. Disk-full during index writes latches the sticky
+//!   `disk_degraded` gauge (see `spq_graph::atomic_io`) while query
+//!   serving continues.
 //! * **Shutdown** drains: a `SHUTDOWN` frame or SIGTERM/SIGINT stops
 //!   the acceptor immediately (new connections are refused) and stops
 //!   frame parsing; queued and in-flight requests finish within
@@ -124,6 +137,24 @@ pub struct ServerConfig {
     pub stall_timeout: Duration,
     /// Largest accepted frame (clamped to the protocol's own cap).
     pub max_frame_len: usize,
+    /// Per-connection cap on buffered response bytes. A connection
+    /// whose write backlog reaches the cap stops being parsed *and*
+    /// read (backpressure through TCP); if it then makes no write
+    /// progress for [`ServerConfig::write_timeout`] it is force-closed
+    /// and counted as `slow_closed`. Responses already dispatched may
+    /// overshoot the cap by at most a pipeline's worth of frames.
+    pub wbuf_cap: usize,
+    /// Global byte budget for connection buffers, sequenced responses,
+    /// and the distance cache's static reservation (0 = unlimited).
+    /// Past the budget every connection's read interest is paused until
+    /// flushed responses free memory — backpressure, never OOM. The
+    /// cache is clamped so its reservation never exceeds half the
+    /// budget.
+    pub mem_budget: usize,
+    /// Most concurrently open connections (0 = unlimited). Beyond the
+    /// cap a new peer is answered with one typed BUSY frame at the door
+    /// and closed instead of being adopted by a shard.
+    pub max_connections: usize,
     /// Drain window after shutdown is requested: in-flight requests may
     /// finish within it, then the force-stop flag aborts the rest.
     pub grace: Duration,
@@ -172,6 +203,9 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(2),
             stall_timeout: Duration::from_secs(2),
             max_frame_len: protocol::MAX_FRAME,
+            wbuf_cap: 4 << 20,
+            mem_budget: 0,
+            max_connections: 0,
             grace: Duration::from_secs(3),
             fault: None,
             reload_factory: None,
@@ -384,7 +418,23 @@ impl Server {
         // Stats are sized by wire id, not by this engine's backend
         // count: a reload may publish an engine with a different set.
         let stats = Arc::new(ServerStats::new(WIRE_SLOTS));
-        let cache = Arc::new(DistanceCache::new(cfg.cache_capacity, cfg.cache_shards));
+        // Under a memory budget the distance cache is clamped so its
+        // static reservation never eats more than half the budget; the
+        // reservation is charged up front so `mem_used` reflects the
+        // worst case, not the warm-up state.
+        let mut cache_capacity = cfg.cache_capacity;
+        if cfg.mem_budget > 0 {
+            cache_capacity =
+                cache_capacity.min((cfg.mem_budget / 2) / crate::cache::APPROX_ENTRY_BYTES);
+        }
+        let cache = Arc::new(DistanceCache::new(cache_capacity, cfg.cache_shards));
+        stats
+            .mem_budget
+            .store(cfg.mem_budget as u64, Ordering::Relaxed);
+        stats.mem_used.store(
+            (cache_capacity * crate::cache::APPROX_ENTRY_BYTES) as u64,
+            Ordering::Relaxed,
+        );
         let registry = Arc::new(EpochRegistry::new(engine));
         let active = Arc::new(AtomicUsize::new(cfg.workers.max(1)));
         let has_reload_source = cfg.reload_factory.is_some() || cfg.reload_file.is_some();
@@ -421,6 +471,9 @@ impl Server {
                 stall_timeout: cfg.stall_timeout,
                 write_timeout: cfg.write_timeout,
                 pipeline_depth: cfg.pipeline_depth.max(1),
+                wbuf_cap: cfg.wbuf_cap.max(4096),
+                rbuf_cap: cfg.max_frame_len.min(protocol::MAX_FRAME) + 4 + 64 * 1024,
+                mem_budget: cfg.mem_budget,
             };
             let handles = Arc::clone(&handles);
             let work = Arc::clone(&work);
@@ -465,7 +518,18 @@ impl Server {
             let shutdown = Arc::clone(&shutdown);
             let stats = Arc::clone(&stats);
             let handles = Arc::clone(&handles);
-            std::thread::spawn(move || accept_loop(listener, &handles, &shutdown, &stats))
+            let fault = cfg.fault.clone();
+            let max_connections = cfg.max_connections;
+            std::thread::spawn(move || {
+                accept_loop(
+                    listener,
+                    &handles,
+                    &shutdown,
+                    &stats,
+                    fault.as_deref(),
+                    max_connections,
+                )
+            })
         };
 
         // The grace monitor: once shutdown is requested, give in-flight
@@ -709,18 +773,70 @@ impl Reloader {
     }
 }
 
+/// Answers a peer the server cannot adopt with one typed BUSY frame,
+/// best-effort, then closes. The socket is switched to blocking with a
+/// short write timeout so a dead peer cannot stall the acceptor.
+fn shed_at_door(stream: TcpStream, msg: &str) {
+    let payload = protocol::encode_busy(msg);
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let mut stream = stream;
+    let _ = stream.write_all(&frame);
+    // Dropping the stream closes it.
+}
+
+/// Whether an `accept` error means the process (or system) is out of
+/// file descriptors. EMFILE = 24, ENFILE = 23 on Linux.
+fn fd_exhausted(e: &io::Error) -> bool {
+    matches!(e.raw_os_error(), Some(24) | Some(23))
+}
+
 fn accept_loop(
     listener: TcpListener,
     handles: &[ShardHandle],
     shutdown: &AtomicBool,
     stats: &ServerStats,
+    fault: Option<&FaultInjector>,
+    max_connections: usize,
 ) {
     let mut next = 0usize;
+    // One reserved fd: when accept hits EMFILE, dropping this lets the
+    // acceptor accept exactly one waiting peer, answer it with a typed
+    // BUSY, and close — the peer learns "back off" instead of hanging
+    // in the listen queue until its own timeout.
+    let mut emergency = std::fs::File::open("/dev/null").ok();
+    const BACKOFF_FLOOR: Duration = Duration::from_millis(10);
+    const BACKOFF_CEIL: Duration = Duration::from_millis(500);
+    let mut backoff = BACKOFF_FLOOR;
     while !stopping(shutdown) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                backoff = BACKOFF_FLOOR;
                 stats.connections.fetch_add(1, Ordering::Relaxed);
                 let _ = stream.set_nodelay(true);
+                if fault.is_some_and(|f| f.on_accept()) {
+                    // Injected fd exhaustion: behave exactly as if
+                    // accept had returned EMFILE and the emergency-fd
+                    // path had fired.
+                    stats.accept_emfile.fetch_add(1, Ordering::Relaxed);
+                    shed_at_door(
+                        stream,
+                        "server out of file descriptors; retry with exponential backoff",
+                    );
+                    continue;
+                }
+                if max_connections > 0
+                    && stats.open_connections.load(Ordering::Relaxed) >= max_connections as u64
+                {
+                    // Admission control: shed at the door instead of
+                    // adopting a connection the budget cannot hold.
+                    stats.accept_shed.fetch_add(1, Ordering::Relaxed);
+                    shed_at_door(stream, "connection limit reached; retry later");
+                    continue;
+                }
                 // Round-robin: connection count is bounded by fds, not
                 // by a queue — overload is shed per *request* at the
                 // work queue, not per connection at the door.
@@ -728,12 +844,31 @@ fn accept_loop(
                 next = next.wrapping_add(1);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                backoff = BACKOFF_FLOOR;
                 std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if fd_exhausted(&e) => {
+                stats.accept_emfile.fetch_add(1, Ordering::Relaxed);
+                // Give back the reserved fd, drain one waiting peer
+                // with a typed BUSY, then re-arm the reserve. If even
+                // that fails the backoff alone bounds the spin.
+                drop(emergency.take());
+                if let Ok((stream, _peer)) = listener.accept() {
+                    stats.connections.fetch_add(1, Ordering::Relaxed);
+                    shed_at_door(
+                        stream,
+                        "server out of file descriptors; retry with exponential backoff",
+                    );
+                }
+                emergency = std::fs::File::open("/dev/null").ok();
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(BACKOFF_CEIL);
             }
             Err(_) => std::thread::sleep(Duration::from_millis(5)),
         }
     }
     // Dropping the listener makes new connections fail fast.
+    drop(emergency);
 }
 
 /// Token under which every shard registers its own waker.
@@ -756,6 +891,15 @@ struct ShardCtx {
     stall_timeout: Duration,
     write_timeout: Duration,
     pipeline_depth: usize,
+    /// Per-connection write-backlog cap (see [`ServerConfig::wbuf_cap`]).
+    wbuf_cap: usize,
+    /// Per-connection unparsed-bytes cap: one max frame plus slack. A
+    /// peer flooding bytes faster than they parse is paused, not
+    /// buffered without bound.
+    rbuf_cap: usize,
+    /// Global byte budget (0 = unlimited); checked against
+    /// `stats.mem_used`.
+    mem_budget: usize,
 }
 
 /// Per-connection state owned by exactly one shard.
@@ -788,6 +932,13 @@ struct Conn {
     last_write_progress: Instant,
     /// Whether EPOLLOUT interest is currently registered.
     write_interest: bool,
+    /// Whether EPOLLIN interest is currently registered; dropped while
+    /// this connection's buffers (or the global budget) are full, so a
+    /// firehose peer is backpressured through TCP instead of buffered.
+    read_interest: bool,
+    /// Buffered bytes last charged against the global `mem_used` gauge;
+    /// the service pass settles the delta, close refunds the rest.
+    accounted: usize,
     /// Flush what is queued, then close (protocol framing is lost).
     close_after_flush: bool,
     /// Peer sent EOF; close once everything in flight has flushed.
@@ -812,6 +963,8 @@ impl Conn {
             partial_since: None,
             last_write_progress: Instant::now(),
             write_interest: false,
+            read_interest: true,
+            accounted: 0,
             close_after_flush: false,
             eof: false,
             dead: false,
@@ -872,6 +1025,9 @@ fn parse_and_dispatch(
         if conn.inflight + conn.ready.len() >= ctx.pipeline_depth {
             break; // backpressure: stop parsing, let TCP flow control push back
         }
+        if conn.wbuf.len() - conn.wstart >= ctx.wbuf_cap {
+            break; // write backlog full: no new work until the peer reads
+        }
         let avail = &conn.rbuf[conn.rstart..];
         if avail.len() < 4 {
             break;
@@ -918,10 +1074,14 @@ fn parse_and_dispatch(
             );
         }
     }
-    // Compact the consumed prefix once it dominates the buffer.
+    // Compact the consumed prefix once it dominates the buffer, and
+    // return capacity a past burst grew once it is no longer needed.
     if conn.rstart == conn.rbuf.len() {
         conn.rbuf.clear();
         conn.rstart = 0;
+        if conn.rbuf.capacity() > 256 * 1024 {
+            conn.rbuf.shrink_to(64 * 1024);
+        }
     } else if conn.rstart > 64 * 1024 {
         conn.rbuf.drain(..conn.rstart);
         conn.rstart = 0;
@@ -983,6 +1143,9 @@ fn try_write(conn: &mut Conn) -> bool {
     if conn.wstart == conn.wbuf.len() {
         conn.wbuf.clear();
         conn.wstart = 0;
+        if conn.wbuf.capacity() > 256 * 1024 {
+            conn.wbuf.shrink_to(64 * 1024);
+        }
     } else if conn.wstart > 64 * 1024 {
         conn.wbuf.drain(..conn.wstart);
         conn.wstart = 0;
@@ -1171,6 +1334,12 @@ impl Shard {
                 .stats
                 .open_connections
                 .fetch_sub(1, Ordering::Relaxed);
+            // Refund whatever the service pass last charged; closing a
+            // hoarding connection is what frees budget under pressure.
+            self.ctx
+                .stats
+                .mem_used
+                .fetch_sub(conn.accounted as u64, Ordering::Relaxed);
         }
     }
 }
@@ -1200,14 +1369,47 @@ fn service_conn(
     } else {
         conn.partial_since = None;
     }
-    // Keep EPOLLOUT interest in sync with pending output.
+    // Settle this connection's buffered bytes against the global
+    // memory gauge: rbuf pending + wbuf pending + sequenced responses
+    // waiting their turn. Deltas only, so the gauge is exact across
+    // thousands of connections without a global recount.
+    let wpending = conn.wbuf.len() - conn.wstart;
+    let rpending = conn.rbuf.len() - conn.rstart;
+    let live = rpending + wpending + conn.ready.values().map(Vec::len).sum::<usize>();
+    if live > conn.accounted {
+        ctx.stats
+            .mem_used
+            .fetch_add((live - conn.accounted) as u64, Ordering::Relaxed);
+    } else if live < conn.accounted {
+        ctx.stats
+            .mem_used
+            .fetch_sub((conn.accounted - live) as u64, Ordering::Relaxed);
+    }
+    conn.accounted = live;
+    if wpending as u64 > ctx.stats.wbuf_peak.load(Ordering::Relaxed) {
+        ctx.stats
+            .wbuf_peak
+            .fetch_max(wpending as u64, Ordering::Relaxed);
+    }
+    // Keep epoll interest in sync: EPOLLOUT tracks pending output;
+    // EPOLLIN is dropped while this connection's buffers — or the
+    // global budget — are full, so the kernel backpressures the peer
+    // through TCP. Flushing re-arms it; a paused connection still
+    // learns of hangups (EPOLLERR/EPOLLHUP are unmaskable).
     let want_write = conn.wstart < conn.wbuf.len();
-    if want_write != conn.write_interest
+    let over_budget =
+        ctx.mem_budget > 0 && ctx.stats.mem_used.load(Ordering::Relaxed) > ctx.mem_budget as u64;
+    let want_read = !conn.close_after_flush
+        && rpending < ctx.rbuf_cap
+        && wpending < ctx.wbuf_cap
+        && !over_budget;
+    if (want_write != conn.write_interest || want_read != conn.read_interest)
         && poller
-            .modify(conn.stream.as_raw_fd(), conn.token, want_write)
+            .modify(conn.stream.as_raw_fd(), conn.token, want_read, want_write)
             .is_ok()
     {
         conn.write_interest = want_write;
+        conn.read_interest = want_read;
     }
     false
 }
@@ -1235,11 +1437,18 @@ fn should_close(conn: &Conn, ctx: &ShardCtx, now: Instant, stopping_now: bool) -
             }
         }
     }
-    // Write stall: the peer stopped reading its responses.
+    // Write stall: the peer stopped reading its responses. A peer that
+    // also filled its write-backlog cap is the typed slow-reader case —
+    // its buffers are force-reclaimed and the close is accounted as
+    // `slow_closed`, distinct from an ordinary client timeout.
     if conn.wstart < conn.wbuf.len()
         && now.duration_since(conn.last_write_progress) >= ctx.write_timeout
     {
-        ctx.stats.client_timeouts.fetch_add(1, Ordering::Relaxed);
+        if conn.wbuf.len() - conn.wstart >= ctx.wbuf_cap {
+            ctx.stats.slow_closed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            ctx.stats.client_timeouts.fetch_add(1, Ordering::Relaxed);
+        }
         return true;
     }
     false

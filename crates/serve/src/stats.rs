@@ -95,6 +95,16 @@ impl Op {
     ];
 }
 
+/// Open file descriptors of this process, counted from `/proc/self/fd`
+/// at call time (0 when the proc filesystem is unavailable). A gauge,
+/// not a counter: it is read once per STATS render, never on the hot
+/// path.
+pub fn open_fds() -> u64 {
+    std::fs::read_dir("/proc/self/fd")
+        .map(|entries| entries.count() as u64)
+        .unwrap_or(0)
+}
+
 /// Maps a nanosecond latency to its bucket.
 pub fn bucket_of(nanos: u64) -> usize {
     ((64 - nanos.leading_zeros()) as usize).min(OVERFLOW_BUCKET)
@@ -201,6 +211,26 @@ pub struct ServerStats {
     pub deadlines_exceeded: AtomicU64,
     /// In-flight queries aborted by the post-grace force-stop.
     pub force_closed: AtomicU64,
+    /// Connections force-closed for hitting the per-connection write
+    /// buffer cap while making no write progress — the typed accounting
+    /// for slow (or never-) readers. Disjoint from `client_timeouts`
+    /// (stalls below the cap) and `force_closed` (shutdown aborts).
+    pub slow_closed: AtomicU64,
+    /// Accepts refused because the process was out of file descriptors
+    /// (real or injected EMFILE/ENFILE); each peer got a typed BUSY.
+    pub accept_emfile: AtomicU64,
+    /// Accepts refused by the `--max-connections` admission gate; each
+    /// peer got a typed BUSY.
+    pub accept_shed: AtomicU64,
+    /// The configured global memory budget in bytes (0 = unlimited).
+    pub mem_budget: AtomicU64,
+    /// Live bytes accounted against the budget: per-connection
+    /// read/write buffers, pipelined ready frames, and the LRU cache's
+    /// static reservation.
+    pub mem_used: AtomicU64,
+    /// High-water mark of any one connection's pending write-buffer
+    /// bytes (gauge via `fetch_max`; proves the wbuf cap held).
+    pub wbuf_peak: AtomicU64,
     /// Index reloads that validated and published a new epoch.
     pub reloads_ok: AtomicU64,
     /// Index reloads rejected before publication (the old epoch kept
@@ -240,6 +270,12 @@ impl ServerStats {
             client_timeouts: AtomicU64::new(0),
             deadlines_exceeded: AtomicU64::new(0),
             force_closed: AtomicU64::new(0),
+            slow_closed: AtomicU64::new(0),
+            accept_emfile: AtomicU64::new(0),
+            accept_shed: AtomicU64::new(0),
+            mem_budget: AtomicU64::new(0),
+            mem_used: AtomicU64::new(0),
+            wbuf_peak: AtomicU64::new(0),
             reloads_ok: AtomicU64::new(0),
             reloads_failed: AtomicU64::new(0),
             worker_restarts: AtomicU64::new(0),
@@ -304,11 +340,24 @@ impl ServerStats {
         );
         let _ = writeln!(
             out,
-            "faults: shed={} client_timeouts={} deadlines_exceeded={} force_closed={}",
+            "faults: shed={} client_timeouts={} deadlines_exceeded={} force_closed={} slow_closed={}",
             self.shed.load(Ordering::Relaxed),
             self.client_timeouts.load(Ordering::Relaxed),
             self.deadlines_exceeded.load(Ordering::Relaxed),
             self.force_closed.load(Ordering::Relaxed),
+            self.slow_closed.load(Ordering::Relaxed),
+        );
+        let _ = writeln!(
+            out,
+            "resources: mem_budget={} mem_used={} wbuf_peak={} open_fds={} \
+             accept_emfile={} accept_shed={} disk_degraded={}",
+            self.mem_budget.load(Ordering::Relaxed),
+            self.mem_used.load(Ordering::Relaxed),
+            self.wbuf_peak.load(Ordering::Relaxed),
+            open_fds(),
+            self.accept_emfile.load(Ordering::Relaxed),
+            self.accept_shed.load(Ordering::Relaxed),
+            u64::from(spq_graph::atomic_io::disk_degraded()),
         );
         let _ = writeln!(
             out,
@@ -449,6 +498,12 @@ mod tests {
         stats.shards.store(3, Ordering::Relaxed);
         stats.open_connections.fetch_add(5, Ordering::Relaxed);
         stats.pipelined_frames.fetch_add(7, Ordering::Relaxed);
+        stats.slow_closed.fetch_add(6, Ordering::Relaxed);
+        stats.accept_emfile.fetch_add(8, Ordering::Relaxed);
+        stats.accept_shed.fetch_add(9, Ordering::Relaxed);
+        stats.mem_budget.store(1 << 20, Ordering::Relaxed);
+        stats.mem_used.store(4096, Ordering::Relaxed);
+        stats.wbuf_peak.fetch_max(2048, Ordering::Relaxed);
         let text = stats.render(&["CH", "TNR"], &cache);
         assert!(text.contains("shards=3"), "{text}");
         assert!(text.contains("open_connections=5"), "{text}");
@@ -456,6 +511,14 @@ mod tests {
         assert!(text.contains("shed=2"), "{text}");
         assert!(text.contains("deadlines_exceeded=1"), "{text}");
         assert!(text.contains("client_timeouts=0"), "{text}");
+        assert!(text.contains("slow_closed=6"), "{text}");
+        assert!(text.contains("mem_budget=1048576"), "{text}");
+        assert!(text.contains("mem_used=4096"), "{text}");
+        assert!(text.contains("wbuf_peak=2048"), "{text}");
+        assert!(text.contains("accept_emfile=8"), "{text}");
+        assert!(text.contains("accept_shed=9"), "{text}");
+        assert!(text.contains("disk_degraded="), "{text}");
+        assert!(text.contains("open_fds="), "{text}");
         assert!(text.contains("hits=3"));
         assert!(text.contains("hit_rate=75.0%"));
         assert!(text.contains("reloads_ok=0"), "{text}");

@@ -77,6 +77,25 @@ pub enum FaultEvent {
     /// Serve through a [`ByteProxy`] whose per-window faults derive
     /// from `plan_seed`, driving `requests` queries into the chaos.
     WireChaos { plan_seed: u64, requests: u32 },
+    /// Start a server under a squeezed `RLIMIT_NOFILE` (via the
+    /// `SPQ_FD_LIMIT` env hook) and open `conns` connections into it:
+    /// past the limit the server must shed with typed BUSY or a clean
+    /// refusal — never crash — and must recover once the herd leaves.
+    FdSqueeze { limit: u32, conns: u32 },
+    /// Run `spq prep` with ENOSPC injected from its `from_nth` atomic
+    /// write (the `SPQ_FAULT_ENOSPC` env hook). The failed write must
+    /// be typed and non-fatal; the post-schedule recovery server judges
+    /// what the debris did.
+    DiskFull { from_nth: u64 },
+    /// Start a server under a `--mem-budget` of `kib` KiB and drive
+    /// oracle-checked queries through it: budget pressure may slow
+    /// serving, never corrupt an answer.
+    MemSqueeze { kib: u32 },
+    /// Start a server with a tight write-backlog cap and park `conns`
+    /// never-reading peers each pipelining `frames` large DISTANCES
+    /// batches; a well-behaved client must keep getting correct answers
+    /// while the hoarders are force-closed.
+    SlowReader { conns: u32, frames: u32 },
 }
 
 impl fmt::Display for FaultEvent {
@@ -102,6 +121,14 @@ impl fmt::Display for FaultEvent {
                 plan_seed,
                 requests,
             } => write!(f, "wire-chaos(seed={plan_seed:#x}, requests={requests})"),
+            FaultEvent::FdSqueeze { limit, conns } => {
+                write!(f, "fd-squeeze(limit={limit}, conns={conns})")
+            }
+            FaultEvent::DiskFull { from_nth } => write!(f, "disk-full(from-write={from_nth})"),
+            FaultEvent::MemSqueeze { kib } => write!(f, "mem-squeeze({kib}KiB)"),
+            FaultEvent::SlowReader { conns, frames } => {
+                write!(f, "slow-reader(conns={conns}, frames={frames})")
+            }
         }
     }
 }
@@ -129,6 +156,12 @@ pub struct TortureOptions {
     /// Where to write the failure artifact (seed + minimized schedule)
     /// when a round fails.
     pub artifact: Option<PathBuf>,
+    /// Resource-exhaustion mode: every round runs a seeded shuffle of
+    /// *all four* resource faults (fd squeeze, disk full, memory
+    /// squeeze, slow readers) instead of the general schedule — the
+    /// combined-pressure acceptance drill, still fully replayable from
+    /// the master seed.
+    pub resource: bool,
 }
 
 impl Default for TortureOptions {
@@ -143,6 +176,7 @@ impl Default for TortureOptions {
             startup_timeout: Duration::from_secs(60),
             io_timeout: Duration::from_secs(10),
             artifact: None,
+            resource: false,
         }
     }
 }
@@ -165,6 +199,9 @@ pub struct RoundOutcome {
 pub struct TortureReport {
     /// The master seed (rerunning with it regenerates every schedule).
     pub seed: u64,
+    /// Whether this campaign ran the resource-exhaustion schedules
+    /// (the reproduction line must carry the flag to replay).
+    pub resource: bool,
     /// Per-round outcomes.
     pub rounds: Vec<RoundOutcome>,
 }
@@ -204,9 +241,10 @@ impl TortureReport {
         ));
         if self.failures() > 0 {
             out.push_str(&format!(
-                "reproduce with: spq torture --seed {} --rounds {}\n",
+                "reproduce with: spq torture --seed {} --rounds {}{}\n",
                 self.seed,
-                self.rounds.len()
+                self.rounds.len(),
+                if self.resource { " --resource" } else { "" }
             ));
         }
         out
@@ -226,7 +264,7 @@ pub fn gen_schedule(round_seed: u64) -> Vec<FaultEvent> {
     let mut rng = StdRng::seed_from_u64(round_seed);
     let len = rng.random_range(1..=4usize);
     (0..len)
-        .map(|_| match rng.random_range(0..7u32) {
+        .map(|_| match rng.random_range(0..11u32) {
             0 => FaultEvent::TornPrep {
                 stage: CrashStage::ALL[rng.random_range(0..CrashStage::ALL.len())],
                 nth: rng.random_range(0..2),
@@ -247,12 +285,60 @@ pub fn gen_schedule(round_seed: u64) -> Vec<FaultEvent> {
                 2 => KillPoint::Reload(rng.random_range(0..40)),
                 _ => KillPoint::Drain(rng.random_range(0..30)),
             }),
-            _ => FaultEvent::WireChaos {
+            6 => FaultEvent::WireChaos {
                 plan_seed: rng.random(),
                 requests: rng.random_range(8..=24),
             },
+            7 => FaultEvent::FdSqueeze {
+                // The floor leaves the server its own baseline fds
+                // (listener, epoll, eventfds, the emergency reserve);
+                // everything above it is connection capacity to fight
+                // over.
+                limit: rng.random_range(20..=40),
+                conns: rng.random_range(8..=24),
+            },
+            8 => FaultEvent::DiskFull {
+                from_nth: rng.random_range(0..3),
+            },
+            9 => FaultEvent::MemSqueeze {
+                kib: rng.random_range(64..=512),
+            },
+            _ => FaultEvent::SlowReader {
+                conns: rng.random_range(2..=4),
+                frames: rng.random_range(8..=16),
+            },
         })
         .collect()
+}
+
+/// Draws one resource-mode round: a seeded shuffle of all four
+/// resource faults, so every round combines fd squeeze + disk full +
+/// memory squeeze + slow readers in a seed-determined order.
+pub fn gen_resource_schedule(round_seed: u64) -> Vec<FaultEvent> {
+    let mut rng = StdRng::seed_from_u64(round_seed ^ 0x5e50_4243);
+    let mut events = vec![
+        FaultEvent::FdSqueeze {
+            limit: rng.random_range(20..=40),
+            conns: rng.random_range(8..=24),
+        },
+        FaultEvent::DiskFull {
+            from_nth: rng.random_range(0..3),
+        },
+        FaultEvent::MemSqueeze {
+            kib: rng.random_range(64..=512),
+        },
+        FaultEvent::SlowReader {
+            conns: rng.random_range(2..=4),
+            frames: rng.random_range(8..=16),
+        },
+    ];
+    // Fisher–Yates off the same stream: the order varies per round,
+    // the coverage (all four modes) never does.
+    for i in (1..events.len()).rev() {
+        let j = rng.random_range(0..=i);
+        events.swap(i, j);
+    }
+    events
 }
 
 /// Greedy delta-debugging: repeatedly drops single events while the
@@ -545,6 +631,30 @@ fn apply_event(
             plan_seed,
             requests,
         } => wire_chaos(opts, env, index, plan_seed, requests),
+        FaultEvent::FdSqueeze { limit, conns } => fd_squeeze(opts, env, index, limit, conns),
+        FaultEvent::DiskFull { from_nth } => {
+            // Re-run prep with ENOSPC injected from its from_nth-th
+            // atomic write. The child may fail (typed) or complete if
+            // it needs fewer writes; either way the failure must stay
+            // non-fatal and the post-schedule recovery server judges
+            // the debris.
+            let args: Vec<String> = ["prep", "--net", &env.net_base, "--kind", "ch", "--out"]
+                .iter()
+                .map(|s| s.to_string())
+                .chain([index.display().to_string()])
+                .collect();
+            run_spq(
+                opts,
+                &args,
+                &[(atomic_io::ENOSPC_ENV.to_string(), from_nth.to_string())],
+                Duration::from_secs(120),
+            )?;
+            Ok(())
+        }
+        FaultEvent::MemSqueeze { kib } => mem_squeeze(opts, env, index, kib),
+        FaultEvent::SlowReader { conns, frames } => {
+            slow_reader_event(opts, env, index, conns, frames)
+        }
     }
 }
 
@@ -712,6 +822,211 @@ fn wire_chaos(
     Ok(())
 }
 
+/// Starts a server whose `RLIMIT_NOFILE` is squeezed to `limit` (the
+/// `SPQ_FD_LIMIT` env hook, honored at serve startup) and drives a herd
+/// of `conns` connections into it. Every outcome must be typed: a
+/// served PING, a BUSY shed, or a clean kernel-level refusal — never a
+/// crash, never a hang. Once the herd leaves, the server must accept
+/// and answer correctly again.
+fn fd_squeeze(
+    opts: &TortureOptions,
+    env: &TortureEnv,
+    index: &Path,
+    limit: u32,
+    conns: u32,
+) -> Result<(), String> {
+    let args = serve_args(&env.net_base, index, &[]);
+    let fd_env = [(
+        crate::eventloop::FD_LIMIT_ENV.to_string(),
+        limit.to_string(),
+    )];
+    let mut child = ChildServer::spawn(opts, &args, &fd_env)?;
+    let addr = child.wait_listening(opts.startup_timeout)?;
+    let mut herd = Vec::new();
+    let mut shed = 0u32;
+    for _ in 0..conns {
+        match ServeClient::connect(addr) {
+            Ok(mut c) => {
+                let _ = c.set_io_timeout(Some(opts.io_timeout));
+                match c.ping() {
+                    Ok(()) => herd.push(c),
+                    Err(ClientError::Busy(_)) => shed += 1,
+                    // Accept failing at the kernel surfaces to the peer
+                    // as a reset/EOF — a clean refusal, not a protocol
+                    // violation.
+                    Err(ClientError::Io(_)) => shed += 1,
+                    Err(e) => {
+                        child.kill();
+                        return Err(format!("fd-squeeze: untyped failure under fd limit: {e}"));
+                    }
+                }
+            }
+            Err(_) => shed += 1,
+        }
+    }
+    eprintln!(
+        "[torture]   fd-squeeze: {} served, {shed} shed at limit {limit}",
+        herd.len()
+    );
+    drop(herd);
+    // The herd's fds are back; accept capacity must recover (the accept
+    // backoff caps at 500ms, so a few retries cover it).
+    let mut clean = None;
+    for _ in 0..50 {
+        if let Ok(c) = ServeClient::connect(addr) {
+            clean = Some(c);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let Some(mut clean) = clean else {
+        child.kill();
+        return Err(
+            "fd-squeeze: server never recovered accept capacity after the herd left".into(),
+        );
+    };
+    clean
+        .set_io_timeout(Some(opts.io_timeout))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    checked_distances(env, &mut clean, BackendKind::Dijkstra, 8, 2, false)
+        .map_err(|e| format!("after fd squeeze: {e}"))?;
+    let _ = clean.shutdown_server();
+    let status = child.wait_bounded(Duration::from_secs(30))?;
+    child.panic_check()?;
+    if !status.success() {
+        return Err(format!(
+            "server exited {status} after fd squeeze; stderr tail:\n{}",
+            child.stderr_tail()
+        ));
+    }
+    Ok(())
+}
+
+/// Starts a server under a `--mem-budget` of `kib` KiB and drives
+/// oracle-checked queries on both backends: budget pressure may pause
+/// reads, it must never corrupt an answer or wedge the server.
+fn mem_squeeze(
+    opts: &TortureOptions,
+    env: &TortureEnv,
+    index: &Path,
+    kib: u32,
+) -> Result<(), String> {
+    let bytes = (kib as u64 * 1024).to_string();
+    let args = serve_args(&env.net_base, index, &["--mem-budget", &bytes]);
+    let mut child = ChildServer::spawn(opts, &args, &[])?;
+    let addr = child.wait_listening(opts.startup_timeout)?;
+    let mut client = ServeClient::connect(addr).map_err(|e| format!("mem-squeeze connect: {e}"))?;
+    client
+        .set_io_timeout(Some(opts.io_timeout))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    checked_distances(env, &mut client, BackendKind::Dijkstra, 10, 0, false)
+        .map_err(|e| format!("under a {kib}KiB mem budget: {e}"))?;
+    checked_distances(env, &mut client, BackendKind::Ch, 10, 4, false)
+        .map_err(|e| format!("under a {kib}KiB mem budget: {e}"))?;
+    let _ = client.shutdown_server();
+    let status = child.wait_bounded(Duration::from_secs(30))?;
+    child.panic_check()?;
+    if !status.success() {
+        return Err(format!(
+            "server exited {status} under mem budget; stderr tail:\n{}",
+            child.stderr_tail()
+        ));
+    }
+    Ok(())
+}
+
+/// Starts a server with a tight write-backlog cap and a short write
+/// timeout, parks `conns` never-reading peers each pipelining `frames`
+/// large DISTANCES requests, and requires a well-behaved client to keep
+/// getting correct answers while the hoarders are force-closed.
+fn slow_reader_event(
+    opts: &TortureOptions,
+    env: &TortureEnv,
+    index: &Path,
+    conns: u32,
+    frames: u32,
+) -> Result<(), String> {
+    let args = serve_args(
+        &env.net_base,
+        index,
+        &["--wbuf-cap", "65536", "--write-timeout-ms", "300"],
+    );
+    let mut child = ChildServer::spawn(opts, &args, &[])?;
+    let addr = child.wait_listening(opts.startup_timeout)?;
+
+    // One 8×32768 DISTANCES request: a ~2MiB response from ~128KiB of
+    // request, so a handful of pipelined frames outgrow the kernel's
+    // socket buffers and force the server's own backlog cap to act.
+    // CH's native many-to-many kernel produces that response in
+    // milliseconds, so the flood saturates the write path without
+    // monopolising the worker pool the well-behaved client shares.
+    let sources: Vec<NodeId> = (0..8).map(|i| env.pairs[i % env.pairs.len()].0).collect();
+    let targets: Vec<NodeId> = (0..32768)
+        .map(|i| env.pairs[i % env.pairs.len()].1)
+        .collect();
+    let payload = crate::protocol::Request::Distances {
+        backend: BackendKind::Ch.wire_id(),
+        sources,
+        targets,
+        deadline_ms: 0,
+    }
+    .encode();
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+
+    let mut hoarders = Vec::new();
+    for _ in 0..conns {
+        let Ok(mut s) = std::net::TcpStream::connect(addr) else {
+            continue;
+        };
+        let _ = s.set_write_timeout(Some(Duration::from_millis(200)));
+        for _ in 0..frames {
+            use std::io::Write as _;
+            // A write error means the server already reclaimed this
+            // hoarder — which is exactly the behavior under test.
+            if s.write_all(&frame).is_err() {
+                break;
+            }
+        }
+        hoarders.push(s);
+    }
+
+    // The well-behaved client must stay correct while the hoarders
+    // pile their responses into capped write buffers.
+    // Queue saturation may delay the answer; it must never falsify it —
+    // so the correctness probe gets a generous timeout rather than a
+    // pass for transport errors.
+    let mut good = ServeClient::connect(addr).map_err(|e| format!("slow-reader connect: {e}"))?;
+    good.set_io_timeout(Some(opts.io_timeout.max(Duration::from_secs(30))))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    checked_distances(env, &mut good, BackendKind::Dijkstra, 6, 1, false)
+        .map_err(|e| format!("while slow readers hoard: {e}"))?;
+    // Give the stall reaper a cycle to force-close the herd, then log
+    // the operator's evidence trail.
+    std::thread::sleep(Duration::from_millis(700));
+    if let Ok(stats) = good.stats() {
+        for line in stats.lines() {
+            if line.contains("slow_closed") || line.contains("wbuf_peak") {
+                eprintln!("[torture]   slow-reader: {}", line.trim());
+            }
+        }
+    }
+    drop(hoarders);
+    checked_distances(env, &mut good, BackendKind::Dijkstra, 6, 9, false)
+        .map_err(|e| format!("after slow readers left: {e}"))?;
+    let _ = good.shutdown_server();
+    let status = child.wait_bounded(Duration::from_secs(30))?;
+    child.panic_check()?;
+    if !status.success() {
+        return Err(format!(
+            "server exited {status} after slow readers; stderr tail:\n{}",
+            child.stderr_tail()
+        ));
+    }
+    Ok(())
+}
+
 /// Runs one schedule in a fresh subdirectory and checks the recovery
 /// property. `Ok(())` is a pass; `Err` describes the violation.
 fn run_schedule(
@@ -862,11 +1177,16 @@ pub fn run_torture(opts: &TortureOptions) -> Result<TortureReport, String> {
 
     let mut report = TortureReport {
         seed: opts.seed,
+        resource: opts.resource,
         rounds: Vec::new(),
     };
     for round in 0..opts.rounds {
         let round_seed = mix(opts.seed, round as u64 + 1);
-        let schedule = gen_schedule(round_seed);
+        let schedule = if opts.resource {
+            gen_resource_schedule(round_seed)
+        } else {
+            gen_schedule(round_seed)
+        };
         eprintln!(
             "[torture] round {round}/{}: {} event(s), seed={:#x}",
             opts.rounds,
@@ -937,7 +1257,7 @@ mod tests {
 
     #[test]
     fn schedule_space_covers_every_event_kind() {
-        let mut kinds = [false; 6];
+        let mut kinds = [false; 10];
         for seed in 0..400u64 {
             for e in gen_schedule(seed) {
                 let k = match e {
@@ -947,11 +1267,37 @@ mod tests {
                     FaultEvent::OrphanTemp { .. } => 3,
                     FaultEvent::KillServe(_) => 4,
                     FaultEvent::WireChaos { .. } => 5,
+                    FaultEvent::FdSqueeze { .. } => 6,
+                    FaultEvent::DiskFull { .. } => 7,
+                    FaultEvent::MemSqueeze { .. } => 8,
+                    FaultEvent::SlowReader { .. } => 9,
                 };
                 kinds[k] = true;
             }
         }
         assert!(kinds.iter().all(|&k| k), "unreached event kinds: {kinds:?}");
+    }
+
+    #[test]
+    fn resource_schedules_cover_all_four_modes_in_seed_stable_order() {
+        let a = gen_resource_schedule(7);
+        assert_eq!(a, gen_resource_schedule(7), "not seed-deterministic");
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().any(|e| matches!(e, FaultEvent::FdSqueeze { .. })));
+        assert!(a.iter().any(|e| matches!(e, FaultEvent::DiskFull { .. })));
+        assert!(a.iter().any(|e| matches!(e, FaultEvent::MemSqueeze { .. })));
+        assert!(a.iter().any(|e| matches!(e, FaultEvent::SlowReader { .. })));
+        // The shuffle must actually vary the order across seeds.
+        let orders: std::collections::HashSet<String> = (0..32u64)
+            .map(|s| {
+                gen_resource_schedule(s)
+                    .iter()
+                    .map(|e| e.to_string().chars().take(4).collect::<String>())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect();
+        assert!(orders.len() > 1, "resource schedules never reorder");
     }
 
     #[test]
@@ -1004,6 +1350,7 @@ mod tests {
     fn report_renders_the_reproduction_line() {
         let report = TortureReport {
             seed: 0xBEEF,
+            resource: false,
             rounds: vec![RoundOutcome {
                 round: 0,
                 schedule: vec![FaultEvent::KillServe(KillPoint::Serving(3))],
@@ -1038,5 +1385,39 @@ mod tests {
         assert!(shown.contains("torn-prep(stage=before-rename, nth=1)"));
         assert!(shown.contains("flip-index(pos=500‰"));
         assert!(shown.contains("wire-chaos(seed=0x7, requests=9)"));
+        let resources = format!(
+            "{} {} {} {}",
+            FaultEvent::FdSqueeze {
+                limit: 24,
+                conns: 10
+            },
+            FaultEvent::DiskFull { from_nth: 1 },
+            FaultEvent::MemSqueeze { kib: 128 },
+            FaultEvent::SlowReader {
+                conns: 3,
+                frames: 9
+            },
+        );
+        assert!(resources.contains("fd-squeeze(limit=24, conns=10)"));
+        assert!(resources.contains("disk-full(from-write=1)"));
+        assert!(resources.contains("mem-squeeze(128KiB)"));
+        assert!(resources.contains("slow-reader(conns=3, frames=9)"));
+    }
+
+    #[test]
+    fn resource_reports_reproduce_with_the_resource_flag() {
+        let report = TortureReport {
+            seed: 1,
+            resource: true,
+            rounds: vec![RoundOutcome {
+                round: 0,
+                schedule: vec![FaultEvent::MemSqueeze { kib: 64 }],
+                failure: Some("x".into()),
+                minimized: None,
+            }],
+        };
+        assert!(report
+            .render()
+            .contains("spq torture --seed 1 --rounds 1 --resource"));
     }
 }

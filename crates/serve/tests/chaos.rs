@@ -187,6 +187,7 @@ fn chaos_sweep_stays_available_and_never_wrong() {
         latency: Duration::from_millis(2),
         drop_prob: 0.15,
         panic_prob: 0.0,
+        emfile_accepts: 0,
     }));
     let cfg = ServerConfig {
         workers: 2,
